@@ -1,0 +1,285 @@
+(* lapis — Linux API study CLI.
+
+   Subcommands:
+     generate   synthesize the distribution and write its binaries to disk
+     analyze    run the pipeline and dump importance rankings
+     report     regenerate a figure/table of the paper (or all of them)
+     footprint  analyze a single ELF file and print its API footprint
+     seccomp    emit a seccomp allow-list for an ELF file
+     compat     weighted completeness of a user-provided syscall list *)
+
+open Cmdliner
+module Study = Core.Study
+module P = Core.Distro.Package
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+let packages_arg =
+  let doc = "Number of packages in the synthetic distribution." in
+  Arg.(value & opt int 1400 & info [ "p"; "packages" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Generator seed (the distribution is deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let config packages seed =
+  { Core.Distro.Generator.default_config with n_packages = packages; seed }
+
+let make_env packages seed =
+  setup_logs ();
+  Printf.eprintf "# generating %d packages (seed %d) and analyzing...\n%!"
+    packages seed;
+  Study.Env.create ~config:(config packages seed) ()
+
+(* --- generate ---------------------------------------------------------- *)
+
+let generate_cmd =
+  let out_arg =
+    let doc = "Directory to write the distribution into." in
+    Arg.(value & opt string "_distro" & info [ "o"; "output" ] ~docv:"DIR" ~doc)
+  in
+  let run packages seed out =
+    setup_logs ();
+    let dist = Core.Distro.Generator.generate ~config:(config packages seed) () in
+    let write path bytes =
+      let path = Filename.concat out path in
+      let rec mkdirs d =
+        if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+          mkdirs (Filename.dirname d);
+          Sys.mkdir d 0o755
+        end
+      in
+      mkdirs (Filename.dirname path);
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc
+    in
+    List.iter
+      (fun (soname, bytes) -> write ("lib/" ^ soname) bytes)
+      dist.P.runtime;
+    List.iter
+      (fun (pkg : P.t) ->
+        List.iter
+          (fun (f : P.file) ->
+            write (Filename.concat pkg.P.name f.P.path) f.P.bytes)
+          pkg.P.files)
+      dist.P.packages;
+    Printf.printf "wrote %d packages (%d files) under %s\n"
+      (P.n_packages dist)
+      (List.length (P.all_files dist))
+      out
+  in
+  let doc = "Synthesize the calibrated distribution and write it to disk." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(const run $ packages_arg $ seed_arg $ out_arg)
+
+(* --- report ------------------------------------------------------------ *)
+
+let report_cmd =
+  let ids_arg =
+    let doc =
+      "Experiment identifiers (fig1..fig8, table1..table7, table8..table11, \
+       section6, ablations). Defaults to all."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run packages seed ids =
+    let env = make_env packages seed in
+    let selected =
+      match ids with
+      | [] -> Study.Experiments.all
+      | ids ->
+        List.map
+          (fun id ->
+            match Study.Experiments.find id with
+            | Some e -> e
+            | None ->
+              Printf.eprintf "unknown experiment %s; known: %s\n" id
+                (String.concat " " Study.Experiments.ids);
+              exit 2)
+          ids
+    in
+    List.iter
+      (fun (e : Study.Experiments.t) ->
+        print_string (e.Study.Experiments.render env))
+      selected
+  in
+  let doc = "Regenerate figures and tables of the paper's evaluation." in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(const run $ packages_arg $ seed_arg $ ids_arg)
+
+(* --- analyze ----------------------------------------------------------- *)
+
+let analyze_cmd =
+  let top_arg =
+    let doc = "How many ranking rows to print." in
+    Arg.(value & opt int 50 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let run packages seed top =
+    let env = make_env packages seed in
+    let store = env.Study.Env.store in
+    Printf.printf "%-4s %-22s %-10s %-10s\n" "rank" "system call"
+      "importance" "unweighted";
+    List.iteri
+      (fun i nr ->
+        if i < top then
+          Printf.printf "%-4d %-22s %-10.4f %-10.4f\n" (i + 1)
+            (Core.Apidb.Syscall_table.name_of_nr nr)
+            (Core.Metrics.Importance.importance store
+               (Core.Apidb.Api.Syscall nr))
+            (Core.Metrics.Importance.unweighted store
+               (Core.Apidb.Api.Syscall nr)))
+      env.Study.Env.ranking
+  in
+  let doc = "Print the system call importance ranking." in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(const run $ packages_arg $ seed_arg $ top_arg)
+
+(* --- footprint / seccomp ------------------------------------------------ *)
+
+let elf_arg =
+  let doc = "An ELF file produced by $(b,lapis generate)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"ELF" ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = really_input_string ic n in
+  close_in ic;
+  b
+
+let with_world packages seed f =
+  setup_logs ();
+  let dist = Core.Distro.Generator.generate ~config:(config packages seed) () in
+  let analyze_elf bytes =
+    match Core.Elf.Reader.parse bytes with
+    | Ok img -> Some (Core.Analysis.Binary.analyze img)
+    | Error _ -> None
+  in
+  let runtime_sonames = List.map fst dist.P.runtime in
+  let libs =
+    List.filter_map
+      (fun (soname, bytes) ->
+        Option.map (fun b -> (soname, b)) (analyze_elf bytes))
+      dist.P.runtime
+    @ List.filter_map
+        (fun (soname, _, bytes) ->
+          Option.map (fun b -> (soname, b)) (analyze_elf bytes))
+        dist.P.shared_libs
+  in
+  let ld_so = List.assoc_opt "ld-linux-x86-64.so.2" libs in
+  let world =
+    Core.Analysis.Resolve.make_world ?ld_so
+      ~libc_family:(fun s -> List.mem s runtime_sonames)
+      libs
+  in
+  f world
+
+let footprint_of_file world path =
+  match Core.Elf.Reader.parse (read_file path) with
+  | Error e ->
+    Printf.eprintf "cannot parse %s: %s\n" path
+      (Fmt.str "%a" Core.Elf.Reader.pp_error e);
+    exit 1
+  | Ok img ->
+    let bin = Core.Analysis.Binary.analyze img in
+    Core.Analysis.Resolve.binary_footprint world bin
+
+let footprint_cmd =
+  let run packages seed path =
+    with_world packages seed (fun world ->
+        let fp = footprint_of_file world path in
+        Printf.printf "# footprint of %s\n" path;
+        List.iter
+          (fun nr ->
+            Printf.printf "syscall %-22s (%d)\n"
+              (Core.Apidb.Syscall_table.name_of_nr nr)
+              nr)
+          (Core.Analysis.Footprint.syscalls fp);
+        List.iter
+          (fun (v, code) ->
+            Printf.printf "vop     %s\n" (Core.Apidb.Vectored.name v code))
+          (Core.Analysis.Footprint.vops fp);
+        List.iter
+          (fun p -> Printf.printf "pseudo  %s\n" p)
+          (Core.Analysis.Footprint.pseudo_files fp))
+  in
+  let doc = "Print the resolved API footprint of one ELF binary." in
+  Cmd.v
+    (Cmd.info "footprint" ~doc)
+    Term.(const run $ packages_arg $ seed_arg $ elf_arg)
+
+let seccomp_cmd =
+  let run packages seed path =
+    with_world packages seed (fun world ->
+        let fp = footprint_of_file world path in
+        print_endline
+          (Core.Metrics.Uniqueness.seccomp_policy
+             fp.Core.Analysis.Footprint.apis))
+  in
+  let doc = "Emit a seccomp-bpf allow-list for one ELF binary (Section 6)." in
+  Cmd.v
+    (Cmd.info "seccomp" ~doc)
+    Term.(const run $ packages_arg $ seed_arg $ elf_arg)
+
+(* --- compat ------------------------------------------------------------- *)
+
+let compat_cmd =
+  let syscalls_arg =
+    let doc =
+      "System call names (or numbers) the prototype supports; pass \
+       $(b,top:N) for the N most important."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"SYSCALL" ~doc)
+  in
+  let run packages seed names =
+    let env = make_env packages seed in
+    let nrs =
+      List.concat_map
+        (fun s ->
+          match String.index_opt s ':' with
+          | Some i when String.sub s 0 i = "top" ->
+            let n =
+              int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+            in
+            List.filteri (fun j _ -> j < n) env.Study.Env.ranking
+          | _ ->
+            (match int_of_string_opt s with
+             | Some nr -> [ nr ]
+             | None ->
+               (match Core.Apidb.Syscall_table.nr_of_name s with
+                | Some nr -> [ nr ]
+                | None ->
+                  Printf.eprintf "unknown system call %s\n" s;
+                  exit 2)))
+        names
+    in
+    let c = Core.Metrics.Completeness.of_syscall_set env.Study.Env.store nrs in
+    Printf.printf
+      "supporting %d system calls -> weighted completeness %.2f%%\n"
+      (List.length (List.sort_uniq compare nrs))
+      (100.0 *. c)
+  in
+  let doc =
+    "Weighted completeness of a prototype supporting the given syscalls."
+  in
+  Cmd.v
+    (Cmd.info "compat" ~doc)
+    Term.(const run $ packages_arg $ seed_arg $ syscalls_arg)
+
+let () =
+  let doc =
+    "reproduction of the EuroSys'16 study of Linux API usage and \
+     compatibility"
+  in
+  let info = Cmd.info "lapis" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; report_cmd; analyze_cmd; footprint_cmd;
+            seccomp_cmd; compat_cmd ]))

@@ -1,0 +1,1 @@
+examples/compat_eval.ml: Core List Printf

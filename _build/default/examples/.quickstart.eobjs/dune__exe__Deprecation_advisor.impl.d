@@ -1,0 +1,1 @@
+examples/deprecation_advisor.ml: Core List Printf String

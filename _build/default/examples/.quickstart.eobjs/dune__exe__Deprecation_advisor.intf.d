@@ -1,0 +1,1 @@
+examples/deprecation_advisor.mli:

@@ -1,0 +1,1 @@
+examples/seccomp_profile.ml: Core List Printf

@@ -1,0 +1,1 @@
+examples/seccomp_profile.mli:

@@ -1,0 +1,76 @@
+(* Sections 3.1/5 application: deprecation advice for kernel
+   maintainers.
+
+   The paper argues OS developers lack tools to tell which interfaces
+   can be retired cheaply and which secure replacements are failing to
+   gain adoption. This example walks the measured data and produces a
+   concrete advisory: calls that are safe to retire, calls whose only
+   users are one or two packages (talk to those maintainers), and
+   insecure variants still dominating their secure replacements.
+
+     dune exec examples/deprecation_advisor.exe *)
+
+module Api = Core.Apidb.Api
+module Syscalls = Core.Apidb.Syscall_table
+module Importance = Core.Metrics.Importance
+module Variants = Core.Apidb.Variants
+
+let () =
+  let env =
+    Core.Study.Env.create
+      ~config:{ Core.Distro.Generator.default_config with n_packages = 400 }
+      ()
+  in
+  let store = env.Core.Study.Env.store in
+
+  (* 1. retire for free: no observed users at all *)
+  print_endline "== safe to retire (no observed users) ==";
+  List.iter
+    (fun (r : Core.Study.Table3.row) ->
+      Printf.printf "  %-20s %s\n" r.Core.Study.Table3.syscall
+        r.Core.Study.Table3.reason)
+    (Core.Study.Table3.run env);
+
+  (* 2. retire with outreach: one or two dependent packages *)
+  print_endline "\n== retire after contacting the maintainers of ==";
+  List.iter
+    (fun (r : Core.Study.Table2.row) ->
+      Printf.printf "  %-20s -> %s\n" r.Core.Study.Table2.syscall
+        (String.concat ", " r.Core.Study.Table2.packages))
+    (List.filteri (fun i _ -> i < 10) (Core.Study.Table2.run env));
+
+  (* 3. security campaigns: insecure variants still dominating *)
+  print_endline "\n== secure replacements failing to gain adoption ==";
+  List.iter
+    (fun (f : Variants.family) ->
+      let measured m =
+        Importance.unweighted store (Syscalls.api_of_name m.Variants.syscall)
+      in
+      let insecure =
+        List.filter (fun m -> m.Variants.role = Variants.Insecure)
+          f.Variants.members
+      and secure =
+        List.filter (fun m -> m.Variants.role = Variants.Secure)
+          f.Variants.members
+      in
+      match (insecure, secure) with
+      | i :: _, s :: _ when measured i > 2.0 *. measured s ->
+        Printf.printf "  %-24s %-12s %5.1f%%  vs  %-12s %5.1f%%\n"
+          f.Variants.title i.Variants.syscall
+          (100. *. measured i)
+          s.Variants.syscall
+          (100. *. measured s)
+      | _ -> ())
+    (Variants.with_category Variants.Directory_races
+     @ Variants.with_category Variants.Id_management);
+
+  (* 4. and the good news: replacements that worked *)
+  print_endline "\n== replacements that did take hold ==";
+  List.iter
+    (fun (old_name, new_name) ->
+      let u n = 100. *. Importance.unweighted store (Syscalls.api_of_name n) in
+      if u new_name > u old_name then
+        Printf.printf "  %-12s %5.1f%%  overtaken by  %-12s %5.1f%%\n"
+          old_name (u old_name) new_name (u new_name))
+    [ ("fork", "clone"); ("tkill", "tgkill"); ("utime", "utimes");
+      ("signal", "rt_sigaction") ]

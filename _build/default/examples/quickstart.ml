@@ -1,0 +1,47 @@
+(* Quickstart: build a small synthetic distribution, run the full
+   static-analysis pipeline on its binaries, and ask the two headline
+   questions of the paper — how important is each system call, and how
+   complete would a prototype OS be after implementing the N most
+   important ones?
+
+     dune exec examples/quickstart.exe *)
+
+module Api = Core.Apidb.Api
+module Syscalls = Core.Apidb.Syscall_table
+
+let () =
+  (* 1. A complete study environment: synthesize packages as real ELF
+     binaries, disassemble and analyze every one of them, aggregate
+     footprints, and join with popularity-contest installation data. *)
+  let env =
+    Core.Study.Env.create
+      ~config:{ Core.Distro.Generator.default_config with n_packages = 400 }
+      ()
+  in
+  let store = env.Core.Study.Env.store in
+
+  (* 2. API importance (Section 2.1): the probability that a random
+     installation contains software requiring the call. *)
+  print_endline "Some system calls are more equal than others:";
+  List.iter
+    (fun name ->
+      let api = Api.Syscall (Syscalls.nr_of_name_exn name) in
+      Printf.printf "  %-16s importance %6.2f%%   used by %5.2f%% of packages\n"
+        name
+        (100. *. Core.Metrics.Importance.importance store api)
+        (100. *. Core.Metrics.Importance.unweighted store api))
+    [ "read"; "ioctl"; "getxattr"; "kexec_load"; "mq_notify" ];
+
+  (* 3. Weighted completeness (Section 2.2): what fraction of a typical
+     installation works on a system supporting only N calls? *)
+  print_endline "\nThe road from \"hello world\" to qemu (Figure 3):";
+  List.iter
+    (fun n ->
+      let top = List.filteri (fun i _ -> i < n) env.Core.Study.Env.ranking in
+      Printf.printf "  top %-3d system calls -> %6.2f%% of installs work\n" n
+        (100. *. Core.Metrics.Completeness.of_syscall_set store top))
+    [ 40; 81; 145; 202; 272 ];
+
+  (* 4. Render a full figure exactly as the bench harness does. *)
+  print_string
+    (Core.Study.Fig2.render (Core.Study.Fig2.run env))

@@ -1,0 +1,1 @@
+lib/analysis/binary.ml: Footprint Hashtbl Image Int Int32 Lapis_apidb Lapis_elf Lapis_x86 List Map Scan String

@@ -1,0 +1,1 @@
+lib/analysis/footprint.ml: Api Fmt Lapis_apidb List Set String

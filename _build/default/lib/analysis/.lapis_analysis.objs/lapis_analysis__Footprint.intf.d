@@ -1,0 +1,1 @@
+lib/analysis/footprint.mli: Api Format Lapis_apidb Set

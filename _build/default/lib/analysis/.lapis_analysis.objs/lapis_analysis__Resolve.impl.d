@@ -1,0 +1,1 @@
+lib/analysis/resolve.ml: Api Binary Footprint Hashtbl Lapis_apidb Lapis_elf List Scan

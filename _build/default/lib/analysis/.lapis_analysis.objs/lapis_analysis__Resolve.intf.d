@@ -1,0 +1,1 @@
+lib/analysis/resolve.mli: Binary Footprint Hashtbl

@@ -1,0 +1,1 @@
+lib/analysis/scan.ml: Api Footprint Insn Int32 Int64 Lapis_apidb Lapis_x86 List Map Option Pseudo_files

@@ -1,0 +1,1 @@
+lib/analysis/scan.mli: Footprint Lapis_x86

@@ -1,0 +1,1 @@
+lib/analysis/trace.ml: Api Binary Decode Footprint Hashtbl Insn Int32 Int64 Lapis_apidb Lapis_elf Lapis_x86 Map Option Pseudo_files Resolve Scan

@@ -1,0 +1,1 @@
+lib/analysis/trace.mli: Api Binary Footprint Lapis_apidb Resolve

@@ -1,0 +1,147 @@
+(** Whole-binary analysis: disassembles every function of an ELF
+    image, scans each, and exposes reachability queries used by the
+    cross-library resolver. Also performs the binary-wide string sweep
+    for hard-coded pseudo-file paths (Section 3.4). *)
+
+open Lapis_elf
+
+module String_set = Footprint.String_set
+module Int_map = Map.Make (Int)
+
+type fn_info = {
+  fi_name : string;
+  fi_scan : Scan.result;
+}
+
+type t = {
+  image : Image.t;
+  fns : (string, fn_info) Hashtbl.t;
+  fn_by_addr : string Int_map.t;  (** function start address -> name *)
+  rodata_strings : Footprint.t;  (** binary-wide pseudo-file sweep *)
+}
+
+(* Extract printable NUL-terminated strings from .rodata. *)
+let rodata_sweep (img : Image.t) =
+  let data = img.rodata in
+  let n = String.length data in
+  let fp = ref Footprint.empty in
+  let i = ref 0 in
+  while !i < n do
+    (match String.index_from_opt data !i '\x00' with
+     | Some stop ->
+       let s = String.sub data !i (stop - !i) in
+       if String.length s >= 4 && Lapis_apidb.Pseudo_files.is_pseudo_path s
+       then fp := Footprint.add_pseudo s !fp;
+       i := stop + 1
+     | None -> i := n)
+  done;
+  !fp
+
+let string_at (img : Image.t) addr =
+  match Image.rodata_offset img addr with
+  | None -> None
+  | Some off ->
+    (match String.index_from_opt img.rodata off '\x00' with
+     | Some stop -> Some (String.sub img.rodata off (stop - off))
+     | None -> None)
+
+let analyze (img : Image.t) : t =
+  let fn_by_addr =
+    List.fold_left
+      (fun m s -> Int_map.add s.Image.sym_addr s.Image.sym_name m)
+      Int_map.empty img.symbols
+  in
+  let resolve_code addr =
+    match Int_map.find_opt addr fn_by_addr with
+    | Some _ -> Some (Scan.Local_addr addr)
+    | None ->
+      (* A PLT stub is a jmp through a GOT slot: decode it. *)
+      (match Image.text_offset img addr with
+       | None -> None
+       | Some off ->
+         if off + 6 <= String.length img.text then
+           match Lapis_x86.Decode.decode_at img.text off with
+           | Lapis_x86.Insn.Jmp_mem_rip disp, 6 ->
+             let got = addr + 6 + Int32.to_int disp in
+             (match Image.import_via_got img got with
+              | Some name -> Some (Scan.Import name)
+              | None -> None)
+           | _ -> None
+         else None)
+  in
+  let ctx = { Scan.resolve_code; string_at = string_at img } in
+  let fns = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      match Image.text_offset img s.Image.sym_addr with
+      | None -> ()
+      | Some off ->
+        let stop = min (off + s.Image.sym_size) (String.length img.text) in
+        let insns = ref [] in
+        let pos = ref off in
+        while !pos < stop do
+          let insn, len = Lapis_x86.Decode.decode_at img.text !pos in
+          insns := (img.text_addr + !pos, insn) :: !insns;
+          pos := !pos + len
+        done;
+        let scan = Scan.scan ctx (List.rev !insns) in
+        Hashtbl.replace fns s.Image.sym_name
+          { fi_name = s.Image.sym_name; fi_scan = scan })
+    img.symbols;
+  { image = img; fns; fn_by_addr; rodata_strings = rodata_sweep img }
+
+let fn_name_at t addr = Int_map.find_opt addr t.fn_by_addr
+
+(* Local reachability: the set of functions reachable from [start]
+   through direct calls and taken function pointers, with the union of
+   their direct footprints and outgoing imports. *)
+type closure = {
+  cl_footprint : Footprint.t;  (** direct APIs of reachable functions *)
+  cl_imports : String_set.t;  (** imports called by reachable functions *)
+}
+
+let local_closure ?(follow_fnptrs = true) t ~start : closure =
+  let visited = Hashtbl.create 16 in
+  let fp = ref Footprint.empty in
+  let imports = ref String_set.empty in
+  let rec visit name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.replace visited name ();
+      match Hashtbl.find_opt t.fns name with
+      | None -> ()
+      | Some fi ->
+        fp := Footprint.union !fp fi.fi_scan.Scan.direct;
+        List.iter
+          (fun target ->
+            match target with
+            | Scan.Import imp -> imports := String_set.add imp !imports
+            | Scan.Local_addr a ->
+              (match fn_name_at t a with Some n -> visit n | None -> ()))
+          fi.fi_scan.Scan.calls;
+        if follow_fnptrs then
+          List.iter
+            (fun a ->
+              match fn_name_at t a with Some n -> visit n | None -> ())
+            fi.fi_scan.Scan.lea_code_targets
+    end
+  in
+  visit start;
+  { cl_footprint = !fp; cl_imports = !imports }
+
+(* Entry-point function names of the binary: the e_entry function for
+   executables, every exported global for shared libraries. *)
+let entry_points t =
+  match t.image.Image.kind with
+  | Image.Exec_static | Image.Exec_dynamic ->
+    (match fn_name_at t t.image.Image.entry with
+     | Some n -> [ n ]
+     | None -> [])
+  | Image.Shared_lib ->
+    List.filter_map
+      (fun s -> if s.Image.sym_global then Some s.Image.sym_name else None)
+      t.image.Image.symbols
+
+let exports t =
+  List.filter_map
+    (fun s -> if s.Image.sym_global then Some s.Image.sym_name else None)
+    t.image.Image.symbols

@@ -1,0 +1,63 @@
+(** The API footprint of a binary or package (Section 2): every system
+    API the code could request, plus the raw dynamic-symbol imports
+    (which become libc-API usage once resolved against the libraries
+    that define them), and the count of system call sites whose number
+    could not be resolved statically (Section 2.4 reports 4%). *)
+
+module String_set = Set.Make (String)
+
+open Lapis_apidb
+
+type t = {
+  apis : Api.Set.t;
+      (** syscalls, vectored opcodes and pseudo-files requested *)
+  imports : String_set.t;  (** undefined dynamic symbols used *)
+  unresolved_sites : int;
+}
+
+let empty = { apis = Api.Set.empty; imports = String_set.empty;
+              unresolved_sites = 0 }
+
+let union a b =
+  {
+    apis = Api.Set.union a.apis b.apis;
+    imports = String_set.union a.imports b.imports;
+    unresolved_sites = a.unresolved_sites + b.unresolved_sites;
+  }
+
+let add_api api t = { t with apis = Api.Set.add api t.apis }
+let add_syscall nr t = add_api (Api.Syscall nr) t
+let add_vop v code t = add_api (Api.Vop (v, code)) t
+let add_pseudo path t = add_api (Api.Pseudo_file path) t
+let add_import name t = { t with imports = String_set.add name t.imports }
+let add_unresolved t = { t with unresolved_sites = t.unresolved_sites + 1 }
+
+let syscalls t =
+  Api.Set.fold
+    (fun api acc -> match api with Api.Syscall nr -> nr :: acc | _ -> acc)
+    t.apis []
+  |> List.sort compare
+
+let vops t =
+  Api.Set.fold
+    (fun api acc -> match api with Api.Vop (v, c) -> (v, c) :: acc | _ -> acc)
+    t.apis []
+
+let pseudo_files t =
+  Api.Set.fold
+    (fun api acc ->
+      match api with Api.Pseudo_file p -> p :: acc | _ -> acc)
+    t.apis []
+  |> List.sort compare
+
+let subset a b = Api.Set.subset a.apis b.apis
+
+let cardinal t = Api.Set.cardinal t.apis
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>syscalls: %a@ vops: %d@ pseudo: %a@ imports: %d@]"
+    Fmt.(list ~sep:comma int)
+    (syscalls t) (List.length (vops t))
+    Fmt.(list ~sep:comma string)
+    (pseudo_files t)
+    (String_set.cardinal t.imports)

@@ -1,0 +1,43 @@
+(** The API footprint of a binary or package (Section 2): every system
+    API the code could request. *)
+
+module String_set : Set.S with type elt = string
+
+open Lapis_apidb
+
+type t = {
+  apis : Api.Set.t;
+      (** system calls, vectored opcodes, pseudo-files and (after
+          resolution) libc symbols requested *)
+  imports : String_set.t;
+      (** raw undefined dynamic symbols referenced by the code *)
+  unresolved_sites : int;
+      (** system call sites whose number could not be recovered
+          statically — the paper reports 4% of sites (Section 2.4) *)
+}
+
+val empty : t
+val union : t -> t -> t
+
+val add_api : Api.t -> t -> t
+val add_syscall : int -> t -> t
+val add_vop : Api.vector -> int -> t -> t
+val add_pseudo : string -> t -> t
+val add_import : string -> t -> t
+val add_unresolved : t -> t
+
+val syscalls : t -> int list
+(** The footprint's system call numbers, sorted. *)
+
+val vops : t -> (Api.vector * int) list
+(** The vectored operation codes requested. *)
+
+val pseudo_files : t -> string list
+(** The hard-coded pseudo-file paths, sorted. *)
+
+val subset : t -> t -> bool
+(** [subset a b] — does [a]'s API set fit within [b]'s? *)
+
+val cardinal : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,125 @@
+(** Cross-library footprint resolution (Section 7): for each library
+    function that an executable relies on, identify the code reachable
+    from that entry point in the defining library, recursively through
+    further library calls, and aggregate the results.
+
+    Imports that resolve into the C runtime family additionally count
+    as libc-API usage ({!Lapis_apidb.Api.Libc_sym}) of the importing
+    binary, which feeds the Section 3.5 and 4.2 analyses. *)
+
+open Lapis_apidb
+module String_set = Footprint.String_set
+
+type world = {
+  libs : (string, Binary.t) Hashtbl.t;  (** soname -> analyzed library *)
+  ld_so : Binary.t option;  (** the dynamic linker, if modelled *)
+  libc_family : string -> bool;  (** is this soname part of the C runtime? *)
+  def_lib : string -> string option;  (** symbol -> defining soname *)
+  memo : (string, Footprint.t) Hashtbl.t;
+  in_progress : (string, unit) Hashtbl.t;
+}
+
+let make_world ?ld_so ~libc_family (libs : (string * Binary.t) list) =
+  let tbl = Hashtbl.create 64 in
+  let defs = Hashtbl.create 4096 in
+  List.iter
+    (fun (soname, bin) ->
+      Hashtbl.replace tbl soname bin;
+      List.iter
+        (fun export ->
+          if not (Hashtbl.mem defs export) then
+            Hashtbl.replace defs export soname)
+        (Binary.exports bin))
+    libs;
+  {
+    libs = tbl;
+    ld_so;
+    libc_family;
+    def_lib = Hashtbl.find_opt defs;
+    memo = Hashtbl.create 4096;
+    in_progress = Hashtbl.create 64;
+  }
+
+(* Resolve the imports of a local closure computed in [soname]'s
+   context, producing the transitive footprint. *)
+let rec resolve_closure world ~importer_is_libc (cl : Binary.closure) =
+  let fp = ref cl.Binary.cl_footprint in
+  String_set.iter
+    (fun imp ->
+      match world.def_lib imp with
+      | None -> ()  (* unresolvable import: no defining library known *)
+      | Some soname ->
+        fp := Footprint.union !fp (export_footprint world soname imp);
+        if world.libc_family soname && not importer_is_libc then
+          fp := Footprint.add_api (Api.Libc_sym imp) !fp)
+    cl.Binary.cl_imports;
+  !fp
+
+and export_footprint world soname export : Footprint.t =
+  let key = soname ^ ":" ^ export in
+  match Hashtbl.find_opt world.memo key with
+  | Some fp -> fp
+  | None ->
+    if Hashtbl.mem world.in_progress key then Footprint.empty
+    else begin
+      Hashtbl.replace world.in_progress key ();
+      let fp =
+        match Hashtbl.find_opt world.libs soname with
+        | None -> Footprint.empty
+        | Some bin ->
+          let cl = Binary.local_closure bin ~start:export in
+          resolve_closure world
+            ~importer_is_libc:(world.libc_family soname)
+            cl
+      in
+      Hashtbl.remove world.in_progress key;
+      Hashtbl.replace world.memo key fp;
+      fp
+    end
+
+(* The footprint the dynamic linker contributes to every
+   dynamically-linked program (Table 5). *)
+let ld_so_footprint world =
+  match world.ld_so with
+  | None -> Footprint.empty
+  | Some bin ->
+    List.fold_left
+      (fun acc entry ->
+        Footprint.union acc
+          (resolve_closure world ~importer_is_libc:true
+             (Binary.local_closure bin ~start:entry)))
+      Footprint.empty (Binary.entry_points bin)
+
+(* Full resolved footprint of one analyzed binary. For executables the
+   analysis starts at e_entry; for shared libraries at every export.
+   The binary-wide pseudo-file sweep is included, and dynamically
+   linked executables inherit the dynamic linker's startup work. *)
+let binary_footprint world (bin : Binary.t) : Footprint.t =
+  let libcish =
+    match bin.Binary.image.Lapis_elf.Image.soname with
+    | Some soname -> world.libc_family soname
+    | None -> false
+  in
+  let from_entries =
+    List.fold_left
+      (fun acc entry ->
+        Footprint.union acc
+          (resolve_closure world ~importer_is_libc:libcish
+             (Binary.local_closure bin ~start:entry)))
+      Footprint.empty (Binary.entry_points bin)
+  in
+  let fp = Footprint.union from_entries bin.Binary.rodata_strings in
+  match bin.Binary.image.Lapis_elf.Image.interp with
+  | Some _ -> Footprint.union fp (ld_so_footprint world)
+  | None -> fp
+
+(* Direct (intra-binary) footprint: what this binary's own
+   instructions request, before any library resolution. Used for the
+   Table 1/2 attribution of "who issues this call directly". *)
+let direct_footprint (bin : Binary.t) : Footprint.t =
+  let fp =
+    Hashtbl.fold
+      (fun _ fi acc -> Footprint.union acc fi.Binary.fi_scan.Scan.direct)
+      bin.Binary.fns Footprint.empty
+  in
+  Footprint.union fp bin.Binary.rodata_strings

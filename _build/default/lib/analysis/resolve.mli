@@ -1,0 +1,46 @@
+(** Cross-library footprint resolution (Section 7): for each library
+    function an executable relies on, identify the code reachable from
+    that entry point in the defining library, recursively through
+    further library calls, and aggregate the results. *)
+
+
+type world = {
+  libs : (string, Binary.t) Hashtbl.t;  (** soname -> analyzed library *)
+  ld_so : Binary.t option;  (** the dynamic linker, if modelled *)
+  libc_family : string -> bool;
+      (** is this soname part of the C runtime? imports resolving into
+          it count as libc-API usage of the importer *)
+  def_lib : string -> string option;  (** symbol -> defining soname *)
+  memo : (string, Footprint.t) Hashtbl.t;
+  in_progress : (string, unit) Hashtbl.t;  (** cycle guard *)
+}
+
+val make_world :
+  ?ld_so:Binary.t ->
+  libc_family:(string -> bool) ->
+  (string * Binary.t) list ->
+  world
+
+val export_footprint : world -> string -> string -> Footprint.t
+(** [export_footprint world soname name] is the transitive footprint
+    of calling [name] in [soname]: the direct APIs of every reachable
+    local function, unioned with the resolved footprints of every
+    import those functions make. Memoized; cycles yield the empty
+    footprint at the back-edge. *)
+
+val ld_so_footprint : world -> Footprint.t
+(** The footprint the dynamic linker contributes to every
+    dynamically-linked program (Table 5). *)
+
+val binary_footprint : world -> Binary.t -> Footprint.t
+(** The full resolved footprint of one binary: entry-point closure
+    (e_entry for executables, every export for libraries), the
+    binary-wide pseudo-file sweep, and — for dynamically-linked
+    executables — the dynamic linker's startup work. Imports that
+    resolve into the C runtime are additionally recorded as
+    {!Lapis_apidb.Api.Libc_sym} usage. *)
+
+val direct_footprint : Binary.t -> Footprint.t
+(** What the binary's own instructions request, before any library
+    resolution — the "who issues this call directly" attribution
+    behind Tables 1 and 5. *)

@@ -1,0 +1,134 @@
+(** Intra-procedural scan of a single function (Section 7): tracks
+    constant register values along a linear pass, resolves system call
+    numbers at syscall instructions, operation codes at vectored call
+    sites, calls into the PLT, and lea-materialized function pointers
+    (the paper's over-approximation: a function whose address is taken
+    is assumed callable from the taking function). *)
+
+open Lapis_x86
+open Lapis_apidb
+
+(* What a register is known to hold at a program point. *)
+type value =
+  | Const of int64
+  | Addr of int  (** rip-relative materialized address *)
+  | Top  (** statically unknown *)
+
+type call_target =
+  | Local_addr of int  (** direct call to a code address *)
+  | Import of string  (** call through a PLT stub *)
+
+(* Result of scanning one function. *)
+type result = {
+  direct : Footprint.t;
+      (** APIs requested by this function's own instructions *)
+  calls : call_target list;  (** direct call edges *)
+  lea_code_targets : int list;
+      (** code addresses materialized with lea: potential indirect
+          call targets (over-approximated) *)
+}
+
+module Regs = Map.Make (struct
+  type t = Insn.reg
+  let compare = compare
+end)
+
+let value_of regs r = Option.value ~default:Top (Regs.find_opt r regs)
+
+(* Registers clobbered by a call under the SysV ABI. *)
+let caller_saved =
+  [ Insn.RAX; Insn.RCX; Insn.RDX; Insn.RSI; Insn.RDI; Insn.R8; Insn.R9;
+    Insn.R10; Insn.R11 ]
+
+let clobber regs =
+  List.fold_left (fun m r -> Regs.remove r m) regs caller_saved
+
+(* [resolve_code addr] classifies a call destination (local function
+   start or PLT stub -> import); [string_at addr] fetches a
+   NUL-terminated string if [addr] falls into .rodata. *)
+type context = {
+  resolve_code : int -> call_target option;
+  string_at : int -> string option;
+}
+
+let scan ctx (insns : (int * Insn.t) list) : result =
+  let direct = ref Footprint.empty in
+  let calls = ref [] in
+  let leas = ref [] in
+  let record_syscall regs =
+    match value_of regs Insn.RAX with
+    | Const nr ->
+      let nr = Int64.to_int nr in
+      direct := Footprint.add_syscall nr !direct;
+      (match Api.vector_of_syscall_nr nr with
+       | Some v ->
+         (match value_of regs Insn.RSI with
+          | Const code -> direct := Footprint.add_vop v (Int64.to_int code) !direct
+          | Addr _ | Top -> ())
+       | None -> ())
+    | Addr _ | Top -> direct := Footprint.add_unresolved !direct
+  in
+  let step regs (addr, insn) =
+    match insn with
+    | Insn.Mov_ri (r, v) -> Regs.add r (Const v) regs
+    | Insn.Xor_rr (d, s) when d = s -> Regs.add d (Const 0L) regs
+    | Insn.Xor_rr (d, _) | Insn.Mov_rr (d, _) -> Regs.add d Top regs
+    | Insn.Lea_rip (r, disp) ->
+      (* next-insn address + disp; lea encodes as 7 bytes *)
+      let target = addr + 7 + Int32.to_int disp in
+      (match ctx.string_at target with
+       | Some s ->
+         if Pseudo_files.is_pseudo_path s then
+           direct := Footprint.add_pseudo s !direct
+       | None ->
+         (match ctx.resolve_code target with
+          | Some (Local_addr a) -> leas := a :: !leas
+          | Some (Import _) | None -> ()));
+      Regs.add r (Addr target) regs
+    | Insn.Add_ri (r, _) | Insn.Sub_ri (r, _) -> Regs.add r Top regs
+    | Insn.Call_rel disp ->
+      let target = addr + 5 + Int32.to_int disp in
+      (match ctx.resolve_code target with
+       | Some (Import name) ->
+         calls := Import name :: !calls;
+         (* vectored syscalls and the syscall() helper called through
+            libc: the operation code / number is a call-site scalar *)
+         (match name with
+          | "ioctl" | "fcntl" | "prctl" ->
+            let v =
+              match name with
+              | "ioctl" -> Api.Ioctl
+              | "fcntl" -> Api.Fcntl
+              | _ -> Api.Prctl
+            in
+            (match value_of regs Insn.RSI with
+             | Const code ->
+               direct := Footprint.add_vop v (Int64.to_int code) !direct
+             | Addr _ | Top -> ())
+          | "syscall" ->
+            (match value_of regs Insn.RDI with
+             | Const nr -> direct := Footprint.add_syscall (Int64.to_int nr) !direct
+             | Addr _ | Top -> direct := Footprint.add_unresolved !direct)
+          | _ -> ())
+       | Some (Local_addr a) -> calls := Local_addr a :: !calls
+       | None -> ());
+      clobber regs
+    | Insn.Call_reg r ->
+      (match value_of regs r with
+       | Addr a ->
+         (match ctx.resolve_code a with
+          | Some t -> calls := t :: !calls
+          | None -> ())
+       | Const _ | Top -> ());
+      clobber regs
+    | Insn.Call_mem_rip _ -> clobber regs
+    | Insn.Syscall | Insn.Int80 | Insn.Sysenter ->
+      record_syscall regs;
+      Regs.add Insn.RAX Top regs
+    | Insn.Jmp_rel _ | Insn.Jmp_mem_rip _ | Insn.Ret -> regs
+    | Insn.Push_r _ -> regs
+    | Insn.Pop_r r -> Regs.add r Top regs
+    | Insn.Nop | Insn.Unknown _ -> regs
+  in
+  let _ = List.fold_left step Regs.empty insns in
+  { direct = !direct; calls = List.rev !calls; lea_code_targets = !leas }

@@ -1,0 +1,41 @@
+(** Intra-procedural scan of a single function (Section 7): constant
+    tracking of the registers that carry system call numbers and
+    vectored opcodes along a linear pass, call-edge collection, and
+    the lea-based function-pointer over-approximation. *)
+
+
+type value =
+  | Const of int64  (** register holds a known immediate *)
+  | Addr of int  (** register holds a rip-relative materialized address *)
+  | Top  (** statically unknown *)
+
+type call_target =
+  | Local_addr of int  (** direct call to a code address in this binary *)
+  | Import of string  (** call through a PLT stub *)
+
+type result = {
+  direct : Footprint.t;
+      (** APIs requested by this function's own instructions: resolved
+          syscall numbers, opcodes found in the opcode register at
+          vectored call sites (inline or through libc's
+          ioctl/fcntl/prctl/syscall entry points), and pseudo-file
+          strings materialized with lea *)
+  calls : call_target list;  (** outgoing direct call edges *)
+  lea_code_targets : int list;
+      (** function addresses taken with lea: potential indirect call
+          targets, over-approximated as callable from this function *)
+}
+
+type context = {
+  resolve_code : int -> call_target option;
+      (** classify a code address: local function start, PLT stub
+          (yielding the import name), or neither *)
+  string_at : int -> string option;
+      (** the NUL-terminated string at a .rodata address, if any *)
+}
+
+val scan : context -> (int * Lapis_x86.Insn.t) list -> result
+(** Scan one function given its [(address, instruction)] listing.
+    Calls clobber the SysV caller-saved registers; a syscall whose
+    number register is unknown increments
+    [direct.unresolved_sites]. *)

@@ -1,0 +1,218 @@
+(** Dynamic system call tracing — the strace analogue.
+
+    The paper validates its static analysis by spot-checking that it
+    returns a superset of strace results (Section 2.3). This module
+    plays strace's role for the synthetic corpus: it *executes* a
+    binary by interpreting the decoded instruction stream — concrete
+    register file, call stack, cross-library control transfers through
+    the PLT — and records every system call, vectored opcode and
+    pseudo-file reference the program actually performs.
+
+    Because execution follows one concrete path, the dynamic footprint
+    is a subset of the static one; the test suite asserts exactly
+    that containment, automating the paper's spot check in the other
+    direction. *)
+
+open Lapis_x86
+open Lapis_apidb
+
+type limits = { max_steps : int; max_depth : int }
+
+let default_limits = { max_steps = 200_000; max_depth = 256 }
+
+type outcome =
+  | Finished  (** the program returned from its entry point *)
+  | Step_limit
+  | Depth_limit
+  | Wild_jump of int  (** control left every known binary *)
+
+type result = {
+  footprint : Footprint.t;
+  steps : int;
+  outcome : outcome;
+}
+
+module Regs = Map.Make (struct
+  type t = Insn.reg
+  let compare = compare
+end)
+
+(* Where an address lives: (binary, text offset). Direct transfers
+   (call rel32, jmp rel32, materialized function pointers) are always
+   intra-binary — cross-binary control flow goes through the PLT — so
+   a target is resolved against the current binary only. Binaries of
+   the same kind share load addresses, which makes any other rule
+   ambiguous. *)
+type location = { bin : Binary.t; addr : int }
+
+let run ?(limits = default_limits) (world : Resolve.world) (bin : Binary.t) :
+    result =
+  let fp = ref Footprint.empty in
+  let steps = ref 0 in
+  let regs = ref Regs.empty in
+  let value r = Option.value ~default:Scan.Top (Regs.find_opt r !regs) in
+  let set r v = regs := Regs.add r v !regs in
+  let record_syscall () =
+    match value Insn.RAX with
+    | Scan.Const nr ->
+      let nr = Int64.to_int nr in
+      fp := Footprint.add_syscall nr !fp;
+      (match Api.vector_of_syscall_nr nr with
+       | Some v ->
+         (match value Insn.RSI with
+          | Scan.Const code ->
+            fp := Footprint.add_vop v (Int64.to_int code) !fp
+          | Scan.Addr _ | Scan.Top -> ())
+       | None -> ())
+    | Scan.Addr _ | Scan.Top -> fp := Footprint.add_unresolved !fp
+  in
+  (* resolve a code address: an import's GOT target becomes the
+     defining library's export address *)
+  let resolve_import loc target =
+    (* is [target] a PLT stub? decode it *)
+    let img = loc.bin.Binary.image in
+    match Lapis_elf.Image.text_offset img target with
+    | None -> None
+    | Some off ->
+      (match Decode.decode_at img.Lapis_elf.Image.text off with
+       | Insn.Jmp_mem_rip disp, 6 ->
+         let got = target + 6 + Int32.to_int disp in
+         (match Lapis_elf.Image.import_via_got img got with
+          | Some name ->
+            fp := Footprint.add_import name !fp;
+            (match world.Resolve.def_lib name with
+             | Some soname ->
+               (match Hashtbl.find_opt world.Resolve.libs soname with
+                | Some lib ->
+                  (match Lapis_elf.Image.find_symbol lib.Binary.image name with
+                   | Some sym ->
+                     Some { bin = lib; addr = sym.Lapis_elf.Image.sym_addr }
+                   | None -> None)
+                | None -> None)
+             | None -> None)
+          | None -> None)
+       | _ -> None)
+  in
+  let rec exec loc depth : outcome =
+    if depth > limits.max_depth then Depth_limit
+    else begin
+      let img = loc.bin.Binary.image in
+      match Lapis_elf.Image.text_offset img loc.addr with
+      | None -> Wild_jump loc.addr
+      | Some off ->
+        if !steps >= limits.max_steps then Step_limit
+        else begin
+          incr steps;
+          let insn, len = Decode.decode_at img.Lapis_elf.Image.text off in
+          let next = { loc with addr = loc.addr + len } in
+          match insn with
+          | Insn.Ret -> Finished
+          | Insn.Mov_ri (r, v) ->
+            set r (Scan.Const v);
+            exec next depth
+          | Insn.Xor_rr (d, s) when d = s ->
+            set d (Scan.Const 0L);
+            exec next depth
+          | Insn.Mov_rr (d, _) | Insn.Xor_rr (d, _) ->
+            set d Scan.Top;
+            exec next depth
+          | Insn.Lea_rip (r, disp) ->
+            let target = loc.addr + len + Int32.to_int disp in
+            (match Binary.string_at img target with
+             | Some s ->
+               if Pseudo_files.is_pseudo_path s then
+                 fp := Footprint.add_pseudo s !fp
+             | None -> ());
+            set r (Scan.Addr target);
+            exec next depth
+          | Insn.Add_ri (r, _) | Insn.Sub_ri (r, _) | Insn.Pop_r r ->
+            set r Scan.Top;
+            exec next depth
+          | Insn.Push_r _ | Insn.Nop | Insn.Unknown _ -> exec next depth
+          | Insn.Syscall | Insn.Int80 | Insn.Sysenter ->
+            record_syscall ();
+            set Insn.RAX Scan.Top;
+            exec next depth
+          | Insn.Call_rel disp ->
+            let target = loc.addr + len + Int32.to_int disp in
+            let callee =
+              match resolve_import loc target with
+              | Some callee -> Some callee
+              | None ->
+                if Option.is_some (Lapis_elf.Image.text_offset img target)
+                then Some { loc with addr = target }
+                else None
+            in
+            (match callee with
+             | None -> Wild_jump target
+             | Some callee ->
+               (match exec callee (depth + 1) with
+                | Finished -> exec next depth
+                | stop -> stop))
+          | Insn.Call_reg r ->
+            (match value r with
+             | Scan.Addr target
+               when Option.is_some (Lapis_elf.Image.text_offset img target) ->
+               (match exec { loc with addr = target } (depth + 1) with
+                | Finished -> exec next depth
+                | stop -> stop)
+             | Scan.Addr _ | Scan.Const _ | Scan.Top ->
+               (* indirect call through an unknown pointer: skip, as a
+                  debugger single-stepping over a bad call would *)
+               exec next depth)
+          | Insn.Call_mem_rip _ ->
+            (* not emitted by the generator; treat as a no-op call *)
+            exec next depth
+          | Insn.Jmp_rel disp ->
+            exec { loc with addr = loc.addr + len + Int32.to_int disp } depth
+          | Insn.Jmp_mem_rip disp ->
+            (* a PLT stub entered directly: tail-transfer *)
+            let got = loc.addr + len + Int32.to_int disp in
+            (match Lapis_elf.Image.import_via_got img got with
+             | Some name ->
+               fp := Footprint.add_import name !fp;
+               (match world.Resolve.def_lib name with
+                | Some soname ->
+                  (match Hashtbl.find_opt world.Resolve.libs soname with
+                   | Some lib ->
+                     (match
+                        Lapis_elf.Image.find_symbol lib.Binary.image name
+                      with
+                      | Some sym ->
+                        exec
+                          { bin = lib; addr = sym.Lapis_elf.Image.sym_addr }
+                          depth
+                      | None -> Finished)
+                   | None -> Finished)
+                | None -> Finished)
+             | None -> Wild_jump got)
+        end
+    end
+  in
+  let outcome =
+    match Binary.entry_points bin with
+    | [] -> Finished
+    | entry :: _ ->
+      (match Lapis_elf.Image.find_symbol bin.Binary.image entry with
+       | Some sym ->
+         exec { bin; addr = sym.Lapis_elf.Image.sym_addr } 0
+       | None -> Finished)
+  in
+  { footprint = !fp; steps = !steps; outcome }
+
+(* The containment the paper spot-checks: every system call and
+   hard-coded path observed dynamically must have been predicted
+   statically. Vectored opcodes are excluded from the comparison: a
+   concrete execution can issue e.g. fcntl with whatever value the
+   opcode register happens to hold at that point (strace would report
+   it), which no static analysis can know — the register's content is
+   input- and schedule-dependent. Returns the APIs the static
+   analysis missed (expected: none). *)
+let static_misses world bin =
+  let dynamic = (run world bin).footprint in
+  let static = Resolve.binary_footprint world bin in
+  Api.Set.diff dynamic.Footprint.apis static.Footprint.apis
+  |> Api.Set.filter (fun api ->
+         match api with
+         | Api.Syscall _ | Api.Pseudo_file _ | Api.Libc_sym _ -> true
+         | Api.Vop _ -> false)

@@ -1,0 +1,1 @@
+lib/apidb/api.ml: Fmt Hashtbl Map Set Stdlib

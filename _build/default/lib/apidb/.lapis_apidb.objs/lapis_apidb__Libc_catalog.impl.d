@@ -1,0 +1,1 @@
+lib/apidb/libc_catalog.ml: Api Float Hashtbl List Option String Vectored

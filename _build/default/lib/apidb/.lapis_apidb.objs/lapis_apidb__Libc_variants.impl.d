@@ -1,0 +1,1 @@
+lib/apidb/libc_variants.ml: Hashtbl Libc_catalog List Option String

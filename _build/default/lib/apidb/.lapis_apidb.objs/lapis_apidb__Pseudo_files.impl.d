@@ -1,0 +1,1 @@
+lib/apidb/pseudo_files.ml: Api Hashtbl List String

@@ -1,0 +1,1 @@
+lib/apidb/stages.ml: Hashtbl List Printf Syscall_table

@@ -1,0 +1,1 @@
+lib/apidb/syscall_table.ml: Api Array Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/apidb/systems.ml: List Syscall_table

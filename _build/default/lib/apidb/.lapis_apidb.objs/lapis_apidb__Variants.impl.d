@@ -1,0 +1,1 @@
+lib/apidb/variants.ml: Hashtbl List

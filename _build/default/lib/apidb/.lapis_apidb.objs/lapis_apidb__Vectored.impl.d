@@ -1,0 +1,1 @@
+lib/apidb/vectored.ml: Api Hashtbl List Printf

@@ -1,0 +1,1339 @@
+(** Catalogue of the function symbols exported by the GNU C library
+    family (libc, libpthread, librt, libdl and the dynamic linker), as
+    studied in Sections 3.5 and 4.2. The paper measures 1,274 global
+    function symbols in GNU libc 2.21; this catalogue models that
+    export surface with real symbol names, grouped by subsystem.
+
+    Groups are ordered by expected popularity. Importance tiers are
+    assigned by cumulative rank so that the tier population matches
+    Figure 7: 42.8% of exports at ~100% importance, 50.6% below 50%,
+    and 39.7% below 1% (including a fully unused tail).
+
+    Each export also records which system calls and vectored opcodes
+    its implementation can issue; the synthetic libc binaries are
+    assembled from exactly this information, so the static analyzer
+    discovers these footprints from machine code, not from this
+    table. *)
+
+type lib = Libc | Libpthread | Librt | Libdl | Ld_so
+
+let lib_soname = function
+  | Libc -> "libc.so.6"
+  | Libpthread -> "libpthread.so.0"
+  | Librt -> "librt.so.1"
+  | Libdl -> "libdl.so.2"
+  | Ld_so -> "ld-linux-x86-64.so.2"
+
+type tier =
+  | Ubiquitous  (** ~100% API importance *)
+  | High  (** 50-99% *)
+  | Medium  (** 1-50% *)
+  | Rare  (** below 1%, but used *)
+  | Unused  (** exported yet referenced by no package *)
+
+type entry = {
+  name : string;
+  lib : lib;
+  tier : tier;
+  syscalls : string list;  (** syscall names the implementation issues *)
+  vops : (Api.vector * int) list;  (** vectored opcodes it requests *)
+  size : int;  (** modelled code size in bytes, for Section 3.5 *)
+  chk_of : string option;  (** fortified variant of this base symbol *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Symbol groups, ordered by expected popularity (most popular first) *)
+(* ------------------------------------------------------------------ *)
+
+let runtime_startup =
+  [ "__libc_start_main"; "__cxa_atexit"; "__cxa_finalize"; "abort";
+    "exit"; "_exit"; "atexit"; "on_exit"; "__errno_location";
+    "__stack_chk_fail"; "__assert_fail"; "__assert_perror_fail";
+    "__fortify_fail"; "__chk_fail"; "__libc_current_sigrtmin";
+    "__libc_current_sigrtmax"; "__sched_cpucount"; "__sched_cpualloc";
+    "__sched_cpufree"; "__cxa_thread_atexit_impl" ]
+
+let memory =
+  [ "malloc"; "calloc"; "realloc"; "free"; "cfree"; "memalign";
+    "posix_memalign"; "aligned_alloc"; "valloc"; "pvalloc"; "mallopt";
+    "mallinfo"; "malloc_stats"; "malloc_trim"; "malloc_usable_size";
+    "malloc_info"; "brk"; "sbrk" ]
+
+let string_fns =
+  [ "memcpy"; "memmove"; "memset"; "memcmp"; "memchr"; "memrchr";
+    "rawmemchr"; "mempcpy"; "strcpy"; "strncpy"; "strcat"; "strncat";
+    "strcmp"; "strncmp"; "strcasecmp"; "strncasecmp"; "strchr";
+    "strrchr"; "strchrnul"; "strstr"; "strcasestr"; "strlen";
+    "strnlen"; "strdup"; "strndup"; "strtok"; "strtok_r"; "strsep";
+    "strspn"; "strcspn"; "strpbrk"; "strcoll"; "strxfrm"; "strerror";
+    "strerror_r"; "strerror_l"; "strsignal"; "stpcpy"; "stpncpy";
+    "strfry"; "memfrob"; "basename"; "dirname"; "index"; "rindex";
+    "bcopy"; "bzero"; "bcmp"; "ffs"; "ffsl"; "ffsll"; "strverscmp";
+    "strcoll_l"; "strxfrm_l"; "strcasecmp_l"; "strncasecmp_l" ]
+
+let ctype =
+  [ "isalpha"; "isdigit"; "isalnum"; "isspace"; "isupper"; "islower";
+    "ispunct"; "isprint"; "isgraph"; "iscntrl"; "isxdigit"; "isblank";
+    "isascii"; "toascii"; "toupper"; "tolower"; "__ctype_b_loc";
+    "__ctype_tolower_loc"; "__ctype_toupper_loc"; "isalpha_l";
+    "isdigit_l"; "isalnum_l"; "isspace_l"; "isupper_l"; "islower_l";
+    "ispunct_l"; "isprint_l"; "isxdigit_l"; "toupper_l"; "tolower_l" ]
+
+let stdio_core =
+  [ "printf"; "fprintf"; "sprintf"; "snprintf"; "vprintf"; "vfprintf";
+    "vsprintf"; "vsnprintf"; "asprintf"; "vasprintf"; "dprintf";
+    "vdprintf"; "scanf"; "fscanf"; "sscanf"; "vscanf"; "vfscanf";
+    "vsscanf"; "fopen"; "fdopen"; "freopen"; "fclose"; "fflush";
+    "fread"; "fwrite"; "fgetc"; "fgets"; "fputc"; "fputs"; "getc";
+    "putc"; "getchar"; "putchar"; "gets"; "puts"; "ungetc"; "fseek";
+    "ftell"; "rewind"; "fseeko"; "ftello"; "fgetpos"; "fsetpos";
+    "clearerr"; "feof"; "ferror"; "fileno"; "setbuf"; "setvbuf";
+    "setbuffer"; "setlinebuf"; "perror"; "getline"; "getdelim";
+    "popen"; "pclose"; "tmpfile"; "tmpnam"; "tempnam"; "ctermid";
+    "remove"; "fopen64"; "freopen64"; "tmpfile64" ]
+
+let conversion_core =
+  [ "atoi"; "atol"; "atoll"; "atof"; "strtol"; "strtoul"; "strtoll";
+    "strtoull"; "strtod"; "strtof"; "strtold"; "strtoimax";
+    "strtoumax"; "strtoq"; "strtouq"; "abs"; "labs"; "llabs"; "div";
+    "ldiv"; "lldiv"; "imaxabs"; "imaxdiv" ]
+
+let fd_io_core =
+  [ "open"; "open64"; "openat"; "openat64"; "creat"; "creat64";
+    "close"; "read"; "write"; "pread"; "pwrite"; "pread64";
+    "pwrite64"; "readv"; "writev"; "preadv"; "pwritev"; "lseek";
+    "lseek64"; "dup"; "dup2";
+    "dup3"; "pipe"; "pipe2"; "fcntl"; "ioctl"; "fsync"; "fdatasync";
+    "ftruncate"; "ftruncate64"; "truncate"; "truncate64"; "select";
+    "pselect"; "poll"; "ppoll"; "flock"; "lockf"; "lockf64";
+    "isatty"; "sync"; "syncfs" ]
+
+let fs_core =
+  [ "stat"; "fstat"; "lstat"; "stat64"; "fstat64"; "lstat64";
+    "__xstat"; "__fxstat"; "__lxstat"; "__xstat64"; "__fxstat64";
+    "__lxstat64"; "__fxstatat"; "__fxstatat64"; "access"; "faccessat";
+    "euidaccess"; "eaccess"; "chmod"; "fchmod"; "fchmodat"; "chown";
+    "fchown"; "lchown"; "fchownat"; "umask"; "mkdir"; "mkdirat";
+    "rmdir"; "rename"; "renameat"; "link"; "linkat"; "symlink";
+    "symlinkat"; "unlink"; "unlinkat"; "readlink"; "readlinkat";
+    "mknod"; "mknodat"; "mkfifo"; "mkfifoat"; "chdir"; "fchdir";
+    "getcwd"; "get_current_dir_name"; "getwd"; "chroot"; "realpath";
+    "canonicalize_file_name"; "pathconf"; "fpathconf"; "statfs";
+    "fstatfs"; "statfs64"; "fstatfs64"; "statvfs"; "fstatvfs";
+    "utime"; "utimes"; "futimes"; "lutimes"; "futimens"; "utimensat";
+    "mkstemp"; "mkstemp64"; "mkstemps"; "mkostemp"; "mkdtemp";
+    "mktemp" ]
+
+let process_core =
+  [ "fork"; "vfork"; "execve"; "execv"; "execvp"; "execvpe"; "execl";
+    "execlp"; "execle"; "fexecve"; "wait"; "waitpid"; "wait3";
+    "wait4"; "waitid"; "system"; "getpid"; "getppid"; "getpgid";
+    "setpgid"; "getpgrp"; "setpgrp"; "setsid"; "getsid"; "nice";
+    "getpriority"; "setpriority"; "sched_yield"; "getuid"; "geteuid";
+    "getgid"; "getegid"; "setuid"; "seteuid"; "setgid"; "setegid";
+    "setreuid"; "setregid"; "setresuid"; "setresgid"; "getresuid";
+    "getresgid"; "getgroups"; "setgroups"; "initgroups";
+    "group_member"; "getlogin"; "getlogin_r"; "getrlimit";
+    "setrlimit"; "getrlimit64"; "setrlimit64"; "prlimit";
+    "prlimit64"; "getrusage"; "times"; "daemon"; "raise"; "kill";
+    "killpg"; "pause"; "alarm"; "ualarm"; "sleep"; "usleep";
+    "nanosleep"; "ptrace"; "personality"; "acct"; "prctl"; "syscall" ]
+
+let signal_core =
+  [ "signal"; "sigaction"; "sigprocmask"; "sigpending"; "sigsuspend";
+    "sigwait"; "sigwaitinfo"; "sigtimedwait"; "sigqueue";
+    "sigemptyset"; "sigfillset"; "sigaddset"; "sigdelset";
+    "sigismember"; "sigisemptyset"; "sigorset"; "sigandset";
+    "sigaltstack"; "siginterrupt"; "sigblock"; "sigsetmask";
+    "siggetmask"; "sighold"; "sigrelse"; "sigignore"; "sigset";
+    "psignal"; "psiginfo"; "bsd_signal"; "sysv_signal"; "ssignal";
+    "gsignal"; "sigreturn"; "sigstack"; "sigvec" ]
+
+let env_misc_core =
+  [ "getenv"; "setenv"; "unsetenv"; "putenv"; "clearenv";
+    "secure_getenv"; "confstr"; "sysconf"; "getpagesize";
+    "getdtablesize"; "gethostname"; "getdomainname"; "uname";
+    "gnu_get_libc_version"; "gnu_get_libc_release"; "getopt";
+    "getopt_long"; "getopt_long_only"; "error"; "error_at_line";
+    "err"; "errx"; "warn"; "warnx"; "verr"; "verrx"; "vwarn";
+    "vwarnx"; "bsearch"; "qsort"; "qsort_r"; "rand"; "srand";
+    "rand_r"; "random"; "srandom"; "initstate"; "setstate";
+    "getauxval"; "getsubopt"; "rpmatch"; "setjmp"; "_setjmp";
+    "__sigsetjmp"; "longjmp"; "_longjmp"; "siglongjmp";
+    "getcontext"; "setcontext"; "makecontext"; "swapcontext" ]
+
+let fortify_chk =
+  [ "__printf_chk"; "__fprintf_chk"; "__sprintf_chk"; "__snprintf_chk";
+    "__vprintf_chk"; "__vfprintf_chk"; "__vsprintf_chk";
+    "__vsnprintf_chk"; "__asprintf_chk"; "__vasprintf_chk";
+    "__dprintf_chk"; "__vdprintf_chk"; "__memcpy_chk";
+    "__memmove_chk"; "__memset_chk"; "__mempcpy_chk"; "__strcpy_chk";
+    "__strncpy_chk"; "__strcat_chk"; "__strncat_chk"; "__stpcpy_chk";
+    "__stpncpy_chk"; "__gets_chk"; "__fgets_chk";
+    "__fgets_unlocked_chk"; "__read_chk"; "__pread_chk";
+    "__pread64_chk"; "__recv_chk"; "__recvfrom_chk"; "__readlink_chk";
+    "__readlinkat_chk"; "__getcwd_chk"; "__getwd_chk";
+    "__realpath_chk"; "__confstr_chk"; "__getdomainname_chk";
+    "__gethostname_chk"; "__getlogin_r_chk"; "__ttyname_r_chk";
+    "__ptsname_r_chk"; "__syslog_chk"; "__vsyslog_chk";
+    "__longjmp_chk"; "__fread_chk"; "__fread_unlocked_chk";
+    "__poll_chk"; "__ppoll_chk"; "__wcscpy_chk";
+    "__wcsncpy_chk"; "__wcscat_chk"; "__wcsncat_chk"; "__wmemcpy_chk";
+    "__wmemmove_chk"; "__wmemset_chk"; "__wmempcpy_chk";
+    "__wcpcpy_chk"; "__wcpncpy_chk"; "__swprintf_chk";
+    "__vswprintf_chk"; "__wprintf_chk"; "__fwprintf_chk";
+    "__vwprintf_chk"; "__vfwprintf_chk"; "__mbstowcs_chk";
+    "__wcstombs_chk"; "__mbsrtowcs_chk"; "__wcsrtombs_chk";
+    "__mbsnrtowcs_chk"; "__wcsnrtombs_chk" ]
+
+(* C99-conformance wrappers the GNU headers substitute for the scanf
+   family at compile time. Like the _chk symbols these appear in many
+   binaries' import lists, but unlike them they have no base-symbol
+   normalization, which is what keeps uClibc/musl below 50% weighted
+   completeness even after normalization (Table 7). *)
+let isoc99 =
+  [ "__isoc99_scanf"; "__isoc99_fscanf"; "__isoc99_sscanf";
+    "__isoc99_vscanf"; "__isoc99_vfscanf"; "__isoc99_vsscanf";
+    "__isoc99_wscanf"; "__isoc99_fwscanf"; "__isoc99_swscanf" ]
+
+let time_core =
+  [ "time"; "stime"; "gettimeofday"; "settimeofday"; "adjtime";
+    "adjtimex"; "clock_gettime"; "clock_settime"; "clock_getres";
+    "clock_nanosleep"; "clock_getcpuclockid"; "clock"; "localtime";
+    "gmtime"; "localtime_r"; "gmtime_r"; "mktime"; "timegm";
+    "timelocal"; "asctime"; "asctime_r"; "ctime"; "ctime_r";
+    "strftime"; "strftime_l"; "strptime"; "difftime"; "tzset";
+    "ftime"; "getitimer"; "setitimer"; "dysize" ]
+
+let locale_core =
+  [ "setlocale"; "localeconv"; "newlocale"; "duplocale"; "freelocale";
+    "uselocale"; "nl_langinfo"; "nl_langinfo_l"; "iconv";
+    "iconv_open"; "iconv_close"; "gettext"; "dgettext"; "dcgettext";
+    "ngettext"; "dngettext"; "dcngettext"; "textdomain";
+    "bindtextdomain"; "bind_textdomain_codeset"; "catopen";
+    "catgets"; "catclose" ]
+
+let pthread_core =
+  [ "pthread_create"; "pthread_join"; "pthread_detach"; "pthread_exit";
+    "pthread_self"; "pthread_equal"; "pthread_cancel";
+    "pthread_testcancel"; "pthread_setcancelstate";
+    "pthread_setcanceltype"; "pthread_kill"; "pthread_sigmask";
+    "pthread_once"; "pthread_atfork"; "pthread_key_create";
+    "pthread_key_delete"; "pthread_getspecific";
+    "pthread_setspecific"; "pthread_mutex_init";
+    "pthread_mutex_destroy"; "pthread_mutex_lock";
+    "pthread_mutex_trylock"; "pthread_mutex_timedlock";
+    "pthread_mutex_unlock"; "pthread_mutexattr_init";
+    "pthread_mutexattr_destroy"; "pthread_mutexattr_settype";
+    "pthread_mutexattr_gettype"; "pthread_mutexattr_setpshared";
+    "pthread_cond_init"; "pthread_cond_destroy"; "pthread_cond_wait";
+    "pthread_cond_timedwait"; "pthread_cond_signal";
+    "pthread_cond_broadcast"; "pthread_condattr_init";
+    "pthread_condattr_destroy"; "pthread_condattr_setclock";
+    "pthread_attr_init"; "pthread_attr_destroy";
+    "pthread_attr_setdetachstate"; "pthread_attr_getdetachstate";
+    "pthread_attr_setstacksize"; "pthread_attr_getstacksize";
+    "pthread_attr_setschedparam"; "pthread_attr_getschedparam";
+    "pthread_attr_setschedpolicy"; "pthread_attr_getschedpolicy";
+    "pthread_attr_setinheritsched"; "pthread_attr_setscope";
+    "pthread_setschedparam"; "pthread_getschedparam";
+    "pthread_setname_np"; "pthread_getname_np";
+    "pthread_setaffinity_np"; "pthread_getaffinity_np";
+    "pthread_getattr_np"; "pthread_yield"; "sem_init"; "sem_destroy";
+    "sem_open"; "sem_close"; "sem_unlink"; "sem_wait"; "sem_trywait";
+    "sem_timedwait"; "sem_post"; "sem_getvalue" ]
+
+let sockets_core =
+  [ "socket"; "socketpair"; "bind"; "listen"; "accept"; "accept4";
+    "connect"; "shutdown"; "send"; "recv"; "sendto"; "recvfrom";
+    "sendmsg"; "recvmsg"; "sendmmsg"; "recvmmsg"; "getsockname";
+    "getpeername"; "getsockopt"; "setsockopt"; "sockatmark";
+    "isfdtype"; "htons"; "htonl"; "ntohs"; "ntohl"; "inet_addr";
+    "inet_aton"; "inet_ntoa"; "inet_network"; "inet_makeaddr";
+    "inet_lnaof"; "inet_netof"; "inet_ntop"; "inet_pton" ]
+
+let termios =
+  [ "tcgetattr"; "tcsetattr"; "tcsendbreak"; "tcdrain"; "tcflush";
+    "tcflow"; "tcgetpgrp"; "tcsetpgrp"; "tcgetsid"; "cfgetispeed";
+    "cfgetospeed"; "cfsetispeed"; "cfsetospeed"; "cfsetspeed";
+    "cfmakeraw"; "openpty"; "forkpty"; "posix_openpt"; "grantpt";
+    "unlockpt"; "ptsname"; "ptsname_r"; "getpt"; "ttyname";
+    "ttyname_r"; "ttyslot" ]
+
+let dirent_glob =
+  [ "opendir"; "fdopendir"; "closedir"; "readdir"; "readdir64";
+    "readdir_r"; "readdir64_r"; "rewinddir"; "seekdir"; "telldir";
+    "dirfd"; "scandir"; "scandir64"; "scandirat"; "alphasort";
+    "alphasort64"; "versionsort"; "versionsort64"; "glob"; "glob64";
+    "globfree"; "globfree64"; "fnmatch"; "wordexp"; "wordfree";
+    "ftw"; "ftw64"; "nftw"; "nftw64"; "fts_open"; "fts_read";
+    "fts_children"; "fts_set"; "fts_close" ]
+
+let mmap_ipc =
+  [ "mmap"; "mmap64"; "munmap"; "mremap"; "mprotect"; "msync";
+    "madvise"; "posix_madvise"; "mincore"; "mlock"; "munlock";
+    "mlockall"; "munlockall"; "remap_file_pages"; "shmat"; "shmdt";
+    "shmget"; "shmctl"; "semget"; "semop"; "semctl"; "semtimedop";
+    "msgget"; "msgsnd"; "msgrcv"; "msgctl"; "ftok" ]
+
+let net_db =
+  [ "getaddrinfo"; "freeaddrinfo"; "getnameinfo"; "gai_strerror";
+    "gethostbyname"; "gethostbyname2"; "gethostbyaddr";
+    "gethostbyname_r"; "gethostbyname2_r"; "gethostbyaddr_r";
+    "gethostent"; "sethostent"; "endhostent"; "getservbyname";
+    "getservbyport"; "getservent"; "setservent"; "endservent";
+    "getservbyname_r"; "getservbyport_r"; "getprotobyname";
+    "getprotobynumber"; "getprotoent"; "setprotoent"; "endprotoent";
+    "getnetbyname"; "getnetbyaddr"; "getnetent"; "setnetent";
+    "endnetent"; "if_nametoindex"; "if_indextoname"; "if_nameindex";
+    "if_freenameindex"; "getifaddrs"; "freeifaddrs"; "herror";
+    "hstrerror"; "res_init"; "res_query"; "res_search";
+    "res_mkquery"; "dn_comp"; "dn_expand"; "ether_ntoa";
+    "ether_aton"; "ether_ntohost"; "ether_hostton"; "bindresvport";
+    "rcmd"; "rexec"; "rresvport"; "ruserok" ]
+
+let stdio_ext =
+  [ "fread_unlocked"; "fwrite_unlocked"; "fgetc_unlocked";
+    "fputc_unlocked"; "fgets_unlocked"; "fputs_unlocked";
+    "getc_unlocked"; "putc_unlocked"; "getchar_unlocked";
+    "putchar_unlocked"; "clearerr_unlocked"; "feof_unlocked";
+    "ferror_unlocked"; "fileno_unlocked"; "fflush_unlocked";
+    "flockfile"; "ftrylockfile"; "funlockfile"; "fmemopen";
+    "open_memstream"; "fopencookie"; "fcloseall"; "tmpnam_r";
+    "cuserid"; "obstack_printf"; "obstack_vprintf"; "__fpurge";
+    "__freadable"; "__fwritable"; "__flbf"; "__fbufsize";
+    "__fpending"; "_IO_getc"; "_IO_putc"; "_IO_feof"; "_IO_ferror";
+    "_IO_puts" ]
+
+let users_groups =
+  [ "getpwnam"; "getpwuid"; "getpwnam_r"; "getpwuid_r"; "getpwent";
+    "setpwent"; "endpwent"; "fgetpwent"; "putpwent"; "getgrnam";
+    "getgrgid"; "getgrnam_r"; "getgrgid_r"; "getgrent"; "setgrent";
+    "endgrent"; "fgetgrent"; "putgrent"; "getgrouplist"; "getspnam";
+    "getspnam_r"; "getspent"; "setspent"; "endspent"; "sgetspent";
+    "fgetspent"; "putspent"; "lckpwdf"; "ulckpwdf"; "crypt";
+    "crypt_r"; "encrypt"; "setkey" ]
+
+let syslog_mount_admin =
+  [ "syslog"; "vsyslog"; "openlog"; "closelog"; "setlogmask";
+    "iopl"; "ioperm";
+    "mount"; "umount"; "umount2"; "swapon"; "swapoff"; "reboot";
+    "sethostname"; "setdomainname"; "vhangup"; "klogctl";
+    "quotactl"; "sysinfo"; "get_nprocs"; "get_nprocs_conf";
+    "get_phys_pages"; "get_avphys_pages"; "getloadavg"; "gethostid";
+    "sethostid"; "getmntent"; "getmntent_r"; "setmntent";
+    "endmntent"; "addmntent"; "hasmntopt"; "getfsent"; "getfsspec";
+    "getfsfile"; "setfsent"; "endfsent"; "sched_setscheduler";
+    "sched_getscheduler"; "sched_setparam"; "sched_getparam";
+    "sched_get_priority_max"; "sched_get_priority_min";
+    "sched_rr_get_interval"; "sched_setaffinity"; "sched_getaffinity";
+    "setfsuid"; "setfsgid"; "capget"; "capset" ]
+
+let regex_search =
+  [ "regcomp"; "regexec"; "regerror"; "regfree"; "re_comp"; "re_exec";
+    "lsearch"; "lfind"; "hsearch"; "hcreate"; "hdestroy";
+    "hsearch_r"; "hcreate_r"; "hdestroy_r"; "tsearch"; "tfind";
+    "tdelete"; "twalk"; "tdestroy"; "insque"; "remque" ]
+
+let rand48 =
+  [ "drand48"; "erand48"; "lrand48"; "nrand48"; "mrand48"; "jrand48";
+    "srand48"; "seed48"; "lcong48"; "drand48_r"; "erand48_r";
+    "lrand48_r"; "nrand48_r"; "mrand48_r"; "jrand48_r"; "srand48_r";
+    "seed48_r"; "lcong48_r"; "random_r"; "srandom_r"; "initstate_r";
+    "setstate_r" ]
+
+let wide_core =
+  [ "wcscpy"; "wcsncpy"; "wcscat"; "wcsncat"; "wcscmp"; "wcsncmp";
+    "wcscasecmp"; "wcsncasecmp"; "wcschr"; "wcsrchr"; "wcsstr";
+    "wcslen"; "wcsnlen"; "wcsdup"; "wcstok"; "wcsspn"; "wcscspn";
+    "wcspbrk"; "wcscoll"; "wcsxfrm"; "wmemcpy"; "wmemmove";
+    "wmemset"; "wmemcmp"; "wmemchr"; "wmempcpy"; "wcpcpy"; "wcpncpy";
+    "btowc"; "wctob"; "mbtowc"; "wctomb"; "mbstowcs"; "wcstombs";
+    "mbrtowc"; "wcrtomb"; "mbsrtowcs"; "wcsrtombs"; "mbsnrtowcs";
+    "wcsnrtombs"; "mbrlen"; "mbsinit"; "mblen"; "wcwidth";
+    "wcswidth"; "iswalpha"; "iswdigit"; "iswalnum"; "iswspace";
+    "iswupper"; "iswlower"; "iswpunct"; "iswprint"; "iswgraph";
+    "iswcntrl"; "iswxdigit"; "iswblank"; "towupper"; "towlower";
+    "towctrans"; "wctrans"; "wctype"; "iswctype" ]
+
+let wide_io =
+  [ "fgetwc"; "fputwc"; "getwc"; "putwc"; "getwchar"; "putwchar";
+    "fgetws"; "fputws"; "ungetwc"; "fwide"; "wprintf"; "fwprintf";
+    "swprintf"; "vwprintf"; "vfwprintf"; "vswprintf"; "wscanf";
+    "fwscanf"; "swscanf"; "vwscanf"; "vfwscanf"; "vswscanf";
+    "wcstol"; "wcstoul"; "wcstoll"; "wcstoull"; "wcstod"; "wcstof";
+    "wcstold"; "wcstoimax"; "wcstoumax"; "wcsftime"; "getwdelim";
+    "getwline" ]
+
+let librt_fns =
+  [ "aio_read"; "aio_write"; "aio_read64"; "aio_write64"; "aio_error";
+    "aio_return"; "aio_cancel"; "aio_suspend"; "aio_fsync";
+    "lio_listio"; "lio_listio64"; "mq_open"; "mq_close"; "mq_unlink";
+    "mq_send"; "mq_receive"; "mq_timedsend"; "mq_timedreceive";
+    "mq_notify"; "mq_getattr"; "mq_setattr"; "shm_open";
+    "shm_unlink"; "timer_create"; "timer_delete"; "timer_settime";
+    "timer_gettime"; "timer_getoverrun" ]
+
+let pthread_ext =
+  [ "pthread_rwlock_init"; "pthread_rwlock_destroy";
+    "pthread_rwlock_rdlock"; "pthread_rwlock_tryrdlock";
+    "pthread_rwlock_timedrdlock"; "pthread_rwlock_wrlock";
+    "pthread_rwlock_trywrlock"; "pthread_rwlock_timedwrlock";
+    "pthread_rwlock_unlock"; "pthread_rwlockattr_init";
+    "pthread_rwlockattr_destroy"; "pthread_rwlockattr_setpshared";
+    "pthread_spin_init"; "pthread_spin_destroy"; "pthread_spin_lock";
+    "pthread_spin_trylock"; "pthread_spin_unlock";
+    "pthread_barrier_init"; "pthread_barrier_destroy";
+    "pthread_barrier_wait"; "pthread_barrierattr_init";
+    "pthread_barrierattr_destroy"; "pthread_barrierattr_setpshared";
+    "pthread_mutexattr_setrobust"; "pthread_mutexattr_getrobust";
+    "pthread_mutexattr_setprotocol"; "pthread_mutexattr_getprotocol";
+    "pthread_mutex_consistent"; "pthread_condattr_setpshared";
+    "pthread_condattr_getpshared"; "pthread_getcpuclockid";
+    "pthread_tryjoin_np"; "pthread_timedjoin_np";
+    "pthread_setschedprio"; "pthread_attr_setguardsize";
+    "pthread_attr_getguardsize"; "pthread_attr_setstack";
+    "pthread_attr_getstack"; "pthread_attr_setaffinity_np";
+    "pthread_attr_getaffinity_np" ]
+
+let dl_fns =
+  [ "dlopen"; "dlclose"; "dlsym"; "dlvsym"; "dladdr"; "dladdr1";
+    "dlerror"; "dlinfo"; "dlmopen"; "dl_iterate_phdr";
+    "_dl_allocate_tls"; "_dl_deallocate_tls"; "_dl_find_dso_for_object";
+    "__tls_get_addr"; "_dl_sym"; "_dl_mcount" ]
+
+let xattr_keys =
+  [ "setxattr"; "lsetxattr"; "fsetxattr"; "getxattr"; "lgetxattr";
+    "fgetxattr"; "listxattr"; "llistxattr"; "flistxattr";
+    "removexattr"; "lremovexattr"; "fremovexattr"; "epoll_create";
+    "epoll_create1"; "epoll_ctl"; "epoll_wait"; "epoll_pwait";
+    "eventfd"; "eventfd_read"; "eventfd_write"; "signalfd";
+    "timerfd_create"; "timerfd_settime"; "timerfd_gettime";
+    "inotify_init"; "inotify_init1"; "inotify_add_watch";
+    "inotify_rm_watch"; "fanotify_init"; "fanotify_mark"; "sendfile";
+    "sendfile64"; "splice"; "tee"; "vmsplice"; "readahead";
+    "posix_fadvise"; "posix_fadvise64"; "posix_fallocate";
+    "posix_fallocate64"; "fallocate"; "fallocate64"; "unshare";
+    "setns"; "name_to_handle_at"; "open_by_handle_at";
+    "process_vm_readv"; "process_vm_writev"; "getcpu"; "mbind";
+    "set_mempolicy"; "get_mempolicy"; "migrate_pages"; "move_pages" ]
+
+let posix_spawn_fns =
+  [ "posix_spawn"; "posix_spawnp"; "posix_spawn_file_actions_init";
+    "posix_spawn_file_actions_destroy";
+    "posix_spawn_file_actions_addclose";
+    "posix_spawn_file_actions_addopen";
+    "posix_spawn_file_actions_adddup2"; "posix_spawnattr_init";
+    "posix_spawnattr_destroy"; "posix_spawnattr_setflags";
+    "posix_spawnattr_getflags"; "posix_spawnattr_setpgroup";
+    "posix_spawnattr_getpgroup"; "posix_spawnattr_setsigmask";
+    "posix_spawnattr_getsigmask"; "posix_spawnattr_setsigdefault";
+    "posix_spawnattr_getsigdefault"; "posix_spawnattr_setschedparam";
+    "posix_spawnattr_getschedparam"; "posix_spawnattr_setschedpolicy";
+    "posix_spawnattr_getschedpolicy" ]
+
+let conversion_ext =
+  [ "ecvt"; "fcvt"; "gcvt"; "ecvt_r"; "fcvt_r"; "qecvt"; "qfcvt";
+    "qgcvt"; "qecvt_r"; "qfcvt_r"; "a64l"; "l64a"; "mtrace";
+    "muntrace"; "mcheck"; "mcheck_check_all"; "mprobe"; "backtrace";
+    "backtrace_symbols"; "backtrace_symbols_fd" ]
+
+let utmp_fns =
+  [ "getutent"; "getutid"; "getutline"; "pututline"; "setutent";
+    "endutent"; "utmpname"; "updwtmp"; "logwtmp"; "login"; "logout";
+    "login_tty"; "getutxent"; "getutxid"; "getutxline"; "pututxline";
+    "setutxent"; "endutxent"; "utmpxname"; "getutent_r";
+    "getutid_r"; "getutline_r"; "getttyent"; "getttynam";
+    "setttyent"; "endttyent" ]
+
+let argz_obstack_argp =
+  [ "argp_parse"; "argp_usage"; "argp_error"; "argp_failure";
+    "argp_help"; "argp_state_help"; "argz_add"; "argz_add_sep";
+    "argz_append"; "argz_count"; "argz_create"; "argz_create_sep";
+    "argz_delete"; "argz_extract"; "argz_insert"; "argz_next";
+    "argz_replace"; "argz_stringify"; "envz_add"; "envz_entry";
+    "envz_get"; "envz_merge"; "envz_remove"; "envz_strip";
+    "obstack_free"; "_obstack_begin"; "_obstack_begin_1";
+    "_obstack_newchunk"; "_obstack_memory_used"; "_obstack_allocated_p" ]
+
+let rpc_xdr =
+  [ "xdr_int"; "xdr_u_int"; "xdr_long"; "xdr_u_long"; "xdr_short";
+    "xdr_u_short"; "xdr_char"; "xdr_u_char"; "xdr_bool"; "xdr_enum";
+    "xdr_float"; "xdr_double"; "xdr_string"; "xdr_bytes";
+    "xdr_array"; "xdr_vector"; "xdr_opaque"; "xdr_union";
+    "xdr_reference"; "xdr_pointer"; "xdr_wrapstring"; "xdr_void";
+    "xdr_free"; "xdrmem_create"; "xdrstdio_create"; "xdrrec_create";
+    "clnt_create"; "clnt_perror"; "clnt_pcreateerror";
+    "clnt_sperror"; "svc_register"; "svc_run"; "svc_sendreply";
+    "svcudp_create"; "svctcp_create"; "callrpc"; "pmap_getport";
+    "pmap_set"; "pmap_unset"; "xprt_register"; "xprt_unregister";
+    "authnone_create"; "authunix_create"; "authunix_create_default";
+    "clntudp_create"; "clnttcp_create"; "clntraw_create";
+    "svcraw_create"; "svcerr_noproc"; "svcerr_decode";
+    "svcerr_systemerr"; "svcerr_auth"; "get_myaddress";
+    "getrpcbyname"; "getrpcbynumber"; "getrpcent"; "setrpcent";
+    "endrpcent"; "getrpcport"; "bindresvport_sa" ]
+
+let legacy_tail =
+  [ "gtty"; "stty"; "sstk"; "revoke"; "vlimit"; "vtimes"; "profil";
+    "sprofil"; "moncontrol"; "monstartup"; "__monstartup"; "mcount";
+    "ustat"; "sysctl"; "nfsservctl"; "uselib_wrapper"; "fattach";
+    "fdetach"; "getmsg"; "putmsg"; "getpmsg_wrapper";
+    "putpmsg_wrapper"; "isastream"; "lchmod"; "getumask"; "setlogin";
+    "fcrypt"; "__libc_init_first"; "__libc_freeres";
+    "__libc_thread_freeres"; "__flushlbf"; "__fsetlocking";
+    "__freading"; "__fwriting"; "__nss_configure_lookup";
+    "__nss_database_lookup"; "__res_state"; "__h_errno_location";
+    "__overflow"; "__underflow"; "__uflow";
+    "_IO_file_open"; "_IO_file_close"; "_IO_file_read";
+    "_IO_file_write"; "_IO_do_write"; "_IO_vfprintf"; "_IO_vfscanf";
+    "_IO_flush_all"; "_IO_flush_all_linebuffered"; "_IO_getc";
+    "_IO_putc"; "_IO_feof"; "_IO_ferror"; "_IO_puts";
+    "_IO_list_lock"; "_IO_list_unlock"; "_IO_ftrylockfile";
+    "_IO_funlockfile"; "_IO_peekc_locked";
+    "getpass"; "getusershell"; "setusershell"; "endusershell";
+    "getdirentries"; "getdirentries64"; "getsgent"; "getsgnam";
+    "setsgent"; "endsgent"; "putsgent"; "fgetsgent"; "sgetsgent";
+    "getaliasent"; "getaliasbyname"; "setaliasent"; "endaliasent";
+    "ntp_gettime"; "ntp_adjtime";
+    "_pthread_cleanup_push"; "_pthread_cleanup_pop";
+    "inet6_opt_init"; "inet6_opt_append"; "inet6_opt_finish";
+    "inet6_opt_next"; "inet6_opt_find"; "inet6_rth_space";
+    "inet6_rth_init"; "inet6_rth_add"; "inet6_rth_reverse";
+    "inet6_rth_segments"; "inet6_rth_getaddr" ]
+
+(* ------------------------------------------------------------------ *)
+(* Group metadata: owning library and typical per-function code size  *)
+(* ------------------------------------------------------------------ *)
+
+(* Groups in popularity order; tiers are assigned cumulatively over
+   this order. (group name, functions, owning lib, base size). *)
+let groups : (string * string list * lib * int) list =
+  [ ("runtime", runtime_startup, Libc, 400);
+    ("memory", memory, Libc, 900);
+    ("string", string_fns, Libc, 250);
+    ("ctype", ctype, Libc, 120);
+    ("stdio", stdio_core, Libc, 700);
+    ("conversion", conversion_core, Libc, 500);
+    ("fd_io", fd_io_core, Libc, 300);
+    ("fortify", fortify_chk, Libc, 200);
+    ("isoc99", isoc99, Libc, 400);
+    ("fs", fs_core, Libc, 350);
+    ("process", process_core, Libc, 400);
+    ("signal", signal_core, Libc, 300);
+    ("env_misc", env_misc_core, Libc, 450);
+    ("time", time_core, Libc, 600);
+    ("dirent", dirent_glob, Libc, 550);
+    ("locale", locale_core, Libc, 800);
+    ("pthread", pthread_core, Libpthread, 350);
+    ("sockets", sockets_core, Libc, 300);
+    ("termios", termios, Libc, 250);
+    ("mmap_ipc", mmap_ipc, Libc, 250);
+    ("dl", dl_fns, Libdl, 500);
+    ("net_db", net_db, Libc, 900);
+    ("users_groups", users_groups, Libc, 600);
+    ("stdio_ext", stdio_ext, Libc, 250);
+    ("regex_search", regex_search, Libc, 1200);
+    ("syslog_admin", syslog_mount_admin, Libc, 300);
+    ("wide_core", wide_core, Libc, 250);
+    ("rand48", rand48, Libc, 200);
+    ("xattr_event", xattr_keys, Libc, 200);
+    ("posix_spawn", posix_spawn_fns, Libc, 300);
+    ("pthread_ext", pthread_ext, Libpthread, 250);
+    ("librt", librt_fns, Librt, 400);
+    ("wide_io", wide_io, Libc, 600);
+    ("conversion_ext", conversion_ext, Libc, 350);
+    ("utmp", utmp_fns, Libc, 400);
+    ("argz", argz_obstack_argp, Libc, 500);
+    ("rpc", rpc_xdr, Libc, 700);
+    ("legacy", legacy_tail, Libc, 300) ]
+
+(* ------------------------------------------------------------------ *)
+(* Syscall footprints of individual libc functions                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Syscalls issued by the implementation of selected exports. Exports
+   absent from this map issue no system call themselves (pure
+   user-space code), though they still count as libc APIs. *)
+let syscall_map : (string * string list) list =
+  [ ("__libc_start_main", [ "exit_group"; "mmap"; "mprotect"; "arch_prctl" ]);
+    ("exit", [ "exit_group" ]);
+    ("_exit", [ "exit_group"; "exit" ]);
+    ("abort", [ "rt_sigprocmask"; "tgkill"; "getpid"; "gettid" ]);
+    ("raise", [ "tgkill"; "getpid"; "gettid" ]);
+    ("malloc", [ "brk"; "mmap"; "munmap" ]);
+    ("calloc", [ "brk"; "mmap" ]);
+    ("realloc", [ "brk"; "mmap"; "mremap"; "munmap" ]);
+    ("free", [ "munmap"; "brk"; "madvise" ]);
+    ("memalign", [ "mmap" ]);
+    ("posix_memalign", [ "mmap" ]);
+    ("brk", [ "brk" ]);
+    ("sbrk", [ "brk" ]);
+    ("malloc_trim", [ "madvise"; "brk" ]);
+    (* stdio: buffered I/O bottoms out in read/write/open/close etc. *)
+    ("printf", [ "write" ]);
+    ("fprintf", [ "write" ]);
+    ("vfprintf", [ "write" ]);
+    ("vprintf", [ "write" ]);
+    ("dprintf", [ "write" ]);
+    ("vdprintf", [ "write" ]);
+    ("puts", [ "write" ]);
+    ("putchar", [ "write" ]);
+    ("fputs", [ "write" ]);
+    ("fputc", [ "write" ]);
+    ("putc", [ "write" ]);
+    ("fwrite", [ "write" ]);
+    ("fread", [ "read" ]);
+    ("fgets", [ "read" ]);
+    ("fgetc", [ "read" ]);
+    ("getc", [ "read" ]);
+    ("getchar", [ "read" ]);
+    ("gets", [ "read" ]);
+    ("getline", [ "read" ]);
+    ("getdelim", [ "read" ]);
+    ("scanf", [ "read" ]);
+    ("fscanf", [ "read" ]);
+    ("vfscanf", [ "read" ]);
+    ("fopen", [ "open"; "fstat"; "mmap" ]);
+    ("fopen64", [ "open"; "fstat"; "mmap" ]);
+    ("fdopen", [ "fcntl"; "fstat" ]);
+    ("freopen", [ "open"; "close"; "dup2" ]);
+    ("fclose", [ "close"; "munmap"; "write" ]);
+    ("fflush", [ "write"; "lseek" ]);
+    ("fseek", [ "lseek" ]);
+    ("fseeko", [ "lseek" ]);
+    ("ftell", [ "lseek" ]);
+    ("ftello", [ "lseek" ]);
+    ("rewind", [ "lseek" ]);
+    ("setvbuf", [ "fstat" ]);
+    ("perror", [ "write" ]);
+    ("tmpfile", [ "open"; "unlink" ]);
+    ("popen", [ "pipe2"; "clone"; "execve"; "close"; "dup2" ]);
+    ("pclose", [ "wait4"; "close" ]);
+    ("remove", [ "unlink"; "rmdir" ]);
+    (* raw fd I/O *)
+    ("open", [ "open" ]);
+    ("open64", [ "open" ]);
+    ("openat", [ "openat" ]);
+    ("openat64", [ "openat" ]);
+    ("creat", [ "open" ]);
+    ("creat64", [ "open" ]);
+    ("close", [ "close" ]);
+    ("read", [ "read" ]);
+    ("write", [ "write" ]);
+    ("pread", [ "pread64" ]);
+    ("pread64", [ "pread64" ]);
+    ("pwrite", [ "pwrite64" ]);
+    ("pwrite64", [ "pwrite64" ]);
+    ("readv", [ "readv" ]);
+    ("writev", [ "writev" ]);
+    ("preadv", [ "preadv" ]);
+    ("pwritev", [ "pwritev" ]);
+    ("lseek", [ "lseek" ]);
+    ("lseek64", [ "lseek" ]);
+    ("dup", [ "dup" ]);
+    ("dup2", [ "dup2" ]);
+    ("dup3", [ "dup3" ]);
+    ("pipe", [ "pipe" ]);
+    ("pipe2", [ "pipe2" ]);
+    ("fcntl", [ "fcntl" ]);
+    ("ioctl", [ "ioctl" ]);
+    ("fsync", [ "fsync" ]);
+    ("fdatasync", [ "fdatasync" ]);
+    ("ftruncate", [ "ftruncate" ]);
+    ("ftruncate64", [ "ftruncate" ]);
+    ("truncate", [ "truncate" ]);
+    ("truncate64", [ "truncate" ]);
+    ("select", [ "select" ]);
+    ("pselect", [ "pselect6" ]);
+    ("poll", [ "poll" ]);
+    ("ppoll", [ "ppoll" ]);
+    ("flock", [ "flock" ]);
+    ("lockf", [ "fcntl" ]);
+    ("lockf64", [ "fcntl" ]);
+    ("sync", [ "sync" ]);
+    ("syncfs", [ "syncfs" ]);
+    ("sendfile", [ "sendfile" ]);
+    ("sendfile64", [ "sendfile" ]);
+    ("splice", [ "splice" ]);
+    ("tee", [ "tee" ]);
+    ("vmsplice", [ "vmsplice" ]);
+    ("readahead", [ "readahead" ]);
+    ("posix_fadvise", [ "fadvise64" ]);
+    ("posix_fadvise64", [ "fadvise64" ]);
+    ("posix_fallocate", [ "fallocate"; "pwrite64" ]);
+    ("posix_fallocate64", [ "fallocate"; "pwrite64" ]);
+    ("fallocate", [ "fallocate" ]);
+    ("fallocate64", [ "fallocate" ]);
+    (* filesystem metadata *)
+    ("stat", [ "stat" ]);
+    ("fstat", [ "fstat" ]);
+    ("lstat", [ "lstat" ]);
+    ("stat64", [ "stat" ]);
+    ("fstat64", [ "fstat" ]);
+    ("lstat64", [ "lstat" ]);
+    ("__xstat", [ "stat" ]);
+    ("__fxstat", [ "fstat" ]);
+    ("__lxstat", [ "lstat" ]);
+    ("__xstat64", [ "stat" ]);
+    ("__fxstat64", [ "fstat" ]);
+    ("__lxstat64", [ "lstat" ]);
+    ("__fxstatat", [ "newfstatat" ]);
+    ("__fxstatat64", [ "newfstatat" ]);
+    ("access", [ "access" ]);
+    ("faccessat", [ "faccessat" ]);
+    ("euidaccess", [ "faccessat" ]);
+    ("eaccess", [ "faccessat" ]);
+    ("chmod", [ "chmod" ]);
+    ("fchmod", [ "fchmod" ]);
+    ("fchmodat", [ "fchmodat" ]);
+    ("chown", [ "chown" ]);
+    ("fchown", [ "fchown" ]);
+    ("lchown", [ "lchown" ]);
+    ("fchownat", [ "fchownat" ]);
+    ("umask", [ "umask" ]);
+    ("mkdir", [ "mkdir" ]);
+    ("mkdirat", [ "mkdirat" ]);
+    ("rmdir", [ "rmdir" ]);
+    ("rename", [ "rename" ]);
+    ("renameat", [ "renameat" ]);
+    ("link", [ "link" ]);
+    ("linkat", [ "linkat" ]);
+    ("symlink", [ "symlink" ]);
+    ("symlinkat", [ "symlinkat" ]);
+    ("unlink", [ "unlink" ]);
+    ("unlinkat", [ "unlinkat" ]);
+    ("readlink", [ "readlink" ]);
+    ("readlinkat", [ "readlinkat" ]);
+    ("mknod", [ "mknod" ]);
+    ("mknodat", [ "mknodat" ]);
+    ("mkfifo", [ "mknod" ]);
+    ("mkfifoat", [ "mknodat" ]);
+    ("chdir", [ "chdir" ]);
+    ("fchdir", [ "fchdir" ]);
+    ("getcwd", [ "getcwd" ]);
+    ("get_current_dir_name", [ "getcwd" ]);
+    ("getwd", [ "getcwd" ]);
+    ("chroot", [ "chroot" ]);
+    ("realpath", [ "lstat"; "readlink"; "getcwd" ]);
+    ("canonicalize_file_name", [ "lstat"; "readlink"; "getcwd" ]);
+    ("pathconf", [ "statfs" ]);
+    ("fpathconf", [ "fstatfs" ]);
+    ("statfs", [ "statfs" ]);
+    ("fstatfs", [ "fstatfs" ]);
+    ("statfs64", [ "statfs" ]);
+    ("fstatfs64", [ "fstatfs" ]);
+    ("statvfs", [ "statfs"; "stat" ]);
+    ("fstatvfs", [ "fstatfs"; "fstat" ]);
+    ("utime", [ "utime" ]);
+    ("utimes", [ "utimes" ]);
+    ("futimes", [ "utimensat" ]);
+    ("lutimes", [ "utimensat" ]);
+    ("futimens", [ "utimensat" ]);
+    ("utimensat", [ "utimensat" ]);
+    ("mkstemp", [ "open" ]);
+    ("mkstemp64", [ "open" ]);
+    ("mkostemp", [ "open" ]);
+    ("mkdtemp", [ "mkdir" ]);
+    (* process control *)
+    ("fork", [ "clone" ]);
+    ("vfork", [ "vfork" ]);
+    ("execve", [ "execve" ]);
+    ("execv", [ "execve" ]);
+    ("execvp", [ "execve" ]);
+    ("execvpe", [ "execve" ]);
+    ("execl", [ "execve" ]);
+    ("execlp", [ "execve" ]);
+    ("execle", [ "execve" ]);
+    ("fexecve", [ "execve" ]);
+    ("wait", [ "wait4" ]);
+    ("waitpid", [ "wait4" ]);
+    ("wait3", [ "wait4" ]);
+    ("wait4", [ "wait4" ]);
+    ("waitid", [ "waitid" ]);
+    ("system", [ "clone"; "execve"; "wait4"; "rt_sigaction"; "rt_sigprocmask" ]);
+    ("getpid", [ "getpid" ]);
+    ("getppid", [ "getppid" ]);
+    ("getpgid", [ "getpgid" ]);
+    ("setpgid", [ "setpgid" ]);
+    ("getpgrp", [ "getpgrp" ]);
+    ("setpgrp", [ "setpgid" ]);
+    ("setsid", [ "setsid" ]);
+    ("getsid", [ "getsid" ]);
+    ("nice", [ "setpriority"; "getpriority" ]);
+    ("getpriority", [ "getpriority" ]);
+    ("setpriority", [ "setpriority" ]);
+    ("sched_yield", [ "sched_yield" ]);
+    ("getuid", [ "getuid" ]);
+    ("geteuid", [ "geteuid" ]);
+    ("getgid", [ "getgid" ]);
+    ("getegid", [ "getegid" ]);
+    ("setuid", [ "setuid" ]);
+    ("seteuid", [ "setresuid" ]);
+    ("setgid", [ "setgid" ]);
+    ("setegid", [ "setresgid" ]);
+    ("setreuid", [ "setreuid" ]);
+    ("setregid", [ "setregid" ]);
+    ("setresuid", [ "setresuid" ]);
+    ("setresgid", [ "setresgid" ]);
+    ("getresuid", [ "getresuid" ]);
+    ("getresgid", [ "getresgid" ]);
+    ("getgroups", [ "getgroups" ]);
+    ("setgroups", [ "setgroups" ]);
+    ("initgroups", [ "setgroups" ]);
+    ("getrlimit", [ "prlimit64" ]);
+    ("setrlimit", [ "prlimit64"; "setrlimit" ]);
+    ("getrlimit64", [ "prlimit64" ]);
+    ("setrlimit64", [ "prlimit64" ]);
+    ("prlimit", [ "prlimit64" ]);
+    ("prlimit64", [ "prlimit64" ]);
+    ("getrusage", [ "getrusage" ]);
+    ("times", [ "times" ]);
+    ("daemon", [ "clone"; "setsid"; "chdir"; "open"; "dup2"; "close" ]);
+    ("kill", [ "kill" ]);
+    ("killpg", [ "kill" ]);
+    ("pause", [ "pause" ]);
+    ("alarm", [ "alarm" ]);
+    ("ualarm", [ "setitimer" ]);
+    ("sleep", [ "nanosleep" ]);
+    ("usleep", [ "nanosleep" ]);
+    ("nanosleep", [ "nanosleep" ]);
+    ("ptrace", [ "ptrace" ]);
+    ("personality", [ "personality" ]);
+    ("acct", [ "acct" ]);
+    ("prctl", [ "prctl" ]);
+    ("syscall", []);
+    (* signals *)
+    ("signal", [ "rt_sigaction" ]);
+    ("sigaction", [ "rt_sigaction" ]);
+    ("sigprocmask", [ "rt_sigprocmask" ]);
+    ("sigpending", [ "rt_sigpending" ]);
+    ("sigsuspend", [ "rt_sigsuspend" ]);
+    ("sigwait", [ "rt_sigtimedwait" ]);
+    ("sigwaitinfo", [ "rt_sigtimedwait" ]);
+    ("sigtimedwait", [ "rt_sigtimedwait" ]);
+    ("sigqueue", [ "rt_sigqueueinfo" ]);
+    ("sigaltstack", [ "sigaltstack" ]);
+    ("sigblock", [ "rt_sigprocmask" ]);
+    ("sigsetmask", [ "rt_sigprocmask" ]);
+    ("sighold", [ "rt_sigprocmask" ]);
+    ("sigrelse", [ "rt_sigprocmask" ]);
+    ("sigignore", [ "rt_sigaction" ]);
+    ("sigset", [ "rt_sigaction"; "rt_sigprocmask" ]);
+    ("psignal", [ "write" ]);
+    ("bsd_signal", [ "rt_sigaction" ]);
+    ("sysv_signal", [ "rt_sigaction" ]);
+    (* env & misc *)
+    ("confstr", []);
+    ("sysconf", [ "getrlimit" ]);
+    ("getpagesize", []);
+    ("gethostname", [ "uname" ]);
+    ("getdomainname", [ "uname" ]);
+    ("uname", [ "uname" ]);
+    ("getauxval", []);
+    ("getcontext", [ "rt_sigprocmask" ]);
+    ("setcontext", [ "rt_sigprocmask" ]);
+    ("swapcontext", [ "rt_sigprocmask" ]);
+    (* time *)
+    ("time", [ "time" ]);
+    ("stime", [ "settimeofday" ]);
+    ("gettimeofday", [ "gettimeofday" ]);
+    ("settimeofday", [ "settimeofday" ]);
+    ("adjtime", [ "adjtimex" ]);
+    ("adjtimex", [ "adjtimex" ]);
+    ("ntp_gettime", [ "adjtimex" ]);
+    ("ntp_adjtime", [ "adjtimex" ]);
+    ("clock_gettime", [ "clock_gettime" ]);
+    ("clock_settime", [ "clock_settime" ]);
+    ("clock_getres", [ "clock_getres" ]);
+    ("clock_nanosleep", [ "clock_nanosleep" ]);
+    ("localtime", [ "open"; "read"; "close"; "fstat"; "mmap" ]);
+    ("localtime_r", [ "open"; "read"; "close" ]);
+    ("tzset", [ "open"; "read"; "close"; "fstat" ]);
+    ("strftime", []);
+    ("getitimer", [ "getitimer" ]);
+    ("setitimer", [ "setitimer" ]);
+    ("clock", [ "times" ]);
+    ("ftime", [ "gettimeofday" ]);
+    (* dirent *)
+    ("opendir", [ "open"; "fstat"; "getdents" ]);
+    ("fdopendir", [ "fstat"; "fcntl" ]);
+    ("closedir", [ "close" ]);
+    ("readdir", [ "getdents" ]);
+    ("readdir64", [ "getdents64" ]);
+    ("readdir_r", [ "getdents" ]);
+    ("readdir64_r", [ "getdents64" ]);
+    ("rewinddir", [ "lseek" ]);
+    ("seekdir", [ "lseek" ]);
+    ("scandir", [ "open"; "getdents"; "close" ]);
+    ("scandir64", [ "open"; "getdents64"; "close" ]);
+    ("glob", [ "open"; "getdents"; "close"; "lstat" ]);
+    ("glob64", [ "open"; "getdents64"; "close"; "lstat" ]);
+    ("ftw", [ "open"; "getdents"; "lstat"; "close" ]);
+    ("nftw", [ "open"; "getdents"; "lstat"; "close"; "fchdir" ]);
+    ("fts_open", [ "open"; "fstat" ]);
+    ("fts_read", [ "getdents"; "lstat"; "close" ]);
+    ("getdirentries", [ "getdents"; "lseek" ]);
+    ("getdirentries64", [ "getdents64"; "lseek" ]);
+    (* locale: reads locale archives *)
+    ("setlocale", [ "open"; "read"; "fstat"; "mmap"; "close" ]);
+    ("newlocale", [ "open"; "read"; "fstat"; "mmap"; "close" ]);
+    ("iconv_open", [ "open"; "fstat"; "mmap"; "close" ]);
+    ("gettext", [ "open"; "fstat"; "mmap"; "close" ]);
+    ("dcgettext", [ "open"; "fstat"; "mmap"; "close" ]);
+    ("bindtextdomain", []);
+    ("catopen", [ "open"; "fstat"; "mmap"; "close" ]);
+    (* pthread *)
+    ("pthread_create", [ "clone"; "mmap"; "mprotect"; "sched_setscheduler";
+                         "sched_setparam"; "sched_getscheduler" ]);
+    ("pthread_join", [ "futex" ]);
+    ("pthread_exit", [ "exit"; "futex"; "munmap" ]);
+    ("pthread_detach", [ "futex" ]);
+    ("pthread_cancel", [ "tgkill" ]);
+    ("pthread_kill", [ "tgkill" ]);
+    ("pthread_sigmask", [ "rt_sigprocmask" ]);
+    ("pthread_mutex_lock", [ "futex" ]);
+    ("pthread_mutex_trylock", []);
+    ("pthread_mutex_timedlock", [ "futex" ]);
+    ("pthread_mutex_unlock", [ "futex" ]);
+    ("pthread_cond_wait", [ "futex" ]);
+    ("pthread_cond_timedwait", [ "futex" ]);
+    ("pthread_cond_signal", [ "futex" ]);
+    ("pthread_cond_broadcast", [ "futex" ]);
+    ("pthread_rwlock_rdlock", [ "futex" ]);
+    ("pthread_rwlock_wrlock", [ "futex" ]);
+    ("pthread_rwlock_unlock", [ "futex" ]);
+    ("pthread_barrier_wait", [ "futex" ]);
+    ("pthread_spin_lock", [ "sched_yield" ]);
+    ("pthread_setschedparam", [ "sched_setscheduler"; "sched_setparam" ]);
+    ("pthread_getschedparam", [ "sched_getscheduler"; "sched_getparam" ]);
+    ("pthread_setname_np", [ "prctl" ]);
+    ("pthread_getname_np", [ "prctl" ]);
+    ("pthread_setaffinity_np", [ "sched_setaffinity" ]);
+    ("pthread_getaffinity_np", [ "sched_getaffinity" ]);
+    ("pthread_getattr_np", [ "sched_getaffinity"; "getrlimit" ]);
+    ("pthread_yield", [ "sched_yield" ]);
+    ("pthread_getcpuclockid", []);
+    ("sem_wait", [ "futex" ]);
+    ("sem_trywait", []);
+    ("sem_timedwait", [ "futex" ]);
+    ("sem_post", [ "futex" ]);
+    ("sem_open", [ "open"; "mmap" ]);
+    ("sem_unlink", [ "unlink" ]);
+    (* sched wrappers in libc *)
+    ("sched_setscheduler", [ "sched_setscheduler" ]);
+    ("sched_getscheduler", [ "sched_getscheduler" ]);
+    ("sched_setparam", [ "sched_setparam" ]);
+    ("sched_getparam", [ "sched_getparam" ]);
+    ("sched_get_priority_max", [ "sched_get_priority_max" ]);
+    ("sched_get_priority_min", [ "sched_get_priority_min" ]);
+    ("sched_rr_get_interval", [ "sched_rr_get_interval" ]);
+    ("sched_setaffinity", [ "sched_setaffinity" ]);
+    ("sched_getaffinity", [ "sched_getaffinity" ]);
+    (* sockets *)
+    ("socket", [ "socket" ]);
+    ("socketpair", [ "socketpair" ]);
+    ("bind", [ "bind" ]);
+    ("listen", [ "listen" ]);
+    ("accept", [ "accept" ]);
+    ("accept4", [ "accept4" ]);
+    ("connect", [ "connect" ]);
+    ("shutdown", [ "shutdown" ]);
+    ("send", [ "sendto" ]);
+    ("recv", [ "recvfrom" ]);
+    ("sendto", [ "sendto" ]);
+    ("recvfrom", [ "recvfrom" ]);
+    ("sendmsg", [ "sendmsg" ]);
+    ("recvmsg", [ "recvmsg" ]);
+    ("sendmmsg", [ "sendmmsg" ]);
+    ("recvmmsg", [ "recvmmsg" ]);
+    ("getsockname", [ "getsockname" ]);
+    ("getpeername", [ "getpeername" ]);
+    ("getsockopt", [ "getsockopt" ]);
+    ("setsockopt", [ "setsockopt" ]);
+    ("getaddrinfo", [ "socket"; "connect"; "sendto"; "recvfrom"; "close";
+                      "open"; "read"; "fstat" ]);
+    ("getnameinfo", [ "socket"; "connect"; "sendto"; "recvfrom"; "close" ]);
+    ("gethostbyname", [ "socket"; "connect"; "sendto"; "recvfrom"; "close";
+                        "open"; "read" ]);
+    ("gethostbyaddr", [ "socket"; "connect"; "sendto"; "recvfrom"; "close" ]);
+    ("res_init", [ "open"; "read"; "close" ]);
+    ("res_query", [ "socket"; "sendto"; "recvfrom"; "close" ]);
+    ("getifaddrs", [ "socket"; "sendto"; "recvmsg"; "close" ]);
+    ("rcmd", [ "socket"; "connect"; "bind" ]);
+    ("bindresvport", [ "bind" ]);
+    (* mmap & SysV IPC *)
+    ("mmap", [ "mmap" ]);
+    ("mmap64", [ "mmap" ]);
+    ("munmap", [ "munmap" ]);
+    ("mremap", [ "mremap" ]);
+    ("mprotect", [ "mprotect" ]);
+    ("msync", [ "msync" ]);
+    ("madvise", [ "madvise" ]);
+    ("posix_madvise", [ "madvise" ]);
+    ("mincore", [ "mincore" ]);
+    ("mlock", [ "mlock" ]);
+    ("munlock", [ "munlock" ]);
+    ("mlockall", [ "mlockall" ]);
+    ("munlockall", [ "munlockall" ]);
+    ("remap_file_pages", [ "remap_file_pages" ]);
+    ("shmat", [ "shmat" ]);
+    ("shmdt", [ "shmdt" ]);
+    ("shmget", [ "shmget" ]);
+    ("shmctl", [ "shmctl" ]);
+    ("semget", [ "semget" ]);
+    ("semop", [ "semop" ]);
+    ("semctl", [ "semctl" ]);
+    ("semtimedop", [ "semtimedop" ]);
+    ("msgget", [ "msgget" ]);
+    ("msgsnd", [ "msgsnd" ]);
+    ("msgrcv", [ "msgrcv" ]);
+    ("msgctl", [ "msgctl" ]);
+    ("ftok", [ "stat" ]);
+    (* xattr / event fds / misc modern *)
+    ("setxattr", [ "setxattr" ]);
+    ("lsetxattr", [ "lsetxattr" ]);
+    ("fsetxattr", [ "fsetxattr" ]);
+    ("getxattr", [ "getxattr" ]);
+    ("lgetxattr", [ "lgetxattr" ]);
+    ("fgetxattr", [ "fgetxattr" ]);
+    ("listxattr", [ "listxattr" ]);
+    ("llistxattr", [ "llistxattr" ]);
+    ("flistxattr", [ "flistxattr" ]);
+    ("removexattr", [ "removexattr" ]);
+    ("lremovexattr", [ "lremovexattr" ]);
+    ("fremovexattr", [ "fremovexattr" ]);
+    ("epoll_create", [ "epoll_create" ]);
+    ("epoll_create1", [ "epoll_create1" ]);
+    ("epoll_ctl", [ "epoll_ctl" ]);
+    ("epoll_wait", [ "epoll_wait" ]);
+    ("epoll_pwait", [ "epoll_pwait" ]);
+    ("eventfd", [ "eventfd2" ]);
+    ("eventfd_read", [ "read" ]);
+    ("eventfd_write", [ "write" ]);
+    ("signalfd", [ "signalfd4" ]);
+    ("timerfd_create", [ "timerfd_create" ]);
+    ("timerfd_settime", [ "timerfd_settime" ]);
+    ("timerfd_gettime", [ "timerfd_gettime" ]);
+    ("inotify_init", [ "inotify_init" ]);
+    ("inotify_init1", [ "inotify_init1" ]);
+    ("inotify_add_watch", [ "inotify_add_watch" ]);
+    ("inotify_rm_watch", [ "inotify_rm_watch" ]);
+    ("fanotify_init", [ "fanotify_init" ]);
+    ("fanotify_mark", [ "fanotify_mark" ]);
+    ("unshare", [ "unshare" ]);
+    ("setns", [ "setns" ]);
+    ("name_to_handle_at", [ "name_to_handle_at" ]);
+    ("open_by_handle_at", [ "open_by_handle_at" ]);
+    ("process_vm_readv", [ "process_vm_readv" ]);
+    ("process_vm_writev", [ "process_vm_writev" ]);
+    ("getcpu", [ "getcpu" ]);
+    ("mbind", [ "mbind" ]);
+    ("set_mempolicy", [ "set_mempolicy" ]);
+    ("get_mempolicy", [ "get_mempolicy" ]);
+    ("migrate_pages", [ "migrate_pages" ]);
+    ("move_pages", [ "move_pages" ]);
+    (* posix_spawn *)
+    ("posix_spawn", [ "clone"; "execve"; "dup2"; "close"; "rt_sigprocmask" ]);
+    ("posix_spawnp", [ "clone"; "execve"; "dup2"; "close"; "rt_sigprocmask" ]);
+    (* librt *)
+    ("aio_read", [ "pread64"; "rt_sigprocmask" ]);
+    ("aio_write", [ "pwrite64"; "rt_sigprocmask" ]);
+    ("aio_fsync", [ "fsync" ]);
+    ("aio_suspend", [ "futex" ]);
+    ("lio_listio", [ "pread64"; "pwrite64" ]);
+    ("mq_open", [ "mq_open" ]);
+    ("mq_close", [ "close" ]);
+    ("mq_unlink", [ "mq_unlink" ]);
+    ("mq_send", [ "mq_timedsend" ]);
+    ("mq_receive", [ "mq_timedreceive" ]);
+    ("mq_timedsend", [ "mq_timedsend" ]);
+    ("mq_timedreceive", [ "mq_timedreceive" ]);
+    ("mq_notify", [ "mq_notify" ]);
+    ("mq_getattr", [ "mq_getsetattr" ]);
+    ("mq_setattr", [ "mq_getsetattr" ]);
+    ("shm_open", [ "open" ]);
+    ("shm_unlink", [ "unlink" ]);
+    ("timer_create", [ "timer_create" ]);
+    ("timer_delete", [ "timer_delete" ]);
+    ("timer_settime", [ "timer_settime" ]);
+    ("timer_gettime", [ "timer_gettime" ]);
+    ("timer_getoverrun", [ "timer_getoverrun" ]);
+    (* users / accounting *)
+    ("getpwnam", [ "open"; "read"; "fstat"; "close"; "socket"; "connect" ]);
+    ("getpwuid", [ "open"; "read"; "fstat"; "close"; "socket"; "connect" ]);
+    ("getpwent", [ "open"; "read"; "close" ]);
+    ("getgrnam", [ "open"; "read"; "fstat"; "close"; "socket"; "connect" ]);
+    ("getgrgid", [ "open"; "read"; "fstat"; "close"; "socket"; "connect" ]);
+    ("getspnam", [ "open"; "read"; "fstat"; "close" ]);
+    ("getlogin", [ "open"; "read"; "close"; "getuid" ]);
+    ("getgrouplist", [ "open"; "read"; "close" ]);
+    ("crypt", []);
+    ("getutent", [ "open"; "read"; "close" ]);
+    ("pututline", [ "open"; "lseek"; "write"; "close" ]);
+    ("updwtmp", [ "open"; "write"; "close" ]);
+    ("login_tty", [ "setsid"; "dup2"; "close" ]);
+    ("getpass", [ "open"; "read"; "write"; "close" ]);
+    (* syslog & admin *)
+    ("syslog", [ "socket"; "connect"; "sendto"; "close" ]);
+    ("vsyslog", [ "socket"; "connect"; "sendto"; "close" ]);
+    ("openlog", [ "socket"; "connect" ]);
+    ("closelog", [ "close" ]);
+    ("mount", [ "mount" ]);
+    ("umount", [ "umount2" ]);
+    ("umount2", [ "umount2" ]);
+    ("swapon", [ "swapon" ]);
+    ("swapoff", [ "swapoff" ]);
+    ("reboot", [ "reboot" ]);
+    ("sethostname", [ "sethostname" ]);
+    ("setdomainname", [ "setdomainname" ]);
+    ("vhangup", [ "vhangup" ]);
+    ("klogctl", [ "syslog" ]);
+    ("quotactl", [ "quotactl" ]);
+    ("sysinfo", [ "sysinfo" ]);
+    ("get_nprocs", [ "open"; "read"; "close" ]);
+    ("getloadavg", [ "open"; "read"; "close" ]);
+    ("gethostid", [ "open"; "read"; "close"; "uname" ]);
+    ("getmntent", [ "open"; "read"; "close" ]);
+    ("setmntent", [ "open" ]);
+    ("endmntent", [ "close" ]);
+    ("setfsuid", [ "setfsuid" ]);
+    ("setfsgid", [ "setfsgid" ]);
+    ("capget", [ "capget" ]);
+    ("capset", [ "capset" ]);
+    ("iopl", [ "iopl" ]);
+    ("ioperm", [ "ioperm" ]);
+    ("sysctl", [ "_sysctl" ]);
+    ("ustat", [ "ustat" ]);
+    ("nfsservctl", [ "nfsservctl" ]);
+    (* termios: ioctl-based, see vop_map *)
+    ("tcgetattr", [ "ioctl" ]);
+    ("tcsetattr", [ "ioctl" ]);
+    ("tcsendbreak", [ "ioctl" ]);
+    ("tcdrain", [ "ioctl" ]);
+    ("tcflush", [ "ioctl" ]);
+    ("tcflow", [ "ioctl" ]);
+    ("tcgetpgrp", [ "ioctl" ]);
+    ("tcsetpgrp", [ "ioctl" ]);
+    ("tcgetsid", [ "ioctl" ]);
+    ("isatty", [ "ioctl" ]);
+    ("ttyname", [ "ioctl"; "readlink"; "fstat" ]);
+    ("ttyname_r", [ "ioctl"; "readlink"; "fstat" ]);
+    ("openpty", [ "open"; "ioctl" ]);
+    ("forkpty", [ "open"; "ioctl"; "clone"; "setsid"; "dup2" ]);
+    ("posix_openpt", [ "open" ]);
+    ("grantpt", [ "ioctl" ]);
+    ("unlockpt", [ "ioctl" ]);
+    ("ptsname", [ "ioctl" ]);
+    ("ptsname_r", [ "ioctl" ]);
+    ("getpt", [ "open" ]);
+    (* dl *)
+    ("dlopen", [ "open"; "read"; "fstat"; "mmap"; "mprotect"; "close" ]);
+    ("dlclose", [ "munmap" ]);
+    ("dlsym", []);
+    ("dl_iterate_phdr", []);
+    (* fortified wrappers inherit the base function's syscalls *)
+    ("__printf_chk", [ "write" ]);
+    ("__fprintf_chk", [ "write" ]);
+    ("__vfprintf_chk", [ "write" ]);
+    ("__dprintf_chk", [ "write" ]);
+    ("__read_chk", [ "read" ]);
+    ("__pread_chk", [ "pread64" ]);
+    ("__pread64_chk", [ "pread64" ]);
+    ("__recv_chk", [ "recvfrom" ]);
+    ("__recvfrom_chk", [ "recvfrom" ]);
+    ("__readlink_chk", [ "readlink" ]);
+    ("__readlinkat_chk", [ "readlinkat" ]);
+    ("__getcwd_chk", [ "getcwd" ]);
+    ("__getlogin_r_chk", [ "open"; "read"; "close" ]);
+    ("__ttyname_r_chk", [ "ioctl"; "readlink" ]);
+    ("__syslog_chk", [ "socket"; "connect"; "sendto" ]);
+    ("__vsyslog_chk", [ "socket"; "connect"; "sendto" ]);
+    ("__poll_chk", [ "poll" ]);
+    ("__ppoll_chk", [ "ppoll" ]);
+    ("__gethostname_chk", [ "uname" ]) ]
+
+(* Vectored opcodes requested by selected exports (Section 3.3: the
+   47 TTY/generic ioctl codes ubiquitous through libc and friends). *)
+let vop_map : (string * (Api.vector * int) list) list =
+  let ioctl name = (Api.Ioctl, (List.assoc name Vectored.ioctl_ubiquitous : int)) in
+  [ ("tcgetattr", [ ioctl "TCGETS" ]);
+    ("tcsetattr", [ ioctl "TCSETS"; ioctl "TCSETSW"; ioctl "TCSETSF" ]);
+    ("tcsendbreak", [ ioctl "TCSBRK" ]);
+    ("tcdrain", [ ioctl "TCSBRK" ]);
+    ("tcflush", [ ioctl "TCFLSH" ]);
+    ("tcflow", [ ioctl "TCXONC" ]);
+    ("tcgetpgrp", [ ioctl "TIOCGPGRP" ]);
+    ("tcsetpgrp", [ ioctl "TIOCSPGRP" ]);
+    ("tcgetsid", [ ioctl "TIOCGSID" ]);
+    ("isatty", [ ioctl "TCGETS" ]);
+    ("ttyname", [ ioctl "TCGETS" ]);
+    ("ttyname_r", [ ioctl "TCGETS" ]);
+    ("openpty", [ ioctl "TIOCGPTN"; ioctl "TIOCSPTLCK"; ioctl "TIOCSWINSZ" ]);
+    ("forkpty", [ ioctl "TIOCSCTTY" ]);
+    ("grantpt", [ ioctl "TIOCGPTN" ]);
+    ("unlockpt", [ ioctl "TIOCSPTLCK" ]);
+    ("ptsname", [ ioctl "TIOCGPTN" ]);
+    ("ptsname_r", [ ioctl "TIOCGPTN" ]);
+    ("login_tty", [ ioctl "TIOCSCTTY" ]);
+    ("getifaddrs", [ ioctl "SIOCGIFCONF"; ioctl "SIOCGIFFLAGS" ]);
+    ("if_nametoindex", [ (Api.Ioctl, 0x8933) ]);
+    ("if_indextoname", [ (Api.Ioctl, 0x8910) ]);
+    ("gethostid", [ ioctl "SIOCGIFADDR" ]);
+    ("fcntl", [ (Api.Fcntl, 0) ]);
+    ("lockf", [ (Api.Fcntl, 6); (Api.Fcntl, 5); (Api.Fcntl, 7) ]);
+    ("lockf64", [ (Api.Fcntl, 6); (Api.Fcntl, 5) ]);
+    ("fdopen", [ (Api.Fcntl, 3) ]);
+    ("popen", [ (Api.Fcntl, 2) ]);
+    ("dup", [ (Api.Fcntl, 0) ]);
+    ("mkostemp", [ (Api.Fcntl, 2) ]);
+    ("opendir", [ (Api.Fcntl, 2) ]);
+    ("fdopendir", [ (Api.Fcntl, 3); (Api.Fcntl, 2) ]);
+    ("daemon", [ (Api.Fcntl, 3); (Api.Fcntl, 4) ]);
+    ("pthread_setname_np", [ (Api.Prctl, 15) ]);
+    ("pthread_getname_np", [ (Api.Prctl, 16) ]) ]
+
+(* Pseudo-files referenced by libc implementations themselves. *)
+let pseudo_map : (string * string list) list =
+  [ ("get_nprocs", [ "/proc/stat"; "/sys/devices/system/cpu/online" ]);
+    ("get_nprocs_conf", [ "/sys/devices/system/cpu" ]);
+    ("get_phys_pages", [ "/proc/meminfo" ]);
+    ("get_avphys_pages", [ "/proc/meminfo" ]);
+    ("getloadavg", [ "/proc/loadavg" ]);
+    ("sysconf", [ "/proc/stat"; "/proc/meminfo" ]);
+    ("ttyname", [ "/proc/self/fd" ]);
+    ("ttyname_r", [ "/proc/self/fd" ]);
+    ("getpt", [ "/dev/ptmx" ]);
+    ("posix_openpt", [ "/dev/ptmx" ]);
+    ("openpty", [ "/dev/ptmx" ]);
+    ("ctermid", [ "/dev/tty" ]);
+    ("getpass", [ "/dev/tty" ]);
+    ("getlogin", [ "/proc/self/status" ]);
+    ("syslog", [ "/dev/console" ]);
+    ("gethostid", [ "/proc/sys/kernel/hostname" ]) ]
+
+(* ------------------------------------------------------------------ *)
+(* Startup footprints (Table 5): syscalls contributed to every
+   dynamically-linked executable by the runtime itself.               *)
+(* ------------------------------------------------------------------ *)
+
+let startup_footprint = function
+  | Ld_so ->
+    [ "access"; "arch_prctl"; "mprotect"; "open"; "openat"; "read";
+      "fstat"; "newfstatat"; "lstat"; "mmap"; "munmap"; "close";
+      "lseek"; "getcwd"; "getdents"; "getpid"; "madvise"; "mremap";
+      "futex"; "uname" ]
+  | Libc ->
+    [ "clone"; "execve"; "getuid"; "getgid"; "gettid"; "kill";
+      "getrlimit"; "exit"; "exit_group"; "brk"; "mmap"; "munmap";
+      "mprotect"; "read"; "write"; "close"; "fstat"; "lseek";
+      "rt_sigaction"; "futex"; "writev"; "tgkill" ]
+  | Libpthread ->
+    [ "rt_sigreturn"; "set_robust_list"; "set_tid_address"; "futex";
+      "clone"; "mmap"; "mprotect"; "madvise" ]
+  | Librt -> [ "rt_sigprocmask"; "futex" ]
+  | Libdl -> [ "open"; "read"; "mmap"; "close" ]
+
+(* ------------------------------------------------------------------ *)
+(* Catalogue assembly                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let syscall_tbl : (string, string list) Hashtbl.t =
+  let h = Hashtbl.create 1024 in
+  List.iter (fun (name, scs) -> Hashtbl.replace h name scs) syscall_map;
+  h
+
+let vop_tbl : (string, (Api.vector * int) list) Hashtbl.t =
+  let h = Hashtbl.create 64 in
+  List.iter (fun (name, vops) -> Hashtbl.replace h name vops) vop_map;
+  h
+
+let pseudo_tbl : (string, string list) Hashtbl.t =
+  let h = Hashtbl.create 32 in
+  List.iter (fun (name, fs) -> Hashtbl.replace h name fs) pseudo_map;
+  h
+
+(* Deterministic pseudo-random size jitter so that the Section 3.5
+   size analysis has realistic variance without using Random. *)
+let size_jitter name base =
+  let h = Hashtbl.hash name in
+  base + (h mod (base + 1))
+
+let chk_base name =
+  let n = String.length name in
+  if n > 6 && String.sub name 0 2 = "__" && String.sub name (n - 4) 4 = "_chk"
+  then Some (String.sub name 2 (n - 6))
+  else None
+
+(* Tier population fractions, calibrated against Figure 7:
+   42.8% of exports at ~100% importance, about 7% more above 50%,
+   50.6% below 50% of which 39.7% below 1%, with a fully unused tail
+   (the paper counts 222 unused exports). *)
+let tier_fractions =
+  [ (Ubiquitous, 0.428); (High, 0.066); (Medium, 0.109); (Rare, 0.223) ]
+(* remainder: Unused *)
+
+let all : entry list =
+  let flat =
+    List.concat_map
+      (fun (_, names, lib, base) -> List.map (fun n -> (n, lib, base)) names)
+      groups
+  in
+  (* Deduplicate while keeping first (most popular) occurrence. *)
+  let seen = Hashtbl.create 2048 in
+  let flat =
+    List.filter
+      (fun (n, _, _) ->
+        if Hashtbl.mem seen n then false else (Hashtbl.add seen n (); true))
+      flat
+  in
+  let total = List.length flat in
+  let boundaries =
+    let cum = ref 0.0 in
+    List.map
+      (fun (tier, f) ->
+        cum := !cum +. f;
+        (tier, int_of_float (Float.round (!cum *. float_of_int total))))
+      tier_fractions
+  in
+  let tier_of_rank rank =
+    let rec go = function
+      | [] -> Unused
+      | (tier, bound) :: rest -> if rank < bound then tier else go rest
+    in
+    go boundaries
+  in
+  List.mapi
+    (fun rank (name, lib, base) ->
+      {
+        name;
+        lib;
+        tier = tier_of_rank rank;
+        syscalls = Option.value ~default:[] (Hashtbl.find_opt syscall_tbl name);
+        vops = Option.value ~default:[] (Hashtbl.find_opt vop_tbl name);
+        size = size_jitter name base;
+        chk_of = chk_base name;
+      })
+    flat
+
+let count = List.length all
+
+let by_name : (string, entry) Hashtbl.t =
+  let h = Hashtbl.create 2048 in
+  List.iter (fun e -> Hashtbl.replace h e.name e) all;
+  h
+
+let find name = Hashtbl.find_opt by_name name
+let mem name = Hashtbl.mem by_name name
+
+let with_tier tier = List.filter (fun e -> e.tier = tier) all
+
+let with_lib lib = List.filter (fun e -> e.lib = lib) all
+
+let pseudo_files_of name =
+  Option.value ~default:[] (Hashtbl.find_opt pseudo_tbl name)
+
+let total_size = List.fold_left (fun acc e -> acc + e.size) 0 all
+
+let api_of_entry e = Api.Libc_sym e.name
+

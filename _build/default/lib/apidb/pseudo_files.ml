@@ -1,0 +1,143 @@
+(** Catalogue of pseudo-files and pseudo-devices studied in Section
+    3.4: paths under /proc, /dev and /sys that applications hard-code.
+    Paths containing ["%d"] or ["%s"] model the sprintf patterns the
+    paper's string analysis recognizes (e.g. "/proc/%d/cmdline").
+
+    Tiers calibrate the synthetic distribution: [Essential] paths are
+    referenced by ubiquitous binaries (importance ~100%), [Popular]
+    paths by many packages, [Niche] by a specific application or two
+    (the /dev/kvm and /proc/kallsyms cases the paper discusses), and
+    [Admin] paths are primarily used from the command line, so almost
+    no binary embeds them. *)
+
+type tier = Essential | Popular | Niche | Admin
+
+type entry = { path : string; tier : tier }
+
+let e tier path = { path; tier }
+
+let all =
+  [ (* The head of Figure 6. *)
+    e Essential "/dev/null";
+    e Essential "/dev/tty";
+    e Essential "/dev/urandom";
+    e Essential "/proc/cpuinfo";
+    e Essential "/proc/self/exe";
+    e Essential "/proc/meminfo";
+    e Essential "/proc/stat";
+    e Essential "/dev/zero";
+    e Essential "/proc/self/maps";
+    e Essential "/proc/filesystems";
+    e Essential "/dev/console";
+    e Essential "/proc/mounts";
+    e Essential "/proc/self/fd";
+    e Essential "/dev/ptmx";
+    e Essential "/proc/%d/cmdline";
+    e Popular "/dev/random";
+    e Popular "/dev/full";
+    e Popular "/dev/pts";
+    e Popular "/proc/self/status";
+    e Popular "/proc/%d/stat";
+    e Popular "/proc/%d/status";
+    e Popular "/proc/%d/fd";
+    e Popular "/proc/%d/exe";
+    e Popular "/proc/%d/maps";
+    e Popular "/proc/uptime";
+    e Popular "/proc/loadavg";
+    e Popular "/proc/version";
+    e Popular "/proc/sys/kernel/osrelease";
+    e Popular "/proc/sys/kernel/hostname";
+    e Popular "/proc/sys/kernel/pid_max";
+    e Popular "/proc/sys/fs/file-max";
+    e Popular "/proc/net/dev";
+    e Popular "/proc/net/route";
+    e Popular "/proc/net/tcp";
+    e Popular "/proc/net/udp";
+    e Popular "/proc/net/unix";
+    e Popular "/proc/partitions";
+    e Popular "/proc/diskstats";
+    e Popular "/proc/swaps";
+    e Popular "/sys/devices/system/cpu";
+    e Popular "/sys/devices/system/cpu/online";
+    e Popular "/sys/class/net";
+    e Popular "/dev/stdin";
+    e Popular "/dev/stdout";
+    e Popular "/dev/stderr";
+    e Popular "/dev/shm";
+    e Popular "/dev/fd";
+    e Popular "/proc/self/mountinfo";
+    e Popular "/proc/self/cgroup";
+    e Popular "/proc/sys/vm/overcommit_memory";
+    e Niche "/dev/kvm";
+    e Niche "/proc/kallsyms";
+    e Niche "/proc/modules";
+    e Niche "/proc/kcore";
+    e Niche "/proc/kmsg";
+    e Niche "/proc/sysrq-trigger";
+    e Niche "/dev/mem";
+    e Niche "/dev/kmsg";
+    e Niche "/dev/fuse";
+    e Niche "/dev/net/tun";
+    e Niche "/dev/loop-control";
+    e Niche "/dev/mapper/control";
+    e Niche "/dev/rtc";
+    e Niche "/dev/watchdog";
+    e Niche "/dev/input/mice";
+    e Niche "/dev/input/event%d";
+    e Niche "/dev/fb0";
+    e Niche "/dev/dri/card%d";
+    e Niche "/dev/snd/controlC%d";
+    e Niche "/dev/video%d";
+    e Niche "/dev/sr0";
+    e Niche "/dev/cdrom";
+    e Niche "/dev/hda";
+    e Niche "/dev/sda";
+    e Niche "/dev/sg%d";
+    e Niche "/dev/ppp";
+    e Niche "/dev/vhost-net";
+    e Niche "/dev/uinput";
+    e Niche "/sys/class/block";
+    e Niche "/sys/class/power_supply";
+    e Niche "/sys/bus/usb/devices";
+    e Niche "/sys/kernel/debug";
+    e Niche "/sys/module/%s/parameters";
+    e Niche "/proc/sys/net/ipv4/ip_forward";
+    e Niche "/proc/mdstat";
+    e Niche "/proc/mtrr";
+    e Niche "/proc/bus/input/devices";
+    e Niche "/proc/bus/pci/devices";
+    e Niche "/proc/acpi/battery";
+    e Niche "/proc/scsi/scsi";
+    e Admin "/proc/sys/kernel/core_pattern";
+    e Admin "/proc/sys/kernel/panic";
+    e Admin "/proc/sys/vm/drop_caches";
+    e Admin "/proc/sys/vm/swappiness";
+    e Admin "/proc/sys/net/core/somaxconn";
+    e Admin "/sys/power/state";
+    e Admin "/sys/class/leds";
+    e Admin "/dev/port";
+    e Admin "/dev/hpet";
+    e Admin "/dev/mcelog" ]
+
+let count = List.length all
+
+let by_path : (string, entry) Hashtbl.t =
+  let h = Hashtbl.create 256 in
+  List.iter (fun entry -> Hashtbl.replace h entry.path entry) all;
+  h
+
+let find path = Hashtbl.find_opt by_path path
+
+let with_tier tier = List.filter (fun entry -> entry.tier = tier) all
+
+let api_of_entry entry = Api.Pseudo_file entry.path
+
+(* Recognize a hard-coded string as a pseudo-file reference, applying
+   the same normalization as the paper's analysis: printf-style
+   integer/string holes are kept as pattern markers. *)
+let is_pseudo_path s =
+  let prefixes = [ "/proc/"; "/dev/"; "/sys/" ] in
+  List.exists (fun p -> String.length s >= String.length p
+                        && String.sub s 0 (String.length p) = p)
+    prefixes
+  || List.mem s [ "/proc"; "/dev"; "/sys" ]

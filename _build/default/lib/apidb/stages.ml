@@ -1,0 +1,184 @@
+(** Development-stage classification of the system call table.
+
+    Table 4 of the paper partitions the 272 system calls with
+    non-negligible usage into five implementation stages, ordered by
+    API importance. We reproduce that structure: stages I-IV follow the
+    paper's sample listings and sizes (40 / +41 / +64 / +57), and stage
+    V (+70) is split into three importance bands so that the measured
+    importance distribution matches Figure 2 (224 calls at 100%
+    importance, roughly 33 between 10% and 100%, and a long tail).
+
+    Everything not staged is either [Tail] (used by rare special-purpose
+    packages only), [Retired] (the five retired-but-still-attempted
+    calls of Section 3.1), or [Unused] (Table 3: eight calls with no
+    observed use plus the ten numbers with no kernel entry point). *)
+
+type stage =
+  | S1  (** the 40 calls without which "hello world" cannot run *)
+  | S2  (** +41: basic I/O multiplexing, sockets, process control *)
+  | S3  (** +64: half of a typical installation works *)
+  | S4  (** +57: 90% weighted completeness *)
+  | S5_essential
+      (** stage-V calls that are nevertheless indispensable (importance
+          ~100% because an essential package uses them) *)
+  | S5_medium  (** stage-V calls with importance between 10% and 100% *)
+  | S5_low  (** stage-V calls with importance below 10% *)
+  | Tail  (** used only by rare special-purpose packages *)
+  | Retired  (** retired but still attempted (uselib, nfsservctl, ...) *)
+  | Unused  (** no observed use in the repository (Table 3) *)
+  | No_entry  (** defined number with no kernel entry point *)
+
+let stage1 =
+  [ "read"; "write"; "open"; "close"; "stat"; "fstat"; "lstat"; "mmap";
+    "mprotect"; "munmap"; "madvise"; "rt_sigaction"; "rt_sigprocmask";
+    "rt_sigreturn"; "getpid"; "gettid"; "exit"; "exit_group"; "kill";
+    "tgkill"; "fcntl"; "getcwd"; "sched_yield"; "dup2"; "vfork";
+    "execve"; "getuid"; "getgid"; "getrlimit"; "arch_prctl"; "futex";
+    "clone"; "set_tid_address"; "set_robust_list"; "getdents"; "lseek";
+    "newfstatat"; "openat"; "writev"; "uname" ]
+
+let stage2 =
+  [ "mremap"; "ioctl"; "access"; "socket"; "poll"; "recvmsg"; "dup";
+    "unlink"; "wait4"; "select"; "chdir"; "pipe"; "connect"; "sendto";
+    "recvfrom"; "sendmsg"; "bind"; "getsockname"; "getpeername";
+    "setsockopt"; "getsockopt"; "fork"; "mkdir"; "rename"; "readlink";
+    "nanosleep"; "gettimeofday"; "umask"; "fsync"; "fdatasync"; "fchmod";
+    "fchown"; "getppid"; "getpgrp"; "setsid"; "geteuid"; "getegid";
+    "readv"; "times"; "socketpair"; "sysinfo" ]
+
+let stage3 =
+  [ "sigaltstack"; "shutdown"; "symlink"; "alarm"; "listen"; "pread64";
+    "getxattr"; "shmget"; "epoll_wait"; "chroot"; "sync"; "getrusage";
+    "accept"; "chown"; "chmod"; "truncate"; "ftruncate"; "fchdir";
+    "rmdir"; "creat"; "link"; "lchown"; "setuid"; "setgid"; "setpgid";
+    "setreuid"; "setregid"; "getgroups"; "setgroups"; "setresuid";
+    "getresuid"; "setresgid"; "getresgid"; "getsid"; "setpriority";
+    "getpriority"; "sched_getaffinity"; "sched_setaffinity";
+    "setitimer"; "getitimer"; "personality"; "statfs"; "fstatfs";
+    "setrlimit"; "epoll_create"; "epoll_ctl"; "epoll_create1";
+    "getdents64"; "utimes"; "pwrite64"; "sendfile"; "dup3"; "eventfd2";
+    "inotify_init"; "inotify_add_watch"; "inotify_rm_watch";
+    "timerfd_create"; "timerfd_settime"; "prctl"; "mknod"; "msync";
+    "mincore"; "mlock"; "munlock" ]
+
+let stage4 =
+  [ "flock"; "semget"; "ppoll"; "mount"; "brk"; "pause";
+    "clock_gettime"; "getpgid"; "settimeofday"; "capset"; "reboot";
+    "unshare"; "tkill"; "semop"; "semctl"; "semtimedop"; "shmat";
+    "shmctl"; "shmdt"; "msgget"; "msgsnd"; "msgrcv"; "msgctl";
+    "clock_getres"; "clock_nanosleep"; "clock_settime"; "iopl";
+    "ioperm"; "signalfd4"; "umount2"; "swapon"; "swapoff";
+    "sethostname"; "setdomainname"; "init_module"; "delete_module";
+    "finit_module"; "pivot_root"; "acct"; "adjtimex"; "syslog";
+    "ptrace"; "vhangup"; "modify_ldt"; "setfsuid"; "setfsgid";
+    "capget"; "rt_sigpending"; "rt_sigtimedwait"; "rt_sigsuspend";
+    "rt_sigqueueinfo"; "mlockall"; "munlockall"; "readahead";
+    "setxattr"; "lsetxattr"; "fsetxattr" ]
+
+let stage5_essential =
+  [ "timer_create"; "timer_settime"; "timer_gettime"; "timer_delete";
+    "timer_getoverrun"; "splice"; "utimensat"; "fallocate";
+    "prlimit64"; "sched_setscheduler"; "sched_setparam";
+    "sched_getscheduler"; "sched_getparam"; "sched_get_priority_max";
+    "sched_get_priority_min"; "sched_rr_get_interval";
+    "inotify_init1"; "timerfd_gettime"; "waitid"; "accept4"; "pipe2";
+    "fadvise64" ]
+
+let stage5_medium =
+  [ "mbind"; "add_key"; "keyctl"; "request_key"; "preadv"; "pwritev";
+    "utime"; "name_to_handle_at"; "perf_event_open"; "sendmmsg";
+    "ioprio_set"; "ioprio_get"; "mknodat"; "unlinkat"; "linkat";
+    "symlinkat"; "renameat"; "readlinkat"; "fchownat"; "fchmodat";
+    "futimesat"; "faccessat"; "mkdirat"; "io_setup"; "io_submit";
+    "io_destroy"; "io_cancel"; "signalfd"; "eventfd"; "vmsplice";
+    "tee"; "sync_file_range"; "lgetxattr" ]
+
+let stage5_low =
+  [ "epoll_pwait"; "pselect6"; "getcpu"; "clock_adjtime"; "renameat2";
+    "getrandom"; "memfd_create"; "setns"; "process_vm_readv";
+    "process_vm_writev"; "kcmp"; "recvmmsg"; "io_getevents";
+    "fanotify_init"; "fanotify_mark" ]
+
+let tail =
+  [ "_sysctl"; "ustat"; "time"; "quotactl"; "migrate_pages";
+    "kexec_load"; "kexec_file_load"; "seccomp"; "sched_setattr";
+    "sched_getattr"; "bpf"; "execveat"; "open_by_handle_at"; "mq_open";
+    "mq_unlink"; "mq_timedsend"; "mq_timedreceive"; "mq_getsetattr";
+    "fgetxattr"; "listxattr"; "llistxattr"; "flistxattr";
+    "removexattr"; "lremovexattr"; "fremovexattr"; "syncfs";
+    "set_mempolicy"; "get_mempolicy" ]
+
+(* The eight calls with defined entry points but no observed use
+   (Table 3), in addition to the ten no-entry numbers. *)
+let unused =
+  [ "sysfs"; "rt_tgsigqueueinfo"; "get_robust_list";
+    "remap_file_pages"; "mq_notify"; "lookup_dcookie";
+    "restart_syscall"; "move_pages" ]
+
+let stage5 = stage5_essential @ stage5_medium @ stage5_low
+
+(* Cumulative stage sets, matching Table 4's "# supported" column. *)
+let cumulative = function
+  | 1 -> stage1
+  | 2 -> stage1 @ stage2
+  | 3 -> stage1 @ stage2 @ stage3
+  | 4 -> stage1 @ stage2 @ stage3 @ stage4
+  | 5 -> stage1 @ stage2 @ stage3 @ stage4 @ stage5
+  | n -> invalid_arg (Printf.sprintf "Stages.cumulative: %d" n)
+
+let by_name : (string, stage) Hashtbl.t =
+  let h = Hashtbl.create 512 in
+  let put stage names = List.iter (fun n -> Hashtbl.replace h n stage) names in
+  put S1 stage1;
+  put S2 stage2;
+  put S3 stage3;
+  put S4 stage4;
+  put S5_essential stage5_essential;
+  put S5_medium stage5_medium;
+  put S5_low stage5_low;
+  put Tail tail;
+  put Unused unused;
+  put Retired Syscall_table.retired_tried_names;
+  put No_entry Syscall_table.no_entry_names;
+  h
+
+let stage_of_name name =
+  match Hashtbl.find_opt by_name name with
+  | Some s -> s
+  | None ->
+    invalid_arg (Printf.sprintf "Stages.stage_of_name: unclassified %s" name)
+
+let stage_of_nr nr = stage_of_name (Syscall_table.name_of_nr nr)
+
+let stage_name = function
+  | S1 -> "I"
+  | S2 -> "II"
+  | S3 -> "III"
+  | S4 -> "IV"
+  | S5_essential -> "V/essential"
+  | S5_medium -> "V/medium"
+  | S5_low -> "V/low"
+  | Tail -> "tail"
+  | Retired -> "retired"
+  | Unused -> "unused"
+  | No_entry -> "no-entry"
+
+(* Target importance band for calibration of the synthetic
+   distribution, expressed as (low, high) probabilities that a random
+   installation needs the call. *)
+let importance_band = function
+  | S1 | S2 | S3 | S4 | S5_essential -> (0.999, 1.0)
+  | S5_medium -> (0.10, 0.95)
+  | S5_low -> (0.01, 0.10)
+  | Tail | Retired -> (0.001, 0.08)
+  | Unused | No_entry -> (0.0, 0.0)
+
+let all_staged = cumulative 5
+
+(* Sanity: sizes follow Table 4. Checked again by the test suite. *)
+let () =
+  assert (List.length stage1 = 40);
+  assert (List.length stage2 = 41);
+  assert (List.length stage3 = 64);
+  assert (List.length stage4 = 57);
+  assert (List.length stage5 = 70)

@@ -1,0 +1,62 @@
+(** Profiles of the Linux-compatible systems and emulation layers
+    evaluated in Section 4.1 (Table 6).
+
+    The paper identifies each system's supported system call list by
+    inspecting its sources. We model a system as: the size of its
+    supported set, plus the calls the paper explicitly reports as
+    missing (its "suggested APIs to add"). The concrete supported set
+    is constructed against an importance ranking: take calls in rank
+    order, skipping the known-missing ones, until the reported count is
+    reached. This mirrors how mature layers cover the important calls
+    first while still lacking the specific ones the paper names. *)
+
+type profile = {
+  name : string;
+  supported_count : int;
+  missing : string list;  (** paper's "suggested APIs to add" *)
+  paper_completeness : float;  (** Table 6's W.Comp. column *)
+}
+
+let profiles =
+  [ { name = "User-Mode-Linux 3.19";
+      supported_count = 284;
+      missing = [ "name_to_handle_at"; "iopl"; "ioperm"; "perf_event_open" ];
+      paper_completeness = 0.931 };
+    { name = "L4Linux 4.3";
+      supported_count = 286;
+      missing = [ "quotactl"; "migrate_pages"; "kexec_load" ];
+      paper_completeness = 0.993 };
+    { name = "FreeBSD-emu 10.2";
+      supported_count = 225;
+      missing =
+        [ "inotify_init"; "inotify_init1"; "inotify_add_watch";
+          "inotify_rm_watch"; "splice"; "umount2"; "timerfd_create";
+          "timerfd_settime"; "timerfd_gettime" ];
+      paper_completeness = 0.623 };
+    { name = "Graphene";
+      supported_count = 143;
+      missing =
+        [ "sched_setscheduler"; "sched_setparam"; "statfs"; "utimes";
+          "getxattr"; "fallocate"; "eventfd2" ];
+      paper_completeness = 0.0042 };
+    { name = "Graphene+sched";
+      supported_count = 145;
+      missing = [ "statfs"; "utimes"; "getxattr"; "fallocate"; "eventfd2" ];
+      paper_completeness = 0.211 } ]
+
+let find name = List.find_opt (fun p -> p.name = name) profiles
+
+(* Construct the concrete supported set of a profile given a ranking of
+   syscall numbers from most to least important. *)
+let supported_set ~ranking profile =
+  let missing_nrs =
+    List.filter_map Syscall_table.nr_of_name profile.missing
+  in
+  let rec take acc n = function
+    | [] -> acc
+    | nr :: rest ->
+      if n = 0 then acc
+      else if List.mem nr missing_nrs then take acc n rest
+      else take (nr :: acc) (n - 1) rest
+  in
+  take [] profile.supported_count ranking |> List.rev

@@ -1,0 +1,148 @@
+(** API variant families studied in Section 5 (Tables 8-11): pairs or
+    groups of system calls providing similar functionality, where the
+    paper contrasts adoption of the secure vs. insecure, new vs. old,
+    Linux-specific vs. portable, and powerful vs. simple variants.
+
+    Each member carries the paper's measured unweighted API importance
+    (the fraction of packages using the call). These values calibrate
+    the synthetic distribution generator's per-package adoption rates
+    and serve as the reference column in the experiment reports. *)
+
+type category =
+  | Id_management  (** Table 8: unclear vs well-defined set*id semantics *)
+  | Directory_races  (** Table 8: non-atomic vs atomic *at operations *)
+  | Old_vs_new  (** Table 9 *)
+  | Linux_vs_portable  (** Table 10 *)
+  | Powerful_vs_simple  (** Table 11 *)
+
+type role = Insecure | Secure | Old | New | Linux_specific | Portable
+          | Powerful | Simple
+
+type member = {
+  syscall : string;
+  role : role;
+  paper_unweighted : float;  (** fraction of packages, from the paper *)
+}
+
+type family = { category : category; title : string; members : member list }
+
+let m syscall role paper_unweighted = { syscall; role; paper_unweighted }
+
+let families =
+  [ { category = Id_management;
+      title = "setuid family";
+      members =
+        [ m "setuid" Insecure 0.1567; m "setreuid" Insecure 0.0188;
+          m "setresuid" Secure 0.9968 ] };
+    { category = Id_management;
+      title = "setgid family";
+      members =
+        [ m "setgid" Insecure 0.1207; m "setregid" Insecure 0.0124;
+          m "setresgid" Secure 0.9968 ] };
+    { category = Id_management;
+      title = "getuid family";
+      members =
+        [ m "getuid" Insecure 0.9981; m "geteuid" Insecure 0.5515;
+          m "getresuid" Secure 0.3619 ] };
+    { category = Id_management;
+      title = "getgid family";
+      members =
+        [ m "getgid" Insecure 0.9981; m "getegid" Insecure 0.4887;
+          m "getresgid" Secure 0.3614 ] };
+    { category = Directory_races;
+      title = "access vs faccessat";
+      members = [ m "access" Insecure 0.7424; m "faccessat" Secure 0.0063 ] };
+    { category = Directory_races;
+      title = "mkdir vs mkdirat";
+      members = [ m "mkdir" Insecure 0.5207; m "mkdirat" Secure 0.0034 ] };
+    { category = Directory_races;
+      title = "rename vs renameat";
+      members = [ m "rename" Insecure 0.4318; m "renameat" Secure 0.0030 ] };
+    { category = Directory_races;
+      title = "readlink vs readlinkat";
+      members = [ m "readlink" Insecure 0.4638; m "readlinkat" Secure 0.0050 ] };
+    { category = Directory_races;
+      title = "chown vs fchownat";
+      members = [ m "chown" Insecure 0.2459; m "fchownat" Secure 0.0023 ] };
+    { category = Directory_races;
+      title = "chmod vs fchmodat";
+      members = [ m "chmod" Insecure 0.3980; m "fchmodat" Secure 0.0013 ] };
+    { category = Old_vs_new;
+      title = "getdents vs getdents64";
+      members = [ m "getdents" Old 0.9980; m "getdents64" New 0.0008 ] };
+    { category = Old_vs_new;
+      title = "utime vs utimes";
+      members = [ m "utime" Old 0.0857; m "utimes" New 0.1790 ] };
+    { category = Old_vs_new;
+      title = "fork family vs clone";
+      members =
+        [ m "fork" Old 0.0007; m "vfork" Old 0.9968; m "clone" New 0.9986 ] };
+    { category = Old_vs_new;
+      title = "tkill vs tgkill";
+      members = [ m "tkill" Old 0.0051; m "tgkill" New 0.9980 ] };
+    { category = Old_vs_new;
+      title = "wait4 vs waitid";
+      members = [ m "wait4" Old 0.6056; m "waitid" New 0.0024 ] };
+    { category = Linux_vs_portable;
+      title = "preadv vs readv";
+      members = [ m "preadv" Linux_specific 0.0015; m "readv" Portable 0.6223 ] };
+    { category = Linux_vs_portable;
+      title = "pwritev vs writev";
+      members =
+        [ m "pwritev" Linux_specific 0.0016; m "writev" Portable 0.9980 ] };
+    { category = Linux_vs_portable;
+      title = "accept4 vs accept";
+      members =
+        [ m "accept4" Linux_specific 0.0093; m "accept" Portable 0.2935 ] };
+    { category = Linux_vs_portable;
+      title = "ppoll vs poll";
+      members = [ m "ppoll" Linux_specific 0.0390; m "poll" Portable 0.7107 ] };
+    { category = Linux_vs_portable;
+      title = "recvmmsg vs recvmsg";
+      members =
+        [ m "recvmmsg" Linux_specific 0.0011; m "recvmsg" Portable 0.6882 ] };
+    { category = Linux_vs_portable;
+      title = "sendmmsg vs sendmsg";
+      members =
+        [ m "sendmmsg" Linux_specific 0.0517; m "sendmsg" Portable 0.4249 ] };
+    { category = Linux_vs_portable;
+      title = "pipe2 vs pipe";
+      members = [ m "pipe2" Linux_specific 0.4033; m "pipe" Portable 0.5033 ] };
+    { category = Powerful_vs_simple;
+      title = "pread64 vs read";
+      members = [ m "read" Simple 0.9988; m "pread64" Powerful 0.2723 ] };
+    { category = Powerful_vs_simple;
+      title = "dup family";
+      members =
+        [ m "dup3" Powerful 0.0872; m "dup2" Simple 0.9975;
+          m "dup" Simple 0.6664 ] };
+    { category = Powerful_vs_simple;
+      title = "recvmsg vs recvfrom";
+      members = [ m "recvmsg" Powerful 0.6882; m "recvfrom" Simple 0.5380 ] };
+    { category = Powerful_vs_simple;
+      title = "sendmsg vs sendto";
+      members = [ m "sendmsg" Powerful 0.4249; m "sendto" Simple 0.7171 ] };
+    { category = Powerful_vs_simple;
+      title = "pselect6 vs select";
+      members = [ m "select" Simple 0.6153; m "pselect6" Powerful 0.0413 ] };
+    { category = Powerful_vs_simple;
+      title = "fchdir vs chdir";
+      members = [ m "chdir" Simple 0.4461; m "fchdir" Powerful 0.0220 ] } ]
+
+let with_category c = List.filter (fun f -> f.category = c) families
+
+(* Every syscall mentioned in a family, with its target adoption rate.
+   Later entries do not override earlier ones: the first (table-order)
+   figure wins, which keeps duplicated members (recvmsg, sendmsg)
+   consistent. *)
+let adoption_targets : (string * float) list =
+  let seen = Hashtbl.create 64 in
+  List.concat_map (fun f -> f.members) families
+  |> List.filter_map (fun mem ->
+         if Hashtbl.mem seen mem.syscall then None
+         else begin
+           Hashtbl.add seen mem.syscall ();
+           Some (mem.syscall, mem.paper_unweighted)
+         end)
+
+let adoption_target syscall = List.assoc_opt syscall adoption_targets

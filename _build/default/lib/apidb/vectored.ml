@@ -1,0 +1,199 @@
+(** Operation-code tables for the vectored system calls studied in
+    Section 3.3: ioctl (635 codes defined in Linux 3.19 plus drivers),
+    fcntl (18 codes) and prctl (44 codes).
+
+    The head of each table lists real kernel opcode names and values.
+    For ioctl, the long driver-defined tail is modelled with synthetic
+    per-driver families: the study treats opcodes as opaque scalars, so
+    only their count and usage tier matter. Tiers drive calibration:
+    [Ubiquitous] codes are requested by essential packages (importance
+    ~100%), [Common] by enough packages to exceed 1% importance,
+    [Rare] by at least one package, and [Unused] by none. *)
+
+type tier = Ubiquitous | Common | Rare | Unused
+
+type op = { vector : Api.vector; name : string; code : int; tier : tier }
+
+let op vector tier (name, code) = { vector; name; code; tier }
+
+(* 47 TTY-console and generic I/O-device codes with ~100% importance
+   plus five more (Figure 4 highlights 52 codes at 100%). *)
+let ioctl_ubiquitous =
+  [ ("TCGETS", 0x5401); ("TCSETS", 0x5402); ("TCSETSW", 0x5403);
+    ("TCSETSF", 0x5404); ("TCGETA", 0x5405); ("TCSETA", 0x5406);
+    ("TCSETAW", 0x5407); ("TCSETAF", 0x5408); ("TCSBRK", 0x5409);
+    ("TCXONC", 0x540A); ("TCFLSH", 0x540B); ("TIOCEXCL", 0x540C);
+    ("TIOCSCTTY", 0x540E); ("TIOCGPGRP", 0x540F); ("TIOCSPGRP", 0x5410);
+    ("TIOCOUTQ", 0x5411); ("TIOCSTI", 0x5412); ("TIOCGWINSZ", 0x5413);
+    ("TIOCSWINSZ", 0x5414); ("TIOCMGET", 0x5415); ("TIOCMBIS", 0x5416);
+    ("TIOCMBIC", 0x5417); ("TIOCMSET", 0x5418); ("TIOCGSOFTCAR", 0x5419);
+    ("TIOCSSOFTCAR", 0x541A); ("FIONREAD", 0x541B); ("TIOCPKT", 0x5420);
+    ("FIONBIO", 0x5421); ("TIOCNOTTY", 0x5422); ("TIOCSETD", 0x5423);
+    ("TIOCGETD", 0x5424); ("TCSBRKP", 0x5425); ("TIOCSBRK", 0x5427);
+    ("TIOCCBRK", 0x5428); ("TIOCGSID", 0x5429);
+    ("TIOCGLCKTRMIOS", 0x5456); ("TIOCSLCKTRMIOS", 0x5457);
+    ("TIOCGICOUNT", 0x545D); ("TIOCMIWAIT", 0x545C);
+    ("FIONCLEX", 0x5450); ("FIOCLEX", 0x5451); ("FIOASYNC", 0x5452);
+    ("FIOQSIZE", 0x5460); ("TIOCGPTN", 0x80045430);
+    ("TIOCSPTLCK", 0x40045431); ("FIOGETOWN", 0x8903);
+    ("FIOSETOWN", 0x8901);
+    (* generic, non-TTY *)
+    ("FIGETBSZ", 0x2); ("SIOCGIFCONF", 0x8912); ("SIOCGIFFLAGS", 0x8913);
+    ("SIOCGIFADDR", 0x8915); ("SIOCGIFHWADDR", 0x8927) ]
+
+(* Codes used widely enough to exceed 1% importance (Figure 4 counts
+   188 such codes including the ubiquitous head). *)
+let ioctl_common_named =
+  [ ("SIOCSIFFLAGS", 0x8914); ("SIOCSIFADDR", 0x8916);
+    ("SIOCGIFNETMASK", 0x891B); ("SIOCSIFNETMASK", 0x891C);
+    ("SIOCGIFMTU", 0x8921); ("SIOCSIFMTU", 0x8922);
+    ("SIOCGIFINDEX", 0x8933); ("SIOCETHTOOL", 0x8946);
+    ("SIOCGIFNAME", 0x8910); ("SIOCADDRT", 0x890B);
+    ("SIOCDELRT", 0x890C); ("SIOCGIFBRDADDR", 0x8919);
+    ("SIOCGIFCOUNT", 0x8938); ("SIOCGARP", 0x8954);
+    ("BLKGETSIZE", 0x1260); ("BLKSSZGET", 0x1268);
+    ("BLKGETSIZE64", 0x80081272); ("BLKFLSBUF", 0x1261);
+    ("BLKROGET", 0x125E); ("BLKRRPART", 0x125F);
+    ("BLKDISCARD", 0x1277); ("FITRIM", 0xC0185879);
+    ("HDIO_GETGEO", 0x0301); ("HDIO_GET_IDENTITY", 0x030D);
+    ("CDROMEJECT", 0x5309); ("CDROMCLOSETRAY", 0x5319);
+    ("CDROM_GET_CAPABILITY", 0x5331); ("CDROM_DRIVE_STATUS", 0x5326);
+    ("SG_IO", 0x2285); ("SG_GET_VERSION_NUM", 0x2282);
+    ("LOOP_SET_FD", 0x4C00); ("LOOP_CLR_FD", 0x4C01);
+    ("LOOP_GET_STATUS64", 0x4C05); ("LOOP_SET_STATUS64", 0x4C04);
+    ("LOOP_CTL_GET_FREE", 0x4C82);
+    ("VT_GETSTATE", 0x5603); ("VT_ACTIVATE", 0x5606);
+    ("VT_WAITACTIVE", 0x5607); ("VT_OPENQRY", 0x5600);
+    ("KDGETLED", 0x4B31); ("KDGKBTYPE", 0x4B33); ("KDGKBMODE", 0x4B44);
+    ("KDSKBMODE", 0x4B45); ("KDGETMODE", 0x4B3B); ("KDSETMODE", 0x4B3A);
+    ("RTC_RD_TIME", 0x80247009); ("RTC_SET_TIME", 0x4024700A);
+    ("RTC_UIE_ON", 0x7003); ("RTC_UIE_OFF", 0x7004);
+    ("TUNSETIFF", 0x400454CA); ("TUNSETPERSIST", 0x400454CB);
+    ("TUNGETFEATURES", 0x800454CF);
+    ("FS_IOC_GETFLAGS", 0x80086601); ("FS_IOC_SETFLAGS", 0x40086602);
+    ("FS_IOC_FIEMAP", 0xC020660B); ("FIBMAP", 0x1);
+    ("EVIOCGVERSION", 0x80044501); ("EVIOCGID", 0x80084502);
+    ("EVIOCGNAME", 0x80FF4506); ("EVIOCGBIT", 0x80FF4520);
+    ("EVIOCGRAB", 0x40044590);
+    ("SNDCTL_DSP_SPEED", 0xC0045002); ("SNDCTL_DSP_SETFMT", 0xC0045005);
+    ("SNDCTL_DSP_CHANNELS", 0xC0045006); ("SNDCTL_DSP_GETBLKSIZE", 0xC0045004);
+    ("SIOCINQ", 0x541B0001); ("SIOCOUTQ", 0x54110001);
+    ("PERF_EVENT_IOC_ENABLE", 0x2400); ("PERF_EVENT_IOC_DISABLE", 0x2401);
+    ("PPPIOCGUNIT", 0x80047456); ("PPPIOCNEWUNIT", 0xC004743E) ]
+
+(* Synthetic driver families filling the long tail out to the 635
+   codes of Linux 3.19. (family, ioctl type byte, count). *)
+let ioctl_families =
+  [ ("DRM_IOCTL", 0x64, 64); ("KVM", 0xAE, 48); ("VIDIOC", 0x56, 56);
+    ("SNDRV_PCM_IOCTL", 0x41, 40); ("SNDRV_CTL_IOCTL", 0x55, 28);
+    ("USBDEVFS", 0x75, 30); ("HIDIOC", 0x48, 16); ("BTRFS_IOC", 0x94, 44);
+    ("XFS_IOC", 0x58, 24); ("EXT4_IOC", 0x66, 12); ("NBD", 0xAB, 10);
+    ("MEMIOC", 0x4D, 12); ("WDIOC", 0x57, 10); ("I2C", 0x07, 10);
+    ("SPI_IOC", 0x6B, 8); ("FDIOC", 0x02, 12); ("MTIOC", 0x6D, 8);
+    ("RNDIOC", 0x52, 6); ("VHOST", 0xAF, 14); ("FUSE_DEV_IOC", 0xE5, 4);
+    ("AUTOFS_IOC", 0x93, 10); ("DM_IOC", 0xFD, 16); ("SCSI_IOCTL", 0x53, 12);
+    ("ATMIOC", 0x61, 10); ("GPIOIOC", 0xB4, 6) ]
+
+let ioctl_family_ops =
+  let make (family, ty, count) =
+    List.init count (fun i ->
+        let name = Printf.sprintf "%s_%02d" family i in
+        (* Encode _IO(type, nr) style: type byte shifted into bits 8-15. *)
+        let code = (ty lsl 8) lor i lor 0x100000 in
+        (name, code))
+  in
+  List.concat_map make ioctl_families
+
+let ioctl_target_total = 635
+
+let ioctl_ops =
+  let named_ubiq = List.map (op Api.Ioctl Ubiquitous) ioctl_ubiquitous in
+  let named_common = List.map (op Api.Ioctl Common) ioctl_common_named in
+  (* Figure 4: 188 codes above 1% importance, 280 with any use at all,
+     the rest unused. Distribute the synthetic tail accordingly. *)
+  let n_named = List.length named_ubiq + List.length named_common in
+  let n_common_extra = max 0 (188 - n_named) in
+  let n_rare = max 0 (280 - 188) in
+  let tail_tiers =
+    List.mapi
+      (fun i entry ->
+        let tier =
+          if i < n_common_extra then Common
+          else if i < n_common_extra + n_rare then Rare
+          else Unused
+        in
+        op Api.Ioctl tier entry)
+      ioctl_family_ops
+  in
+  let all = named_ubiq @ named_common @ tail_tiers in
+  (* Top up with anonymous driver codes if families fall short. *)
+  let missing = max 0 (ioctl_target_total - List.length all) in
+  let extra =
+    List.init missing (fun i ->
+        op Api.Ioctl Unused (Printf.sprintf "DRIVER_PRIV_%03d" i, 0x200000 lor i))
+  in
+  all @ extra
+
+let fcntl_ops =
+  let u = op Api.Fcntl Ubiquitous and c = op Api.Fcntl Common in
+  let r = op Api.Fcntl Rare in
+  [ u ("F_DUPFD", 0); u ("F_GETFD", 1); u ("F_SETFD", 2); u ("F_GETFL", 3);
+    u ("F_SETFL", 4); u ("F_GETLK", 5); u ("F_SETLK", 6); u ("F_SETLKW", 7);
+    u ("F_SETOWN", 8); u ("F_GETOWN", 9); u ("F_DUPFD_CLOEXEC", 1030);
+    c ("F_SETSIG", 10); c ("F_GETSIG", 11); c ("F_SETLEASE", 1024);
+    c ("F_GETLEASE", 1025); c ("F_NOTIFY", 1026);
+    r ("F_SETOWN_EX", 15); r ("F_GETOWN_EX", 16) ]
+
+let prctl_ops =
+  let u = op Api.Prctl Ubiquitous and c = op Api.Prctl Common in
+  let r = op Api.Prctl Rare and x = op Api.Prctl Unused in
+  [ (* Nine codes at ~100% importance (Figure 5). *)
+    u ("PR_SET_NAME", 15); u ("PR_GET_NAME", 16);
+    u ("PR_SET_PDEATHSIG", 1); u ("PR_GET_DUMPABLE", 3);
+    u ("PR_SET_DUMPABLE", 4); u ("PR_SET_SECCOMP", 22);
+    u ("PR_GET_SECCOMP", 21); u ("PR_SET_NO_NEW_PRIVS", 38);
+    u ("PR_SET_KEEPCAPS", 8);
+    (* Nine more above 20% importance (eighteen total). *)
+    c ("PR_GET_PDEATHSIG", 2); c ("PR_GET_KEEPCAPS", 7);
+    c ("PR_CAPBSET_READ", 23); c ("PR_CAPBSET_DROP", 24);
+    c ("PR_SET_SECUREBITS", 28); c ("PR_GET_SECUREBITS", 27);
+    c ("PR_SET_TIMERSLACK", 29); c ("PR_GET_TIMERSLACK", 30);
+    c ("PR_SET_CHILD_SUBREAPER", 36);
+    (* The rarely-used remainder of the 44 codes in Linux 3.19. *)
+    r ("PR_GET_CHILD_SUBREAPER", 37); r ("PR_GET_NO_NEW_PRIVS", 39);
+    r ("PR_SET_PTRACER", 0x59616d61); r ("PR_GET_TID_ADDRESS", 40);
+    r ("PR_MCE_KILL", 33); r ("PR_MCE_KILL_GET", 34);
+    r ("PR_SET_MM", 35); r ("PR_GET_TSC", 25); r ("PR_SET_TSC", 26);
+    r ("PR_GET_TIMING", 13); r ("PR_SET_TIMING", 14);
+    x ("PR_GET_UNALIGN", 5); x ("PR_SET_UNALIGN", 6);
+    x ("PR_GET_FPEMU", 9); x ("PR_SET_FPEMU", 10);
+    x ("PR_GET_FPEXC", 11); x ("PR_SET_FPEXC", 12);
+    x ("PR_GET_ENDIAN", 19); x ("PR_SET_ENDIAN", 20);
+    x ("PR_TASK_PERF_EVENTS_DISABLE", 31);
+    x ("PR_TASK_PERF_EVENTS_ENABLE", 32);
+    x ("PR_SET_THP_DISABLE", 41); x ("PR_GET_THP_DISABLE", 42);
+    x ("PR_MPX_ENABLE_MANAGEMENT", 43); x ("PR_MPX_DISABLE_MANAGEMENT", 44) ]
+
+let all_ops = ioctl_ops @ fcntl_ops @ prctl_ops
+
+let ops_of_vector = function
+  | Api.Ioctl -> ioctl_ops
+  | Api.Fcntl -> fcntl_ops
+  | Api.Prctl -> prctl_ops
+
+let by_api : (Api.t, op) Hashtbl.t =
+  let h = Hashtbl.create 1024 in
+  List.iter (fun o -> Hashtbl.replace h (Api.Vop (o.vector, o.code)) o) all_ops;
+  h
+
+let find vector code = Hashtbl.find_opt by_api (Api.Vop (vector, code))
+
+let name vector code =
+  match find vector code with
+  | Some o -> o.name
+  | None -> Printf.sprintf "%s:0x%x" (Api.vector_name vector) code
+
+let api_of_op o = Api.Vop (o.vector, o.code)
+
+let with_tier vector tier =
+  List.filter (fun o -> o.tier = tier) (ops_of_vector vector)

@@ -1,0 +1,1 @@
+lib/asm/builder.ml: Buffer Encode Hashtbl Insn Int32 Int64 Lapis_apidb Lapis_elf Lapis_x86 List Program String

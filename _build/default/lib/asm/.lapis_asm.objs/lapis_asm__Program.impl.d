@@ -1,0 +1,1 @@
+lib/asm/program.ml: Lapis_apidb Lapis_elf

@@ -1,0 +1,202 @@
+(** Two-pass assembler: expands {!Program.op} lists into the
+    {!Lapis_x86.Insn} subset, lays out functions, PLT stubs, strings
+    and the GOT, then emits an {!Lapis_elf.Image.t} ready for
+    {!Lapis_elf.Writer}. All emitted relative displacements are imm32,
+    so instruction sizes are layout-independent and one sizing pass
+    suffices. *)
+
+open Lapis_x86
+
+(* Pre-instructions: concrete instructions plus symbolic references
+   that are resolved once addresses are known. *)
+type pre =
+  | I of Insn.t
+  | Call_fn of string  (** call rel32 to a local function *)
+  | Call_stub of string  (** call rel32 to an import's PLT stub *)
+  | Lea_str of Insn.reg * string  (** lea reg, [rip + &string] *)
+  | Lea_fn of Insn.reg * string  (** lea reg, [rip + &function] *)
+  | Stub_jmp of string  (** PLT stub body: jmp [rip + &got_slot] *)
+
+let pre_size = function
+  | I insn -> Encode.length insn
+  | Call_fn _ | Call_stub _ -> 5
+  | Lea_str _ | Lea_fn _ -> 7
+  | Stub_jmp _ -> 6
+
+exception Unknown_symbol of string
+
+let expand_op (op : Program.op) : pre list =
+  match op with
+  | Program.Direct_syscall nr ->
+    [ I (Insn.Mov_ri (Insn.RAX, Int64.of_int nr)); I Insn.Syscall ]
+  | Program.Direct_syscall_unknown ->
+    [ I (Insn.Mov_rr (Insn.RAX, Insn.R12)); I Insn.Syscall ]
+  | Program.Int80_syscall nr ->
+    [ I (Insn.Mov_ri (Insn.RAX, Int64.of_int nr)); I Insn.Int80 ]
+  | Program.Vectored_syscall (v, code) ->
+    [ I (Insn.Mov_ri (Insn.RDI, 3L));
+      I (Insn.Mov_ri (Insn.RSI, Int64.of_int code));
+      I (Insn.Mov_ri (Insn.RAX,
+                      Int64.of_int (Lapis_apidb.Api.vector_syscall_nr v)));
+      I Insn.Syscall ]
+  | Program.Call_local f -> [ Call_fn f ]
+  | Program.Call_import f -> [ Call_stub f ]
+  | Program.Call_import_vop (f, _, code) ->
+    [ I (Insn.Mov_ri (Insn.RSI, Int64.of_int code)); Call_stub f ]
+  | Program.Call_syscall_import nr ->
+    [ I (Insn.Mov_ri (Insn.RDI, Int64.of_int nr)); Call_stub "syscall" ]
+  | Program.Use_string s -> [ Lea_str (Insn.RDI, s) ]
+  | Program.Take_fnptr f -> [ Lea_fn (Insn.RAX, f); I (Insn.Call_reg Insn.RAX) ]
+  | Program.Padding n -> List.init n (fun _ -> I Insn.Nop)
+
+let prologue = [ I (Insn.Push_r Insn.RBP); I (Insn.Mov_rr (Insn.RBP, Insn.RSP)) ]
+let epilogue = [ I (Insn.Pop_r Insn.RBP); I Insn.Ret ]
+
+let func_pres (f : Program.func) =
+  prologue @ List.concat_map expand_op f.Program.ops @ epilogue
+
+(* Collect, in deterministic order, the import names and strings a
+   program references. *)
+let collect_refs (prog : Program.t) =
+  let imports = ref [] and strings = ref [] in
+  let add lst x = if not (List.mem x !lst) then lst := x :: !lst in
+  List.iter
+    (fun (f : Program.func) ->
+      List.iter
+        (fun (op : Program.op) ->
+          match op with
+          | Program.Call_import name | Program.Call_import_vop (name, _, _) ->
+            add imports name
+          | Program.Call_syscall_import _ -> add imports "syscall"
+          | Program.Use_string s -> add strings s
+          | Program.Direct_syscall _ | Program.Direct_syscall_unknown
+          | Program.Int80_syscall _ | Program.Vectored_syscall _
+          | Program.Call_local _ | Program.Take_fnptr _ | Program.Padding _ ->
+            ())
+        f.Program.ops)
+    prog.Program.funcs;
+  (List.rev !imports, List.rev !strings)
+
+let assemble (prog : Program.t) : Lapis_elf.Image.t =
+  let imports, strings = collect_refs prog in
+  (* --- sizing pass --- *)
+  let bodies =
+    List.map (fun f -> (f, func_pres f)) prog.Program.funcs
+  in
+  let fn_offsets = Hashtbl.create 64 in
+  let cursor = ref 0 in
+  let fn_sizes =
+    List.map
+      (fun ((f : Program.func), pres) ->
+        let size = List.fold_left (fun a p -> a + pre_size p) 0 pres in
+        Hashtbl.replace fn_offsets f.Program.fname !cursor;
+        cursor := !cursor + size;
+        (f, pres, size))
+      bodies
+  in
+  let stub_offsets = Hashtbl.create 16 in
+  List.iter
+    (fun name ->
+      Hashtbl.replace stub_offsets name !cursor;
+      cursor := !cursor + 6)
+    imports;
+  let text_size = !cursor in
+  (* --- string table layout --- *)
+  let str_offsets = Hashtbl.create 64 in
+  let rodata_buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace str_offsets s (Buffer.length rodata_buf);
+      Buffer.add_string rodata_buf s;
+      Buffer.add_char rodata_buf '\x00')
+    strings;
+  let rodata = Buffer.contents rodata_buf in
+  (* --- address layout --- *)
+  let layout =
+    Lapis_elf.Layout.compute ~kind:prog.Program.kind
+      ~interp:prog.Program.interp ~text_size
+      ~rodata_size:(String.length rodata)
+      ~n_imports:(List.length imports)
+  in
+  let text_addr = layout.Lapis_elf.Layout.text_addr in
+  let fn_addr name =
+    match Hashtbl.find_opt fn_offsets name with
+    | Some off -> text_addr + off
+    | None -> raise (Unknown_symbol name)
+  in
+  let stub_addr name =
+    match Hashtbl.find_opt stub_offsets name with
+    | Some off -> text_addr + off
+    | None -> raise (Unknown_symbol name)
+  in
+  let str_addr s =
+    layout.Lapis_elf.Layout.rodata_addr + Hashtbl.find str_offsets s
+  in
+  let got_slot name =
+    let rec idx i = function
+      | [] -> raise (Unknown_symbol name)
+      | n :: rest -> if n = name then i else idx (i + 1) rest
+    in
+    Lapis_elf.Layout.got_slot layout (idx 0 imports)
+  in
+  (* --- emission pass --- *)
+  let text = Buffer.create text_size in
+  let emit_pre addr pre =
+    let insn =
+      match pre with
+      | I insn -> insn
+      | Call_fn f -> Insn.Call_rel (Int32.of_int (fn_addr f - (addr + 5)))
+      | Call_stub f -> Insn.Call_rel (Int32.of_int (stub_addr f - (addr + 5)))
+      | Lea_str (r, s) -> Insn.Lea_rip (r, Int32.of_int (str_addr s - (addr + 7)))
+      | Lea_fn (r, f) -> Insn.Lea_rip (r, Int32.of_int (fn_addr f - (addr + 7)))
+      | Stub_jmp name ->
+        Insn.Jmp_mem_rip (Int32.of_int (got_slot name - (addr + 6)))
+    in
+    Encode.encode_into text insn
+  in
+  List.iter
+    (fun ((_ : Program.func), pres, _) ->
+      List.iter
+        (fun pre ->
+          let addr = text_addr + Buffer.length text in
+          emit_pre addr pre)
+        pres)
+    fn_sizes;
+  List.iter
+    (fun name ->
+      let addr = text_addr + Buffer.length text in
+      emit_pre addr (Stub_jmp name))
+    imports;
+  assert (Buffer.length text = text_size);
+  (* --- symbols --- *)
+  let symbols =
+    List.map
+      (fun ((f : Program.func), _, size) ->
+        {
+          Lapis_elf.Image.sym_name = f.Program.fname;
+          sym_addr = fn_addr f.Program.fname;
+          sym_size = size;
+          sym_global = f.Program.global;
+        })
+      fn_sizes
+  in
+  let entry =
+    match prog.Program.entry_fn with Some f -> fn_addr f | None -> 0
+  in
+  {
+    Lapis_elf.Image.kind = prog.Program.kind;
+    entry;
+    text = Buffer.contents text;
+    text_addr;
+    rodata;
+    rodata_addr = layout.Lapis_elf.Layout.rodata_addr;
+    symbols;
+    imports;
+    plt_got = List.map (fun n -> (n, got_slot n)) imports;
+    needed = prog.Program.needed;
+    soname = prog.Program.soname;
+    interp = prog.Program.interp;
+  }
+
+(* Convenience: assemble straight to ELF bytes. *)
+let assemble_elf prog = Lapis_elf.Writer.write (assemble prog)

@@ -1,0 +1,12 @@
+(** Two-pass assembler: expands {!Program.op} lists into machine code,
+    lays out functions, PLT stubs, strings and the GOT, and emits a
+    linked {!Lapis_elf.Image.t}. *)
+
+exception Unknown_symbol of string
+(** Raised when a program references a local function that is not
+    defined. *)
+
+val assemble : Program.t -> Lapis_elf.Image.t
+
+val assemble_elf : Program.t -> string
+(** [Lapis_elf.Writer.write (assemble prog)]. *)

@@ -1,0 +1,68 @@
+(** High-level description of a synthetic binary: functions made of
+    operations that exercise exactly the code patterns the paper's
+    static analysis recognizes — direct syscall instructions with
+    immediate numbers, vectored syscalls with immediate opcodes, calls
+    through the PLT (including the libc [syscall] helper), hard-coded
+    pseudo-file strings, and lea-materialized function pointers. *)
+
+type op =
+  | Direct_syscall of int
+      (** mov eax, nr; syscall — inline system call *)
+  | Direct_syscall_unknown
+      (** syscall with the number computed at run time: the ~4% of
+          call sites the paper could not resolve (Section 2.4) *)
+  | Int80_syscall of int  (** legacy int $0x80 gate *)
+  | Vectored_syscall of Lapis_apidb.Api.vector * int
+      (** inline ioctl/fcntl/prctl with an immediate operation code *)
+  | Call_local of string  (** direct call to a function in this binary *)
+  | Call_import of string  (** call through the PLT *)
+  | Call_import_vop of string * Lapis_apidb.Api.vector * int
+      (** call ioctl/fcntl/prctl through libc with an immediate code *)
+  | Call_syscall_import of int
+      (** call libc's syscall() wrapper with an immediate number *)
+  | Use_string of string
+      (** materialize a .rodata string address (hard-coded path) *)
+  | Take_fnptr of string
+      (** lea of a local function then an indirect call — the
+          over-approximated function-pointer pattern of Section 7 *)
+  | Padding of int  (** filler nops, for realistic function sizes *)
+
+type func = {
+  fname : string;
+  global : bool;
+  ops : op list;
+}
+
+type t = {
+  kind : Lapis_elf.Image.kind;
+  entry_fn : string option;  (** e_entry function, executables only *)
+  funcs : func list;
+  needed : string list;
+  soname : string option;
+  interp : string option;
+}
+
+let func ?(global = true) fname ops = { fname; global; ops }
+
+let executable ?(interp = Some "/lib64/ld-linux-x86-64.so.2") ~entry_fn
+    ~needed funcs =
+  {
+    kind =
+      (if needed = [] && interp = None then Lapis_elf.Image.Exec_static
+       else Lapis_elf.Image.Exec_dynamic);
+    entry_fn = Some entry_fn;
+    funcs;
+    needed;
+    soname = None;
+    interp = (if needed = [] then None else interp);
+  }
+
+let shared_lib ~soname ~needed funcs =
+  {
+    kind = Lapis_elf.Image.Shared_lib;
+    entry_fn = None;
+    funcs;
+    needed;
+    soname = Some soname;
+    interp = None;
+  }

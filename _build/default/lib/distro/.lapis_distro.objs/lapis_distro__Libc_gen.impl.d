@@ -1,0 +1,1 @@
+lib/distro/libc_gen.ml: Api Builder Lapis_apidb Lapis_asm Libc_catalog List Program Stages Syscall_table

@@ -1,0 +1,1 @@
+lib/distro/package.ml: Hashtbl Lapis_apidb List

@@ -1,0 +1,1 @@
+lib/distro/rng.ml: Array Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/distro/rng.mli:

@@ -1,0 +1,1 @@
+lib/distro/roster.ml: Api Lapis_apidb

@@ -1,0 +1,167 @@
+(** Generator for the C runtime family binaries: libc.so.6,
+    libpthread.so.0, librt.so.1, libdl.so.2 and the dynamic linker.
+
+    Every export of {!Lapis_apidb.Libc_catalog} becomes a real function
+    in the corresponding shared library, whose body issues exactly the
+    system calls, vectored opcodes and pseudo-file references the
+    catalogue records — so the analyzer discovers libc's contribution
+    to application footprints from machine code, never from the
+    catalogue. Exports with several syscalls route part of their work
+    through internal (local) helper functions to give the call graph
+    realistic depth. *)
+
+open Lapis_apidb
+open Lapis_asm
+
+let lib_of_entry (e : Libc_catalog.entry) = e.Libc_catalog.lib
+
+(* The base footprint every dynamically-linked program inherits:
+   stage-I system calls, split between the dynamic linker's startup
+   work and __libc_start_main (Table 5). *)
+let ld_startup =
+  Libc_catalog.startup_footprint Libc_catalog.Ld_so
+  |> List.filter (fun n -> List.mem n Stages.stage1)
+
+let libc_startup =
+  List.filter (fun n -> not (List.mem n ld_startup)) Stages.stage1
+
+let nr name = Syscall_table.nr_of_name_exn name
+
+(* Body of one catalogue export. *)
+let export_ops (e : Libc_catalog.entry) : Program.op list =
+  if e.Libc_catalog.name = "syscall" then
+    (* the generic syscall(2) wrapper: number supplied by the caller *)
+    [ Program.Direct_syscall_unknown ]
+  else begin
+    let vector_names = [ "ioctl"; "fcntl"; "prctl" ] in
+    let has_vops = e.Libc_catalog.vops <> [] in
+    let syscalls =
+      (* when the export requests concrete opcodes, the bare vectored
+         syscall is implied by the opcode instruction sequence *)
+      if has_vops then
+        List.filter (fun s -> not (List.mem s vector_names)) e.Libc_catalog.syscalls
+      else e.Libc_catalog.syscalls
+    in
+    let syscall_ops = List.map (fun s -> Program.Direct_syscall (nr s)) syscalls in
+    let vop_ops =
+      List.map (fun (v, code) -> Program.Vectored_syscall (v, code)) e.Libc_catalog.vops
+    in
+    let pseudo_ops =
+      List.map
+        (fun p -> Program.Use_string p)
+        (Libc_catalog.pseudo_files_of e.Libc_catalog.name)
+    in
+    let padding = [ Program.Padding (min 48 (e.Libc_catalog.size / 64)) ] in
+    syscall_ops @ vop_ops @ pseudo_ops @ padding
+  end
+
+(* Special body for __libc_start_main: program startup issues the
+   stage-I base syscalls not already covered by the dynamic linker. *)
+let libc_start_main_ops =
+  List.map (fun s -> Program.Direct_syscall (nr s)) libc_startup
+  @ [ Program.Padding 32 ]
+
+(* Split an export into a public function and an internal helper when
+   the body is large: public = first half + call to __i_<name>. *)
+let funcs_of_entry (e : Libc_catalog.entry) : Program.func list =
+  let name = e.Libc_catalog.name in
+  let ops =
+    if name = "__libc_start_main" then libc_start_main_ops else export_ops e
+  in
+  if List.length ops > 6 then begin
+    let rec split i acc = function
+      | rest when i = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> split (i - 1) (x :: acc) rest
+    in
+    let head, tail = split (List.length ops / 2) [] ops in
+    let helper = "__i_" ^ name in
+    [ Program.func name (head @ [ Program.Call_local helper ]);
+      Program.func ~global:false helper tail ]
+  end
+  else [ Program.func name ops ]
+
+let soname = Libc_catalog.lib_soname
+
+(* Imports from libc that the satellite runtime libraries use, for
+   call-graph realism across the family. *)
+let satellite_imports = function
+  | Libc_catalog.Libpthread -> [ "memcpy"; "mmap"; "munmap" ]
+  | Libc_catalog.Librt -> [ "memcpy" ]
+  | Libc_catalog.Libdl -> [ "memcpy"; "mmap"; "munmap" ]
+  | Libc_catalog.Libc | Libc_catalog.Ld_so -> []
+
+let build_runtime_lib lib : Program.t =
+  let entries = Libc_catalog.with_lib lib in
+  let funcs = List.concat_map funcs_of_entry entries in
+  let funcs =
+    match funcs with
+    | (first : Program.func) :: rest ->
+      (* attach the cross-library imports to the first export *)
+      let imports =
+        List.map (fun i -> Program.Call_import i) (satellite_imports lib)
+      in
+      { first with Program.ops = first.Program.ops @ imports } :: rest
+    | [] -> []
+  in
+  let needed = if lib = Libc_catalog.Libc then [] else [ soname Libc_catalog.Libc ] in
+  Program.shared_lib ~soname:(soname lib) ~needed funcs
+
+(* The dynamic linker: its startup work is charged to every
+   dynamically-linked executable (Table 5). *)
+let build_ld_so () : Program.t =
+  let startup =
+    List.map (fun s -> Program.Direct_syscall (nr s)) ld_startup
+  in
+  Program.shared_lib ~soname:(soname Libc_catalog.Ld_so) ~needed:[]
+    [ Program.func "_dl_start" (startup @ [ Program.Padding 24 ]);
+      Program.func "_dl_runtime_resolve"
+        [ Program.Direct_syscall (nr "mprotect"); Program.Padding 8 ] ]
+
+(* All runtime binaries as (soname, ELF bytes). *)
+let build_all () : (string * string) list =
+  let libs =
+    [ Libc_catalog.Libc; Libc_catalog.Libpthread; Libc_catalog.Librt;
+      Libc_catalog.Libdl ]
+  in
+  List.map
+    (fun lib -> (soname lib, Builder.assemble_elf (build_runtime_lib lib)))
+    libs
+  @ [ (soname Libc_catalog.Ld_so, Builder.assemble_elf (build_ld_so ())) ]
+
+(* Ground-truth helper: the API set an import of [sym] is expected to
+   contribute to an application's resolved footprint (the symbol
+   itself plus its transitive syscalls/vops/pseudo-files, which for
+   the generated runtime equals the catalogue data). *)
+let import_truth sym : Api.Set.t =
+  match Libc_catalog.find sym with
+  | None -> Api.Set.empty
+  | Some e ->
+    let s = Api.Set.singleton (Api.Libc_sym sym) in
+    let s =
+      List.fold_left
+        (fun acc sc -> Api.Set.add (Api.Syscall (nr sc)) acc)
+        s
+        (if sym = "syscall" then [] else e.Libc_catalog.syscalls)
+    in
+    let s =
+      List.fold_left
+        (fun acc (v, code) ->
+          (* a concrete opcode implies the vectored syscall itself *)
+          Api.Set.add (Api.Vop (v, code))
+            (Api.Set.add (Api.Syscall (Api.vector_syscall_nr v)) acc))
+        s e.Libc_catalog.vops
+    in
+    List.fold_left
+      (fun acc p -> Api.Set.add (Api.Pseudo_file p) acc)
+      s
+      (Libc_catalog.pseudo_files_of sym)
+
+(* Ground truth for the runtime-provided base footprint of every
+   dynamically-linked executable: stage-I syscalls plus the
+   __libc_start_main symbol itself. *)
+let base_truth : Api.Set.t =
+  List.fold_left
+    (fun acc s -> Api.Set.add (Api.Syscall (nr s)) acc)
+    (Api.Set.singleton (Api.Libc_sym "__libc_start_main"))
+    Stages.stage1

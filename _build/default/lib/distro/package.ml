@@ -1,0 +1,48 @@
+(** Package and distribution model, mirroring the structure the paper
+    measures: APT packages containing ELF executables, shared
+    libraries and interpreted scripts, with dependency edges and
+    popularity-contest installation counts. *)
+
+type file_kind = Executable | Library | Script
+
+type file = {
+  path : string;
+  kind : file_kind;
+  bytes : string;  (** on-disk contents: ELF bytes or script text *)
+}
+
+type t = {
+  name : string;
+  section : string;  (** archive section, e.g. admin, devel, games *)
+  installs : int;  (** popularity-contest installation count *)
+  deps : string list;  (** package names this package depends on *)
+  files : file list;
+  essential : bool;
+}
+
+(* The generator records, for every package, the exact API set its
+   binaries were built to request. The analyzer must recover a
+   superset (in practice: exactly this set) from the bytes alone; the
+   spot check of Section 2.3 is automated on this. *)
+type ground_truth = (string, Lapis_apidb.Api.Set.t) Hashtbl.t
+
+type distribution = {
+  packages : t list;
+  runtime : (string * string) list;
+      (** C runtime family: soname -> ELF bytes (libc, libpthread,
+          librt, libdl and the dynamic linker) *)
+  shared_libs : (string * string * string) list;
+      (** non-runtime shared libraries: (soname, owning package, bytes) *)
+  total_installs : int;
+  truth : ground_truth;
+  seed : int;
+}
+
+let install_prob dist pkg =
+  float_of_int pkg.installs /. float_of_int dist.total_installs
+
+let find dist name = List.find_opt (fun p -> p.name = name) dist.packages
+
+let n_packages dist = List.length dist.packages
+
+let all_files dist = List.concat_map (fun p -> p.files) dist.packages

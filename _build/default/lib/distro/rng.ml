@@ -1,0 +1,59 @@
+(** Deterministic pseudo-random number generator (splitmix64-based)
+    used by the distribution generator and the Monte-Carlo installation
+    sampler. A dedicated generator keeps every synthetic distribution
+    reproducible from its seed, independent of global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  (* splitmix64 *)
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.0  (* 2^53 *)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  int_of_float (float t *. float_of_int bound)
+
+let bool t p = float t < p
+
+(* Uniform choice from a non-empty list. *)
+let choose t lst =
+  match lst with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth lst (int t (List.length lst))
+
+(* Sample [k] distinct elements from [lst] (all of them if k exceeds
+   the length), via partial Fisher-Yates on an array copy. *)
+let sample t k lst =
+  let arr = Array.of_list lst in
+  let n = Array.length arr in
+  let k = min k n in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list (Array.sub arr 0 k)
+
+(* Split off an independent generator (for per-package determinism). *)
+let split t = create (Int64.to_int (next t))
+
+(* Deterministic per-key float in [0,1): stable across runs and
+   independent of draw order. *)
+let keyed_float seed key =
+  let g = create (seed lxor Hashtbl.hash key) in
+  float g

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generator (splitmix64). Every
+    synthetic distribution is reproducible from its seed, independent
+    of global [Random] state. *)
+
+type t
+
+val create : int -> t
+
+val next : t -> int64
+(** The next raw 64-bit state output. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument]
+    when [bound <= 0]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k lst] draws [k] distinct elements (all of them if [k]
+    exceeds the length). *)
+
+val split : t -> t
+(** An independent generator derived from this one's stream. *)
+
+val keyed_float : int -> string -> float
+(** [keyed_float seed key] is a stable per-key uniform float in
+    [0, 1), independent of draw order — used for per-API calibration
+    constants. *)

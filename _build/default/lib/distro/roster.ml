@@ -1,0 +1,184 @@
+(** Package roster seeds: the named packages the paper's tables
+    attribute specific API usage to, the essential base system, the
+    interpreter packages, and the shared-library packages whose
+    exports wrap particular system calls (Table 1/2 attribution). *)
+
+open Lapis_apidb
+
+(* Essential base-system packages with near-universal installation.
+   Their collective footprints pin the ~224 indispensable system calls
+   at 100% API importance. *)
+let essentials : (string * float) list =
+  [ ("coreutils", 0.999); ("dash", 0.999); ("bash", 0.998);
+    ("grep", 0.998); ("sed", 0.998); ("tar", 0.997); ("gzip", 0.997);
+    ("findutils", 0.997); ("util-linux", 0.996); ("procps", 0.995);
+    ("mount", 0.995); ("login", 0.994); ("passwd", 0.994);
+    ("hostname", 0.993); ("debianutils", 0.993); ("diffutils", 0.992);
+    ("dpkg", 0.999); ("apt", 0.998); ("base-files", 0.999);
+    ("base-passwd", 0.999); ("bsdutils", 0.996); ("e2fsprogs", 0.99);
+    ("init-system", 0.99); ("sysvinit-utils", 0.99); ("cpio", 0.93);
+    ("cron", 0.96); ("rsyslog", 0.90); ("udev", 0.97); ("dbus", 0.94);
+    ("ncurses-bin", 0.98); ("less", 0.95); ("nano", 0.90);
+    ("net-tools", 0.92); ("iproute2", 0.93); ("iputils-ping", 0.95);
+    ("ifupdown", 0.91); ("isc-dhcp-client", 0.90); ("openssh-client", 0.93);
+    ("wget", 0.92); ("curl", 0.85); ("gnupg", 0.94); ("bzip2", 0.95);
+    ("xz-utils", 0.96); ("file", 0.90); ("man-db", 0.92);
+    ("adduser", 0.98); ("lsb-base", 0.98); ("netbase", 0.97);
+    ("kmod", 0.95); ("initramfs-tools", 0.93); ("console-setup", 0.89);
+    ("keyboard-configuration", 0.90); ("ucf", 0.93); ("insserv", 0.90);
+    ("libpam-modules", 0.97); ("network-manager", 0.72) ]
+
+(* Interpreter packages (Figure 1): scripts inherit the interpreter's
+   footprint. dash and bash are already essential. *)
+let interpreters : (string * float) list =
+  [ ("python2.7", 0.92); ("perl", 0.95); ("ruby1.9", 0.25) ]
+
+(* Shared-library packages: (package, soname, install prob,
+   exports as (symbol, syscall names, vops, pseudo-files)). The first
+   export listed is the "pure" one consumers link against without
+   inheriting syscalls. *)
+type lib_export = {
+  le_sym : string;
+  le_syscalls : string list;
+  le_vops : (Api.vector * int) list;
+  le_pseudo : string list;
+}
+
+type lib_pkg = {
+  lp_name : string;
+  lp_soname : string;
+  lp_prob : float;
+  lp_exports : lib_export list;
+}
+
+let e ?(vops = []) ?(pseudo = []) le_sym le_syscalls =
+  { le_sym; le_syscalls; le_vops = vops; le_pseudo = pseudo }
+
+let lib_packages : lib_pkg list =
+  [ { lp_name = "libnuma"; lp_soname = "libnuma.so.1"; lp_prob = 0.20;
+      lp_exports =
+        [ e "numa_available" [];
+          e "numa_alloc_onnode" [ "mbind"; "mmap" ];
+          e "numa_set_membind" [ "set_mempolicy"; "mbind" ];
+          e "numa_run_on_node" [ "sched_setaffinity" ];
+          e "numa_migrate_pages" [ "migrate_pages" ] ] };
+    { lp_name = "libopenblas"; lp_soname = "libopenblas.so.0";
+      lp_prob = 0.20;
+      lp_exports =
+        [ e "openblas_get_config" [];
+          e "openblas_set_num_threads" [ "sched_setaffinity"; "mbind" ] ] };
+    { lp_name = "libkeyutils"; lp_soname = "libkeyutils.so.1";
+      lp_prob = 0.272;
+      lp_exports =
+        [ e "keyutils_version" [];
+          e "add_key" [ "add_key" ];
+          e "keyctl" [ "keyctl" ];
+          e "request_key" [ "request_key" ] ] };
+    { lp_name = "libaio"; lp_soname = "libaio.so.1"; lp_prob = 0.15;
+      lp_exports =
+        [ e "io_queue_run" [];
+          e "io_queue_init" [ "io_setup" ];
+          e "io_queue_release" [ "io_destroy" ];
+          e "io_submit_wrapper" [ "io_submit" ];
+          e "io_cancel_wrapper" [ "io_cancel" ] ] };
+    { lp_name = "libselinux"; lp_soname = "libselinux.so.1";
+      lp_prob = 0.55;
+      lp_exports =
+        [ e "is_selinux_enabled" ~pseudo:[ "/proc/filesystems" ] [];
+          e "getfilecon" [ "getxattr"; "lgetxattr" ];
+          e "setfilecon" [ "setxattr" ] ] };
+    { lp_name = "libcap2"; lp_soname = "libcap.so.2"; lp_prob = 0.60;
+      lp_exports =
+        [ e "cap_free" [];
+          e "cap_get_proc" [ "capget" ];
+          e "cap_set_proc" [ "capset" ] ] };
+    { lp_name = "libncurses"; lp_soname = "libncurses.so.5";
+      lp_prob = 0.93;
+      lp_exports =
+        [ e "curs_set" [];
+          e "initscr"
+            ~vops:
+              [ (Api.Ioctl, 0x5413) (* TIOCGWINSZ *);
+                (Api.Ioctl, 0x5401) (* TCGETS *);
+                (Api.Ioctl, 0x5402) (* TCSETS *) ]
+            ~pseudo:[ "/dev/tty" ]
+            [ "ioctl" ] ] };
+    { lp_name = "libglib2.0"; lp_soname = "libglib-2.0.so.0";
+      lp_prob = 0.82;
+      lp_exports =
+        [ e "g_free" [];
+          e "g_spawn_async" [ "clone"; "execve"; "pipe2"; "dup2" ];
+          e "g_file_monitor" [ "inotify_init1"; "inotify_add_watch" ];
+          e "g_random_int" ~pseudo:[ "/dev/urandom" ] [ "open"; "read" ] ] };
+    { lp_name = "libssl"; lp_soname = "libssl.so.1.0.0"; lp_prob = 0.85;
+      lp_exports =
+        [ e "SSL_library_init" [];
+          e "RAND_poll" ~pseudo:[ "/dev/urandom"; "/dev/random" ]
+            [ "open"; "read"; "close"; "gettimeofday" ];
+          e "BIO_new_socket" [ "socket"; "setsockopt" ] ] } ]
+
+(* Special-purpose packages the paper names (Tables 2 and Section 3.1),
+   with the APIs they are responsible for. *)
+type special = {
+  sp_name : string;
+  sp_prob : float;
+  sp_syscalls : string list;
+  sp_vops : (Api.vector * int) list;
+  sp_pseudo : string list;
+  sp_deps : string list;
+  sp_level : int;
+}
+
+let sp ?(vops = []) ?(pseudo = []) ?(deps = []) ?(level = 5) sp_name sp_prob
+    sp_syscalls =
+  { sp_name; sp_prob; sp_syscalls; sp_vops = vops; sp_pseudo = pseudo;
+    sp_deps = deps; sp_level = level }
+
+let specials : special list =
+  [ sp "kexec-tools" 0.010 [ "kexec_load"; "kexec_file_load"; "reboot" ]
+      ~pseudo:[ "/proc/kcore" ];
+    sp "coop-computing-tools" 0.010
+      [ "seccomp"; "sched_setattr"; "sched_getattr"; "renameat2" ];
+    sp "systemd" 0.040
+      [ "clock_adjtime"; "renameat2"; "timerfd_create";
+        "epoll_create1"; "epoll_ctl"; "accept4"; "name_to_handle_at" ]
+      ~pseudo:[ "/proc/self/cgroup"; "/dev/kmsg"; "/proc/self/mountinfo" ];
+    sp "qemu-user" 0.010
+      [ "mq_timedsend"; "mq_getsetattr"; "mq_open"; "mq_timedreceive" ];
+    sp "ioping" 0.005 [ "io_getevents"; "io_submit"; "io_setup" ];
+    sp "zfs-fuse" 0.005 [ "io_getevents" ] ~pseudo:[ "/dev/fuse" ];
+    sp "valgrind" 0.030 [ "getcpu"; "ptrace"; "process_vm_readv" ];
+    sp "rt-tests" 0.010 [ "getcpu"; "sched_setattr" ];
+    sp "nfs-common" 0.070 [ "nfsservctl" ];
+    sp "perf-tools" 0.030 [ "perf_event_open" ]
+      ~pseudo:[ "/proc/kallsyms"; "/sys/kernel/debug" ];
+    sp "numactl" 0.050 [ "migrate_pages" ] ~deps:[ "libnuma" ];
+    sp "quota-tools" 0.020 [ "quotactl" ];
+    sp "criu" 0.004 [ "kcmp"; "setns"; "process_vm_writev"; "memfd_create" ];
+    sp "lxc-utils" 0.015 [ "setns"; "pivot_root" ];
+    sp "open-iscsi" 0.010 [ "open_by_handle_at"; "name_to_handle_at" ];
+    sp "libc5-compat" 0.008 [ "uselib"; "_sysctl"; "ustat"; "time" ];
+    sp "openafs-client" 0.008 [ "afs_syscall" ];
+    sp "util-vserver" 0.004 [ "vserver" ];
+    sp "selinux-legacy" 0.004 [ "security" ];
+    sp "attr-tools" 0.060
+      [ "fgetxattr"; "listxattr"; "llistxattr"; "flistxattr";
+        "removexattr"; "lremovexattr"; "fremovexattr" ];
+    sp "mqueue-utils" 0.006 [ "mq_open"; "mq_unlink" ];
+    sp "bpf-tools" 0.003 [ "bpf"; "execveat" ];
+    sp "sync-tools" 0.015 [ "syncfs" ];
+    sp "numa-tuning" 0.012 [ "set_mempolicy"; "get_mempolicy" ] ]
+
+(* qemu: the most demanding application — its MIPS emulator needs 270
+   system calls (Section 3.2). *)
+let qemu_name = "qemu"
+let qemu_prob = 0.020
+
+(* Packages using the legacy int $0x80 gate. *)
+let legacy_int80 = [ ("ia32-compat", 0.004) ]
+
+(* Sections for filler packages. *)
+let sections =
+  [ "admin"; "devel"; "doc"; "editors"; "games"; "graphics"; "mail";
+    "math"; "net"; "perl"; "python"; "science"; "sound"; "text";
+    "utils"; "video"; "web"; "x11" ]

@@ -1,0 +1,1 @@
+lib/elf/classify.ml: Filename Image List Reader String

@@ -1,0 +1,1 @@
+lib/elf/layout.ml: Image Option String

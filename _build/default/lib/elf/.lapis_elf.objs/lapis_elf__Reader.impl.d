@@ -1,0 +1,1 @@
+lib/elf/reader.ml: Array Char Fmt Image List String

@@ -1,0 +1,1 @@
+lib/elf/writer.ml: Buffer Char Hashtbl Image Layout List String

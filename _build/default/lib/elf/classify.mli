@@ -1,0 +1,25 @@
+(** File classification for Figure 1: ELF binaries vs. interpreted
+    scripts, detected by shebang. *)
+
+type interpreter = Dash | Bash | Python | Perl | Ruby | Other_interp of string
+
+type t =
+  | Elf_static
+  | Elf_dynamic
+  | Elf_shared_lib
+  | Script of interpreter
+  | Data  (** neither ELF nor an executable script *)
+
+val interpreter_name : interpreter -> string
+
+val name : t -> string
+(** Human-readable label, matching Figure 1's legend. *)
+
+val interpreter_of_path : string -> interpreter
+(** Interpreter identity from a shebang program path; version suffixes
+    are stripped ([python2.7] -> Python) and [env] indirection is
+    handled by {!classify}. *)
+
+val classify : string -> t
+(** Classify file contents: ELF magic + header kind, [#!] shebang, or
+    plain data. *)

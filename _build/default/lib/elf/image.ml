@@ -1,0 +1,61 @@
+(** In-memory model of an ELF64 binary: the information the study's
+    pipeline needs, independent of on-disk encoding. {!Writer}
+    serializes an image to ELF bytes and {!Reader} parses ELF bytes
+    back into an image; the round trip is identity on the fields
+    below (checked by the test suite). *)
+
+type kind = Exec_static | Exec_dynamic | Shared_lib
+
+type symbol = {
+  sym_name : string;
+  sym_addr : int;  (** virtual address *)
+  sym_size : int;
+  sym_global : bool;
+}
+
+type t = {
+  kind : kind;
+  entry : int;  (** entry point virtual address; 0 for libraries *)
+  text : string;  (** .text contents *)
+  text_addr : int;
+  rodata : string;  (** .rodata contents *)
+  rodata_addr : int;
+  symbols : symbol list;  (** defined function symbols *)
+  imports : string list;  (** undefined dynamic symbols *)
+  plt_got : (string * int) list;
+      (** import name -> GOT slot address; PLT stubs in .text jump
+          through these slots, and the reader recovers the mapping from
+          .rela.plt (R_X86_64_JUMP_SLOT relocations) *)
+  needed : string list;  (** DT_NEEDED sonames *)
+  soname : string option;
+  interp : string option;  (** PT_INTERP path for dynamic executables *)
+}
+
+let load_base = function
+  | Exec_static | Exec_dynamic -> 0x400000
+  | Shared_lib -> 0x10000
+
+let find_symbol t name =
+  List.find_opt (fun s -> s.sym_name = name) t.symbols
+
+(* Map a virtual address to an offset inside .text, if it lands there. *)
+let text_offset t addr =
+  if addr >= t.text_addr && addr < t.text_addr + String.length t.text then
+    Some (addr - t.text_addr)
+  else None
+
+let rodata_offset t addr =
+  if addr >= t.rodata_addr && addr < t.rodata_addr + String.length t.rodata
+  then Some (addr - t.rodata_addr)
+  else None
+
+(* The function symbol covering [addr], if any. *)
+let symbol_at t addr =
+  List.find_opt
+    (fun s -> addr >= s.sym_addr && addr < s.sym_addr + s.sym_size)
+    t.symbols
+
+(* The import reached through the GOT slot at [addr], if any. *)
+let import_via_got t addr =
+  List.find_opt (fun (_, got) -> got = addr) t.plt_got
+  |> Option.map fst

@@ -1,0 +1,52 @@
+(** Address layout shared by the assembler and the ELF writer.
+
+    The assembler must know the final virtual addresses of .text,
+    .rodata and the GOT before it can emit rip-relative displacements,
+    and the writer must place the sections at exactly those addresses.
+    Both therefore derive the layout from this single computation.
+    Allocated sections satisfy [file_offset = vaddr - load_base]
+    (single PT_LOAD mapping). *)
+
+type t = {
+  base : int;
+  interp_off : int;
+  interp_size : int;  (** including NUL *)
+  text_off : int;
+  text_addr : int;
+  rodata_off : int;
+  rodata_addr : int;
+  got_off : int;
+  got_addr : int;
+  got_size : int;
+}
+
+let header_size = 64
+let phentsize = 56
+
+let align n a = (n + a - 1) / a * a
+
+let phnum ~interp = if Option.is_some interp then 2 else 1
+
+let compute ~kind ~interp ~text_size ~rodata_size ~n_imports =
+  let base = Image.load_base kind in
+  let interp_size =
+    match interp with None -> 0 | Some s -> String.length s + 1
+  in
+  let interp_off = header_size + (phnum ~interp * phentsize) in
+  let text_off = align (interp_off + interp_size) 16 in
+  let rodata_off = align (text_off + text_size) 16 in
+  let got_off = align (rodata_off + rodata_size) 8 in
+  {
+    base;
+    interp_off;
+    interp_size;
+    text_off;
+    text_addr = base + text_off;
+    rodata_off;
+    rodata_addr = base + rodata_off;
+    got_off;
+    got_addr = base + got_off;
+    got_size = 8 * n_imports;
+  }
+
+let got_slot t i = t.got_addr + (8 * i)

@@ -1,0 +1,199 @@
+(** Parser from ELF64 bytes back to {!Image.t}. This is the entry
+    point of the study pipeline: the analyzer never sees generator
+    state, only the bytes of each binary, exactly like the paper's
+    objdump-based tool. *)
+
+type error =
+  | Not_elf
+  | Unsupported of string
+  | Malformed of string
+
+let pp_error ppf = function
+  | Not_elf -> Fmt.pf ppf "not an ELF file"
+  | Unsupported what -> Fmt.pf ppf "unsupported ELF: %s" what
+  | Malformed what -> Fmt.pf ppf "malformed ELF: %s" what
+
+exception Fail of error
+
+let u8 s pos = Char.code s.[pos]
+let u16 s pos = u8 s pos lor (u8 s (pos + 1) lsl 8)
+let u32 s pos = u16 s pos lor (u16 s (pos + 2) lsl 16)
+
+let u64 s pos =
+  (* The study's addresses fit in OCaml's 63-bit int. *)
+  let lo = u32 s pos and hi = u32 s (pos + 4) in
+  if hi land 0x80000000 <> 0 then raise (Fail (Malformed "64-bit overflow"));
+  lo lor (hi lsl 32)
+
+type raw_section = {
+  name : string;
+  stype : int;
+  addr : int;
+  off : int;
+  size : int;
+  link : int;
+  entsize : int;
+}
+
+let cstring data pos =
+  match String.index_from_opt data pos '\x00' with
+  | Some stop -> String.sub data pos (stop - pos)
+  | None -> String.sub data pos (String.length data - pos)
+
+let section_data bytes s = String.sub bytes s.off s.size
+
+let parse_sections bytes =
+  let shoff = u64 bytes 0x28 in
+  let shentsize = u16 bytes 0x3A in
+  let shnum = u16 bytes 0x3C in
+  let shstrndx = u16 bytes 0x3E in
+  if shentsize <> 64 then raise (Fail (Malformed "shentsize"));
+  let raw i =
+    let p = shoff + (i * 64) in
+    ( u32 bytes p,
+      {
+        name = "";
+        stype = u32 bytes (p + 4);
+        addr = u64 bytes (p + 16);
+        off = u64 bytes (p + 24);
+        size = u64 bytes (p + 32);
+        link = u32 bytes (p + 40);
+        entsize = u64 bytes (p + 56);
+      } )
+  in
+  let raws = List.init shnum raw in
+  let _, shstr =
+    try List.nth raws shstrndx with _ -> raise (Fail (Malformed "shstrndx"))
+  in
+  let shstrtab = section_data bytes shstr in
+  List.map (fun (nameoff, s) -> { s with name = cstring shstrtab nameoff }) raws
+
+let parse_symbols bytes sections symsec =
+  let strsec =
+    try List.nth sections symsec.link
+    with _ -> raise (Fail (Malformed "symtab link"))
+  in
+  let strtab = section_data bytes strsec in
+  let data = section_data bytes symsec in
+  let n = String.length data / 24 in
+  List.init n (fun i ->
+      let p = i * 24 in
+      let nameoff = u32 data p in
+      let info = u8 data (p + 4) in
+      let shndx = u16 data (p + 6) in
+      let value = u64 data (p + 8) in
+      let size = u64 data (p + 16) in
+      (cstring strtab nameoff, info, shndx, value, size))
+
+let find sections name = List.find_opt (fun s -> s.name = name) sections
+
+let parse bytes : (Image.t, error) result =
+  try
+    if String.length bytes < 64 then raise (Fail Not_elf);
+    if String.sub bytes 0 4 <> "\x7fELF" then raise (Fail Not_elf);
+    if u8 bytes 4 <> 2 then raise (Fail (Unsupported "not ELF64"));
+    if u8 bytes 5 <> 1 then raise (Fail (Unsupported "not little-endian"));
+    let e_type = u16 bytes 0x10 in
+    if u16 bytes 0x12 <> 0x3E then raise (Fail (Unsupported "not x86-64"));
+    let entry = u64 bytes 0x18 in
+    let sections = parse_sections bytes in
+    let text =
+      match find sections ".text" with
+      | Some s -> s
+      | None -> raise (Fail (Malformed "no .text"))
+    in
+    let rodata = find sections ".rodata" in
+    let interp =
+      match find sections ".interp" with
+      | Some s ->
+        let d = section_data bytes s in
+        Some (cstring d 0)
+      | None -> None
+    in
+    let dynsyms =
+      match find sections ".dynsym" with
+      | Some s -> parse_symbols bytes sections s
+      | None -> []
+    in
+    let imports =
+      List.filter_map
+        (fun (name, _, shndx, _, _) ->
+          if shndx = 0 && name <> "" then Some name else None)
+        dynsyms
+    in
+    let symbols =
+      match find sections ".symtab" with
+      | Some s ->
+        parse_symbols bytes sections s
+        |> List.filter_map (fun (name, info, shndx, value, size) ->
+               if shndx <> 0 && name <> "" then
+                 Some
+                   {
+                     Image.sym_name = name;
+                     sym_addr = value;
+                     sym_size = size;
+                     sym_global = info lsr 4 = 1;
+                   }
+               else None)
+      | None -> []
+    in
+    let plt_got =
+      match find sections ".rela.plt" with
+      | Some s ->
+        let data = section_data bytes s in
+        let dynsym_arr = Array.of_list dynsyms in
+        List.init (String.length data / 24) (fun i ->
+            let p = i * 24 in
+            let got = u64 data p in
+            let info = u64 data (p + 8) in
+            let symidx = info lsr 32 in
+            if symidx >= Array.length dynsym_arr then
+              raise (Fail (Malformed "rela.plt symbol index"));
+            let name, _, _, _, _ = dynsym_arr.(symidx) in
+            (name, got))
+      | None -> []
+    in
+    let needed, soname =
+      match find sections ".dynamic" with
+      | Some s ->
+        let strsec =
+          try List.nth sections s.link
+          with _ -> raise (Fail (Malformed "dynamic link"))
+        in
+        let strtab = section_data bytes strsec in
+        let data = section_data bytes s in
+        let n = String.length data / 16 in
+        let needed = ref [] and soname = ref None in
+        for i = 0 to n - 1 do
+          let tag = u64 data (i * 16) in
+          let v = u64 data ((i * 16) + 8) in
+          if tag = 1 then needed := cstring strtab v :: !needed
+          else if tag = 14 then soname := Some (cstring strtab v)
+        done;
+        (List.rev !needed, !soname)
+      | None -> ([], None)
+    in
+    let kind =
+      if e_type = 3 then Image.Shared_lib
+      else if imports = [] && needed = [] then Image.Exec_static
+      else Image.Exec_dynamic
+    in
+    Ok
+      {
+        Image.kind;
+        entry;
+        text = section_data bytes text;
+        text_addr = text.addr;
+        rodata =
+          (match rodata with Some s -> section_data bytes s | None -> "");
+        rodata_addr = (match rodata with Some s -> s.addr | None -> 0);
+        symbols;
+        imports;
+        plt_got;
+        needed;
+        soname;
+        interp;
+      }
+  with
+  | Fail e -> Error e
+  | Invalid_argument _ -> Error (Malformed "out-of-bounds section data")

@@ -1,0 +1,15 @@
+(** Parser from ELF64 bytes to {!Image.t} — the entry point of the
+    study pipeline. The analyzer never sees generator state, only the
+    bytes of each binary, exactly like the paper's objdump-based
+    tool. *)
+
+type error =
+  | Not_elf
+  | Unsupported of string  (** valid ELF, but not ELF64/x86-64/LE *)
+  | Malformed of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Image.t, error) result
+(** Parse the bytes of an ELF file. Never raises: malformed input
+    yields [Error]. *)

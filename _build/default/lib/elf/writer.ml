@@ -1,0 +1,309 @@
+(** Serializer from {!Image.t} to ELF64 bytes.
+
+    Emits a single-PT_LOAD object with the sections the study's
+    analysis consumes: .interp, .text, .rodata, .got, .dynsym,
+    .dynstr, .rela.plt, .dynamic, .symtab, .strtab, .shstrtab. The
+    image's section addresses must come from {!Layout.compute} (the
+    assembler guarantees this); the writer asserts it. *)
+
+let u16 b v =
+  Buffer.add_char b (Char.chr (v land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF))
+
+let u32 b v =
+  u16 b (v land 0xFFFF);
+  u16 b ((v lsr 16) land 0xFFFF)
+
+let u64 b v =
+  u32 b (v land 0xFFFFFFFF);
+  u32 b ((v asr 32) land 0xFFFFFFFF)
+
+(* String table builder: returns (bytes, offset-of function). *)
+let make_strtab strings =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '\x00';
+  let offsets = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem offsets s) then begin
+        Hashtbl.add offsets s (Buffer.length b);
+        Buffer.add_string b s;
+        Buffer.add_char b '\x00'
+      end)
+    strings;
+  (Buffer.contents b, fun s -> if s = "" then 0 else Hashtbl.find offsets s)
+
+type section = {
+  s_name : string;
+  s_type : int;
+  s_flags : int;
+  s_addr : int;
+  s_data : string;
+  s_link : int;
+  s_info : int;
+  s_align : int;
+  s_entsize : int;
+  s_fixed_off : int option;  (** allocated sections have fixed offsets *)
+}
+
+let sht_progbits = 1
+let sht_symtab = 2
+let sht_strtab = 3
+let sht_rela = 4
+let sht_dynamic = 6
+let sht_dynsym = 11
+
+let shf_write = 1
+let shf_alloc = 2
+let shf_execinstr = 4
+
+let r_x86_64_jump_slot = 7
+
+let dt_needed = 1
+let dt_soname = 14
+
+let sym_entry buf strtab_off ~name ~info ~shndx ~value ~size =
+  u32 buf (strtab_off name);
+  Buffer.add_char buf (Char.chr info);
+  Buffer.add_char buf '\x00';
+  u16 buf shndx;
+  u64 buf value;
+  u64 buf size
+
+let write (img : Image.t) : string =
+  let layout =
+    Layout.compute ~kind:img.kind ~interp:img.interp
+      ~text_size:(String.length img.text)
+      ~rodata_size:(String.length img.rodata)
+      ~n_imports:(List.length img.imports)
+  in
+  assert (layout.Layout.text_addr = img.text_addr);
+  assert (layout.Layout.rodata_addr = img.rodata_addr);
+  let is_dynamic = img.kind <> Image.Exec_static in
+  (* --- dynstr / dynsym --- *)
+  let dyn_names =
+    img.imports @ List.map (fun s -> s.Image.sym_name) img.symbols
+    @ img.needed
+    @ (match img.soname with Some s -> [ s ] | None -> [])
+  in
+  let dynstr, dynstr_off = make_strtab dyn_names in
+  let dynsym_buf = Buffer.create 256 in
+  sym_entry dynsym_buf dynstr_off ~name:"" ~info:0 ~shndx:0 ~value:0 ~size:0;
+  List.iter
+    (fun name ->
+      (* STB_GLOBAL=1, STT_FUNC=2 -> info 0x12; undefined: shndx 0 *)
+      sym_entry dynsym_buf dynstr_off ~name ~info:0x12 ~shndx:0 ~value:0
+        ~size:0)
+    img.imports;
+  List.iter
+    (fun s ->
+      if s.Image.sym_global then
+        sym_entry dynsym_buf dynstr_off ~name:s.Image.sym_name ~info:0x12
+          ~shndx:1 ~value:s.Image.sym_addr ~size:s.Image.sym_size)
+    img.symbols;
+  let dynsym = Buffer.contents dynsym_buf in
+  (* --- rela.plt --- *)
+  let rela_buf = Buffer.create 128 in
+  List.iteri
+    (fun i name ->
+      let got = List.assoc name img.plt_got in
+      u64 rela_buf got;
+      u64 rela_buf (((i + 1) lsl 32) lor r_x86_64_jump_slot);
+      u64 rela_buf 0)
+    img.imports;
+  let rela_plt = Buffer.contents rela_buf in
+  (* --- dynamic --- *)
+  let dyn_buf = Buffer.create 64 in
+  List.iter
+    (fun n ->
+      u64 dyn_buf dt_needed;
+      u64 dyn_buf (dynstr_off n))
+    img.needed;
+  (match img.soname with
+   | Some s ->
+     u64 dyn_buf dt_soname;
+     u64 dyn_buf (dynstr_off s)
+   | None -> ());
+  u64 dyn_buf 0;
+  u64 dyn_buf 0;
+  let dynamic = Buffer.contents dyn_buf in
+  (* --- symtab / strtab (all defined symbols, incl. local) --- *)
+  let strtab, strtab_off =
+    make_strtab (List.map (fun s -> s.Image.sym_name) img.symbols)
+  in
+  let symtab_buf = Buffer.create 256 in
+  sym_entry symtab_buf strtab_off ~name:"" ~info:0 ~shndx:0 ~value:0 ~size:0;
+  List.iter
+    (fun s ->
+      let info = if s.Image.sym_global then 0x12 else 0x02 in
+      sym_entry symtab_buf strtab_off ~name:s.Image.sym_name ~info ~shndx:1
+        ~value:s.Image.sym_addr ~size:s.Image.sym_size)
+    img.symbols;
+  let symtab = Buffer.contents symtab_buf in
+  let got = String.make layout.Layout.got_size '\x00' in
+  (* --- section list --- *)
+  let sections =
+    [ { s_name = ".text"; s_type = sht_progbits;
+        s_flags = shf_alloc lor shf_execinstr; s_addr = img.text_addr;
+        s_data = img.text; s_link = 0; s_info = 0; s_align = 16;
+        s_entsize = 0; s_fixed_off = Some layout.Layout.text_off } ]
+    @ [ { s_name = ".rodata"; s_type = sht_progbits; s_flags = shf_alloc;
+          s_addr = img.rodata_addr; s_data = img.rodata; s_link = 0;
+          s_info = 0; s_align = 16; s_entsize = 0;
+          s_fixed_off = Some layout.Layout.rodata_off } ]
+    @ (match img.interp with
+       | Some p ->
+         [ { s_name = ".interp"; s_type = sht_progbits; s_flags = shf_alloc;
+             s_addr = layout.Layout.base + layout.Layout.interp_off;
+             s_data = p ^ "\x00"; s_link = 0; s_info = 0; s_align = 1;
+             s_entsize = 0; s_fixed_off = Some layout.Layout.interp_off } ]
+       | None -> [])
+    @ (if is_dynamic then
+         [ { s_name = ".got"; s_type = sht_progbits;
+             s_flags = shf_alloc lor shf_write; s_addr = layout.Layout.got_addr;
+             s_data = got; s_link = 0; s_info = 0; s_align = 8; s_entsize = 8;
+             s_fixed_off = Some layout.Layout.got_off } ]
+       else [])
+    @ []
+  in
+  (* Indices: we place non-alloc sections after; compute name table last. *)
+  let nonalloc =
+    if is_dynamic then
+      [ { s_name = ".dynsym"; s_type = sht_dynsym; s_flags = 0; s_addr = 0;
+          s_data = dynsym; s_link = 0 (* patched: dynstr index *);
+          s_info = 1; s_align = 8; s_entsize = 24; s_fixed_off = None };
+        { s_name = ".dynstr"; s_type = sht_strtab; s_flags = 0; s_addr = 0;
+          s_data = dynstr; s_link = 0; s_info = 0; s_align = 1; s_entsize = 0;
+          s_fixed_off = None };
+        { s_name = ".rela.plt"; s_type = sht_rela; s_flags = 0; s_addr = 0;
+          s_data = rela_plt; s_link = 0 (* patched *); s_info = 0;
+          s_align = 8; s_entsize = 24; s_fixed_off = None };
+        { s_name = ".dynamic"; s_type = sht_dynamic; s_flags = 0; s_addr = 0;
+          s_data = dynamic; s_link = 0 (* patched *); s_info = 0; s_align = 8;
+          s_entsize = 16; s_fixed_off = None } ]
+    else []
+  in
+  let tables =
+    [ { s_name = ".symtab"; s_type = sht_symtab; s_flags = 0; s_addr = 0;
+        s_data = symtab; s_link = 0 (* patched: strtab *); s_info = 1;
+        s_align = 8; s_entsize = 24; s_fixed_off = None };
+      { s_name = ".strtab"; s_type = sht_strtab; s_flags = 0; s_addr = 0;
+        s_data = strtab; s_link = 0; s_info = 0; s_align = 1; s_entsize = 0;
+        s_fixed_off = None } ]
+  in
+  let all_sections = sections @ nonalloc @ tables in
+  let shstrtab_data, shstr_off =
+    make_strtab (".shstrtab" :: List.map (fun s -> s.s_name) all_sections)
+  in
+  let all_sections =
+    all_sections
+    @ [ { s_name = ".shstrtab"; s_type = sht_strtab; s_flags = 0; s_addr = 0;
+          s_data = shstrtab_data; s_link = 0; s_info = 0; s_align = 1;
+          s_entsize = 0; s_fixed_off = None } ]
+  in
+  let index_of name =
+    let rec go i = function
+      | [] -> 0
+      | s :: rest -> if s.s_name = name then i else go (i + 1) rest
+    in
+    go 1 all_sections
+  in
+  let patch_link s =
+    match s.s_name with
+    | ".dynsym" -> { s with s_link = index_of ".dynstr" }
+    | ".rela.plt" -> { s with s_link = index_of ".dynsym" }
+    | ".dynamic" -> { s with s_link = index_of ".dynstr" }
+    | ".symtab" -> { s with s_link = index_of ".strtab" }
+    | _ -> s
+  in
+  let all_sections = List.map patch_link all_sections in
+  (* --- assign file offsets --- *)
+  let fixed_end =
+    List.fold_left
+      (fun acc s ->
+        match s.s_fixed_off with
+        | Some off -> max acc (off + String.length s.s_data)
+        | None -> acc)
+      (layout.Layout.interp_off + layout.Layout.interp_size)
+      all_sections
+  in
+  let next = ref (Layout.align fixed_end 8) in
+  let offsets =
+    List.map
+      (fun s ->
+        match s.s_fixed_off with
+        | Some off -> (s, off)
+        | None ->
+          let off = Layout.align !next s.s_align in
+          next := off + String.length s.s_data;
+          (s, off))
+      all_sections
+  in
+  let shoff = Layout.align !next 8 in
+  let shnum = List.length all_sections + 1 in
+  let total = shoff + (shnum * 64) in
+  (* --- emit --- *)
+  let out = Buffer.create total in
+  (* ELF header *)
+  Buffer.add_string out "\x7fELF\x02\x01\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00";
+  let e_type = match img.kind with
+    | Image.Exec_static | Image.Exec_dynamic -> 2  (* ET_EXEC *)
+    | Image.Shared_lib -> 3  (* ET_DYN *)
+  in
+  u16 out e_type;
+  u16 out 0x3E;  (* EM_X86_64 *)
+  u32 out 1;
+  u64 out img.entry;
+  u64 out Layout.header_size;  (* phoff *)
+  u64 out shoff;
+  u32 out 0;  (* flags *)
+  u16 out 64;  (* ehsize *)
+  u16 out Layout.phentsize;
+  u16 out (Layout.phnum ~interp:img.interp);
+  u16 out 64;  (* shentsize *)
+  u16 out shnum;
+  u16 out (index_of ".shstrtab");
+  (* Program headers *)
+  let pt_load = 1 and pt_interp = 3 in
+  let emit_phdr ~ptype ~flags ~off ~vaddr ~filesz ~memsz ~palign =
+    u32 out ptype; u32 out flags; u64 out off; u64 out vaddr; u64 out vaddr;
+    u64 out filesz; u64 out memsz; u64 out palign
+  in
+  emit_phdr ~ptype:pt_load ~flags:7 ~off:0 ~vaddr:layout.Layout.base
+    ~filesz:total ~memsz:total ~palign:0x1000;
+  (match img.interp with
+   | Some p ->
+     emit_phdr ~ptype:pt_interp ~flags:4
+       ~off:layout.Layout.interp_off
+       ~vaddr:(layout.Layout.base + layout.Layout.interp_off)
+       ~filesz:(String.length p + 1) ~memsz:(String.length p + 1) ~palign:1
+   | None -> ());
+  (* Section data *)
+  let pad_to off =
+    while Buffer.length out < off do Buffer.add_char out '\x00' done
+  in
+  List.iter
+    (fun (s, off) ->
+      pad_to off;
+      (* fixed-offset sections may overlap padding only, never data *)
+      assert (Buffer.length out <= off);
+      Buffer.add_string out s.s_data)
+    (List.sort (fun (_, a) (_, b) -> compare a b) offsets);
+  pad_to shoff;
+  (* Section header table: entry 0 is the null section *)
+  for _ = 1 to 64 do Buffer.add_char out '\x00' done;
+  List.iter
+    (fun s ->
+      let off = List.assq s offsets in
+      u32 out (shstr_off s.s_name);
+      u32 out s.s_type;
+      u64 out s.s_flags;
+      u64 out s.s_addr;
+      u64 out off;
+      u64 out (String.length s.s_data);
+      u32 out s.s_link;
+      u32 out s.s_info;
+      u64 out s.s_align;
+      u64 out s.s_entsize)
+    all_sections;
+  Buffer.contents out

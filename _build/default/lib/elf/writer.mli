@@ -1,0 +1,8 @@
+(** Serializer from {!Image.t} to ELF64 bytes. Emits a single-PT_LOAD
+    object with the sections the study's analysis consumes: .interp,
+    .text, .rodata, .got, .dynsym, .dynstr, .rela.plt, .dynamic,
+    .symtab, .strtab, .shstrtab. The image's section addresses must
+    come from {!Layout.compute}; {!Reader.parse} inverts this function
+    on every field the pipeline uses. *)
+
+val write : Image.t -> string

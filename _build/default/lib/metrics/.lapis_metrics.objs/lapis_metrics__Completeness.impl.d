@@ -1,0 +1,1 @@
+lib/metrics/completeness.ml: Api Array Hashtbl Lapis_apidb Lapis_store List Option

@@ -1,0 +1,1 @@
+lib/metrics/completeness.mli: Api Lapis_apidb Lapis_store

@@ -1,0 +1,1 @@
+lib/metrics/importance.ml: Api Array Lapis_apidb Lapis_store List Syscall_table

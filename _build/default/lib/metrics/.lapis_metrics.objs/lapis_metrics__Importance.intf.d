@@ -1,0 +1,1 @@
+lib/metrics/importance.mli: Api Lapis_apidb Lapis_store Syscall_table

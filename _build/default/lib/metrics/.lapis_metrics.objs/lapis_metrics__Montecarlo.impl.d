@@ -1,0 +1,1 @@
+lib/metrics/montecarlo.ml: Api Array Completeness Hashtbl Lapis_apidb Lapis_distro Lapis_store List

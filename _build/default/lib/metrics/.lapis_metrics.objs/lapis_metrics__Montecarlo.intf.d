@@ -1,0 +1,1 @@
+lib/metrics/montecarlo.mli: Api Lapis_apidb Lapis_distro Lapis_store

@@ -1,0 +1,1 @@
+lib/metrics/uniqueness.ml: Api Hashtbl Lapis_analysis Lapis_apidb Lapis_elf Lapis_store List Option Printf String Syscall_table

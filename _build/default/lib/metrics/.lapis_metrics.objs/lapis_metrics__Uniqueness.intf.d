@@ -1,0 +1,1 @@
+lib/metrics/uniqueness.mli: Api Lapis_apidb Lapis_store

@@ -1,0 +1,191 @@
+(** Weighted completeness (Appendix A.2): the expected fraction of an
+    installation's packages that work on a system supporting a given
+    API subset, following the paper's four-step methodology including
+    the dependency rule (a supported package depending on an
+    unsupported one counts as unsupported). *)
+
+open Lapis_apidb
+module Store = Lapis_store.Store
+
+(* Which APIs a support predicate is judged over. [Syscalls_only]
+   matches the Section 4.1 evaluation (Table 6); [All_apis] also
+   requires vectored opcodes, pseudo-files and libc symbols. *)
+type scope = Syscalls_only | All_apis
+
+let scoped scope supported api =
+  match scope with
+  | All_apis -> supported api
+  | Syscalls_only ->
+    (match api with Api.Syscall _ -> supported api | _ -> true)
+
+(* Per-package support flags under a predicate, with dependency
+   propagation to a fixed point. *)
+let supported_packages ?(scope = All_apis) (store : Store.t) ~supported =
+  let n = store.Store.n_packages in
+  let ok = Array.make n true in
+  Array.iteri
+    (fun i (p : Store.pkg_row) ->
+      ok.(i) <- Api.Set.for_all (scoped scope supported) p.Store.pr_apis)
+    store.Store.packages;
+  (* dependency closure: iterate until stable (the graph is small) *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i (p : Store.pkg_row) ->
+        if ok.(i) then
+          let dep_broken =
+            List.exists
+              (fun d ->
+                match Hashtbl.find_opt store.Store.pkg_index d with
+                | Some j -> not ok.(j)
+                | None -> false)
+              p.Store.pr_deps
+          in
+          if dep_broken then begin
+            ok.(i) <- false;
+            changed := true
+          end)
+      store.Store.packages
+  done;
+  ok
+
+let weighted_completeness ?(scope = All_apis) (store : Store.t) ~supported =
+  let ok = supported_packages ~scope store ~supported in
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun i (p : Store.pkg_row) ->
+      den := !den +. p.Store.pr_prob;
+      if ok.(i) then num := !num +. p.Store.pr_prob)
+    store.Store.packages;
+  if !den = 0.0 then 0.0 else !num /. !den
+
+(* Completeness when supporting a set of system call numbers. *)
+let of_syscall_set store nrs =
+  let set = List.fold_left (fun s nr -> Api.Set.add (Api.Syscall nr) s)
+      Api.Set.empty nrs in
+  weighted_completeness ~scope:Syscalls_only store
+    ~supported:(fun api -> Api.Set.mem api set)
+
+(* The Figure 3 curve: cumulative weighted completeness as the N
+   most-important system calls are implemented, computed efficiently
+   via each package's highest-ranked required call. *)
+let curve (store : Store.t) ~(ranking : int list) : (int * float) list =
+  let pos = Hashtbl.create 512 in
+  List.iteri (fun i nr -> Hashtbl.replace pos nr (i + 1)) ranking;
+  let n = store.Store.n_packages in
+  (* threshold.(i): the N at which package i's own syscalls are all
+     supported; max_int if it uses an unranked call *)
+  let threshold = Array.make n 0 in
+  Array.iteri
+    (fun i (p : Store.pkg_row) ->
+      let t =
+        Api.Set.fold
+          (fun api acc ->
+            match api with
+            | Api.Syscall nr ->
+              (match Hashtbl.find_opt pos nr with
+               | Some k -> max acc k
+               | None -> max_int)
+            | _ -> acc)
+          p.Store.pr_apis 0
+      in
+      threshold.(i) <- t)
+    store.Store.packages;
+  (* dependency propagation: a package needs its deps' thresholds *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i (p : Store.pkg_row) ->
+        List.iter
+          (fun d ->
+            match Hashtbl.find_opt store.Store.pkg_index d with
+            | Some j when threshold.(j) > threshold.(i) ->
+              threshold.(i) <- threshold.(j);
+              changed := true
+            | _ -> ())
+          p.Store.pr_deps)
+      store.Store.packages
+  done;
+  let total_weight =
+    Array.fold_left (fun a (p : Store.pkg_row) -> a +. p.Store.pr_prob) 0.0
+      store.Store.packages
+  in
+  let len = List.length ranking in
+  let gain = Array.make (len + 1) 0.0 in
+  Array.iteri
+    (fun i (p : Store.pkg_row) ->
+      if threshold.(i) <= len then begin
+        (* packages needing no ranked call are supported from N=1 *)
+        let t = max 1 threshold.(i) in
+        gain.(t) <- gain.(t) +. p.Store.pr_prob
+      end)
+    store.Store.packages;
+  let acc = ref 0.0 in
+  List.mapi
+    (fun i _ ->
+      acc := !acc +. gain.(i + 1);
+      (i + 1, !acc /. total_weight))
+    ranking
+
+(* First N on a curve reaching at least [target] completeness. *)
+let crossing curve target =
+  List.find_opt (fun (_, c) -> c >= target) curve |> Option.map fst
+
+(* Generalized Figure 3: the incremental path over an arbitrary API
+   ranking (Section 3.2 notes the same construction applies to
+   vectored operations, pseudo-files and library APIs). APIs outside
+   the ranking that satisfy [assumed] are treated as supported. *)
+let curve_apis (store : Store.t) ~(ranking : Api.t list)
+    ~(assumed : Api.t -> bool) : (int * float) list =
+  let pos = Api.Tbl.create 1024 in
+  List.iteri (fun i api -> Api.Tbl.replace pos api (i + 1)) ranking;
+  let len = List.length ranking in
+  let n = store.Store.n_packages in
+  let threshold = Array.make n 0 in
+  Array.iteri
+    (fun i (p : Store.pkg_row) ->
+      let t =
+        Api.Set.fold
+          (fun api acc ->
+            match Api.Tbl.find_opt pos api with
+            | Some k -> max acc k
+            | None -> if assumed api then acc else max_int)
+          p.Store.pr_apis 0
+      in
+      threshold.(i) <- t)
+    store.Store.packages;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i (p : Store.pkg_row) ->
+        List.iter
+          (fun d ->
+            match Hashtbl.find_opt store.Store.pkg_index d with
+            | Some j when threshold.(j) > threshold.(i) ->
+              threshold.(i) <- threshold.(j);
+              changed := true
+            | _ -> ())
+          p.Store.pr_deps)
+      store.Store.packages
+  done;
+  let total_weight =
+    Array.fold_left (fun a (p : Store.pkg_row) -> a +. p.Store.pr_prob) 0.0
+      store.Store.packages
+  in
+  let gain = Array.make (len + 1) 0.0 in
+  Array.iteri
+    (fun i (p : Store.pkg_row) ->
+      if threshold.(i) <= len then begin
+        let t = max 1 threshold.(i) in
+        gain.(t) <- gain.(t) +. p.Store.pr_prob
+      end)
+    store.Store.packages;
+  let acc = ref 0.0 in
+  List.mapi
+    (fun i _ ->
+      acc := !acc +. gain.(i + 1);
+      (i + 1, !acc /. total_weight))
+    ranking

@@ -1,0 +1,49 @@
+(** Weighted completeness (Appendix A.2): the expected fraction of an
+    installation's packages that work on a system supporting a given
+    API subset, including the Section 2.2 dependency rule. *)
+
+open Lapis_apidb
+module Store = Lapis_store.Store
+
+type scope =
+  | Syscalls_only
+      (** judge support over system calls only — vectored opcodes,
+          pseudo-files and libc symbols are assumed available
+          (Section 4.1 / Table 6) *)
+  | All_apis  (** every API kind must be supported *)
+
+val supported_packages :
+  ?scope:scope -> Store.t -> supported:(Api.t -> bool) -> bool array
+(** Per-package support flags (indexed like [store.packages]) under a
+    support predicate: a package is supported when every API in its
+    footprint passes the predicate, and dependency failures propagate
+    to a fixed point (methodology step 3). *)
+
+val weighted_completeness :
+  ?scope:scope -> Store.t -> supported:(Api.t -> bool) -> float
+(** The expected fraction of a typical installation's packages that
+    are supported: [sum p over supported / sum p over all]
+    (Appendix A.2's approximation under package independence). *)
+
+val of_syscall_set : Store.t -> int list -> float
+(** Weighted completeness of a system implementing exactly the given
+    system call numbers (scope {!Syscalls_only}). *)
+
+val curve : Store.t -> ranking:int list -> (int * float) list
+(** The Figure 3 series: for each prefix length [N] of [ranking], the
+    weighted completeness of supporting the [N] top-ranked calls.
+    Computed via each package's highest-ranked requirement, with
+    dependency propagation; packages needing no ranked call count from
+    [N = 1]. *)
+
+val crossing : (int * float) list -> float -> int option
+(** [crossing curve t] is the first [N] at which the curve reaches
+    completeness [t], if any. *)
+
+val curve_apis :
+  Store.t -> ranking:Api.t list -> assumed:(Api.t -> bool) -> (int * float) list
+(** Generalization of {!curve} to an arbitrary API ranking — the
+    Section 3.2 construction extended beyond system calls. APIs not in
+    the ranking are supported iff they satisfy [assumed] (e.g. treat
+    libc symbols as the C library's problem while ranking kernel
+    interfaces). *)

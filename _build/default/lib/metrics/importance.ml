@@ -1,0 +1,57 @@
+(** API importance (Appendix A.1): the probability that a random
+    installation includes at least one package requiring the API,
+    under the paper's package-independence assumption; and unweighted
+    API importance (Section 5): the fraction of packages using it. *)
+
+open Lapis_apidb
+module Store = Lapis_store.Store
+
+let importance (store : Store.t) api =
+  let deps = Store.dependent_rows store api in
+  let none_installed =
+    List.fold_left (fun acc p -> acc *. (1.0 -. p.Store.pr_prob)) 1.0 deps
+  in
+  1.0 -. none_installed
+
+let unweighted (store : Store.t) api =
+  let k = List.length (Store.dependents store api) in
+  float_of_int k /. float_of_int store.Store.n_packages
+
+(* All system calls with their importance, one entry per table slot. *)
+let syscall_importances store =
+  List.map
+    (fun (e : Syscall_table.entry) ->
+      (e, importance store (Api.Syscall e.Syscall_table.nr)))
+    (Array.to_list Syscall_table.all)
+
+(* Unweighted importance over the packages' own executables, before
+   script-to-interpreter inheritance: how many packages' compiled code
+   uses the API. *)
+let unweighted_elf (store : Store.t) api =
+  let k = ref 0 in
+  Store.iter_packages store (fun p ->
+      if Lapis_apidb.Api.Set.mem api p.Store.pr_apis_elf then incr k);
+  float_of_int !k /. float_of_int store.Store.n_packages
+
+(* Ranking used throughout Section 3: importance first; among the
+   large plateau of indispensable calls, ties break on how many
+   packages' own binaries use the call (script inheritance excluded,
+   so the interpreters' blanket footprints do not reshuffle the
+   plateau); table number last for determinism. *)
+let rank_syscalls store : int list =
+  syscall_importances store
+  |> List.map (fun (e, imp) ->
+         (e.Syscall_table.nr, imp,
+          unweighted_elf store (Api.Syscall e.Syscall_table.nr)))
+  |> List.sort (fun (na, ia, ua) (nb, ib, ub) ->
+         match compare ib ia with
+         | 0 -> (match compare ub ua with 0 -> compare na nb | c -> c)
+         | c -> c)
+  |> List.map (fun (nr, _, _) -> nr)
+
+(* Inverted-CDF series for Figures 2/4/5/6/7/8: importance values
+   sorted descending. *)
+let inverted_cdf values = List.sort (fun a b -> compare b a) values
+
+let count_at_least threshold values =
+  List.length (List.filter (fun v -> v >= threshold) values)

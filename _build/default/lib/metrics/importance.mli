@@ -1,0 +1,42 @@
+(** API importance (Appendix A.1) and unweighted API importance
+    (Section 5). *)
+
+open Lapis_apidb
+module Store = Lapis_store.Store
+
+val importance : Store.t -> Api.t -> float
+(** [importance store api] is the probability that a random
+    installation includes at least one package requiring [api]:
+    [1 - prod over dependents (1 - p_pkg)] under the paper's
+    package-independence assumption. Ranges over [0, 1]; [0] for an
+    API no package uses. *)
+
+val unweighted : Store.t -> Api.t -> float
+(** [unweighted store api] is the fraction of packages whose footprint
+    contains [api], irrespective of installation counts (the Section 5
+    metric behind Tables 8-11 and Figure 8). *)
+
+val unweighted_elf : Store.t -> Api.t -> float
+(** Like {!unweighted}, but counted over the packages' own compiled
+    executables, before script-to-interpreter footprint inheritance.
+    Used as the tie-breaker inside {!rank_syscalls} so the blanket
+    interpreter footprints do not reshuffle the indispensable
+    plateau. *)
+
+val syscall_importances : Store.t -> (Syscall_table.entry * float) list
+(** Importance of every entry in the system call table, in table
+    order. *)
+
+val rank_syscalls : Store.t -> int list
+(** System call numbers ordered from most to least important:
+    importance first, {!unweighted_elf} as the tie-breaker, table
+    number last for determinism. This is the ranking behind Figure 3,
+    Table 4 and the Table 6 system profiles. *)
+
+val inverted_cdf : float list -> float list
+(** Sort a list of importance values descending — the series plotted
+    in Figures 2, 4, 5, 6, 7 and 8. *)
+
+val count_at_least : float -> float list -> int
+(** [count_at_least t vs] counts the values at or above threshold
+    [t]. *)

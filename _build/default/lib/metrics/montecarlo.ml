@@ -1,0 +1,82 @@
+(** Monte-Carlo validation of the closed-form metrics: sample concrete
+    installations (each package installed independently with its
+    popcon probability, dependencies pulled in APT-style) and measure
+    importance and completeness empirically. The test suite checks the
+    closed forms against these samples, validating the independence
+    assumption the paper makes explicit in Section 2.2. *)
+
+open Lapis_apidb
+module Store = Lapis_store.Store
+module Rng = Lapis_distro.Rng
+
+type installation = bool array  (** indexed like [store.packages] *)
+
+let sample_installation rng (store : Store.t) : installation =
+  let n = store.Store.n_packages in
+  let inst = Array.make n false in
+  Array.iteri
+    (fun i (p : Store.pkg_row) ->
+      if Rng.bool rng p.Store.pr_prob then inst.(i) <- true)
+    store.Store.packages;
+  (* APT pulls dependencies in *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i (p : Store.pkg_row) ->
+        if inst.(i) then
+          List.iter
+            (fun d ->
+              match Hashtbl.find_opt store.Store.pkg_index d with
+              | Some j when not inst.(j) ->
+                inst.(j) <- true;
+                changed := true
+              | _ -> ())
+            p.Store.pr_deps)
+      store.Store.packages
+  done;
+  inst
+
+(* Empirical API importance: fraction of sampled installations that
+   contain at least one dependent of [api]. *)
+let empirical_importance ?(samples = 400) ~seed store api =
+  let rng = Rng.create seed in
+  let deps = Store.dependents store api in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let inst = sample_installation rng store in
+    if List.exists (fun i -> inst.(i)) deps then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+(* Empirical weighted completeness of a syscall set: mean fraction of
+   installed packages whose footprints the set covers. *)
+let empirical_completeness ?(samples = 200) ~seed store nrs =
+  let set =
+    List.fold_left (fun s nr -> Api.Set.add (Api.Syscall nr) s) Api.Set.empty nrs
+  in
+  let supported api =
+    match api with Api.Syscall _ -> Api.Set.mem api set | _ -> true
+  in
+  let ok =
+    Completeness.supported_packages ~scope:Completeness.Syscalls_only store
+      ~supported
+  in
+  let rng = Rng.create seed in
+  let total = ref 0.0 and rounds = ref 0 in
+  for _ = 1 to samples do
+    let inst = sample_installation rng store in
+    let installed = ref 0 and good = ref 0 in
+    Array.iteri
+      (fun i flag ->
+        if flag then begin
+          incr installed;
+          if ok.(i) then incr good
+        end)
+      inst;
+    if !installed > 0 then begin
+      total := !total +. (float_of_int !good /. float_of_int !installed);
+      incr rounds
+    end
+  done;
+  if !rounds = 0 then 0.0 else !total /. float_of_int !rounds

@@ -1,0 +1,57 @@
+(** Section 6 footprint statistics: how many applications share a
+    system call footprint, and how many footprints are unique — the
+    basis for the paper's seccomp-policy observation (one third of
+    applications have a unique footprint). *)
+
+open Lapis_apidb
+module Store = Lapis_store.Store
+
+type stats = {
+  applications : int;  (** executables considered *)
+  distinct_footprints : int;
+  unique_footprints : int;  (** footprints used by exactly one app *)
+}
+
+let syscall_key fp =
+  Api.Set.fold
+    (fun api acc ->
+      match api with
+      | Api.Syscall nr -> (nr :: acc)
+      | Api.Vop _ | Api.Pseudo_file _ | Api.Libc_sym _ -> acc)
+    fp []
+  |> List.sort compare
+
+let of_store (store : Store.t) : stats =
+  let counts = Hashtbl.create 1024 in
+  let apps = ref 0 in
+  List.iter
+    (fun (b : Store.bin_row) ->
+      match b.Store.br_class with
+      | Lapis_elf.Classify.Elf_dynamic | Lapis_elf.Classify.Elf_static ->
+        incr apps;
+        let key =
+          syscall_key b.Store.br_resolved.Lapis_analysis.Footprint.apis
+        in
+        Hashtbl.replace counts key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+      | _ -> ())
+    store.Store.bins;
+  let distinct = Hashtbl.length counts in
+  let unique = Hashtbl.fold (fun _ c acc -> if c = 1 then acc + 1 else acc) counts 0 in
+  { applications = !apps; distinct_footprints = distinct;
+    unique_footprints = unique }
+
+(* A seccomp allow-list policy for one application footprint
+   (Section 6: policy generation can be automated from the data). *)
+let seccomp_policy fp =
+  let nrs = syscall_key fp in
+  let lines =
+    List.map
+      (fun nr ->
+        Printf.sprintf "  allow %s (%d)" (Syscall_table.name_of_nr nr) nr)
+      nrs
+  in
+  String.concat "\n"
+    (("# seccomp-bpf allow-list generated from static footprint"
+      :: lines)
+     @ [ "  default kill" ])

@@ -1,0 +1,69 @@
+(** Plain-text rendering for the experiment harness: aligned tables,
+    ASCII curves for the inverted-CDF figures, and paper-vs-measured
+    comparison rows. *)
+
+let pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+let pct2 v = Printf.sprintf "%.2f%%" (100.0 *. v)
+
+(* Render an aligned table with a header row. *)
+let table ~header rows =
+  let all = header :: rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) 0 all
+  in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render_row r =
+    let cells =
+      List.mapi (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ') r
+    in
+    "  " ^ String.concat "  " cells
+  in
+  let sep =
+    "  "
+    ^ String.concat "  "
+        (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+(* ASCII plot of a descending series in [0,1] (inverted CDF), with a
+   fixed-height grid; the x axis is compressed to [width] columns. *)
+let curve ?(width = 72) ?(height = 12) (values : float list) =
+  match values with
+  | [] -> "(empty series)"
+  | _ ->
+    let arr = Array.of_list values in
+    let n = Array.length arr in
+    let sample c =
+      let idx = min (n - 1) (c * n / width) in
+      arr.(idx)
+    in
+    let rows = ref [] in
+    for level = height downto 1 do
+      let y = float_of_int level /. float_of_int height in
+      let prev_y = float_of_int (level - 1) /. float_of_int height in
+      let buf = Buffer.create (width + 8) in
+      Buffer.add_string buf
+        (if level = height then "100% |"
+         else if level = (height + 1) / 2 then " 50% |"
+         else "     |");
+      for c = 0 to width - 1 do
+        let v = sample c in
+        Buffer.add_char buf (if v > prev_y && v <= y +. 1e-9 then '*'
+                             else if v > y then '|'
+                             else ' ')
+      done;
+      rows := Buffer.contents buf :: !rows
+    done;
+    let axis = "   0 +" ^ String.make width '-' ^ Printf.sprintf " %d" n in
+    String.concat "\n" (List.rev (axis :: !rows))
+
+(* A paper-vs-measured comparison line. *)
+let compare_line ~label ~paper ~measured =
+  Printf.sprintf "  %-44s paper: %-10s measured: %s" label paper measured
+
+let section ~title body =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.sprintf "\n%s\n| %s |\n%s\n%s\n" bar title bar body

@@ -1,0 +1,22 @@
+(** Plain-text rendering for the experiment harness. *)
+
+val pct : float -> string
+(** A fraction as a percentage with one decimal: [0.428 -> "42.8%"]. *)
+
+val pct2 : float -> string
+(** Two decimals: [0.0042 -> "0.42%"]. *)
+
+val table : header:string list -> string list list -> string
+(** An aligned table with a header row and a separator line. Rows may
+    have fewer cells than the widest row. *)
+
+val curve : ?width:int -> ?height:int -> float list -> string
+(** An ASCII plot of a series of values in [0, 1], compressed to
+    [width] columns — the rendering used for the inverted-CDF
+    figures. *)
+
+val compare_line : label:string -> paper:string -> measured:string -> string
+(** One "paper vs. measured" comparison line. *)
+
+val section : title:string -> string -> string
+(** A titled section box around a body. *)

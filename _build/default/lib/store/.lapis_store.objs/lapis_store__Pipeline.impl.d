@@ -1,0 +1,1 @@
+lib/store/pipeline.ml: Api Array Hashtbl Lapis_analysis Lapis_apidb Lapis_distro Lapis_elf List Logs Option Store

@@ -1,0 +1,1 @@
+lib/store/pipeline.mli: Lapis_analysis Lapis_apidb Lapis_distro Lapis_elf Store

@@ -1,0 +1,1 @@
+lib/store/store.ml: Api Array Hashtbl Lapis_analysis Lapis_apidb Lapis_elf List Option

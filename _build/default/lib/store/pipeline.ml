@@ -1,0 +1,206 @@
+(** End-to-end measurement pipeline: synthetic distribution bytes in,
+    populated store out. Every binary goes through the same steps as
+    the paper's tool: parse the ELF, disassemble, build the call
+    graph, resolve footprints across shared libraries, and aggregate
+    per package with script-to-interpreter inheritance. *)
+
+open Lapis_apidb
+module Binary = Lapis_analysis.Binary
+module Resolve = Lapis_analysis.Resolve
+module Footprint = Lapis_analysis.Footprint
+module P = Lapis_distro.Package
+
+let src = Logs.Src.create "lapis.pipeline"
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type analyzed = {
+  store : Store.t;
+  world : Resolve.world;
+  dist : P.distribution;
+}
+
+let interpreter_package = function
+  | Lapis_elf.Classify.Dash -> Some "dash"
+  | Lapis_elf.Classify.Bash -> Some "bash"
+  | Lapis_elf.Classify.Python -> Some "python2.7"
+  | Lapis_elf.Classify.Perl -> Some "perl"
+  | Lapis_elf.Classify.Ruby -> Some "ruby1.9"
+  | Lapis_elf.Classify.Other_interp _ -> None
+
+let analyze_elf bytes =
+  match Lapis_elf.Reader.parse bytes with
+  | Ok img -> Some (Binary.analyze img)
+  | Error e ->
+    Log.warn (fun m -> m "unparseable ELF: %a" Lapis_elf.Reader.pp_error e);
+    None
+
+let run (dist : P.distribution) : analyzed =
+  (* 1. analyze the shared-library world *)
+  let runtime_sonames = List.map fst dist.P.runtime in
+  let runtime_bins =
+    List.filter_map
+      (fun (soname, bytes) ->
+        analyze_elf bytes |> Option.map (fun b -> (soname, b)))
+      dist.P.runtime
+  in
+  let app_lib_bins =
+    List.filter_map
+      (fun (soname, pkg, bytes) ->
+        analyze_elf bytes |> Option.map (fun b -> (soname, pkg, b)))
+      dist.P.shared_libs
+  in
+  let ld_so =
+    List.assoc_opt "ld-linux-x86-64.so.2" runtime_bins
+  in
+  let world =
+    Resolve.make_world ?ld_so
+      ~libc_family:(fun soname -> List.mem soname runtime_sonames)
+      (runtime_bins @ List.map (fun (s, _, b) -> (s, b)) app_lib_bins)
+  in
+  (* 2. per-binary analysis and per-package aggregation *)
+  let bins = ref [] in
+  let script_needs = Hashtbl.create 64 in  (* pkg -> interp pkgs *)
+  let elf_apis = Hashtbl.create 256 in  (* pkg -> Api.Set from executables *)
+  List.iter
+    (fun (pkg : P.t) ->
+      let apis = ref Api.Set.empty in
+      List.iter
+        (fun (f : P.file) ->
+          let cls = Lapis_elf.Classify.classify f.P.bytes in
+          match cls with
+          | Lapis_elf.Classify.Elf_static | Lapis_elf.Classify.Elf_dynamic ->
+            (match analyze_elf f.P.bytes with
+             | None -> ()
+             | Some bin ->
+               let resolved = Resolve.binary_footprint world bin in
+               apis := Api.Set.union !apis resolved.Footprint.apis;
+               bins :=
+                 {
+                   Store.br_path = f.P.path;
+                   br_package = pkg.P.name;
+                   br_class = cls;
+                   br_direct = Resolve.direct_footprint bin;
+                   br_resolved = resolved;
+                 }
+                 :: !bins)
+          | Lapis_elf.Classify.Elf_shared_lib ->
+            (* analyzed for attribution, excluded from the package
+               footprint (Section 2: union over standalone executables) *)
+            (match analyze_elf f.P.bytes with
+             | None -> ()
+             | Some bin ->
+               let resolved = Resolve.binary_footprint world bin in
+               bins :=
+                 {
+                   Store.br_path = f.P.path;
+                   br_package = pkg.P.name;
+                   br_class = cls;
+                   br_direct = Resolve.direct_footprint bin;
+                   br_resolved = resolved;
+                 }
+                 :: !bins)
+          | Lapis_elf.Classify.Script interp ->
+            (match interpreter_package interp with
+             | Some ipkg ->
+               let cur =
+                 Option.value ~default:[]
+                   (Hashtbl.find_opt script_needs pkg.P.name)
+               in
+               Hashtbl.replace script_needs pkg.P.name (ipkg :: cur)
+             | None -> ());
+            bins :=
+              {
+                Store.br_path = f.P.path;
+                br_package = pkg.P.name;
+                br_class = cls;
+                br_direct = Footprint.empty;
+                br_resolved = Footprint.empty;
+              }
+              :: !bins
+          | Lapis_elf.Classify.Data -> ())
+        pkg.P.files;
+      Hashtbl.replace elf_apis pkg.P.name !apis)
+    dist.P.packages;
+  (* runtime binaries belong to libc6, for direct attribution *)
+  List.iter
+    (fun (soname, bin) ->
+      bins :=
+        {
+          Store.br_path = "/lib/x86_64-linux-gnu/" ^ soname;
+          br_package = "libc6";
+          br_class = Lapis_elf.Classify.Elf_shared_lib;
+          br_direct = Resolve.direct_footprint bin;
+          br_resolved = Footprint.empty;
+        }
+        :: !bins)
+    runtime_bins;
+  (* 3. scripts inherit the interpreter package's footprint; two
+     rounds cover interpreters that themselves ship scripts *)
+  let final_apis = Hashtbl.copy elf_apis in
+  for _round = 1 to 2 do
+    Hashtbl.iter
+      (fun pkg interps ->
+        let cur = Option.value ~default:Api.Set.empty (Hashtbl.find_opt final_apis pkg) in
+        let augmented =
+          List.fold_left
+            (fun acc ipkg ->
+              match Hashtbl.find_opt final_apis ipkg with
+              | Some s -> Api.Set.union acc s
+              | None -> acc)
+            cur interps
+        in
+        Hashtbl.replace final_apis pkg augmented)
+      script_needs
+  done;
+  (* 4. store rows *)
+  let pkg_rows =
+    List.map
+      (fun (pkg : P.t) ->
+        {
+          Store.pr_name = pkg.P.name;
+          pr_installs = pkg.P.installs;
+          pr_prob =
+            float_of_int pkg.P.installs /. float_of_int dist.P.total_installs;
+          pr_deps = pkg.P.deps;
+          pr_essential = pkg.P.essential;
+          pr_apis =
+            Option.value ~default:Api.Set.empty
+              (Hashtbl.find_opt final_apis pkg.P.name);
+          pr_apis_elf =
+            Option.value ~default:Api.Set.empty
+              (Hashtbl.find_opt elf_apis pkg.P.name);
+        })
+      dist.P.packages
+  in
+  let store =
+    Store.build ~packages:pkg_rows ~bins:!bins
+      ~total_installs:dist.P.total_installs
+  in
+  { store; world; dist }
+
+(* The automated Section 2.3 spot check: compare the analyzer's
+   ELF-derived package footprints against the generator's ground
+   truth. Returns the packages where they disagree. *)
+type mismatch = {
+  mm_package : string;
+  mm_missing : Api.t list;  (** in ground truth, not recovered *)
+  mm_extra : Api.t list;  (** recovered, not in ground truth *)
+}
+
+let spot_check (a : analyzed) : mismatch list =
+  Array.to_list a.store.Store.packages
+  |> List.filter_map (fun (p : Store.pkg_row) ->
+         match Hashtbl.find_opt a.dist.P.truth p.Store.pr_name with
+         | None -> None
+         | Some truth ->
+           let got = p.Store.pr_apis_elf in
+           let missing = Api.Set.diff truth got in
+           let extra = Api.Set.diff got truth in
+           if Api.Set.is_empty missing && Api.Set.is_empty extra then None
+           else
+             Some
+               {
+                 mm_package = p.Store.pr_name;
+                 mm_missing = Api.Set.elements missing;
+                 mm_extra = Api.Set.elements extra;
+               })

@@ -1,0 +1,33 @@
+(** End-to-end measurement pipeline: synthetic distribution bytes in,
+    populated store out. Every binary goes through the same steps as
+    the paper's tool — parse the ELF, disassemble, build the call
+    graph, resolve footprints across shared libraries — and packages
+    aggregate per Section 2: footprints are unions over standalone
+    executables, scripts inherit their interpreter package's
+    footprint. *)
+
+type analyzed = {
+  store : Store.t;
+  world : Lapis_analysis.Resolve.world;
+  dist : Lapis_distro.Package.distribution;
+}
+
+val interpreter_package : Lapis_elf.Classify.interpreter -> string option
+(** The package owning an interpreter (dash scripts -> "dash", python
+    -> "python2.7", ...); [None] for interpreters outside the model. *)
+
+val run : Lapis_distro.Package.distribution -> analyzed
+
+type mismatch = {
+  mm_package : string;
+  mm_missing : Lapis_apidb.Api.t list;
+      (** in the generator's ground truth, not recovered *)
+  mm_extra : Lapis_apidb.Api.t list;
+      (** recovered, but never planted (e.g. dead code leaking in) *)
+}
+
+val spot_check : analyzed -> mismatch list
+(** The automated Section 2.3 spot check: compare the analyzer's
+    ELF-derived package footprints against the generator's ground
+    truth. An empty list means static analysis recovered every
+    footprint exactly. *)

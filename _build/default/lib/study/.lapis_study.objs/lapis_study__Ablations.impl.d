@@ -1,0 +1,1 @@
+lib/study/ablations.ml: Api Array Env Lapis_analysis Lapis_apidb Lapis_distro Lapis_elf Lapis_metrics Lapis_report Lapis_store List Printf Syscall_table

@@ -1,0 +1,1 @@
+lib/study/env.ml: Lapis_distro Lapis_metrics Lapis_store

@@ -1,0 +1,1 @@
+lib/study/env.mli: Lapis_distro Lapis_store

@@ -1,0 +1,1 @@
+lib/study/experiments.ml: Ablations Env Fig1 Fig2 Fig3 Fig4 Fig5 Fig6 Fig7 Fig8 Full_path Lapis_apidb List Section6 Table1 Table2 Table3 Table4 Table5 Table6 Table7 Tracer Variant_tables

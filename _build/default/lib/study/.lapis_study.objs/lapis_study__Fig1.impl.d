@@ -1,0 +1,1 @@
+lib/study/fig1.ml: Env Lapis_distro Lapis_elf Lapis_report List

@@ -1,0 +1,1 @@
+lib/study/fig2.ml: Env Lapis_metrics Lapis_report List

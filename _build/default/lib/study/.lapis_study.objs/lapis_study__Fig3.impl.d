@@ -1,0 +1,1 @@
+lib/study/fig3.ml: Env Hashtbl Lapis_apidb Lapis_distro Lapis_metrics Lapis_report Lapis_store List

@@ -1,0 +1,1 @@
+lib/study/fig4.ml: Env Lapis_apidb Lapis_metrics Lapis_report List Vectored

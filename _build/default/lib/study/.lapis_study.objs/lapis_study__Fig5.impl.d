@@ -1,0 +1,1 @@
+lib/study/fig5.ml: Api Env Lapis_apidb Lapis_metrics Lapis_report List Printf Vectored

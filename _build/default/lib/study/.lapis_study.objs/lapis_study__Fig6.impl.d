@@ -1,0 +1,1 @@
+lib/study/fig6.ml: Api Env Lapis_analysis Lapis_apidb Lapis_metrics Lapis_report Lapis_store List Pseudo_files

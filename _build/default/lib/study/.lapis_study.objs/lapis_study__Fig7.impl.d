@@ -1,0 +1,1 @@
+lib/study/fig7.ml: Api Env Lapis_apidb Lapis_metrics Lapis_report Libc_catalog List Set String

@@ -1,0 +1,1 @@
+lib/study/fig8.ml: Api Array Env Lapis_apidb Lapis_metrics Lapis_report List Syscall_table

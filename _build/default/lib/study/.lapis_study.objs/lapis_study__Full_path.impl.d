@@ -1,0 +1,1 @@
+lib/study/full_path.ml: Api Env Lapis_apidb Lapis_metrics Lapis_report Lapis_store List Printf Syscall_table Vectored

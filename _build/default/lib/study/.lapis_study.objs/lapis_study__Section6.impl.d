@@ -1,0 +1,1 @@
+lib/study/section6.ml: Env Lapis_analysis Lapis_elf Lapis_metrics Lapis_report Lapis_store List Printf String

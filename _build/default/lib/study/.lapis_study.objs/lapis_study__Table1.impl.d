@@ -1,0 +1,1 @@
+lib/study/table1.ml: Api Array Env Hashtbl Lapis_analysis Lapis_apidb Lapis_elf Lapis_metrics Lapis_report Lapis_store List Option Printf String Syscall_table

@@ -1,0 +1,1 @@
+lib/study/table2.ml: Api Array Env Lapis_apidb Lapis_metrics Lapis_report Lapis_store List Printf String Syscall_table

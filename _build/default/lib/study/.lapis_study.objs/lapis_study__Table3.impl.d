@@ -1,0 +1,1 @@
+lib/study/table3.ml: Api Array Env Lapis_apidb Lapis_report Lapis_store List Stages Syscall_table

@@ -1,0 +1,1 @@
+lib/study/table4.ml: Array Env Lapis_apidb Lapis_metrics Lapis_report List String

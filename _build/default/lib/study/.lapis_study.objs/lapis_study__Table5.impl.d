@@ -1,0 +1,1 @@
+lib/study/table5.ml: Api Env Hashtbl Lapis_analysis Lapis_apidb Lapis_elf Lapis_metrics Lapis_report Lapis_store List Printf Stages String Syscall_table

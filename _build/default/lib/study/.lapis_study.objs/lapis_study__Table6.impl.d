@@ -1,0 +1,1 @@
+lib/study/table6.ml: Env Lapis_apidb Lapis_metrics Lapis_report List String

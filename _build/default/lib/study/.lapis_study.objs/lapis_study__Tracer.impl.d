@@ -1,0 +1,1 @@
+lib/study/tracer.ml: Api Env Lapis_analysis Lapis_apidb Lapis_distro Lapis_elf Lapis_report Lapis_store List Printf

@@ -1,0 +1,1 @@
+lib/study/variant_tables.ml: Env Hashtbl Lapis_apidb Lapis_metrics Lapis_report List Option Syscall_table Variants

@@ -1,0 +1,179 @@
+(** Ablations over the methodology's design choices (DESIGN.md):
+    popcon weighting, dependency closure, cross-library call-graph
+    resolution, and the function-pointer over-approximation. *)
+
+open Lapis_apidb
+module Store = Lapis_store.Store
+module Importance = Lapis_metrics.Importance
+module Completeness = Lapis_metrics.Completeness
+module Footprint = Lapis_analysis.Footprint
+module Binary = Lapis_analysis.Binary
+
+(* --- popcon weighting ------------------------------------------------ *)
+
+(* Importance with uniform install probabilities: every package counts
+   the same. Shows why popularity weighting matters: rarely-installed
+   packages inflate the apparent importance of tail APIs. *)
+type popcon_result = {
+  moved_class : int;
+      (** syscalls whose importance crosses the 10% line when the
+          popcon weights are removed *)
+  spearman_like : float;  (** rank agreement between the two orders *)
+}
+
+let uniform_importance store api =
+  let k = List.length (Store.dependents store api) in
+  (* every package installed with the same probability 0.5 *)
+  1.0 -. (0.5 ** float_of_int k)
+
+let run_popcon (env : Env.t) : popcon_result =
+  let store = env.Env.store in
+  let entries = Array.to_list Syscall_table.all in
+  let weighted =
+    List.map
+      (fun (e : Syscall_table.entry) ->
+        Importance.importance store (Api.Syscall e.Syscall_table.nr))
+      entries
+  in
+  let uniform =
+    List.map
+      (fun (e : Syscall_table.entry) ->
+        uniform_importance store (Api.Syscall e.Syscall_table.nr))
+      entries
+  in
+  let moved =
+    List.fold_left2
+      (fun acc w u -> if (w >= 0.10) <> (u >= 0.10) then acc + 1 else acc)
+      0 weighted uniform
+  in
+  (* crude rank agreement: fraction of pairs ordered the same way,
+     sampled on a stride to stay O(n^2 / stride) *)
+  let wa = Array.of_list weighted and ua = Array.of_list uniform in
+  let n = Array.length wa in
+  let agree = ref 0 and total = ref 0 in
+  for i = 0 to n - 1 do
+    let j = (i * 7 + 13) mod n in
+    if i <> j then begin
+      incr total;
+      if compare wa.(i) wa.(j) = compare ua.(i) ua.(j) then incr agree
+    end
+  done;
+  {
+    moved_class = moved;
+    spearman_like = float_of_int !agree /. float_of_int (max 1 !total);
+  }
+
+(* --- dependency closure ---------------------------------------------- *)
+
+type deps_result = {
+  with_deps : float;
+  without_deps : float;  (** same syscall set, dependency rule disabled *)
+}
+
+let completeness_no_deps store nrs =
+  let set =
+    List.fold_left (fun s nr -> Api.Set.add (Api.Syscall nr) s) Api.Set.empty nrs
+  in
+  let num = ref 0.0 and den = ref 0.0 in
+  Store.iter_packages store (fun p ->
+      den := !den +. p.Store.pr_prob;
+      let ok =
+        Api.Set.for_all
+          (fun api ->
+            match api with Api.Syscall _ -> Api.Set.mem api set | _ -> true)
+          p.Store.pr_apis
+      in
+      if ok then num := !num +. p.Store.pr_prob);
+  !num /. max 1e-9 !den
+
+let run_deps (env : Env.t) : deps_result =
+  let store = env.Env.store in
+  let stage3 =
+    List.filteri (fun i _ -> i < 145) env.Env.ranking
+  in
+  {
+    with_deps = Completeness.of_syscall_set store stage3;
+    without_deps = completeness_no_deps store stage3;
+  }
+
+(* --- cross-library closure ------------------------------------------- *)
+
+type callgraph_result = {
+  mean_direct : float;  (** syscalls found per executable, no closure *)
+  mean_resolved : float;  (** after cross-library resolution *)
+}
+
+let run_callgraph (env : Env.t) : callgraph_result =
+  let store = env.Env.store in
+  let exes =
+    List.filter
+      (fun (b : Store.bin_row) ->
+        b.Store.br_class = Lapis_elf.Classify.Elf_dynamic)
+      store.Store.bins
+  in
+  let count fp =
+    float_of_int (List.length (Footprint.syscalls fp))
+  in
+  let mean f =
+    List.fold_left (fun a b -> a +. f b) 0.0 exes
+    /. float_of_int (max 1 (List.length exes))
+  in
+  {
+    mean_direct = mean (fun b -> count b.Store.br_direct);
+    mean_resolved = mean (fun b -> count b.Store.br_resolved);
+  }
+
+(* --- function-pointer over-approximation ----------------------------- *)
+
+type fnptr_result = {
+  binaries_affected : int;
+      (** executables whose local footprint shrinks without the lea
+          over-approximation *)
+  binaries_total : int;
+}
+
+let run_fnptr (env : Env.t) : fnptr_result =
+  let dist = Env.dist env in
+  let affected = ref 0 and total = ref 0 in
+  List.iter
+    (fun (f : Lapis_distro.Package.file) ->
+      if f.Lapis_distro.Package.kind = Lapis_distro.Package.Executable then
+        match Lapis_elf.Reader.parse f.Lapis_distro.Package.bytes with
+        | Error _ -> ()
+        | Ok img ->
+          let bin = Binary.analyze img in
+          (match Binary.entry_points bin with
+           | [] -> ()
+           | entry :: _ ->
+             incr total;
+             let full = Binary.local_closure bin ~start:entry in
+             let no_fnptr =
+               Binary.local_closure ~follow_fnptrs:false bin ~start:entry
+             in
+             let card c =
+               Api.Set.cardinal c.Binary.cl_footprint.Footprint.apis
+               + Footprint.String_set.cardinal c.Binary.cl_imports
+             in
+             if card no_fnptr < card full then incr affected))
+    (Lapis_distro.Package.all_files dist);
+  { binaries_affected = !affected; binaries_total = !total }
+
+let render_all env =
+  let module R = Lapis_report.Report in
+  let p = run_popcon env in
+  let d = run_deps env in
+  let c = run_callgraph env in
+  let f = run_fnptr env in
+  let body =
+    Printf.sprintf
+      "  popcon weighting: %d syscalls change importance class without it;\n\
+      \    pairwise rank agreement with uniform weights: %s\n\
+      \  dependency closure (top-145 syscalls): with deps %s, without %s\n\
+      \  call-graph resolution: %.1f syscalls/exe direct, %.1f resolved\n\
+      \  fn-pointer over-approximation: %d of %d executables lose APIs \
+       without it"
+      p.moved_class (R.pct p.spearman_like)
+      (R.pct2 d.with_deps) (R.pct2 d.without_deps)
+      c.mean_direct c.mean_resolved f.binaries_affected f.binaries_total
+  in
+  R.section ~title:"Ablations: methodology design choices" body

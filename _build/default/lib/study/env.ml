@@ -1,0 +1,30 @@
+(** Shared experiment environment: one synthetic distribution run
+    through the full measurement pipeline, with the syscall ranking
+    and completeness curve precomputed. Every Section 3-6 experiment
+    consumes this. *)
+
+module Pipeline = Lapis_store.Pipeline
+module Store = Lapis_store.Store
+
+type t = {
+  analyzed : Pipeline.analyzed;
+  store : Store.t;
+  ranking : int list;  (** syscall numbers, most important first *)
+  curve : (int * float) list;  (** Figure 3 series over [ranking] *)
+}
+
+let create ?(config = Lapis_distro.Generator.default_config) () =
+  let dist = Lapis_distro.Generator.generate ~config () in
+  let analyzed = Pipeline.run dist in
+  let store = analyzed.Pipeline.store in
+  let ranking = Lapis_metrics.Importance.rank_syscalls store in
+  let curve = Lapis_metrics.Completeness.curve store ~ranking in
+  { analyzed; store; ranking; curve }
+
+(* A small environment for fast unit tests. *)
+let create_small () =
+  create
+    ~config:{ Lapis_distro.Generator.default_config with n_packages = 300 }
+    ()
+
+let dist t = t.analyzed.Pipeline.dist

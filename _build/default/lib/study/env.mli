@@ -1,0 +1,23 @@
+(** Shared experiment environment: one synthetic distribution run
+    through the full measurement pipeline, with the syscall ranking
+    and completeness curve precomputed. Every Section 3-6 experiment
+    consumes this. *)
+
+module Pipeline = Lapis_store.Pipeline
+module Store = Lapis_store.Store
+
+type t = {
+  analyzed : Pipeline.analyzed;
+  store : Store.t;
+  ranking : int list;  (** syscall numbers, most important first *)
+  curve : (int * float) list;  (** the Figure 3 series over [ranking] *)
+}
+
+val create : ?config:Lapis_distro.Generator.config -> unit -> t
+(** Generate, analyze and index a distribution (deterministic per
+    config). The default config builds 1,400 packages. *)
+
+val create_small : unit -> t
+(** A 300-package environment for fast tests. *)
+
+val dist : t -> Lapis_distro.Package.distribution

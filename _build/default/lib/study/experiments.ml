@@ -1,0 +1,72 @@
+(** Registry of every reproduced experiment, keyed by the paper's
+    figure/table identifiers. The bench harness and the CLI iterate
+    this list. *)
+
+type t = { id : string; title : string; render : Env.t -> string }
+
+let all : t list =
+  [ { id = "fig1"; title = "Figure 1: executable types";
+      render = (fun env -> Fig1.render (Fig1.run env)) };
+    { id = "fig2"; title = "Figure 2: syscall API importance";
+      render = (fun env -> Fig2.render (Fig2.run env)) };
+    { id = "table1"; title = "Table 1: syscalls used only via libraries";
+      render = (fun env -> Table1.render (Table1.run env)) };
+    { id = "table2"; title = "Table 2: syscalls dominated by packages";
+      render = (fun env -> Table2.render (Table2.run env)) };
+    { id = "table3"; title = "Table 3: unused syscalls";
+      render = (fun env -> Table3.render (Table3.run env)) };
+    { id = "fig3"; title = "Figure 3: weighted completeness curve";
+      render = (fun env -> Fig3.render (Fig3.run env)) };
+    { id = "table4"; title = "Table 4: five implementation stages";
+      render = (fun env -> Table4.render (Table4.run env)) };
+    { id = "fig4"; title = "Figure 4: ioctl operations";
+      render = (fun env -> Fig4.render (Fig4.run env)) };
+    { id = "fig5"; title = "Figure 5: fcntl/prctl operations";
+      render = (fun env -> Fig5.render (Fig5.run env)) };
+    { id = "fig6"; title = "Figure 6: pseudo-files";
+      render = (fun env -> Fig6.render (Fig6.run env)) };
+    { id = "fig7"; title = "Figure 7: libc exports";
+      render = (fun env -> Fig7.render (Fig7.run env)) };
+    { id = "table5"; title = "Table 5: runtime base footprint";
+      render = (fun env -> Table5.render (Table5.run env)) };
+    { id = "table6"; title = "Table 6: Linux systems completeness";
+      render = (fun env -> Table6.render (Table6.run env)) };
+    { id = "table7"; title = "Table 7: libc variants completeness";
+      render = (fun env -> Table7.render (Table7.run env)) };
+    { id = "fig8"; title = "Figure 8: unweighted importance";
+      render = (fun env -> Fig8.render (Fig8.run env)) };
+    { id = "table8";
+      title = "Table 8: secure vs insecure variants";
+      render =
+        (fun env ->
+          Variant_tables.(render Lapis_apidb.Variants.Id_management
+                            (run env Lapis_apidb.Variants.Id_management))
+          ^ Variant_tables.(render Lapis_apidb.Variants.Directory_races
+                              (run env Lapis_apidb.Variants.Directory_races))) };
+    { id = "table9"; title = "Table 9: old vs new variants";
+      render =
+        (fun env ->
+          Variant_tables.(render Lapis_apidb.Variants.Old_vs_new
+                            (run env Lapis_apidb.Variants.Old_vs_new))) };
+    { id = "table10"; title = "Table 10: Linux-specific vs portable";
+      render =
+        (fun env ->
+          Variant_tables.(render Lapis_apidb.Variants.Linux_vs_portable
+                            (run env Lapis_apidb.Variants.Linux_vs_portable))) };
+    { id = "table11"; title = "Table 11: powerful vs simple";
+      render =
+        (fun env ->
+          Variant_tables.(render Lapis_apidb.Variants.Powerful_vs_simple
+                            (run env Lapis_apidb.Variants.Powerful_vs_simple))) };
+    { id = "section6"; title = "Section 6: uniqueness & seccomp";
+      render = (fun env -> Section6.render (Section6.run env)) };
+    { id = "fullpath"; title = "Full-API path (Section 3.2 extension)";
+      render = (fun env -> Full_path.render (Full_path.run env)) };
+    { id = "tracer"; title = "Dynamic vs static (Section 2.3)";
+      render = (fun env -> Tracer.render (Tracer.run env)) };
+    { id = "ablations"; title = "Ablations";
+      render = Ablations.render_all } ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids = List.map (fun e -> e.id) all

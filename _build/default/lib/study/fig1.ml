@@ -1,0 +1,90 @@
+(** Figure 1: breakdown of executables in the repository by type — ELF
+    binaries vs. interpreted scripts per interpreter, and the split of
+    ELF binaries into shared libraries, dynamically-linked executables
+    and static executables. *)
+
+module Classify = Lapis_elf.Classify
+module P = Lapis_distro.Package
+
+type row = { label : string; count : int; fraction : float }
+
+type result = {
+  by_type : row list;  (** ELF vs. each interpreter, over all files *)
+  elf_split : row list;  (** within ELF: libs / dynamic / static *)
+}
+
+(* Paper reference values (fractions of all executables / of ELF). *)
+let paper_by_type =
+  [ ("ELF binary", 0.60); ("Shell (dash)", 0.15); ("Python", 0.09);
+    ("Perl", 0.08); ("Shell (bash)", 0.06); ("Ruby", 0.01);
+    ("Others", 0.01) ]
+
+let paper_elf_split =
+  [ ("shared library", 0.52); ("dynamic executable", 0.48);
+    ("static binary", 0.0038) ]
+
+let run (env : Env.t) : result =
+  let dist = Env.dist env in
+  (* count runtime libraries too: they are files of libc6 *)
+  let classes =
+    List.map (fun f -> Classify.classify f.P.bytes) (P.all_files dist)
+    @ List.map (fun (_, bytes) -> Classify.classify bytes) dist.P.runtime
+  in
+  let total = List.length classes in
+  let count pred = List.length (List.filter pred classes) in
+  let frac k = float_of_int k /. float_of_int (max 1 total) in
+  let is_elf = function
+    | Classify.Elf_static | Classify.Elf_dynamic | Classify.Elf_shared_lib ->
+      true
+    | Classify.Script _ | Classify.Data -> false
+  in
+  let script i = function Classify.Script j -> i = j | _ -> false in
+  let n_elf = count is_elf in
+  let by_type =
+    [ { label = "ELF binary"; count = n_elf; fraction = frac n_elf } ]
+    @ List.map
+        (fun (label, interp) ->
+          let k = count (script interp) in
+          { label; count = k; fraction = frac k })
+        [ ("Shell (dash)", Classify.Dash); ("Python", Classify.Python);
+          ("Perl", Classify.Perl); ("Shell (bash)", Classify.Bash);
+          ("Ruby", Classify.Ruby) ]
+    @ (let k =
+         count (function Classify.Script (Classify.Other_interp _) -> true
+                       | _ -> false)
+       in
+       [ { label = "Others"; count = k; fraction = frac k } ])
+  in
+  let elf_frac k = float_of_int k /. float_of_int (max 1 n_elf) in
+  let elf_split =
+    List.map
+      (fun (label, cls) ->
+        let k = count (fun c -> c = cls) in
+        { label; count = k; fraction = elf_frac k })
+      [ ("shared library", Classify.Elf_shared_lib);
+        ("dynamic executable", Classify.Elf_dynamic);
+        ("static binary", Classify.Elf_static) ]
+  in
+  { by_type; elf_split }
+
+let render (r : result) =
+  let module R = Lapis_report.Report in
+  let rows paper data =
+    List.map
+      (fun row ->
+        let p =
+          match List.assoc_opt row.label paper with
+          | Some v -> R.pct v
+          | None -> "-"
+        in
+        [ row.label; string_of_int row.count; R.pct row.fraction; p ])
+      data
+  in
+  R.section ~title:"Figure 1: executable types in the repository"
+    (R.table
+       ~header:[ "type"; "count"; "measured"; "paper" ]
+       (rows paper_by_type r.by_type)
+     ^ "\n\n  ELF binaries by linkage:\n"
+     ^ R.table
+         ~header:[ "kind"; "count"; "measured"; "paper" ]
+         (rows paper_elf_split r.elf_split))

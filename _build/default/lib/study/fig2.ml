@@ -1,0 +1,50 @@
+(** Figure 2: distribution of API importance over the system call
+    table (inverted CDF), with the paper's anchor points — 224
+    indispensable calls, 257 above 10%, and the unused tail. *)
+
+module Importance = Lapis_metrics.Importance
+
+type result = {
+  series : float list;  (** importance, descending, one per syscall *)
+  indispensable : int;  (** calls at >= 99.9% importance *)
+  above_10pct : int;
+  below_10pct : int;  (** nonzero but below 10% *)
+  unused : int;
+}
+
+let paper = ("224 indispensable", "257 >= 10%", "44 < 10%", "18 unused")
+
+let run (env : Env.t) : result =
+  let values =
+    List.map snd (Importance.syscall_importances env.Env.store)
+  in
+  let series = Importance.inverted_cdf values in
+  let indispensable = Importance.count_at_least 0.995 series in
+  let above_10pct = Importance.count_at_least 0.10 series in
+  let used = List.length (List.filter (fun v -> v > 0.0) series) in
+  {
+    series;
+    indispensable;
+    above_10pct;
+    below_10pct = used - above_10pct;
+    unused = List.length series - used;
+  }
+
+let render (r : result) =
+  let module R = Lapis_report.Report in
+  let body =
+    R.curve r.series
+    ^ "\n"
+    ^ R.compare_line ~label:"indispensable system calls (100% importance)"
+        ~paper:"224" ~measured:(string_of_int r.indispensable)
+    ^ "\n"
+    ^ R.compare_line ~label:"system calls with importance >= 10%"
+        ~paper:"257" ~measured:(string_of_int r.above_10pct)
+    ^ "\n"
+    ^ R.compare_line ~label:"used, below 10% importance" ~paper:"44"
+        ~measured:(string_of_int r.below_10pct)
+    ^ "\n"
+    ^ R.compare_line ~label:"never used" ~paper:"18"
+        ~measured:(string_of_int r.unused)
+  in
+  R.section ~title:"Figure 2: API importance of system calls" body

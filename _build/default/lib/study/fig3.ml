@@ -1,0 +1,73 @@
+(** Figure 3: accumulated weighted completeness as the N top-ranked
+    system calls are implemented — the optimal path from "hello world"
+    to qemu (Section 3.2). *)
+
+type result = {
+  curve : (int * float) list;
+  at_1pct : int option;  (** paper: 40 *)
+  at_10pct : int option;  (** paper: ~81 *)
+  at_50pct : int option;  (** paper: 145 *)
+  at_90pct : int option;  (** paper: 202 *)
+  at_99pct : int option;  (** paper: ~272 *)
+  qemu_needs : int;  (** paper: 270 *)
+}
+
+let paper = [ (0.01, 40); (0.10, 81); (0.50, 145); (0.90, 202); (0.99, 272) ]
+
+let run (env : Env.t) : result =
+  let curve = env.Env.curve in
+  let cross t = Lapis_metrics.Completeness.crossing curve t in
+  (* qemu's requirement: the highest rank among its footprint *)
+  let qemu_needs =
+    match Lapis_store.Store.find env.Env.store Lapis_distro.Roster.qemu_name with
+    | None -> 0
+    | Some p ->
+      let pos = Hashtbl.create 512 in
+      List.iteri (fun i nr -> Hashtbl.replace pos nr (i + 1)) env.Env.ranking;
+      Lapis_apidb.Api.Set.fold
+        (fun api acc ->
+          match api with
+          | Lapis_apidb.Api.Syscall nr ->
+            (match Hashtbl.find_opt pos nr with
+             | Some k -> max acc k
+             | None -> acc)
+          | _ -> acc)
+        p.Lapis_store.Store.pr_apis 0
+  in
+  {
+    curve;
+    at_1pct = cross 0.01;
+    at_10pct = cross 0.10;
+    at_50pct = cross 0.50;
+    at_90pct = cross 0.90;
+    at_99pct = cross 0.99;
+    qemu_needs;
+  }
+
+let render (r : result) =
+  let module R = Lapis_report.Report in
+  let series = List.map snd r.curve in
+  (* completeness is ascending; plot it directly *)
+  let curve_txt =
+    R.curve (List.rev (Lapis_metrics.Importance.inverted_cdf series))
+  in
+  let line label paper v =
+    R.compare_line ~label ~paper:(string_of_int paper)
+      ~measured:(match v with Some n -> string_of_int n | None -> "-")
+  in
+  let body =
+    curve_txt ^ "\n"
+    ^ line "syscalls for 1% weighted completeness" 40 r.at_1pct
+    ^ "\n"
+    ^ line "syscalls for 10% weighted completeness" 81 r.at_10pct
+    ^ "\n"
+    ^ line "syscalls for 50% weighted completeness" 145 r.at_50pct
+    ^ "\n"
+    ^ line "syscalls for 90% weighted completeness" 202 r.at_90pct
+    ^ "\n"
+    ^ line "syscalls for ~100% weighted completeness" 272 r.at_99pct
+    ^ "\n"
+    ^ R.compare_line ~label:"system calls required by qemu" ~paper:"270"
+        ~measured:(string_of_int r.qemu_needs)
+  in
+  R.section ~title:"Figure 3: weighted completeness vs. N top syscalls" body

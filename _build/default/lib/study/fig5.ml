@@ -1,0 +1,56 @@
+(** Figure 5: API importance of fcntl and prctl operation codes.
+    Paper: 11 of 18 fcntl codes at ~100%; 9 of 44 prctl codes at
+    ~100% and 18 above 20%. *)
+
+open Lapis_apidb
+module Importance = Lapis_metrics.Importance
+
+type vec_result = {
+  vector : Api.vector;
+  series : float list;
+  at_100 : int;
+  above_20pct : int;
+  defined : int;
+}
+
+type result = { fcntl : vec_result; prctl : vec_result }
+
+let run_vector env vector =
+  let store = env.Env.store in
+  let ops = Vectored.ops_of_vector vector in
+  let values =
+    List.map
+      (fun (op : Vectored.op) ->
+        Importance.importance store (Vectored.api_of_op op))
+      ops
+  in
+  let series = Importance.inverted_cdf values in
+  {
+    vector;
+    series;
+    at_100 = Importance.count_at_least 0.995 series;
+    above_20pct = Importance.count_at_least 0.20 series;
+    defined = List.length ops;
+  }
+
+let run (env : Env.t) : result =
+  { fcntl = run_vector env Api.Fcntl; prctl = run_vector env Api.Prctl }
+
+let render r =
+  let module R = Lapis_report.Report in
+  let one (v : vec_result) ~paper_100 ~paper_20 =
+    let name = Api.vector_name v.vector in
+    R.curve ~width:44 ~height:8 v.series
+    ^ "\n"
+    ^ R.compare_line
+        ~label:(Printf.sprintf "%s codes at ~100%% (of %d)" name v.defined)
+        ~paper:paper_100 ~measured:(string_of_int v.at_100)
+    ^ "\n"
+    ^ R.compare_line
+        ~label:(Printf.sprintf "%s codes above 20%%" name)
+        ~paper:paper_20 ~measured:(string_of_int v.above_20pct)
+  in
+  R.section ~title:"Figure 5: importance of fcntl and prctl operations"
+    (one r.fcntl ~paper_100:"11" ~paper_20:"12"
+     ^ "\n\n"
+     ^ one r.prctl ~paper_100:"9" ~paper_20:"18")

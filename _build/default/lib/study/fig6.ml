@@ -1,0 +1,60 @@
+(** Figure 6: API importance of hard-coded pseudo-files under /dev and
+    /proc. The head of the distribution (e.g. /dev/null,
+    /proc/cpuinfo) is essential to any Linux emulator; the long tail
+    serves single applications or administrators. *)
+
+open Lapis_apidb
+module Importance = Lapis_metrics.Importance
+
+type row = { path : string; importance : float }
+
+type result = {
+  rows : row list;  (** descending importance *)
+  essential_count : int;  (** importance >= 90% *)
+  dev_null_users : int;  (** binaries hard-coding /dev/null *)
+  cpuinfo_users : int;
+}
+
+let run (env : Env.t) : result =
+  let store = env.Env.store in
+  let rows =
+    List.map
+      (fun (e : Pseudo_files.entry) ->
+        let path = e.Pseudo_files.path in
+        { path; importance = Importance.importance store (Api.Pseudo_file path) })
+      Pseudo_files.all
+    |> List.sort (fun a b -> compare b.importance a.importance)
+  in
+  let count_binaries path =
+    List.length
+      (List.filter
+         (fun (b : Lapis_store.Store.bin_row) ->
+           Api.Set.mem (Api.Pseudo_file path)
+             b.Lapis_store.Store.br_direct.Lapis_analysis.Footprint.apis)
+         store.Lapis_store.Store.bins)
+  in
+  {
+    rows;
+    essential_count =
+      List.length (List.filter (fun r -> r.importance >= 0.90) rows);
+    dev_null_users = count_binaries "/dev/null";
+    cpuinfo_users = count_binaries "/proc/cpuinfo";
+  }
+
+let render r =
+  let module R = Lapis_report.Report in
+  let top = List.filteri (fun i _ -> i < 20) r.rows in
+  let body =
+    R.curve ~width:60 (List.map (fun x -> x.importance) r.rows)
+    ^ "\n"
+    ^ R.table ~header:[ "pseudo-file"; "importance" ]
+        (List.map (fun x -> [ x.path; R.pct x.importance ]) top)
+    ^ "\n"
+    ^ R.compare_line ~label:"binaries hard-coding /dev/null" ~paper:"3324"
+        ~measured:(string_of_int r.dev_null_users)
+    ^ "\n"
+    ^ R.compare_line ~label:"binaries hard-coding /proc/cpuinfo" ~paper:"439"
+        ~measured:(string_of_int r.cpuinfo_users)
+  in
+  R.section ~title:"Figure 6: importance of pseudo-files (/proc, /dev, /sys)"
+    body

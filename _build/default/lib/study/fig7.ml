@@ -1,0 +1,99 @@
+(** Figure 7 and the Section 3.5 restructuring analysis: API
+    importance over the libc export surface, plus the stripped-libc
+    experiment — drop every export below 90% importance and measure
+    the size saved and the weighted completeness retained. *)
+
+open Lapis_apidb
+module Importance = Lapis_metrics.Importance
+module Completeness = Lapis_metrics.Completeness
+
+type result = {
+  series : float list;
+  total : int;
+  at_100_frac : float;  (** paper: 42.8% *)
+  below_50_frac : float;  (** paper: 50.6% *)
+  below_1_frac : float;  (** paper: 39.7% *)
+  unused_count : int;  (** paper: 222 *)
+  stripped_retained : int;  (** paper: 889 *)
+  stripped_size_frac : float;  (** paper: 63% *)
+  stripped_completeness : float;  (** paper: 90.7% *)
+}
+
+let run (env : Env.t) : result =
+  let store = env.Env.store in
+  let entries = Libc_catalog.all in
+  let with_imp =
+    List.map
+      (fun (e : Libc_catalog.entry) ->
+        (e, Importance.importance store (Api.Libc_sym e.Libc_catalog.name)))
+      entries
+  in
+  let values = List.map snd with_imp in
+  let series = Importance.inverted_cdf values in
+  let total = List.length series in
+  let frac k = float_of_int k /. float_of_int total in
+  let at_100 = Importance.count_at_least 0.995 series in
+  let below_50 = total - Importance.count_at_least 0.50 series in
+  let below_1 = total - Importance.count_at_least 0.01 series in
+  let unused = List.length (List.filter (fun v -> v <= 0.0) series) in
+  (* stripped libc: keep exports with importance >= 90% *)
+  let kept =
+    List.filter (fun (_, imp) -> imp >= 0.90) with_imp |> List.map fst
+  in
+  let module SS = Set.Make (String) in
+  let kept_names =
+    List.fold_left
+      (fun acc (e : Libc_catalog.entry) -> SS.add e.Libc_catalog.name acc)
+      SS.empty kept
+  in
+  let size lst =
+    List.fold_left (fun a (e : Libc_catalog.entry) -> a + e.Libc_catalog.size) 0 lst
+  in
+  let stripped_completeness =
+    Completeness.weighted_completeness store ~supported:(fun api ->
+        match api with
+        | Api.Libc_sym name -> SS.mem name kept_names
+        | Api.Syscall _ | Api.Vop _ | Api.Pseudo_file _ -> true)
+  in
+  {
+    series;
+    total;
+    at_100_frac = frac at_100;
+    below_50_frac = frac below_50;
+    below_1_frac = frac below_1;
+    unused_count = unused;
+    stripped_retained = List.length kept;
+    stripped_size_frac = float_of_int (size kept) /. float_of_int (size entries);
+    stripped_completeness;
+  }
+
+let render r =
+  let module R = Lapis_report.Report in
+  let body =
+    R.curve r.series
+    ^ "\n"
+    ^ R.compare_line ~label:"libc exports modelled" ~paper:"1274"
+        ~measured:(string_of_int r.total)
+    ^ "\n"
+    ^ R.compare_line ~label:"exports at 100% importance" ~paper:"42.8%"
+        ~measured:(R.pct r.at_100_frac)
+    ^ "\n"
+    ^ R.compare_line ~label:"exports below 50% importance" ~paper:"50.6%"
+        ~measured:(R.pct r.below_50_frac)
+    ^ "\n"
+    ^ R.compare_line ~label:"exports below 1% importance" ~paper:"39.7%"
+        ~measured:(R.pct r.below_1_frac)
+    ^ "\n"
+    ^ R.compare_line ~label:"exports never referenced" ~paper:"222"
+        ~measured:(string_of_int r.unused_count)
+    ^ "\n"
+    ^ R.compare_line ~label:"stripped libc (>=90%): exports retained"
+        ~paper:"889" ~measured:(string_of_int r.stripped_retained)
+    ^ "\n"
+    ^ R.compare_line ~label:"stripped libc: size vs original" ~paper:"63%"
+        ~measured:(R.pct r.stripped_size_frac)
+    ^ "\n"
+    ^ R.compare_line ~label:"stripped libc: weighted completeness"
+        ~paper:"90.7%" ~measured:(R.pct r.stripped_completeness)
+  in
+  R.section ~title:"Figure 7: importance of GNU libc exports" body

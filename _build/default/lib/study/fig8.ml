@@ -1,0 +1,48 @@
+(** Figure 8: unweighted API importance of system calls — the fraction
+    of packages using each call, irrespective of installation counts.
+    Paper anchors: ~40 calls used by essentially all packages, 130 by
+    at least 10%, over half below 10%. *)
+
+open Lapis_apidb
+module Importance = Lapis_metrics.Importance
+
+type result = {
+  series : float list;
+  near_universal : int;  (** >= 95% of packages *)
+  above_10pct : int;
+  below_10pct : int;
+}
+
+let run (env : Env.t) : result =
+  let store = env.Env.store in
+  let values =
+    List.map
+      (fun (e : Syscall_table.entry) ->
+        Importance.unweighted store (Api.Syscall e.Syscall_table.nr))
+      (Array.to_list Syscall_table.all)
+  in
+  let series = Importance.inverted_cdf values in
+  let near_universal = Importance.count_at_least 0.95 series in
+  let above_10pct = Importance.count_at_least 0.10 series in
+  {
+    series;
+    near_universal;
+    above_10pct;
+    below_10pct = List.length series - above_10pct;
+  }
+
+let render r =
+  let module R = Lapis_report.Report in
+  let body =
+    R.curve r.series
+    ^ "\n"
+    ^ R.compare_line ~label:"syscalls used by ~all packages" ~paper:"40"
+        ~measured:(string_of_int r.near_universal)
+    ^ "\n"
+    ^ R.compare_line ~label:"syscalls used by >= 10% of packages"
+        ~paper:"130" ~measured:(string_of_int r.above_10pct)
+    ^ "\n"
+    ^ R.compare_line ~label:"syscalls used by < 10% of packages"
+        ~paper:"190" ~measured:(string_of_int r.below_10pct)
+  in
+  R.section ~title:"Figure 8: unweighted API importance of system calls" body

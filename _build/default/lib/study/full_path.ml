@@ -1,0 +1,87 @@
+(** The full-API development path — Section 3.2's suggested extension
+    of Figure 3: "one can construct a similar path including other
+    APIs, such as vectored system calls, pseudo-files and library
+    APIs."
+
+    Ranks every kernel-facing API with non-zero importance — system
+    calls, ioctl/fcntl/prctl operation codes and pseudo-files — by
+    importance and plots cumulative weighted completeness along that
+    path. Libc symbols are treated as the C library's concern (a
+    compatibility layer reimplements the kernel interface, not libc),
+    mirroring the paper's observation that developers need not
+    implement every ioctl operation during the early stages. *)
+
+open Lapis_apidb
+module Importance = Lapis_metrics.Importance
+module Completeness = Lapis_metrics.Completeness
+
+type result = {
+  universe : int;  (** kernel APIs with any observed use *)
+  curve : (int * float) list;
+  at_50pct : int option;
+  at_90pct : int option;
+  syscall_only_at_90 : int option;  (** Figure 3's 90% point, for contrast *)
+  head : (Api.t * float) list;  (** the 15 most important APIs overall *)
+}
+
+let kernel_api = function
+  | Api.Syscall _ | Api.Vop _ | Api.Pseudo_file _ -> true
+  | Api.Libc_sym _ -> false
+
+let run (env : Env.t) : result =
+  let store = env.Env.store in
+  let ranked =
+    Lapis_store.Store.used_apis store
+    |> List.filter kernel_api
+    |> List.map (fun api -> (api, Importance.importance store api))
+    |> List.sort (fun (a, ia) (b, ib) ->
+           match compare ib ia with 0 -> Api.compare a b | c -> c)
+  in
+  let ranking = List.map fst ranked in
+  let curve =
+    Completeness.curve_apis store ~ranking ~assumed:(fun api ->
+        not (kernel_api api))
+  in
+  {
+    universe = List.length ranking;
+    curve;
+    at_50pct = Completeness.crossing curve 0.50;
+    at_90pct = Completeness.crossing curve 0.90;
+    syscall_only_at_90 = Completeness.crossing env.Env.curve 0.90;
+    head = List.filteri (fun i _ -> i < 15) ranked;
+  }
+
+let render (r : result) =
+  let module R = Lapis_report.Report in
+  let show_n = function Some n -> string_of_int n | None -> "-" in
+  let body =
+    R.curve (List.map snd r.curve |> List.rev
+             |> Lapis_metrics.Importance.inverted_cdf |> List.rev)
+    ^ Printf.sprintf
+        "\n  kernel APIs in use (syscalls + vectored ops + pseudo-files): %d\n"
+        r.universe
+    ^ Printf.sprintf "  APIs for 50%% weighted completeness: %s\n"
+        (show_n r.at_50pct)
+    ^ Printf.sprintf
+        "  APIs for 90%% weighted completeness: %s (vs %s system calls \
+         alone in Figure 3)\n"
+        (show_n r.at_90pct)
+        (show_n r.syscall_only_at_90)
+    ^ "\n  most important kernel APIs of any kind:\n"
+    ^ R.table ~header:[ "API"; "importance" ]
+        (List.map
+           (fun (api, imp) ->
+             let name =
+               match api with
+               | Api.Syscall nr -> Syscall_table.name_of_nr nr
+               | Api.Vop (v, code) ->
+                 Printf.sprintf "%s(%s)" (Api.vector_name v)
+                   (Vectored.name v code)
+               | Api.Pseudo_file path -> path
+               | Api.Libc_sym sym -> sym
+             in
+             [ name; R.pct imp ])
+           r.head)
+  in
+  R.section
+    ~title:"Full-API development path (Section 3.2, extended)" body

@@ -1,0 +1,80 @@
+(** Table 1: system calls whose only direct users are particular
+    shared libraries — applications depend on them solely because the
+    libraries do, so deprecation would only require changing the
+    library wrappers. *)
+
+open Lapis_apidb
+module Store = Lapis_store.Store
+module Importance = Lapis_metrics.Importance
+module Footprint = Lapis_analysis.Footprint
+
+type row = {
+  syscall : string;
+  importance : float;
+  libraries : string list;  (** packages owning the direct-user libs *)
+}
+
+(* The paper's examples, for the comparison column. *)
+let paper =
+  [ ("clock_settime", 1.0, "libc"); ("iopl", 1.0, "libc");
+    ("ioperm", 1.0, "libc"); ("signalfd4", 1.0, "libc");
+    ("mbind", 0.36, "libnuma, libopenblas"); ("add_key", 0.272, "libkeyutils");
+    ("keyctl", 0.272, "libkeyutils"); ("request_key", 0.144, "libkeyutils");
+    ("preadv", 0.117, "libc"); ("pwritev", 0.117, "libc") ]
+
+let run (env : Env.t) : row list =
+  let store = env.Env.store in
+  (* direct users of each syscall: binaries whose own instructions
+     issue it *)
+  let direct_users = Hashtbl.create 512 in
+  List.iter
+    (fun (b : Store.bin_row) ->
+      Api.Set.iter
+        (fun api ->
+          match api with
+          | Api.Syscall nr ->
+            let cur =
+              Option.value ~default:[] (Hashtbl.find_opt direct_users nr)
+            in
+            Hashtbl.replace direct_users nr (b :: cur)
+          | _ -> ())
+        b.Store.br_direct.Footprint.apis)
+    store.Store.bins;
+  List.filter_map
+    (fun (e : Syscall_table.entry) ->
+      let nr = e.Syscall_table.nr in
+      match Hashtbl.find_opt direct_users nr with
+      | None | Some [] -> None
+      | Some users ->
+        let all_libs =
+          List.for_all
+            (fun (b : Store.bin_row) ->
+              b.Store.br_class = Lapis_elf.Classify.Elf_shared_lib)
+            users
+        in
+        let pkgs =
+          List.sort_uniq compare
+            (List.map (fun (b : Store.bin_row) -> b.Store.br_package) users)
+        in
+        let imp = Importance.importance store (Api.Syscall nr) in
+        if all_libs && List.length pkgs <= 2 && imp >= 0.10 then
+          Some { syscall = e.Syscall_table.name; importance = imp;
+                 libraries = pkgs }
+        else None)
+    (Array.to_list Syscall_table.all)
+  |> List.sort (fun a b -> compare b.importance a.importance)
+
+let render rows =
+  let module R = Lapis_report.Report in
+  let body =
+    R.table
+      ~header:[ "system call"; "importance"; "direct users (libraries)" ]
+      (List.map
+         (fun r -> [ r.syscall; R.pct r.importance; String.concat ", " r.libraries ])
+         rows)
+    ^ "\n\n  paper highlights: "
+    ^ String.concat "; "
+        (List.map (fun (s, i, l) -> Printf.sprintf "%s %.1f%% (%s)" s (100. *. i) l)
+           paper)
+  in
+  R.section ~title:"Table 1: system calls used only via libraries" body

@@ -1,0 +1,61 @@
+(** Table 2: system calls whose usage is dominated by one or two
+    special-purpose packages (kexec_load by kexec-tools, and so on),
+    excluding officially retired calls. *)
+
+open Lapis_apidb
+module Store = Lapis_store.Store
+module Importance = Lapis_metrics.Importance
+
+type row = {
+  syscall : string;
+  importance : float;
+  packages : string list;
+}
+
+let paper =
+  [ ("seccomp", 0.01, "coop-computing-tools");
+    ("sched_setattr", 0.01, "coop-computing-tools");
+    ("sched_getattr", 0.01, "coop-computing-tools");
+    ("kexec_load", 0.01, "kexec-tools");
+    ("clock_adjtime", 0.04, "systemd");
+    ("renameat2", 0.04, "systemd, coop-computing-tools");
+    ("mq_timedsend", 0.01, "qemu-user");
+    ("mq_getsetattr", 0.01, "qemu-user");
+    ("io_getevents", 0.01, "ioping, zfs-fuse");
+    ("getcpu", 0.04, "valgrind, rt-tests") ]
+
+let run (env : Env.t) : row list =
+  let store = env.Env.store in
+  List.filter_map
+    (fun (e : Syscall_table.entry) ->
+      if e.Syscall_table.status <> Syscall_table.Active then None
+      else begin
+        let api = Api.Syscall e.Syscall_table.nr in
+        let deps = Store.dependent_rows store api in
+        let n = List.length deps in
+        if n >= 1 && n <= 2 then
+          Some
+            {
+              syscall = e.Syscall_table.name;
+              importance = Importance.importance store api;
+              packages = List.map (fun p -> p.Store.pr_name) deps;
+            }
+        else None
+      end)
+    (Array.to_list Syscall_table.all)
+  |> List.sort (fun a b -> compare b.importance a.importance)
+
+let render rows =
+  let module R = Lapis_report.Report in
+  let body =
+    R.table
+      ~header:[ "system call"; "importance"; "packages" ]
+      (List.map
+         (fun r -> [ r.syscall; R.pct2 r.importance; String.concat ", " r.packages ])
+         rows)
+    ^ "\n\n  paper highlights: "
+    ^ String.concat "; "
+        (List.map (fun (s, i, p) -> Printf.sprintf "%s %.0f%% (%s)" s (100. *. i) p)
+           paper)
+  in
+  R.section ~title:"Table 2: system calls dominated by specific packages" body

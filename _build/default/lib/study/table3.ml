@@ -1,0 +1,49 @@
+(** Table 3: system calls with no observed use in the repository, with
+    the reason for disuse. The analyzer must keep these at zero even
+    though the generator plants them in unreachable decoy functions —
+    a sloppy reachability analysis would corrupt this table. *)
+
+open Lapis_apidb
+module Store = Lapis_store.Store
+
+type row = { syscall : string; reason : string }
+
+let reason_of name =
+  match Stages.stage_of_name name with
+  | Stages.No_entry -> "officially retired (no kernel entry point)"
+  | Stages.Unused ->
+    (match name with
+     | "sysfs" -> "replaced by /proc/filesystems"
+     | "remap_file_pages" -> "repeated mmap calls preferred"
+     | "mq_notify" -> "asynchronous message delivery unused"
+     | "lookup_dcookie" -> "profiling interface unused"
+     | "restart_syscall" -> "kernel-internal, transparent to applications"
+     | "move_pages" -> "NUMA page migration unused"
+     | _ -> "unused by applications")
+  | _ -> "unexpectedly unused"
+
+let run (env : Env.t) : row list =
+  let store = env.Env.store in
+  List.filter_map
+    (fun (e : Syscall_table.entry) ->
+      let api = Api.Syscall e.Syscall_table.nr in
+      if Store.dependents store api = [] then
+        Some { syscall = e.Syscall_table.name;
+               reason = reason_of e.Syscall_table.name }
+      else None)
+    (Array.to_list Syscall_table.all)
+
+(* The paper's count: 18 unused calls in Linux 3.19. *)
+let paper_count = 18
+
+let render rows =
+  let module R = Lapis_report.Report in
+  let body =
+    R.table ~header:[ "system call"; "reason for disuse" ]
+      (List.map (fun r -> [ r.syscall; r.reason ]) rows)
+    ^ "\n"
+    ^ R.compare_line ~label:"unused system calls"
+        ~paper:(string_of_int paper_count)
+        ~measured:(string_of_int (List.length rows))
+  in
+  R.section ~title:"Table 3: unused system calls" body

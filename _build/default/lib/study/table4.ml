@@ -1,0 +1,55 @@
+(** Table 4: the five implementation stages — cut the Figure 3 ranking
+    at the paper's stage sizes (40 / 81 / 145 / 202 / all) and report
+    the weighted completeness reached at each cut, with sample calls. *)
+
+module Completeness = Lapis_metrics.Completeness
+
+type stage_row = {
+  stage : string;
+  upto : int;  (** N top-ranked syscalls *)
+  completeness : float;
+  paper_completeness : float;
+  samples : string list;
+}
+
+let cuts =
+  [ ("I", 40, 0.0112); ("II", 81, 0.1068); ("III", 145, 0.5009);
+    ("IV", 202, 0.9061); ("V", 272, 1.0) ]
+
+let run (env : Env.t) : stage_row list =
+  let curve = Array.of_list env.Env.curve in
+  let ranking = Array.of_list env.Env.ranking in
+  let completeness_at n =
+    if n - 1 < Array.length curve then snd curve.(n - 1) else 1.0
+  in
+  let rec go lo = function
+    | [] -> []
+    | (stage, upto, paper) :: rest ->
+      let upto = min upto (Array.length ranking) in
+      let sample_range =
+        List.init (min 8 (upto - lo)) (fun i ->
+            Lapis_apidb.Syscall_table.name_of_nr ranking.(lo + i))
+      in
+      {
+        stage;
+        upto;
+        completeness = completeness_at upto;
+        paper_completeness = paper;
+        samples = sample_range;
+      }
+      :: go upto rest
+  in
+  go 0 cuts
+
+let render rows =
+  let module R = Lapis_report.Report in
+  let body =
+    R.table
+      ~header:[ "stage"; "# syscalls"; "measured"; "paper"; "highest-ranked members" ]
+      (List.map
+         (fun r ->
+           [ r.stage; string_of_int r.upto; R.pct2 r.completeness;
+             R.pct2 r.paper_completeness; String.concat " " r.samples ])
+         rows)
+  in
+  R.section ~title:"Table 4: five stages of implementing system calls" body

@@ -1,0 +1,76 @@
+(** Table 5: ubiquitous system call usage caused by the C runtime's
+    startup and finalization — calls whose only direct issuers are the
+    libc-family binaries, yet which appear in the footprint of every
+    dynamically-linked executable. *)
+
+open Lapis_apidb
+module Store = Lapis_store.Store
+module Footprint = Lapis_analysis.Footprint
+
+type row = {
+  syscall : string;
+  runtime_only : bool;  (** directly issued only by the runtime *)
+  importance : float;
+}
+
+let paper_examples =
+  [ ("access", "ld.so"); ("arch_prctl", "ld.so");
+    ("clone", "libc"); ("execve", "libc"); ("getuid", "libc");
+    ("gettid", "libc"); ("kill", "libc"); ("getrlimit", "libc");
+    ("set_robust_list", "libpthread"); ("set_tid_address", "libpthread");
+    ("rt_sigreturn", "libpthread"); ("rt_sigprocmask", "librt");
+    ("futex", "libc, ld.so, libpthread") ]
+
+let run (env : Env.t) : row list =
+  let store = env.Env.store in
+  (* syscalls issued directly by non-runtime binaries *)
+  let app_direct = Hashtbl.create 512 in
+  List.iter
+    (fun (b : Store.bin_row) ->
+      (* static executables inline their syscalls by construction and
+         bypass the runtime entirely; Table 5 is about the footprint
+         the runtime injects into dynamically-linked programs *)
+      if b.Store.br_package <> "libc6"
+         && b.Store.br_class <> Lapis_elf.Classify.Elf_static
+      then
+        Api.Set.iter
+          (fun api ->
+            match api with
+            | Api.Syscall nr -> Hashtbl.replace app_direct nr ()
+            | _ -> ())
+          b.Store.br_direct.Footprint.apis)
+    store.Store.bins;
+  List.filter_map
+    (fun name ->
+      match Syscall_table.nr_of_name name with
+      | None -> None
+      | Some nr ->
+        let api = Api.Syscall nr in
+        let imp = Lapis_metrics.Importance.importance store api in
+        if imp >= 0.995 then
+          Some
+            {
+              syscall = name;
+              runtime_only = not (Hashtbl.mem app_direct nr);
+              importance = imp;
+            }
+        else None)
+    Stages.stage1
+
+let render rows =
+  let module R = Lapis_report.Report in
+  let body =
+    R.table
+      ~header:[ "system call"; "direct users"; "importance" ]
+      (List.map
+         (fun r ->
+           [ r.syscall;
+             (if r.runtime_only then "runtime only (libc/ld.so family)"
+              else "runtime + applications");
+             R.pct r.importance ])
+         rows)
+    ^ "\n\n  paper attribution: "
+    ^ String.concat "; "
+        (List.map (fun (s, l) -> Printf.sprintf "%s <- %s" s l) paper_examples)
+  in
+  R.section ~title:"Table 5: base footprint injected by the C runtime" body

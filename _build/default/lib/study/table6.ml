@@ -1,0 +1,43 @@
+(** Table 6: weighted completeness of Linux-compatible systems and
+    emulation layers (User-Mode-Linux, L4Linux, the FreeBSD emulation
+    layer, Graphene before and after adding the scheduling calls). *)
+
+module Systems = Lapis_apidb.Systems
+module Completeness = Lapis_metrics.Completeness
+
+type row = {
+  system : string;
+  supported : int;
+  completeness : float;
+  paper : float;
+  suggested : string list;  (** most important missing calls *)
+}
+
+let run (env : Env.t) : row list =
+  let store = env.Env.store in
+  List.map
+    (fun (p : Systems.profile) ->
+      let set = Systems.supported_set ~ranking:env.Env.ranking p in
+      let completeness = Completeness.of_syscall_set store set in
+      {
+        system = p.Systems.name;
+        supported = List.length set;
+        completeness;
+        paper = p.Systems.paper_completeness;
+        suggested = p.Systems.missing;
+      })
+    Systems.profiles
+
+let render rows =
+  let module R = Lapis_report.Report in
+  let body =
+    R.table
+      ~header:[ "system"; "#syscalls"; "measured"; "paper"; "suggested APIs to add" ]
+      (List.map
+         (fun r ->
+           [ r.system; string_of_int r.supported; R.pct2 r.completeness;
+             R.pct2 r.paper;
+             String.concat ", " (List.filteri (fun i _ -> i < 4) r.suggested) ])
+         rows)
+  in
+  R.section ~title:"Table 6: weighted completeness of Linux systems" body

@@ -1,0 +1,61 @@
+(** Table 7: weighted completeness of libc variants against the GNU
+    libc export surface, raw and after normalizing compile-time symbol
+    replacement (__foo_chk -> foo). *)
+
+open Lapis_apidb
+module Libc_variants = Lapis_apidb.Libc_variants
+module Completeness = Lapis_metrics.Completeness
+
+type row = {
+  variant : string;
+  exported : int;
+  completeness : float;
+  normalized : float;
+  paper : float;
+  paper_normalized : float;
+}
+
+let run (env : Env.t) : row list =
+  let store = env.Env.store in
+  List.map
+    (fun (p : Libc_variants.profile) ->
+      let supported normalize api =
+        match api with
+        | Api.Libc_sym name ->
+          let name = if normalize then Libc_variants.normalize name else name in
+          p.Libc_variants.exports name
+        | Api.Syscall _ | Api.Vop _ | Api.Pseudo_file _ -> true
+      in
+      let exported =
+        List.length
+          (List.filter
+             (fun (e : Libc_catalog.entry) ->
+               p.Libc_variants.exports e.Libc_catalog.name)
+             Libc_catalog.all)
+      in
+      {
+        variant = p.Libc_variants.name;
+        exported;
+        completeness =
+          Completeness.weighted_completeness store ~supported:(supported false);
+        normalized =
+          Completeness.weighted_completeness store ~supported:(supported true);
+        paper = p.Libc_variants.paper_completeness;
+        paper_normalized = p.Libc_variants.paper_completeness_normalized;
+      })
+    Libc_variants.profiles
+
+let render rows =
+  let module R = Lapis_report.Report in
+  let body =
+    R.table
+      ~header:
+        [ "variant"; "#exports"; "measured"; "paper"; "normalized";
+          "paper(norm)" ]
+      (List.map
+         (fun r ->
+           [ r.variant; string_of_int r.exported; R.pct2 r.completeness;
+             R.pct2 r.paper; R.pct2 r.normalized; R.pct2 r.paper_normalized ])
+         rows)
+  in
+  R.section ~title:"Table 7: weighted completeness of libc variants" body

@@ -1,0 +1,92 @@
+(** Tables 8-11: unweighted API importance of variant families —
+    secure vs. insecure (Table 8), old vs. new (Table 9),
+    Linux-specific vs. portable (Table 10), powerful vs. simple
+    (Table 11). One runner parameterized by category. *)
+
+open Lapis_apidb
+module Importance = Lapis_metrics.Importance
+
+type row = {
+  family : string;
+  syscall : string;
+  role : Variants.role;
+  measured : float;
+  paper : float;
+}
+
+let role_name = function
+  | Variants.Insecure -> "insecure"
+  | Variants.Secure -> "secure"
+  | Variants.Old -> "old"
+  | Variants.New -> "new"
+  | Variants.Linux_specific -> "linux-specific"
+  | Variants.Portable -> "portable"
+  | Variants.Powerful -> "powerful"
+  | Variants.Simple -> "simple"
+
+let run (env : Env.t) category : row list =
+  let store = env.Env.store in
+  List.concat_map
+    (fun (f : Variants.family) ->
+      List.map
+        (fun (m : Variants.member) ->
+          let api = Syscall_table.api_of_name m.Variants.syscall in
+          {
+            family = f.Variants.title;
+            syscall = m.Variants.syscall;
+            role = m.Variants.role;
+            measured = Importance.unweighted store api;
+            paper = m.Variants.paper_unweighted;
+          })
+        f.Variants.members)
+    (Variants.with_category category)
+
+let title_of = function
+  | Variants.Id_management ->
+    "Table 8a: unclear vs well-defined ID management"
+  | Variants.Directory_races ->
+    "Table 8b: non-atomic vs atomic directory operations"
+  | Variants.Old_vs_new -> "Table 9: old vs new API variants"
+  | Variants.Linux_vs_portable ->
+    "Table 10: Linux-specific vs portable variants"
+  | Variants.Powerful_vs_simple ->
+    "Table 11: powerful vs simple variants"
+
+let render category rows =
+  let module R = Lapis_report.Report in
+  let body =
+    R.table
+      ~header:[ "family"; "system call"; "role"; "measured"; "paper" ]
+      (List.map
+         (fun r ->
+           [ r.family; r.syscall; role_name r.role; R.pct2 r.measured;
+             R.pct2 r.paper ])
+         rows)
+  in
+  R.section ~title:(title_of category) body
+
+(* The qualitative claim each table makes: within each family, do the
+   roles the paper found dominant still dominate? *)
+let dominant_role_holds rows =
+  (* group rows by family and compare the measured ordering of the
+     paper's top member against the rest *)
+  let by_family = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_family r.family) in
+      Hashtbl.replace by_family r.family (r :: cur))
+    rows;
+  Hashtbl.fold
+    (fun family members acc ->
+      let paper_top =
+        List.fold_left
+          (fun best r -> if r.paper > best.paper then r else best)
+          (List.hd members) members
+      in
+      let measured_top =
+        List.fold_left
+          (fun best r -> if r.measured > best.measured then r else best)
+          (List.hd members) members
+      in
+      (family, paper_top.syscall = measured_top.syscall) :: acc)
+    by_family []

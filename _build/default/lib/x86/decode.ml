@@ -1,0 +1,148 @@
+(** Linear decoder for the {!Insn} subset. Bytes outside the subset
+    decode as [Unknown] and are consumed one at a time, the standard
+    disassembler-resynchronization behaviour the paper's analysis
+    relies on when sweeping data islands inside .text. *)
+
+type cursor = { buf : string; mutable pos : int }
+
+let u8 c =
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let i32 c =
+  let b0 = u8 c and b1 = u8 c and b2 = u8 c and b3 = u8 c in
+  Int32.logor
+    (Int32.of_int (b0 lor (b1 lsl 8) lor (b2 lsl 16)))
+    (Int32.shift_left (Int32.of_int b3) 24)
+
+let i64 c =
+  let lo = i32 c and hi = i32 c in
+  Int64.logor
+    (Int64.logand (Int64.of_int32 lo) 0xFFFFFFFFL)
+    (Int64.shift_left (Int64.of_int32 hi) 32)
+
+let remaining c = String.length c.buf - c.pos
+
+exception Truncated
+
+let need c n = if remaining c < n then raise Truncated
+
+(* Decode one instruction at [pos]; returns the instruction and its
+   length in bytes. *)
+let decode_at buf pos : Insn.t * int =
+  let c = { buf; pos } in
+  let start = pos in
+  let finish insn = (insn, c.pos - start) in
+  let fallback () = ({ buf; pos = start } |> u8 |> fun b -> Insn.Unknown b), 1 in
+  try
+    let b0 = u8 c in
+    (* Optional REX prefix *)
+    let rex, opcode =
+      if b0 >= 0x40 && b0 <= 0x4F then begin
+        need c 1;
+        (b0, u8 c)
+      end
+      else (0, b0)
+    in
+    let rex_w = rex land 0x08 <> 0 in
+    let rex_r = rex land 0x04 <> 0 in
+    let rex_b = rex land 0x01 <> 0 in
+    let ext_reg r = if rex_r then r + 8 else r in
+    let ext_rm r = if rex_b then r + 8 else r in
+    match opcode with
+    | 0x0F ->
+      need c 1;
+      (match u8 c with
+       | 0x05 -> finish Insn.Syscall
+       | 0x34 -> finish Insn.Sysenter
+       | _ -> fallback ())
+    | 0xCD ->
+      need c 1;
+      (match u8 c with 0x80 -> finish Insn.Int80 | _ -> fallback ())
+    | b when b >= 0xB8 && b <= 0xBF ->
+      let r = Insn.reg_of_code (ext_rm (b - 0xB8)) in
+      if rex_w then begin
+        need c 8;
+        finish (Insn.Mov_ri (r, i64 c))
+      end
+      else begin
+        need c 4;
+        let v = Int64.logand (Int64.of_int32 (i32 c)) 0xFFFFFFFFL in
+        finish (Insn.Mov_ri (r, v))
+      end
+    | 0x89 ->
+      need c 1;
+      let m = u8 c in
+      if m lsr 6 = 3 && rex_w then
+        let src = Insn.reg_of_code (ext_reg ((m lsr 3) land 7)) in
+        let dst = Insn.reg_of_code (ext_rm (m land 7)) in
+        finish (Insn.Mov_rr (dst, src))
+      else fallback ()
+    | 0x31 ->
+      need c 1;
+      let m = u8 c in
+      if m lsr 6 = 3 && rex_w then
+        let src = Insn.reg_of_code (ext_reg ((m lsr 3) land 7)) in
+        let dst = Insn.reg_of_code (ext_rm (m land 7)) in
+        finish (Insn.Xor_rr (dst, src))
+      else fallback ()
+    | 0x8D ->
+      need c 1;
+      let m = u8 c in
+      if m lsr 6 = 0 && m land 7 = 5 && rex_w then begin
+        need c 4;
+        let r = Insn.reg_of_code (ext_reg ((m lsr 3) land 7)) in
+        finish (Insn.Lea_rip (r, i32 c))
+      end
+      else fallback ()
+    | 0x81 ->
+      need c 1;
+      let m = u8 c in
+      if m lsr 6 = 3 && rex_w then begin
+        need c 4;
+        let r = Insn.reg_of_code (ext_rm (m land 7)) in
+        match (m lsr 3) land 7 with
+        | 0 -> finish (Insn.Add_ri (r, i32 c))
+        | 5 -> finish (Insn.Sub_ri (r, i32 c))
+        | _ -> fallback ()
+      end
+      else fallback ()
+    | 0xE8 ->
+      need c 4;
+      finish (Insn.Call_rel (i32 c))
+    | 0xE9 ->
+      need c 4;
+      finish (Insn.Jmp_rel (i32 c))
+    | 0xFF ->
+      need c 1;
+      let m = u8 c in
+      let md = m lsr 6 and op = (m lsr 3) land 7 and rm = m land 7 in
+      (match (md, op, rm) with
+       | 3, 2, r -> finish (Insn.Call_reg (Insn.reg_of_code (ext_rm r)))
+       | 0, 2, 5 ->
+         need c 4;
+         finish (Insn.Call_mem_rip (i32 c))
+       | 0, 4, 5 ->
+         need c 4;
+         finish (Insn.Jmp_mem_rip (i32 c))
+       | _ -> fallback ())
+    | b when b >= 0x50 && b <= 0x57 ->
+      finish (Insn.Push_r (Insn.reg_of_code (ext_rm (b - 0x50))))
+    | b when b >= 0x58 && b <= 0x5F ->
+      finish (Insn.Pop_r (Insn.reg_of_code (ext_rm (b - 0x58))))
+    | 0xC3 -> finish Insn.Ret
+    | 0x90 when rex = 0 -> finish Insn.Nop
+    | _ -> fallback ()
+  with Truncated | Invalid_argument _ -> fallback ()
+
+(* Decode a whole byte region into an instruction listing:
+   (offset, instruction, length) triples. *)
+let decode_all buf : (int * Insn.t * int) list =
+  let rec go pos acc =
+    if pos >= String.length buf then List.rev acc
+    else
+      let insn, len = decode_at buf pos in
+      go (pos + len) ((pos, insn, len) :: acc)
+  in
+  go 0 []

@@ -1,0 +1,12 @@
+(** Linear decoder for the {!Insn} subset. Bytes outside the subset
+    decode as {!Insn.Unknown} one at a time — the standard
+    disassembler-resynchronization behaviour the analysis relies on
+    when sweeping data islands inside .text. Never raises. *)
+
+val decode_at : string -> int -> Insn.t * int
+(** [decode_at buf pos] decodes one instruction, returning it and its
+    byte length (at least 1, so decoding always progresses). *)
+
+val decode_all : string -> (int * Insn.t * int) list
+(** Decode a whole region into [(offset, instruction, length)]
+    triples covering every byte. *)

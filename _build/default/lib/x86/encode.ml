@@ -1,0 +1,116 @@
+(** Binary encoder for the {!Insn} subset, following the Intel SDM
+    encodings. The decoder in {!Decode} is its exact inverse; the
+    round-trip property is checked by the test suite. *)
+
+let buf_add_i32 b (v : int32) =
+  Buffer.add_char b (Char.chr (Int32.to_int (Int32.logand v 0xFFl)));
+  Buffer.add_char b
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 8) 0xFFl)));
+  Buffer.add_char b
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 16) 0xFFl)));
+  Buffer.add_char b
+    (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 24) 0xFFl)))
+
+let buf_add_i64 b (v : int64) =
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+(* REX prefix: 0x40 | W<<3 | R<<2 | X<<1 | B *)
+let rex ~w ~r ~b =
+  0x40 lor ((if w then 1 else 0) lsl 3) lor ((if r then 1 else 0) lsl 2)
+  lor (if b then 1 else 0)
+
+let modrm md reg rm = (md lsl 6) lor ((reg land 7) lsl 3) lor (rm land 7)
+
+let encode_into b insn =
+  let open Insn in
+  match insn with
+  | Mov_ri (r, v) ->
+    let code = reg_code r in
+    if Int64.compare v 0L >= 0 && Int64.compare v 0xFFFFFFFFL <= 0 then begin
+      (* mov r32, imm32 (zero-extends) : B8+rd id *)
+      if code >= 8 then Buffer.add_char b (Char.chr (rex ~w:false ~r:false ~b:true));
+      Buffer.add_char b (Char.chr (0xB8 + (code land 7)));
+      buf_add_i32 b (Int64.to_int32 v)
+    end
+    else begin
+      (* movabs r64, imm64 : REX.W B8+rd io *)
+      Buffer.add_char b (Char.chr (rex ~w:true ~r:false ~b:(code >= 8)));
+      Buffer.add_char b (Char.chr (0xB8 + (code land 7)));
+      buf_add_i64 b v
+    end
+  | Mov_rr (dst, src) ->
+    let d = reg_code dst and s = reg_code src in
+    Buffer.add_char b (Char.chr (rex ~w:true ~r:(s >= 8) ~b:(d >= 8)));
+    Buffer.add_char b '\x89';
+    Buffer.add_char b (Char.chr (modrm 3 s d))
+  | Xor_rr (dst, src) ->
+    let d = reg_code dst and s = reg_code src in
+    Buffer.add_char b (Char.chr (rex ~w:true ~r:(s >= 8) ~b:(d >= 8)));
+    Buffer.add_char b '\x31';
+    Buffer.add_char b (Char.chr (modrm 3 s d))
+  | Lea_rip (r, disp) ->
+    let code = reg_code r in
+    Buffer.add_char b (Char.chr (rex ~w:true ~r:(code >= 8) ~b:false));
+    Buffer.add_char b '\x8D';
+    Buffer.add_char b (Char.chr (modrm 0 code 5));
+    buf_add_i32 b disp
+  | Add_ri (r, v) ->
+    let code = reg_code r in
+    Buffer.add_char b (Char.chr (rex ~w:true ~r:false ~b:(code >= 8)));
+    Buffer.add_char b '\x81';
+    Buffer.add_char b (Char.chr (modrm 3 0 code));
+    buf_add_i32 b v
+  | Sub_ri (r, v) ->
+    let code = reg_code r in
+    Buffer.add_char b (Char.chr (rex ~w:true ~r:false ~b:(code >= 8)));
+    Buffer.add_char b '\x81';
+    Buffer.add_char b (Char.chr (modrm 3 5 code));
+    buf_add_i32 b v
+  | Call_rel disp ->
+    Buffer.add_char b '\xE8';
+    buf_add_i32 b disp
+  | Call_reg r ->
+    let code = reg_code r in
+    if code >= 8 then Buffer.add_char b (Char.chr (rex ~w:false ~r:false ~b:true));
+    Buffer.add_char b '\xFF';
+    Buffer.add_char b (Char.chr (modrm 3 2 code))
+  | Call_mem_rip disp ->
+    Buffer.add_char b '\xFF';
+    Buffer.add_char b (Char.chr (modrm 0 2 5));
+    buf_add_i32 b disp
+  | Jmp_rel disp ->
+    Buffer.add_char b '\xE9';
+    buf_add_i32 b disp
+  | Jmp_mem_rip disp ->
+    Buffer.add_char b '\xFF';
+    Buffer.add_char b (Char.chr (modrm 0 4 5));
+    buf_add_i32 b disp
+  | Syscall -> Buffer.add_string b "\x0F\x05"
+  | Int80 -> Buffer.add_string b "\xCD\x80"
+  | Sysenter -> Buffer.add_string b "\x0F\x34"
+  | Push_r r ->
+    let code = reg_code r in
+    if code >= 8 then Buffer.add_char b (Char.chr (rex ~w:false ~r:false ~b:true));
+    Buffer.add_char b (Char.chr (0x50 + (code land 7)))
+  | Pop_r r ->
+    let code = reg_code r in
+    if code >= 8 then Buffer.add_char b (Char.chr (rex ~w:false ~r:false ~b:true));
+    Buffer.add_char b (Char.chr (0x58 + (code land 7)))
+  | Ret -> Buffer.add_char b '\xC3'
+  | Nop -> Buffer.add_char b '\x90'
+  | Unknown byte -> Buffer.add_char b (Char.chr (byte land 0xFF))
+
+let encode insn =
+  let b = Buffer.create 16 in
+  encode_into b insn;
+  Buffer.contents b
+
+let encode_all insns =
+  let b = Buffer.create 256 in
+  List.iter (encode_into b) insns;
+  Buffer.contents b
+
+let length insn = String.length (encode insn)

@@ -1,0 +1,14 @@
+(** Binary encoder for the {!Insn} subset, following the Intel SDM
+    encodings. {!Decode} is its exact inverse (property-tested). *)
+
+val encode_into : Buffer.t -> Insn.t -> unit
+
+val encode : Insn.t -> string
+(** The instruction's machine-code bytes. *)
+
+val encode_all : Insn.t list -> string
+
+val length : Insn.t -> int
+(** Encoded size in bytes. Sizes depend only on the operand classes
+    (registers, immediate magnitude), never on layout, which is what
+    lets the assembler size code in a single pass. *)

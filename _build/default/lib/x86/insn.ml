@@ -1,0 +1,75 @@
+(** The x86-64 instruction subset used by the synthetic binaries and
+    understood by the static analyzer. It covers exactly the
+    instruction classes the paper's analysis relies on (Section 7):
+    system call instructions, immediate loads of system call numbers
+    and operation codes, direct and indirect calls, rip-relative
+    address formation (the function-pointer over-approximation), and
+    enough glue (push/pop/arith/ret) to form realistic function
+    bodies. *)
+
+type reg =
+  | RAX | RCX | RDX | RBX | RSP | RBP | RSI | RDI
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+let reg_code = function
+  | RAX -> 0 | RCX -> 1 | RDX -> 2 | RBX -> 3
+  | RSP -> 4 | RBP -> 5 | RSI -> 6 | RDI -> 7
+  | R8 -> 8 | R9 -> 9 | R10 -> 10 | R11 -> 11
+  | R12 -> 12 | R13 -> 13 | R14 -> 14 | R15 -> 15
+
+let reg_of_code = function
+  | 0 -> RAX | 1 -> RCX | 2 -> RDX | 3 -> RBX
+  | 4 -> RSP | 5 -> RBP | 6 -> RSI | 7 -> RDI
+  | 8 -> R8 | 9 -> R9 | 10 -> R10 | 11 -> R11
+  | 12 -> R12 | 13 -> R13 | 14 -> R14 | 15 -> R15
+  | n -> invalid_arg (Printf.sprintf "Insn.reg_of_code: %d" n)
+
+let reg_name = function
+  | RAX -> "rax" | RCX -> "rcx" | RDX -> "rdx" | RBX -> "rbx"
+  | RSP -> "rsp" | RBP -> "rbp" | RSI -> "rsi" | RDI -> "rdi"
+  | R8 -> "r8" | R9 -> "r9" | R10 -> "r10" | R11 -> "r11"
+  | R12 -> "r12" | R13 -> "r13" | R14 -> "r14" | R15 -> "r15"
+
+type t =
+  | Mov_ri of reg * int64  (** mov r, imm *)
+  | Mov_rr of reg * reg  (** mov dst, src (64-bit) *)
+  | Xor_rr of reg * reg  (** xor dst, src — dst=src zeroes dst *)
+  | Lea_rip of reg * int32  (** lea r, [rip+disp32] *)
+  | Add_ri of reg * int32
+  | Sub_ri of reg * int32
+  | Call_rel of int32  (** call rel32 *)
+  | Call_reg of reg  (** call r *)
+  | Call_mem_rip of int32  (** call [rip+disp32] *)
+  | Jmp_rel of int32  (** jmp rel32 *)
+  | Jmp_mem_rip of int32  (** jmp [rip+disp32] — PLT stub form *)
+  | Syscall
+  | Int80  (** int $0x80 *)
+  | Sysenter
+  | Push_r of reg
+  | Pop_r of reg
+  | Ret
+  | Nop
+  | Unknown of int  (** unrecognized byte, consumed one at a time *)
+
+let pp ppf = function
+  | Mov_ri (r, v) -> Fmt.pf ppf "mov %s, %Ld" (reg_name r) v
+  | Mov_rr (d, s) -> Fmt.pf ppf "mov %s, %s" (reg_name d) (reg_name s)
+  | Xor_rr (d, s) -> Fmt.pf ppf "xor %s, %s" (reg_name d) (reg_name s)
+  | Lea_rip (r, d) -> Fmt.pf ppf "lea %s, [rip%+ld]" (reg_name r) d
+  | Add_ri (r, v) -> Fmt.pf ppf "add %s, %ld" (reg_name r) v
+  | Sub_ri (r, v) -> Fmt.pf ppf "sub %s, %ld" (reg_name r) v
+  | Call_rel d -> Fmt.pf ppf "call %+ld" d
+  | Call_reg r -> Fmt.pf ppf "call %s" (reg_name r)
+  | Call_mem_rip d -> Fmt.pf ppf "call [rip%+ld]" d
+  | Jmp_rel d -> Fmt.pf ppf "jmp %+ld" d
+  | Jmp_mem_rip d -> Fmt.pf ppf "jmp [rip%+ld]" d
+  | Syscall -> Fmt.pf ppf "syscall"
+  | Int80 -> Fmt.pf ppf "int $0x80"
+  | Sysenter -> Fmt.pf ppf "sysenter"
+  | Push_r r -> Fmt.pf ppf "push %s" (reg_name r)
+  | Pop_r r -> Fmt.pf ppf "pop %s" (reg_name r)
+  | Ret -> Fmt.pf ppf "ret"
+  | Nop -> Fmt.pf ppf "nop"
+  | Unknown b -> Fmt.pf ppf ".byte 0x%02x" b
+
+let to_string t = Fmt.str "%a" pp t

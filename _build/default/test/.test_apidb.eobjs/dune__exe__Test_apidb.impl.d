@@ -1,0 +1,1 @@
+test/test_apidb.ml: Alcotest Array Core Hashtbl Lapis_apidb Libc_catalog Libc_variants List Option Printf Pseudo_files Stages Syscall_table Systems Variants Vectored

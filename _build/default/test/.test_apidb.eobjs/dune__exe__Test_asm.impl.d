@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Core Int32 List Option String

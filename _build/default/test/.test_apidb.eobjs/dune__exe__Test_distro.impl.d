@@ -1,0 +1,1 @@
+test/test_distro.ml: Alcotest Core Hashtbl Lazy List Option Printf String

@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Bytes Core List Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Core Lazy List Printf QCheck2 QCheck_alcotest String

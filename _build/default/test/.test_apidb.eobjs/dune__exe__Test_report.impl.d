@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Core List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_study.ml: Alcotest Core Lazy List Option String

@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Core Decode Encode Fmt Insn Int32 Int64 List QCheck2 QCheck_alcotest String

@@ -1,0 +1,156 @@
+(* Tests for the assembler: layout, displacement resolution, PLT stub
+   generation, string deduplication and error handling. *)
+
+module Elf = Core.Elf
+module X86 = Core.X86
+module Asm = Core.Asm
+module P = Asm.Program
+
+let disasm img =
+  List.map (fun (_, i, _) -> i) (X86.Decode.decode_all img.Elf.Image.text)
+
+let test_call_local_resolution () =
+  let img =
+    Asm.Builder.assemble
+      (P.executable ~entry_fn:"a" ~needed:[]
+         ~interp:None
+         [ P.func "a" [ P.Call_local "b" ]; P.func "b" [ P.Direct_syscall 0 ] ])
+  in
+  let a = Option.get (Elf.Image.find_symbol img "a") in
+  let b = Option.get (Elf.Image.find_symbol img "b") in
+  (* find the call instruction inside a and check its target *)
+  let found = ref false in
+  List.iter
+    (fun (off, insn, len) ->
+      match insn with
+      | X86.Insn.Call_rel disp ->
+        let site = img.Elf.Image.text_addr + off in
+        if site >= a.Elf.Image.sym_addr
+           && site < a.Elf.Image.sym_addr + a.Elf.Image.sym_size
+        then begin
+          Alcotest.(check int) "call resolves to b"
+            b.Elf.Image.sym_addr
+            (site + len + Int32.to_int disp);
+          found := true
+        end
+      | _ -> ())
+    (X86.Decode.decode_all img.Elf.Image.text);
+  Alcotest.(check bool) "call site found" true !found
+
+let test_plt_stub () =
+  let img =
+    Asm.Builder.assemble
+      (P.executable ~entry_fn:"a" ~needed:[ "libc.so.6" ]
+         [ P.func "a" [ P.Call_import "printf" ] ])
+  in
+  let got = List.assoc "printf" img.Elf.Image.plt_got in
+  (* the text must contain a jmp [rip+disp] landing on that GOT slot *)
+  let stub_targets =
+    List.filter_map
+      (fun (off, insn, len) ->
+        match insn with
+        | X86.Insn.Jmp_mem_rip disp ->
+          Some (img.Elf.Image.text_addr + off + len + Int32.to_int disp)
+        | _ -> None)
+      (X86.Decode.decode_all img.Elf.Image.text)
+  in
+  Alcotest.(check bool) "stub jumps through printf's GOT slot" true
+    (List.mem got stub_targets)
+
+let test_string_dedup () =
+  let img =
+    Asm.Builder.assemble
+      (P.executable ~entry_fn:"a" ~needed:[]
+         ~interp:None
+         [ P.func "a"
+             [ P.Use_string "/dev/null"; P.Use_string "/dev/null";
+               P.Use_string "/proc/stat" ] ])
+  in
+  Alcotest.(check string) "rodata holds each string once"
+    "/dev/null\x00/proc/stat\x00" img.Elf.Image.rodata
+
+let test_entry_point () =
+  let img =
+    Asm.Builder.assemble
+      (P.executable ~entry_fn:"second" ~needed:[]
+         ~interp:None
+         [ P.func "first" [ P.Padding 3 ]; P.func "second" [ P.Direct_syscall 60 ] ])
+  in
+  let second = Option.get (Elf.Image.find_symbol img "second") in
+  Alcotest.(check int) "entry is the named function"
+    second.Elf.Image.sym_addr img.Elf.Image.entry
+
+let test_unknown_symbol () =
+  Alcotest.check_raises "calling an undefined local fails"
+    (Asm.Builder.Unknown_symbol "nowhere") (fun () ->
+      ignore
+        (Asm.Builder.assemble
+           (P.executable ~entry_fn:"a" ~needed:[] ~interp:None
+              [ P.func "a" [ P.Call_local "nowhere" ] ])))
+
+let test_vectored_encoding () =
+  (* a vectored op must load the opcode into rsi and the vector's
+     number into rax before the syscall instruction *)
+  let img =
+    Asm.Builder.assemble
+      (P.executable ~entry_fn:"a" ~needed:[] ~interp:None
+         [ P.func "a" [ P.Vectored_syscall (Core.Apidb.Api.Ioctl, 0x5413) ] ])
+  in
+  let insns = disasm img in
+  Alcotest.(check bool) "loads TIOCGWINSZ into rsi" true
+    (List.mem (X86.Insn.Mov_ri (X86.Insn.RSI, 0x5413L)) insns);
+  Alcotest.(check bool) "loads 16 (ioctl) into rax" true
+    (List.mem (X86.Insn.Mov_ri (X86.Insn.RAX, 16L)) insns);
+  Alcotest.(check bool) "issues the syscall" true
+    (List.mem X86.Insn.Syscall insns)
+
+let test_fnptr_pattern () =
+  let img =
+    Asm.Builder.assemble
+      (P.executable ~entry_fn:"a" ~needed:[] ~interp:None
+         [ P.func "a" [ P.Take_fnptr "cb" ];
+           P.func ~global:false "cb" [ P.Direct_syscall 39 ] ])
+  in
+  let cb = Option.get (Elf.Image.find_symbol img "cb") in
+  let lea_targets =
+    List.filter_map
+      (fun (off, insn, len) ->
+        match insn with
+        | X86.Insn.Lea_rip (_, disp) ->
+          Some (img.Elf.Image.text_addr + off + len + Int32.to_int disp)
+        | _ -> None)
+      (X86.Decode.decode_all img.Elf.Image.text)
+  in
+  Alcotest.(check bool) "lea materializes cb's address" true
+    (List.mem cb.Elf.Image.sym_addr lea_targets);
+  Alcotest.(check bool) "indirect call present" true
+    (List.mem (X86.Insn.Call_reg X86.Insn.RAX) (disasm img))
+
+let test_symbol_sizes_cover_text () =
+  let prog =
+    P.executable ~entry_fn:"a" ~needed:[ "libc.so.6" ]
+      [ P.func "a" [ P.Call_import "read"; P.Padding 5 ];
+        P.func "b" [ P.Direct_syscall 2 ] ]
+  in
+  let img = Asm.Builder.assemble prog in
+  let covered =
+    List.fold_left (fun a s -> a + s.Elf.Image.sym_size) 0 img.Elf.Image.symbols
+  in
+  (* text = functions + one 6-byte PLT stub per import *)
+  Alcotest.(check int) "functions + stubs fill .text"
+    (String.length img.Elf.Image.text)
+    (covered + (6 * List.length img.Elf.Image.imports))
+
+let () =
+  Alcotest.run "asm"
+    [ ( "builder",
+        [ Alcotest.test_case "local call resolution" `Quick
+            test_call_local_resolution;
+          Alcotest.test_case "plt stubs" `Quick test_plt_stub;
+          Alcotest.test_case "string dedup" `Quick test_string_dedup;
+          Alcotest.test_case "entry point" `Quick test_entry_point;
+          Alcotest.test_case "unknown symbol" `Quick test_unknown_symbol;
+          Alcotest.test_case "vectored encoding" `Quick test_vectored_encoding;
+          Alcotest.test_case "fnptr pattern" `Quick test_fnptr_pattern;
+          Alcotest.test_case "symbol sizes" `Quick
+            test_symbol_sizes_cover_text ] ) ]

@@ -1,0 +1,222 @@
+(* Tests for the distribution substrate: the deterministic RNG, the
+   roster, and the calibrated generator's structural invariants. *)
+
+module Distro = Core.Distro
+module P = Distro.Package
+module Api = Core.Apidb.Api
+
+let small_config =
+  { Distro.Generator.default_config with n_packages = 200; seed = 7 }
+
+let dist = lazy (Distro.Generator.generate ~config:small_config ())
+
+(* --- rng ---------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Distro.Rng.create 1 and b = Distro.Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.0)) "same stream" (Distro.Rng.float a)
+      (Distro.Rng.float b)
+  done
+
+let test_rng_bounds () =
+  let g = Distro.Rng.create 99 in
+  for _ = 1 to 1000 do
+    let f = Distro.Rng.float g in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0);
+    let i = Distro.Rng.int g 17 in
+    Alcotest.(check bool) "int in range" true (i >= 0 && i < 17)
+  done
+
+let test_rng_sample () =
+  let g = Distro.Rng.create 3 in
+  let s = Distro.Rng.sample g 5 [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  Alcotest.(check int) "sample size" 5 (List.length s);
+  Alcotest.(check int) "sample distinct" 5
+    (List.length (List.sort_uniq compare s));
+  Alcotest.(check int) "sample capped at population" 3
+    (List.length (Distro.Rng.sample g 10 [ 1; 2; 3 ]))
+
+let test_keyed_float_stable () =
+  Alcotest.(check (float 0.0)) "keyed floats are draw-order independent"
+    (Distro.Rng.keyed_float 42 "some-key")
+    (Distro.Rng.keyed_float 42 "some-key")
+
+(* --- generator ---------------------------------------------------------- *)
+
+let test_determinism () =
+  let d1 = Distro.Generator.generate ~config:small_config () in
+  let d2 = Distro.Generator.generate ~config:small_config () in
+  let files d =
+    List.map (fun f -> (f.P.path, f.P.bytes)) (P.all_files d)
+  in
+  Alcotest.(check bool) "same seed, identical bytes" true
+    (files d1 = files d2)
+
+let test_package_count () =
+  let d = Lazy.force dist in
+  Alcotest.(check int) "requested package count" small_config.n_packages
+    (P.n_packages d)
+
+let test_total_installs () =
+  let d = Lazy.force dist in
+  Alcotest.(check int) "popcon total preserved" 2_935_744 d.P.total_installs;
+  List.iter
+    (fun (p : P.t) ->
+      Alcotest.(check bool) ("plausible installs: " ^ p.P.name) true
+        (p.P.installs >= 1 && p.P.installs <= d.P.total_installs))
+    d.P.packages
+
+let test_runtime_family () =
+  let d = Lazy.force dist in
+  let sonames = List.map fst d.P.runtime in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("runtime ships " ^ s) true (List.mem s sonames))
+    [ "libc.so.6"; "libpthread.so.0"; "librt.so.1"; "libdl.so.2";
+      "ld-linux-x86-64.so.2" ];
+  (* all runtime binaries parse as shared libraries *)
+  List.iter
+    (fun (soname, bytes) ->
+      match Core.Elf.Reader.parse bytes with
+      | Ok img ->
+        Alcotest.(check bool) (soname ^ " is a shared object") true
+          (img.Core.Elf.Image.kind = Core.Elf.Image.Shared_lib)
+      | Error e ->
+        Alcotest.failf "%s unparseable: %a" soname Core.Elf.Reader.pp_error e)
+    d.P.runtime
+
+let test_all_elves_parse () =
+  let d = Lazy.force dist in
+  List.iter
+    (fun (f : P.file) ->
+      match f.P.kind with
+      | P.Executable | P.Library ->
+        (match Core.Elf.Reader.parse f.P.bytes with
+         | Ok _ -> ()
+         | Error e ->
+           Alcotest.failf "%s unparseable: %a" f.P.path
+             Core.Elf.Reader.pp_error e)
+      | P.Script ->
+        Alcotest.(check bool) (f.P.path ^ " has a shebang") true
+          (String.length f.P.bytes > 2 && String.sub f.P.bytes 0 2 = "#!"))
+    (P.all_files d)
+
+let test_ground_truth_recorded () =
+  let d = Lazy.force dist in
+  List.iter
+    (fun (p : P.t) ->
+      Alcotest.(check bool) ("truth recorded for " ^ p.P.name) true
+        (Hashtbl.mem d.P.truth p.P.name))
+    d.P.packages
+
+let test_qemu_monster () =
+  (* Section 3.2: qemu is the most demanding application *)
+  let d = Lazy.force dist in
+  let truth = Hashtbl.find d.P.truth "qemu" in
+  let n_syscalls =
+    Api.Set.fold
+      (fun api acc -> match api with Api.Syscall _ -> acc + 1 | _ -> acc)
+      truth 0
+  in
+  Alcotest.(check bool) "qemu needs at least 260 syscalls" true
+    (n_syscalls >= 260)
+
+let test_unused_never_generated () =
+  (* Table 3: no package may request an officially-unused call *)
+  let d = Lazy.force dist in
+  let unused_nrs =
+    List.map Core.Apidb.Syscall_table.nr_of_name_exn
+      (Core.Apidb.Stages.unused @ Core.Apidb.Syscall_table.no_entry_names)
+  in
+  Hashtbl.iter
+    (fun pkg truth ->
+      List.iter
+        (fun nr ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s does not use %s" pkg
+               (Core.Apidb.Syscall_table.name_of_nr nr))
+            false
+            (Api.Set.mem (Api.Syscall nr) truth))
+        unused_nrs)
+    d.P.truth
+
+let test_retired_still_tried () =
+  (* Section 3.1: the five retired calls keep a small non-zero usage *)
+  let d = Lazy.force dist in
+  let used name =
+    let nr = Core.Apidb.Syscall_table.nr_of_name_exn name in
+    Hashtbl.fold
+      (fun _ truth acc -> acc || Api.Set.mem (Api.Syscall nr) truth)
+      d.P.truth false
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " still attempted") true (used n))
+    Core.Apidb.Syscall_table.retired_tried_names
+
+let test_deps_exist () =
+  let d = Lazy.force dist in
+  List.iter
+    (fun (p : P.t) ->
+      List.iter
+        (fun dep ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s dependency %s exists" p.P.name dep)
+            true
+            (Option.is_some (P.find d dep)))
+        p.P.deps)
+    d.P.packages
+
+let test_libc_gen_base () =
+  (* the runtime-injected base is exactly stage I plus the startup
+     symbol *)
+  let base = Distro.Libc_gen.base_truth in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("base includes " ^ s) true
+        (Api.Set.mem
+           (Api.Syscall (Core.Apidb.Syscall_table.nr_of_name_exn s))
+           base))
+    Core.Apidb.Stages.stage1;
+  Alcotest.(check int) "base = stage I + __libc_start_main"
+    (List.length Core.Apidb.Stages.stage1 + 1)
+    (Api.Set.cardinal base)
+
+let test_import_truth () =
+  let t = Distro.Libc_gen.import_truth "fopen" in
+  Alcotest.(check bool) "fopen marks the symbol" true
+    (Api.Set.mem (Api.Libc_sym "fopen") t);
+  Alcotest.(check bool) "fopen brings open" true
+    (Api.Set.mem
+       (Api.Syscall (Core.Apidb.Syscall_table.nr_of_name_exn "open"))
+       t);
+  let t = Distro.Libc_gen.import_truth "isatty" in
+  Alcotest.(check bool) "isatty implies the ioctl syscall" true
+    (Api.Set.mem (Api.Syscall 16) t);
+  Alcotest.(check bool) "isatty implies TCGETS" true
+    (Api.Set.mem (Api.Vop (Api.Ioctl, 0x5401)) t)
+
+let () =
+  Alcotest.run "distro"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "sample" `Quick test_rng_sample;
+          Alcotest.test_case "keyed floats" `Quick test_keyed_float_stable ] );
+      ( "generator",
+        [ Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "package count" `Quick test_package_count;
+          Alcotest.test_case "popcon totals" `Quick test_total_installs;
+          Alcotest.test_case "runtime family" `Quick test_runtime_family;
+          Alcotest.test_case "all ELFs parse" `Quick test_all_elves_parse;
+          Alcotest.test_case "ground truth" `Quick test_ground_truth_recorded;
+          Alcotest.test_case "qemu monster" `Quick test_qemu_monster;
+          Alcotest.test_case "unused stay unused" `Quick
+            test_unused_never_generated;
+          Alcotest.test_case "retired still tried" `Quick
+            test_retired_still_tried;
+          Alcotest.test_case "dependencies exist" `Quick test_deps_exist ] );
+      ( "libc-gen",
+        [ Alcotest.test_case "base footprint" `Quick test_libc_gen_base;
+          Alcotest.test_case "import truth" `Quick test_import_truth ] ) ]

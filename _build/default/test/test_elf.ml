@@ -1,0 +1,170 @@
+(* Tests for the ELF64 writer/reader pair and the Figure 1 file
+   classifier: parse(write(image)) must be the identity on every field
+   the pipeline consumes, and malformed inputs must fail cleanly. *)
+
+module Elf = Core.Elf
+module Asm = Core.Asm
+module P = Asm.Program
+
+let sample_exe () =
+  P.executable ~entry_fn:"_start" ~needed:[ "libc.so.6"; "libfoo.so.1" ]
+    [ P.func "_start" [ P.Call_import "__libc_start_main"; P.Call_local "main" ];
+      P.func "main"
+        [ P.Use_string "/proc/cpuinfo"; P.Direct_syscall 1;
+          P.Call_import "printf"; P.Vectored_syscall (Core.Apidb.Api.Ioctl, 0x5401) ];
+      P.func ~global:false "helper" [ P.Direct_syscall 0 ] ]
+
+let sample_lib () =
+  P.shared_lib ~soname:"libbar.so.2" ~needed:[ "libc.so.6" ]
+    [ P.func "bar_init" [ P.Call_import "malloc"; P.Direct_syscall 9 ];
+      P.func "bar_work" [ P.Use_string "/dev/null" ] ]
+
+let parse_ok bytes =
+  match Elf.Reader.parse bytes with
+  | Ok img -> img
+  | Error e -> Alcotest.failf "parse error: %a" Elf.Reader.pp_error e
+
+let test_roundtrip_exe () =
+  let img = Asm.Builder.assemble (sample_exe ()) in
+  let img2 = parse_ok (Elf.Writer.write img) in
+  Alcotest.(check bool) "kind" true (img2.Elf.Image.kind = img.Elf.Image.kind);
+  Alcotest.(check int) "entry" img.Elf.Image.entry img2.Elf.Image.entry;
+  Alcotest.(check string) "text" img.Elf.Image.text img2.Elf.Image.text;
+  Alcotest.(check int) "text addr" img.Elf.Image.text_addr img2.Elf.Image.text_addr;
+  Alcotest.(check string) "rodata" img.Elf.Image.rodata img2.Elf.Image.rodata;
+  Alcotest.(check (list string)) "imports" img.Elf.Image.imports img2.Elf.Image.imports;
+  Alcotest.(check (list (pair string int)))
+    "plt/got map" img.Elf.Image.plt_got img2.Elf.Image.plt_got;
+  Alcotest.(check (list string)) "needed" img.Elf.Image.needed img2.Elf.Image.needed;
+  Alcotest.(check (option string)) "interp" img.Elf.Image.interp img2.Elf.Image.interp;
+  Alcotest.(check int) "symbol count"
+    (List.length img.Elf.Image.symbols)
+    (List.length img2.Elf.Image.symbols)
+
+let test_roundtrip_lib () =
+  let img = Asm.Builder.assemble (sample_lib ()) in
+  let img2 = parse_ok (Elf.Writer.write img) in
+  Alcotest.(check bool) "shared lib kind" true
+    (img2.Elf.Image.kind = Elf.Image.Shared_lib);
+  Alcotest.(check (option string)) "soname" (Some "libbar.so.2")
+    img2.Elf.Image.soname;
+  Alcotest.(check bool) "exports preserved" true
+    (Option.is_some (Elf.Image.find_symbol img2 "bar_init"))
+
+let test_static_exe () =
+  let prog =
+    P.executable ~interp:None ~entry_fn:"_start" ~needed:[]
+      [ P.func "_start" [ P.Direct_syscall 60 ] ]
+  in
+  let img2 = parse_ok (Asm.Builder.assemble_elf prog) in
+  Alcotest.(check bool) "static kind" true
+    (img2.Elf.Image.kind = Elf.Image.Exec_static);
+  Alcotest.(check (option string)) "no interp" None img2.Elf.Image.interp
+
+let test_symbol_lookup () =
+  let img = Asm.Builder.assemble (sample_exe ()) in
+  let main = Option.get (Elf.Image.find_symbol img "main") in
+  Alcotest.(check (option string))
+    "symbol_at finds the covering function" (Some "main")
+    (Elf.Image.symbol_at img (main.Elf.Image.sym_addr + 2)
+     |> Option.map (fun s -> s.Elf.Image.sym_name));
+  Alcotest.(check (option string))
+    "text_offset maps vaddrs" (Some "main")
+    (Option.map (fun _ -> "main")
+       (Elf.Image.text_offset img main.Elf.Image.sym_addr))
+
+let test_errors () =
+  let err input expected =
+    match Elf.Reader.parse input with
+    | Ok _ -> Alcotest.failf "expected failure for %s" expected
+    | Error _ -> ()
+  in
+  err "" "empty";
+  err "\x7fELF" "truncated header";
+  err (String.make 64 'x') "bad magic";
+  (* 32-bit class rejected *)
+  let bad = Bytes.of_string ("\x7fELF\x01" ^ String.make 59 '\x00') in
+  err (Bytes.to_string bad) "elf32"
+
+let test_corrupt_section_table () =
+  let bytes = Asm.Builder.assemble_elf (sample_exe ()) in
+  (* truncate mid-way through the section headers *)
+  let cut = String.sub bytes 0 (String.length bytes - 40) in
+  match Elf.Reader.parse cut with
+  | Ok _ -> Alcotest.fail "expected malformed error"
+  | Error _ -> ()
+
+(* --- classifier (Figure 1) --------------------------------------------- *)
+
+let classify_name s = Elf.Classify.name (Elf.Classify.classify s)
+
+let test_classify_elf () =
+  Alcotest.(check string) "dynamic exe" "ELF dynamic executable"
+    (classify_name (Asm.Builder.assemble_elf (sample_exe ())));
+  Alcotest.(check string) "shared lib" "ELF shared library"
+    (classify_name (Asm.Builder.assemble_elf (sample_lib ())))
+
+let test_classify_scripts () =
+  let cases =
+    [ ("#!/bin/sh\necho hi\n", "Shell (dash)");
+      ("#!/bin/dash\n", "Shell (dash)");
+      ("#!/bin/bash\n", "Shell (bash)");
+      ("#!/usr/bin/python\n", "Python");
+      ("#!/usr/bin/python2.7\n", "Python");
+      ("#!/usr/bin/env python3\nprint(1)\n", "Python");
+      ("#!/usr/bin/perl -w\n", "Perl");
+      ("#!/usr/bin/ruby1.9\n", "Ruby");
+      ("#!/usr/bin/awk -f\n", "awk");
+      ("just some text", "data") ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) input expected (classify_name input))
+    cases
+
+let prop_roundtrip_random_programs =
+  let gen =
+    let open QCheck2.Gen in
+    let op =
+      oneof
+        [ map (fun n -> P.Direct_syscall (n mod 323)) nat;
+          return (P.Call_import "printf");
+          return (P.Call_import "read");
+          map (fun s -> P.Use_string ("/proc/" ^ string_of_int s)) small_nat;
+          map (fun n -> P.Padding (n mod 20)) nat;
+          return (P.Vectored_syscall (Core.Apidb.Api.Fcntl, 1)) ]
+    in
+    let func i = map (fun ops -> P.func (Printf.sprintf "fn%d" i) ops)
+        (list_size (int_range 1 8) op) in
+    let* n = int_range 1 6 in
+    let* funcs = flatten_l (List.init n func) in
+    return
+      (P.executable ~entry_fn:"fn0" ~needed:[ "libc.so.6" ] funcs)
+  in
+  QCheck2.Test.make ~name:"random programs round-trip through ELF" ~count:100
+    gen (fun prog ->
+      let img = Asm.Builder.assemble prog in
+      match Elf.Reader.parse (Elf.Writer.write img) with
+      | Ok img2 ->
+        img2.Elf.Image.text = img.Elf.Image.text
+        && img2.Elf.Image.rodata = img.Elf.Image.rodata
+        && img2.Elf.Image.imports = img.Elf.Image.imports
+        && img2.Elf.Image.entry = img.Elf.Image.entry
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "elf"
+    [ ( "roundtrip",
+        [ Alcotest.test_case "executable" `Quick test_roundtrip_exe;
+          Alcotest.test_case "shared library" `Quick test_roundtrip_lib;
+          Alcotest.test_case "static executable" `Quick test_static_exe;
+          Alcotest.test_case "symbol lookup" `Quick test_symbol_lookup ] );
+      ( "errors",
+        [ Alcotest.test_case "malformed inputs" `Quick test_errors;
+          Alcotest.test_case "corrupt sections" `Quick
+            test_corrupt_section_table ] );
+      ( "classify",
+        [ Alcotest.test_case "elf kinds" `Quick test_classify_elf;
+          Alcotest.test_case "shebangs" `Quick test_classify_scripts ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_roundtrip_random_programs ] ) ]

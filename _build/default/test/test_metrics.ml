@@ -1,0 +1,263 @@
+(* Tests for the metrics: the Appendix A closed forms on hand-built
+   stores, property tests of their structure, and Monte-Carlo
+   validation of the independence assumption. *)
+
+module Api = Core.Apidb.Api
+module Store = Core.Db.Store
+module Importance = Core.Metrics.Importance
+module Completeness = Core.Metrics.Completeness
+
+let apiset lst = List.fold_left (fun s a -> Api.Set.add a s) Api.Set.empty lst
+
+let pkg ?(deps = []) ?(essential = false) name prob apis =
+  {
+    Store.pr_name = name;
+    pr_installs = int_of_float (prob *. 1_000_000.);
+    pr_prob = prob;
+    pr_deps = deps;
+    pr_essential = essential;
+    pr_apis = apiset apis;
+    pr_apis_elf = apiset apis;
+  }
+
+let toy_store () =
+  Store.build ~total_installs:1_000_000
+    ~bins:[]
+    ~packages:
+      [ pkg "a" 0.5 [ Api.Syscall 0; Api.Syscall 1 ];
+        pkg "b" 0.5 [ Api.Syscall 1; Api.Syscall 2 ];
+        pkg "c" 0.1 [ Api.Syscall 3 ];
+        pkg "d" 0.9 [ Api.Syscall 0 ] ~deps:[ "c" ] ]
+
+(* --- importance --------------------------------------------------------- *)
+
+let test_importance_formula () =
+  let s = toy_store () in
+  (* syscall 1 used by a and b: 1 - (1-0.5)(1-0.5) = 0.75 *)
+  Alcotest.(check (float 1e-9)) "two dependents" 0.75
+    (Importance.importance s (Api.Syscall 1));
+  (* syscall 3 used by c alone: 0.1 *)
+  Alcotest.(check (float 1e-9)) "one dependent" 0.1
+    (Importance.importance s (Api.Syscall 3));
+  (* unused API: 0 *)
+  Alcotest.(check (float 1e-9)) "unused" 0.0
+    (Importance.importance s (Api.Syscall 99))
+
+let test_unweighted () =
+  let s = toy_store () in
+  Alcotest.(check (float 1e-9)) "half the packages use syscall 0" 0.5
+    (Importance.unweighted s (Api.Syscall 0));
+  Alcotest.(check (float 1e-9)) "a quarter uses syscall 3" 0.25
+    (Importance.unweighted s (Api.Syscall 3))
+
+let test_ranking_order () =
+  let s = toy_store () in
+  let ranking = Importance.rank_syscalls s in
+  let pos nr =
+    let rec go i = function
+      | [] -> max_int
+      | x :: rest -> if x = nr then i else go (i + 1) rest
+    in
+    go 0 ranking
+  in
+  (* syscall 0 (imp 0.95) before 1 (0.75) before 2 (0.5) before 3 (0.1) *)
+  Alcotest.(check bool) "importance ordering" true
+    (pos 0 < pos 1 && pos 1 < pos 2 && pos 2 < pos 3)
+
+(* --- completeness -------------------------------------------------------- *)
+
+let test_completeness_basic () =
+  let s = toy_store () in
+  let total = 0.5 +. 0.5 +. 0.1 +. 0.9 in
+  (* supporting syscalls {0,1}: packages a (0.5) supported; d's own
+     footprint {0} is fine but its dependency c needs syscall 3 *)
+  Alcotest.(check (float 1e-9)) "dependency rule applies" (0.5 /. total)
+    (Completeness.of_syscall_set s [ 0; 1 ]);
+  (* adding syscall 3 unlocks c and therefore d *)
+  Alcotest.(check (float 1e-9)) "dependency unlocked"
+    ((0.5 +. 0.1 +. 0.9) /. total)
+    (Completeness.of_syscall_set s [ 0; 1; 3 ]);
+  Alcotest.(check (float 1e-9)) "full support" 1.0
+    (Completeness.of_syscall_set s [ 0; 1; 2; 3 ])
+
+let test_completeness_scope () =
+  let s =
+    Store.build ~total_installs:100 ~bins:[]
+      ~packages:
+        [ pkg "x" 0.5 [ Api.Syscall 0; Api.Libc_sym "printf" ] ]
+  in
+  (* syscalls-only scope ignores the libc symbol *)
+  Alcotest.(check (float 1e-9)) "syscalls-only scope" 1.0
+    (Completeness.weighted_completeness ~scope:Completeness.Syscalls_only s
+       ~supported:(fun api -> api = Api.Syscall 0));
+  Alcotest.(check (float 1e-9)) "all-APIs scope" 0.0
+    (Completeness.weighted_completeness ~scope:Completeness.All_apis s
+       ~supported:(fun api -> api = Api.Syscall 0))
+
+let test_curve () =
+  let s = toy_store () in
+  let ranking = Importance.rank_syscalls s in
+  let curve = Completeness.curve s ~ranking in
+  (* monotone non-decreasing, ends at 1 *)
+  let rec monotone prev = function
+    | [] -> true
+    | (_, c) :: rest -> c >= prev -. 1e-12 && monotone c rest
+  in
+  Alcotest.(check bool) "monotone" true (monotone 0.0 curve);
+  let _, last = List.nth curve (List.length curve - 1) in
+  Alcotest.(check (float 1e-9)) "reaches 100%" 1.0 last;
+  (* curve agrees with the direct computation at every prefix *)
+  List.iteri
+    (fun i (n, c) ->
+      Alcotest.(check int) "index" (i + 1) n;
+      let prefix = List.filteri (fun j _ -> j <= i) ranking in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "agrees at N=%d" n)
+        (Completeness.of_syscall_set s prefix)
+        c)
+    curve
+
+let test_crossing () =
+  let curve = [ (1, 0.0); (2, 0.4); (3, 0.9); (4, 1.0) ] in
+  Alcotest.(check (option int)) "50% crossing" (Some 3)
+    (Completeness.crossing curve 0.5);
+  Alcotest.(check (option int)) "unreachable target" None
+    (Completeness.crossing curve 1.1)
+
+(* --- uniqueness ---------------------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_seccomp_policy () =
+  let fp = apiset [ Api.Syscall 0; Api.Syscall 1; Api.Libc_sym "printf" ] in
+  let policy = Core.Metrics.Uniqueness.seccomp_policy fp in
+  Alcotest.(check bool) "allows read" true (contains policy "allow read (0)");
+  Alcotest.(check bool) "allows write" true (contains policy "allow write (1)");
+  Alcotest.(check bool) "default kill" true (contains policy "default kill");
+  Alcotest.(check bool) "libc symbols ignored" false (contains policy "printf")
+
+(* --- properties ----------------------------------------------------------- *)
+
+let gen_store =
+  let open QCheck2.Gen in
+  let gen_pkg i =
+    let* prob = float_range 0.001 0.999 in
+    let* apis = list_size (int_range 0 6) (int_range 0 20) in
+    return (pkg (Printf.sprintf "p%d" i) prob (List.map (fun n -> Api.Syscall n) apis))
+  in
+  let* n = int_range 1 25 in
+  let* pkgs = flatten_l (List.init n gen_pkg) in
+  return (Store.build ~total_installs:1_000_000 ~bins:[] ~packages:pkgs)
+
+let prop_importance_bounds =
+  QCheck2.Test.make ~name:"importance is a probability" ~count:200 gen_store
+    (fun s ->
+      List.for_all
+        (fun api ->
+          let v = Importance.importance s api in
+          v >= 0.0 && v <= 1.0)
+        (Store.used_apis s))
+
+let prop_importance_vs_max_dependent =
+  QCheck2.Test.make ~name:"importance >= any dependent's probability"
+    ~count:200 gen_store (fun s ->
+      List.for_all
+        (fun api ->
+          let imp = Importance.importance s api in
+          List.for_all
+            (fun (p : Store.pkg_row) -> imp >= p.Store.pr_prob -. 1e-9)
+            (Store.dependent_rows s api))
+        (Store.used_apis s))
+
+let prop_completeness_monotone =
+  QCheck2.Test.make ~name:"completeness is monotone in the syscall set"
+    ~count:200
+    QCheck2.Gen.(pair gen_store (list_size (int_range 0 10) (int_range 0 20)))
+    (fun (s, set) ->
+      let smaller = Completeness.of_syscall_set s set in
+      let larger = Completeness.of_syscall_set s (21 :: 22 :: set) in
+      larger >= smaller -. 1e-9)
+
+let prop_curve_monotone =
+  QCheck2.Test.make ~name:"completeness curve is monotone" ~count:100
+    gen_store (fun s ->
+      let curve = Completeness.curve s ~ranking:(Importance.rank_syscalls s) in
+      let rec ok prev = function
+        | [] -> true
+        | (_, c) :: rest -> c >= prev -. 1e-12 && ok c rest
+      in
+      ok 0.0 curve)
+
+(* --- Monte-Carlo validation ------------------------------------------------ *)
+
+let mc_store =
+  lazy
+    (Core.Db.Pipeline.run
+       (Core.Distro.Generator.generate
+          ~config:
+            { Core.Distro.Generator.default_config with
+              n_packages = 150; seed = 23 }
+          ()))
+
+let test_montecarlo_importance () =
+  let s = (Lazy.force mc_store).Core.Db.Pipeline.store in
+  (* pick a few APIs across the importance range and compare the
+     closed form against sampled installations *)
+  let apis =
+    [ Api.Syscall 0 (* read: ~1 *);
+      Api.Syscall (Core.Apidb.Syscall_table.nr_of_name_exn "kexec_load");
+      Api.Syscall (Core.Apidb.Syscall_table.nr_of_name_exn "statfs") ]
+  in
+  List.iter
+    (fun api ->
+      let closed = Importance.importance s api in
+      let sampled =
+        Core.Metrics.Montecarlo.empirical_importance ~samples:300 ~seed:5 s
+          api
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s closed %.3f vs sampled %.3f" (Api.to_string api)
+           closed sampled)
+        true
+        (abs_float (closed -. sampled) < 0.08))
+    apis
+
+let test_montecarlo_completeness () =
+  let s = (Lazy.force mc_store).Core.Db.Pipeline.store in
+  let ranking = Importance.rank_syscalls s in
+  let top = List.filteri (fun i _ -> i < 200) ranking in
+  let closed = Completeness.of_syscall_set s top in
+  let sampled =
+    Core.Metrics.Montecarlo.empirical_completeness ~samples:120 ~seed:9 s top
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "closed %.3f vs sampled %.3f" closed sampled)
+    true
+    (abs_float (closed -. sampled) < 0.08)
+
+let () =
+  Alcotest.run "metrics"
+    [ ( "importance",
+        [ Alcotest.test_case "closed form" `Quick test_importance_formula;
+          Alcotest.test_case "unweighted" `Quick test_unweighted;
+          Alcotest.test_case "ranking" `Quick test_ranking_order ] );
+      ( "completeness",
+        [ Alcotest.test_case "dependency rule" `Quick test_completeness_basic;
+          Alcotest.test_case "scopes" `Quick test_completeness_scope;
+          Alcotest.test_case "curve" `Quick test_curve;
+          Alcotest.test_case "crossing" `Quick test_crossing ] );
+      ( "seccomp",
+        [ Alcotest.test_case "policy text" `Quick test_seccomp_policy ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_importance_bounds;
+          QCheck_alcotest.to_alcotest prop_importance_vs_max_dependent;
+          QCheck_alcotest.to_alcotest prop_completeness_monotone;
+          QCheck_alcotest.to_alcotest prop_curve_monotone ] );
+      ( "monte-carlo",
+        [ Alcotest.test_case "importance validated" `Slow
+            test_montecarlo_importance;
+          Alcotest.test_case "completeness validated" `Slow
+            test_montecarlo_completeness ] ) ]

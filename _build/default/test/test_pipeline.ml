@@ -1,0 +1,137 @@
+(* Tests for the store and the end-to-end pipeline, including the
+   automated Section 2.3 spot check: the analyzer must recover every
+   package's ground-truth API set from the ELF bytes alone. *)
+
+module Api = Core.Apidb.Api
+module Db = Core.Db
+module P = Core.Distro.Package
+
+let analyzed =
+  lazy
+    (Db.Pipeline.run
+       (Core.Distro.Generator.generate
+          ~config:
+            { Core.Distro.Generator.default_config with
+              n_packages = 250; seed = 11 }
+          ()))
+
+let store () = (Lazy.force analyzed).Db.Pipeline.store
+
+let test_spot_check () =
+  (* the paper spot-checks static analysis against strace; here the
+     generator's ground truth plays the role of the runtime trace and
+     the match must be exact *)
+  let mismatches = Db.Pipeline.spot_check (Lazy.force analyzed) in
+  List.iter
+    (fun (m : Db.Pipeline.mismatch) ->
+      Printf.printf "mismatch %s: missing %d, extra %d\n" m.mm_package
+        (List.length m.mm_missing) (List.length m.mm_extra))
+    mismatches;
+  Alcotest.(check int) "analysis recovers every footprint exactly" 0
+    (List.length mismatches)
+
+let test_package_rows () =
+  let s = store () in
+  Alcotest.(check int) "one row per package" 250 s.Db.Store.n_packages;
+  Alcotest.(check bool) "libc6 present" true
+    (Option.is_some (Db.Store.find s "libc6"))
+
+let test_index_consistency () =
+  let s = store () in
+  (* the API-dependents index agrees with the package rows *)
+  List.iter
+    (fun api ->
+      List.iter
+        (fun i ->
+          let p = s.Db.Store.packages.(i) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s really uses %s" p.Db.Store.pr_name
+               (Api.to_string api))
+            true
+            (Api.Set.mem api p.Db.Store.pr_apis))
+        (Db.Store.dependents s api))
+    (List.filteri (fun i _ -> i < 200) (Db.Store.used_apis s))
+
+let test_script_inheritance () =
+  let s = store () in
+  (* a package shipping a python script must inherit python2.7's
+     footprint *)
+  let python = Option.get (Db.Store.find s "python2.7") in
+  let carrier =
+    Array.to_list s.Db.Store.packages
+    |> List.find_opt (fun (p : Db.Store.pkg_row) ->
+           p.Db.Store.pr_name <> "python2.7"
+           && List.exists
+                (fun (b : Db.Store.bin_row) ->
+                  b.Db.Store.br_package = p.Db.Store.pr_name
+                  && b.Db.Store.br_class
+                     = Core.Elf.Classify.Script Core.Elf.Classify.Python)
+                s.Db.Store.bins)
+  in
+  match carrier with
+  | None -> ()  (* no python script generated at this size: fine *)
+  | Some p ->
+    Alcotest.(check bool)
+      (p.Db.Store.pr_name ^ " inherits the interpreter footprint") true
+      (Api.Set.subset python.Db.Store.pr_apis p.Db.Store.pr_apis)
+
+let test_library_rule () =
+  (* Section 2: package footprints come from standalone executables;
+     a package's shared-library-only APIs must not appear *)
+  let s = store () in
+  let libnuma = Option.get (Db.Store.find s "libnuma") in
+  let mbind = Core.Apidb.Syscall_table.nr_of_name_exn "mbind" in
+  Alcotest.(check bool) "libnuma's own footprint excludes its lib" false
+    (Api.Set.mem (Api.Syscall mbind) libnuma.Db.Store.pr_apis);
+  (* while the -utils package that exercises it has the call *)
+  let utils = Option.get (Db.Store.find s "libnuma-utils") in
+  Alcotest.(check bool) "libnuma-utils carries mbind" true
+    (Api.Set.mem (Api.Syscall mbind) utils.Db.Store.pr_apis)
+
+let test_runtime_binaries_attributed () =
+  let s = store () in
+  let libc_bins =
+    List.filter
+      (fun (b : Db.Store.bin_row) -> b.Db.Store.br_package = "libc6")
+      s.Db.Store.bins
+  in
+  Alcotest.(check bool) "runtime binaries recorded under libc6" true
+    (List.length libc_bins >= 5)
+
+let test_bins_classified () =
+  let s = store () in
+  List.iter
+    (fun (b : Db.Store.bin_row) ->
+      Alcotest.(check bool) (b.Db.Store.br_path ^ " classified") true
+        (b.Db.Store.br_class <> Core.Elf.Classify.Data))
+    s.Db.Store.bins
+
+let test_base_footprint_everywhere () =
+  (* every dynamically-linked executable inherits the stage-I base *)
+  let s = store () in
+  let read_api = Api.Syscall 0 in
+  List.iter
+    (fun (b : Db.Store.bin_row) ->
+      if b.Db.Store.br_class = Core.Elf.Classify.Elf_dynamic then
+        Alcotest.(check bool)
+          (b.Db.Store.br_path ^ " includes read via the runtime") true
+          (Api.Set.mem read_api
+             b.Db.Store.br_resolved.Core.Analysis.Footprint.apis))
+    s.Db.Store.bins
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "pipeline",
+        [ Alcotest.test_case "spot check (Section 2.3)" `Slow test_spot_check;
+          Alcotest.test_case "package rows" `Quick test_package_rows;
+          Alcotest.test_case "index consistency" `Quick
+            test_index_consistency;
+          Alcotest.test_case "script inheritance" `Quick
+            test_script_inheritance;
+          Alcotest.test_case "library rule" `Quick test_library_rule;
+          Alcotest.test_case "runtime attribution" `Quick
+            test_runtime_binaries_attributed;
+          Alcotest.test_case "binaries classified" `Quick
+            test_bins_classified;
+          Alcotest.test_case "base footprint" `Quick
+            test_base_footprint_everywhere ] ) ]

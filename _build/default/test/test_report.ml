@@ -1,0 +1,97 @@
+(* Tests for the plain-text rendering layer. *)
+
+module R = Core.Report.Render
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_pct () =
+  Alcotest.(check string) "one decimal" "42.8%" (R.pct 0.428);
+  Alcotest.(check string) "two decimals" "0.42%" (R.pct2 0.0042);
+  Alcotest.(check string) "hundred" "100.0%" (R.pct 1.0)
+
+let test_table_alignment () =
+  let out =
+    R.table ~header:[ "a"; "long-header" ]
+      [ [ "x"; "1" ]; [ "longer-cell"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (* header + separator + 2 rows, all the same width *)
+  Alcotest.(check int) "four lines" 4 (List.length lines);
+  (match lines with
+   | a :: b :: rest ->
+     List.iter
+       (fun l ->
+         Alcotest.(check bool) "no line wider than the header block" true
+           (String.length l <= max (String.length a) (String.length b) + 2))
+       rest
+   | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check bool) "cells present" true (contains out "longer-cell")
+
+let test_table_ragged_rows () =
+  (* rows shorter than the header must not raise *)
+  let out = R.table ~header:[ "a"; "b"; "c" ] [ [ "1" ]; [ "2"; "3" ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_curve_shape () =
+  let series = List.init 100 (fun i -> 1.0 -. (float_of_int i /. 100.)) in
+  let out = R.curve ~width:40 ~height:8 series in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "height rows + axis" 9 (List.length lines);
+  Alcotest.(check bool) "has 100% label" true (contains out "100% |");
+  Alcotest.(check bool) "has sample count" true (contains out "100")
+
+let test_curve_empty () =
+  Alcotest.(check string) "empty series" "(empty series)" (R.curve [])
+
+let test_curve_flat () =
+  (* an all-ones series paints the top row only *)
+  let out = R.curve ~width:10 ~height:4 [ 1.0; 1.0; 1.0 ] in
+  Alcotest.(check bool) "stars on top row" true (contains out "*");
+  Alcotest.(check bool) "renders axis" true (contains out "+")
+
+let test_compare_line () =
+  let out = R.compare_line ~label:"anchor" ~paper:"224" ~measured:"217" in
+  Alcotest.(check bool) "label" true (contains out "anchor");
+  Alcotest.(check bool) "paper value" true (contains out "paper: 224");
+  Alcotest.(check bool) "measured value" true (contains out "measured: 217")
+
+let test_section () =
+  let out = R.section ~title:"T" "body" in
+  Alcotest.(check bool) "boxed title" true (contains out "| T |");
+  Alcotest.(check bool) "body" true (contains out "body")
+
+let prop_table_total =
+  QCheck2.Test.make ~name:"tables render for arbitrary cell contents"
+    ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 6)
+        (list_size (int_range 1 4) (string_size ~gen:printable (int_range 0 12))))
+    (fun rows ->
+      let out = R.table ~header:[ "h1"; "h2"; "h3"; "h4" ] rows in
+      String.length out > 0)
+
+let prop_curve_total =
+  QCheck2.Test.make ~name:"curves render for arbitrary probability series"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 300) (float_bound_inclusive 1.0))
+    (fun series ->
+      let out = R.curve series in
+      List.length (String.split_on_char '\n' out) = 13)
+
+let () =
+  Alcotest.run "report"
+    [ ( "render",
+        [ Alcotest.test_case "percentages" `Quick test_pct;
+          Alcotest.test_case "table alignment" `Quick test_table_alignment;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+          Alcotest.test_case "curve shape" `Quick test_curve_shape;
+          Alcotest.test_case "curve empty" `Quick test_curve_empty;
+          Alcotest.test_case "curve flat" `Quick test_curve_flat;
+          Alcotest.test_case "compare line" `Quick test_compare_line;
+          Alcotest.test_case "section" `Quick test_section ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_table_total;
+          QCheck_alcotest.to_alcotest prop_curve_total ] ) ]

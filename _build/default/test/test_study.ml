@@ -1,0 +1,309 @@
+(* End-to-end tests of the experiment modules against a shared small
+   environment: every figure/table must run, and the qualitative
+   claims of the paper must hold on the synthetic distribution. *)
+
+module Study = Core.Study
+module Variants = Core.Apidb.Variants
+
+let env =
+  lazy
+    (Study.Env.create
+       ~config:
+         { Core.Distro.Generator.default_config with
+           n_packages = 400; seed = 42 }
+       ())
+
+let e () = Lazy.force env
+
+let test_registry () =
+  let ids = Study.Experiments.ids in
+  Alcotest.(check int) "unique experiment ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) ("find " ^ id) true
+        (Option.is_some (Study.Experiments.find id)))
+    [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8";
+      "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "table7";
+      "table8"; "table9"; "table10"; "table11"; "section6"; "ablations" ]
+
+let test_all_render () =
+  let env = e () in
+  List.iter
+    (fun (x : Study.Experiments.t) ->
+      let out = x.Study.Experiments.render env in
+      Alcotest.(check bool) (x.Study.Experiments.id ^ " renders") true
+        (String.length out > 40))
+    Study.Experiments.all
+
+let test_fig1_mix () =
+  let r = Study.Fig1.run (e ()) in
+  let frac label =
+    (List.find (fun (x : Study.Fig1.row) -> x.Study.Fig1.label = label)
+       r.Study.Fig1.by_type)
+      .Study.Fig1.fraction
+  in
+  Alcotest.(check bool) "ELF binaries dominate (~60%)" true
+    (frac "ELF binary" > 0.45 && frac "ELF binary" < 0.75);
+  Alcotest.(check bool) "dash is the leading interpreter" true
+    (frac "Shell (dash)" > frac "Python");
+  Alcotest.(check bool) "ruby is marginal" true (frac "Ruby" < 0.05)
+
+let test_fig2_anchors () =
+  let r = Study.Fig2.run (e ()) in
+  Alcotest.(check bool) "roughly 224 indispensable calls" true
+    (abs (r.Study.Fig2.indispensable - 224) <= 20);
+  Alcotest.(check int) "exactly 18 unused calls" 18 r.Study.Fig2.unused;
+  Alcotest.(check bool) "importance series is sorted" true
+    (let rec sorted = function
+       | a :: b :: rest -> a >= b && sorted (b :: rest)
+       | _ -> true
+     in
+     sorted r.Study.Fig2.series)
+
+let test_fig3_anchors () =
+  let r = Study.Fig3.run (e ()) in
+  let near target tol = function
+    | Some n -> abs (n - target) <= tol
+    | None -> false
+  in
+  Alcotest.(check bool) "1% completeness near 40 syscalls" true
+    (near 40 10 r.Study.Fig3.at_1pct);
+  Alcotest.(check bool) "10% completeness near 81 syscalls" true
+    (near 81 20 r.Study.Fig3.at_10pct);
+  Alcotest.(check bool) "50% completeness by stage III-IV" true
+    (near 160 35 r.Study.Fig3.at_50pct);
+  Alcotest.(check bool) "90% completeness near 202 syscalls" true
+    (near 208 25 r.Study.Fig3.at_90pct);
+  Alcotest.(check bool) "qemu needs ~270 syscalls" true
+    (abs (r.Study.Fig3.qemu_needs - 270) <= 25)
+
+let test_table1_examples () =
+  let rows = Study.Table1.run (e ()) in
+  let find n =
+    List.find_opt (fun (r : Study.Table1.row) -> r.Study.Table1.syscall = n) rows
+  in
+  (* libc-wrapped calls appear with libc6 as the only direct user *)
+  List.iter
+    (fun n ->
+      match find n with
+      | Some r ->
+        Alcotest.(check (list string))
+          (n ^ " attributed to the runtime") [ "libc6" ]
+          r.Study.Table1.libraries
+      | None -> Alcotest.failf "expected %s in Table 1" n)
+    [ "clock_settime"; "signalfd4" ]
+
+let test_table2_examples () =
+  let rows = Study.Table2.run (e ()) in
+  let pkgs n =
+    match
+      List.find_opt (fun (r : Study.Table2.row) -> r.Study.Table2.syscall = n) rows
+    with
+    | Some r -> r.Study.Table2.packages
+    | None -> []
+  in
+  Alcotest.(check (list string)) "kexec_load owned by kexec-tools"
+    [ "kexec-tools" ] (pkgs "kexec_load");
+  Alcotest.(check bool) "seccomp owned by coop-computing-tools" true
+    (List.mem "coop-computing-tools" (pkgs "seccomp"))
+
+let test_table3_exact () =
+  let rows = Study.Table3.run (e ()) in
+  let names = List.map (fun r -> r.Study.Table3.syscall) rows in
+  Alcotest.(check int) "exactly the 18 unused calls" 18 (List.length names);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " reported unused") true (List.mem n names))
+    [ "sysfs"; "remap_file_pages"; "mq_notify"; "lookup_dcookie";
+      "restart_syscall"; "move_pages"; "tuxcall"; "create_module" ]
+
+let test_fig4_shape () =
+  let r = Study.Fig4.run (e ()) in
+  Alcotest.(check int) "635 ioctl codes" 635 r.Study.Fig4.defined;
+  Alcotest.(check bool) "~52 ubiquitous codes" true
+    (abs (r.Study.Fig4.at_100 - 52) <= 8);
+  Alcotest.(check bool) "long unused tail" true (r.Study.Fig4.used < 400)
+
+let test_fig5_shape () =
+  let r = Study.Fig5.run (e ()) in
+  Alcotest.(check bool) "~11 of 18 fcntl codes ubiquitous" true
+    (abs (r.Study.Fig5.fcntl.Study.Fig5.at_100 - 11) <= 2);
+  Alcotest.(check bool) "~9 prctl codes ubiquitous" true
+    (abs (r.Study.Fig5.prctl.Study.Fig5.at_100 - 9) <= 3)
+
+let test_fig6_head () =
+  let r = Study.Fig6.run (e ()) in
+  match r.Study.Fig6.rows with
+  | [] -> Alcotest.fail "no pseudo-file rows"
+  | top :: _ ->
+    Alcotest.(check bool) "the head of the distribution is essential" true
+      (top.Study.Fig6.importance > 0.95);
+    Alcotest.(check bool) "/dev/null is widely hard-coded" true
+      (r.Study.Fig6.dev_null_users > 10)
+
+let test_fig7_shape () =
+  let r = Study.Fig7.run (e ()) in
+  Alcotest.(check bool) "~40% of exports at 100% importance" true
+    (abs_float (r.Study.Fig7.at_100_frac -. 0.43) < 0.10);
+  Alcotest.(check bool) "stripped libc keeps most completeness" true
+    (r.Study.Fig7.stripped_completeness > 0.7);
+  Alcotest.(check bool) "stripped libc is much smaller" true
+    (r.Study.Fig7.stripped_size_frac < 0.75)
+
+let test_table5_runtime_only () =
+  let rows = Study.Table5.run (e ()) in
+  (* set_tid_address and set_robust_list are runtime-only calls *)
+  List.iter
+    (fun n ->
+      match
+        List.find_opt
+          (fun (r : Study.Table5.row) -> r.Study.Table5.syscall = n)
+          rows
+      with
+      | Some r ->
+        Alcotest.(check bool) (n ^ " issued only by the runtime") true
+          r.Study.Table5.runtime_only
+      | None -> Alcotest.failf "missing %s in Table 5" n)
+    [ "set_tid_address"; "set_robust_list"; "arch_prctl" ]
+
+let test_table6_ordering () =
+  let rows = Study.Table6.run (e ()) in
+  let get n =
+    (List.find (fun (r : Study.Table6.row) -> r.Study.Table6.system = n) rows)
+      .Study.Table6.completeness
+  in
+  (* the paper's qualitative result: who wins and where the cliffs are *)
+  Alcotest.(check bool) "L4Linux ~complete" true (get "L4Linux 4.3" > 0.95);
+  Alcotest.(check bool) "UML close behind" true
+    (get "User-Mode-Linux 3.19" > 0.80);
+  Alcotest.(check bool) "FreeBSD-emu mid-range" true
+    (let v = get "FreeBSD-emu 10.2" in
+     v > 0.4 && v < 0.9);
+  Alcotest.(check bool) "Graphene collapses without sched calls" true
+    (get "Graphene" < 0.1);
+  Alcotest.(check bool) "two sched calls recover ~20%" true
+    (get "Graphene+sched" -. get "Graphene" > 0.08)
+
+let test_table7_ordering () =
+  let rows = Study.Table7.run (e ()) in
+  let get n =
+    List.find (fun (r : Study.Table7.row) -> r.Study.Table7.variant = n) rows
+  in
+  let eglibc = get "eglibc 2.19" and uclibc = get "uClibc 0.9.33" in
+  let diet = get "dietlibc 0.33" in
+  Alcotest.(check (float 1e-6)) "eglibc fully compatible" 1.0
+    eglibc.Study.Table7.completeness;
+  Alcotest.(check bool) "uClibc raw completeness collapses (chk symbols)"
+    true
+    (uclibc.Study.Table7.completeness < 0.15);
+  Alcotest.(check bool) "normalization recovers uClibc substantially" true
+    (uclibc.Study.Table7.normalized -. uclibc.Study.Table7.completeness > 0.2);
+  Alcotest.(check bool) "dietlibc stays near zero even normalized" true
+    (diet.Study.Table7.normalized < 0.1)
+
+let test_fig8_anchors () =
+  let r = Study.Fig8.run (e ()) in
+  Alcotest.(check bool) "~40 calls used by all packages" true
+    (abs (r.Study.Fig8.near_universal - 41) <= 8);
+  Alcotest.(check bool) "over half below 10%" true
+    (r.Study.Fig8.below_10pct > 140)
+
+let test_variant_tables () =
+  let env = e () in
+  (* the dominant member of each family must match the paper's *)
+  List.iter
+    (fun category ->
+      let rows = Study.Variant_tables.run env category in
+      let verdicts = Study.Variant_tables.dominant_role_holds rows in
+      let holds = List.filter snd verdicts in
+      Alcotest.(check bool)
+        "dominant variant matches the paper in >= 75% of families" true
+        (List.length holds * 4 >= List.length verdicts * 3))
+    [ Variants.Id_management; Variants.Directory_races; Variants.Old_vs_new;
+      Variants.Linux_vs_portable; Variants.Powerful_vs_simple ]
+
+let test_variant_access_gap () =
+  (* Table 8's headline: access dwarfs faccessat *)
+  let rows = Study.Variant_tables.run (e ()) Variants.Directory_races in
+  let m n =
+    (List.find (fun (r : Study.Variant_tables.row) -> r.Study.Variant_tables.syscall = n) rows)
+      .Study.Variant_tables.measured
+  in
+  Alcotest.(check bool) "access >> faccessat" true
+    (m "access" > 10.0 *. m "faccessat")
+
+let test_section6 () =
+  let r = Study.Section6.run (e ()) in
+  let s = r.Study.Section6.stats in
+  Alcotest.(check bool) "a substantial share of footprints is unique" true
+    (s.Core.Metrics.Uniqueness.unique_footprints * 5
+     >= s.Core.Metrics.Uniqueness.applications);
+  Alcotest.(check bool) "policy generated" true
+    (String.length r.Study.Section6.sample_policy > 50)
+
+let test_tracer () =
+  let r = Study.Tracer.run ~sample:25 (e ()) in
+  Alcotest.(check bool) "a sample of executables was traced" true
+    (r.Study.Tracer.traced > 5);
+  Alcotest.(check int) "every traced program completed"
+    r.Study.Tracer.traced r.Study.Tracer.finished;
+  Alcotest.(check int)
+    "static analysis over-approximates the dynamic trace" 0
+    r.Study.Tracer.static_misses;
+  Alcotest.(check bool) "dynamic <= static per executable" true
+    (r.Study.Tracer.mean_dynamic_syscalls
+     <= r.Study.Tracer.mean_static_syscalls +. 1e-9)
+
+let test_full_path () =
+  let r = Study.Full_path.run (e ()) in
+  Alcotest.(check bool)
+    "the kernel API universe is much larger than the syscall table"
+    true
+    (r.Study.Full_path.universe > 450);
+  (* Section 3: supporting the full interface takes more APIs than
+     syscalls alone *)
+  match (r.Study.Full_path.at_90pct, r.Study.Full_path.syscall_only_at_90) with
+  | Some full, Some syscalls_only ->
+    Alcotest.(check bool) "full-API path is longer" true (full > syscalls_only)
+  | _ -> Alcotest.fail "90% crossing missing"
+
+let test_ablations () =
+  let env = e () in
+  let cg = Study.Ablations.run_callgraph env in
+  Alcotest.(check bool)
+    "cross-library resolution multiplies visible syscalls" true
+    (cg.Study.Ablations.mean_resolved
+     > 2.0 *. cg.Study.Ablations.mean_direct);
+  let d = Study.Ablations.run_deps env in
+  Alcotest.(check bool) "dependency closure can only reduce completeness"
+    true
+    (d.Study.Ablations.with_deps <= d.Study.Ablations.without_deps +. 1e-9)
+
+let () =
+  Alcotest.run "study"
+    [ ( "registry",
+        [ Alcotest.test_case "ids" `Quick test_registry;
+          Alcotest.test_case "all render" `Slow test_all_render ] );
+      ( "experiments",
+        [ Alcotest.test_case "fig1 mix" `Slow test_fig1_mix;
+          Alcotest.test_case "fig2 anchors" `Slow test_fig2_anchors;
+          Alcotest.test_case "fig3 anchors" `Slow test_fig3_anchors;
+          Alcotest.test_case "table1" `Slow test_table1_examples;
+          Alcotest.test_case "table2" `Slow test_table2_examples;
+          Alcotest.test_case "table3" `Slow test_table3_exact;
+          Alcotest.test_case "fig4" `Slow test_fig4_shape;
+          Alcotest.test_case "fig5" `Slow test_fig5_shape;
+          Alcotest.test_case "fig6" `Slow test_fig6_head;
+          Alcotest.test_case "fig7" `Slow test_fig7_shape;
+          Alcotest.test_case "table5" `Slow test_table5_runtime_only;
+          Alcotest.test_case "table6" `Slow test_table6_ordering;
+          Alcotest.test_case "table7" `Slow test_table7_ordering;
+          Alcotest.test_case "fig8" `Slow test_fig8_anchors;
+          Alcotest.test_case "variant tables" `Slow test_variant_tables;
+          Alcotest.test_case "access vs faccessat" `Slow
+            test_variant_access_gap;
+          Alcotest.test_case "section6" `Slow test_section6;
+          Alcotest.test_case "tracer" `Slow test_tracer;
+          Alcotest.test_case "full-API path" `Slow test_full_path;
+          Alcotest.test_case "ablations" `Slow test_ablations ] ) ]

@@ -1,0 +1,150 @@
+(* Tests for the x86-64 subset encoder/decoder, including the
+   round-trip property on randomly generated instructions and
+   disassembler resynchronization on garbage bytes. *)
+
+open Core.X86
+
+let regs =
+  [ Insn.RAX; Insn.RCX; Insn.RDX; Insn.RBX; Insn.RSP; Insn.RBP; Insn.RSI;
+    Insn.RDI; Insn.R8; Insn.R9; Insn.R10; Insn.R11; Insn.R12; Insn.R13;
+    Insn.R14; Insn.R15 ]
+
+let sample_insns =
+  [ Insn.Mov_ri (Insn.RAX, 0L);
+    Insn.Mov_ri (Insn.RAX, 60L);
+    Insn.Mov_ri (Insn.RSI, 0x80045430L);  (* TIOCGPTN: high bit set *)
+    Insn.Mov_ri (Insn.R12, 0xFFFFFFFFL);
+    Insn.Mov_ri (Insn.RDI, 0x1_0000_0000L);  (* needs movabs *)
+    Insn.Mov_ri (Insn.R15, Int64.min_int);
+    Insn.Mov_rr (Insn.RBP, Insn.RSP);
+    Insn.Mov_rr (Insn.R9, Insn.RAX);
+    Insn.Xor_rr (Insn.RAX, Insn.RAX);
+    Insn.Xor_rr (Insn.R11, Insn.RDX);
+    Insn.Lea_rip (Insn.RDI, 0x1234l);
+    Insn.Lea_rip (Insn.R8, -42l);
+    Insn.Add_ri (Insn.RSP, 16l);
+    Insn.Sub_ri (Insn.R13, 8l);
+    Insn.Call_rel 0x100l;
+    Insn.Call_rel (-5l);
+    Insn.Call_reg Insn.RAX;
+    Insn.Call_reg Insn.R10;
+    Insn.Call_mem_rip 0x2000l;
+    Insn.Jmp_rel 0l;
+    Insn.Jmp_mem_rip 0x18l;
+    Insn.Syscall;
+    Insn.Int80;
+    Insn.Sysenter;
+    Insn.Push_r Insn.RBP;
+    Insn.Push_r Insn.R14;
+    Insn.Pop_r Insn.RBX;
+    Insn.Pop_r Insn.R15;
+    Insn.Ret;
+    Insn.Nop ]
+
+let insn_testable =
+  Alcotest.testable (fun ppf i -> Fmt.string ppf (Insn.to_string i)) ( = )
+
+let test_roundtrip_samples () =
+  List.iter
+    (fun insn ->
+      let bytes = Encode.encode insn in
+      let decoded, len = Decode.decode_at bytes 0 in
+      Alcotest.check insn_testable (Insn.to_string insn) insn decoded;
+      Alcotest.(check int) "length consumed" (String.length bytes) len)
+    sample_insns
+
+let test_known_encodings () =
+  let hex s = Encode.encode s in
+  Alcotest.(check string) "syscall = 0f 05" "\x0f\x05" (hex Insn.Syscall);
+  Alcotest.(check string) "ret = c3" "\xc3" (hex Insn.Ret);
+  Alcotest.(check string) "int80 = cd 80" "\xcd\x80" (hex Insn.Int80);
+  Alcotest.(check string)
+    "mov eax, 60 = b8 3c 00 00 00" "\xb8\x3c\x00\x00\x00"
+    (hex (Insn.Mov_ri (Insn.RAX, 60L)));
+  Alcotest.(check string)
+    "push rbp = 55" "\x55"
+    (hex (Insn.Push_r Insn.RBP))
+
+let test_decode_stream () =
+  let insns =
+    [ Insn.Push_r Insn.RBP; Insn.Mov_rr (Insn.RBP, Insn.RSP);
+      Insn.Mov_ri (Insn.RAX, 1L); Insn.Syscall; Insn.Pop_r Insn.RBP;
+      Insn.Ret ]
+  in
+  let bytes = Encode.encode_all insns in
+  let decoded = List.map (fun (_, i, _) -> i) (Decode.decode_all bytes) in
+  Alcotest.(check (list insn_testable)) "stream round-trips" insns decoded
+
+let test_resync_on_garbage () =
+  (* unknown bytes decode one at a time, and decoding always
+     terminates covering the whole buffer *)
+  let garbage = "\xf4\x0f\xae\xe8\x66\x90" in
+  let decoded = Decode.decode_all garbage in
+  let total = List.fold_left (fun a (_, _, len) -> a + len) 0 decoded in
+  Alcotest.(check int) "whole buffer consumed" (String.length garbage) total
+
+let test_truncated () =
+  (* a truncated instruction must not raise, and must consume >= 1 *)
+  let full = Encode.encode (Insn.Mov_ri (Insn.RAX, 60L)) in
+  let cut = String.sub full 0 2 in
+  let _, len = Decode.decode_at cut 0 in
+  Alcotest.(check bool) "progress on truncation" true (len >= 1)
+
+(* Property: encode/decode is the identity on the full subset. *)
+let gen_insn =
+  let open QCheck2.Gen in
+  let reg = oneofl regs in
+  let imm32 = map Int32.of_int (int_range (-1000000) 1000000) in
+  let imm64 =
+    oneof
+      [ map Int64.of_int (int_range 0 0xFFFF);
+        return 0xFFFFFFFFL;
+        return 0x1_0000_0000L;
+        map Int64.of_int (int_range (-1000000) (-1)) ]
+  in
+  oneof
+    [ map2 (fun r v -> Insn.Mov_ri (r, v)) reg imm64;
+      map2 (fun a b -> Insn.Mov_rr (a, b)) reg reg;
+      map2 (fun a b -> Insn.Xor_rr (a, b)) reg reg;
+      map2 (fun r d -> Insn.Lea_rip (r, d)) reg imm32;
+      map2 (fun r d -> Insn.Add_ri (r, d)) reg imm32;
+      map2 (fun r d -> Insn.Sub_ri (r, d)) reg imm32;
+      map (fun d -> Insn.Call_rel d) imm32;
+      map (fun r -> Insn.Call_reg r) reg;
+      map (fun d -> Insn.Call_mem_rip d) imm32;
+      map (fun d -> Insn.Jmp_rel d) imm32;
+      map (fun d -> Insn.Jmp_mem_rip d) imm32;
+      return Insn.Syscall;
+      return Insn.Int80;
+      return Insn.Sysenter;
+      map (fun r -> Insn.Push_r r) reg;
+      map (fun r -> Insn.Pop_r r) reg;
+      return Insn.Ret;
+      return Insn.Nop ]
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"encode/decode round-trip" ~count:2000 gen_insn
+    (fun insn ->
+      let bytes = Encode.encode insn in
+      let decoded, len = Decode.decode_at bytes 0 in
+      decoded = insn && len = String.length bytes)
+
+let prop_stream_roundtrip =
+  QCheck2.Test.make ~name:"instruction streams round-trip" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 40) gen_insn)
+    (fun insns ->
+      let bytes = Encode.encode_all insns in
+      let decoded = List.map (fun (_, i, _) -> i) (Decode.decode_all bytes) in
+      decoded = insns)
+
+let () =
+  Alcotest.run "x86"
+    [ ( "encode-decode",
+        [ Alcotest.test_case "sample round-trips" `Quick test_roundtrip_samples;
+          Alcotest.test_case "known encodings" `Quick test_known_encodings;
+          Alcotest.test_case "stream decode" `Quick test_decode_stream;
+          Alcotest.test_case "garbage resync" `Quick test_resync_on_garbage;
+          Alcotest.test_case "truncation" `Quick test_truncated ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_stream_roundtrip ] ) ]
