@@ -1,0 +1,63 @@
+(** Precision audit of the static analysis phases.
+
+    The synthetic corpus comes with generator ground truth, which
+    turns the paper's manual spot check (Section 2.3) into a
+    measurable experiment: for each analysis phase — the linear scan
+    baseline and the CFG dataflow engine — count false negatives
+    (planted APIs the phase missed), false positives (APIs reported
+    but never planted), and the unresolved-site rate of Section 2.4.
+    {!Lapis_study} renders these as the precision report. *)
+
+open Lapis_apidb
+
+type stats = {
+  false_negatives : int;  (** ground-truth APIs the phase missed *)
+  false_positives : int;  (** reported APIs not in the ground truth *)
+  unresolved : int;  (** syscall sites left unresolved *)
+  sites : int;  (** total syscall sites seen *)
+}
+
+let zero = { false_negatives = 0; false_positives = 0; unresolved = 0; sites = 0 }
+
+let add a b =
+  {
+    false_negatives = a.false_negatives + b.false_negatives;
+    false_positives = a.false_positives + b.false_positives;
+    unresolved = a.unresolved + b.unresolved;
+    sites = a.sites + b.sites;
+  }
+
+(* Compare one recovered API set against its ground truth. *)
+let compare_sets ~truth ~got =
+  let missing = Api.Set.diff truth got in
+  let extra = Api.Set.diff got truth in
+  (Api.Set.cardinal missing, Api.Set.cardinal extra)
+
+let of_comparison ~truth ~got (fp : Footprint.t) =
+  let false_negatives, false_positives = compare_sets ~truth ~got in
+  {
+    false_negatives;
+    false_positives;
+    unresolved = fp.Footprint.unresolved_sites;
+    sites = fp.Footprint.syscall_sites;
+  }
+
+let unresolved_rate s =
+  if s.sites = 0 then 0.0
+  else float_of_int s.unresolved /. float_of_int s.sites
+
+(* Run both engines over one parsed image and return the per-mode
+   direct footprints — the unit used by the engine-difference tests
+   and the per-binary drill-down of the precision report. *)
+let both_modes img =
+  let direct mode =
+    let bin = Binary.analyze ~mode img in
+    Hashtbl.fold
+      (fun _ fi acc -> Footprint.union acc fi.Binary.fi_scan.Scan.direct)
+      bin.Binary.fns Footprint.empty
+  in
+  (direct Binary.Linear, direct Binary.Dataflow)
+
+let pp ppf s =
+  Fmt.pf ppf "FN=%d FP=%d unresolved=%d/%d (%.1f%%)" s.false_negatives
+    s.false_positives s.unresolved s.sites (100. *. unresolved_rate s)

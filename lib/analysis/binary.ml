@@ -1,12 +1,25 @@
 (** Whole-binary analysis: disassembles every function of an ELF
-    image, scans each, and exposes reachability queries used by the
+    image, analyzes each, and exposes reachability queries used by the
     cross-library resolver. Also performs the binary-wide string sweep
-    for hard-coded pseudo-file paths (Section 3.4). *)
+    for hard-coded pseudo-file paths (Section 3.4).
+
+    Two per-function engines are available: the control-flow-blind
+    {!Scan} baseline ([Linear]) and the CFG fixpoint of {!Dataflow}
+    ([Dataflow], the default). In dataflow mode a second, binary-wide
+    round resolves the parameterized {!Summary} sites of local wrapper
+    functions from the constant arguments found at their call sites,
+    attributing the recovered APIs to the callers. A summary site that
+    no call site resolves counts as one unresolved syscall of the
+    wrapper itself — the same accounting the linear scan applies to an
+    unknown number register, so the two modes' unresolved rates are
+    directly comparable. *)
 
 open Lapis_elf
 
 module String_set = Footprint.String_set
 module Int_map = Map.Make (Int)
+
+type mode = Linear | Dataflow
 
 type fn_info = {
   fi_name : string;
@@ -45,7 +58,7 @@ let string_at (img : Image.t) addr =
      | Some stop -> Some (String.sub img.rodata off (stop - off))
      | None -> None)
 
-let analyze (img : Image.t) : t =
+let analyze ?(mode = Dataflow) (img : Image.t) : t =
   let fn_by_addr =
     List.fold_left
       (fun m s -> Int_map.add s.Image.sym_addr s.Image.sym_name m)
@@ -70,24 +83,97 @@ let analyze (img : Image.t) : t =
          else None)
   in
   let ctx = { Scan.resolve_code; string_at = string_at img } in
+  (* Disassemble every function into an (address, insn, length)
+     listing; the decoder's lengths are what make rip-relative
+     displacements exact. *)
+  let listings =
+    List.filter_map
+      (fun s ->
+        match Image.text_offset img s.Image.sym_addr with
+        | None -> None
+        | Some off ->
+          let stop = min (off + s.Image.sym_size) (String.length img.text) in
+          let insns = ref [] in
+          let pos = ref off in
+          while !pos < stop do
+            let insn, len = Lapis_x86.Decode.decode_at img.text !pos in
+            insns := (img.text_addr + !pos, insn, len) :: !insns;
+            pos := !pos + len
+          done;
+          Some (s.Image.sym_name, List.rev !insns))
+      img.symbols
+  in
   let fns = Hashtbl.create 64 in
-  List.iter
-    (fun s ->
-      match Image.text_offset img s.Image.sym_addr with
-      | None -> ()
-      | Some off ->
-        let stop = min (off + s.Image.sym_size) (String.length img.text) in
-        let insns = ref [] in
-        let pos = ref off in
-        while !pos < stop do
-          let insn, len = Lapis_x86.Decode.decode_at img.text !pos in
-          insns := (img.text_addr + !pos, insn) :: !insns;
-          pos := !pos + len
-        done;
-        let scan = Scan.scan ctx (List.rev !insns) in
-        Hashtbl.replace fns s.Image.sym_name
-          { fi_name = s.Image.sym_name; fi_scan = scan })
-    img.symbols;
+  (match mode with
+   | Linear ->
+     List.iter
+       (fun (name, insns) ->
+         Hashtbl.replace fns name
+           { fi_name = name; fi_scan = Scan.scan ctx insns })
+       listings
+   | Dataflow ->
+     let df = Hashtbl.create 64 in
+     List.iter
+       (fun (name, insns) ->
+         Hashtbl.replace df name (Dataflow.analyze ctx insns))
+       listings;
+     (* Interprocedural round: resolve callee summary sites from the
+        constant arguments at each local call site. APIs land in the
+        caller; a site resolved anywhere is settled for good. *)
+     let resolved = Hashtbl.create 16 in
+     let extra = Hashtbl.create 16 in
+     let add_extra name fp =
+       let cur =
+         Option.value ~default:Footprint.empty (Hashtbl.find_opt extra name)
+       in
+       Hashtbl.replace extra name (Footprint.union cur fp)
+     in
+     Hashtbl.iter
+       (fun caller (r : Dataflow.result) ->
+         List.iter
+           (fun (callee_addr, args) ->
+             match Int_map.find_opt callee_addr fn_by_addr with
+             | None -> ()
+             | Some callee ->
+               (match Hashtbl.find_opt df callee with
+                | None -> ()
+                | Some (cr : Dataflow.result) ->
+                  List.iter
+                    (fun site ->
+                      match List.assoc_opt (Summary.param_of site) args with
+                      | None -> ()
+                      | Some values ->
+                        (match Summary.resolve_site site values with
+                         | None -> ()
+                         | Some fp ->
+                           add_extra caller fp;
+                           Hashtbl.replace resolved (callee, site) ()))
+                    cr.Dataflow.summary))
+           r.Dataflow.local_call_args)
+       df;
+     Hashtbl.iter
+       (fun name (r : Dataflow.result) ->
+         let direct =
+           match Hashtbl.find_opt extra name with
+           | Some fp -> Footprint.union r.Dataflow.direct fp
+           | None -> r.Dataflow.direct
+         in
+         (* Summary sites nobody resolved stay unknown, charged to the
+            wrapper once — mirroring the linear scan's accounting. *)
+         let direct =
+           List.fold_left
+             (fun acc site ->
+               if Hashtbl.mem resolved (name, site) then acc
+               else Footprint.add_unresolved acc)
+             direct r.Dataflow.summary
+         in
+         Hashtbl.replace fns name
+           {
+             fi_name = name;
+             fi_scan =
+               { (Dataflow.to_scan_result r) with Scan.direct };
+           })
+       df);
   { image = img; fns; fn_by_addr; rodata_strings = rodata_sweep img }
 
 let fn_name_at t addr = Int_map.find_opt addr t.fn_by_addr

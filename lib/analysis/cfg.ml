@@ -1,0 +1,127 @@
+(** Basic-block control-flow graph of one function.
+
+    Blocks split at jump targets and after every control transfer
+    ([Jmp_rel], [Jcc_rel], [Ret]); calls do not end a block (they
+    return). Jump targets outside the function's own instruction range
+    are treated as function exits, the standard conservative choice
+    for tail transfers into stubs. The {!Dataflow} engine runs its
+    worklist fixpoint over this graph. *)
+
+open Lapis_x86
+
+type block = {
+  b_index : int;
+  b_addr : int;  (** address of the block's first instruction *)
+  b_insns : (int * Insn.t * int) list;  (** (address, insn, length) *)
+}
+
+type t = {
+  blocks : block array;
+  succs : int list array;  (** successor block indexes *)
+  preds : int list array;  (** predecessor block indexes *)
+  entry : int;  (** index of the entry block; -1 for an empty function *)
+}
+
+module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+
+(* The target of a control transfer ending at [addr + len]. *)
+let jump_target addr len disp = addr + len + Int32.to_int disp
+
+let build (insns : (int * Insn.t * int) list) : t =
+  match insns with
+  | [] -> { blocks = [||]; succs = [||]; preds = [||]; entry = -1 }
+  | (first_addr, _, _) :: _ ->
+    let addrs =
+      List.fold_left (fun s (a, _, _) -> Int_set.add a s) Int_set.empty insns
+    in
+    let in_function a = Int_set.mem a addrs in
+    (* Leaders: the entry, every in-function jump target, and every
+       instruction following a control transfer. *)
+    let leaders = ref (Int_set.singleton first_addr) in
+    let add_leader a = if in_function a then leaders := Int_set.add a !leaders in
+    List.iter
+      (fun (addr, insn, len) ->
+        match insn with
+        | Insn.Jmp_rel d ->
+          add_leader (jump_target addr len d);
+          add_leader (addr + len)
+        | Insn.Jcc_rel (_, d) ->
+          add_leader (jump_target addr len d);
+          add_leader (addr + len)
+        | Insn.Ret | Insn.Jmp_mem_rip _ -> add_leader (addr + len)
+        | _ -> ())
+      insns;
+    (* Partition the listing into blocks at the leaders. *)
+    let blocks = ref [] and cur = ref [] in
+    let flush () =
+      match !cur with
+      | [] -> ()
+      | l ->
+        let l = List.rev l in
+        let a, _, _ = List.hd l in
+        blocks := { b_index = 0; b_addr = a; b_insns = l } :: !blocks;
+        cur := []
+    in
+    List.iter
+      (fun ((addr, _, _) as triple) ->
+        if Int_set.mem addr !leaders && !cur <> [] then flush ();
+        cur := triple :: !cur)
+      insns;
+    flush ();
+    let blocks =
+      List.rev !blocks
+      |> List.mapi (fun i b -> { b with b_index = i })
+      |> Array.of_list
+    in
+    let n = Array.length blocks in
+    let index_of_addr =
+      Array.fold_left
+        (fun m b -> Int_map.add b.b_addr b.b_index m)
+        Int_map.empty blocks
+    in
+    let succs = Array.make n [] and preds = Array.make n [] in
+    let edge src dst_addr =
+      match Int_map.find_opt dst_addr index_of_addr with
+      | Some dst ->
+        if not (List.mem dst succs.(src)) then begin
+          succs.(src) <- dst :: succs.(src);
+          preds.(dst) <- src :: preds.(dst)
+        end
+      | None -> ()  (* transfer out of the function: exit edge *)
+    in
+    Array.iter
+      (fun b ->
+        match List.rev b.b_insns with
+        | [] -> ()
+        | (addr, last, len) :: _ ->
+          (match last with
+           | Insn.Jmp_rel d -> edge b.b_index (jump_target addr len d)
+           | Insn.Jcc_rel (_, d) ->
+             edge b.b_index (jump_target addr len d);
+             edge b.b_index (addr + len)
+           | Insn.Ret | Insn.Jmp_mem_rip _ -> ()
+           | _ -> edge b.b_index (addr + len)))
+      blocks;
+    { blocks; succs; preds; entry = (if n = 0 then -1 else 0) }
+
+(* Blocks reachable from the entry, in discovery order. Dead blocks
+   (jump-over islands, alignment padding) are excluded from the
+   dataflow analysis so their stale register values cannot leak. *)
+let reachable t =
+  if t.entry < 0 then []
+  else begin
+    let seen = Array.make (Array.length t.blocks) false in
+    let order = ref [] in
+    let rec visit i =
+      if not seen.(i) then begin
+        seen.(i) <- true;
+        order := i :: !order;
+        List.iter visit t.succs.(i)
+      end
+    in
+    visit t.entry;
+    List.rev !order
+  end
+
+let n_blocks t = Array.length t.blocks

@@ -1,0 +1,293 @@
+(** CFG-based abstract interpretation of one function.
+
+    This replaces the linear {!Scan} pass for footprint extraction: a
+    worklist fixpoint over the basic-block graph of {!Cfg}, with a
+    flat constant lattice lifted to bounded constant *sets* (the
+    k-limited disjunctive completion), so a register set to different
+    immediates on the two arms of a branch still resolves to both
+    values at the merged system call site instead of collapsing to
+    unknown. Two further refinements over the linear scan:
+
+    - register-to-register moves propagate values (the linear scan
+      drops them), which is what lets a wrapper body like
+      [mov rax, rdi; syscall] stay symbolic instead of unknown;
+    - values of SysV argument registers at function entry are tracked
+      symbolically ({!value.Param}); a system call dispatched on such
+      a value becomes a {!Summary.site} resolved at each call site by
+      {!Binary} — one round of interprocedural analysis.
+
+    Everything the analysis records (pseudo-file strings, call edges,
+    lea-taken code addresses) is collected from *reachable* blocks
+    only, so jump-over code islands neither pollute register state
+    nor leak phantom APIs. *)
+
+open Lapis_x86
+open Lapis_apidb
+
+module Regs = Map.Make (struct
+  type t = Insn.reg
+  let compare = compare
+end)
+
+(* The widening bound of the constant-set domain: enough for the
+   branchy immediates real code dispatches on, small enough that the
+   fixpoint stays linear in practice. *)
+let max_consts = 8
+
+type value =
+  | Consts of int64 list  (** sorted, distinct, at most [max_consts] *)
+  | Addr of int  (** rip-relative materialized address *)
+  | Param of Insn.reg  (** the value this register held at entry *)
+  | Top
+
+let const v = Consts [ v ]
+
+let join_value a b =
+  if a == b then a
+  else
+    match (a, b) with
+    | Consts xs, Consts ys ->
+      let merged = List.sort_uniq Int64.compare (xs @ ys) in
+      if List.length merged > max_consts then Top else Consts merged
+    | Addr x, Addr y when x = y -> Addr x
+    | Param x, Param y when x = y -> Param x
+    | _ -> Top
+
+(* Register states map to non-Top values only; an absent register is
+   Top. The join is therefore an intersection with per-key joins. *)
+type state = value Regs.t
+
+let value_of st r = Option.value ~default:Top (Regs.find_opt r st)
+
+let set st r v = match v with Top -> Regs.remove r st | _ -> Regs.add r v st
+
+let join_state a b =
+  Regs.merge
+    (fun _ va vb ->
+      match (va, vb) with
+      | Some x, Some y ->
+        (match join_value x y with Top -> None | v -> Some v)
+      | _ -> None)
+    a b
+
+let equal_state a b = Regs.equal ( = ) a b
+
+(* SysV integer argument registers, tracked symbolically at entry. *)
+let arg_regs =
+  [ Insn.RDI; Insn.RSI; Insn.RDX; Insn.RCX; Insn.R8; Insn.R9 ]
+
+let entry_state =
+  List.fold_left (fun st r -> Regs.add r (Param r) st) Regs.empty arg_regs
+
+let caller_saved =
+  [ Insn.RAX; Insn.RCX; Insn.RDX; Insn.RSI; Insn.RDI; Insn.R8; Insn.R9;
+    Insn.R10; Insn.R11 ]
+
+let clobber st = List.fold_left (fun m r -> Regs.remove r m) st caller_saved
+
+(* Pure register transfer of one instruction — shared by the fixpoint
+   and the recording pass. *)
+let transfer st (addr, insn, len) =
+  match insn with
+  | Insn.Mov_ri (r, v) -> set st r (const v)
+  | Insn.Xor_rr (d, s) when d = s -> set st d (const 0L)
+  | Insn.Mov_rr (d, s) -> set st d (value_of st s)
+  | Insn.Xor_rr (d, _) -> set st d Top
+  | Insn.Lea_rip (r, disp) -> set st r (Addr (addr + len + Int32.to_int disp))
+  | Insn.Add_ri (r, imm) ->
+    (match value_of st r with
+     | Consts vs ->
+       set st r (Consts (List.map (fun v -> Int64.add v (Int64.of_int32 imm)) vs))
+     | _ -> set st r Top)
+  | Insn.Sub_ri (r, imm) ->
+    (match value_of st r with
+     | Consts vs ->
+       set st r (Consts (List.map (fun v -> Int64.sub v (Int64.of_int32 imm)) vs))
+     | _ -> set st r Top)
+  | Insn.Cmp_ri _ -> st
+  | Insn.Call_rel _ | Insn.Call_reg _ | Insn.Call_mem_rip _ -> clobber st
+  | Insn.Syscall | Insn.Int80 | Insn.Sysenter -> set st Insn.RAX Top
+  | Insn.Push_r _ -> st
+  | Insn.Pop_r r -> set st r Top
+  | Insn.Jmp_rel _ | Insn.Jcc_rel _ | Insn.Jmp_mem_rip _ | Insn.Ret
+  | Insn.Nop | Insn.Unknown _ -> st
+
+type result = {
+  direct : Footprint.t;
+      (** APIs resolved from this function's own instructions *)
+  calls : Scan.call_target list;  (** direct call edges *)
+  lea_code_targets : int list;
+      (** lea-taken code addresses (reachable blocks only) *)
+  summary : Summary.t;
+      (** syscall/vectored sites dispatched on an entry argument *)
+  local_call_args : (int * (Insn.reg * int64 list) list) list;
+      (** per local call site: callee address and the constant values
+          of the argument registers at the call — the inputs the
+          binary-level pass feeds into callee summaries *)
+}
+
+let analyze (ctx : Scan.context) (insns : (int * Insn.t * int) list) : result =
+  let cfg = Cfg.build insns in
+  let n = Cfg.n_blocks cfg in
+  let direct = ref Footprint.empty in
+  let calls = ref [] in
+  let leas = ref [] in
+  let summary = ref [] in
+  let call_args = ref [] in
+  if n = 0 then
+    { direct = !direct; calls = []; lea_code_targets = []; summary = [];
+      local_call_args = [] }
+  else begin
+    (* --- worklist fixpoint ------------------------------------------ *)
+    let in_states : state option array = Array.make n None in
+    in_states.(cfg.Cfg.entry) <- Some entry_state;
+    let work = Queue.create () in
+    Queue.add cfg.Cfg.entry work;
+    let on_work = Array.make n false in
+    on_work.(cfg.Cfg.entry) <- true;
+    while not (Queue.is_empty work) do
+      let i = Queue.pop work in
+      on_work.(i) <- false;
+      match in_states.(i) with
+      | None -> ()
+      | Some st_in ->
+        let st_out =
+          List.fold_left transfer st_in cfg.Cfg.blocks.(i).Cfg.b_insns
+        in
+        List.iter
+          (fun s ->
+            let merged =
+              match in_states.(s) with
+              | None -> st_out
+              | Some cur -> join_state cur st_out
+            in
+            let changed =
+              match in_states.(s) with
+              | None -> true
+              | Some cur -> not (equal_state cur merged)
+            in
+            if changed then begin
+              in_states.(s) <- Some merged;
+              if not on_work.(s) then begin
+                on_work.(s) <- true;
+                Queue.add s work
+              end
+            end)
+          cfg.Cfg.succs.(i)
+    done;
+    (* --- recording pass over reachable blocks ----------------------- *)
+    let add_summary site =
+      if not (List.mem site !summary) then summary := site :: !summary
+    in
+    let record_vop_reg st v reg =
+      match value_of st reg with
+      | Consts codes ->
+        List.iter
+          (fun code -> direct := Footprint.add_vop v (Int64.to_int code) !direct)
+          codes
+      | Param p -> add_summary (Summary.Vop_code_of (v, p))
+      | Addr _ | Top -> ()
+    in
+    let record_syscall st =
+      direct := Footprint.add_site !direct;
+      match value_of st Insn.RAX with
+      | Consts nrs ->
+        List.iter
+          (fun nr64 ->
+            let nr = Int64.to_int nr64 in
+            direct := Footprint.add_syscall nr !direct;
+            match Api.vector_of_syscall_nr nr with
+            | Some v -> record_vop_reg st v Insn.RSI
+            | None -> ())
+          nrs
+      | Param p -> add_summary (Summary.Syscall_nr_of p)
+      | Addr _ | Top -> direct := Footprint.add_unresolved !direct
+    in
+    let const_args st =
+      List.filter_map
+        (fun r ->
+          match value_of st r with
+          | Consts vs -> Some (r, vs)
+          | _ -> None)
+        arg_regs
+    in
+    let record st (addr, insn, len) =
+      (match insn with
+       | Insn.Lea_rip (_, disp) ->
+         let target = addr + len + Int32.to_int disp in
+         (match ctx.Scan.string_at target with
+          | Some s ->
+            if Pseudo_files.is_pseudo_path s then
+              direct := Footprint.add_pseudo s !direct
+          | None ->
+            (match ctx.Scan.resolve_code target with
+             | Some (Scan.Local_addr a) -> leas := a :: !leas
+             | Some (Scan.Import _) | None -> ()))
+       | Insn.Call_rel disp ->
+         let target = addr + len + Int32.to_int disp in
+         (match ctx.Scan.resolve_code target with
+          | Some (Scan.Import name) ->
+            calls := Scan.Import name :: !calls;
+            (match name with
+             | "ioctl" | "fcntl" | "prctl" ->
+               let v =
+                 match name with
+                 | "ioctl" -> Api.Ioctl
+                 | "fcntl" -> Api.Fcntl
+                 | _ -> Api.Prctl
+               in
+               record_vop_reg st v Insn.RSI
+             | "syscall" ->
+               direct := Footprint.add_site !direct;
+               (match value_of st Insn.RDI with
+                | Consts nrs ->
+                  List.iter
+                    (fun nr64 ->
+                      let nr = Int64.to_int nr64 in
+                      direct := Footprint.add_syscall nr !direct;
+                      match Api.vector_of_syscall_nr nr with
+                      | Some v -> record_vop_reg st v Insn.RDX
+                      | None -> ())
+                    nrs
+                | Param p -> add_summary (Summary.Syscall_nr_of p)
+                | Addr _ | Top -> direct := Footprint.add_unresolved !direct)
+             | _ -> ())
+          | Some (Scan.Local_addr a) ->
+            calls := Scan.Local_addr a :: !calls;
+            call_args := (a, const_args st) :: !call_args
+          | None -> ())
+       | Insn.Call_reg r ->
+         (match value_of st r with
+          | Addr a ->
+            (match ctx.Scan.resolve_code a with
+             | Some (Scan.Local_addr la as t) ->
+               calls := t :: !calls;
+               call_args := (la, const_args st) :: !call_args
+             | Some t -> calls := t :: !calls
+             | None -> ())
+          | _ -> ())
+       | Insn.Syscall | Insn.Int80 | Insn.Sysenter -> record_syscall st
+       | _ -> ());
+      transfer st (addr, insn, len)
+    in
+    List.iter
+      (fun i ->
+        match in_states.(i) with
+        | None -> ()
+        | Some st_in ->
+          ignore
+            (List.fold_left record st_in cfg.Cfg.blocks.(i).Cfg.b_insns))
+      (Cfg.reachable cfg);
+    {
+      direct = !direct;
+      calls = List.rev !calls;
+      lea_code_targets = !leas;
+      summary = List.rev !summary;
+      local_call_args = List.rev !call_args;
+    }
+  end
+
+(* Convert into the shape the rest of the pipeline consumes. *)
+let to_scan_result (r : result) : Scan.result =
+  { Scan.direct = r.direct; calls = r.calls;
+    lea_code_targets = r.lea_code_targets }

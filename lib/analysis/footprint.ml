@@ -13,16 +13,20 @@ type t = {
       (** syscalls, vectored opcodes and pseudo-files requested *)
   imports : String_set.t;  (** undefined dynamic symbols used *)
   unresolved_sites : int;
+  syscall_sites : int;
+      (** total system call sites scanned (resolved or not): the
+          denominator of the Section 2.4 unresolved rate *)
 }
 
 let empty = { apis = Api.Set.empty; imports = String_set.empty;
-              unresolved_sites = 0 }
+              unresolved_sites = 0; syscall_sites = 0 }
 
 let union a b =
   {
     apis = Api.Set.union a.apis b.apis;
     imports = String_set.union a.imports b.imports;
     unresolved_sites = a.unresolved_sites + b.unresolved_sites;
+    syscall_sites = a.syscall_sites + b.syscall_sites;
   }
 
 let add_api api t = { t with apis = Api.Set.add api t.apis }
@@ -31,6 +35,7 @@ let add_vop v code t = add_api (Api.Vop (v, code)) t
 let add_pseudo path t = add_api (Api.Pseudo_file path) t
 let add_import name t = { t with imports = String_set.add name t.imports }
 let add_unresolved t = { t with unresolved_sites = t.unresolved_sites + 1 }
+let add_site t = { t with syscall_sites = t.syscall_sites + 1 }
 
 let syscalls t =
   Api.Set.fold

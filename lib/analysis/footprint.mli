@@ -14,6 +14,9 @@ type t = {
   unresolved_sites : int;
       (** system call sites whose number could not be recovered
           statically — the paper reports 4% of sites (Section 2.4) *)
+  syscall_sites : int;
+      (** total system call sites scanned, the denominator of the
+          unresolved rate reported by the precision audit *)
 }
 
 val empty : t
@@ -25,6 +28,9 @@ val add_vop : Api.vector -> int -> t -> t
 val add_pseudo : string -> t -> t
 val add_import : string -> t -> t
 val add_unresolved : t -> t
+
+val add_site : t -> t
+(** Count one more system call site (resolved or not). *)
 
 val syscalls : t -> int list
 (** The footprint's system call numbers, sorted. *)

@@ -3,7 +3,12 @@
     numbers at syscall instructions, operation codes at vectored call
     sites, calls into the PLT, and lea-materialized function pointers
     (the paper's over-approximation: a function whose address is taken
-    is assumed callable from the taking function). *)
+    is assumed callable from the taking function).
+
+    The linear pass ignores control flow entirely: values set on one
+    arm of a branch, or reached through a jump, are handled only by
+    the {!Dataflow} engine. This module is kept as the baseline the
+    precision audit ({!Audit}) measures the CFG engine against. *)
 
 open Lapis_x86
 open Lapis_apidb
@@ -51,11 +56,12 @@ type context = {
   string_at : int -> string option;
 }
 
-let scan ctx (insns : (int * Insn.t) list) : result =
+let scan ctx (insns : (int * Insn.t * int) list) : result =
   let direct = ref Footprint.empty in
   let calls = ref [] in
   let leas = ref [] in
   let record_syscall regs =
+    direct := Footprint.add_site !direct;
     match value_of regs Insn.RAX with
     | Const nr ->
       let nr = Int64.to_int nr in
@@ -68,14 +74,14 @@ let scan ctx (insns : (int * Insn.t) list) : result =
        | None -> ())
     | Addr _ | Top -> direct := Footprint.add_unresolved !direct
   in
-  let step regs (addr, insn) =
+  let step regs (addr, insn, len) =
     match insn with
     | Insn.Mov_ri (r, v) -> Regs.add r (Const v) regs
     | Insn.Xor_rr (d, s) when d = s -> Regs.add d (Const 0L) regs
     | Insn.Xor_rr (d, _) | Insn.Mov_rr (d, _) -> Regs.add d Top regs
     | Insn.Lea_rip (r, disp) ->
-      (* next-insn address + disp; lea encodes as 7 bytes *)
-      let target = addr + 7 + Int32.to_int disp in
+      (* rip-relative: next-instruction address + displacement *)
+      let target = addr + len + Int32.to_int disp in
       (match ctx.string_at target with
        | Some s ->
          if Pseudo_files.is_pseudo_path s then
@@ -86,8 +92,9 @@ let scan ctx (insns : (int * Insn.t) list) : result =
           | Some (Import _) | None -> ()));
       Regs.add r (Addr target) regs
     | Insn.Add_ri (r, _) | Insn.Sub_ri (r, _) -> Regs.add r Top regs
+    | Insn.Cmp_ri _ -> regs
     | Insn.Call_rel disp ->
-      let target = addr + 5 + Int32.to_int disp in
+      let target = addr + len + Int32.to_int disp in
       (match ctx.resolve_code target with
        | Some (Import name) ->
          calls := Import name :: !calls;
@@ -106,8 +113,20 @@ let scan ctx (insns : (int * Insn.t) list) : result =
                direct := Footprint.add_vop v (Int64.to_int code) !direct
              | Addr _ | Top -> ())
           | "syscall" ->
+            direct := Footprint.add_site !direct;
             (match value_of regs Insn.RDI with
-             | Const nr -> direct := Footprint.add_syscall (Int64.to_int nr) !direct
+             | Const nr ->
+               let nr = Int64.to_int nr in
+               direct := Footprint.add_syscall nr !direct;
+               (* syscall(__NR_ioctl, fd, op, ...): the vectored
+                  opcode is the helper's third argument, in RDX *)
+               (match Api.vector_of_syscall_nr nr with
+                | Some v ->
+                  (match value_of regs Insn.RDX with
+                   | Const code ->
+                     direct := Footprint.add_vop v (Int64.to_int code) !direct
+                   | Addr _ | Top -> ())
+                | None -> ())
              | Addr _ | Top -> direct := Footprint.add_unresolved !direct)
           | _ -> ())
        | Some (Local_addr a) -> calls := Local_addr a :: !calls
@@ -125,7 +144,7 @@ let scan ctx (insns : (int * Insn.t) list) : result =
     | Insn.Syscall | Insn.Int80 | Insn.Sysenter ->
       record_syscall regs;
       Regs.add Insn.RAX Top regs
-    | Insn.Jmp_rel _ | Insn.Jmp_mem_rip _ | Insn.Ret -> regs
+    | Insn.Jmp_rel _ | Insn.Jcc_rel _ | Insn.Jmp_mem_rip _ | Insn.Ret -> regs
     | Insn.Push_r _ -> regs
     | Insn.Pop_r r -> Regs.add r Top regs
     | Insn.Nop | Insn.Unknown _ -> regs

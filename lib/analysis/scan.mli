@@ -1,8 +1,11 @@
 (** Intra-procedural scan of a single function (Section 7): constant
     tracking of the registers that carry system call numbers and
     vectored opcodes along a linear pass, call-edge collection, and
-    the lea-based function-pointer over-approximation. *)
+    the lea-based function-pointer over-approximation.
 
+    This is the control-flow-blind baseline; {!Dataflow} runs the same
+    recovery over a basic-block CFG and is what the pipeline uses by
+    default. The precision audit compares the two. *)
 
 type value =
   | Const of int64  (** register holds a known immediate *)
@@ -34,8 +37,10 @@ type context = {
       (** the NUL-terminated string at a .rodata address, if any *)
 }
 
-val scan : context -> (int * Lapis_x86.Insn.t) list -> result
-(** Scan one function given its [(address, instruction)] listing.
-    Calls clobber the SysV caller-saved registers; a syscall whose
-    number register is unknown increments
-    [direct.unresolved_sites]. *)
+val scan : context -> (int * Lapis_x86.Insn.t * int) list -> result
+(** Scan one function given its [(address, instruction, length)]
+    listing; lengths come from the decoder, so rip-relative targets
+    use the true encoded size. Calls clobber the SysV caller-saved
+    registers; a syscall whose number register is unknown increments
+    [direct.unresolved_sites], and every site increments
+    [direct.syscall_sites]. *)

@@ -1,0 +1,63 @@
+(** Parameterized function summaries — one round of interprocedural
+    dataflow. When a local function performs syscall-style dispatch on
+    a value that is an *argument register at function entry* (the libc
+    [syscall()] idiom, or an ioctl wrapper taking the opcode as a
+    parameter), the intra-procedural result cannot name the API. The
+    {!Dataflow} engine records such sites as a summary; the
+    binary-level pass ({!Binary}) then resolves each summary site from
+    the constant arguments found at every local call site, attributing
+    the recovered APIs to the caller — exactly how the paper's tool
+    treats the libc [syscall(3)] helper, generalized to wrappers
+    defined inside the binary itself. *)
+
+open Lapis_apidb
+
+type site =
+  | Syscall_nr_of of Lapis_x86.Insn.reg
+      (** a syscall instruction whose number register holds the
+          entry value of this argument register *)
+  | Vop_code_of of Api.vector * Lapis_x86.Insn.reg
+      (** a vectored call site with a known vector whose opcode
+          register holds the entry value of this argument register *)
+
+type t = site list
+
+let empty : t = []
+let is_empty (t : t) = t = []
+
+let param_of = function Syscall_nr_of r -> r | Vop_code_of (_, r) -> r
+
+(* Resolve one summary site against the concrete argument values a
+   call site provides. Returns the footprint contribution for the
+   caller, or [None] when the argument is not constant there. *)
+let resolve_site site (values : int64 list) : Footprint.t option =
+  match values with
+  | [] -> None
+  | _ ->
+    let fp =
+      match site with
+      | Syscall_nr_of _ ->
+        List.fold_left
+          (fun acc v ->
+            let nr = Int64.to_int v in
+            let acc = Footprint.add_syscall nr acc in
+            (* syscall(__NR_ioctl, ...) through a wrapper still counts
+               as a vectored site, but the opcode is a second-order
+               parameter we do not chase across two frames *)
+            acc)
+          Footprint.empty values
+      | Vop_code_of (v, _) ->
+        List.fold_left
+          (fun acc code -> Footprint.add_vop v (Int64.to_int code) acc)
+          Footprint.empty values
+    in
+    Some fp
+
+let pp_site ppf = function
+  | Syscall_nr_of r ->
+    Fmt.pf ppf "syscall(nr=%s@entry)" (Lapis_x86.Insn.reg_name r)
+  | Vop_code_of (v, r) ->
+    Fmt.pf ppf "%s(op=%s@entry)" (Api.vector_name v)
+      (Lapis_x86.Insn.reg_name r)
+
+let pp ppf (t : t) = Fmt.(list ~sep:comma pp_site) ppf t

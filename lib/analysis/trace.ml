@@ -50,6 +50,10 @@ let run ?(limits = default_limits) (world : Resolve.world) (bin : Binary.t) :
   let fp = ref Footprint.empty in
   let steps = ref 0 in
   let regs = ref Regs.empty in
+  (* Zero flag after the last cmp: [Some b] when both operands were
+     concrete, [None] when the comparison involved an unknown value
+     (then conditional jumps deterministically fall through). *)
+  let zf = ref None in
   let value r = Option.value ~default:Scan.Top (Regs.find_opt r !regs) in
   let set r v = regs := Regs.add r v !regs in
   let record_syscall () =
@@ -113,9 +117,29 @@ let run ?(limits = default_limits) (world : Resolve.world) (bin : Binary.t) :
           | Insn.Xor_rr (d, s) when d = s ->
             set d (Scan.Const 0L);
             exec next depth
-          | Insn.Mov_rr (d, _) | Insn.Xor_rr (d, _) ->
-            set d Scan.Top;
+          | Insn.Mov_rr (d, s) ->
+            (* concrete interpretation: copy the source value *)
+            set d (value s);
             exec next depth
+          | Insn.Xor_rr (d, _) ->
+            set d Scan.Top;
+            zf := None;
+            exec next depth
+          | Insn.Cmp_ri (r, imm) ->
+            (zf :=
+               match value r with
+               | Scan.Const v -> Some (Int64.equal v (Int64.of_int32 imm))
+               | Scan.Addr _ | Scan.Top -> None);
+            exec next depth
+          | Insn.Jcc_rel (cc, disp) ->
+            let taken =
+              if cc = Insn.cc_e then !zf = Some true
+              else if cc = Insn.cc_ne then !zf = Some false
+              else false
+            in
+            if taken then
+              exec { loc with addr = loc.addr + len + Int32.to_int disp } depth
+            else exec next depth
           | Insn.Lea_rip (r, disp) ->
             let target = loc.addr + len + Int32.to_int disp in
             (match Binary.string_at img target with
@@ -125,7 +149,19 @@ let run ?(limits = default_limits) (world : Resolve.world) (bin : Binary.t) :
              | None -> ());
             set r (Scan.Addr target);
             exec next depth
-          | Insn.Add_ri (r, _) | Insn.Sub_ri (r, _) | Insn.Pop_r r ->
+          | Insn.Add_ri (r, imm) ->
+            (match value r with
+             | Scan.Const v -> set r (Scan.Const (Int64.add v (Int64.of_int32 imm)))
+             | Scan.Addr _ | Scan.Top -> set r Scan.Top);
+            zf := None;
+            exec next depth
+          | Insn.Sub_ri (r, imm) ->
+            (match value r with
+             | Scan.Const v -> set r (Scan.Const (Int64.sub v (Int64.of_int32 imm)))
+             | Scan.Addr _ | Scan.Top -> set r Scan.Top);
+            zf := None;
+            exec next depth
+          | Insn.Pop_r r ->
             set r Scan.Top;
             exec next depth
           | Insn.Push_r _ | Insn.Nop | Insn.Unknown _ -> exec next depth

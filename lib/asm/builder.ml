@@ -45,6 +45,42 @@ let expand_op (op : Program.op) : pre list =
     [ I (Insn.Mov_ri (Insn.RSI, Int64.of_int code)); Call_stub f ]
   | Program.Call_syscall_import nr ->
     [ I (Insn.Mov_ri (Insn.RDI, Int64.of_int nr)); Call_stub "syscall" ]
+  | Program.Call_syscall_import_vop (v, code) ->
+    [ I (Insn.Mov_ri (Insn.RDI,
+                      Int64.of_int (Lapis_apidb.Api.vector_syscall_nr v)));
+      I (Insn.Mov_ri (Insn.RDX, Int64.of_int code));
+      Call_stub "syscall" ]
+  | Program.Cond_branch_syscall (a, b) ->
+    (* both arms set rax then merge into the one syscall below *)
+    let mov_a = I (Insn.Mov_ri (Insn.RAX, Int64.of_int a)) in
+    let mov_b = I (Insn.Mov_ri (Insn.RAX, Int64.of_int b)) in
+    let skip_a = pre_size mov_a + 5 (* jmp *) in
+    [ I (Insn.Cmp_ri (Insn.RDI, 0l));
+      I (Insn.Jcc_rel (Insn.cc_e, Int32.of_int skip_a));
+      mov_a;
+      I (Insn.Jmp_rel (Int32.of_int (pre_size mov_b)));
+      mov_b;
+      I Insn.Syscall ]
+  | Program.Skip_clobber_syscall (nr, helper) ->
+    (* je jumps straight to the syscall; the fallthrough path calls a
+       helper (clobbering rax in a linear reading) and jumps past the
+       syscall — so on every path that executes it, rax holds [nr] *)
+    [ I (Insn.Mov_ri (Insn.RAX, Int64.of_int nr));
+      I (Insn.Cmp_ri (Insn.RDI, 0l));
+      I (Insn.Jcc_rel (Insn.cc_e, Int32.of_int (5 (* call *) + 5 (* jmp *))));
+      Call_fn helper;
+      I (Insn.Jmp_rel 2l (* over the syscall *));
+      I Insn.Syscall ]
+  | Program.Jump_over_decoy_syscall (real, decoy) ->
+    let mov_decoy = I (Insn.Mov_ri (Insn.RAX, Int64.of_int decoy)) in
+    [ I (Insn.Mov_ri (Insn.RAX, Int64.of_int real));
+      I (Insn.Jmp_rel (Int32.of_int (pre_size mov_decoy)));
+      mov_decoy (* dead code: never executed, linear scans still read it *);
+      I Insn.Syscall ]
+  | Program.Call_wrapper (f, nr) ->
+    [ I (Insn.Mov_ri (Insn.RDI, Int64.of_int nr)); Call_fn f ]
+  | Program.Arg_syscall ->
+    [ I (Insn.Mov_rr (Insn.RAX, Insn.RDI)); I Insn.Syscall ]
   | Program.Use_string s -> [ Lea_str (Insn.RDI, s) ]
   | Program.Take_fnptr f -> [ Lea_fn (Insn.RAX, f); I (Insn.Call_reg Insn.RAX) ]
   | Program.Padding n -> List.init n (fun _ -> I Insn.Nop)
@@ -67,11 +103,16 @@ let collect_refs (prog : Program.t) =
           match op with
           | Program.Call_import name | Program.Call_import_vop (name, _, _) ->
             add imports name
-          | Program.Call_syscall_import _ -> add imports "syscall"
+          | Program.Call_syscall_import _ | Program.Call_syscall_import_vop _
+            ->
+            add imports "syscall"
           | Program.Use_string s -> add strings s
           | Program.Direct_syscall _ | Program.Direct_syscall_unknown
           | Program.Int80_syscall _ | Program.Vectored_syscall _
-          | Program.Call_local _ | Program.Take_fnptr _ | Program.Padding _ ->
+          | Program.Call_local _ | Program.Take_fnptr _ | Program.Padding _
+          | Program.Cond_branch_syscall _ | Program.Skip_clobber_syscall _
+          | Program.Jump_over_decoy_syscall _ | Program.Call_wrapper _
+          | Program.Arg_syscall ->
             ())
         f.Program.ops)
     prog.Program.funcs;

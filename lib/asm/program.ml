@@ -20,6 +20,29 @@ type op =
       (** call ioctl/fcntl/prctl through libc with an immediate code *)
   | Call_syscall_import of int
       (** call libc's syscall() wrapper with an immediate number *)
+  | Call_syscall_import_vop of Lapis_apidb.Api.vector * int
+      (** call libc's syscall() wrapper with the number of a vectored
+          syscall in rdi and the operation code in rdx — e.g.
+          [syscall(__NR_ioctl, fd, TCGETS)] *)
+  | Cond_branch_syscall of int * int
+      (** a compare-and-branch choosing between two syscall numbers,
+          both arms merging into one syscall instruction: only a
+          join-aware analysis sees both *)
+  | Skip_clobber_syscall of int * string
+      (** set the number, then branch either directly to the syscall
+          or into a helper call (which clobbers rax) that jumps past
+          it: on every executable path the number is known, but a
+          control-flow-blind scan walks through the clobbering call *)
+  | Jump_over_decoy_syscall of int * int
+      (** set the real number, jump over a dead [mov] of a decoy
+          number into the syscall: a linear scan reports the decoy *)
+  | Call_wrapper of string * int
+      (** pass a syscall number in rdi to a local wrapper function
+          that performs the syscall on its argument (see
+          {!Arg_syscall}) — resolved only by function summaries *)
+  | Arg_syscall
+      (** wrapper body: mov rax, rdi; syscall — the in-binary analogue
+          of libc's [syscall()] helper *)
   | Use_string of string
       (** materialize a .rodata string address (hard-coded path) *)
   | Take_fnptr of string

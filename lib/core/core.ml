@@ -62,9 +62,13 @@ end
 module Analysis = struct
   module Footprint = Lapis_analysis.Footprint
   module Scan = Lapis_analysis.Scan
+  module Cfg = Lapis_analysis.Cfg
+  module Dataflow = Lapis_analysis.Dataflow
+  module Summary = Lapis_analysis.Summary
   module Binary = Lapis_analysis.Binary
   module Resolve = Lapis_analysis.Resolve
   module Trace = Lapis_analysis.Trace
+  module Audit = Lapis_analysis.Audit
 end
 
 module Distro = struct
@@ -108,6 +112,7 @@ module Study = struct
   module Variant_tables = Lapis_study.Variant_tables
   module Section6 = Lapis_study.Section6
   module Tracer = Lapis_study.Tracer
+  module Precision = Lapis_study.Precision
   module Full_path = Lapis_study.Full_path
   module Ablations = Lapis_study.Ablations
 end

@@ -818,6 +818,11 @@ type emitted = {
   em_truth : Api.Set.t;
 }
 
+(* Decoy system calls placed in dead code (unreachable functions, or
+   movs jumped over inside a live one): all from the officially-unused
+   set, so a sloppy analyzer would corrupt Table 3. *)
+let decoys = [ "lookup_dcookie"; "remap_file_pages"; "mq_notify"; "sysfs" ]
+
 (* Build the operation list and ground truth for one executable.
    Operation classes are kept in a fixed order (direct syscalls,
    vectored ops, pseudo-files, library imports, libc imports) so that
@@ -827,8 +832,47 @@ let build_exe_ops rng spec ~syscalls ~vops ~pseudo ~lib_imports ~imports
   let ops = ref [] in
   let emit op = ops := op :: !ops in
   let add_truth api = truth := Api.Set.add api !truth in
-  List.iter
-    (fun s ->
+  (* Inline syscalls take one of several real code shapes. Beyond the
+     straight-line mov/syscall, compilers produce branchy dispatch
+     (both arms of a conditional setting the number before one syscall
+     instruction), skip-over paths around clobbering calls, dead
+     fall-through code, and in-binary wrapper functions — the shapes
+     the CFG dataflow engine exists to resolve. A branch pattern pairs
+     the call with the *next* assigned syscall so ground truth stays
+     exactly the assigned set. *)
+  let emit_direct n partner =
+    if spec.g_int80 && Rng.bool rng 0.5 then begin
+      emit (Lapis_asm.Program.Int80_syscall n);
+      add_truth (Api.Syscall n);
+      false
+    end
+    else begin
+      let r = Rng.float rng in
+      if r < 0.15 && partner <> None then begin
+        let n2 = Option.get partner in
+        emit (Lapis_asm.Program.Cond_branch_syscall (n, n2));
+        add_truth (Api.Syscall n);
+        add_truth (Api.Syscall n2);
+        true
+      end
+      else begin
+        (if r < 0.25 then
+           emit (Lapis_asm.Program.Skip_clobber_syscall (n, "cold_path"))
+         else if r < 0.32 then
+           emit
+             (Lapis_asm.Program.Jump_over_decoy_syscall
+                (n, nr (Rng.choose rng decoys)))
+         else if r < 0.44 then
+           emit (Lapis_asm.Program.Call_wrapper ("sc_dispatch", n))
+         else emit (Lapis_asm.Program.Direct_syscall n));
+        add_truth (Api.Syscall n);
+        false
+      end
+    end
+  in
+  let rec emit_syscalls = function
+    | [] -> ()
+    | s :: rest ->
       let n = nr s in
       let mode =
         match Hashtbl.find_opt wrapper_map s with
@@ -836,35 +880,52 @@ let build_exe_ops rng spec ~syscalls ~vops ~pseudo ~lib_imports ~imports
         | Some _ when Rng.bool rng 0.75 -> Via_wrapper
         | _ -> if Rng.bool rng 0.1 then Via_syscall_fn else Direct
       in
-      match mode with
-      | Via_wrapper ->
-        let w = Hashtbl.find wrapper_map s in
-        emit (Lapis_asm.Program.Call_import w);
-        Api.Set.iter add_truth (Libc_gen.import_truth w)
-      | Via_syscall_fn ->
-        emit (Lapis_asm.Program.Call_syscall_import n);
-        add_truth (Api.Syscall n);
-        add_truth (Api.Libc_sym "syscall")
-      | Direct ->
-        if spec.g_int80 && Rng.bool rng 0.5 then
-          emit (Lapis_asm.Program.Int80_syscall n)
-        else emit (Lapis_asm.Program.Direct_syscall n);
-        add_truth (Api.Syscall n))
-    syscalls;
+      (match mode with
+       | Via_wrapper ->
+         let w = Hashtbl.find wrapper_map s in
+         emit (Lapis_asm.Program.Call_import w);
+         Api.Set.iter add_truth (Libc_gen.import_truth w);
+         emit_syscalls rest
+       | Via_syscall_fn ->
+         emit (Lapis_asm.Program.Call_syscall_import n);
+         add_truth (Api.Syscall n);
+         add_truth (Api.Libc_sym "syscall");
+         emit_syscalls rest
+       | Direct ->
+         let partner =
+           match rest with
+           | s2 :: _
+             when (not (List.mem s2 wrapper_forced)) && not spec.g_int80 ->
+             Some (nr s2)
+           | _ -> None
+         in
+         if emit_direct n partner then emit_syscalls (List.tl rest)
+         else emit_syscalls rest)
+  in
+  emit_syscalls syscalls;
   List.iter
     (fun (v, code) ->
       let vec_nr = Api.vector_syscall_nr v in
-      if Rng.bool rng 0.5 then begin
+      let r = Rng.float rng in
+      if r < 0.4 then begin
         emit (Lapis_asm.Program.Vectored_syscall (v, code));
         add_truth (Api.Vop (v, code));
         add_truth (Api.Syscall vec_nr)
       end
-      else begin
+      else if r < 0.8 then begin
         let wname = Api.vector_name v in
         emit (Lapis_asm.Program.Call_import_vop (wname, v, code));
         add_truth (Api.Vop (v, code));
         add_truth (Api.Syscall vec_nr);
         Api.Set.iter add_truth (Libc_gen.import_truth wname)
+      end
+      else begin
+        (* syscall(__NR_ioctl, fd, op): the vectored opcode rides in
+           the generic helper's third argument *)
+        emit (Lapis_asm.Program.Call_syscall_import_vop (v, code));
+        add_truth (Api.Vop (v, code));
+        add_truth (Api.Syscall vec_nr);
+        add_truth (Api.Libc_sym "syscall")
       end)
     vops;
   List.iter
@@ -887,10 +948,6 @@ let build_exe_ops rng spec ~syscalls ~vops ~pseudo ~lib_imports ~imports
   if Rng.bool rng 0.04 then emit Lapis_asm.Program.Direct_syscall_unknown;
   emit (Lapis_asm.Program.Padding (4 + Rng.int rng 24));
   List.rev !ops
-
-(* Decoy system calls placed in unreachable functions: all from the
-   officially-unused set, so a sloppy analyzer would corrupt Table 3. *)
-let decoys = [ "lookup_dcookie"; "remap_file_pages"; "mq_notify"; "sysfs" ]
 
 let emit_spec rng spec : emitted =
   let truth = ref Api.Set.empty in
@@ -1143,6 +1200,19 @@ let emit_spec rng spec : emitted =
            else ([], [])
          in
          let main_ops = main_ops @ priv_calls in
+         (* local helpers referenced by the branchy syscall shapes *)
+         let needs_cold =
+           List.exists
+             (function
+               | Lapis_asm.Program.Skip_clobber_syscall _ -> true
+               | _ -> false)
+             ops
+         and needs_dispatch =
+           List.exists
+             (function
+               | Lapis_asm.Program.Call_wrapper _ -> true | _ -> false)
+             ops
+         in
          let funcs =
            [ Lapis_asm.Program.func "_start"
                [ Lapis_asm.Program.Call_import "__libc_start_main";
@@ -1150,6 +1220,14 @@ let emit_spec rng spec : emitted =
              Lapis_asm.Program.func "main" main_ops ]
            @ (if cb_ops = [] then []
               else [ Lapis_asm.Program.func ~global:false "callback" cb_ops ])
+           @ (if needs_cold then
+                [ Lapis_asm.Program.func ~global:false "cold_path"
+                    [ Lapis_asm.Program.Padding 6 ] ]
+              else [])
+           @ (if needs_dispatch then
+                [ Lapis_asm.Program.func ~global:false "sc_dispatch"
+                    [ Lapis_asm.Program.Arg_syscall ] ]
+              else [])
            @
            if Rng.bool rng 0.18 then
              [ Lapis_asm.Program.func ~global:false "unused_code"

@@ -30,8 +30,10 @@ let nr name = Syscall_table.nr_of_name_exn name
 (* Body of one catalogue export. *)
 let export_ops (e : Libc_catalog.entry) : Program.op list =
   if e.Libc_catalog.name = "syscall" then
-    (* the generic syscall(2) wrapper: number supplied by the caller *)
-    [ Program.Direct_syscall_unknown ]
+    (* the generic syscall(2) wrapper: the number is its first
+       argument, exactly the mov rax, rdi; syscall shape glibc uses —
+       statically a parameterized summary site, resolved per caller *)
+    [ Program.Arg_syscall ]
   else begin
     let vector_names = [ "ioctl"; "fcntl"; "prctl" ] in
     let has_vops = e.Libc_catalog.vops <> [] in

@@ -27,14 +27,15 @@ let interpreter_package = function
   | Lapis_elf.Classify.Ruby -> Some "ruby1.9"
   | Lapis_elf.Classify.Other_interp _ -> None
 
-let analyze_elf bytes =
+let analyze_elf ~mode bytes =
   match Lapis_elf.Reader.parse bytes with
-  | Ok img -> Some (Binary.analyze img)
+  | Ok img -> Some (Binary.analyze ~mode img)
   | Error e ->
     Log.warn (fun m -> m "unparseable ELF: %a" Lapis_elf.Reader.pp_error e);
     None
 
-let run (dist : P.distribution) : analyzed =
+let run ?(mode = Binary.Dataflow) (dist : P.distribution) : analyzed =
+  let analyze_elf bytes = analyze_elf ~mode bytes in
   (* 1. analyze the shared-library world *)
   let runtime_sonames = List.map fst dist.P.runtime in
   let runtime_bins =

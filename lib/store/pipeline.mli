@@ -16,7 +16,13 @@ val interpreter_package : Lapis_elf.Classify.interpreter -> string option
 (** The package owning an interpreter (dash scripts -> "dash", python
     -> "python2.7", ...); [None] for interpreters outside the model. *)
 
-val run : Lapis_distro.Package.distribution -> analyzed
+val run :
+  ?mode:Lapis_analysis.Binary.mode ->
+  Lapis_distro.Package.distribution ->
+  analyzed
+(** Analyze a distribution. [mode] selects the per-function engine:
+    the CFG dataflow default, or [Linear] for the control-flow-blind
+    baseline the precision audit measures against. *)
 
 type mismatch = {
   mm_package : string;

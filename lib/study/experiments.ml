@@ -64,6 +64,8 @@ let all : t list =
       render = (fun env -> Full_path.render (Full_path.run env)) };
     { id = "tracer"; title = "Dynamic vs static (Section 2.3)";
       render = (fun env -> Tracer.render (Tracer.run env)) };
+    { id = "precision"; title = "Precision audit: linear vs dataflow";
+      render = (fun env -> Precision.render (Precision.run env)) };
     { id = "ablations"; title = "Ablations";
       render = Ablations.render_all } ]
 

@@ -1,0 +1,116 @@
+(** Precision audit of the analysis phases (Section 2.3/2.4 extension).
+
+    The synthetic corpus ships generator ground truth, so the paper's
+    manual strace spot check becomes a measurable three-way
+    comparison, run over the same distribution bytes:
+
+    - the linear constant scan (control-flow blind baseline),
+    - the CFG dataflow engine with wrapper summaries (the default),
+    - the dynamic tracer (one concrete path; misses are expected, a
+      static miss is not).
+
+    For each static phase we report false negatives (planted APIs the
+    phase missed), false positives (APIs reported but never planted —
+    dead decoy code read by the linear pass), and the unresolved
+    syscall-site rate the paper pins at ~4% (Section 2.4). The
+    dataflow engine must reach zero false negatives and a strictly
+    lower unresolved rate than the baseline. *)
+
+module Pipeline = Lapis_store.Pipeline
+module Store = Lapis_store.Store
+module Binary = Lapis_analysis.Binary
+module Audit = Lapis_analysis.Audit
+module Footprint = Lapis_analysis.Footprint
+
+type mode_result = {
+  m_label : string;
+  m_stats : Audit.stats;
+  m_wrong_packages : int;  (** packages whose recovered set <> truth *)
+}
+
+type result = {
+  r_linear : mode_result;
+  r_dataflow : mode_result;
+  r_packages : int;
+  r_traced : int;
+  r_tracer_misses : int;  (** dynamic APIs missed statically: must be 0 *)
+}
+
+let mode_result label (a : Pipeline.analyzed) : mode_result =
+  let dist = a.Pipeline.dist in
+  let stats = ref Audit.zero and wrong = ref 0 in
+  Array.iter
+    (fun (p : Store.pkg_row) ->
+      match Hashtbl.find_opt dist.Lapis_distro.Package.truth p.Store.pr_name with
+      | None -> ()
+      | Some truth ->
+        let fn, fp = Audit.compare_sets ~truth ~got:p.Store.pr_apis_elf in
+        if fn + fp > 0 then incr wrong;
+        stats :=
+          Audit.add !stats
+            { Audit.false_negatives = fn; false_positives = fp;
+              unresolved = 0; sites = 0 })
+    a.Pipeline.store.Store.packages;
+  (* unresolved-site accounting comes from the per-binary direct
+     footprints: every syscall instruction and syscall()-helper call
+     site the engine walked *)
+  List.iter
+    (fun (b : Store.bin_row) ->
+      let fp = b.Store.br_direct in
+      stats :=
+        Audit.add !stats
+          { Audit.false_negatives = 0; false_positives = 0;
+            unresolved = fp.Footprint.unresolved_sites;
+            sites = fp.Footprint.syscall_sites })
+    a.Pipeline.store.Store.bins;
+  { m_label = label; m_stats = !stats; m_wrong_packages = !wrong }
+
+let run (env : Env.t) : result =
+  let dataflow = mode_result "cfg dataflow" env.Env.analyzed in
+  (* re-run the very same distribution bytes through the pipeline with
+     the baseline engine *)
+  let linear_analyzed = Pipeline.run ~mode:Binary.Linear (Env.dist env) in
+  let linear = mode_result "linear scan" linear_analyzed in
+  let tr = Tracer.run ~sample:25 env in
+  {
+    r_linear = linear;
+    r_dataflow = dataflow;
+    r_packages = Array.length env.Env.analyzed.Pipeline.store.Store.packages;
+    r_traced = tr.Tracer.traced;
+    r_tracer_misses = tr.Tracer.static_misses;
+  }
+
+let render (r : result) =
+  let module R = Lapis_report.Report in
+  let row (m : mode_result) =
+    let s = m.m_stats in
+    [ m.m_label;
+      string_of_int s.Audit.false_negatives;
+      string_of_int s.Audit.false_positives;
+      Printf.sprintf "%d/%d" s.Audit.unresolved s.Audit.sites;
+      R.pct2 (Audit.unresolved_rate s);
+      Printf.sprintf "%d/%d" m.m_wrong_packages r.r_packages ]
+  in
+  let table =
+    R.table
+      ~header:[ "phase"; "FN"; "FP"; "unresolved"; "rate"; "pkgs wrong" ]
+      [ row r.r_linear; row r.r_dataflow ]
+  in
+  let body =
+    Printf.sprintf
+      "%s\n\n\
+      \  dynamic tracer: %d executables run, %d statically-missed APIs \
+       (must be 0)\n\
+      \n\
+      \  FN = planted APIs the phase missed, FP = reported APIs never\n\
+      \  planted; both against generator ground truth per package.\n\
+      \  The linear scan is control-flow blind: it misses the off-path\n\
+      \  arm of branchy dispatch, reads dead decoy code, and cannot see\n\
+      \  through in-binary syscall wrappers. The CFG engine joins both\n\
+      \  arms, skips unreachable blocks and resolves wrapper summaries\n\
+      \  at their call sites, driving false negatives to zero and the\n\
+      \  unresolved-site rate below the baseline (the residue is real:\n\
+      \  run-time-computed numbers, Section 2.4)."
+      table r.r_traced r.r_tracer_misses
+  in
+  R.section ~title:"Precision audit: linear scan vs CFG dataflow" body

@@ -56,6 +56,9 @@ let decode_at buf pos : Insn.t * int =
       (match u8 c with
        | 0x05 -> finish Insn.Syscall
        | 0x34 -> finish Insn.Sysenter
+       | b when b >= 0x80 && b <= 0x8F ->
+         need c 4;
+         finish (Insn.Jcc_rel (b - 0x80, i32 c))
        | _ -> fallback ())
     | 0xCD ->
       need c 1;
@@ -105,6 +108,7 @@ let decode_at buf pos : Insn.t * int =
         match (m lsr 3) land 7 with
         | 0 -> finish (Insn.Add_ri (r, i32 c))
         | 5 -> finish (Insn.Sub_ri (r, i32 c))
+        | 7 -> finish (Insn.Cmp_ri (r, i32 c))
         | _ -> fallback ()
       end
       else fallback ()

@@ -69,6 +69,12 @@ let encode_into b insn =
     Buffer.add_char b '\x81';
     Buffer.add_char b (Char.chr (modrm 3 5 code));
     buf_add_i32 b v
+  | Cmp_ri (r, v) ->
+    let code = reg_code r in
+    Buffer.add_char b (Char.chr (rex ~w:true ~r:false ~b:(code >= 8)));
+    Buffer.add_char b '\x81';
+    Buffer.add_char b (Char.chr (modrm 3 7 code));
+    buf_add_i32 b v
   | Call_rel disp ->
     Buffer.add_char b '\xE8';
     buf_add_i32 b disp
@@ -83,6 +89,11 @@ let encode_into b insn =
     buf_add_i32 b disp
   | Jmp_rel disp ->
     Buffer.add_char b '\xE9';
+    buf_add_i32 b disp
+  | Jcc_rel (cc, disp) ->
+    (* jcc rel32 : 0F 80+cc cd *)
+    Buffer.add_char b '\x0F';
+    Buffer.add_char b (Char.chr (0x80 + (cc land 0xF)));
     buf_add_i32 b disp
   | Jmp_mem_rip disp ->
     Buffer.add_char b '\xFF';

@@ -37,10 +37,13 @@ type t =
   | Lea_rip of reg * int32  (** lea r, [rip+disp32] *)
   | Add_ri of reg * int32
   | Sub_ri of reg * int32
+  | Cmp_ri of reg * int32  (** cmp r, imm — sets flags only *)
   | Call_rel of int32  (** call rel32 *)
   | Call_reg of reg  (** call r *)
   | Call_mem_rip of int32  (** call [rip+disp32] *)
   | Jmp_rel of int32  (** jmp rel32 *)
+  | Jcc_rel of int * int32
+      (** jcc rel32 (0F 80+cc): condition code 0..15, Intel order *)
   | Jmp_mem_rip of int32  (** jmp [rip+disp32] — PLT stub form *)
   | Syscall
   | Int80  (** int $0x80 *)
@@ -51,6 +54,20 @@ type t =
   | Nop
   | Unknown of int  (** unrecognized byte, consumed one at a time *)
 
+(* Intel condition-code mnemonic suffixes, indexed by the 4-bit cc
+   field of the 0F 8x opcodes. *)
+let cc_name = function
+  | 0 -> "o" | 1 -> "no" | 2 -> "b" | 3 -> "ae"
+  | 4 -> "e" | 5 -> "ne" | 6 -> "be" | 7 -> "a"
+  | 8 -> "s" | 9 -> "ns" | 10 -> "p" | 11 -> "np"
+  | 12 -> "l" | 13 -> "ge" | 14 -> "le" | 15 -> "g"
+  | n -> invalid_arg (Printf.sprintf "Insn.cc_name: %d" n)
+
+(* The two condition codes the assembler emits; exported so builders
+   do not hard-code magic numbers. *)
+let cc_e = 4
+let cc_ne = 5
+
 let pp ppf = function
   | Mov_ri (r, v) -> Fmt.pf ppf "mov %s, %Ld" (reg_name r) v
   | Mov_rr (d, s) -> Fmt.pf ppf "mov %s, %s" (reg_name d) (reg_name s)
@@ -58,10 +75,12 @@ let pp ppf = function
   | Lea_rip (r, d) -> Fmt.pf ppf "lea %s, [rip%+ld]" (reg_name r) d
   | Add_ri (r, v) -> Fmt.pf ppf "add %s, %ld" (reg_name r) v
   | Sub_ri (r, v) -> Fmt.pf ppf "sub %s, %ld" (reg_name r) v
+  | Cmp_ri (r, v) -> Fmt.pf ppf "cmp %s, %ld" (reg_name r) v
   | Call_rel d -> Fmt.pf ppf "call %+ld" d
   | Call_reg r -> Fmt.pf ppf "call %s" (reg_name r)
   | Call_mem_rip d -> Fmt.pf ppf "call [rip%+ld]" d
   | Jmp_rel d -> Fmt.pf ppf "jmp %+ld" d
+  | Jcc_rel (cc, d) -> Fmt.pf ppf "j%s %+ld" (cc_name cc) d
   | Jmp_mem_rip d -> Fmt.pf ppf "jmp [rip%+ld]" d
   | Syscall -> Fmt.pf ppf "syscall"
   | Int80 -> Fmt.pf ppf "int $0x80"

@@ -152,7 +152,7 @@ let test_register_clobbering () =
   in
   let open Core.X86.Insn in
   let insns =
-    [ (0, Mov_ri (RAX, 2L)); (5, Call_rel 100l); (10, Syscall) ]
+    [ (0, Mov_ri (RAX, 2L), 5); (5, Call_rel 100l, 5); (10, Syscall, 2) ]
   in
   let result = Analysis.Scan.scan ctx insns in
   Alcotest.(check (list int)) "clobbered rax not used" []
@@ -165,7 +165,7 @@ let test_xor_zero_idiom () =
     { Analysis.Scan.resolve_code = (fun _ -> None); string_at = (fun _ -> None) }
   in
   let open Core.X86.Insn in
-  let insns = [ (0, Xor_rr (RAX, RAX)); (3, Syscall) ] in
+  let insns = [ (0, Xor_rr (RAX, RAX), 3); (3, Syscall, 2) ] in
   let result = Analysis.Scan.scan ctx insns in
   Alcotest.(check (list int)) "xor rax,rax reads as syscall 0 (read)" [ 0 ]
     (syscalls_of result.Analysis.Scan.direct)

@@ -1,0 +1,254 @@
+(* Tests for the CFG dataflow engine: the bounded constant-set
+   lattice, fixpoint termination on loops, branch joins, wrapper
+   summaries resolved at call sites, dead-block exclusion, and the
+   engine-vs-engine precision properties (dataflow never recovers
+   less than the linear scan on decoy-free programs). *)
+
+module Api = Core.Apidb.Api
+module Asm = Core.Asm
+module P = Asm.Program
+module Analysis = Core.Analysis
+module Footprint = Analysis.Footprint
+module Dataflow = Analysis.Dataflow
+module Audit = Analysis.Audit
+open Core.X86
+
+let null_ctx =
+  { Analysis.Scan.resolve_code = (fun _ -> None); string_at = (fun _ -> None) }
+
+(* Assign addresses to an instruction list the way the decoder would. *)
+let listing insns =
+  let addr = ref 0 in
+  List.map
+    (fun i ->
+      let a = !addr in
+      let len = Encode.length i in
+      addr := a + len;
+      (a, i, len))
+    insns
+
+let exe ?(needed = []) funcs = P.executable ~entry_fn:"_start" ~needed funcs
+
+let both_modes prog = Audit.both_modes (Asm.Builder.assemble prog)
+
+let syscalls_of = Footprint.syscalls
+
+(* --- lattice ----------------------------------------------------------- *)
+
+let test_join_values () =
+  let open Dataflow in
+  Alcotest.(check bool) "consts merge" true
+    (join_value (Consts [ 1L ]) (Consts [ 2L ]) = Consts [ 1L; 2L ]);
+  Alcotest.(check bool) "join is idempotent" true
+    (join_value (Consts [ 5L ]) (Consts [ 5L ]) = Consts [ 5L ]);
+  let big = Consts (List.init max_consts (fun i -> Int64.of_int i)) in
+  Alcotest.(check bool) "cap widens to Top" true
+    (join_value big (Consts [ 99L ]) = Top);
+  Alcotest.(check bool) "mismatched params widen" true
+    (join_value (Param Insn.RDI) (Param Insn.RSI) = Top)
+
+(* --- branch join ------------------------------------------------------- *)
+
+let test_branch_join () =
+  (* cmp rdi, 0; je a; rax <- 39 or rax <- 60; syscall: both arms must
+     survive the join *)
+  let linear, dataflow =
+    both_modes (exe [ P.func "_start" [ P.Cond_branch_syscall (39, 60) ] ])
+  in
+  Alcotest.(check (list int)) "dataflow joins both arms" [ 39; 60 ]
+    (syscalls_of dataflow);
+  Alcotest.(check (list int)) "linear sees the fallthrough arm only" [ 60 ]
+    (syscalls_of linear)
+
+(* --- loops ------------------------------------------------------------- *)
+
+let test_loop_invariant_resolves () =
+  (* the loop never touches rax, so the fixpoint must keep the
+     constant across the back edge:
+       mov rax, 39; L: sub rdi, 1; cmp rdi, 0; jne L; syscall; ret *)
+  let insns =
+    [ Insn.Mov_ri (Insn.RAX, 39L);       (* 0, len 5 *)
+      Insn.Sub_ri (Insn.RDI, 1l);        (* 5, len 7 *)
+      Insn.Cmp_ri (Insn.RDI, 0l);        (* 12, len 7 *)
+      Insn.Jcc_rel (Insn.cc_ne, -20l);   (* 19, len 6: back to 5 *)
+      Insn.Syscall;                      (* 25 *)
+      Insn.Ret ]
+  in
+  let r = Dataflow.analyze null_ctx (listing insns) in
+  Alcotest.(check (list int)) "loop-invariant rax resolves" [ 39 ]
+    (syscalls_of r.Dataflow.direct);
+  Alcotest.(check int) "nothing unresolved" 0
+    r.Dataflow.direct.Footprint.unresolved_sites
+
+let test_loop_widening_terminates () =
+  (* rax is incremented each iteration: the constant set grows past
+     the cap and must widen to Top instead of diverging *)
+  let insns =
+    [ Insn.Mov_ri (Insn.RAX, 0L);        (* 0, len 5 *)
+      Insn.Add_ri (Insn.RAX, 1l);        (* 5, len 7 *)
+      Insn.Cmp_ri (Insn.RDI, 0l);        (* 12, len 7 *)
+      Insn.Jcc_rel (Insn.cc_ne, -20l);   (* 19, len 6: back to 5 *)
+      Insn.Syscall;
+      Insn.Ret ]
+  in
+  let r = Dataflow.analyze null_ctx (listing insns) in
+  Alcotest.(check (list int)) "widened rax recovers nothing" []
+    (syscalls_of r.Dataflow.direct);
+  Alcotest.(check int) "widened site counts unresolved" 1
+    r.Dataflow.direct.Footprint.unresolved_sites
+
+(* --- wrapper summaries ------------------------------------------------- *)
+
+let test_wrapper_summary () =
+  (* mov rdi, 318; call sc_dispatch — the wrapper body is
+     mov rax, rdi; syscall, resolvable only through its summary *)
+  let prog =
+    exe
+      [ P.func "_start" [ P.Call_wrapper ("sc_dispatch", 318) ];
+        P.func ~global:false "sc_dispatch" [ P.Arg_syscall ] ]
+  in
+  let linear, dataflow = both_modes prog in
+  Alcotest.(check (list int)) "summary resolves getrandom" [ 318 ]
+    (syscalls_of dataflow);
+  Alcotest.(check int) "no unresolved sites left" 0
+    dataflow.Footprint.unresolved_sites;
+  Alcotest.(check (list int)) "linear cannot see through the wrapper" []
+    (syscalls_of linear);
+  Alcotest.(check int) "linear leaves the wrapper site unresolved" 1
+    linear.Footprint.unresolved_sites
+
+let test_wrapper_two_callers () =
+  let prog =
+    exe
+      [ P.func "_start"
+          [ P.Call_wrapper ("sc_dispatch", 39);
+            P.Call_wrapper ("sc_dispatch", 60) ];
+        P.func ~global:false "sc_dispatch" [ P.Arg_syscall ] ]
+  in
+  let _, dataflow = both_modes prog in
+  Alcotest.(check (list int)) "each call site contributes its number"
+    [ 39; 60 ] (syscalls_of dataflow)
+
+(* --- the acceptance demonstration: clobber skipped by a branch --------- *)
+
+let test_skip_clobber () =
+  (* mov rax, 57; cmp rdi, 0; je over; call cold_path; over: syscall.
+     The linear scan kills rax at the call and reports an unresolved
+     site; the CFG engine follows the branch that skips the call. *)
+  let prog =
+    exe
+      [ P.func "_start" [ P.Skip_clobber_syscall (57, "cold_path") ];
+        P.func ~global:false "cold_path" [ P.Padding 6 ] ]
+  in
+  let linear, dataflow = both_modes prog in
+  Alcotest.(check (list int)) "linear misses fork" [] (syscalls_of linear);
+  Alcotest.(check int) "linear: unresolved site" 1
+    linear.Footprint.unresolved_sites;
+  Alcotest.(check (list int)) "dataflow resolves fork" [ 57 ]
+    (syscalls_of dataflow);
+  Alcotest.(check int) "dataflow: site resolved" 0
+    dataflow.Footprint.unresolved_sites;
+  Alcotest.(check bool) "strictly lower unresolved rate" true
+    (dataflow.Footprint.unresolved_sites < linear.Footprint.unresolved_sites)
+
+(* --- dead blocks ------------------------------------------------------- *)
+
+let test_jump_over_decoy () =
+  (* mov rax, 201; jmp over; mov rax, 212 (dead); over: syscall — the
+     linear scan reads the dead store (a false positive) and loses the
+     live one (a false negative); the CFG engine does neither *)
+  let linear, dataflow =
+    both_modes (exe [ P.func "_start" [ P.Jump_over_decoy_syscall (201, 212) ] ])
+  in
+  Alcotest.(check (list int)) "dataflow keeps the live value" [ 201 ]
+    (syscalls_of dataflow);
+  Alcotest.(check (list int)) "linear reads the dead store" [ 212 ]
+    (syscalls_of linear)
+
+(* --- vectored opcode through the libc syscall() helper ----------------- *)
+
+let test_vop_via_syscall_helper () =
+  (* syscall(__NR_ioctl, fd, TCSETS): number in rdi, opcode in rdx *)
+  let prog =
+    exe ~needed:[ "libc.so.6" ]
+      [ P.func "_start" [ P.Call_syscall_import_vop (Api.Ioctl, 0x5402) ] ]
+  in
+  let linear, dataflow = both_modes prog in
+  List.iter
+    (fun (label, fp) ->
+      Alcotest.(check (list int)) (label ^ ": ioctl number from rdi") [ 16 ]
+        (syscalls_of fp);
+      Alcotest.(check bool) (label ^ ": TCSETS opcode from rdx") true
+        (List.mem (Api.Ioctl, 0x5402) (Footprint.vops fp)))
+    [ ("linear", linear); ("dataflow", dataflow) ]
+
+(* --- properties -------------------------------------------------------- *)
+
+(* Random programs over every generator pattern except the dead-code
+   decoy (whose whole point is a linear-scan false positive that the
+   CFG engine rightly refuses to report). *)
+let gen_ops =
+  let open QCheck2.Gen in
+  let nr = oneofl [ 0; 1; 2; 39; 57; 60; 201; 231; 318 ] in
+  let vop =
+    oneofl [ (Api.Ioctl, 0x5401); (Api.Fcntl, 2); (Api.Prctl, 15) ]
+  in
+  let op =
+    oneof
+      [ map (fun n -> P.Direct_syscall n) nr;
+        return P.Direct_syscall_unknown;
+        map2 (fun a b -> P.Cond_branch_syscall (a, b)) nr nr;
+        map (fun n -> P.Skip_clobber_syscall (n, "cold_path")) nr;
+        map (fun n -> P.Call_wrapper ("sc_dispatch", n)) nr;
+        map (fun (v, c) -> P.Vectored_syscall (v, c)) vop;
+        map (fun n -> P.Call_syscall_import n) nr;
+        map (fun (v, c) -> P.Call_syscall_import_vop (v, c)) vop;
+        return (P.Use_string "/proc/self/maps");
+        map (fun n -> P.Padding (1 + n)) (int_bound 8) ]
+  in
+  list_size (int_range 1 12) op
+
+let program_of_ops ops =
+  exe ~needed:[ "libc.so.6" ]
+    [ P.func "_start" ops;
+      P.func ~global:false "cold_path" [ P.Padding 6 ];
+      P.func ~global:false "sc_dispatch" [ P.Arg_syscall ] ]
+
+let prop_dataflow_superset =
+  QCheck2.Test.make ~name:"dataflow recovers a superset of linear" ~count:150
+    gen_ops (fun ops ->
+      let linear, dataflow = both_modes (program_of_ops ops) in
+      Footprint.subset linear dataflow)
+
+let prop_dataflow_no_more_unresolved =
+  QCheck2.Test.make
+    ~name:"dataflow leaves no more unresolved sites than linear" ~count:150
+    gen_ops (fun ops ->
+      let linear, dataflow = both_modes (program_of_ops ops) in
+      dataflow.Footprint.unresolved_sites <= linear.Footprint.unresolved_sites
+      && dataflow.Footprint.syscall_sites = linear.Footprint.syscall_sites)
+
+let () =
+  Alcotest.run "dataflow"
+    [ ( "lattice",
+        [ Alcotest.test_case "value joins" `Quick test_join_values ] );
+      ( "cfg",
+        [ Alcotest.test_case "branch join" `Quick test_branch_join;
+          Alcotest.test_case "loop invariant" `Quick
+            test_loop_invariant_resolves;
+          Alcotest.test_case "loop widening terminates" `Quick
+            test_loop_widening_terminates;
+          Alcotest.test_case "dead decoy block" `Quick test_jump_over_decoy ] );
+      ( "summaries",
+        [ Alcotest.test_case "wrapper resolved at call site" `Quick
+            test_wrapper_summary;
+          Alcotest.test_case "two callers, two numbers" `Quick
+            test_wrapper_two_callers;
+          Alcotest.test_case "vop via syscall() helper" `Quick
+            test_vop_via_syscall_helper ] );
+      ( "precision",
+        [ Alcotest.test_case "branch-skipped clobber (linear fails)" `Quick
+            test_skip_clobber ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_dataflow_superset;
+          QCheck_alcotest.to_alcotest prop_dataflow_no_more_unresolved ] ) ]

@@ -24,6 +24,12 @@ let sample_insns =
     Insn.Lea_rip (Insn.R8, -42l);
     Insn.Add_ri (Insn.RSP, 16l);
     Insn.Sub_ri (Insn.R13, 8l);
+    Insn.Cmp_ri (Insn.RDI, 0l);
+    Insn.Cmp_ri (Insn.R12, -7l);
+    Insn.Jcc_rel (Insn.cc_e, 10l);
+    Insn.Jcc_rel (Insn.cc_ne, -24l);
+    Insn.Jcc_rel (0, 0l);
+    Insn.Jcc_rel (15, 0x400l);
     Insn.Call_rel 0x100l;
     Insn.Call_rel (-5l);
     Insn.Call_reg Insn.RAX;
@@ -50,7 +56,11 @@ let test_roundtrip_samples () =
       let bytes = Encode.encode insn in
       let decoded, len = Decode.decode_at bytes 0 in
       Alcotest.check insn_testable (Insn.to_string insn) insn decoded;
-      Alcotest.(check int) "length consumed" (String.length bytes) len)
+      Alcotest.(check int) "length consumed" (String.length bytes) len;
+      (* the scanner threads these lengths into rip-relative targets,
+         so the sizing view must agree with the emitted bytes *)
+      Alcotest.(check int) "Encode.length agrees" (String.length bytes)
+        (Encode.length insn))
     sample_insns
 
 let test_known_encodings () =
@@ -63,7 +73,13 @@ let test_known_encodings () =
     (hex (Insn.Mov_ri (Insn.RAX, 60L)));
   Alcotest.(check string)
     "push rbp = 55" "\x55"
-    (hex (Insn.Push_r Insn.RBP))
+    (hex (Insn.Push_r Insn.RBP));
+  Alcotest.(check string)
+    "cmp rdi, 0 = 48 81 ff imm32" "\x48\x81\xff\x00\x00\x00\x00"
+    (hex (Insn.Cmp_ri (Insn.RDI, 0l)));
+  Alcotest.(check string)
+    "je +10 = 0f 84 0a 00 00 00" "\x0f\x84\x0a\x00\x00\x00"
+    (hex (Insn.Jcc_rel (Insn.cc_e, 10l)))
 
 let test_decode_stream () =
   let insns =
@@ -109,6 +125,8 @@ let gen_insn =
       map2 (fun r d -> Insn.Lea_rip (r, d)) reg imm32;
       map2 (fun r d -> Insn.Add_ri (r, d)) reg imm32;
       map2 (fun r d -> Insn.Sub_ri (r, d)) reg imm32;
+      map2 (fun r v -> Insn.Cmp_ri (r, v)) reg imm32;
+      map2 (fun cc d -> Insn.Jcc_rel (cc, d)) (int_range 0 15) imm32;
       map (fun d -> Insn.Call_rel d) imm32;
       map (fun r -> Insn.Call_reg r) reg;
       map (fun d -> Insn.Call_mem_rip d) imm32;
