@@ -10,29 +10,76 @@
      dune exec bench/main.exe                  # everything
      dune exec bench/main.exe -- fig3 table6   # selected experiments
      dune exec bench/main.exe -- --no-micro    # skip Bechamel runs
-     dune exec bench/main.exe -- --packages 2000 *)
+     dune exec bench/main.exe -- --packages 2000
+     dune exec bench/main.exe -- --json        # write BENCH_<n>.json
+     dune exec bench/main.exe -- --check-against bench/baseline_200.json *)
 
 module Study = Core.Study
 module P = Core.Distro.Package
 
 let default_packages = 1400
 
+type args = {
+  ids : string list;
+  micro : bool;
+  packages : int;
+  json : bool;
+  check_against : string option;
+}
+
+let usage () =
+  prerr_endline
+    "usage: bench/main.exe [EXPERIMENT...] [--no-micro] [--packages N] \
+     [--json] [--check-against FILE]";
+  exit 2
+
 let parse_args () =
-  let ids = ref [] and micro = ref true and packages = ref default_packages in
+  let ids = ref []
+  and micro = ref true
+  and packages = ref default_packages
+  and json = ref false
+  and check_against = ref None in
   let rec go = function
     | [] -> ()
     | "--no-micro" :: rest ->
       micro := false;
       go rest
     | "--packages" :: n :: rest ->
-      packages := int_of_string n;
+      (match int_of_string_opt n with
+       | Some v when v > 0 -> packages := v
+       | Some _ | None ->
+         Printf.eprintf
+           "bench: --packages expects a positive integer, got %S\n" n;
+         usage ());
       go rest
+    | [ "--packages" ] ->
+      prerr_endline "bench: --packages expects an argument";
+      usage ()
+    | "--json" :: rest ->
+      json := true;
+      go rest
+    | "--check-against" :: file :: rest ->
+      check_against := Some file;
+      go rest
+    | [ "--check-against" ] ->
+      prerr_endline "bench: --check-against expects a file argument";
+      usage ()
     | id :: rest ->
+      if String.length id > 1 && id.[0] = '-' then begin
+        Printf.eprintf "bench: unknown option %s\n" id;
+        usage ()
+      end;
       ids := id :: !ids;
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (List.rev !ids, !micro, !packages)
+  {
+    ids = List.rev !ids;
+    micro = !micro;
+    packages = !packages;
+    json = !json;
+    check_against = !check_against;
+  }
 
 let count_loc () =
   (* Table 12 analogue: measure our own implementation size *)
@@ -76,6 +123,8 @@ let print_table12 env =
     (R.section ~title:"Table 12: implementation and corpus size"
        (R.table ~header:[ "metric"; "paper"; "this reproduction" ] rows))
 
+(* Runs the Bechamel micro-benchmarks, printing as it goes, and
+   returns [(name, ns_per_run)] estimates for the BENCH JSON. *)
 let run_micro env =
   let open Bechamel in
   let dist = Study.Env.dist env in
@@ -85,28 +134,37 @@ let run_micro env =
       (fun (f : P.file) -> f.P.kind = P.Executable)
       (P.all_files dist)
   in
-  let libc_bytes = List.assoc "libc.so.6" dist.P.runtime in
   let ranking = env.Study.Env.ranking in
+  let libc_tests =
+    match List.assoc_opt "libc.so.6" dist.P.runtime with
+    | Some libc_bytes ->
+      [ Test.make ~name:"elf-parse-libc" (Staged.stage (fun () ->
+            Core.Elf.Reader.parse libc_bytes)) ]
+    | None ->
+      prerr_endline
+        "bench: warning: generated runtime has no libc.so.6; skipping the \
+         elf-parse-libc micro-benchmark";
+      []
+  in
   let tests =
     [ Test.make ~name:"elf-parse-exe" (Staged.stage (fun () ->
-          Core.Elf.Reader.parse some_exe.P.bytes));
-      Test.make ~name:"elf-parse-libc" (Staged.stage (fun () ->
-          Core.Elf.Reader.parse libc_bytes));
-      Test.make ~name:"disasm+scan-exe" (Staged.stage (fun () ->
-          match Core.Elf.Reader.parse some_exe.P.bytes with
-          | Ok img -> ignore (Core.Analysis.Binary.analyze img)
-          | Error _ -> ()));
-      Test.make ~name:"importance-all-syscalls" (Staged.stage (fun () ->
-          ignore (Core.Metrics.Importance.syscall_importances store)));
-      Test.make ~name:"rank-syscalls" (Staged.stage (fun () ->
-          ignore (Core.Metrics.Importance.rank_syscalls store)));
-      Test.make ~name:"completeness-curve" (Staged.stage (fun () ->
-          ignore (Core.Metrics.Completeness.curve store ~ranking)));
-      Test.make ~name:"weighted-completeness-top145" (Staged.stage (fun () ->
-          let top = List.filteri (fun i _ -> i < 145) ranking in
-          ignore (Core.Metrics.Completeness.of_syscall_set store top)));
-      Test.make ~name:"uniqueness-stats" (Staged.stage (fun () ->
-          ignore (Core.Metrics.Uniqueness.of_store store))) ]
+          Core.Elf.Reader.parse some_exe.P.bytes)) ]
+    @ libc_tests
+    @ [ Test.make ~name:"disasm+scan-exe" (Staged.stage (fun () ->
+            match Core.Elf.Reader.parse some_exe.P.bytes with
+            | Ok img -> ignore (Core.Analysis.Binary.analyze img)
+            | Error _ -> ()));
+        Test.make ~name:"importance-all-syscalls" (Staged.stage (fun () ->
+            ignore (Core.Metrics.Importance.syscall_importances store)));
+        Test.make ~name:"rank-syscalls" (Staged.stage (fun () ->
+            ignore (Core.Metrics.Importance.rank_syscalls store)));
+        Test.make ~name:"completeness-curve" (Staged.stage (fun () ->
+            ignore (Core.Metrics.Completeness.curve store ~ranking)));
+        Test.make ~name:"weighted-completeness-top145" (Staged.stage (fun () ->
+            let top = List.filteri (fun i _ -> i < 145) ranking in
+            ignore (Core.Metrics.Completeness.of_syscall_set store top)));
+        Test.make ~name:"uniqueness-stats" (Staged.stage (fun () ->
+            ignore (Core.Metrics.Uniqueness.of_store store))) ]
   in
   let benchmark test =
     let quota = Time.second 0.5 in
@@ -123,38 +181,175 @@ let run_micro env =
   print_string "\n=============================\n";
   print_string "| Bechamel micro-benchmarks |\n";
   print_string "=============================\n";
-  List.iter
+  List.concat_map
     (fun test ->
       let results = analyze (benchmark test) in
-      Hashtbl.iter
-        (fun name ols ->
+      Hashtbl.fold
+        (fun name ols acc ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "  %-32s %12.0f ns/run\n" name est
-          | _ -> Printf.printf "  %-32s (no estimate)\n" name)
-        results)
+          | Some [ est ] ->
+            Printf.printf "  %-32s %12.0f ns/run\n" name est;
+            (name, est) :: acc
+          | _ ->
+            Printf.printf "  %-32s (no estimate)\n" name;
+            acc)
+        results [])
     tests
 
+(* --- BENCH JSON ---------------------------------------------------
+
+   Emitted with plain printf (no JSON library in the tree) in a fixed,
+   line-oriented shape that [read_baseline] below can scan back:
+
+     {
+       "packages": 200,
+       "binaries": 512,
+       "wall_s": 1.234,
+       "stage_total_s": 2.345,
+       "stages": [ { "name": "...", "seconds": ..., "entries": ... } ],
+       "counters": [ { "name": "...", "value": ... } ],
+       "micro_ns": [ { "name": "...", "ns_per_run": ... } ]
+     } *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let stage_total lines =
+  List.fold_left
+    (fun a (l : Core.Perf.Stage.line) -> a +. l.Core.Perf.Stage.l_seconds)
+    0.0 lines
+
+let write_json ~packages ~binaries ~wall ~micro_results path =
+  let module S = Core.Perf.Stage in
+  let lines = S.report () in
+  let oc = open_out path in
+  let pf fmt = Printf.fprintf oc fmt in
+  let pp_items pp = function
+    | [] -> pf " ]"
+    | items ->
+      List.iteri
+        (fun i x -> pf "%s\n    %t" (if i = 0 then "" else ",") (pp x))
+        items;
+      pf "\n  ]"
+  in
+  pf "{\n";
+  pf "  \"packages\": %d,\n" packages;
+  pf "  \"binaries\": %d,\n" binaries;
+  pf "  \"wall_s\": %.6f,\n" wall;
+  pf "  \"stage_total_s\": %.6f,\n" (stage_total lines);
+  pf "  \"stages\": [";
+  pp_items
+    (fun (l : S.line) oc ->
+      Printf.fprintf oc
+        "{ \"name\": \"%s\", \"seconds\": %.6f, \"entries\": %d }"
+        (json_escape l.S.l_name) l.S.l_seconds l.S.l_entries)
+    lines;
+  pf ",\n  \"counters\": [";
+  pp_items
+    (fun (name, v) oc ->
+      Printf.fprintf oc "{ \"name\": \"%s\", \"value\": %d }"
+        (json_escape name) v)
+    (S.report_counters ());
+  pf ",\n  \"micro_ns\": [";
+  pp_items
+    (fun (name, ns) oc ->
+      Printf.fprintf oc "{ \"name\": \"%s\", \"ns_per_run\": %.1f }"
+        (json_escape name) ns)
+    micro_results;
+  pf "\n}\n";
+  close_out oc;
+  Printf.printf "Wrote %s\n%!" path
+
+(* Scan a BENCH JSON written by [write_json] for a top-level numeric
+   field. Good enough for the fixed shape above; not a JSON parser. *)
+let baseline_field path key =
+  let needle = Printf.sprintf "\"%s\":" key in
+  let ic = open_in path in
+  let found = ref None in
+  (try
+     while !found = None do
+       let line = input_line ic in
+       match String.index_opt line ':' with
+       | Some _ ->
+         let trimmed = String.trim line in
+         if String.length trimmed > String.length needle
+            && String.sub trimmed 0 (String.length needle) = needle
+         then begin
+           let v =
+             String.sub trimmed (String.length needle)
+               (String.length trimmed - String.length needle)
+             |> String.trim
+           in
+           let v =
+             match String.index_opt v ',' with
+             | Some i -> String.sub v 0 i
+             | None -> v
+           in
+           found := float_of_string_opt v
+         end
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !found
+
+(* CI regression gate: fail when the pipeline stage total regresses
+   more than 50% against the checked-in baseline. The wide margin
+   absorbs machine-to-machine and run-to-run noise; a real complexity
+   regression (the kind this gate exists for) blows well past it. *)
+let check_against ~stage_total_now path =
+  match baseline_field path "stage_total_s" with
+  | None ->
+    Printf.eprintf "bench: no \"stage_total_s\" field found in %s\n" path;
+    exit 1
+  | Some baseline ->
+    let limit = baseline *. 1.5 in
+    Printf.printf
+      "Regression check: stage total %.3fs vs baseline %.3fs (limit %.3fs)\n"
+      stage_total_now baseline limit;
+    if stage_total_now > limit then begin
+      Printf.eprintf
+        "bench: FAIL: pipeline stage total regressed more than 50%% \
+         (%.3fs > %.3fs)\n"
+        stage_total_now limit;
+      exit 1
+    end
+    else print_endline "Regression check: OK"
+
 let () =
-  let ids, micro, packages = parse_args () in
+  let args = parse_args () in
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "Building the synthetic distribution (%d packages) and running the \
      full analysis pipeline...\n%!"
-    packages;
+    args.packages;
   let env =
     Study.Env.create
       ~config:
-        { Core.Distro.Generator.default_config with n_packages = packages }
+        { Core.Distro.Generator.default_config with
+          n_packages = args.packages }
       ()
   in
-  Printf.printf "Pipeline complete in %.1fs.\n%!" (Unix.gettimeofday () -. t0);
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "Pipeline complete in %.1fs.\n%!" wall;
+  Fmt.pr "Per-stage breakdown:@\n%a%!" Core.Perf.Stage.pp_report ();
   let mismatches = Core.Db.Pipeline.spot_check env.Study.Env.analyzed in
   Printf.printf
     "Spot check (Section 2.3): %d package footprint mismatches between \
      static analysis and ground truth.\n"
     (List.length mismatches);
   let selected =
-    match ids with
+    match args.ids with
     | [] -> Study.Experiments.all
     | ids -> List.filter_map Study.Experiments.find ids
   in
@@ -163,5 +358,13 @@ let () =
       print_string (x.Study.Experiments.render env);
       print_newline ())
     selected;
-  if ids = [] then print_table12 env;
-  if micro then run_micro env
+  if args.ids = [] then print_table12 env;
+  let micro_results = if args.micro then run_micro env else [] in
+  if args.json then
+    write_json ~packages:args.packages
+      ~binaries:(List.length env.Study.Env.store.Core.Db.Store.bins)
+      ~wall ~micro_results
+      (Printf.sprintf "BENCH_%d.json" args.packages);
+  Option.iter
+    (check_against ~stage_total_now:(stage_total (Core.Perf.Stage.report ())))
+    args.check_against

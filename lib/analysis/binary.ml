@@ -87,31 +87,36 @@ let analyze ?(mode = Dataflow) (img : Image.t) : t =
      listing; the decoder's lengths are what make rip-relative
      displacements exact. *)
   let listings =
-    List.filter_map
-      (fun s ->
-        match Image.text_offset img s.Image.sym_addr with
-        | None -> None
-        | Some off ->
-          let stop = min (off + s.Image.sym_size) (String.length img.text) in
-          let insns = ref [] in
-          let pos = ref off in
-          while !pos < stop do
-            let insn, len = Lapis_x86.Decode.decode_at img.text !pos in
-            insns := (img.text_addr + !pos, insn, len) :: !insns;
-            pos := !pos + len
-          done;
-          Some (s.Image.sym_name, List.rev !insns))
-      img.symbols
+    Lapis_perf.Stage.time "disassemble" (fun () ->
+        List.filter_map
+          (fun s ->
+            match Image.text_offset img s.Image.sym_addr with
+            | None -> None
+            | Some off ->
+              let stop =
+                min (off + s.Image.sym_size) (String.length img.text)
+              in
+              let insns = ref [] in
+              let pos = ref off in
+              while !pos < stop do
+                let insn, len = Lapis_x86.Decode.decode_at img.text !pos in
+                insns := (img.text_addr + !pos, insn, len) :: !insns;
+                pos := !pos + len
+              done;
+              Some (s.Image.sym_name, List.rev !insns))
+          img.symbols)
   in
   let fns = Hashtbl.create 64 in
   (match mode with
    | Linear ->
-     List.iter
-       (fun (name, insns) ->
-         Hashtbl.replace fns name
-           { fi_name = name; fi_scan = Scan.scan ctx insns })
-       listings
+     Lapis_perf.Stage.time "linear-scan" (fun () ->
+         List.iter
+           (fun (name, insns) ->
+             Hashtbl.replace fns name
+               { fi_name = name; fi_scan = Scan.scan ctx insns })
+           listings)
    | Dataflow ->
+     Lapis_perf.Stage.time "dataflow" @@ fun () ->
      let df = Hashtbl.create 64 in
      List.iter
        (fun (name, insns) ->

@@ -22,9 +22,6 @@ type t = {
   entry : int;  (** index of the entry block; -1 for an empty function *)
 }
 
-module Int_set = Set.Make (Int)
-module Int_map = Map.Make (Int)
-
 (* The target of a control transfer ending at [addr + len]. *)
 let jump_target addr len disp = addr + len + Int32.to_int disp
 
@@ -32,14 +29,14 @@ let build (insns : (int * Insn.t * int) list) : t =
   match insns with
   | [] -> { blocks = [||]; succs = [||]; preds = [||]; entry = -1 }
   | (first_addr, _, _) :: _ ->
-    let addrs =
-      List.fold_left (fun s (a, _, _) -> Int_set.add a s) Int_set.empty insns
-    in
-    let in_function a = Int_set.mem a addrs in
+    let addrs = Hashtbl.create 256 in
+    List.iter (fun (a, _, _) -> Hashtbl.replace addrs a ()) insns;
+    let in_function a = Hashtbl.mem addrs a in
     (* Leaders: the entry, every in-function jump target, and every
        instruction following a control transfer. *)
-    let leaders = ref (Int_set.singleton first_addr) in
-    let add_leader a = if in_function a then leaders := Int_set.add a !leaders in
+    let leaders = Hashtbl.create 64 in
+    Hashtbl.replace leaders first_addr ();
+    let add_leader a = if in_function a then Hashtbl.replace leaders a () in
     List.iter
       (fun (addr, insn, len) ->
         match insn with
@@ -65,7 +62,7 @@ let build (insns : (int * Insn.t * int) list) : t =
     in
     List.iter
       (fun ((addr, _, _) as triple) ->
-        if Int_set.mem addr !leaders && !cur <> [] then flush ();
+        if Hashtbl.mem leaders addr && !cur <> [] then flush ();
         cur := triple :: !cur)
       insns;
     flush ();
@@ -75,14 +72,11 @@ let build (insns : (int * Insn.t * int) list) : t =
       |> Array.of_list
     in
     let n = Array.length blocks in
-    let index_of_addr =
-      Array.fold_left
-        (fun m b -> Int_map.add b.b_addr b.b_index m)
-        Int_map.empty blocks
-    in
+    let index_of_addr = Hashtbl.create n in
+    Array.iter (fun b -> Hashtbl.replace index_of_addr b.b_addr b.b_index) blocks;
     let succs = Array.make n [] and preds = Array.make n [] in
     let edge src dst_addr =
-      match Int_map.find_opt dst_addr index_of_addr with
+      match Hashtbl.find_opt index_of_addr dst_addr with
       | Some dst ->
         if not (List.mem dst succs.(src)) then begin
           succs.(src) <- dst :: succs.(src);
@@ -122,6 +116,26 @@ let reachable t =
     in
     visit t.entry;
     List.rev !order
+  end
+
+(* Reachable blocks in reverse postorder: every block before its
+   successors except across back edges. A fixpoint that sweeps in this
+   order sees each block's predecessors first, so acyclic regions
+   converge in one pass and loops in one pass per nesting depth. *)
+let rpo t =
+  if t.entry < 0 then []
+  else begin
+    let seen = Array.make (Array.length t.blocks) false in
+    let order = ref [] in
+    let rec visit i =
+      if not seen.(i) then begin
+        seen.(i) <- true;
+        List.iter visit t.succs.(i);
+        order := i :: !order
+      end
+    in
+    visit t.entry;
+    !order
   end
 
 let n_blocks t = Array.length t.blocks

@@ -70,7 +70,21 @@ let join_state a b =
       | _ -> None)
     a b
 
-let equal_state a b = Regs.equal ( = ) a b
+(* Structural equality on values, cheaper than polymorphic compare
+   over the whole map: the common cases are single-constant sets and
+   identical shared subtrees. *)
+let equal_value a b =
+  a == b
+  ||
+  match (a, b) with
+  | Consts xs, Consts ys -> (
+    try List.for_all2 Int64.equal xs ys with Invalid_argument _ -> false)
+  | Addr x, Addr y -> x = y
+  | Param x, Param y -> x = y
+  | Top, Top -> true
+  | (Consts _ | Addr _ | Param _ | Top), _ -> false
+
+let equal_state a b = Regs.equal equal_value a b
 
 (* SysV integer argument registers, tracked symbolically at entry. *)
 let arg_regs =
@@ -126,58 +140,86 @@ type result = {
           binary-level pass feeds into callee summaries *)
 }
 
+module Site_set = Set.Make (struct
+  type t = Summary.site
+  let compare = compare
+end)
+
 let analyze (ctx : Scan.context) (insns : (int * Insn.t * int) list) : result =
   let cfg = Cfg.build insns in
   let n = Cfg.n_blocks cfg in
   let direct = ref Footprint.empty in
   let calls = ref [] in
   let leas = ref [] in
-  let summary = ref [] in
+  let summary = ref Site_set.empty in
   let call_args = ref [] in
   if n = 0 then
     { direct = !direct; calls = []; lea_code_targets = []; summary = [];
       local_call_args = [] }
   else begin
-    (* --- worklist fixpoint ------------------------------------------ *)
+    (* --- worklist fixpoint ------------------------------------------
+       Pending blocks are swept in reverse postorder: a cursor walks
+       the RPO sequence, and only an update to a block behind the
+       cursor (a back edge) rewinds it. Acyclic regions therefore
+       converge in a single sweep, and a block is re-transferred only
+       when its joined in-state actually changed. The in/out arrays
+       are allocated once and reused across sweeps. *)
+    let order = Array.of_list (Cfg.rpo cfg) in
+    let m = Array.length order in
+    let pos_of = Array.make n max_int in
+    Array.iteri (fun p i -> pos_of.(i) <- p) order;
     let in_states : state option array = Array.make n None in
+    let out_states : state option array = Array.make n None in
     in_states.(cfg.Cfg.entry) <- Some entry_state;
-    let work = Queue.create () in
-    Queue.add cfg.Cfg.entry work;
-    let on_work = Array.make n false in
-    on_work.(cfg.Cfg.entry) <- true;
-    while not (Queue.is_empty work) do
-      let i = Queue.pop work in
-      on_work.(i) <- false;
-      match in_states.(i) with
-      | None -> ()
-      | Some st_in ->
-        let st_out =
-          List.fold_left transfer st_in cfg.Cfg.blocks.(i).Cfg.b_insns
-        in
-        List.iter
-          (fun s ->
-            let merged =
-              match in_states.(s) with
-              | None -> st_out
-              | Some cur -> join_state cur st_out
-            in
-            let changed =
-              match in_states.(s) with
-              | None -> true
-              | Some cur -> not (equal_state cur merged)
-            in
-            if changed then begin
-              in_states.(s) <- Some merged;
-              if not on_work.(s) then begin
-                on_work.(s) <- true;
-                Queue.add s work
-              end
-            end)
-          cfg.Cfg.succs.(i)
+    let pending = Array.make n false in
+    pending.(cfg.Cfg.entry) <- true;
+    let cursor = ref 0 in
+    while !cursor < m do
+      let i = order.(!cursor) in
+      incr cursor;
+      if pending.(i) then begin
+        pending.(i) <- false;
+        match in_states.(i) with
+        | None -> ()
+        | Some st_in ->
+          let st_out =
+            List.fold_left transfer st_in cfg.Cfg.blocks.(i).Cfg.b_insns
+          in
+          let out_changed =
+            match out_states.(i) with
+            | Some prev when equal_state prev st_out -> false
+            | Some _ | None ->
+              out_states.(i) <- Some st_out;
+              true
+          in
+          (* an unchanged out-state cannot move any successor's join *)
+          if out_changed then
+            List.iter
+              (fun s ->
+                let changed =
+                  match in_states.(s) with
+                  | None ->
+                    in_states.(s) <- Some st_out;
+                    true
+                  | Some cur ->
+                    let merged = join_state cur st_out in
+                    if equal_state cur merged then false
+                    else begin
+                      in_states.(s) <- Some merged;
+                      true
+                    end
+                in
+                if changed && not pending.(s) then begin
+                  pending.(s) <- true;
+                  if pos_of.(s) < !cursor then cursor := pos_of.(s)
+                end)
+              cfg.Cfg.succs.(i)
+      end
     done;
     (* --- recording pass over reachable blocks ----------------------- *)
     let add_summary site =
-      if not (List.mem site !summary) then summary := site :: !summary
+      if not (Site_set.mem site !summary) then
+        summary := Site_set.add site !summary
     in
     let record_vop_reg st v reg =
       match value_of st reg with
@@ -282,7 +324,7 @@ let analyze (ctx : Scan.context) (insns : (int * Insn.t * int) list) : result =
       direct = !direct;
       calls = List.rev !calls;
       lea_code_targets = !leas;
-      summary = List.rev !summary;
+      summary = Site_set.elements !summary;
       local_call_args = List.rev !call_args;
     }
   end

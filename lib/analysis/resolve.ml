@@ -10,6 +10,12 @@
 open Lapis_apidb
 module String_set = Footprint.String_set
 
+type stats = {
+  mutable ld_computations : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+}
+
 type world = {
   libs : (string, Binary.t) Hashtbl.t;  (** soname -> analyzed library *)
   ld_so : Binary.t option;  (** the dynamic linker, if modelled *)
@@ -17,6 +23,10 @@ type world = {
   def_lib : string -> string option;  (** symbol -> defining soname *)
   memo : (string, Footprint.t) Hashtbl.t;
   in_progress : (string, unit) Hashtbl.t;
+  union_cache : (string, Footprint.t) Hashtbl.t;
+      (** pre-unioned import-set footprints, keyed by canonical set *)
+  mutable ld_so_fp : Footprint.t option;  (** once-per-world ld.so cache *)
+  stats : stats;
 }
 
 let make_world ?ld_so ~libc_family (libs : (string * Binary.t) list) =
@@ -38,27 +48,58 @@ let make_world ?ld_so ~libc_family (libs : (string * Binary.t) list) =
     def_lib = Hashtbl.find_opt defs;
     memo = Hashtbl.create 4096;
     in_progress = Hashtbl.create 64;
+    union_cache = Hashtbl.create 256;
+    ld_so_fp = None;
+    stats = { ld_computations = 0; memo_hits = 0; memo_misses = 0 };
   }
 
 (* Resolve the imports of a local closure computed in [soname]'s
    context, producing the transitive footprint. *)
 let rec resolve_closure world ~importer_is_libc (cl : Binary.closure) =
-  let fp = ref cl.Binary.cl_footprint in
-  String_set.iter
-    (fun imp ->
-      match world.def_lib imp with
-      | None -> ()  (* unresolvable import: no defining library known *)
-      | Some soname ->
-        fp := Footprint.union !fp (export_footprint world soname imp);
-        if world.libc_family soname && not importer_is_libc then
-          fp := Footprint.add_api (Api.Libc_sym imp) !fp)
-    cl.Binary.cl_imports;
-  !fp
+  Footprint.union cl.Binary.cl_footprint
+    (imports_footprint world ~importer_is_libc cl.Binary.cl_imports)
+
+(* The unioned footprint of a whole import set. Footprint union is
+   associative and commutative and the site counters are sums, so the
+   result only depends on the set (and the importer's libc-ness) — and
+   executables of a package share import sets, so the union is cached
+   by its canonical key. The cache is bypassed while any export
+   resolution is in flight: a footprint computed under a cycle cut is
+   correct for the memo entry being built, but must not be shared. *)
+and imports_footprint world ~importer_is_libc imports =
+  let compute () =
+    String_set.fold
+      (fun imp fp ->
+        match world.def_lib imp with
+        | None -> fp  (* unresolvable import: no defining library known *)
+        | Some soname ->
+          let fp = Footprint.union fp (export_footprint world soname imp) in
+          if world.libc_family soname && not importer_is_libc then
+            Footprint.add_api (Api.Libc_sym imp) fp
+          else fp)
+      imports Footprint.empty
+  in
+  if Hashtbl.length world.in_progress > 0 then compute ()
+  else begin
+    let key =
+      Digest.string
+        ((if importer_is_libc then "L" else "x")
+        ^ String.concat "\x00" (String_set.elements imports))
+    in
+    match Hashtbl.find_opt world.union_cache key with
+    | Some fp -> fp
+    | None ->
+      let fp = compute () in
+      Hashtbl.replace world.union_cache key fp;
+      fp
+  end
 
 and export_footprint world soname export : Footprint.t =
   let key = soname ^ ":" ^ export in
   match Hashtbl.find_opt world.memo key with
-  | Some fp -> fp
+  | Some fp ->
+    world.stats.memo_hits <- world.stats.memo_hits + 1;
+    fp
   | None ->
     if Hashtbl.mem world.in_progress key then Footprint.empty
     else begin
@@ -74,39 +115,71 @@ and export_footprint world soname export : Footprint.t =
       in
       Hashtbl.remove world.in_progress key;
       Hashtbl.replace world.memo key fp;
+      world.stats.memo_misses <- world.stats.memo_misses + 1;
       fp
     end
 
 (* The footprint the dynamic linker contributes to every
-   dynamically-linked program (Table 5). *)
+   dynamically-linked program (Table 5). It is the same for every
+   executable, so it is resolved once per world and cached: without
+   the cache the closure walk reruns for each of the thousands of
+   dynamically-linked executables in a distribution. *)
 let ld_so_footprint world =
-  match world.ld_so with
-  | None -> Footprint.empty
-  | Some bin ->
-    List.fold_left
-      (fun acc entry ->
-        Footprint.union acc
-          (resolve_closure world ~importer_is_libc:true
-             (Binary.local_closure bin ~start:entry)))
-      Footprint.empty (Binary.entry_points bin)
+  match world.ld_so_fp with
+  | Some fp -> fp
+  | None ->
+    let fp =
+      match world.ld_so with
+      | None -> Footprint.empty
+      | Some bin ->
+        List.fold_left
+          (fun acc entry ->
+            Footprint.union acc
+              (resolve_closure world ~importer_is_libc:true
+                 (Binary.local_closure bin ~start:entry)))
+          Footprint.empty (Binary.entry_points bin)
+    in
+    world.stats.ld_computations <- world.stats.ld_computations + 1;
+    world.ld_so_fp <- Some fp;
+    fp
 
 (* Full resolved footprint of one analyzed binary. For executables the
    analysis starts at e_entry; for shared libraries at every export.
    The binary-wide pseudo-file sweep is included, and dynamically
    linked executables inherit the dynamic linker's startup work. *)
 let binary_footprint world (bin : Binary.t) : Footprint.t =
+  let soname = bin.Binary.image.Lapis_elf.Image.soname in
   let libcish =
-    match bin.Binary.image.Lapis_elf.Image.soname with
+    match soname with
     | Some soname -> world.libc_family soname
     | None -> false
   in
+  let in_world =
+    match soname with
+    | Some s ->
+      (match Hashtbl.find_opt world.libs s with
+       | Some b when b == bin -> Some s
+       | _ -> None)
+    | None -> None
+  in
   let from_entries =
-    List.fold_left
-      (fun acc entry ->
-        Footprint.union acc
-          (resolve_closure world ~importer_is_libc:libcish
-             (Binary.local_closure bin ~start:entry)))
-      Footprint.empty (Binary.entry_points bin)
+    match in_world with
+    | Some s ->
+      (* A shared library registered in the world: each entry point is
+         an export, and its closure is exactly the memoized
+         [export_footprint], so libraries consumed by many importers
+         are resolved once instead of once more here. *)
+      List.fold_left
+        (fun acc entry ->
+          Footprint.union acc (export_footprint world s entry))
+        Footprint.empty (Binary.entry_points bin)
+    | None ->
+      List.fold_left
+        (fun acc entry ->
+          Footprint.union acc
+            (resolve_closure world ~importer_is_libc:libcish
+               (Binary.local_closure bin ~start:entry)))
+        Footprint.empty (Binary.entry_points bin)
   in
   let fp = Footprint.union from_entries bin.Binary.rodata_strings in
   match bin.Binary.image.Lapis_elf.Image.interp with

@@ -4,6 +4,16 @@
     further library calls, and aggregate the results. *)
 
 
+type stats = {
+  mutable ld_computations : int;
+      (** times the dynamic linker's closure was actually resolved
+          (expected: at most 1 per world) *)
+  mutable memo_hits : int;
+      (** {!export_footprint} calls served from the memo table *)
+  mutable memo_misses : int;
+      (** {!export_footprint} calls that resolved a closure *)
+}
+
 type world = {
   libs : (string, Binary.t) Hashtbl.t;  (** soname -> analyzed library *)
   ld_so : Binary.t option;  (** the dynamic linker, if modelled *)
@@ -13,6 +23,13 @@ type world = {
   def_lib : string -> string option;  (** symbol -> defining soname *)
   memo : (string, Footprint.t) Hashtbl.t;
   in_progress : (string, unit) Hashtbl.t;  (** cycle guard *)
+  union_cache : (string, Footprint.t) Hashtbl.t;
+      (** pre-unioned import-set footprints keyed by canonical set:
+          executables of a package share import sets, so the expensive
+          per-import union runs once per distinct set *)
+  mutable ld_so_fp : Footprint.t option;
+      (** once-per-world cache of {!ld_so_footprint} *)
+  stats : stats;  (** resolution-effort counters, for tests and tuning *)
 }
 
 val make_world :

@@ -95,7 +95,16 @@ let func_pres (f : Program.func) =
    program references. *)
 let collect_refs (prog : Program.t) =
   let imports = ref [] and strings = ref [] in
-  let add lst x = if not (List.mem x !lst) then lst := x :: !lst in
+  let seen_imports = Hashtbl.create 64 and seen_strings = Hashtbl.create 64 in
+  let add_to seen lst x =
+    if not (Hashtbl.mem seen x) then begin
+      Hashtbl.replace seen x ();
+      lst := x :: !lst
+    end
+  in
+  let add lst x =
+    add_to (if lst == imports then seen_imports else seen_strings) lst x
+  in
   List.iter
     (fun (f : Program.func) ->
       List.iter
@@ -173,12 +182,12 @@ let assemble (prog : Program.t) : Lapis_elf.Image.t =
   let str_addr s =
     layout.Lapis_elf.Layout.rodata_addr + Hashtbl.find str_offsets s
   in
+  let got_index = Hashtbl.create 16 in
+  List.iteri (fun i name -> Hashtbl.replace got_index name i) imports;
   let got_slot name =
-    let rec idx i = function
-      | [] -> raise (Unknown_symbol name)
-      | n :: rest -> if n = name then i else idx (i + 1) rest
-    in
-    Lapis_elf.Layout.got_slot layout (idx 0 imports)
+    match Hashtbl.find_opt got_index name with
+    | Some i -> Lapis_elf.Layout.got_slot layout i
+    | None -> raise (Unknown_symbol name)
   in
   (* --- emission pass --- *)
   let text = Buffer.create text_size in
@@ -240,4 +249,6 @@ let assemble (prog : Program.t) : Lapis_elf.Image.t =
   }
 
 (* Convenience: assemble straight to ELF bytes. *)
-let assemble_elf prog = Lapis_elf.Writer.write (assemble prog)
+let assemble_elf prog =
+  let img = Lapis_perf.Stage.time "asm:assemble" (fun () -> assemble prog) in
+  Lapis_perf.Stage.time "asm:write" (fun () -> Lapis_elf.Writer.write img)

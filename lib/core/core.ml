@@ -120,3 +120,8 @@ end
 module Report = struct
   module Render = Lapis_report.Report
 end
+
+module Perf = struct
+  module Stage = Lapis_perf.Stage
+  module Parmap = Lapis_perf.Parmap
+end

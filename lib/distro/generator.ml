@@ -553,86 +553,131 @@ let assign_pseudo config rng specs =
 
 let assign_imports config rng specs =
   let app_specs = List.filter assignable specs in
-  let essentials = List.filter (fun s -> s.g_essential) app_specs in
+  let n_app = List.length app_specs in
   (* a package may import a symbol only if the symbol's system calls
      are already part of the package's assigned footprint (or are
      base/exempt calls): imports deliver syscalls, they do not widen
-     the per-syscall adoption the targets calibrate *)
-  let implied_syscalls (e : Libc_catalog.entry) =
-    (if e.Libc_catalog.name = "syscall" then [] else e.Libc_catalog.syscalls)
-    @ List.map
-        (fun (v, _) -> Api.vector_name v)
-        e.Libc_catalog.vops
+     the per-syscall adoption the targets calibrate.
+
+     This pass runs over |catalog| x |specs| pairs, so the eligibility
+     test must be cheap: each spec's syscall footprint becomes a hash
+     set once (this pass only mutates g_imports, so the sets stay
+     valid), each entry's implied syscalls are computed once and
+     pre-filtered to the non-base stages, and both predicates are
+     evaluated in a single pass per entry instead of once per use
+     site. The predicate values — and therefore the Rng stream and
+     the generated distribution — are identical to the direct
+     per-pair evaluation. *)
+  let tagged =
+    List.map
+      (fun s ->
+        let have = Hashtbl.create (2 * List.length s.g_syscalls) in
+        List.iter (fun sc -> Hashtbl.replace have sc ()) s.g_syscalls;
+        (s, have))
+      app_specs
   in
-  let syscalls_ok e s =
-    List.for_all
-      (fun sc ->
-        stage_rank sc = 1 || List.mem sc s.g_syscalls)
-      (implied_syscalls e)
+  (* add_import dedups by scanning g_imports; with hundreds of imports
+     per package that scan dominates, so this pass shadows it with a
+     per-spec hash set seeded from any pre-owned imports. *)
+  let imports_of = Hashtbl.create (2 * n_app) in
+  List.iter
+    (fun s ->
+      let seen = Hashtbl.create 64 in
+      List.iter (fun i -> Hashtbl.replace seen i ()) s.g_imports;
+      Hashtbl.replace imports_of s.g_name seen)
+    app_specs;
+  let add_import s i =
+    let seen = Hashtbl.find imports_of s.g_name in
+    if not (Hashtbl.mem seen i) then begin
+      Hashtbl.replace seen i ();
+      s.g_imports <- i :: s.g_imports
+    end
   in
   List.iter
     (fun (e : Libc_catalog.entry) ->
       let name = e.Libc_catalog.name in
       let rank = symbol_stage e in
       if rank <= 5 then begin
-        let ok s = s.g_level >= rank && syscalls_ok e s in
+        let needed =
+          List.filter
+            (fun sc -> stage_rank sc <> 1)
+            ((if name = "syscall" then [] else e.Libc_catalog.syscalls)
+             @ List.map (fun (v, _) -> Api.vector_name v) e.Libc_catalog.vops)
+        in
         (* mid-tier symbols stay out of near-universal packages, or a
            single popular adopter would push them to 100% importance;
            symbols with explicit adoption overrides are calibrated
            directly and bypass the tier gate *)
         let overridden = List.mem_assoc name import_overrides in
-        let ok_tiered s =
-          ok s
-          && (overridden
-              ||
-              match e.Libc_catalog.tier with
-              | Libc_catalog.High | Libc_catalog.Medium ->
-                (not s.g_essential) && s.g_prob < 0.45
-              | Libc_catalog.Ubiquitous | Libc_catalog.Rare
-              | Libc_catalog.Unused -> true)
+        let tier_gate s =
+          overridden
+          ||
+          match e.Libc_catalog.tier with
+          | Libc_catalog.High | Libc_catalog.Medium ->
+            (not s.g_essential) && s.g_prob < 0.45
+          | Libc_catalog.Ubiquitous | Libc_catalog.Rare
+          | Libc_catalog.Unused -> true
+        in
+        let flags =
+          List.map
+            (fun (s, have) ->
+              let ok =
+                s.g_level >= rank
+                && List.for_all (fun sc -> Hashtbl.mem have sc) needed
+              in
+              (s, ok, ok && tier_gate s))
+            tagged
+        in
+        let sel_ok pred =
+          List.filter_map
+            (fun (s, ok, _) -> if ok && pred s then Some s else None)
+            flags
         in
         let adoption = tier_adoption config.seed e in
         if adoption > 0.0 then begin
-          let frac = eligible_frac app_specs ok_tiered in
+          let k =
+            List.fold_left
+              (fun a (_, _, okt) -> if okt then a + 1 else a)
+              0 flags
+          in
+          let frac =
+            if n_app = 0 then 0.0 else float_of_int k /. float_of_int n_app
+          in
           let p = min 0.97 (adoption /. max 0.01 frac) in
           List.iter
-            (fun s -> if ok_tiered s && Rng.bool rng p then add_import s name)
-            app_specs
+            (fun (s, _, okt) ->
+              if okt && Rng.bool rng p then add_import s name)
+            flags
         end;
         match e.Libc_catalog.tier with
         | Libc_catalog.Ubiquitous ->
           (* symbols overridden down to niche adoption (GNU-only
              extensions) must not be pinned by essential owners *)
           if adoption >= 0.10 then begin
-            let owners = List.filter ok essentials in
+            let owners = sel_ok (fun s -> s.g_essential) in
             let owners =
-              if owners = [] then
-                List.filter (fun s -> ok s && s.g_prob > 0.5) app_specs
+              if owners = [] then sel_ok (fun s -> s.g_prob > 0.5)
               else owners
             in
             List.iter (fun s -> add_import s name) (Rng.sample rng 2 owners)
           end
         | Libc_catalog.High ->
           let owners =
-            List.filter (fun s -> ok s && s.g_prob >= 0.45 && s.g_prob <= 0.96)
-              app_specs
+            sel_ok (fun s -> s.g_prob >= 0.45 && s.g_prob <= 0.96)
           in
           (match owners with
            | [] -> ()
            | _ -> add_import (Rng.choose rng owners) name)
         | Libc_catalog.Medium ->
           let owners =
-            List.filter (fun s -> ok s && s.g_prob >= 0.005 && s.g_prob <= 0.45)
-              app_specs
+            sel_ok (fun s -> s.g_prob >= 0.005 && s.g_prob <= 0.45)
           in
           (match owners with
            | [] -> ()
            | _ -> add_import (Rng.choose rng owners) name)
         | Libc_catalog.Rare ->
           if List.assoc_opt name import_overrides = None then begin
-            let owners =
-              List.filter (fun s -> ok s && s.g_prob < 0.01) app_specs
-            in
+            let owners = sel_ok (fun s -> s.g_prob < 0.01) in
             match owners with
             | [] -> ()
             | _ ->
@@ -1284,17 +1329,19 @@ let emit_spec rng spec : emitted =
 (* ------------------------------------------------------------------ *)
 
 let generate ?(config = default_config) () : P.distribution =
+  Lapis_perf.Stage.time "generate" @@ fun () ->
   let rng = Rng.create config.seed in
-  let specs = build_roster config rng in
-  assign_levels rng specs;
-  assign_syscalls config rng specs;
-  assign_vops config rng specs;
-  assign_pseudo config rng specs;
-  assign_imports config rng specs;
-  assign_lib_consumers config rng specs;
-  assign_templates rng specs;
-  assign_scripts rng specs;
-  assign_deps rng specs;
+  let stage name f = Lapis_perf.Stage.time ("gen:" ^ name) f in
+  let specs = stage "roster" (fun () -> build_roster config rng) in
+  stage "levels" (fun () -> assign_levels rng specs);
+  stage "syscalls" (fun () -> assign_syscalls config rng specs);
+  stage "vops" (fun () -> assign_vops config rng specs);
+  stage "pseudo" (fun () -> assign_pseudo config rng specs);
+  stage "imports" (fun () -> assign_imports config rng specs);
+  stage "libs" (fun () -> assign_lib_consumers config rng specs);
+  stage "templates" (fun () -> assign_templates rng specs);
+  stage "scripts" (fun () -> assign_scripts rng specs);
+  stage "deps" (fun () -> assign_deps rng specs);
   (* interpreters over-approximate every script's behaviour
      (Section 2.3), so their footprints cover stages I-III entirely;
      script inheritance then inflates per-syscall adoption uniformly,
@@ -1339,19 +1386,20 @@ let generate ?(config = default_config) () : P.distribution =
     specs;
   let truth : P.ground_truth = Hashtbl.create 1024 in
   let packages =
-    List.map
-      (fun spec ->
-        let emitted = emit_spec (Rng.split rng) spec in
-        Hashtbl.replace truth spec.g_name emitted.em_truth;
-        let installs =
-          max 1
-            (int_of_float
-               (spec.g_prob *. float_of_int config.total_installs))
-        in
-        { emitted.em_package with P.installs })
-      specs
+    stage "emit" (fun () ->
+        List.map
+          (fun spec ->
+            let emitted = emit_spec (Rng.split rng) spec in
+            Hashtbl.replace truth spec.g_name emitted.em_truth;
+            let installs =
+              max 1
+                (int_of_float
+                   (spec.g_prob *. float_of_int config.total_installs))
+            in
+            { emitted.em_package with P.installs })
+          specs)
   in
-  let runtime = Libc_gen.build_all () in
+  let runtime = stage "runtime" (fun () -> Libc_gen.build_all ()) in
   let shared_libs =
     List.concat_map
       (fun p ->

@@ -103,10 +103,14 @@ let write (img : Image.t) : string =
     img.symbols;
   let dynsym = Buffer.contents dynsym_buf in
   (* --- rela.plt --- *)
+  (* plt_got lookup by hash: an assoc scan here is quadratic in the
+     import count, which dominates the writer on import-heavy apps *)
+  let got_of = Hashtbl.create (2 * List.length img.plt_got) in
+  List.iter (fun (n, g) -> Hashtbl.replace got_of n g) img.plt_got;
   let rela_buf = Buffer.create 128 in
   List.iteri
     (fun i name ->
-      let got = List.assoc name img.plt_got in
+      let got = Hashtbl.find got_of name in
       u64 rela_buf got;
       u64 rela_buf (((i + 1) lsl 32) lor r_x86_64_jump_slot);
       u64 rela_buf 0)
@@ -280,7 +284,8 @@ let write (img : Image.t) : string =
    | None -> ());
   (* Section data *)
   let pad_to off =
-    while Buffer.length out < off do Buffer.add_char out '\x00' done
+    let gap = off - Buffer.length out in
+    if gap > 0 then Buffer.add_string out (String.make gap '\x00')
   in
   List.iter
     (fun (s, off) ->

@@ -1,0 +1,57 @@
+(** Chunked parallel map over stdlib [Domain] — no external
+    dependencies.
+
+    [map f xs] evaluates [f] on every element of [xs] using
+    [Domain.recommended_domain_count ()] domains (capped by the list
+    length) and returns the results in input order, so callers observe
+    exactly the output of [List.map f xs] regardless of how work was
+    scheduled. Work is self-scheduled in chunks off a shared atomic
+    cursor, which balances uneven per-item cost (large binaries next
+    to tiny ones) without any ordering dependence.
+
+    When only one domain is available — or requested via [~domains:1],
+    or the input is a single element — the sequential [List.map] path
+    runs instead, so single-core CI results are bit-identical to the
+    parallel ones by construction. *)
+
+let sequential_threshold = 2
+
+let map ?domains (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let n_dom =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if n_dom <= 1 || n < sequential_threshold then List.map f xs
+  else begin
+    let n_dom = min n_dom n in
+    let results : 'b option array = Array.make n None in
+    let next = Atomic.make 0 in
+    (* small chunks keep the tail balanced; large enough that cursor
+       contention stays negligible *)
+    let chunk = max 1 (n / (n_dom * 8)) in
+    let first_exn : exn option Atomic.t = Atomic.make None in
+    let worker () =
+      try
+        let continue = ref true in
+        while !continue do
+          let start = Atomic.fetch_and_add next chunk in
+          if start >= n then continue := false
+          else
+            for i = start to min n (start + chunk) - 1 do
+              results.(i) <- Some (f arr.(i))
+            done
+        done
+      with e -> ignore (Atomic.compare_and_set first_exn None (Some e))
+    in
+    let spawned = List.init (n_dom - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get first_exn with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some r -> r | None -> assert false)
+         results)
+  end

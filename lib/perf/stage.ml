@@ -1,0 +1,122 @@
+(** Monotonic stage timers and counters for the measurement pipeline.
+
+    Every stage of a pipeline run ({!Lapis_distro.Generator.generate},
+    ELF parsing, disassembly, the dataflow fixpoint, cross-library
+    resolution, aggregation, metric computation) accumulates wall time
+    here under a stable name; the bench harness prints the breakdown
+    at the end of a run and emits it into the BENCH JSON the CI smoke
+    job tracks across PRs.
+
+    The registry is guarded by a mutex so stages running inside
+    {!Parmap} worker domains accumulate safely; times recorded from
+    parallel sections therefore sum *CPU-side* time across domains,
+    which can exceed the wall clock of the enclosing stage. Timer
+    reads come from [CLOCK_MONOTONIC] (via bechamel's clock stub), so
+    NTP adjustments never skew a stage. *)
+
+type cell = {
+  mutable spent_ns : int64;
+  mutable entries : int;
+}
+
+let lock = Mutex.create ()
+let cells : (string, cell) Hashtbl.t = Hashtbl.create 32
+let order : string list ref = ref []  (* first-seen, reversed *)
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let counter_order : string list ref = ref []
+
+let now_ns () : int64 = Monotonic_clock.now ()
+
+let cell_of name =
+  match Hashtbl.find_opt cells name with
+  | Some c -> c
+  | None ->
+    let c = { spent_ns = 0L; entries = 0 } in
+    Hashtbl.replace cells name c;
+    order := name :: !order;
+    c
+
+let add_ns name ns =
+  Mutex.protect lock (fun () ->
+      let c = cell_of name in
+      c.spent_ns <- Int64.add c.spent_ns ns;
+      c.entries <- c.entries + 1)
+
+let time name f =
+  let t0 = now_ns () in
+  Fun.protect
+    ~finally:(fun () -> add_ns name (Int64.sub (now_ns ()) t0))
+    f
+
+let spent_s name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt cells name with
+      | Some c -> Int64.to_float c.spent_ns /. 1e9
+      | None -> 0.0)
+
+let entries name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt cells name with
+      | Some c -> c.entries
+      | None -> 0)
+
+let incr ?(by = 1) name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some r -> r := !r + by
+      | None ->
+        Hashtbl.replace counters name (ref by);
+        counter_order := name :: !counter_order)
+
+let counter name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some r -> !r
+      | None -> 0)
+
+type line = {
+  l_name : string;
+  l_seconds : float;
+  l_entries : int;
+}
+
+(* Stage lines in first-seen order: the natural pipeline order, since
+   stages first fire in execution order. *)
+let report () =
+  Mutex.protect lock (fun () ->
+      List.rev_map
+        (fun name ->
+          let c = Hashtbl.find cells name in
+          {
+            l_name = name;
+            l_seconds = Int64.to_float c.spent_ns /. 1e9;
+            l_entries = c.entries;
+          })
+        !order)
+
+let report_counters () =
+  Mutex.protect lock (fun () ->
+      List.rev_map
+        (fun name -> (name, !(Hashtbl.find counters name)))
+        !counter_order)
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.reset cells;
+      order := [];
+      Hashtbl.reset counters;
+      counter_order := [])
+
+let pp_report ppf () =
+  let lines = report () in
+  let total = List.fold_left (fun a l -> a +. l.l_seconds) 0.0 lines in
+  List.iter
+    (fun l ->
+      Fmt.pf ppf "  %-22s %8.3fs  (%6d entries)@\n" l.l_name l.l_seconds
+        l.l_entries)
+    lines;
+  Fmt.pf ppf "  %-22s %8.3fs@\n" "stage total" total;
+  match report_counters () with
+  | [] -> ()
+  | cs ->
+    List.iter (fun (name, v) -> Fmt.pf ppf "  %-22s %8d@\n" name v) cs

@@ -27,27 +27,43 @@ let interpreter_package = function
   | Lapis_elf.Classify.Ruby -> Some "ruby1.9"
   | Lapis_elf.Classify.Other_interp _ -> None
 
+module Stage = Lapis_perf.Stage
+
 let analyze_elf ~mode bytes =
-  match Lapis_elf.Reader.parse bytes with
+  match Stage.time "elf-parse" (fun () -> Lapis_elf.Reader.parse bytes) with
   | Ok img -> Some (Binary.analyze ~mode img)
   | Error e ->
     Log.warn (fun m -> m "unparseable ELF: %a" Lapis_elf.Reader.pp_error e);
     None
 
-let run ?(mode = Binary.Dataflow) (dist : P.distribution) : analyzed =
+let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
+    (dist : P.distribution) : analyzed =
   let analyze_elf bytes = analyze_elf ~mode bytes in
+  (* Content-hash analysis cache: byte-identical ELF inputs are
+     analyzed once. It is seeded with the shared-library world below,
+     so a package shipping a library analyzed for the world reuses the
+     same Binary.t — which also lets the resolver serve that binary's
+     footprint from its per-export memo. *)
+  let analysis_of : (Digest.t, Binary.t option) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let seed_cache bytes bin =
+    if cache then Hashtbl.replace analysis_of (Digest.string bytes) (Some bin)
+  in
   (* 1. analyze the shared-library world *)
   let runtime_sonames = List.map fst dist.P.runtime in
   let runtime_bins =
     List.filter_map
       (fun (soname, bytes) ->
-        analyze_elf bytes |> Option.map (fun b -> (soname, b)))
+        analyze_elf bytes
+        |> Option.map (fun b -> seed_cache bytes b; (soname, b)))
       dist.P.runtime
   in
   let app_lib_bins =
     List.filter_map
       (fun (soname, pkg, bytes) ->
-        analyze_elf bytes |> Option.map (fun b -> (soname, pkg, b)))
+        analyze_elf bytes
+        |> Option.map (fun b -> seed_cache bytes b; (soname, pkg, b)))
       dist.P.shared_libs
   in
   let ld_so =
@@ -58,7 +74,44 @@ let run ?(mode = Binary.Dataflow) (dist : P.distribution) : analyzed =
       ~libc_family:(fun soname -> List.mem soname runtime_sonames)
       (runtime_bins @ List.map (fun (s, _, b) -> (s, b)) app_lib_bins)
   in
-  (* 2. per-binary analysis and per-package aggregation *)
+  (* 2. per-binary analysis: collect the distinct ELF payloads not
+     already analyzed for the world (first-seen order), analyze them —
+     fanned out across domains when the host has more than one — and
+     serve the aggregation loop from the digest table. *)
+  let analysis_for =
+    if not cache then fun (f : P.file) -> analyze_elf f.P.bytes
+    else begin
+      let pending = ref [] in
+      List.iter
+        (fun (pkg : P.t) ->
+          List.iter
+            (fun (f : P.file) ->
+              match Lapis_elf.Classify.classify f.P.bytes with
+              | Lapis_elf.Classify.Elf_static | Lapis_elf.Classify.Elf_dynamic
+              | Lapis_elf.Classify.Elf_shared_lib ->
+                let d = Digest.string f.P.bytes in
+                if not (Hashtbl.mem analysis_of d) then begin
+                  (* placeholder marks the digest as claimed *)
+                  Hashtbl.replace analysis_of d None;
+                  pending := (d, f.P.bytes) :: !pending
+                end
+              | Lapis_elf.Classify.Script _ | Lapis_elf.Classify.Data -> ())
+            pkg.P.files)
+        dist.P.packages;
+      let pending = List.rev !pending in
+      List.iter2
+        (fun (d, _) r -> Hashtbl.replace analysis_of d r)
+        pending
+        (Lapis_perf.Parmap.map ?domains
+           (fun (_, bytes) -> analyze_elf bytes)
+           pending);
+      fun (f : P.file) ->
+        match Hashtbl.find_opt analysis_of (Digest.string f.P.bytes) with
+        | Some r -> r
+        | None -> analyze_elf f.P.bytes
+    end
+  in
+  (* 3. per-package aggregation *)
   let bins = ref [] in
   let script_needs = Hashtbl.create 64 in  (* pkg -> interp pkgs *)
   let elf_apis = Hashtbl.create 256 in  (* pkg -> Api.Set from executables *)
@@ -70,10 +123,13 @@ let run ?(mode = Binary.Dataflow) (dist : P.distribution) : analyzed =
           let cls = Lapis_elf.Classify.classify f.P.bytes in
           match cls with
           | Lapis_elf.Classify.Elf_static | Lapis_elf.Classify.Elf_dynamic ->
-            (match analyze_elf f.P.bytes with
+            (match analysis_for f with
              | None -> ()
              | Some bin ->
-               let resolved = Resolve.binary_footprint world bin in
+               let resolved =
+                 Stage.time "resolve" (fun () ->
+                     Resolve.binary_footprint world bin)
+               in
                apis := Api.Set.union !apis resolved.Footprint.apis;
                bins :=
                  {
@@ -87,10 +143,13 @@ let run ?(mode = Binary.Dataflow) (dist : P.distribution) : analyzed =
           | Lapis_elf.Classify.Elf_shared_lib ->
             (* analyzed for attribution, excluded from the package
                footprint (Section 2: union over standalone executables) *)
-            (match analyze_elf f.P.bytes with
+            (match analysis_for f with
              | None -> ()
              | Some bin ->
-               let resolved = Resolve.binary_footprint world bin in
+               let resolved =
+                 Stage.time "resolve" (fun () ->
+                     Resolve.binary_footprint world bin)
+               in
                bins :=
                  {
                    Store.br_path = f.P.path;
@@ -107,7 +166,11 @@ let run ?(mode = Binary.Dataflow) (dist : P.distribution) : analyzed =
                  Option.value ~default:[]
                    (Hashtbl.find_opt script_needs pkg.P.name)
                in
-               Hashtbl.replace script_needs pkg.P.name (ipkg :: cur)
+               (* one entry per interpreter, not per script: the
+                  inheritance rounds union the interpreter's whole
+                  footprint per entry *)
+               if not (List.mem ipkg cur) then
+                 Hashtbl.replace script_needs pkg.P.name (ipkg :: cur)
              | None -> ());
             bins :=
               {
@@ -135,8 +198,9 @@ let run ?(mode = Binary.Dataflow) (dist : P.distribution) : analyzed =
         }
         :: !bins)
     runtime_bins;
-  (* 3. scripts inherit the interpreter package's footprint; two
+  (* 4. scripts inherit the interpreter package's footprint; two
      rounds cover interpreters that themselves ship scripts *)
+  Stage.time "aggregate" @@ fun () ->
   let final_apis = Hashtbl.copy elf_apis in
   for _round = 1 to 2 do
     Hashtbl.iter
@@ -153,7 +217,7 @@ let run ?(mode = Binary.Dataflow) (dist : P.distribution) : analyzed =
         Hashtbl.replace final_apis pkg augmented)
       script_needs
   done;
-  (* 4. store rows *)
+  (* 5. store rows *)
   let pkg_rows =
     List.map
       (fun (pkg : P.t) ->
@@ -177,6 +241,14 @@ let run ?(mode = Binary.Dataflow) (dist : P.distribution) : analyzed =
     Store.build ~packages:pkg_rows ~bins:!bins
       ~total_installs:dist.P.total_installs
   in
+  (* cache-effectiveness counters for the bench JSON / CI smoke job *)
+  if cache then
+    Stage.incr "elf:distinct-payloads" ~by:(Hashtbl.length analysis_of);
+  Stage.incr "resolve:memo-hits" ~by:world.Resolve.stats.Resolve.memo_hits;
+  Stage.incr "resolve:memo-misses"
+    ~by:world.Resolve.stats.Resolve.memo_misses;
+  Stage.incr "resolve:ld-so-computations"
+    ~by:world.Resolve.stats.Resolve.ld_computations;
   { store; world; dist }
 
 (* The automated Section 2.3 spot check: compare the analyzer's

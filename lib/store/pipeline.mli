@@ -18,11 +18,25 @@ val interpreter_package : Lapis_elf.Classify.interpreter -> string option
 
 val run :
   ?mode:Lapis_analysis.Binary.mode ->
+  ?cache:bool ->
+  ?domains:int ->
   Lapis_distro.Package.distribution ->
   analyzed
 (** Analyze a distribution. [mode] selects the per-function engine:
     the CFG dataflow default, or [Linear] for the control-flow-blind
-    baseline the precision audit measures against. *)
+    baseline the precision audit measures against.
+
+    [cache] (default [true]) keys per-binary analysis by a digest of
+    the ELF bytes, so byte-identical inputs are analyzed once and
+    package-shipped copies of world libraries reuse the world's
+    analysis. The resulting footprints are identical to an uncached
+    run (checked by the test suite); pass [~cache:false] to force
+    re-analysis of every file.
+
+    [domains] caps the domains used for the per-binary analysis
+    fan-out (default: the runtime's recommended domain count; the loop
+    degrades to sequential on single-core hosts). Aggregation and
+    cross-library resolution always run sequentially. *)
 
 type mismatch = {
   mm_package : string;

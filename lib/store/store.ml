@@ -52,15 +52,21 @@ let build ~(packages : pkg_row list) ~(bins : bin_row list) ~total_installs =
   let arr = Array.of_list packages in
   let idx = Hashtbl.create (Array.length arr) in
   Array.iteri (fun i p -> Hashtbl.replace idx p.pr_name i) arr;
-  let deps_tbl = Api.Tbl.create 4096 in
+  (* Accumulate into list refs so each (package, api) pair costs one
+     table lookup instead of a find-and-replace pair: this loop runs
+     over every API of every package and dominates store build time. *)
+  let acc_tbl = Api.Tbl.create 4096 in
   Array.iteri
     (fun i p ->
       Api.Set.iter
         (fun api ->
-          let cur = Option.value ~default:[] (Api.Tbl.find_opt deps_tbl api) in
-          Api.Tbl.replace deps_tbl api (i :: cur))
+          match Api.Tbl.find_opt acc_tbl api with
+          | Some r -> r := i :: !r
+          | None -> Api.Tbl.add acc_tbl api (ref [ i ]))
         p.pr_apis)
     arr;
+  let deps_tbl = Api.Tbl.create (Api.Tbl.length acc_tbl) in
+  Api.Tbl.iter (fun api r -> Api.Tbl.replace deps_tbl api !r) acc_tbl;
   {
     packages = arr;
     pkg_index = idx;

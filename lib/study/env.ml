@@ -17,8 +17,11 @@ let create ?(config = Lapis_distro.Generator.default_config) () =
   let dist = Lapis_distro.Generator.generate ~config () in
   let analyzed = Pipeline.run dist in
   let store = analyzed.Pipeline.store in
-  let ranking = Lapis_metrics.Importance.rank_syscalls store in
-  let curve = Lapis_metrics.Completeness.curve store ~ranking in
+  let ranking, curve =
+    Lapis_perf.Stage.time "metrics" (fun () ->
+        let ranking = Lapis_metrics.Importance.rank_syscalls store in
+        (ranking, Lapis_metrics.Completeness.curve store ~ranking))
+  in
   { analyzed; store; ranking; curve }
 
 (* A small environment for fast unit tests. *)

@@ -124,4 +124,24 @@ let encode_all insns =
   List.iter (encode_into b) insns;
   Buffer.contents b
 
-let length insn = String.length (encode insn)
+(* Computed arithmetically rather than by encoding into a scratch
+   buffer: the assembler's sizing pass calls this once per instruction
+   per function, and the allocation-free form keeps that pass cheap.
+   Must mirror [encode_into] case by case; the test suite checks
+   [length insn = String.length (encode insn)] over the generators. *)
+let length insn =
+  let open Insn in
+  let rex_b code = if code >= 8 then 1 else 0 in
+  match insn with
+  | Mov_ri (r, v) ->
+    if Int64.compare v 0L >= 0 && Int64.compare v 0xFFFFFFFFL <= 0 then
+      rex_b (reg_code r) + 5
+    else 10
+  | Mov_rr _ | Xor_rr _ -> 3
+  | Lea_rip _ | Add_ri _ | Sub_ri _ | Cmp_ri _ -> 7
+  | Call_rel _ | Jmp_rel _ -> 5
+  | Call_reg r -> rex_b (reg_code r) + 2
+  | Call_mem_rip _ | Jcc_rel _ | Jmp_mem_rip _ -> 6
+  | Syscall | Int80 | Sysenter -> 2
+  | Push_r r | Pop_r r -> rex_b (reg_code r) + 1
+  | Ret | Nop | Unknown _ -> 1

@@ -242,6 +242,106 @@ let test_memoization_consistency () =
   Alcotest.(check bool) "memoized result is stable" true
     (Api.Set.equal a.Footprint.apis b.Footprint.apis)
 
+let test_memo_hits_counted () =
+  let world = make_world () in
+  ignore (Analysis.Resolve.export_footprint world "libfoo.so.1" "foo_log");
+  let misses = world.Analysis.Resolve.stats.Analysis.Resolve.memo_misses in
+  ignore (Analysis.Resolve.export_footprint world "libfoo.so.1" "foo_log");
+  ignore (Analysis.Resolve.export_footprint world "libfoo.so.1" "foo_log");
+  let stats = world.Analysis.Resolve.stats in
+  Alcotest.(check bool) "repeated lookups served from the memo" true
+    (stats.Analysis.Resolve.memo_hits >= 2);
+  Alcotest.(check int) "no closure re-resolved" misses
+    stats.Analysis.Resolve.memo_misses
+
+let test_ld_so_computed_once () =
+  (* the dynamic linker's closure is the same for every executable:
+     it must be resolved at most once per world *)
+  let ld =
+    Analysis.Binary.analyze
+      (Asm.Builder.assemble
+         (P.shared_lib ~soname:"ld-linux-x86-64.so.2" ~needed:[]
+            [ P.func "_dl_start" [ P.Direct_syscall 9 (* mmap *) ] ]))
+  in
+  let libc =
+    Analysis.Binary.analyze
+      (Asm.Builder.assemble
+         (P.shared_lib ~soname:"libc.so.6" ~needed:[]
+            [ P.func "write_wrap" [ P.Direct_syscall 1 ] ]))
+  in
+  let world =
+    Analysis.Resolve.make_world ~ld_so:ld
+      ~libc_family:(fun s -> s = "libc.so.6")
+      [ ("libc.so.6", libc) ]
+  in
+  let fps =
+    List.init 5 (fun _ ->
+        let bin =
+          analyze
+            (P.executable ~entry_fn:"_start" ~needed:[ "libc.so.6" ]
+               [ P.func "_start" [ P.Call_import "write_wrap" ] ])
+        in
+        Analysis.Resolve.binary_footprint world bin)
+  in
+  List.iter
+    (fun fp ->
+      Alcotest.(check bool) "ld.so startup work included" true
+        (List.mem 9 (syscalls_of fp)))
+    fps;
+  Alcotest.(check int) "ld.so closure resolved once across 5 binaries" 1
+    world.Analysis.Resolve.stats.Analysis.Resolve.ld_computations
+
+let test_import_cycle_safety () =
+  (* mutually recursive libraries terminate and see each other's
+     syscalls, and the cycle guard fully unwinds *)
+  let liba =
+    Analysis.Binary.analyze
+      (Asm.Builder.assemble
+         (P.shared_lib ~soname:"liba.so.1" ~needed:[ "libb.so.1" ]
+            [ P.func "a_fn" [ P.Call_import "b_fn"; P.Direct_syscall 1 ] ]))
+  in
+  let libb =
+    Analysis.Binary.analyze
+      (Asm.Builder.assemble
+         (P.shared_lib ~soname:"libb.so.1" ~needed:[ "liba.so.1" ]
+            [ P.func "b_fn" [ P.Call_import "a_fn"; P.Direct_syscall 2 ] ]))
+  in
+  let world =
+    Analysis.Resolve.make_world
+      ~libc_family:(fun _ -> false)
+      [ ("liba.so.1", liba); ("libb.so.1", libb) ]
+  in
+  let fp = Analysis.Resolve.export_footprint world "liba.so.1" "a_fn" in
+  Alcotest.(check (list int)) "both sides of the cycle reached" [ 1; 2 ]
+    (syscalls_of fp);
+  Alcotest.(check int) "cycle guard unwound" 0
+    (Hashtbl.length world.Analysis.Resolve.in_progress);
+  (* re-resolving after the cycle cut must agree *)
+  let fp' = Analysis.Resolve.export_footprint world "liba.so.1" "a_fn" in
+  Alcotest.(check bool) "memoized cycle result stable" true
+    (Api.Set.equal fp.Footprint.apis fp'.Footprint.apis)
+
+let test_import_set_union_cached () =
+  (* executables sharing an import set share one pre-unioned
+     footprint; results must match a fresh resolution *)
+  let world = make_world () in
+  let mk name =
+    analyze
+      (P.executable ~entry_fn:"_start"
+         ~needed:[ "libc.so.6"; "libfoo.so.1" ] ~interp:None
+         [ P.func "_start"
+             [ P.Call_import "foo_log"; P.Call_import "exit_wrap";
+               P.Use_string name ] ])
+  in
+  let fp1 = Analysis.Resolve.binary_footprint world (mk "/proc/one") in
+  let fp2 = Analysis.Resolve.binary_footprint world (mk "/proc/two") in
+  Alcotest.(check (list int)) "first resolution" [ 1; 231 ]
+    (syscalls_of fp1);
+  Alcotest.(check (list int)) "cached union resolution agrees" [ 1; 231 ]
+    (syscalls_of fp2);
+  Alcotest.(check int) "one union cached for the shared import set" 1
+    (Hashtbl.length world.Analysis.Resolve.union_cache)
+
 (* --- dynamic tracer (strace analogue) ----------------------------------- *)
 
 let trace_world_and_exe () =
@@ -388,5 +488,13 @@ let () =
           Alcotest.test_case "unused exports excluded" `Quick
             test_unused_export_not_included;
           Alcotest.test_case "memoization" `Quick
-            test_memoization_consistency ] ) ]
+            test_memoization_consistency;
+          Alcotest.test_case "memo hit accounting" `Quick
+            test_memo_hits_counted;
+          Alcotest.test_case "ld.so resolved once" `Quick
+            test_ld_so_computed_once;
+          Alcotest.test_case "import cycle safety" `Quick
+            test_import_cycle_safety;
+          Alcotest.test_case "import-set union cache" `Quick
+            test_import_set_union_cached ] ) ]
 

@@ -119,6 +119,55 @@ let test_base_footprint_everywhere () =
              b.Db.Store.br_resolved.Core.Analysis.Footprint.apis))
     s.Db.Store.bins
 
+let test_cache_equivalence () =
+  (* the digest analysis cache must be invisible in the results:
+     cached and uncached runs of the same distribution produce
+     identical footprints, package by package and binary by binary *)
+  let dist =
+    Core.Distro.Generator.generate
+      ~config:
+        { Core.Distro.Generator.default_config with
+          n_packages = 300; seed = 23 }
+      ()
+  in
+  let cached = Db.Pipeline.run ~cache:true dist in
+  let raw = Db.Pipeline.run ~cache:false dist in
+  let sc = cached.Db.Pipeline.store and sr = raw.Db.Pipeline.store in
+  Alcotest.(check int) "same package count" sr.Db.Store.n_packages
+    sc.Db.Store.n_packages;
+  Array.iteri
+    (fun i (pc : Db.Store.pkg_row) ->
+      let pr = sr.Db.Store.packages.(i) in
+      Alcotest.(check string) "row order" pr.Db.Store.pr_name
+        pc.Db.Store.pr_name;
+      Alcotest.(check bool)
+        (pc.Db.Store.pr_name ^ " package footprint identical") true
+        (Api.Set.equal pc.Db.Store.pr_apis pr.Db.Store.pr_apis);
+      Alcotest.(check bool)
+        (pc.Db.Store.pr_name ^ " ELF-only footprint identical") true
+        (Api.Set.equal pc.Db.Store.pr_apis_elf pr.Db.Store.pr_apis_elf))
+    sc.Db.Store.packages;
+  Alcotest.(check int) "same binary count"
+    (List.length sr.Db.Store.bins)
+    (List.length sc.Db.Store.bins);
+  List.iter2
+    (fun (bc : Db.Store.bin_row) (br : Db.Store.bin_row) ->
+      Alcotest.(check string) "binary order" br.Db.Store.br_path
+        bc.Db.Store.br_path;
+      Alcotest.(check bool)
+        (bc.Db.Store.br_path ^ " resolved footprint identical") true
+        (Api.Set.equal bc.Db.Store.br_resolved.Core.Analysis.Footprint.apis
+           br.Db.Store.br_resolved.Core.Analysis.Footprint.apis);
+      Alcotest.(check int)
+        (bc.Db.Store.br_path ^ " unresolved-site count identical")
+        br.Db.Store.br_resolved.Core.Analysis.Footprint.unresolved_sites
+        bc.Db.Store.br_resolved.Core.Analysis.Footprint.unresolved_sites)
+    sc.Db.Store.bins sr.Db.Store.bins;
+  Alcotest.(check int) "cached run passes the spot check" 0
+    (List.length (Db.Pipeline.spot_check cached));
+  Alcotest.(check int) "uncached run passes the spot check" 0
+    (List.length (Db.Pipeline.spot_check raw))
+
 let () =
   Alcotest.run "pipeline"
     [ ( "pipeline",
@@ -134,4 +183,6 @@ let () =
           Alcotest.test_case "binaries classified" `Quick
             test_bins_classified;
           Alcotest.test_case "base footprint" `Quick
-            test_base_footprint_everywhere ] ) ]
+            test_base_footprint_everywhere;
+          Alcotest.test_case "cache equivalence" `Slow
+            test_cache_equivalence ] ) ]

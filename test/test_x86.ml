@@ -147,6 +147,12 @@ let prop_roundtrip =
       let decoded, len = Decode.decode_at bytes 0 in
       decoded = insn && len = String.length bytes)
 
+(* Property: the arithmetic length table agrees with the encoder, so
+   layout can be computed without materializing any bytes. *)
+let prop_length_consistent =
+  QCheck2.Test.make ~name:"length agrees with encode" ~count:2000 gen_insn
+    (fun insn -> Encode.length insn = String.length (Encode.encode insn))
+
 let prop_stream_roundtrip =
   QCheck2.Test.make ~name:"instruction streams round-trip" ~count:300
     QCheck2.Gen.(list_size (int_range 1 40) gen_insn)
@@ -165,4 +171,5 @@ let () =
           Alcotest.test_case "truncation" `Quick test_truncated ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_length_consistent;
           QCheck_alcotest.to_alcotest prop_stream_roundtrip ] ) ]
