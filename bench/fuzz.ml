@@ -1,0 +1,91 @@
+(* Fuzz campaign runner for the CI fuzz-smoke job.
+
+   Drives the mutational harness over seeded corruptions of
+   writer-produced ELFs and enforces the robustness contract: every
+   case terminates with Ok or a structured error. Exits nonzero on
+   any contained crash, and on blowing the wall-clock budget (the
+   hang proxy — a pathological input that stalls the analyzer shows
+   up here even though each case "terminates").
+
+   Usage:
+     dune exec bench/fuzz.exe -- [--seed N] [--cases N] [--packages N]
+                                 [--no-trace] [--max-seconds S] *)
+
+module H = Core.Fuzz.Harness
+
+let usage () =
+  prerr_endline
+    "usage: bench/fuzz.exe [--seed N] [--cases N] [--packages N] \
+     [--no-trace] [--max-seconds S]";
+  exit 2
+
+let parse_args () =
+  let cfg = ref H.default_config and max_seconds = ref None in
+  let pos_int name n k =
+    match int_of_string_opt n with
+    | Some v when v > 0 -> k v
+    | Some _ | None ->
+      Printf.eprintf "fuzz: %s expects a positive integer, got %S\n" name n;
+      usage ()
+  in
+  let rec go = function
+    | [] -> ()
+    | "--seed" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some v -> cfg := { !cfg with H.seed = v }
+       | None ->
+         Printf.eprintf "fuzz: --seed expects an integer, got %S\n" n;
+         usage ());
+      go rest
+    | "--cases" :: n :: rest ->
+      pos_int "--cases" n (fun v -> cfg := { !cfg with H.cases = v });
+      go rest
+    | "--packages" :: n :: rest ->
+      pos_int "--packages" n (fun v ->
+          cfg := { !cfg with H.base_packages = v });
+      go rest
+    | "--no-trace" :: rest ->
+      cfg := { !cfg with H.trace = false };
+      go rest
+    | "--max-seconds" :: n :: rest ->
+      pos_int "--max-seconds" n (fun v -> max_seconds := Some v);
+      go rest
+    | [ ("--seed" | "--cases" | "--packages" | "--max-seconds") ] ->
+      prerr_endline "fuzz: missing argument";
+      usage ()
+    | arg :: _ ->
+      Printf.eprintf "fuzz: unknown argument %s\n" arg;
+      usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!cfg, !max_seconds)
+
+let () =
+  Printexc.record_backtrace true;
+  let cfg, max_seconds = parse_args () in
+  Printf.printf
+    "Fuzzing the ingestion path: %d cases over a %d-package corpus \
+     (seed %d, replay with --seed %d).\n%!"
+    cfg.H.cases cfg.H.base_packages cfg.H.seed cfg.H.seed;
+  let t0 = Unix.gettimeofday () in
+  let report = H.run ~config:cfg () in
+  let wall = Unix.gettimeofday () -. t0 in
+  Fmt.pr "%a" H.pp_report report;
+  Printf.printf "Campaign wall time: %.1fs\n%!" wall;
+  let failed = ref false in
+  if report.H.r_crashes <> [] then begin
+    Printf.eprintf "fuzz: FAIL: %d uncaught crash(es); replay with seed %d\n"
+      (List.length report.H.r_crashes)
+      report.H.r_seed;
+    failed := true
+  end;
+  (match max_seconds with
+   | Some budget when wall > float_of_int budget ->
+     Printf.eprintf
+       "fuzz: FAIL: campaign exceeded its %ds wall-clock budget (%.1fs) — \
+        some input stalls the analyzer\n"
+       budget wall;
+     failed := true
+   | _ -> ());
+  if !failed then exit 1;
+  print_endline "Fuzz campaign: OK"

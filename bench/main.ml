@@ -304,27 +304,38 @@ let baseline_field path key =
   !found
 
 (* CI regression gate: fail when the pipeline stage total regresses
-   more than 50% against the checked-in baseline. The wide margin
-   absorbs machine-to-machine and run-to-run noise; a real complexity
-   regression (the kind this gate exists for) blows well past it. *)
-let check_against ~stage_total_now path =
-  match baseline_field path "stage_total_s" with
-  | None ->
-    Printf.eprintf "bench: no \"stage_total_s\" field found in %s\n" path;
+   more than 50% against the checked-in baseline, or when the run
+   quarantined any binary — the generated corpus is clean, so a
+   nonzero reject counter means an ingestion regression (a
+   well-formed binary suddenly failing to parse or analyze), not
+   noise. The wide timing margin absorbs machine-to-machine and
+   run-to-run variance; a real complexity regression (the kind this
+   gate exists for) blows well past it. *)
+let check_against ~stage_total_now ~quarantined path =
+  (match baseline_field path "stage_total_s" with
+   | None ->
+     Printf.eprintf "bench: no \"stage_total_s\" field found in %s\n" path;
+     exit 1
+   | Some baseline ->
+     let limit = baseline *. 1.5 in
+     Printf.printf
+       "Regression check: stage total %.3fs vs baseline %.3fs (limit %.3fs)\n"
+       stage_total_now baseline limit;
+     if stage_total_now > limit then begin
+       Printf.eprintf
+         "bench: FAIL: pipeline stage total regressed more than 50%% \
+          (%.3fs > %.3fs)\n"
+         stage_total_now limit;
+       exit 1
+     end);
+  if quarantined > 0 then begin
+    Printf.eprintf
+      "bench: FAIL: %d binaries quarantined on a clean corpus (see the \
+       \"reject:*\" counters in the BENCH JSON)\n"
+      quarantined;
     exit 1
-  | Some baseline ->
-    let limit = baseline *. 1.5 in
-    Printf.printf
-      "Regression check: stage total %.3fs vs baseline %.3fs (limit %.3fs)\n"
-      stage_total_now baseline limit;
-    if stage_total_now > limit then begin
-      Printf.eprintf
-        "bench: FAIL: pipeline stage total regressed more than 50%% \
-         (%.3fs > %.3fs)\n"
-        stage_total_now limit;
-      exit 1
-    end
-    else print_endline "Regression check: OK"
+  end;
+  print_endline "Regression check: OK"
 
 let () =
   let args = parse_args () in
@@ -348,6 +359,10 @@ let () =
     "Spot check (Section 2.3): %d package footprint mismatches between \
      static analysis and ground truth.\n"
     (List.length mismatches);
+  let quarantined = Core.Db.Pipeline.quarantined env.Study.Env.analyzed in
+  Printf.printf
+    "Quarantined binaries: %d (expected 0 on the clean corpus).\n"
+    quarantined;
   let selected =
     match args.ids with
     | [] -> Study.Experiments.all
@@ -366,5 +381,7 @@ let () =
       ~wall ~micro_results
       (Printf.sprintf "BENCH_%d.json" args.packages);
   Option.iter
-    (check_against ~stage_total_now:(stage_total (Core.Perf.Stage.report ())))
+    (check_against
+       ~stage_total_now:(stage_total (Core.Perf.Stage.report ()))
+       ~quarantined)
     args.check_against

@@ -58,7 +58,16 @@ let string_at (img : Image.t) addr =
      | Some stop -> Some (String.sub img.rodata off (stop - off))
      | None -> None)
 
-let analyze ?(mode = Dataflow) (img : Image.t) : t =
+(* Decoder budget: total instructions decoded per binary, across all
+   function listings. Valid binaries decode each .text byte at most
+   once per covering symbol; a fuzzed symbol table can claim thousands
+   of overlapping max-size functions, turning disassembly quadratic.
+   The budget caps that promptly — exhaustion truncates the remaining
+   listings and is counted, never silent. *)
+let default_decode_fuel = 2_000_000
+
+let analyze ?(mode = Dataflow) ?dataflow_fuel
+    ?(decode_fuel = default_decode_fuel) (img : Image.t) : t =
   let fn_by_addr =
     List.fold_left
       (fun m s -> Int_map.add s.Image.sym_addr s.Image.sym_name m)
@@ -88,23 +97,32 @@ let analyze ?(mode = Dataflow) (img : Image.t) : t =
      displacements exact. *)
   let listings =
     Lapis_perf.Stage.time "disassemble" (fun () ->
-        List.filter_map
-          (fun s ->
-            match Image.text_offset img s.Image.sym_addr with
-            | None -> None
-            | Some off ->
-              let stop =
-                min (off + s.Image.sym_size) (String.length img.text)
-              in
-              let insns = ref [] in
-              let pos = ref off in
-              while !pos < stop do
-                let insn, len = Lapis_x86.Decode.decode_at img.text !pos in
-                insns := (img.text_addr + !pos, insn, len) :: !insns;
-                pos := !pos + len
-              done;
-              Some (s.Image.sym_name, List.rev !insns))
-          img.symbols)
+        let budget = ref decode_fuel in
+        let exhausted = ref false in
+        let out =
+          List.filter_map
+            (fun s ->
+              match Image.text_offset img s.Image.sym_addr with
+              | None -> None
+              | Some off ->
+                let stop =
+                  min (off + s.Image.sym_size) (String.length img.text)
+                in
+                let insns = ref [] in
+                let pos = ref off in
+                while !pos < stop && !budget > 0 do
+                  decr budget;
+                  let insn, len = Lapis_x86.Decode.decode_at img.text !pos in
+                  insns := (img.text_addr + !pos, insn, len) :: !insns;
+                  pos := !pos + len
+                done;
+                if !pos < stop then exhausted := true;
+                Some (s.Image.sym_name, List.rev !insns))
+            img.symbols
+        in
+        if !exhausted then
+          Lapis_perf.Stage.incr "fuel:decode-exhausted";
+        out)
   in
   let fns = Hashtbl.create 64 in
   (match mode with
@@ -120,7 +138,8 @@ let analyze ?(mode = Dataflow) (img : Image.t) : t =
      let df = Hashtbl.create 64 in
      List.iter
        (fun (name, insns) ->
-         Hashtbl.replace df name (Dataflow.analyze ctx insns))
+         Hashtbl.replace df name
+           (Dataflow.analyze ?fuel:dataflow_fuel ctx insns))
        listings;
      (* Interprocedural round: resolve callee summary sites from the
         constant arguments at each local call site. APIs land in the

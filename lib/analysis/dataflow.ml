@@ -138,14 +138,26 @@ type result = {
       (** per local call site: callee address and the constant values
           of the argument registers at the call — the inputs the
           binary-level pass feeds into callee summaries *)
+  fuel_exhausted : bool;
+      (** the fixpoint stopped at its transfer budget: the recorded
+          states are a sound snapshot of an unfinished iteration, so
+          the footprint may under-approximate (counted, never silent) *)
 }
+
+(* Fixpoint transfer budget. Real functions converge within a few
+   sweeps of their block count; the budget only fires on adversarial
+   CFGs (thousands of single-instruction blocks cross-jumping each
+   other), turning a multi-second fixpoint into a prompt partial
+   result. *)
+let default_fuel = 100_000
 
 module Site_set = Set.Make (struct
   type t = Summary.site
   let compare = compare
 end)
 
-let analyze (ctx : Scan.context) (insns : (int * Insn.t * int) list) : result =
+let analyze ?(fuel = default_fuel) (ctx : Scan.context)
+    (insns : (int * Insn.t * int) list) : result =
   let cfg = Cfg.build insns in
   let n = Cfg.n_blocks cfg in
   let direct = ref Footprint.empty in
@@ -153,9 +165,10 @@ let analyze (ctx : Scan.context) (insns : (int * Insn.t * int) list) : result =
   let leas = ref [] in
   let summary = ref Site_set.empty in
   let call_args = ref [] in
+  let fuel_left = ref fuel in
   if n = 0 then
     { direct = !direct; calls = []; lea_code_targets = []; summary = [];
-      local_call_args = [] }
+      local_call_args = []; fuel_exhausted = false }
   else begin
     (* --- worklist fixpoint ------------------------------------------
        Pending blocks are swept in reverse postorder: a cursor walks
@@ -174,10 +187,11 @@ let analyze (ctx : Scan.context) (insns : (int * Insn.t * int) list) : result =
     let pending = Array.make n false in
     pending.(cfg.Cfg.entry) <- true;
     let cursor = ref 0 in
-    while !cursor < m do
+    while !cursor < m && !fuel_left > 0 do
       let i = order.(!cursor) in
       incr cursor;
       if pending.(i) then begin
+        decr fuel_left;
         pending.(i) <- false;
         match in_states.(i) with
         | None -> ()
@@ -216,6 +230,9 @@ let analyze (ctx : Scan.context) (insns : (int * Insn.t * int) list) : result =
               cfg.Cfg.succs.(i)
       end
     done;
+    (* ran dry with sweeps still pending: an unfinished iteration *)
+    let exhausted = !fuel_left <= 0 && !cursor < m in
+    if exhausted then Lapis_perf.Stage.incr "fuel:dataflow-exhausted";
     (* --- recording pass over reachable blocks ----------------------- *)
     let add_summary site =
       if not (Site_set.mem site !summary) then
@@ -326,6 +343,7 @@ let analyze (ctx : Scan.context) (insns : (int * Insn.t * int) list) : result =
       lea_code_targets = !leas;
       summary = Site_set.elements !summary;
       local_call_args = List.rev !call_args;
+      fuel_exhausted = exhausted;
     }
   end
 

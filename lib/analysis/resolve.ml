@@ -14,6 +14,9 @@ type stats = {
   mutable ld_computations : int;
   mutable memo_hits : int;
   mutable memo_misses : int;
+  mutable rejects : (string * int) list;
+      (** quarantined binaries per {!Lapis_elf.Reader.kind_name} (plus
+          "analysis-crash"), filled in by {!Lapis_store.Pipeline.run} *)
 }
 
 type world = {
@@ -50,7 +53,8 @@ let make_world ?ld_so ~libc_family (libs : (string * Binary.t) list) =
     in_progress = Hashtbl.create 64;
     union_cache = Hashtbl.create 256;
     ld_so_fp = None;
-    stats = { ld_computations = 0; memo_hits = 0; memo_misses = 0 };
+    stats =
+      { ld_computations = 0; memo_hits = 0; memo_misses = 0; rejects = [] };
   }
 
 (* Resolve the imports of a local closure computed in [soname]'s

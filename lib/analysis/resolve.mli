@@ -12,6 +12,11 @@ type stats = {
       (** {!export_footprint} calls served from the memo table *)
   mutable memo_misses : int;
       (** {!export_footprint} calls that resolved a closure *)
+  mutable rejects : (string * int) list;
+      (** quarantined binaries per error kind
+          ({!Lapis_elf.Reader.kind_name}, plus "analysis-crash" for
+          contained analyzer exceptions), filled in by
+          {!Lapis_store.Pipeline.run}; empty on a clean corpus *)
 }
 
 type world = {

@@ -234,6 +234,13 @@ let run ?(limits = default_limits) (world : Resolve.world) (bin : Binary.t) :
          exec { bin; addr = sym.Lapis_elf.Image.sym_addr } 0
        | None -> Finished)
   in
+  (* fuel accounting: a pathological program (e.g. a fuzzed self-jump
+     loop) burns its step or depth budget and stops here, counted —
+     the interpreter's partial footprint is still returned *)
+  (match outcome with
+   | Step_limit | Depth_limit ->
+     Lapis_perf.Stage.incr "fuel:trace-exhausted"
+   | Finished | Wild_jump _ -> ());
   { footprint = !fp; steps = !steps; outcome }
 
 (* The containment the paper spot-checks: every system call and

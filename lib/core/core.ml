@@ -17,6 +17,9 @@
       popularity-contest model.
     - {!Db}: the in-memory relational store and the end-to-end
       pipeline.
+    - {!Fuzz}: the mutational fuzz harness that hardens the ingestion
+      path — seeded ELF mutations driven through parse/analyze/resolve
+      with structured-error and crash-containment assertions.
     - {!Metrics}: API importance, weighted completeness, unweighted
       importance, footprint uniqueness, and the Monte-Carlo validator.
     - {!Study}: one module per figure/table of the paper's evaluation.
@@ -82,6 +85,11 @@ end
 module Db = struct
   module Store = Lapis_store.Store
   module Pipeline = Lapis_store.Pipeline
+end
+
+module Fuzz = struct
+  module Mutate = Lapis_fuzz.Mutate
+  module Harness = Lapis_fuzz.Harness
 end
 
 module Metrics = struct

@@ -1,28 +1,97 @@
 (** Parser from ELF64 bytes back to {!Image.t}. This is the entry
     point of the study pipeline: the analyzer never sees generator
     state, only the bytes of each binary, exactly like the paper's
-    objdump-based tool. *)
+    objdump-based tool.
+
+    The parser is the trust boundary of the whole tool: [lapis
+    footprint]/[lapis seccomp] hand it arbitrary user files, and the
+    fuzz harness ({!Lapis_fuzz.Harness}) hands it adversarial
+    mutations of valid binaries. Every read therefore goes through the
+    bounds-checked accessors below, and every failure is a structured
+    {!error} whose {!kind} the pipeline's quarantine counters
+    aggregate — never an exception. *)
+
+type kind =
+  | K_not_elf
+  | K_unsupported
+  | K_truncated
+  | K_bad_header
+  | K_bad_strtab
+  | K_bad_reloc
+  | K_malformed
 
 type error =
   | Not_elf
   | Unsupported of string
+  | Truncated of string
+  | Bad_header of string
+  | Bad_strtab of string
+  | Bad_reloc of string
   | Malformed of string
+
+let kind = function
+  | Not_elf -> K_not_elf
+  | Unsupported _ -> K_unsupported
+  | Truncated _ -> K_truncated
+  | Bad_header _ -> K_bad_header
+  | Bad_strtab _ -> K_bad_strtab
+  | Bad_reloc _ -> K_bad_reloc
+  | Malformed _ -> K_malformed
+
+let kind_name = function
+  | K_not_elf -> "not-elf"
+  | K_unsupported -> "unsupported"
+  | K_truncated -> "truncated"
+  | K_bad_header -> "bad-header"
+  | K_bad_strtab -> "bad-strtab"
+  | K_bad_reloc -> "bad-reloc"
+  | K_malformed -> "malformed"
+
+let all_kinds =
+  [ K_not_elf; K_unsupported; K_truncated; K_bad_header; K_bad_strtab;
+    K_bad_reloc; K_malformed ]
 
 let pp_error ppf = function
   | Not_elf -> Fmt.pf ppf "not an ELF file"
   | Unsupported what -> Fmt.pf ppf "unsupported ELF: %s" what
+  | Truncated what -> Fmt.pf ppf "truncated ELF: %s" what
+  | Bad_header what -> Fmt.pf ppf "bad ELF header: %s" what
+  | Bad_strtab what -> Fmt.pf ppf "bad string table: %s" what
+  | Bad_reloc what -> Fmt.pf ppf "bad relocation: %s" what
   | Malformed what -> Fmt.pf ppf "malformed ELF: %s" what
 
 exception Fail of error
 
-let u8 s pos = Char.code s.[pos]
-let u16 s pos = u8 s pos lor (u8 s (pos + 1) lsl 8)
-let u32 s pos = u16 s pos lor (u16 s (pos + 2) lsl 16)
+let fail e = raise (Fail e)
 
-let u64 s pos =
+(* --- bounds-checked accessor layer ---------------------------------
+   Every multi-byte read states what it was reading; a read past the
+   end of the buffer becomes [Truncated what] instead of an
+   [Invalid_argument] escaping from [String.get]. [pos] values come
+   from attacker-controlled fields, so they are validated as offsets
+   (non-negative, in range) before any arithmetic that could wrap. *)
+
+let need what s pos n =
+  if pos < 0 || n < 0 || pos > String.length s - n then
+    fail (Truncated what)
+
+let u8 what s pos =
+  need what s pos 1;
+  Char.code s.[pos]
+
+let u16 what s pos =
+  need what s pos 2;
+  Char.code s.[pos] lor (Char.code s.[pos + 1] lsl 8)
+
+let u32 what s pos =
+  need what s pos 4;
+  u16 what s pos lor (u16 what s (pos + 2) lsl 16)
+
+let u64 what s pos =
   (* The study's addresses fit in OCaml's 63-bit int. *)
-  let lo = u32 s pos and hi = u32 s (pos + 4) in
-  if hi land 0x80000000 <> 0 then raise (Fail (Malformed "64-bit overflow"));
+  need what s pos 8;
+  let lo = u32 what s pos and hi = u32 what s (pos + 4) in
+  if hi land 0x80000000 <> 0 then fail (Malformed (what ^ ": 64-bit overflow"));
   lo lor (hi lsl 32)
 
 type raw_section = {
@@ -35,79 +104,100 @@ type raw_section = {
   entsize : int;
 }
 
-let cstring data pos =
+(* NUL-terminated string at [pos] in a string table. A table with no
+   terminator once silently yielded the un-terminated buffer tail,
+   fabricating symbol and soname names out of whatever garbage
+   followed — both the missing NUL and an out-of-range offset are
+   [Bad_strtab] now. *)
+let cstring what data pos =
+  if pos < 0 || pos > String.length data then
+    fail (Bad_strtab (what ^ ": offset outside string table"));
   match String.index_from_opt data pos '\x00' with
   | Some stop -> String.sub data pos (stop - pos)
-  | None -> String.sub data pos (String.length data - pos)
+  | None -> fail (Bad_strtab (what ^ ": missing NUL terminator"))
 
-let section_data bytes s = String.sub bytes s.off s.size
+let section_data bytes s =
+  (* [off]/[size] are file-controlled: check them as a range over the
+     file instead of letting [String.sub] raise. *)
+  if s.off < 0 || s.size < 0 || s.off > String.length bytes - s.size then
+    fail (Truncated (Printf.sprintf "section %S data" s.name));
+  String.sub bytes s.off s.size
 
 let parse_sections bytes =
-  let shoff = u64 bytes 0x28 in
-  let shentsize = u16 bytes 0x3A in
-  let shnum = u16 bytes 0x3C in
-  let shstrndx = u16 bytes 0x3E in
-  if shentsize <> 64 then raise (Fail (Malformed "shentsize"));
+  let shoff = u64 "e_shoff" bytes 0x28 in
+  let shentsize = u16 "e_shentsize" bytes 0x3A in
+  let shnum = u16 "e_shnum" bytes 0x3C in
+  let shstrndx = u16 "e_shstrndx" bytes 0x3E in
+  if shentsize <> 64 then fail (Bad_header "e_shentsize is not 64");
+  if shnum = 0 then fail (Bad_header "empty section table");
+  (* the whole table must lie inside the file before per-entry reads *)
+  if shoff < 0 || shoff > String.length bytes - (shnum * 64) then
+    fail (Truncated "section header table");
   let raw i =
     let p = shoff + (i * 64) in
-    ( u32 bytes p,
+    ( u32 "sh_name" bytes p,
       {
         name = "";
-        stype = u32 bytes (p + 4);
-        addr = u64 bytes (p + 16);
-        off = u64 bytes (p + 24);
-        size = u64 bytes (p + 32);
-        link = u32 bytes (p + 40);
-        entsize = u64 bytes (p + 56);
+        stype = u32 "sh_type" bytes (p + 4);
+        addr = u64 "sh_addr" bytes (p + 16);
+        off = u64 "sh_offset" bytes (p + 24);
+        size = u64 "sh_size" bytes (p + 32);
+        link = u32 "sh_link" bytes (p + 40);
+        entsize = u64 "sh_entsize" bytes (p + 56);
       } )
   in
   let raws = List.init shnum raw in
-  let _, shstr =
-    try List.nth raws shstrndx with _ -> raise (Fail (Malformed "shstrndx"))
-  in
+  if shstrndx >= shnum then fail (Bad_header "e_shstrndx out of range");
+  let _, shstr = List.nth raws shstrndx in
   let shstrtab = section_data bytes shstr in
-  List.map (fun (nameoff, s) -> { s with name = cstring shstrtab nameoff }) raws
+  List.map
+    (fun (nameoff, s) ->
+      { s with name = cstring "section name" shstrtab nameoff })
+    raws
+
+let nth_section what sections i =
+  match List.nth_opt sections i with
+  | Some s -> s
+  | None -> fail (Bad_header (what ^ " out of range"))
 
 let parse_symbols bytes sections symsec =
-  let strsec =
-    try List.nth sections symsec.link
-    with _ -> raise (Fail (Malformed "symtab link"))
-  in
+  let strsec = nth_section "symtab link" sections symsec.link in
   let strtab = section_data bytes strsec in
   let data = section_data bytes symsec in
   let n = String.length data / 24 in
   List.init n (fun i ->
       let p = i * 24 in
-      let nameoff = u32 data p in
-      let info = u8 data (p + 4) in
-      let shndx = u16 data (p + 6) in
-      let value = u64 data (p + 8) in
-      let size = u64 data (p + 16) in
-      (cstring strtab nameoff, info, shndx, value, size))
+      let nameoff = u32 "st_name" data p in
+      let info = u8 "st_info" data (p + 4) in
+      let shndx = u16 "st_shndx" data (p + 6) in
+      let value = u64 "st_value" data (p + 8) in
+      let size = u64 "st_size" data (p + 16) in
+      (cstring "symbol name" strtab nameoff, info, shndx, value, size))
 
 let find sections name = List.find_opt (fun s -> s.name = name) sections
 
 let parse bytes : (Image.t, error) result =
   try
-    if String.length bytes < 64 then raise (Fail Not_elf);
-    if String.sub bytes 0 4 <> "\x7fELF" then raise (Fail Not_elf);
-    if u8 bytes 4 <> 2 then raise (Fail (Unsupported "not ELF64"));
-    if u8 bytes 5 <> 1 then raise (Fail (Unsupported "not little-endian"));
-    let e_type = u16 bytes 0x10 in
-    if u16 bytes 0x12 <> 0x3E then raise (Fail (Unsupported "not x86-64"));
-    let entry = u64 bytes 0x18 in
+    if String.length bytes < 64 then fail Not_elf;
+    if String.sub bytes 0 4 <> "\x7fELF" then fail Not_elf;
+    if u8 "ei_class" bytes 4 <> 2 then fail (Unsupported "not ELF64");
+    if u8 "ei_data" bytes 5 <> 1 then fail (Unsupported "not little-endian");
+    let e_type = u16 "e_type" bytes 0x10 in
+    if u16 "e_machine" bytes 0x12 <> 0x3E then
+      fail (Unsupported "not x86-64");
+    let entry = u64 "e_entry" bytes 0x18 in
     let sections = parse_sections bytes in
     let text =
       match find sections ".text" with
       | Some s -> s
-      | None -> raise (Fail (Malformed "no .text"))
+      | None -> fail (Malformed "no .text")
     in
     let rodata = find sections ".rodata" in
     let interp =
       match find sections ".interp" with
       | Some s ->
         let d = section_data bytes s in
-        Some (cstring d 0)
+        Some (cstring "PT_INTERP path" d 0)
       | None -> None
     in
     let dynsyms =
@@ -144,11 +234,11 @@ let parse bytes : (Image.t, error) result =
         let dynsym_arr = Array.of_list dynsyms in
         List.init (String.length data / 24) (fun i ->
             let p = i * 24 in
-            let got = u64 data p in
-            let info = u64 data (p + 8) in
+            let got = u64 "r_offset" data p in
+            let info = u64 "r_info" data (p + 8) in
             let symidx = info lsr 32 in
             if symidx >= Array.length dynsym_arr then
-              raise (Fail (Malformed "rela.plt symbol index"));
+              fail (Bad_reloc "symbol index past .dynsym");
             let name, _, _, _, _ = dynsym_arr.(symidx) in
             (name, got))
       | None -> []
@@ -156,19 +246,22 @@ let parse bytes : (Image.t, error) result =
     let needed, soname =
       match find sections ".dynamic" with
       | Some s ->
-        let strsec =
-          try List.nth sections s.link
-          with _ -> raise (Fail (Malformed "dynamic link"))
-        in
+        let strsec = nth_section "dynamic link" sections s.link in
         let strtab = section_data bytes strsec in
         let data = section_data bytes s in
         let n = String.length data / 16 in
         let needed = ref [] and soname = ref None in
         for i = 0 to n - 1 do
-          let tag = u64 data (i * 16) in
-          let v = u64 data ((i * 16) + 8) in
-          if tag = 1 then needed := cstring strtab v :: !needed
-          else if tag = 14 then soname := Some (cstring strtab v)
+          let tag = u64 "d_tag" data (i * 16) in
+          let v = u64 "d_val" data ((i * 16) + 8) in
+          (* [v] indexes the linked strtab; validate it here so a
+             bogus dynamic entry cannot push [cstring] out of range *)
+          if tag = 1 || tag = 14 then begin
+            if v >= String.length strtab then
+              fail (Bad_strtab "dynamic entry offset outside .dynstr");
+            if tag = 1 then needed := cstring "DT_NEEDED" strtab v :: !needed
+            else soname := Some (cstring "DT_SONAME" strtab v)
+          end
         done;
         (List.rev !needed, !soname)
       | None -> ([], None)
@@ -196,4 +289,4 @@ let parse bytes : (Image.t, error) result =
       }
   with
   | Fail e -> Error e
-  | Invalid_argument _ -> Error (Malformed "out-of-bounds section data")
+  | Invalid_argument what -> Error (Malformed ("out-of-bounds read: " ^ what))

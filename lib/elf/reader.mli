@@ -1,12 +1,40 @@
 (** Parser from ELF64 bytes to {!Image.t} — the entry point of the
     study pipeline. The analyzer never sees generator state, only the
     bytes of each binary, exactly like the paper's objdump-based
-    tool. *)
+    tool.
+
+    This is the tool's trust boundary: [lapis footprint] and [lapis
+    seccomp] hand it arbitrary user files, and the fuzz harness hands
+    it adversarial mutations of valid binaries. Parsing therefore goes
+    through a bounds-checked accessor layer and classifies every
+    failure into the structured taxonomy below, which the pipeline's
+    per-kind quarantine counters aggregate. *)
+
+type kind =
+  | K_not_elf
+  | K_unsupported
+  | K_truncated  (** a header or section claims bytes past end of file *)
+  | K_bad_header  (** inconsistent e_sh* fields or section indexes *)
+  | K_bad_strtab  (** string offset out of range, or no NUL terminator *)
+  | K_bad_reloc  (** relocation symbol index past .dynsym *)
+  | K_malformed  (** everything else *)
 
 type error =
   | Not_elf
   | Unsupported of string  (** valid ELF, but not ELF64/x86-64/LE *)
+  | Truncated of string
+  | Bad_header of string
+  | Bad_strtab of string
+  | Bad_reloc of string
   | Malformed of string
+
+val kind : error -> kind
+
+val kind_name : kind -> string
+(** Stable short name ("truncated", "bad-strtab", ...) used as the
+    quarantine counter key in [world.stats] and the bench JSON. *)
+
+val all_kinds : kind list
 
 val pp_error : Format.formatter -> error -> unit
 

@@ -1,0 +1,285 @@
+(** Mutational fuzz harness for the binary-ingestion path.
+
+    Drives [Reader.parse -> Binary.analyze -> Resolve -> Trace] over
+    seeded mutations of writer-produced ELFs, asserting the robustness
+    contract the paper's tool needed across 66,275 real binaries:
+    every input terminates promptly with [Ok] or a structured
+    [Error] — never an uncaught exception, out-of-bounds read, or
+    hang. A campaign is a pure function of its configuration, so any
+    crash replays from the printed seed. *)
+
+module Rng = Lapis_distro.Rng
+module Reader = Lapis_elf.Reader
+module Binary = Lapis_analysis.Binary
+module Resolve = Lapis_analysis.Resolve
+module Trace = Lapis_analysis.Trace
+module Stage = Lapis_perf.Stage
+module P = Lapis_distro.Package
+
+type config = {
+  seed : int;  (** campaign seed; printed so failures replay *)
+  cases : int;  (** mutated inputs to run *)
+  base_packages : int;  (** size of the generated seed corpus *)
+  trace : bool;  (** also run the bounded tracer on survivors *)
+}
+
+let default_config =
+  { seed = 0xF00D; cases = 1_000; base_packages = 25; trace = true }
+
+type crash = {
+  c_case : int;  (** case index, for replay *)
+  c_kinds : string list;  (** mutation stack that produced the input *)
+  c_exn : string;
+  c_backtrace : string;
+}
+
+type report = {
+  r_seed : int;
+  r_cases : int;
+  r_ok : int;  (** parsed and analyzed to completion *)
+  r_rejected : (string * int) list;  (** per {!Reader.kind_name} *)
+  r_mutations : (string * int) list;  (** times each mutation applied *)
+  r_crashes : crash list;  (** must be empty *)
+  r_fuel : (string * int) list;  (** fuel-counter deltas this campaign *)
+  r_slowest_case : int;
+  r_slowest_ms : float;
+}
+
+let fuel_counters =
+  [ "fuel:dataflow-exhausted"; "fuel:decode-exhausted";
+    "fuel:trace-exhausted" ]
+
+(* Tight tracer limits: the harness cares about termination, not
+   coverage, and a 10k-case campaign cannot afford 200k steps each. *)
+let trace_limits = { Trace.max_steps = 20_000; Trace.max_depth = 64 }
+
+(* --- seed corpus ---------------------------------------------------- *)
+
+(* Every ELF payload of a small generated distribution: the runtime
+   family, the application shared libraries, and each package's
+   binaries. These are exactly the writer-produced bytes the clean
+   pipeline sees, so mutations explore the neighborhood of real
+   inputs instead of random noise. *)
+let corpus ~base_packages ~seed : string array =
+  let dist =
+    Lapis_distro.Generator.generate
+      ~config:
+        { Lapis_distro.Generator.default_config with
+          n_packages = base_packages;
+          seed }
+      ()
+  in
+  let elves = ref [] in
+  List.iter (fun (_, bytes) -> elves := bytes :: !elves) dist.P.runtime;
+  List.iter (fun (_, _, bytes) -> elves := bytes :: !elves) dist.P.shared_libs;
+  List.iter
+    (fun (pkg : P.t) ->
+      List.iter
+        (fun (f : P.file) ->
+          if String.length f.P.bytes >= 4 && String.sub f.P.bytes 0 4 = "\x7fELF"
+          then elves := f.P.bytes :: !elves)
+        pkg.P.files)
+    dist.P.packages;
+  Array.of_list (List.rev !elves)
+
+(* A minimal resolution world so survivors exercise the cross-library
+   and tracing paths. Built from pristine runtime bytes: a parse
+   failure here would be a bug in the writer, not the fuzz target. *)
+let clean_world ~base_packages ~seed : Resolve.world =
+  let dist =
+    Lapis_distro.Generator.generate
+      ~config:
+        { Lapis_distro.Generator.default_config with
+          n_packages = base_packages;
+          seed }
+      ()
+  in
+  let runtime_sonames = List.map fst dist.P.runtime in
+  let libs =
+    List.filter_map
+      (fun (soname, bytes) ->
+        match Reader.parse bytes with
+        | Ok img -> Some (soname, Binary.analyze img)
+        | Error _ -> None)
+      dist.P.runtime
+  in
+  let ld_so = List.assoc_opt "ld-linux-x86-64.so.2" libs in
+  Resolve.make_world ?ld_so
+    ~libc_family:(fun soname -> List.mem soname runtime_sonames)
+    libs
+
+(* --- one case ------------------------------------------------------- *)
+
+type outcome =
+  | Survived  (** parsed and analyzed cleanly *)
+  | Rejected of string  (** structured error, by kind name *)
+  | Crashed of string * string  (** exn, backtrace: the failure mode *)
+
+(* Run the whole ingestion path over one mutated input. The only
+   acceptable outcomes are [Survived] and [Rejected]: any exception
+   escaping is the bug class this harness exists to find. *)
+let run_case ~trace world (bytes : string) : outcome =
+  match Reader.parse bytes with
+  | Error e -> Rejected Reader.(kind_name (kind e))
+  | Ok img ->
+    (try
+       let bin = Binary.analyze ~mode:Binary.Dataflow img in
+       ignore (Binary.analyze ~mode:Binary.Linear img : Binary.t);
+       ignore (Resolve.binary_footprint world bin : _);
+       if trace then
+         ignore (Trace.run ~limits:trace_limits world bin : Trace.result);
+       Survived
+     with e ->
+       let bt = Printexc.get_backtrace () in
+       Crashed (Printexc.to_string e, bt))
+  | exception e ->
+    (* Reader.parse returning [result] is itself part of the contract *)
+    let bt = Printexc.get_backtrace () in
+    Crashed ("Reader.parse raised: " ^ Printexc.to_string e, bt)
+
+(* Deterministic per-case stream: depends only on (seed, case index),
+   so one failing case replays without rerunning its predecessors. *)
+let case_rng ~seed i = Rng.create ((seed * 1_000_003) + i)
+
+(* The exact input case [i] of a campaign runs, for replay/debugging. *)
+let case_input cfg ~corpus:(c : string array) i : string * Mutate.kind list =
+  let rng = case_rng ~seed:cfg.seed i in
+  let base = c.(Rng.int rng (Array.length c)) in
+  Mutate.random rng base
+
+(* --- campaign ------------------------------------------------------- *)
+
+let run ?(config = default_config) () : report =
+  let c = corpus ~base_packages:config.base_packages ~seed:config.seed in
+  if Array.length c = 0 then invalid_arg "Harness.run: empty seed corpus";
+  let world = clean_world ~base_packages:config.base_packages ~seed:config.seed in
+  let fuel0 = List.map (fun n -> (n, Stage.counter n)) fuel_counters in
+  let rejected : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let mutations : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  let ok = ref 0 in
+  let crashes = ref [] in
+  let slowest_case = ref 0 in
+  let slowest_ns = ref 0L in
+  for i = 0 to config.cases - 1 do
+    let bytes, kinds = case_input config ~corpus:c i in
+    List.iter (fun k -> bump mutations (Mutate.name k)) kinds;
+    let t0 = Monotonic_clock.now () in
+    (match run_case ~trace:config.trace world bytes with
+     | Survived -> incr ok
+     | Rejected kind -> bump rejected kind
+     | Crashed (exn, bt) ->
+       crashes :=
+         { c_case = i;
+           c_kinds = List.map Mutate.name kinds;
+           c_exn = exn;
+           c_backtrace = bt }
+         :: !crashes);
+    let dt = Int64.sub (Monotonic_clock.now ()) t0 in
+    if Int64.compare dt !slowest_ns > 0 then begin
+      slowest_ns := dt;
+      slowest_case := i
+    end
+  done;
+  let table tbl =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  {
+    r_seed = config.seed;
+    r_cases = config.cases;
+    r_ok = !ok;
+    r_rejected = table rejected;
+    r_mutations = table mutations;
+    r_crashes = List.rev !crashes;
+    r_fuel =
+      List.map
+        (fun (n, before) -> (n, Stage.counter n - before))
+        fuel0;
+    r_slowest_case = !slowest_case;
+    r_slowest_ms = Int64.to_float !slowest_ns /. 1e6;
+  }
+
+let pp_report ppf (r : report) =
+  let total_rejected = List.fold_left (fun n (_, v) -> n + v) 0 r.r_rejected in
+  Format.fprintf ppf
+    "fuzz campaign: seed=%d cases=%d ok=%d rejected=%d crashes=%d@\n"
+    r.r_seed r.r_cases r.r_ok total_rejected (List.length r.r_crashes);
+  List.iter
+    (fun (k, n) -> Format.fprintf ppf "  reject %-12s %6d@\n" k n)
+    r.r_rejected;
+  List.iter
+    (fun (k, n) -> Format.fprintf ppf "  mutate %-15s %6d@\n" k n)
+    r.r_mutations;
+  List.iter
+    (fun (k, n) -> if n > 0 then Format.fprintf ppf "  %-26s %6d@\n" k n)
+    r.r_fuel;
+  Format.fprintf ppf "  slowest case %d: %.1f ms@\n" r.r_slowest_case
+    r.r_slowest_ms;
+  List.iter
+    (fun cr ->
+      Format.fprintf ppf "  CRASH case=%d kinds=[%s]: %s@\n%s@\n" cr.c_case
+        (String.concat "," cr.c_kinds) cr.c_exn cr.c_backtrace)
+    r.r_crashes
+
+(* --- pipeline quarantine fuzz --------------------------------------- *)
+
+type smoke = {
+  s_analyzed : Lapis_store.Pipeline.analyzed;
+  s_mutated : int;  (** package files whose bytes were mutated *)
+  s_forced : int;  (** of those, truncated hard enough to always reject *)
+}
+
+(* End-to-end containment check: corrupt a slice of a distribution's
+   package files, run the full pipeline, and let the caller assert the
+   run completes with the damage counted in [world.stats.rejects]
+   rather than dying. Half the victims get a header truncation that
+   can never parse (a lower bound on the expected quarantine count);
+   the rest get the full mutation stack, which may or may not still
+   parse. *)
+let pipeline_smoke ?(seed = 7) ?(packages = 20) ?(victims = 12) () : smoke =
+  let dist =
+    Lapis_distro.Generator.generate
+      ~config:
+        { Lapis_distro.Generator.default_config with
+          n_packages = packages;
+          seed }
+      ()
+  in
+  let rng = Rng.create ((seed * 7_368_787) + 1) in
+  let mutated = ref 0 and forced = ref 0 in
+  let mutate_file (f : P.file) =
+    if
+      !mutated < victims
+      && String.length f.P.bytes >= 64
+      && String.sub f.P.bytes 0 4 = "\x7fELF"
+      && Rng.bool rng 0.5
+    then begin
+      incr mutated;
+      let bytes =
+        if !mutated mod 2 = 0 then begin
+          (* keep the magic, lose the header: unconditionally rejected *)
+          incr forced;
+          String.sub f.P.bytes 0 (16 + Rng.int rng 40)
+        end
+        else fst (Mutate.random rng f.P.bytes)
+      in
+      { f with P.bytes }
+    end
+    else f
+  in
+  let dist =
+    { dist with
+      P.packages =
+        List.map
+          (fun (pkg : P.t) ->
+            { pkg with P.files = List.map mutate_file pkg.P.files })
+          dist.P.packages
+    }
+  in
+  {
+    s_analyzed = Lapis_store.Pipeline.run dist;
+    s_mutated = !mutated;
+    s_forced = !forced;
+  }

@@ -1,0 +1,246 @@
+(** Deterministic mutational corpus generator for the fault-injection
+    harness. Every mutation is a pure function of a {!Lapis_distro.Rng}
+    stream, so a whole fuzz campaign replays bit-identically from its
+    printed seed.
+
+    The mutation kinds target the paths the paper's tool had to
+    survive across all 66,275 Ubuntu binaries: blind corruption (bit
+    flips, truncation), section-table attacks (bogus [e_shoff] /
+    [e_shnum] / [e_shstrndx], section offsets and sizes pointing past
+    end of file, wild [sh_link] and [sh_entsize]), string tables with
+    the NUL terminators stripped, and pathological [.text] — torn
+    instruction bytes and self-jumping control flow that would spin a
+    fixpoint or an interpreter without fuel budgets. *)
+
+module Rng = Lapis_distro.Rng
+
+type kind =
+  | Bit_flip  (** flip 1-16 random bits anywhere *)
+  | Truncate  (** cut the file at a random point *)
+  | Header_corrupt  (** overwrite an ELF identification/header field *)
+  | Section_corrupt  (** overwrite a field of a random section header *)
+  | Strtab_denul  (** strip the NUL terminators out of a string table *)
+  | Text_chaos  (** splat random bytes into the middle of the file *)
+  | Text_self_jump  (** plant self/backward jump instructions *)
+
+let all =
+  [ Bit_flip; Truncate; Header_corrupt; Section_corrupt; Strtab_denul;
+    Text_chaos; Text_self_jump ]
+
+let name = function
+  | Bit_flip -> "bit-flip"
+  | Truncate -> "truncate"
+  | Header_corrupt -> "header-corrupt"
+  | Section_corrupt -> "section-corrupt"
+  | Strtab_denul -> "strtab-denul"
+  | Text_chaos -> "text-chaos"
+  | Text_self_jump -> "text-self-jump"
+
+(* --- tolerant little-endian peek/poke ------------------------------
+   Mutations parse just enough of the (possibly already-mutated)
+   header to aim at section structures; every read degrades to None
+   instead of trusting the bytes. *)
+
+let peek_u16 s p =
+  if p >= 0 && p + 2 <= String.length s then
+    Some (Char.code s.[p] lor (Char.code s.[p + 1] lsl 8))
+  else None
+
+let peek_u64 s p =
+  if p >= 0 && p + 8 <= String.length s then begin
+    let v = ref 0L in
+    for k = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8)
+             (Int64.of_int (Char.code s.[p + k]))
+    done;
+    Some !v
+  end
+  else None
+
+let poke b p v n =
+  (* little-endian write of the low [n] bytes of [v], clipped *)
+  for k = 0 to n - 1 do
+    if p + k >= 0 && p + k < Bytes.length b then
+      Bytes.set b (p + k)
+        (Char.chr
+           (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k))
+                            0xFFL)))
+  done
+
+(* Field values likely to break naive arithmetic: zeros, all-ones,
+   sign boundaries, and offsets just beyond the file. *)
+let interesting len =
+  [ 0L; 1L; 63L; 64L; 0xFFL; 0xFFFFL; 0xFFFFFFFFL;
+    0x7FFFFFFFFFFFFFFFL; 0x8000000000000000L; Int64.minus_one;
+    Int64.of_int len; Int64.of_int (len + 1); Int64.of_int (len * 2);
+    Int64.of_int (max 0 (len - 7)) ]
+
+let pick_value rng len =
+  let pool = interesting len in
+  if Rng.bool rng 0.7 then Rng.choose rng pool
+  else Rng.next rng
+
+(* Locate the section header table, if the header still points at a
+   plausible one. Returns (shoff, shnum). *)
+let section_table s =
+  match (peek_u64 s 0x28, peek_u16 s 0x3C) with
+  | Some shoff, Some shnum
+    when shnum > 0 && Int64.compare shoff 0L >= 0
+         && Int64.compare shoff (Int64.of_int (String.length s)) < 0 ->
+    Some (Int64.to_int shoff, shnum)
+  | _ -> None
+
+(* --- mutation kinds ------------------------------------------------ *)
+
+let bit_flip rng s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  if n = 0 then s
+  else begin
+    let flips = 1 + Rng.int rng 16 in
+    for _ = 1 to flips do
+      let p = Rng.int rng n in
+      let bit = Rng.int rng 8 in
+      Bytes.set b p (Char.chr (Char.code (Bytes.get b p) lxor (1 lsl bit)))
+    done;
+    Bytes.to_string b
+  end
+
+let truncate rng s =
+  let n = String.length s in
+  if n <= 1 then s
+  else
+    (* biased toward structurally interesting cuts: inside the ELF
+       header, at the section table boundary, or anywhere *)
+    let cut =
+      match Rng.int rng 3 with
+      | 0 -> Rng.int rng (min n 65)
+      | 1 ->
+        (match section_table s with
+         | Some (shoff, _) when shoff > 0 -> min (n - 1) (shoff + Rng.int rng 128)
+         | _ -> Rng.int rng n)
+      | _ -> Rng.int rng n
+    in
+    String.sub s 0 (min cut (n - 1))
+
+let header_fields =
+  (* (offset, width): ei_class, ei_data, e_type, e_machine, e_entry,
+     e_shoff, e_shentsize, e_shnum, e_shstrndx *)
+  [ (4, 1); (5, 1); (0x10, 2); (0x12, 2); (0x18, 8); (0x28, 8); (0x3A, 2);
+    (0x3C, 2); (0x3E, 2) ]
+
+let header_corrupt rng s =
+  let b = Bytes.of_string s in
+  let off, width = Rng.choose rng header_fields in
+  poke b off (pick_value rng (String.length s)) width;
+  Bytes.to_string b
+
+let section_fields =
+  (* (field offset inside a 64-byte Shdr, width): sh_name, sh_type,
+     sh_offset, sh_size, sh_link, sh_entsize *)
+  [ (0, 4); (4, 4); (24, 8); (32, 8); (40, 4); (56, 8) ]
+
+let section_corrupt rng s =
+  match section_table s with
+  | None -> header_corrupt rng s  (* no table to aim at: hit the header *)
+  | Some (shoff, shnum) ->
+    let b = Bytes.of_string s in
+    let i = Rng.int rng shnum in
+    let foff, width = Rng.choose rng section_fields in
+    poke b (shoff + (i * 64) + foff) (pick_value rng (String.length s)) width;
+    Bytes.to_string b
+
+(* Strip the NUL terminators out of one SHT_STRTAB section (type 3),
+   so any name lookup walks to the end of the table. Falls back to
+   de-NUL-ing a random window when no section table survives. *)
+let strtab_denul rng s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let denul_range off size =
+    for p = off to min (off + size) n - 1 do
+      if Bytes.get b p = '\x00' then Bytes.set b p 'A'
+    done
+  in
+  (match section_table s with
+   | Some (shoff, shnum) ->
+     let strtabs = ref [] in
+     for i = 0 to shnum - 1 do
+       let p = shoff + (i * 64) in
+       match (peek_u64 s (p + 4), peek_u64 s (p + 24), peek_u64 s (p + 32))
+       with
+       | Some stype, Some off, Some size
+         when Int64.logand stype 0xFFFFFFFFL = 3L
+              && Int64.compare off (Int64.of_int n) < 0
+              && Int64.compare off 0L >= 0
+              && Int64.compare size (Int64.of_int n) <= 0
+              && Int64.compare size 0L > 0 ->
+         strtabs := (Int64.to_int off, Int64.to_int size) :: !strtabs
+       | _ -> ()
+     done;
+     (match !strtabs with
+      | [] -> if n > 1 then denul_range (Rng.int rng n) (1 + Rng.int rng 256)
+      | tabs ->
+        let off, size = Rng.choose rng tabs in
+        denul_range off size)
+   | None -> if n > 1 then denul_range (Rng.int rng n) (1 + Rng.int rng 256));
+  Bytes.to_string b
+
+let text_chaos rng s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  if n = 0 then s
+  else begin
+    let splats = 1 + Rng.int rng 32 in
+    for _ = 1 to splats do
+      let p = Rng.int rng n in
+      Bytes.set b p (Char.chr (Int64.to_int (Int64.logand (Rng.next rng) 0xFFL)))
+    done;
+    Bytes.to_string b
+  end
+
+(* Jump patterns over the decoder's subset: a rel32 jump back onto
+   itself (a one-instruction infinite loop), a conditional jump back
+   into its own bytes (a torn-instruction loop once re-decoded), and a
+   call-to-self (unbounded recursion without a fuel budget). *)
+let jump_patterns =
+  [ "\xE9\xFB\xFF\xFF\xFF";  (* jmp  -5: self *)
+    "\x0F\x84\xFA\xFF\xFF\xFF";  (* je  -6: self *)
+    "\x0F\x85\xF0\xFF\xFF\xFF";  (* jne -16: backward, torn *)
+    "\xE8\xFB\xFF\xFF\xFF";  (* call -5: self-recursion *)
+    "\xE9\x00\x00\x00\x00" ]  (* jmp +0: fall-through chain *)
+
+let text_self_jump rng s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  if n < 8 then s
+  else begin
+    let plants = 1 + Rng.int rng 4 in
+    for _ = 1 to plants do
+      let pat = Rng.choose rng jump_patterns in
+      let p = Rng.int rng (n - String.length pat) in
+      Bytes.blit_string pat 0 b p (String.length pat)
+    done;
+    Bytes.to_string b
+  end
+
+let apply rng kind s =
+  match kind with
+  | Bit_flip -> bit_flip rng s
+  | Truncate -> truncate rng s
+  | Header_corrupt -> header_corrupt rng s
+  | Section_corrupt -> section_corrupt rng s
+  | Strtab_denul -> strtab_denul rng s
+  | Text_chaos -> text_chaos rng s
+  | Text_self_jump -> text_self_jump rng s
+
+(* Stack 1-3 mutations drawn from the full kind set. Returns the
+   mutated bytes and the kinds applied, outermost first. *)
+let random rng s =
+  let n = 1 + Rng.int rng 3 in
+  let rec go s kinds = function
+    | 0 -> (s, List.rev kinds)
+    | k ->
+      let kind = Rng.choose rng all in
+      go (apply rng kind s) (kind :: kinds) (k - 1)
+  in
+  go s [] n

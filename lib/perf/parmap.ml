@@ -12,7 +12,13 @@
     When only one domain is available — or requested via [~domains:1],
     or the input is a single element — the sequential [List.map] path
     runs instead, so single-core CI results are bit-identical to the
-    parallel ones by construction. *)
+    parallel ones by construction.
+
+    If [f] raises on any element, the first exception wins: a shared
+    cancellation flag stops every worker at its next chunk boundary
+    (instead of letting the survivors drain the whole cursor), and the
+    exception is re-raised on the calling domain with the worker's
+    original backtrace. *)
 
 let sequential_threshold = 2
 
@@ -32,24 +38,38 @@ let map ?domains (f : 'a -> 'b) (xs : 'a list) : 'b list =
     (* small chunks keep the tail balanced; large enough that cursor
        contention stays negligible *)
     let chunk = max 1 (n / (n_dom * 8)) in
-    let first_exn : exn option Atomic.t = Atomic.make None in
+    let first_exn : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let cancelled = Atomic.make false in
     let worker () =
       try
         let continue = ref true in
         while !continue do
-          let start = Atomic.fetch_and_add next chunk in
-          if start >= n then continue := false
-          else
-            for i = start to min n (start + chunk) - 1 do
-              results.(i) <- Some (f arr.(i))
-            done
+          (* checked once per chunk: after a sibling dies, at most one
+             in-flight chunk per domain completes before everyone
+             stops, rather than the survivors draining the cursor *)
+          if Atomic.get cancelled then continue := false
+          else begin
+            let start = Atomic.fetch_and_add next chunk in
+            if start >= n then continue := false
+            else
+              for i = start to min n (start + chunk) - 1 do
+                results.(i) <- Some (f arr.(i))
+              done
+          end
         done
-      with e -> ignore (Atomic.compare_and_set first_exn None (Some e))
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set first_exn None (Some (e, bt)));
+        Atomic.set cancelled true
     in
     let spawned = List.init (n_dom - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join spawned;
-    (match Atomic.get first_exn with Some e -> raise e | None -> ());
+    (match Atomic.get first_exn with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
     Array.to_list
       (Array.map
          (function Some r -> r | None -> assert false)

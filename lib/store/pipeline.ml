@@ -28,42 +28,77 @@ let interpreter_package = function
   | Lapis_elf.Classify.Other_interp _ -> None
 
 module Stage = Lapis_perf.Stage
+module Reader = Lapis_elf.Reader
 
-let analyze_elf ~mode bytes =
-  match Stage.time "elf-parse" (fun () -> Lapis_elf.Reader.parse bytes) with
-  | Ok img -> Some (Binary.analyze ~mode img)
+(* Analyze one ELF payload behind the quarantine boundary: a parse
+   failure becomes its taxonomy kind, and an exception escaping the
+   analyzer (the crash-containment net under the fuzz harness) becomes
+   "analysis-crash" — either way the caller counts the binary and
+   skips it instead of the whole run dying. *)
+let analyze_elf ~mode bytes : (Binary.t, string) result =
+  match Stage.time "elf-parse" (fun () -> Reader.parse bytes) with
+  | Ok img ->
+    (try Ok (Binary.analyze ~mode img)
+     with e ->
+       Log.err (fun m ->
+           m "analysis crash (quarantined): %s" (Printexc.to_string e));
+       Error "analysis-crash")
   | Error e ->
-    Log.warn (fun m -> m "unparseable ELF: %a" Lapis_elf.Reader.pp_error e);
-    None
+    Log.warn (fun m ->
+        m "unparseable ELF (%s): %a"
+          Reader.(kind_name (kind e))
+          Reader.pp_error e);
+    Error Reader.(kind_name (kind e))
 
 let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
     (dist : P.distribution) : analyzed =
   let analyze_elf bytes = analyze_elf ~mode bytes in
+  (* Per-error-kind quarantine counters: every binary the run skipped
+     is counted here (and mirrored into the Stage counters, so the
+     bench JSON carries them), never silently dropped. Recording
+     happens only on the coordinating domain — the parallel section
+     returns results and the counting is done after the join. *)
+  let rejects : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let record_reject kind =
+    Hashtbl.replace rejects kind
+      (1 + Option.value ~default:0 (Hashtbl.find_opt rejects kind));
+    Stage.incr ("reject:" ^ kind)
+  in
   (* Content-hash analysis cache: byte-identical ELF inputs are
      analyzed once. It is seeded with the shared-library world below,
      so a package shipping a library analyzed for the world reuses the
      same Binary.t — which also lets the resolver serve that binary's
      footprint from its per-export memo. *)
-  let analysis_of : (Digest.t, Binary.t option) Hashtbl.t =
+  let analysis_of : (Digest.t, (Binary.t, string) result) Hashtbl.t =
     Hashtbl.create 1024
   in
   let seed_cache bytes bin =
-    if cache then Hashtbl.replace analysis_of (Digest.string bytes) (Some bin)
+    if cache then Hashtbl.replace analysis_of (Digest.string bytes) (Ok bin)
   in
   (* 1. analyze the shared-library world *)
   let runtime_sonames = List.map fst dist.P.runtime in
   let runtime_bins =
     List.filter_map
       (fun (soname, bytes) ->
-        analyze_elf bytes
-        |> Option.map (fun b -> seed_cache bytes b; (soname, b)))
+        match analyze_elf bytes with
+        | Ok b ->
+          seed_cache bytes b;
+          Some (soname, b)
+        | Error kind ->
+          record_reject kind;
+          None)
       dist.P.runtime
   in
   let app_lib_bins =
     List.filter_map
       (fun (soname, pkg, bytes) ->
-        analyze_elf bytes
-        |> Option.map (fun b -> seed_cache bytes b; (soname, pkg, b)))
+        match analyze_elf bytes with
+        | Ok b ->
+          seed_cache bytes b;
+          Some (soname, pkg, b)
+        | Error kind ->
+          record_reject kind;
+          None)
       dist.P.shared_libs
   in
   let ld_so =
@@ -91,8 +126,9 @@ let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
               | Lapis_elf.Classify.Elf_shared_lib ->
                 let d = Digest.string f.P.bytes in
                 if not (Hashtbl.mem analysis_of d) then begin
-                  (* placeholder marks the digest as claimed *)
-                  Hashtbl.replace analysis_of d None;
+                  (* placeholder marks the digest as claimed; replaced
+                     with the real result after the parallel map *)
+                  Hashtbl.replace analysis_of d (Error "claimed");
                   pending := (d, f.P.bytes) :: !pending
                 end
               | Lapis_elf.Classify.Script _ | Lapis_elf.Classify.Data -> ())
@@ -124,8 +160,8 @@ let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
           match cls with
           | Lapis_elf.Classify.Elf_static | Lapis_elf.Classify.Elf_dynamic ->
             (match analysis_for f with
-             | None -> ()
-             | Some bin ->
+             | Error kind -> record_reject kind
+             | Ok bin ->
                let resolved =
                  Stage.time "resolve" (fun () ->
                      Resolve.binary_footprint world bin)
@@ -144,8 +180,8 @@ let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
             (* analyzed for attribution, excluded from the package
                footprint (Section 2: union over standalone executables) *)
             (match analysis_for f with
-             | None -> ()
-             | Some bin ->
+             | Error kind -> record_reject kind
+             | Ok bin ->
                let resolved =
                  Stage.time "resolve" (fun () ->
                      Resolve.binary_footprint world bin)
@@ -181,7 +217,17 @@ let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
                 br_resolved = Footprint.empty;
               }
               :: !bins
-          | Lapis_elf.Classify.Data -> ())
+          | Lapis_elf.Classify.Data ->
+            (* a file with the ELF magic that the classifier demoted
+               to Data is a malformed binary: count it by error kind
+               instead of letting it vanish from the run *)
+            if String.length f.P.bytes >= 4
+               && String.sub f.P.bytes 0 4 = "\x7fELF"
+            then begin
+              match Reader.parse f.P.bytes with
+              | Error e -> record_reject Reader.(kind_name (kind e))
+              | Ok _ -> ()
+            end)
         pkg.P.files;
       Hashtbl.replace elf_apis pkg.P.name !apis)
     dist.P.packages;
@@ -249,7 +295,16 @@ let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
     ~by:world.Resolve.stats.Resolve.memo_misses;
   Stage.incr "resolve:ld-so-computations"
     ~by:world.Resolve.stats.Resolve.ld_computations;
+  (* publish the quarantine counters: zero entries on a clean corpus *)
+  world.Resolve.stats.Resolve.rejects <-
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) rejects []);
   { store; world; dist }
+
+let quarantined (a : analyzed) =
+  List.fold_left
+    (fun n (_, v) -> n + v)
+    0 a.world.Resolve.stats.Resolve.rejects
 
 (* The automated Section 2.3 spot check: compare the analyzer's
    ELF-derived package footprints against the generator's ground

@@ -36,7 +36,17 @@ val run :
     [domains] caps the domains used for the per-binary analysis
     fan-out (default: the runtime's recommended domain count; the loop
     degrades to sequential on single-core hosts). Aggregation and
-    cross-library resolution always run sequentially. *)
+    cross-library resolution always run sequentially.
+
+    Robustness: a binary that fails to parse — or whose analysis
+    raises — is quarantined, not fatal: it is skipped and counted per
+    error kind in [world.stats.rejects] (mirrored into the
+    ["reject:<kind>"] Stage counters the bench JSON reports). A clean
+    corpus reports zero rejects. *)
+
+val quarantined : analyzed -> int
+(** Total binaries the run rejected and skipped, summed over
+    [world.stats.rejects]. Zero on a clean corpus. *)
 
 type mismatch = {
   mm_package : string;

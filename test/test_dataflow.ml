@@ -97,6 +97,25 @@ let test_loop_widening_terminates () =
   Alcotest.(check int) "widened site counts unresolved" 1
     r.Dataflow.direct.Footprint.unresolved_sites
 
+let test_fuel_budget () =
+  (* same loop as above: converges under the default budget, reports
+     exhaustion (instead of spinning or silently stopping) when
+     starved — the partial result still comes back *)
+  let insns =
+    [ Insn.Mov_ri (Insn.RAX, 39L);
+      Insn.Sub_ri (Insn.RDI, 1l);
+      Insn.Cmp_ri (Insn.RDI, 0l);
+      Insn.Jcc_rel (Insn.cc_ne, -20l);
+      Insn.Syscall;
+      Insn.Ret ]
+  in
+  let full = Dataflow.analyze null_ctx (listing insns) in
+  Alcotest.(check bool) "default budget converges" false
+    full.Dataflow.fuel_exhausted;
+  let starved = Dataflow.analyze ~fuel:1 null_ctx (listing insns) in
+  Alcotest.(check bool) "starved fixpoint reports exhaustion" true
+    starved.Dataflow.fuel_exhausted
+
 (* --- wrapper summaries ------------------------------------------------- *)
 
 let test_wrapper_summary () =
@@ -238,7 +257,8 @@ let () =
             test_loop_invariant_resolves;
           Alcotest.test_case "loop widening terminates" `Quick
             test_loop_widening_terminates;
-          Alcotest.test_case "dead decoy block" `Quick test_jump_over_decoy ] );
+          Alcotest.test_case "dead decoy block" `Quick test_jump_over_decoy;
+          Alcotest.test_case "fuel budget" `Quick test_fuel_budget ] );
       ( "summaries",
         [ Alcotest.test_case "wrapper resolved at call site" `Quick
             test_wrapper_summary;

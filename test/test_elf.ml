@@ -94,6 +94,96 @@ let test_corrupt_section_table () =
   | Ok _ -> Alcotest.fail "expected malformed error"
   | Error _ -> ()
 
+(* --- malformed-ELF regression corpus ----------------------------------
+
+   Golden error kinds for targeted corruptions of a valid binary. Each
+   case pins the taxonomy: if a hardened path regresses (say, cstring
+   goes back to silently returning the un-terminated tail), the
+   corruption parses "successfully" and the corresponding check
+   fails. *)
+
+(* tiny header-walking helpers over the known-valid writer output;
+   test inputs are small, so int arithmetic cannot overflow *)
+let rd_u16 s p = Char.code s.[p] lor (Char.code s.[p + 1] lsl 8)
+let rd_u32 s p = rd_u16 s p lor (rd_u16 s (p + 2) lsl 16)
+let rd_u64 s p = rd_u32 s p lor (rd_u32 s (p + 4) lsl 32)
+
+let wr b p v n =
+  for k = 0 to n - 1 do
+    Bytes.set b (p + k) (Char.chr ((v lsr (8 * k)) land 0xFF))
+  done
+
+(* (name, header position, sh_offset, sh_size) of every section *)
+let raw_sections bytes =
+  let shoff = rd_u64 bytes 0x28
+  and shnum = rd_u16 bytes 0x3C
+  and shstrndx = rd_u16 bytes 0x3E in
+  let strp = shoff + (shstrndx * 64) in
+  let strtab =
+    String.sub bytes (rd_u64 bytes (strp + 24)) (rd_u64 bytes (strp + 32))
+  in
+  List.init shnum (fun i ->
+      let p = shoff + (i * 64) in
+      let nameoff = rd_u32 bytes p in
+      let name =
+        match String.index_from_opt strtab nameoff '\x00' with
+        | Some stop -> String.sub strtab nameoff (stop - nameoff)
+        | None -> ""
+      in
+      (name, p, rd_u64 bytes (p + 24), rd_u64 bytes (p + 32)))
+
+let find_section bytes name =
+  match List.find_opt (fun (n, _, _, _) -> n = name) (raw_sections bytes) with
+  | Some s -> s
+  | None -> Alcotest.failf "sample binary has no %s section" name
+
+let expect_kind what expected bytes =
+  match Elf.Reader.parse bytes with
+  | Ok _ ->
+    Alcotest.failf "%s: expected a %s error but the input parsed" what
+      (Elf.Reader.kind_name expected)
+  | Error e ->
+    Alcotest.(check string) what
+      (Elf.Reader.kind_name expected)
+      (Elf.Reader.kind_name (Elf.Reader.kind e))
+
+let test_malformed_corpus () =
+  let bytes = Asm.Builder.assemble_elf (sample_exe ()) in
+  (* 1. header intact, but the claimed section table lies past a cut *)
+  expect_kind "truncated section table" Elf.Reader.K_truncated
+    (String.sub bytes 0 100);
+  (* 2. e_shstrndx points past the section table *)
+  let b = Bytes.of_string bytes in
+  wr b 0x3E 0xFFFF 2;
+  expect_kind "shstrndx out of range" Elf.Reader.K_bad_header
+    (Bytes.to_string b);
+  (* 3. section-name table with its NUL terminators stripped *)
+  let shstrndx = rd_u16 bytes 0x3E in
+  let shoff = rd_u64 bytes 0x28 in
+  let strp = shoff + (shstrndx * 64) in
+  let stroff = rd_u64 bytes (strp + 24)
+  and strsize = rd_u64 bytes (strp + 32) in
+  let b = Bytes.of_string bytes in
+  for p = stroff to stroff + strsize - 1 do
+    if Bytes.get b p = '\x00' then Bytes.set b p 'A'
+  done;
+  expect_kind "de-NUL-ed shstrtab" Elf.Reader.K_bad_strtab
+    (Bytes.to_string b);
+  (* 4. .text claims data past end of file *)
+  let _, textp, _, _ = find_section bytes ".text" in
+  let b = Bytes.of_string bytes in
+  wr b (textp + 24) (String.length bytes * 2) 8;
+  expect_kind "section data out of bounds" Elf.Reader.K_truncated
+    (Bytes.to_string b);
+  (* 5. relocation whose symbol index runs past .dynsym *)
+  let _, _, reloff, _ = find_section bytes ".rela.plt" in
+  let b = Bytes.of_string bytes in
+  (* r_info of the first entry: symidx lives in the high dword *)
+  wr b (reloff + 8) 0 4;
+  wr b (reloff + 12) 0x7FFFFF 4;
+  expect_kind "reloc symbol index past .dynsym" Elf.Reader.K_bad_reloc
+    (Bytes.to_string b)
+
 (* --- classifier (Figure 1) --------------------------------------------- *)
 
 let classify_name s = Elf.Classify.name (Elf.Classify.classify s)
@@ -152,6 +242,23 @@ let prop_roundtrip_random_programs =
         && img2.Elf.Image.entry = img.Elf.Image.entry
       | Error _ -> false)
 
+(* The robustness contract at the trust boundary: [Reader.parse]
+   returns [Ok] or [Error] on ANY input — mutated real binaries and
+   raw noise alike — and never lets an exception escape. *)
+let prop_parse_never_raises_mutations =
+  let base = lazy (Asm.Builder.assemble_elf (sample_exe ())) in
+  QCheck2.Test.make ~name:"Reader.parse never raises over mutations"
+    ~count:500 QCheck2.Gen.int (fun seed ->
+      let rng = Core.Distro.Rng.create seed in
+      let bytes, _kinds = Core.Fuzz.Mutate.random rng (Lazy.force base) in
+      match Elf.Reader.parse bytes with Ok _ | Error _ -> true)
+
+let prop_parse_never_raises_noise =
+  QCheck2.Test.make ~name:"Reader.parse never raises on raw noise"
+    ~count:500
+    QCheck2.Gen.(string_size (int_range 0 512))
+    (fun s -> match Elf.Reader.parse s with Ok _ | Error _ -> true)
+
 let () =
   Alcotest.run "elf"
     [ ( "roundtrip",
@@ -162,9 +269,13 @@ let () =
       ( "errors",
         [ Alcotest.test_case "malformed inputs" `Quick test_errors;
           Alcotest.test_case "corrupt sections" `Quick
-            test_corrupt_section_table ] );
+            test_corrupt_section_table;
+          Alcotest.test_case "malformed corpus golden kinds" `Quick
+            test_malformed_corpus ] );
       ( "classify",
         [ Alcotest.test_case "elf kinds" `Quick test_classify_elf;
           Alcotest.test_case "shebangs" `Quick test_classify_scripts ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_roundtrip_random_programs ] ) ]
+        [ QCheck_alcotest.to_alcotest prop_roundtrip_random_programs;
+          QCheck_alcotest.to_alcotest prop_parse_never_raises_mutations;
+          QCheck_alcotest.to_alcotest prop_parse_never_raises_noise ] ) ]

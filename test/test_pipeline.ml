@@ -119,6 +119,38 @@ let test_base_footprint_everywhere () =
              b.Db.Store.br_resolved.Core.Analysis.Footprint.apis))
     s.Db.Store.bins
 
+let test_clean_corpus_quarantine () =
+  (* every writer-produced binary must ingest cleanly: a nonzero
+     reject counter on the generated corpus is a parser or analyzer
+     regression, not noise *)
+  let a = Lazy.force analyzed in
+  Alcotest.(check int) "clean corpus quarantines nothing" 0
+    (Db.Pipeline.quarantined a);
+  Alcotest.(check bool) "reject table empty" true
+    (a.Db.Pipeline.world.Core.Analysis.Resolve.stats
+       .Core.Analysis.Resolve.rejects
+     = [])
+
+let test_parmap_order () =
+  let xs = List.init 1000 Fun.id in
+  Alcotest.(check (list int))
+    "parallel map preserves input order"
+    (List.map (fun x -> x * 3) xs)
+    (Core.Perf.Parmap.map ~domains:4 (fun x -> x * 3) xs)
+
+let test_parmap_exception () =
+  (* a worker exception must cancel the fan-out and re-raise the
+     original exception on the calling domain, not surface as a
+     secondary crash from a half-filled result array *)
+  match
+    Core.Perf.Parmap.map ~domains:4
+      (fun i -> if i = 617 then failwith "boom" else i)
+      (List.init 1000 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Failure msg ->
+    Alcotest.(check string) "original exception re-raised" "boom" msg
+
 let test_cache_equivalence () =
   (* the digest analysis cache must be invisible in the results:
      cached and uncached runs of the same distribution produce
@@ -184,5 +216,11 @@ let () =
             test_bins_classified;
           Alcotest.test_case "base footprint" `Quick
             test_base_footprint_everywhere;
+          Alcotest.test_case "clean corpus quarantines nothing" `Quick
+            test_clean_corpus_quarantine;
+          Alcotest.test_case "parmap preserves order" `Quick
+            test_parmap_order;
+          Alcotest.test_case "parmap propagates exceptions" `Quick
+            test_parmap_exception;
           Alcotest.test_case "cache equivalence" `Slow
             test_cache_equivalence ] ) ]
