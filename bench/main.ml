@@ -12,7 +12,10 @@
      dune exec bench/main.exe -- --no-micro    # skip Bechamel runs
      dune exec bench/main.exe -- --packages 2000
      dune exec bench/main.exe -- --json        # write BENCH_<n>.json
-     dune exec bench/main.exe -- --check-against bench/baseline_200.json *)
+     dune exec bench/main.exe -- --check-against bench/baseline_200.json
+     dune exec bench/main.exe -- --query-bench --queries 1000
+     dune exec bench/main.exe -- --query-bench --snapshot snap.lapis \
+                                  --min-speedup 50 *)
 
 module Study = Core.Study
 module P = Core.Distro.Package
@@ -25,12 +28,18 @@ type args = {
   packages : int;
   json : bool;
   check_against : string option;
+  query_bench : bool;
+  queries : int;
+  snapshot : string option;
+  min_speedup : float option;
 }
 
 let usage () =
   prerr_endline
     "usage: bench/main.exe [EXPERIMENT...] [--no-micro] [--packages N] \
-     [--json] [--check-against FILE]";
+     [--json] [--check-against FILE]\n\
+    \       bench/main.exe --query-bench [--queries N] [--snapshot FILE] \
+     [--min-speedup X] [--packages N]";
   exit 2
 
 let parse_args () =
@@ -38,7 +47,11 @@ let parse_args () =
   and micro = ref true
   and packages = ref default_packages
   and json = ref false
-  and check_against = ref None in
+  and check_against = ref None
+  and query_bench = ref false
+  and queries = ref 1000
+  and snapshot = ref None
+  and min_speedup = ref None in
   let rec go = function
     | [] -> ()
     | "--no-micro" :: rest ->
@@ -64,6 +77,37 @@ let parse_args () =
     | [ "--check-against" ] ->
       prerr_endline "bench: --check-against expects a file argument";
       usage ()
+    | "--query-bench" :: rest ->
+      query_bench := true;
+      go rest
+    | "--queries" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some v when v > 0 -> queries := v
+       | Some _ | None ->
+         Printf.eprintf
+           "bench: --queries expects a positive integer, got %S\n" n;
+         usage ());
+      go rest
+    | [ "--queries" ] ->
+      prerr_endline "bench: --queries expects an argument";
+      usage ()
+    | "--snapshot" :: file :: rest ->
+      snapshot := Some file;
+      go rest
+    | [ "--snapshot" ] ->
+      prerr_endline "bench: --snapshot expects a file argument";
+      usage ()
+    | "--min-speedup" :: x :: rest ->
+      (match float_of_string_opt x with
+       | Some v when v > 0.0 -> min_speedup := Some v
+       | Some _ | None ->
+         Printf.eprintf
+           "bench: --min-speedup expects a positive number, got %S\n" x;
+         usage ());
+      go rest
+    | [ "--min-speedup" ] ->
+      prerr_endline "bench: --min-speedup expects an argument";
+      usage ()
     | id :: rest ->
       if String.length id > 1 && id.[0] = '-' then begin
         Printf.eprintf "bench: unknown option %s\n" id;
@@ -79,6 +123,10 @@ let parse_args () =
     packages = !packages;
     json = !json;
     check_against = !check_against;
+    query_bench = !query_bench;
+    queries = !queries;
+    snapshot = !snapshot;
+    min_speedup = !min_speedup;
   }
 
 let count_loc () =
@@ -106,7 +154,7 @@ let count_loc () =
   try walk "." 0 with Sys_error _ -> 0
 
 let print_table12 env =
-  let dist = Study.Env.dist env in
+  let dist = Study.Env.dist_exn env in
   let store = env.Study.Env.store in
   let module R = Core.Report.Render in
   let rows =
@@ -127,7 +175,7 @@ let print_table12 env =
    returns [(name, ns_per_run)] estimates for the BENCH JSON. *)
 let run_micro env =
   let open Bechamel in
-  let dist = Study.Env.dist env in
+  let dist = Study.Env.dist_exn env in
   let store = env.Study.Env.store in
   let some_exe =
     List.find
@@ -337,8 +385,127 @@ let check_against ~stage_total_now ~quarantined path =
   end;
   print_endline "Regression check: OK"
 
+(* --- query throughput bench ---------------------------------------
+
+   Measures the indexed query engine against the closed-form oracle on
+   random syscall subsets: both answer the same [--queries] weighted
+   completeness questions, results are compared bit-for-bit (the index
+   is built to replicate the oracle's fold orders, so the tolerance is
+   1e-12, not "a few ulp per package"), and throughput plus speedup go
+   into BENCH_QUERY.json. *)
+
+let write_query_json ~packages ~queries ~indexed_s ~oracle_s ~speedup
+    ~max_abs_diff path =
+  let oc = open_out path in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"packages\": %d,\n" packages;
+  pf "  \"queries\": %d,\n" queries;
+  pf "  \"indexed_s\": %.6f,\n" indexed_s;
+  pf "  \"oracle_s\": %.6f,\n" oracle_s;
+  pf "  \"indexed_qps\": %.1f,\n" (float_of_int queries /. indexed_s);
+  pf "  \"oracle_qps\": %.1f,\n" (float_of_int queries /. oracle_s);
+  pf "  \"speedup\": %.1f,\n" speedup;
+  pf "  \"max_abs_diff\": %.3e\n" max_abs_diff;
+  pf "}\n";
+  close_out oc;
+  Printf.printf "Wrote %s\n%!" path
+
+let run_query_bench (args : args) =
+  let env =
+    match args.snapshot with
+    | Some path ->
+      (match Core.Db.Snapshot.load path with
+       | Ok snap ->
+         Printf.printf "Loaded snapshot %s (%d packages).\n%!" path
+           snap.Core.Db.Snapshot.meta.Core.Db.Snapshot.n_packages;
+         Study.Env.of_snapshot snap
+       | Error e ->
+         Printf.eprintf "bench: cannot load snapshot %s: %s\n" path
+           (Fmt.str "%a" Core.Db.Snapshot.pp_error e);
+         exit 1)
+    | None ->
+      Printf.printf
+        "Building the synthetic distribution (%d packages) for the query \
+         bench...\n%!"
+        args.packages;
+      Study.Env.create
+        ~config:
+          { Core.Distro.Generator.default_config with
+            n_packages = args.packages }
+        ()
+  in
+  let store = env.Study.Env.store in
+  let idx = env.Study.Env.index in
+  let packages = Array.length store.Core.Db.Store.packages in
+  (* Fixed-seed random subsets: 1..200 distinct syscalls each, drawn
+     from the full table so unknown-to-the-corpus numbers are
+     exercised too. *)
+  let rng = Core.Distro.Rng.create 0x51b3c842 in
+  let all_nrs =
+    Array.to_list Core.Apidb.Syscall_table.all
+    |> List.map (fun (e : Core.Apidb.Syscall_table.entry) ->
+           e.Core.Apidb.Syscall_table.nr)
+  in
+  let n_nrs = List.length all_nrs in
+  let subsets =
+    List.init args.queries (fun _ ->
+        let k = 1 + Core.Distro.Rng.int rng (min 200 n_nrs) in
+        Core.Distro.Rng.sample rng k all_nrs)
+  in
+  let time_all f =
+    let t0 = Unix.gettimeofday () in
+    let results = List.map f subsets in
+    (Unix.gettimeofday () -. t0, results)
+  in
+  let indexed_s, indexed =
+    time_all (fun nrs ->
+        Core.Metrics.Completeness.of_syscall_set_index idx nrs)
+  in
+  let oracle_s, oracle =
+    time_all (fun nrs -> Core.Metrics.Completeness.of_syscall_set store nrs)
+  in
+  let max_abs_diff =
+    List.fold_left2
+      (fun acc a b -> Float.max acc (Float.abs (a -. b)))
+      0.0 indexed oracle
+  in
+  let indexed_s = Float.max indexed_s 1e-9 in
+  let speedup = oracle_s /. indexed_s in
+  Printf.printf
+    "Query bench: %d subset queries over %d packages\n\
+    \  indexed: %.4fs (%.0f q/s)\n\
+    \  oracle:  %.4fs (%.0f q/s)\n\
+    \  speedup: %.1fx, max |indexed - oracle| = %.3e\n%!"
+    args.queries packages indexed_s
+    (float_of_int args.queries /. indexed_s)
+    oracle_s
+    (float_of_int args.queries /. oracle_s)
+    speedup max_abs_diff;
+  write_query_json ~packages ~queries:args.queries ~indexed_s ~oracle_s
+    ~speedup ~max_abs_diff "BENCH_QUERY.json";
+  if max_abs_diff > 1e-12 then begin
+    Printf.eprintf
+      "bench: FAIL: indexed completeness diverges from the oracle by \
+       %.3e (> 1e-12)\n"
+      max_abs_diff;
+    exit 1
+  end;
+  (match args.min_speedup with
+   | Some want when speedup < want ->
+     Printf.eprintf
+       "bench: FAIL: indexed speedup %.1fx below the required %.1fx\n"
+       speedup want;
+     exit 1
+   | _ -> ());
+  print_endline "Query bench: OK"
+
 let () =
   let args = parse_args () in
+  if args.query_bench then begin
+    run_query_bench args;
+    exit 0
+  end;
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "Building the synthetic distribution (%d packages) and running the \
@@ -354,12 +521,16 @@ let () =
   let wall = Unix.gettimeofday () -. t0 in
   Printf.printf "Pipeline complete in %.1fs.\n%!" wall;
   Fmt.pr "Per-stage breakdown:@\n%a%!" Core.Perf.Stage.pp_report ();
-  let mismatches = Core.Db.Pipeline.spot_check env.Study.Env.analyzed in
+  let mismatches =
+    Core.Db.Pipeline.spot_check (Study.Env.analyzed_exn env)
+  in
   Printf.printf
     "Spot check (Section 2.3): %d package footprint mismatches between \
      static analysis and ground truth.\n"
     (List.length mismatches);
-  let quarantined = Core.Db.Pipeline.quarantined env.Study.Env.analyzed in
+  let quarantined =
+    Core.Db.Pipeline.quarantined (Study.Env.analyzed_exn env)
+  in
   Printf.printf
     "Quarantined binaries: %d (expected 0 on the clean corpus).\n"
     quarantined;

@@ -3,35 +3,86 @@
    Subcommands:
      generate   synthesize the distribution and write its binaries to disk
      analyze    run the pipeline and dump importance rankings
+                (--save-snapshot persists the analyzed world)
      report     regenerate a figure/table of the paper (or all of them)
      footprint  analyze a single ELF file and print its API footprint
      seccomp    emit a seccomp allow-list for an ELF file
-     compat     weighted completeness of a user-provided syscall list *)
+     compat     weighted completeness of a user-provided syscall list
+     query      one-shot indexed query against a saved snapshot
+     serve      line-delimited JSON query loop over stdin/stdout
+
+   analyze/report/compat/seccomp accept --snapshot PATH to start from
+   a saved world instead of re-running generation + analysis. *)
 
 open Cmdliner
 module Study = Core.Study
 module P = Core.Distro.Package
+module Snapshot = Core.Db.Snapshot
+module Query = Core.Query.Engine
+module Json = Core.Query.Json
+module Serve = Core.Query.Serve
 
 let setup_logs () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning)
 
+(* -p/--seed are optional so a snapshot run can tell "defaulted" from
+   "explicitly requested" when deciding whether to warn about a
+   mismatch between the flags and the snapshot's generator identity. *)
 let packages_arg =
   let doc = "Number of packages in the synthetic distribution." in
-  Arg.(value & opt int 1400 & info [ "p"; "packages" ] ~docv:"N" ~doc)
+  Arg.(value & opt (some int) None & info [ "p"; "packages" ] ~docv:"N" ~doc)
 
 let seed_arg =
   let doc = "Generator seed (the distribution is deterministic per seed)." in
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let snapshot_arg =
+  let doc =
+    "Start from a snapshot saved by $(b,lapis analyze --save-snapshot) \
+     instead of generating and analyzing a corpus."
+  in
+  Arg.(value & opt (some file) None & info [ "snapshot" ] ~docv:"PATH" ~doc)
 
 let config packages seed =
-  { Core.Distro.Generator.default_config with n_packages = packages; seed }
+  let d = Core.Distro.Generator.default_config in
+  {
+    d with
+    n_packages = Option.value ~default:d.n_packages packages;
+    seed = Option.value ~default:d.seed seed;
+  }
 
-let make_env packages seed =
+let load_snapshot path =
+  match Snapshot.load path with
+  | Ok snap -> snap
+  | Error e ->
+    Printf.eprintf "lapis: cannot load snapshot %s: %s [kind: %s]\n" path
+      (Fmt.str "%a" Snapshot.pp_error e)
+      (Snapshot.kind_name e);
+    exit 1
+
+let make_env ?snapshot packages seed =
   setup_logs ();
-  Printf.eprintf "# generating %d packages (seed %d) and analyzing...\n%!"
-    packages seed;
-  Study.Env.create ~config:(config packages seed) ()
+  match snapshot with
+  | Some path ->
+    let snap = load_snapshot path in
+    if (packages <> None || seed <> None)
+       && not (Snapshot.matches snap (config packages seed))
+    then
+      Printf.eprintf
+        "# warning: snapshot %s was generated with %d packages (seed %d); \
+         ignoring -p/--seed\n%!"
+        path snap.Snapshot.meta.Snapshot.n_packages
+        snap.Snapshot.meta.Snapshot.seed;
+    Printf.eprintf "# loaded snapshot %s (%d packages, seed %d)\n%!" path
+      snap.Snapshot.meta.Snapshot.n_packages snap.Snapshot.meta.Snapshot.seed;
+    Study.Env.of_snapshot snap
+  | None ->
+    let config = config packages seed in
+    Printf.eprintf "# generating %d packages (seed %d) and analyzing...\n%!"
+      config.Core.Distro.Generator.n_packages
+      config.Core.Distro.Generator.seed;
+    Study.Env.create ~config ()
 
 (* --- generate ---------------------------------------------------------- *)
 
@@ -86,8 +137,8 @@ let report_cmd =
     in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run packages seed ids =
-    let env = make_env packages seed in
+  let run packages seed snapshot ids =
+    let env = make_env ?snapshot packages seed in
     let selected =
       match ids with
       | [] -> Study.Experiments.all
@@ -110,7 +161,7 @@ let report_cmd =
   let doc = "Regenerate figures and tables of the paper's evaluation." in
   Cmd.v
     (Cmd.info "report" ~doc)
-    Term.(const run $ packages_arg $ seed_arg $ ids_arg)
+    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ ids_arg)
 
 (* --- analyze ----------------------------------------------------------- *)
 
@@ -119,9 +170,33 @@ let analyze_cmd =
     let doc = "How many ranking rows to print." in
     Arg.(value & opt int 50 & info [ "top" ] ~docv:"N" ~doc)
   in
-  let run packages seed top =
-    let env = make_env packages seed in
-    let store = env.Study.Env.store in
+  let save_arg =
+    let doc =
+      "Write the analyzed world to a snapshot file for later \
+       $(b,lapis query) / $(b,lapis serve) runs."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "save-snapshot" ] ~docv:"PATH" ~doc)
+  in
+  let run packages seed snapshot save top =
+    let env = make_env ?snapshot packages seed in
+    (match save with
+     | None -> ()
+     | Some path ->
+       (match Study.Env.corpus env with
+        | Error msg ->
+          Printf.eprintf
+            "lapis: --save-snapshot needs a freshly analyzed corpus: %s\n" msg;
+          exit 2
+        | Ok analyzed ->
+          (match Snapshot.save path (Snapshot.of_analyzed analyzed) with
+           | Ok () -> Printf.eprintf "# saved snapshot to %s\n%!" path
+           | Error e ->
+             Printf.eprintf "lapis: cannot save snapshot %s: %s\n" path
+               (Fmt.str "%a" Snapshot.pp_error e);
+             exit 1)))
+    ;
+    let idx = env.Study.Env.index in
     Printf.printf "%-4s %-22s %-10s %-10s\n" "rank" "system call"
       "importance" "unweighted";
     List.iteri
@@ -129,16 +204,16 @@ let analyze_cmd =
         if i < top then
           Printf.printf "%-4d %-22s %-10.4f %-10.4f\n" (i + 1)
             (Core.Apidb.Syscall_table.name_of_nr nr)
-            (Core.Metrics.Importance.importance store
-               (Core.Apidb.Api.Syscall nr))
-            (Core.Metrics.Importance.unweighted store
+            (Core.Metrics.Importance.of_index idx (Core.Apidb.Api.Syscall nr))
+            (Core.Metrics.Importance.unweighted_of_index idx
                (Core.Apidb.Api.Syscall nr)))
       env.Study.Env.ranking
   in
   let doc = "Print the system call importance ranking." in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(const run $ packages_arg $ seed_arg $ top_arg)
+    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ save_arg
+          $ top_arg)
 
 (* --- footprint / seccomp ------------------------------------------------ *)
 
@@ -190,6 +265,25 @@ let footprint_of_file world path =
     let bin = Core.Analysis.Binary.analyze img in
     Core.Analysis.Resolve.binary_footprint world bin
 
+(* A snapshot stores every analyzed binary keyed by content digest, so
+   a user-supplied file is matched byte-for-byte without re-analysis. *)
+let snapshot_footprint snap path =
+  let digest = Digest.string (read_file path) in
+  let row =
+    List.find_opt
+      (fun (b : Core.Db.Store.bin_row) -> b.Core.Db.Store.br_digest = digest)
+      snap.Snapshot.store.Core.Db.Store.bins
+  in
+  match row with
+  | Some b -> b.Core.Db.Store.br_resolved
+  | None ->
+    Printf.eprintf
+      "lapis: %s is not in the snapshot (no binary with digest %s); \
+       re-run lapis analyze --save-snapshot on the corpus that contains \
+       it, or drop --snapshot to analyze it directly\n"
+      path (Digest.to_hex digest);
+    exit 1
+
 let footprint_cmd =
   let run packages seed path =
     with_world packages seed (fun world ->
@@ -215,19 +309,45 @@ let footprint_cmd =
     Term.(const run $ packages_arg $ seed_arg $ elf_arg)
 
 let seccomp_cmd =
-  let run packages seed path =
-    with_world packages seed (fun world ->
-        let fp = footprint_of_file world path in
-        print_endline
-          (Core.Metrics.Uniqueness.seccomp_policy
-             fp.Core.Analysis.Footprint.apis))
+  let run packages seed snapshot path =
+    setup_logs ();
+    let apis =
+      match snapshot with
+      | Some snap_path ->
+        let snap = load_snapshot snap_path in
+        (snapshot_footprint snap path).Core.Analysis.Footprint.apis
+      | None ->
+        with_world packages seed (fun world ->
+            (footprint_of_file world path).Core.Analysis.Footprint.apis)
+    in
+    print_endline (Core.Metrics.Uniqueness.seccomp_policy apis)
   in
   let doc = "Emit a seccomp-bpf allow-list for one ELF binary (Section 6)." in
   Cmd.v
     (Cmd.info "seccomp" ~doc)
-    Term.(const run $ packages_arg $ seed_arg $ elf_arg)
+    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ elf_arg)
 
 (* --- compat ------------------------------------------------------------- *)
+
+let parse_syscall_specs env names =
+  List.concat_map
+    (fun s ->
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "top" ->
+        let n =
+          int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+        in
+        List.filteri (fun j _ -> j < n) env.Study.Env.ranking
+      | _ ->
+        (match int_of_string_opt s with
+         | Some nr -> [ nr ]
+         | None ->
+           (match Core.Apidb.Syscall_table.nr_of_name s with
+            | Some nr -> [ nr ]
+            | None ->
+              Printf.eprintf "unknown system call %s\n" s;
+              exit 2)))
+    names
 
 let compat_cmd =
   let syscalls_arg =
@@ -237,29 +357,12 @@ let compat_cmd =
     in
     Arg.(value & pos_all string [] & info [] ~docv:"SYSCALL" ~doc)
   in
-  let run packages seed names =
-    let env = make_env packages seed in
-    let nrs =
-      List.concat_map
-        (fun s ->
-          match String.index_opt s ':' with
-          | Some i when String.sub s 0 i = "top" ->
-            let n =
-              int_of_string (String.sub s (i + 1) (String.length s - i - 1))
-            in
-            List.filteri (fun j _ -> j < n) env.Study.Env.ranking
-          | _ ->
-            (match int_of_string_opt s with
-             | Some nr -> [ nr ]
-             | None ->
-               (match Core.Apidb.Syscall_table.nr_of_name s with
-                | Some nr -> [ nr ]
-                | None ->
-                  Printf.eprintf "unknown system call %s\n" s;
-                  exit 2)))
-        names
+  let run packages seed snapshot names =
+    let env = make_env ?snapshot packages seed in
+    let nrs = parse_syscall_specs env names in
+    let c =
+      Core.Metrics.Completeness.of_syscall_set_index env.Study.Env.index nrs
     in
-    let c = Core.Metrics.Completeness.of_syscall_set env.Study.Env.store nrs in
     Printf.printf
       "supporting %d system calls -> weighted completeness %.2f%%\n"
       (List.length (List.sort_uniq compare nrs))
@@ -270,7 +373,125 @@ let compat_cmd =
   in
   Cmd.v
     (Cmd.info "compat" ~doc)
-    Term.(const run $ packages_arg $ seed_arg $ syscalls_arg)
+    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ syscalls_arg)
+
+(* --- query -------------------------------------------------------------- *)
+
+let stats_arg =
+  let doc =
+    "Print the per-stage timing/counter report to stderr after answering \
+     (shows that snapshot-backed queries spend no time in analysis)."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let print_stage_stats () =
+  Fmt.epr "# per-stage breakdown:@\n%a%!" Core.Perf.Stage.pp_report ()
+
+let query_cmd =
+  let op_arg =
+    let doc =
+      "Query: $(b,stats) | $(b,top) [N] | $(b,importance) API | \
+       $(b,dependents) API [LIMIT] | $(b,completeness) SYSCALL[,...] \
+       (names, numbers or top:N)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let operands_arg =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"ARG")
+  in
+  let run snapshot stats op operands =
+    setup_logs ();
+    let path =
+      match snapshot with
+      | Some p -> p
+      | None ->
+        Printf.eprintf
+          "lapis: query needs --snapshot PATH (save one with lapis analyze \
+           --save-snapshot)\n";
+        exit 2
+    in
+    let env = make_env ~snapshot:path None None in
+    let idx = env.Study.Env.index in
+    let request =
+      match (op, operands) with
+      | "stats", [] -> Json.Obj [ ("op", Json.Str "stats") ]
+      | "top", rest ->
+        let n =
+          match rest with
+          | [] -> 10
+          | [ n ] ->
+            (match int_of_string_opt n with
+             | Some n -> n
+             | None ->
+               Printf.eprintf "lapis: top expects a count, got %S\n" n;
+               exit 2)
+          | _ ->
+            Printf.eprintf "lapis: top takes at most one argument\n";
+            exit 2
+        in
+        Json.Obj [ ("op", Json.Str "top"); ("n", Json.Num (float_of_int n)) ]
+      | "importance", [ api ] ->
+        Json.Obj [ ("op", Json.Str "importance"); ("api", Json.Str api) ]
+      | "dependents", (api :: rest) ->
+        let base =
+          [ ("op", Json.Str "dependents"); ("api", Json.Str api) ]
+        in
+        (match rest with
+         | [] -> Json.Obj base
+         | [ limit ] ->
+           (match int_of_string_opt limit with
+            | Some l ->
+              Json.Obj (base @ [ ("limit", Json.Num (float_of_int l)) ])
+            | None ->
+              Printf.eprintf "lapis: dependents limit must be an integer\n";
+              exit 2)
+         | _ ->
+           Printf.eprintf "lapis: dependents takes API [LIMIT]\n";
+           exit 2)
+      | "completeness", [ spec ] ->
+        let nrs = parse_syscall_specs env (String.split_on_char ',' spec) in
+        Json.Obj
+          [
+            ("op", Json.Str "completeness");
+            ( "syscalls",
+              Json.Arr (List.map (fun nr -> Json.Num (float_of_int nr)) nrs) );
+          ]
+      | _ ->
+        Printf.eprintf
+          "lapis: bad query; see lapis query --help for the operations\n";
+        exit 2
+    in
+    let response = Serve.handle_request idx request in
+    print_endline (Json.to_string response);
+    if stats then print_stage_stats ();
+    (match Json.member "ok" response with
+     | Some (Json.Bool true) -> ()
+     | _ -> exit 1)
+  in
+  let doc =
+    "Answer one indexed query from a snapshot — no generation, no analysis."
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(const run $ snapshot_arg $ stats_arg $ op_arg $ operands_arg)
+
+(* --- serve -------------------------------------------------------------- *)
+
+let serve_cmd =
+  let run packages seed snapshot stats =
+    let env = make_env ?snapshot packages seed in
+    Printf.eprintf
+      "# serving line-delimited JSON on stdin/stdout (ops: ping stats \
+       importance completeness top dependents); EOF to stop\n%!";
+    Serve.loop env.Study.Env.index stdin stdout;
+    if stats then print_stage_stats ()
+  in
+  let doc =
+    "Serve indexed queries as line-delimited JSON over stdin/stdout."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ stats_arg)
 
 let () =
   let doc =
@@ -282,4 +503,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; report_cmd; analyze_cmd; footprint_cmd;
-            seccomp_cmd; compat_cmd ]))
+            seccomp_cmd; compat_cmd; query_cmd; serve_cmd ]))

@@ -1,0 +1,38 @@
+(** Basic-block control-flow graph of one function.
+
+    Blocks split at jump targets and after every control transfer
+    ([Jmp_rel], [Jcc_rel], [Ret]); calls do not end a block (they
+    return). Jump targets outside the function's own instruction range
+    are treated as function exits, the standard conservative choice
+    for tail transfers into stubs. The {!Dataflow} engine runs its
+    worklist fixpoint over this graph. *)
+
+open Lapis_x86
+
+type block = {
+  b_index : int;
+  b_addr : int;  (** address of the block's first instruction *)
+  b_insns : (int * Insn.t * int) list;  (** (address, insn, length) *)
+}
+
+type t = {
+  blocks : block array;
+  succs : int list array;  (** successor block indexes *)
+  preds : int list array;  (** predecessor block indexes *)
+  entry : int;  (** index of the entry block; -1 for an empty function *)
+}
+
+val build : (int * Insn.t * int) list -> t
+(** Build the graph from a function's decoded instruction list
+    ((address, instruction, length) triples in address order). *)
+
+val reachable : t -> int list
+(** Block indexes reachable from the entry, in DFS preorder; empty for
+    an empty function. *)
+
+val rpo : t -> int list
+(** Reachable blocks in reverse postorder: every block before its
+    successors except across back edges, the sweep order under which
+    the fixpoint converges in one pass per loop-nesting depth. *)
+
+val n_blocks : t -> int

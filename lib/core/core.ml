@@ -15,8 +15,10 @@
       and cross-library footprint resolution.
     - {!Distro}: the calibrated synthetic Ubuntu-like distribution and
       popularity-contest model.
-    - {!Db}: the in-memory relational store and the end-to-end
-      pipeline.
+    - {!Db}: the in-memory relational store, the end-to-end pipeline
+      and versioned world snapshots (analyze once, query many).
+    - {!Query}: the indexed compatibility query engine and the
+      line-delimited JSON serving loop behind [lapis query]/[serve].
     - {!Fuzz}: the mutational fuzz harness that hardens the ingestion
       path — seeded ELF mutations driven through parse/analyze/resolve
       with structured-error and crash-containment assertions.
@@ -85,6 +87,13 @@ end
 module Db = struct
   module Store = Lapis_store.Store
   module Pipeline = Lapis_store.Pipeline
+  module Snapshot = Lapis_store.Snapshot
+end
+
+module Query = struct
+  module Engine = Lapis_query.Query
+  module Json = Lapis_query.Json
+  module Serve = Lapis_query.Serve
 end
 
 module Fuzz = struct

@@ -1418,6 +1418,7 @@ let generate ?(config = default_config) () : P.distribution =
     total_installs = config.total_installs;
     truth;
     seed = config.seed;
+    n_requested = config.n_packages;
   }
 
 let _ = add_unique

@@ -36,6 +36,11 @@ type distribution = {
   total_installs : int;
   truth : ground_truth;
   seed : int;
+  n_requested : int;
+      (** the [n_packages] the generator was asked for — the actual
+          package count is [max n_requested (length of the fixed
+          roster)], so this is the value that names the corpus (it
+          feeds the snapshot's generator identity key) *)
 }
 
 let install_prob dist pkg =

@@ -279,7 +279,12 @@ let pipeline_smoke ?(seed = 7) ?(packages = 20) ?(victims = 12) () : smoke =
     }
   in
   {
-    s_analyzed = Lapis_store.Pipeline.run dist;
+    (* caching is keyed by content digest, which a fuzz run mutates on
+       purpose — run cold so every mutant is analyzed for real *)
+    s_analyzed =
+      Lapis_store.Pipeline.run
+        ~config:{ Lapis_store.Pipeline.default with cache = false }
+        dist;
     s_mutated = !mutated;
     s_forced = !forced;
   }

@@ -189,3 +189,17 @@ let curve_apis (store : Store.t) ~(ranking : Api.t list)
       acc := !acc +. gain.(i + 1);
       (i + 1, !acc /. total_weight))
     ranking
+
+(* ------------------------------------------------------------------ *)
+(* Index-backed variants: one linear pass over Lapis_query's closure
+   requirement arrays instead of the per-query dependency fixpoint.
+   Bit-identical to the definitions above. *)
+
+let query_scope = function
+  | Syscalls_only -> Lapis_query.Query.Syscalls_only
+  | All_apis -> Lapis_query.Query.All_apis
+
+let of_index ?(scope = All_apis) idx ~supported =
+  Lapis_query.Query.eval_pred ~scope:(query_scope scope) idx ~supported
+
+let of_syscall_set_index = Lapis_query.Query.eval_syscalls

@@ -47,3 +47,11 @@ val curve_apis :
     the ranking are supported iff they satisfy [assumed] (e.g. treat
     libc symbols as the C library's problem while ranking kernel
     interfaces). *)
+
+val of_index :
+  ?scope:scope -> Lapis_query.Query.t -> supported:(Api.t -> bool) -> float
+(** {!weighted_completeness} answered from a precomputed index in one
+    linear pass; bit-identical to the fixpoint walk. *)
+
+val of_syscall_set_index : Lapis_query.Query.t -> int list -> float
+(** {!of_syscall_set} on the index's syscall-specialized hot path. *)

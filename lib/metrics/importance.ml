@@ -55,3 +55,21 @@ let inverted_cdf values = List.sort (fun a b -> compare b a) values
 
 let count_at_least threshold values =
   List.length (List.filter (fun v -> v >= threshold) values)
+
+(* ------------------------------------------------------------------ *)
+(* Index-backed variants: same metrics, answered by Lapis_query's
+   precomputed survival products instead of walking the store. Kept
+   bit-identical to the closed-form definitions above (the oracle);
+   the test suite compares the two paths. *)
+
+let of_index = Lapis_query.Query.importance
+let unweighted_of_index = Lapis_query.Query.unweighted
+let unweighted_elf_of_index = Lapis_query.Query.unweighted_elf
+
+let syscall_importances_of_index idx =
+  List.map
+    (fun (e : Syscall_table.entry) ->
+      (e, Lapis_query.Query.importance idx (Api.Syscall e.Syscall_table.nr)))
+    (Array.to_list Syscall_table.all)
+
+let rank_syscalls_of_index = Lapis_query.Query.ranking

@@ -40,3 +40,17 @@ val inverted_cdf : float list -> float list
 val count_at_least : float -> float list -> int
 (** [count_at_least t vs] counts the values at or above threshold
     [t]. *)
+
+val of_index : Lapis_query.Query.t -> Api.t -> float
+(** {!importance} answered from a precomputed index in O(1);
+    bit-identical to the store walk. *)
+
+val unweighted_of_index : Lapis_query.Query.t -> Api.t -> float
+val unweighted_elf_of_index : Lapis_query.Query.t -> Api.t -> float
+
+val syscall_importances_of_index :
+  Lapis_query.Query.t -> (Syscall_table.entry * float) list
+(** {!syscall_importances} from the index, table order preserved. *)
+
+val rank_syscalls_of_index : Lapis_query.Query.t -> int list
+(** {!rank_syscalls} from the index's precomputed ranking. *)

@@ -1,0 +1,442 @@
+(** Indexed compatibility query engine: precomputed structures over an
+    immutable {!Store.t} that answer the paper's two headline
+    questions — API importance (Appendix A.1) and weighted
+    completeness of an arbitrary API subset (Appendix A.2) — without
+    touching the analysis pipeline again.
+
+    Three precomputations carry every query:
+
+    - {b survival products}. For each API, the product
+      [prod (1 - p_pkg)] over its dependent packages, folded in the
+      store's dependents order — the exact arithmetic of
+      {!Lapis_metrics.Importance.importance} — so importance is an
+      O(1) lookup that is bit-identical to the closed-form oracle.
+
+    - {b closure requirement arrays}. Completeness propagates support
+      through dependencies to a fixed point; that fixpoint equals
+      "every package in my transitive dependency closure is directly
+      supported". We condense the dependency graph into strongly
+      connected components (iterative Tarjan, emitted in reverse
+      topological order) and give every package the sorted, deduped
+      array of APIs required anywhere in its closure. An arbitrary
+      subset query is then one linear pass: a package is supported iff
+      every id in its closure array is in the queried set. A
+      syscall-specialized copy of the arrays (just the numbers) backs
+      the hot [eval_syscalls] path with a flat [bool array] probe.
+
+    - {b the Section 3 ranking}, computed once with the oracle's own
+      comparator over index-derived values.
+
+    The weighted sums replicate the oracle's accumulation order
+    (ascending package index, total weight folded over the full row
+    array), so results are equal to the closed-form implementations
+    bit for bit, not merely within tolerance — the test suite asserts
+    [<= 1e-12] but the design target is exact. *)
+
+open Lapis_apidb
+module Store = Lapis_store.Store
+module Stage = Lapis_perf.Stage
+
+type ranked = {
+  rk_nr : int;
+  rk_name : string;
+  rk_importance : float;
+  rk_unweighted_elf : float;
+}
+
+type t = {
+  store : Store.t;
+  n : int;
+  probs : float array;  (* pkg index -> install probability *)
+  names : string array;
+  api_ids : int Api.Tbl.t;  (* interning: api -> dense id *)
+  apis : Api.t array;  (* id -> api *)
+  survival : float array;  (* id -> prod(1 - p) over dependents *)
+  dep_count : int array;  (* id -> number of dependent packages *)
+  elf_count : int array;  (* id -> packages using it from own ELFs *)
+  closure_req : int array array;
+      (* pkg -> sorted api ids required anywhere in its dep closure;
+         rows of one SCC share the same physical array *)
+  closure_sys : int array array;  (* same, syscall numbers only *)
+  max_nr : int;  (* largest syscall nr required by any package *)
+  scratch : bool array;  (* nr -> queried?  (eval_syscalls workspace) *)
+  ranking : ranked array;  (* Section 3 order, most important first *)
+  den : float;  (* total popcon weight, oracle fold order *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Index construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Iterative Tarjan SCC over [succ]. Returns [comp] (node -> component
+   id) and the component count; components are numbered in emission
+   order, which for Tarjan is reverse topological: every component
+   reachable from component [c] has an id [< c]. *)
+let tarjan n (succ : int array array) =
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let comp = Array.make n (-1) in
+  let n_comps = ref 0 in
+  let counter = ref 0 in
+  let frames = Stack.create () in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      index.(root) <- !counter;
+      low.(root) <- !counter;
+      incr counter;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      Stack.push (root, ref 0) frames;
+      while not (Stack.is_empty frames) do
+        let v, next_edge = Stack.top frames in
+        if !next_edge < Array.length succ.(v) then begin
+          let w = succ.(v).(!next_edge) in
+          incr next_edge;
+          if index.(w) < 0 then begin
+            index.(w) <- !counter;
+            low.(w) <- !counter;
+            incr counter;
+            stack := w :: !stack;
+            on_stack.(w) <- true;
+            Stack.push (w, ref 0) frames
+          end
+          else if on_stack.(w) then low.(v) <- min low.(v) index.(w)
+        end
+        else begin
+          ignore (Stack.pop frames);
+          (match Stack.top_opt frames with
+           | Some (u, _) -> low.(u) <- min low.(u) low.(v)
+           | None -> ());
+          if low.(v) = index.(v) then begin
+            let cid = !n_comps in
+            incr n_comps;
+            let finished = ref false in
+            while not !finished do
+              match !stack with
+              | w :: rest ->
+                stack := rest;
+                on_stack.(w) <- false;
+                comp.(w) <- cid;
+                if w = v then finished := true
+              | [] -> assert false
+            done
+          end
+        end
+      done
+    end
+  done;
+  (comp, !n_comps)
+
+let index (store : Store.t) : t =
+  Stage.time "query:index-build" @@ fun () ->
+  let n = store.Store.n_packages in
+  let probs = Array.map (fun p -> p.Store.pr_prob) store.Store.packages in
+  let names = Array.map (fun p -> p.Store.pr_name) store.Store.packages in
+  (* Intern every API reachable from any package footprint. *)
+  let api_ids = Api.Tbl.create 4096 in
+  let rev_apis = ref [] in
+  let n_apis = ref 0 in
+  let intern api =
+    match Api.Tbl.find_opt api_ids api with
+    | Some id -> id
+    | None ->
+      let id = !n_apis in
+      incr n_apis;
+      Api.Tbl.add api_ids api id;
+      rev_apis := api :: !rev_apis;
+      id
+  in
+  Array.iter
+    (fun (p : Store.pkg_row) ->
+      Api.Set.iter (fun a -> ignore (intern a)) p.Store.pr_apis;
+      Api.Set.iter (fun a -> ignore (intern a)) p.Store.pr_apis_elf)
+    store.Store.packages;
+  let apis = Array.of_list (List.rev !rev_apis) in
+  let n_apis = !n_apis in
+  (* Survival products, folded in the store's dependents order — the
+     same multiply sequence as the Importance oracle. *)
+  let survival = Array.make n_apis 1.0 in
+  let dep_count = Array.make n_apis 0 in
+  Array.iteri
+    (fun id api ->
+      let deps = Store.dependents store api in
+      dep_count.(id) <- List.length deps;
+      survival.(id) <-
+        List.fold_left (fun acc i -> acc *. (1.0 -. probs.(i))) 1.0 deps)
+    apis;
+  let elf_count = Array.make n_apis 0 in
+  Array.iter
+    (fun (p : Store.pkg_row) ->
+      Api.Set.iter
+        (fun a -> elf_count.(Api.Tbl.find api_ids a) <- elf_count.(Api.Tbl.find api_ids a) + 1)
+        p.Store.pr_apis_elf)
+    store.Store.packages;
+  (* Direct requirement arrays and resolvable dependency edges. *)
+  let req =
+    Array.map
+      (fun (p : Store.pkg_row) ->
+        let ids =
+          Api.Set.fold (fun a acc -> Api.Tbl.find api_ids a :: acc)
+            p.Store.pr_apis []
+        in
+        let arr = Array.of_list ids in
+        Array.sort (fun (a : int) b -> compare a b) arr;
+        arr)
+      store.Store.packages
+  in
+  let succ =
+    Array.map
+      (fun (p : Store.pkg_row) ->
+        p.Store.pr_deps
+        |> List.filter_map (Hashtbl.find_opt store.Store.pkg_index)
+        |> Array.of_list)
+      store.Store.packages
+  in
+  let comp, n_comps = tarjan n succ in
+  let members = Array.make n_comps [] in
+  for i = n - 1 downto 0 do
+    members.(comp.(i)) <- i :: members.(comp.(i))
+  done;
+  (* Closure per component, successors first (their ids are smaller). *)
+  let comp_closure = Array.make n_comps [||] in
+  let mark = Array.make n_apis false in
+  for c = 0 to n_comps - 1 do
+    let acc = ref [] in
+    let add id =
+      if not mark.(id) then begin
+        mark.(id) <- true;
+        acc := id :: !acc
+      end
+    in
+    List.iter
+      (fun i ->
+        Array.iter add req.(i);
+        Array.iter
+          (fun j -> if comp.(j) <> c then Array.iter add comp_closure.(comp.(j)))
+          succ.(i))
+      members.(c);
+    let arr = Array.of_list !acc in
+    Array.sort (fun (a : int) b -> compare a b) arr;
+    Array.iter (fun id -> mark.(id) <- false) arr;
+    comp_closure.(c) <- arr
+  done;
+  let closure_req = Array.init n (fun i -> comp_closure.(comp.(i))) in
+  (* Syscall-specialized copies: just the numbers, for the hot path. *)
+  let sys_nr =
+    Array.map (function Api.Syscall nr -> nr | _ -> -1) apis
+  in
+  let comp_sys =
+    Array.map
+      (fun ids ->
+        let nrs =
+          Array.to_list ids
+          |> List.filter_map (fun id ->
+                 if sys_nr.(id) >= 0 then Some sys_nr.(id) else None)
+        in
+        let arr = Array.of_list nrs in
+        Array.sort (fun (a : int) b -> compare a b) arr;
+        arr)
+      comp_closure
+  in
+  let closure_sys = Array.init n (fun i -> comp_sys.(comp.(i))) in
+  let max_nr = Array.fold_left (fun acc nr -> max acc nr) (-1) sys_nr in
+  let den = Array.fold_left (fun a p -> a +. p) 0.0 probs in
+  (* Section 3 ranking, with the oracle's comparator over
+     index-derived values (both bit-identical to the oracle's). *)
+  let importance_of_nr nr =
+    match Api.Tbl.find_opt api_ids (Api.Syscall nr) with
+    | Some id -> 1.0 -. survival.(id)
+    | None -> 0.0
+  in
+  let unweighted_elf_of_nr nr =
+    let k =
+      match Api.Tbl.find_opt api_ids (Api.Syscall nr) with
+      | Some id -> elf_count.(id)
+      | None -> 0
+    in
+    float_of_int k /. float_of_int n
+  in
+  let ranking =
+    Array.to_list Syscall_table.all
+    |> List.map (fun (e : Syscall_table.entry) ->
+           ( e.Syscall_table.nr,
+             e.Syscall_table.name,
+             importance_of_nr e.Syscall_table.nr,
+             unweighted_elf_of_nr e.Syscall_table.nr ))
+    |> List.sort (fun (na, _, ia, ua) (nb, _, ib, ub) ->
+           match compare ib ia with
+           | 0 -> (match compare ub ua with 0 -> compare na nb | c -> c)
+           | c -> c)
+    |> List.map (fun (nr, name, imp, uelf) ->
+           {
+             rk_nr = nr;
+             rk_name = name;
+             rk_importance = imp;
+             rk_unweighted_elf = uelf;
+           })
+    |> Array.of_list
+  in
+  {
+    store;
+    n;
+    probs;
+    names;
+    api_ids;
+    apis;
+    survival;
+    dep_count;
+    elf_count;
+    closure_req;
+    closure_sys;
+    max_nr;
+    scratch = Array.make (max_nr + 2) false;
+    ranking;
+    den;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Point queries                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let store t = t.store
+let n_packages t = t.n
+let n_apis t = Array.length t.apis
+
+let survival t api =
+  match Api.Tbl.find_opt t.api_ids api with
+  | Some id -> t.survival.(id)
+  | None -> 1.0
+
+let importance t api = 1.0 -. survival t api
+
+let unweighted t api =
+  let k =
+    match Api.Tbl.find_opt t.api_ids api with
+    | Some id -> t.dep_count.(id)
+    | None -> 0
+  in
+  float_of_int k /. float_of_int t.n
+
+let unweighted_elf t api =
+  let k =
+    match Api.Tbl.find_opt t.api_ids api with
+    | Some id -> t.elf_count.(id)
+    | None -> 0
+  in
+  float_of_int k /. float_of_int t.n
+
+let ranking t = Array.to_list t.ranking |> List.map (fun r -> r.rk_nr)
+
+let top_n t n =
+  let len = min (max n 0) (Array.length t.ranking) in
+  List.init len (fun i -> t.ranking.(i))
+
+let dependents_ranked ?limit t api =
+  Stage.incr "query:dependents";
+  let rows =
+    Store.dependents t.store api
+    |> List.map (fun i -> (t.names.(i), t.probs.(i)))
+    |> List.sort (fun (na, pa) (nb, pb) ->
+           match compare pb pa with 0 -> compare na nb | c -> c)
+  in
+  match limit with
+  | None -> rows
+  | Some k -> List.filteri (fun i _ -> i < k) rows
+
+(* ------------------------------------------------------------------ *)
+(* Completeness over arbitrary subsets                                 *)
+(* ------------------------------------------------------------------ *)
+
+type scope = Syscalls_only | All_apis
+
+let scoped scope supported api =
+  match scope with
+  | All_apis -> supported api
+  | Syscalls_only ->
+    (match api with Api.Syscall _ -> supported api | _ -> true)
+
+let eval_pred ?(scope = All_apis) t ~supported =
+  Stage.incr "query:eval";
+  let n_apis = Array.length t.apis in
+  let good = Array.make n_apis true in
+  for id = 0 to n_apis - 1 do
+    good.(id) <- scoped scope supported t.apis.(id)
+  done;
+  let num = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    let reqs = t.closure_req.(i) in
+    let len = Array.length reqs in
+    let k = ref 0 in
+    while !k < len && good.(reqs.(!k)) do
+      incr k
+    done;
+    if !k = len then num := !num +. t.probs.(i)
+  done;
+  if t.den = 0.0 then 0.0 else !num /. t.den
+
+let eval_syscalls t nrs =
+  Stage.incr "query:eval";
+  let sup = t.scratch in
+  let marked = List.filter (fun nr -> nr >= 0 && nr <= t.max_nr) nrs in
+  List.iter (fun nr -> sup.(nr) <- true) marked;
+  let num = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    let reqs = t.closure_sys.(i) in
+    let len = Array.length reqs in
+    let k = ref 0 in
+    while !k < len && sup.(reqs.(!k)) do
+      incr k
+    done;
+    if !k = len then num := !num +. t.probs.(i)
+  done;
+  List.iter (fun nr -> sup.(nr) <- false) marked;
+  if t.den = 0.0 then 0.0 else !num /. t.den
+
+let eval_subsets t subsets =
+  Stage.time "query:eval-subsets" @@ fun () ->
+  List.map (eval_syscalls t) subsets
+
+(* ------------------------------------------------------------------ *)
+(* API naming (serve protocol / CLI)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let api_to_string = function
+  | Api.Syscall nr ->
+    if Syscall_table.is_valid_nr nr then
+      "syscall:" ^ Syscall_table.name_of_nr nr
+    else "syscall:" ^ string_of_int nr
+  | Api.Vop (Api.Ioctl, code) -> Printf.sprintf "ioctl:%d" code
+  | Api.Vop (Api.Fcntl, code) -> Printf.sprintf "fcntl:%d" code
+  | Api.Vop (Api.Prctl, code) -> Printf.sprintf "prctl:%d" code
+  | Api.Pseudo_file path -> "pseudo:" ^ path
+  | Api.Libc_sym name -> "libc:" ^ name
+
+let parse_syscall s =
+  match int_of_string_opt s with
+  | Some nr -> Ok (Api.Syscall nr)
+  | None ->
+    (match Syscall_table.nr_of_name s with
+     | Some nr -> Ok (Api.Syscall nr)
+     | None -> Error (Printf.sprintf "unknown system call %S" s))
+
+let api_of_string s =
+  match String.index_opt s ':' with
+  | None -> parse_syscall s
+  | Some i ->
+    let kind = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let vop v =
+      match int_of_string_opt rest with
+      | Some code -> Ok (Api.Vop (v, code))
+      | None -> Error (Printf.sprintf "%s code must be an integer: %S" kind rest)
+    in
+    (match kind with
+     | "syscall" -> parse_syscall rest
+     | "ioctl" -> vop Api.Ioctl
+     | "fcntl" -> vop Api.Fcntl
+     | "prctl" -> vop Api.Prctl
+     | "pseudo" -> Ok (Api.Pseudo_file rest)
+     | "libc" -> Ok (Api.Libc_sym rest)
+     | _ -> Error (Printf.sprintf "unknown api kind %S" kind))

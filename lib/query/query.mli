@@ -1,0 +1,84 @@
+(** Indexed compatibility query engine.
+
+    {!index} precomputes, from an immutable {!Lapis_store.Store.t}:
+    per-API survival products (O(1) importance), per-package closure
+    requirement arrays (arbitrary-subset weighted completeness in one
+    linear pass), and the Section 3 syscall ranking. All results are
+    designed to be bit-identical to the closed-form oracles in
+    {!Lapis_metrics} — same fold orders, same comparators — and the
+    test suite holds them to [<= 1e-12].
+
+    An index is cheap relative to analysis (milliseconds) and
+    immutable except for a private query scratch buffer, so share one
+    per store and keep each index on a single domain. *)
+
+open Lapis_apidb
+
+type t
+(** The immutable index (plus a private scratch buffer: not for
+    concurrent use from multiple domains). *)
+
+type ranked = {
+  rk_nr : int;
+  rk_name : string;
+  rk_importance : float;
+  rk_unweighted_elf : float;  (** the plateau tie-breaker of Section 3 *)
+}
+
+val index : Lapis_store.Store.t -> t
+(** Build the index (timed under the ["query:index-build"] stage). *)
+
+val store : t -> Lapis_store.Store.t
+val n_packages : t -> int
+
+val n_apis : t -> int
+(** Distinct APIs appearing in any package footprint. *)
+
+val importance : t -> Api.t -> float
+(** Appendix A.1 importance, O(1): [1 - prod(1 - p)] over dependent
+    packages. Zero for APIs no package uses. *)
+
+val survival : t -> Api.t -> float
+(** The stored product [prod(1 - p)] itself ([1.0] for unused APIs). *)
+
+val unweighted : t -> Api.t -> float
+(** Fraction of packages whose footprint contains the API. *)
+
+val unweighted_elf : t -> Api.t -> float
+(** Same, counting only the packages' own ELF executables. *)
+
+val ranking : t -> int list
+(** Syscall numbers, most important first — the Section 3 order,
+    identical to {!Lapis_metrics.Importance.rank_syscalls}. *)
+
+val top_n : t -> int -> ranked list
+(** First [n] of {!ranking} with their metric values attached. *)
+
+val dependents_ranked : ?limit:int -> t -> Api.t -> (string * float) list
+(** Packages requiring the API, highest install probability first
+    (name order on ties). *)
+
+type scope = Syscalls_only | All_apis
+(** Mirrors {!Lapis_metrics.Completeness.scope} (the metrics layer
+    sits above this one, so the type is re-declared here). *)
+
+val eval_pred : ?scope:scope -> t -> supported:(Api.t -> bool) -> float
+(** Weighted completeness of the support predicate, dependency rule
+    included — one pass over the closure requirement arrays. Default
+    scope [All_apis]. *)
+
+val eval_syscalls : t -> int list -> float
+(** Weighted completeness of a syscall-number set
+    ([scope = Syscalls_only]), on the specialized hot path. Equal to
+    {!Lapis_metrics.Completeness.of_syscall_set}. *)
+
+val eval_subsets : t -> int list list -> float list
+(** Batch {!eval_syscalls}, timed under ["query:eval-subsets"]. *)
+
+val api_to_string : Api.t -> string
+(** Stable textual form: [syscall:read], [ioctl:21505],
+    [pseudo:/proc/self/stat], [libc:qsort], ... *)
+
+val api_of_string : string -> (Api.t, string) result
+(** Inverse of {!api_to_string}; also accepts bare syscall names or
+    numbers ([read], [42]). *)

@@ -1,0 +1,170 @@
+(** Line-delimited JSON request/response loop over an index — the
+    [lapis serve] surface. One request object per line on stdin, one
+    response object per line on stdout; malformed input produces an
+    error {e response}, never a crash or exit, so a misbehaving client
+    cannot take the server down.
+
+    Requests: [{"op": "...", ...}] with an optional ["id"] echoed back
+    verbatim for correlation. Responses: [{"ok": true, ...}] or
+    [{"ok": false, "error": {"kind": ..., "msg": ...}}].
+
+    Every request increments the ["serve:requests"] counter and
+    accumulates wall time under ["serve:<op>"] stages, which is what
+    lets [lapis query --stats] prove a snapshot-backed run spent zero
+    time in analysis. *)
+
+module Stage = Lapis_perf.Stage
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+let err kind msg =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ("error", Json.Obj [ ("kind", Json.Str kind); ("msg", Json.Str msg) ]);
+    ]
+
+let with_id request response =
+  match (Json.member "id" request, response) with
+  | Some id, Json.Obj fields -> Json.Obj (("id", id) :: fields)
+  | _ -> response
+
+let api_field request =
+  match Json.member "api" request with
+  | None -> Error (err "bad-request" "missing \"api\" field")
+  | Some j ->
+    (match Json.to_str j with
+     | None -> Error (err "bad-request" "\"api\" must be a string")
+     | Some s ->
+       (match Query.api_of_string s with
+        | Ok api -> Ok api
+        | Error msg -> Error (err "bad-api" msg)))
+
+let int_list_field request key =
+  match Json.member key request with
+  | None -> Error (err "bad-request" (Printf.sprintf "missing %S field" key))
+  | Some j ->
+    (match Json.to_list j with
+     | None -> Error (err "bad-request" (Printf.sprintf "%S must be an array" key))
+     | Some items ->
+       let rec go acc = function
+         | [] -> Ok (List.rev acc)
+         | x :: rest ->
+           (match Json.to_int x with
+            | Some n -> go (n :: acc) rest
+            | None ->
+              Error
+                (err "bad-request"
+                   (Printf.sprintf "%S must contain integers" key)))
+       in
+       go [] items)
+
+let ranked_json (r : Query.ranked) =
+  Json.Obj
+    [
+      ("nr", Json.Num (float_of_int r.Query.rk_nr));
+      ("name", Json.Str r.Query.rk_name);
+      ("importance", Json.Num r.Query.rk_importance);
+      ("unweighted_elf", Json.Num r.Query.rk_unweighted_elf);
+    ]
+
+let handle_request idx (request : Json.t) : Json.t =
+  match Json.member "op" request with
+  | None -> err "bad-request" "missing \"op\" field"
+  | Some op_j ->
+    (match Json.to_str op_j with
+     | None -> err "bad-request" "\"op\" must be a string"
+     | Some op ->
+       Stage.time ("serve:" ^ op) @@ fun () ->
+       (match op with
+        | "ping" -> ok [ ("pong", Json.Bool true) ]
+        | "stats" ->
+          let store = Query.store idx in
+          ok
+            [
+              ("n_packages", Json.Num (float_of_int (Query.n_packages idx)));
+              ("n_apis", Json.Num (float_of_int (Query.n_apis idx)));
+              ( "n_binaries",
+                Json.Num
+                  (float_of_int
+                     (List.length store.Lapis_store.Store.bins)) );
+              ( "total_installs",
+                Json.Num
+                  (float_of_int store.Lapis_store.Store.total_installs) );
+            ]
+        | "importance" ->
+          (match api_field request with
+           | Error e -> e
+           | Ok api ->
+             ok
+               [
+                 ("api", Json.Str (Query.api_to_string api));
+                 ("importance", Json.Num (Query.importance idx api));
+                 ("unweighted", Json.Num (Query.unweighted idx api));
+               ])
+        | "completeness" ->
+          (match int_list_field request "syscalls" with
+           | Error e -> e
+           | Ok nrs ->
+             ok
+               [
+                 ("n_syscalls", Json.Num (float_of_int (List.length nrs)));
+                 ("completeness", Json.Num (Query.eval_syscalls idx nrs));
+               ])
+        | "top" ->
+          let n =
+            match Json.member "n" request with
+            | Some j -> Option.value ~default:10 (Json.to_int j)
+            | None -> 10
+          in
+          ok
+            [
+              ( "syscalls",
+                Json.Arr (List.map ranked_json (Query.top_n idx n)) );
+            ]
+        | "dependents" ->
+          (match api_field request with
+           | Error e -> e
+           | Ok api ->
+             let limit =
+               Option.bind (Json.member "limit" request) Json.to_int
+             in
+             let rows = Query.dependents_ranked ?limit idx api in
+             ok
+               [
+                 ("api", Json.Str (Query.api_to_string api));
+                 ( "packages",
+                   Json.Arr
+                     (List.map
+                        (fun (name, prob) ->
+                          Json.Obj
+                            [
+                              ("package", Json.Str name);
+                              ("prob", Json.Num prob);
+                            ])
+                        rows) );
+               ])
+        | other -> err "unknown-op" (Printf.sprintf "unknown op %S" other)))
+
+let handle_line idx (line : string) : string =
+  Stage.incr "serve:requests";
+  let response =
+    match Json.parse line with
+    | Error msg -> err "parse" msg
+    | Ok request -> with_id request (handle_request idx request)
+  in
+  Json.to_string response
+
+let loop idx ic oc =
+  let rec go () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line ->
+      if String.trim line <> "" then begin
+        Out_channel.output_string oc (handle_line idx line);
+        Out_channel.output_char oc '\n';
+        Out_channel.flush oc
+      end;
+      go ()
+  in
+  go ()

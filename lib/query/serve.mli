@@ -1,0 +1,20 @@
+(** Line-delimited JSON request/response protocol over a
+    {!Query.t} — the [lapis serve] surface.
+
+    Ops: [ping], [stats], [importance] (["api"]), [completeness]
+    (["syscalls"]: array of numbers), [top] (["n"]), [dependents]
+    (["api"], optional ["limit"]). An optional ["id"] field is echoed
+    into the response. Malformed requests yield
+    [{"ok": false, "error": {...}}] — the loop never raises and never
+    exits on bad input. *)
+
+val handle_request : Query.t -> Json.t -> Json.t
+(** Answer one already-parsed request (timed under ["serve:<op>"]). *)
+
+val handle_line : Query.t -> string -> string
+(** Answer one raw request line; total. The returned string is a
+    single-line JSON response without the trailing newline. *)
+
+val loop : Query.t -> in_channel -> out_channel -> unit
+(** Serve until EOF, one request per line, flushing per response.
+    Blank lines are ignored. *)

@@ -35,10 +35,10 @@ module Reader = Lapis_elf.Reader
    analyzer (the crash-containment net under the fuzz harness) becomes
    "analysis-crash" — either way the caller counts the binary and
    skips it instead of the whole run dying. *)
-let analyze_elf ~mode bytes : (Binary.t, string) result =
+let analyze_elf ~mode ~decode_fuel bytes : (Binary.t, string) result =
   match Stage.time "elf-parse" (fun () -> Reader.parse bytes) with
   | Ok img ->
-    (try Ok (Binary.analyze ~mode img)
+    (try Ok (Binary.analyze ~mode ?decode_fuel img)
      with e ->
        Log.err (fun m ->
            m "analysis crash (quarantined): %s" (Printexc.to_string e));
@@ -50,9 +50,24 @@ let analyze_elf ~mode bytes : (Binary.t, string) result =
           Reader.pp_error e);
     Error Reader.(kind_name (kind e))
 
-let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
-    (dist : P.distribution) : analyzed =
-  let analyze_elf bytes = analyze_elf ~mode bytes in
+(* The run configuration record replaces the optional-argument
+   accretion ([?mode ?cache ?domains], with [?decode_fuel] next in
+   line): callers override one field of [default] and keep source
+   compatibility when the next knob lands. *)
+type config = {
+  mode : Binary.mode;  (** per-function engine: dataflow or linear *)
+  cache : bool;  (** content-hash analysis cache over ELF payloads *)
+  domains : int option;  (** cap for the per-binary analysis fan-out *)
+  decode_fuel : int option;
+      (** per-binary decode budget; [None] uses the analyzer default *)
+}
+
+let default =
+  { mode = Binary.Dataflow; cache = true; domains = None; decode_fuel = None }
+
+let run ?(config = default) (dist : P.distribution) : analyzed =
+  let { mode; cache; domains; decode_fuel } = config in
+  let analyze_elf bytes = analyze_elf ~mode ~decode_fuel bytes in
   (* Per-error-kind quarantine counters: every binary the run skipped
      is counted here (and mirrored into the Stage counters, so the
      bench JSON carries them), never silently dropped. Recording
@@ -172,6 +187,7 @@ let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
                    Store.br_path = f.P.path;
                    br_package = pkg.P.name;
                    br_class = cls;
+                   br_digest = Digest.string f.P.bytes;
                    br_direct = Resolve.direct_footprint bin;
                    br_resolved = resolved;
                  }
@@ -191,6 +207,7 @@ let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
                    Store.br_path = f.P.path;
                    br_package = pkg.P.name;
                    br_class = cls;
+                   br_digest = Digest.string f.P.bytes;
                    br_direct = Resolve.direct_footprint bin;
                    br_resolved = resolved;
                  }
@@ -213,6 +230,7 @@ let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
                 Store.br_path = f.P.path;
                 br_package = pkg.P.name;
                 br_class = cls;
+                br_digest = Digest.string f.P.bytes;
                 br_direct = Footprint.empty;
                 br_resolved = Footprint.empty;
               }
@@ -239,6 +257,10 @@ let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
           Store.br_path = "/lib/x86_64-linux-gnu/" ^ soname;
           br_package = "libc6";
           br_class = Lapis_elf.Classify.Elf_shared_lib;
+          br_digest =
+            (match List.assoc_opt soname dist.P.runtime with
+             | Some bytes -> Digest.string bytes
+             | None -> Digest.string soname);
           br_direct = Resolve.direct_footprint bin;
           br_resolved = Footprint.empty;
         }
@@ -300,6 +322,9 @@ let run ?(mode = Binary.Dataflow) ?(cache = true) ?domains
     List.sort compare
       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) rejects []);
   { store; world; dist }
+
+let run_legacy ?(mode = Binary.Dataflow) ?(cache = true) ?domains dist =
+  run ~config:{ default with mode; cache; domains } dist
 
 let quarantined (a : analyzed) =
   List.fold_left

@@ -16,33 +16,49 @@ val interpreter_package : Lapis_elf.Classify.interpreter -> string option
 (** The package owning an interpreter (dash scripts -> "dash", python
     -> "python2.7", ...); [None] for interpreters outside the model. *)
 
-val run :
-  ?mode:Lapis_analysis.Binary.mode ->
-  ?cache:bool ->
-  ?domains:int ->
-  Lapis_distro.Package.distribution ->
-  analyzed
-(** Analyze a distribution. [mode] selects the per-function engine:
-    the CFG dataflow default, or [Linear] for the control-flow-blind
-    baseline the precision audit measures against.
+type config = {
+  mode : Lapis_analysis.Binary.mode;
+      (** per-function engine: the CFG dataflow default, or [Linear]
+          for the control-flow-blind baseline the precision audit
+          measures against *)
+  cache : bool;
+      (** key per-binary analysis by a digest of the ELF bytes, so
+          byte-identical inputs are analyzed once and package-shipped
+          copies of world libraries reuse the world's analysis. The
+          resulting footprints are identical to an uncached run
+          (checked by the test suite). *)
+  domains : int option;
+      (** cap on the domains used for the per-binary analysis fan-out
+          ([None]: the runtime's recommended count; the loop degrades
+          to sequential on single-core hosts). Aggregation and
+          cross-library resolution always run sequentially. *)
+  decode_fuel : int option;
+      (** per-binary instruction-decode budget ([None]: the
+          {!Lapis_analysis.Binary} default) *)
+}
 
-    [cache] (default [true]) keys per-binary analysis by a digest of
-    the ELF bytes, so byte-identical inputs are analyzed once and
-    package-shipped copies of world libraries reuse the world's
-    analysis. The resulting footprints are identical to an uncached
-    run (checked by the test suite); pass [~cache:false] to force
-    re-analysis of every file.
+val default : config
+(** Dataflow engine, caching on, automatic domain count, default
+    fuel. Override single fields: [{ Pipeline.default with mode = Linear }]. *)
 
-    [domains] caps the domains used for the per-binary analysis
-    fan-out (default: the runtime's recommended domain count; the loop
-    degrades to sequential on single-core hosts). Aggregation and
-    cross-library resolution always run sequentially.
+val run : ?config:config -> Lapis_distro.Package.distribution -> analyzed
+(** Analyze a distribution under [config] (default: {!default}).
 
     Robustness: a binary that fails to parse — or whose analysis
     raises — is quarantined, not fatal: it is skipped and counted per
     error kind in [world.stats.rejects] (mirrored into the
     ["reject:<kind>"] Stage counters the bench JSON reports). A clean
     corpus reports zero rejects. *)
+
+val run_legacy :
+  ?mode:Lapis_analysis.Binary.mode ->
+  ?cache:bool ->
+  ?domains:int ->
+  Lapis_distro.Package.distribution ->
+  analyzed
+  [@@ocaml.deprecated "use Pipeline.run ?config with a Pipeline.config record"]
+(** Optional-argument shim for pre-config callers; forwards to
+    {!run}. New code must build a {!config} instead. *)
 
 val quarantined : analyzed -> int
 (** Total binaries the run rejected and skipped, summed over

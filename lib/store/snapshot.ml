@@ -1,0 +1,441 @@
+(** Persistent snapshots of an analyzed world (the analyze-once /
+    query-many layer). A snapshot serializes everything the query and
+    metrics layers consume — package rows, binary rows with their
+    footprints, popcon weights, and the pipeline's quarantine stats —
+    into a versioned binary wire format:
+
+    {v
+      offset  size  field
+      0       8     magic "LAPISNAP"
+      8       4     format version (u32 LE)
+      12      16    MD5 of the payload
+      28      8     payload length (u64 LE)
+      36      -     payload
+    v}
+
+    The payload is a flat sequence of zigzag-LEB128 varints, raw
+    strings and IEEE-754 bit patterns; every multi-byte integer is
+    little-endian. Loading re-derives the store's hash indexes from
+    the rows, so a loaded store is indistinguishable from the one the
+    pipeline built (the test suite checks metric-for-metric equality).
+
+    Decoding never raises: stale, truncated or corrupted files come
+    back as a structured {!error}, following the taxonomy discipline
+    of {!Lapis_elf.Reader}. The payload digest makes corruption
+    detection O(n) before any structural decoding happens, and the
+    [source_key] in the metadata keys the generator identity
+    (config + seed) so a cache can tell a stale snapshot from a
+    current one without regenerating anything. *)
+
+open Lapis_apidb
+module P = Lapis_distro.Package
+module Footprint = Lapis_analysis.Footprint
+module Classify = Lapis_elf.Classify
+
+let magic = "LAPISNAP"
+let format_version = 1
+let header_len = 8 + 4 + 16 + 8
+
+type meta = {
+  version : int;
+  seed : int;  (** generator seed the corpus came from *)
+  n_packages : int;
+  total_installs : int;
+  source_key : string;
+      (** hex digest of the generator identity (config + seed): the
+          snapshot invalidation rule *)
+}
+
+type t = {
+  meta : meta;
+  store : Store.t;
+  rejects : (string * int) list;  (** quarantine counters of the run *)
+}
+
+type error =
+  | Not_snapshot
+  | Unsupported_version of int
+  | Truncated of string
+  | Digest_mismatch
+  | Corrupt of string
+  | Io of string
+
+let kind_name = function
+  | Not_snapshot -> "not-snapshot"
+  | Unsupported_version _ -> "unsupported-version"
+  | Truncated _ -> "truncated"
+  | Digest_mismatch -> "digest-mismatch"
+  | Corrupt _ -> "corrupt"
+  | Io _ -> "io"
+
+let pp_error ppf = function
+  | Not_snapshot -> Fmt.pf ppf "not a lapis snapshot (bad magic)"
+  | Unsupported_version v ->
+    Fmt.pf ppf "unsupported snapshot version %d (this build reads %d)" v
+      format_version
+  | Truncated what -> Fmt.pf ppf "truncated snapshot: %s" what
+  | Digest_mismatch -> Fmt.pf ppf "payload digest mismatch (corrupted file)"
+  | Corrupt what -> Fmt.pf ppf "corrupt snapshot: %s" what
+  | Io msg -> Fmt.pf ppf "snapshot i/o error: %s" msg
+
+let source_key ~seed ~n_packages ~total_installs =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "lapis-generator:%d:%d:%d" seed n_packages
+          total_installs))
+
+let of_analyzed (a : Pipeline.analyzed) : t =
+  let dist = a.Pipeline.dist in
+  let store = a.Pipeline.store in
+  {
+    meta =
+      {
+        version = format_version;
+        seed = dist.P.seed;
+        n_packages = store.Store.n_packages;
+        total_installs = dist.P.total_installs;
+        (* keyed by the *requested* package count, not the actual row
+           count: small corpora are padded up to the generator's fixed
+           roster, and [matches] only sees the requested count in the
+           config it is handed *)
+        source_key =
+          source_key ~seed:dist.P.seed ~n_packages:dist.P.n_requested
+            ~total_installs:dist.P.total_installs;
+      };
+    store;
+    rejects =
+      a.Pipeline.world.Lapis_analysis.Resolve.stats
+        .Lapis_analysis.Resolve.rejects;
+  }
+
+let matches (t : t) (config : Lapis_distro.Generator.config) =
+  t.meta.source_key
+  = source_key ~seed:config.Lapis_distro.Generator.seed
+      ~n_packages:config.Lapis_distro.Generator.n_packages
+      ~total_installs:config.Lapis_distro.Generator.total_installs
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Unsigned LEB128 over the native int's bit pattern. *)
+let w_varint b n =
+  let n = ref n in
+  let stop = ref false in
+  while not !stop do
+    let byte = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char b (Char.chr byte);
+      stop := true
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+(* Zigzag so small negative ints stay small on the wire. *)
+let w_int b i = w_varint b ((i lsl 1) lxor (i asr 62))
+
+let w_str b s =
+  w_varint b (String.length s);
+  Buffer.add_string b s
+
+let w_float b f =
+  let scratch = Bytes.create 8 in
+  Bytes.set_int64_le scratch 0 (Int64.bits_of_float f);
+  Buffer.add_bytes b scratch
+
+let w_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let w_list b w items =
+  w_varint b (List.length items);
+  List.iter (w b) items
+
+let w_digest b (d : Digest.t) =
+  (* a Digest.t is exactly 16 raw bytes *)
+  Buffer.add_string b (d : string)
+
+let w_api b = function
+  | Api.Syscall nr ->
+    Buffer.add_char b '\000';
+    w_int b nr
+  | Api.Vop (v, code) ->
+    Buffer.add_char b '\001';
+    Buffer.add_char b
+      (match v with Api.Ioctl -> '\000' | Api.Fcntl -> '\001' | Api.Prctl -> '\002');
+    w_int b code
+  | Api.Pseudo_file path ->
+    Buffer.add_char b '\002';
+    w_str b path
+  | Api.Libc_sym name ->
+    Buffer.add_char b '\003';
+    w_str b name
+
+let w_api_set b set =
+  w_varint b (Api.Set.cardinal set);
+  Api.Set.iter (w_api b) set
+
+let w_footprint b (fp : Footprint.t) =
+  w_api_set b fp.Footprint.apis;
+  w_varint b (Footprint.String_set.cardinal fp.Footprint.imports);
+  Footprint.String_set.iter (w_str b) fp.Footprint.imports;
+  w_int b fp.Footprint.unresolved_sites;
+  w_int b fp.Footprint.syscall_sites
+
+let w_class b = function
+  | Classify.Elf_static -> Buffer.add_char b '\000'
+  | Classify.Elf_dynamic -> Buffer.add_char b '\001'
+  | Classify.Elf_shared_lib -> Buffer.add_char b '\002'
+  | Classify.Script interp ->
+    Buffer.add_char b '\003';
+    (match interp with
+     | Classify.Dash -> Buffer.add_char b '\000'
+     | Classify.Bash -> Buffer.add_char b '\001'
+     | Classify.Python -> Buffer.add_char b '\002'
+     | Classify.Perl -> Buffer.add_char b '\003'
+     | Classify.Ruby -> Buffer.add_char b '\004'
+     | Classify.Other_interp s ->
+       Buffer.add_char b '\005';
+       w_str b s)
+  | Classify.Data -> Buffer.add_char b '\004'
+
+let w_pkg_row b (p : Store.pkg_row) =
+  w_str b p.Store.pr_name;
+  w_int b p.Store.pr_installs;
+  w_float b p.Store.pr_prob;
+  w_list b w_str p.Store.pr_deps;
+  w_bool b p.Store.pr_essential;
+  w_api_set b p.Store.pr_apis;
+  w_api_set b p.Store.pr_apis_elf
+
+let w_bin_row b (r : Store.bin_row) =
+  w_str b r.Store.br_path;
+  w_str b r.Store.br_package;
+  w_class b r.Store.br_class;
+  w_digest b r.Store.br_digest;
+  w_footprint b r.Store.br_direct;
+  w_footprint b r.Store.br_resolved
+
+let to_string (t : t) : string =
+  let b = Buffer.create (1 lsl 20) in
+  w_int b t.meta.seed;
+  w_int b t.meta.n_packages;
+  w_int b t.meta.total_installs;
+  w_str b t.meta.source_key;
+  w_list b w_pkg_row (Array.to_list t.store.Store.packages);
+  w_list b w_bin_row t.store.Store.bins;
+  w_list b
+    (fun b (kind, n) ->
+      w_str b kind;
+      w_int b n)
+    t.rejects;
+  let payload = Buffer.contents b in
+  let out = Buffer.create (header_len + String.length payload) in
+  Buffer.add_string out magic;
+  let scratch = Bytes.create 8 in
+  Bytes.set_int32_le scratch 0 (Int32.of_int format_version);
+  Buffer.add_subbytes out scratch 0 4;
+  Buffer.add_string out (Digest.string payload);
+  Bytes.set_int64_le scratch 0 (Int64.of_int (String.length payload));
+  Buffer.add_bytes out scratch;
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Fail of error
+
+type cursor = { buf : string; mutable pos : int; stop : int }
+
+let need c n what =
+  if c.pos + n > c.stop then raise (Fail (Truncated what))
+
+let r_byte c what =
+  need c 1 what;
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_varint c what =
+  let shift = ref 0 and acc = ref 0 and stop = ref false in
+  while not !stop do
+    if !shift > 62 then raise (Fail (Corrupt ("varint overflow in " ^ what)));
+    let byte = r_byte c what in
+    acc := !acc lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then stop := true
+  done;
+  !acc
+
+let r_int c what =
+  let z = r_varint c what in
+  (z lsr 1) lxor (- (z land 1))
+
+let r_str c what =
+  let n = r_varint c what in
+  need c n what;
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let r_float c what =
+  need c 8 what;
+  let v = Int64.float_of_bits (String.get_int64_le c.buf c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let r_bool c what = r_byte c what <> 0
+
+(* Read exactly [n] elements left to right — the cursor is stateful,
+   so the evaluation order must be the wire order. *)
+let r_list c r what =
+  let n = r_varint c what in
+  let rec go acc k = if k = 0 then List.rev acc else go (r c :: acc) (k - 1) in
+  go [] n
+
+let r_digest c what : Digest.t =
+  need c 16 what;
+  let s = String.sub c.buf c.pos 16 in
+  c.pos <- c.pos + 16;
+  s
+
+let r_api c =
+  match r_byte c "api" with
+  | 0 -> Api.Syscall (r_int c "api.syscall")
+  | 1 ->
+    let v =
+      match r_byte c "api.vector" with
+      | 0 -> Api.Ioctl
+      | 1 -> Api.Fcntl
+      | 2 -> Api.Prctl
+      | t -> raise (Fail (Corrupt (Printf.sprintf "unknown vector tag %d" t)))
+    in
+    Api.Vop (v, r_int c "api.vop")
+  | 2 -> Api.Pseudo_file (r_str c "api.pseudo")
+  | 3 -> Api.Libc_sym (r_str c "api.libc")
+  | t -> raise (Fail (Corrupt (Printf.sprintf "unknown api tag %d" t)))
+
+let r_api_set c =
+  let n = r_varint c "api-set" in
+  let rec go acc k = if k = 0 then acc else go (Api.Set.add (r_api c) acc) (k - 1) in
+  go Api.Set.empty n
+
+let r_footprint c : Footprint.t =
+  let apis = r_api_set c in
+  let n_imports = r_varint c "imports" in
+  let rec go acc k =
+    if k = 0 then acc
+    else go (Footprint.String_set.add (r_str c "import") acc) (k - 1)
+  in
+  let imports = go Footprint.String_set.empty n_imports in
+  let unresolved_sites = r_int c "unresolved-sites" in
+  let syscall_sites = r_int c "syscall-sites" in
+  { Footprint.apis; imports; unresolved_sites; syscall_sites }
+
+let r_class c =
+  match r_byte c "class" with
+  | 0 -> Classify.Elf_static
+  | 1 -> Classify.Elf_dynamic
+  | 2 -> Classify.Elf_shared_lib
+  | 3 ->
+    Classify.Script
+      (match r_byte c "interpreter" with
+       | 0 -> Classify.Dash
+       | 1 -> Classify.Bash
+       | 2 -> Classify.Python
+       | 3 -> Classify.Perl
+       | 4 -> Classify.Ruby
+       | 5 -> Classify.Other_interp (r_str c "interpreter.other")
+       | t ->
+         raise (Fail (Corrupt (Printf.sprintf "unknown interpreter tag %d" t))))
+  | 4 -> Classify.Data
+  | t -> raise (Fail (Corrupt (Printf.sprintf "unknown class tag %d" t)))
+
+let r_pkg_row c : Store.pkg_row =
+  let pr_name = r_str c "pkg.name" in
+  let pr_installs = r_int c "pkg.installs" in
+  let pr_prob = r_float c "pkg.prob" in
+  let pr_deps = r_list c (fun c -> r_str c "pkg.dep") "pkg.deps" in
+  let pr_essential = r_bool c "pkg.essential" in
+  let pr_apis = r_api_set c in
+  let pr_apis_elf = r_api_set c in
+  { Store.pr_name; pr_installs; pr_prob; pr_deps; pr_essential; pr_apis;
+    pr_apis_elf }
+
+let r_bin_row c : Store.bin_row =
+  let br_path = r_str c "bin.path" in
+  let br_package = r_str c "bin.package" in
+  let br_class = r_class c in
+  let br_digest = r_digest c "bin.digest" in
+  let br_direct = r_footprint c in
+  let br_resolved = r_footprint c in
+  { Store.br_path; br_package; br_class; br_digest; br_direct; br_resolved }
+
+let of_string (s : string) : (t, error) result =
+  try
+    (* judge the magic on whatever prefix is present, so data from a
+       different format reads as [Not_snapshot] even when it is also
+       shorter than our header, and only genuine prefixes of a real
+       snapshot read as [Truncated] *)
+    let prefix = min 8 (String.length s) in
+    if String.sub s 0 prefix <> String.sub magic 0 prefix then
+      raise (Fail Not_snapshot);
+    if String.length s < header_len then raise (Fail (Truncated "header"));
+    let version = Int32.to_int (String.get_int32_le s 8) in
+    if version <> format_version then
+      raise (Fail (Unsupported_version version));
+    let stored_digest = String.sub s 12 16 in
+    let payload_len = Int64.to_int (String.get_int64_le s 28) in
+    if payload_len < 0 || header_len + payload_len > String.length s then
+      raise (Fail (Truncated "payload"));
+    if header_len + payload_len < String.length s then
+      raise (Fail (Corrupt "trailing bytes after payload"));
+    if Digest.substring s header_len payload_len <> stored_digest then
+      raise (Fail Digest_mismatch);
+    let c = { buf = s; pos = header_len; stop = header_len + payload_len } in
+    let seed = r_int c "meta.seed" in
+    let n_packages = r_int c "meta.n-packages" in
+    let total_installs = r_int c "meta.total-installs" in
+    let skey = r_str c "meta.source-key" in
+    let packages = r_list c r_pkg_row "packages" in
+    let bins = r_list c r_bin_row "binaries" in
+    let rejects =
+      r_list c
+        (fun c ->
+          let kind = r_str c "reject.kind" in
+          let n = r_int c "reject.count" in
+          (kind, n))
+        "rejects"
+    in
+    if c.pos <> c.stop then raise (Fail (Corrupt "payload underrun"));
+    if List.length packages <> n_packages then
+      raise (Fail (Corrupt "package count disagrees with metadata"));
+    let store = Store.build ~packages ~bins ~total_installs in
+    Ok
+      {
+        meta =
+          { version; seed; n_packages; total_installs; source_key = skey };
+        store;
+        rejects;
+      }
+  with Fail e -> Error e
+
+let save path (t : t) : (unit, error) result =
+  match
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+        output_string oc (to_string t))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Io msg)
+
+let load path : (t, error) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | s -> Lapis_perf.Stage.time "snapshot-load" (fun () -> of_string s)
+  | exception Sys_error msg -> Error (Io msg)
+  | exception End_of_file -> Error (Io (path ^ ": unexpected end of file"))

@@ -1,0 +1,83 @@
+(** Versioned binary snapshots of an analyzed world.
+
+    A snapshot captures everything downstream layers consume — the
+    {!Store.t} rows (packages, binaries, footprints, popcon weights)
+    and the pipeline's quarantine counters — so the expensive
+    analyze phase runs once and every later [lapis query] /
+    [lapis serve] / report invocation starts from a file load.
+
+    Wire format (all integers little-endian):
+
+    {v
+      offset  size  field
+      0       8     magic "LAPISNAP"
+      8       4     format version (u32)
+      12      16    MD5 of the payload
+      28      8     payload length (u64)
+      36      -     payload (zigzag-LEB128 varints, raw strings,
+                    IEEE-754 float bit patterns)
+    v}
+
+    Decoding never raises: anything other than a well-formed
+    current-version snapshot comes back as a structured {!error}
+    (same taxonomy discipline as {!Lapis_elf.Reader}). *)
+
+val magic : string
+val format_version : int
+
+type meta = {
+  version : int;  (** format version the file was written with *)
+  seed : int;  (** generator seed the corpus came from *)
+  n_packages : int;  (** actual package rows in the store *)
+  total_installs : int;
+  source_key : string;
+      (** hex digest of the generator identity (requested package
+          count, seed, popcon total): the snapshot invalidation rule —
+          regenerate when the key a config would produce differs from
+          the one stored. Keyed by the {e requested} count because
+          small corpora are padded up to the generator's fixed
+          roster. *)
+}
+
+type t = {
+  meta : meta;
+  store : Store.t;
+  rejects : (string * int) list;
+      (** quarantine counters of the producing run, [(kind, count)] *)
+}
+
+type error =
+  | Not_snapshot  (** magic bytes absent: not a snapshot file at all *)
+  | Unsupported_version of int  (** written by an incompatible format *)
+  | Truncated of string  (** ran out of bytes decoding the named field *)
+  | Digest_mismatch  (** payload bytes do not match the stored MD5 *)
+  | Corrupt of string  (** structurally invalid despite a good digest *)
+  | Io of string  (** file system error from {!save}/{!load} *)
+
+val kind_name : error -> string
+(** Stable machine-readable kind, mirroring the reader taxonomy
+    (["not-snapshot"], ["truncated"], ...). *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val source_key : seed:int -> n_packages:int -> total_installs:int -> string
+(** The invalidation key for a generator identity. *)
+
+val of_analyzed : Pipeline.analyzed -> t
+(** Snapshot a pipeline result (shares the store, copies nothing). *)
+
+val matches : t -> Lapis_distro.Generator.config -> bool
+(** Would [config] regenerate the world this snapshot holds? False
+    means the snapshot is stale for that configuration. *)
+
+val to_string : t -> string
+(** Serialize to the wire format. *)
+
+val of_string : string -> (t, error) result
+(** Decode and rebuild the store (hash indexes are re-derived, so the
+    result is indistinguishable from the pipeline's own store). Total:
+    corrupt input yields [Error], never an exception. *)
+
+val save : string -> t -> (unit, error) result
+val load : string -> (t, error) result
+(** [load] times itself under the ["snapshot-load"] {!Lapis_perf.Stage}. *)

@@ -10,6 +10,7 @@ type bin_row = {
   br_path : string;
   br_package : string;
   br_class : Lapis_elf.Classify.t;
+  br_digest : Digest.t;  (** MD5 of the file bytes, the snapshot-lookup key *)
   br_direct : Footprint.t;  (** intra-binary footprint *)
   br_resolved : Footprint.t;  (** after cross-library closure *)
 }

@@ -133,7 +133,7 @@ type fnptr_result = {
 }
 
 let run_fnptr (env : Env.t) : fnptr_result =
-  let dist = Env.dist env in
+  let dist = Env.dist_exn env in
   let affected = ref 0 and total = ref 0 in
   List.iter
     (fun (f : Lapis_distro.Package.file) ->
@@ -163,17 +163,28 @@ let render_all env =
   let p = run_popcon env in
   let d = run_deps env in
   let c = run_callgraph env in
-  let f = run_fnptr env in
+  (* the fn-pointer ablation re-analyzes raw bytes, so it needs the
+     generated corpus and degrades gracefully on snapshot-backed envs *)
+  let fnptr_line =
+    match Env.corpus env with
+    | Ok _ ->
+      let f = run_fnptr env in
+      Printf.sprintf
+        "  fn-pointer over-approximation: %d of %d executables lose APIs \
+         without it"
+        f.binaries_affected f.binaries_total
+    | Error _ ->
+      "  fn-pointer over-approximation: (needs the generated corpus; \
+       unavailable from a snapshot)"
+  in
   let body =
     Printf.sprintf
       "  popcon weighting: %d syscalls change importance class without it;\n\
       \    pairwise rank agreement with uniform weights: %s\n\
       \  dependency closure (top-145 syscalls): with deps %s, without %s\n\
-      \  call-graph resolution: %.1f syscalls/exe direct, %.1f resolved\n\
-      \  fn-pointer over-approximation: %d of %d executables lose APIs \
-       without it"
+      \  call-graph resolution: %.1f syscalls/exe direct, %.1f resolved\n%s"
       p.moved_class (R.pct p.spearman_like)
       (R.pct2 d.with_deps) (R.pct2 d.without_deps)
-      c.mean_direct c.mean_resolved f.binaries_affected f.binaries_total
+      c.mean_direct c.mean_resolved fnptr_line
   in
   R.section ~title:"Ablations: methodology design choices" body

@@ -1,28 +1,39 @@
-(** Shared experiment environment: one synthetic distribution run
-    through the full measurement pipeline, with the syscall ranking
-    and completeness curve precomputed. Every Section 3-6 experiment
-    consumes this. *)
+(** Shared experiment environment: an analyzed world — either run
+    through the full measurement pipeline or reloaded from a snapshot
+    — with the query index, syscall ranking and completeness curve
+    precomputed once. Every Section 3-6 experiment consumes this. *)
 
 module Pipeline = Lapis_store.Pipeline
+module Snapshot = Lapis_store.Snapshot
 module Store = Lapis_store.Store
+module Query = Lapis_query.Query
 
 type t = {
-  analyzed : Pipeline.analyzed;
+  analyzed : Pipeline.analyzed option;
+      (** the pipeline result, including the raw corpus; [None] when
+          the environment was reloaded from a snapshot *)
   store : Store.t;
+  index : Query.t;  (** built once, shared by every experiment *)
   ranking : int list;  (** syscall numbers, most important first *)
   curve : (int * float) list;  (** Figure 3 series over [ranking] *)
 }
 
-let create ?(config = Lapis_distro.Generator.default_config) () =
-  let dist = Lapis_distro.Generator.generate ~config () in
-  let analyzed = Pipeline.run dist in
-  let store = analyzed.Pipeline.store in
+(* Both construction paths end here, so the ranking/curve derivation
+   is identical whether the store came from the pipeline or a file. *)
+let of_store ?analyzed (store : Store.t) =
+  let index = Query.index store in
   let ranking, curve =
     Lapis_perf.Stage.time "metrics" (fun () ->
-        let ranking = Lapis_metrics.Importance.rank_syscalls store in
+        let ranking = Lapis_metrics.Importance.rank_syscalls_of_index index in
         (ranking, Lapis_metrics.Completeness.curve store ~ranking))
   in
-  { analyzed; store; ranking; curve }
+  { analyzed; store; index; ranking; curve }
+
+let create ?(config = Lapis_distro.Generator.default_config)
+    ?(pipeline = Pipeline.default) () =
+  let dist = Lapis_distro.Generator.generate ~config () in
+  let analyzed = Pipeline.run ~config:pipeline dist in
+  of_store ~analyzed analyzed.Pipeline.store
 
 (* A small environment for fast unit tests. *)
 let create_small () =
@@ -30,4 +41,24 @@ let create_small () =
     ~config:{ Lapis_distro.Generator.default_config with n_packages = 300 }
     ()
 
-let dist t = t.analyzed.Pipeline.dist
+let of_snapshot (snap : Snapshot.t) = of_store snap.Snapshot.store
+
+let corpus t =
+  match t.analyzed with
+  | Some a -> Ok a
+  | None ->
+    Error
+      "snapshot-backed environment: the generated corpus is not stored in \
+       snapshots"
+
+let dist t = Option.map (fun a -> a.Pipeline.dist) t.analyzed
+
+let analyzed_exn t =
+  match t.analyzed with
+  | Some a -> a
+  | None ->
+    invalid_arg
+      "Env.analyzed_exn: snapshot-backed environment has no corpus (guard \
+       with Env.corpus)"
+
+let dist_exn t = (analyzed_exn t).Pipeline.dist

@@ -1,23 +1,49 @@
-(** Shared experiment environment: one synthetic distribution run
-    through the full measurement pipeline, with the syscall ranking
-    and completeness curve precomputed. Every Section 3-6 experiment
-    consumes this. *)
+(** Shared experiment environment: an analyzed world — either run
+    through the full measurement pipeline or reloaded from a snapshot
+    — with the query index, syscall ranking and completeness curve
+    precomputed once. Every Section 3-6 experiment consumes this. *)
 
 module Pipeline = Lapis_store.Pipeline
+module Snapshot = Lapis_store.Snapshot
 module Store = Lapis_store.Store
+module Query = Lapis_query.Query
 
 type t = {
-  analyzed : Pipeline.analyzed;
+  analyzed : Pipeline.analyzed option;
+      (** the pipeline result, including the raw corpus; [None] when
+          the environment was reloaded from a snapshot *)
   store : Store.t;
+  index : Query.t;  (** built once, shared by every experiment *)
   ranking : int list;  (** syscall numbers, most important first *)
   curve : (int * float) list;  (** the Figure 3 series over [ranking] *)
 }
 
-val create : ?config:Lapis_distro.Generator.config -> unit -> t
+val create :
+  ?config:Lapis_distro.Generator.config ->
+  ?pipeline:Pipeline.config ->
+  unit ->
+  t
 (** Generate, analyze and index a distribution (deterministic per
-    config). The default config builds 1,400 packages. *)
+    config). The default config builds 1,400 packages with the default
+    pipeline configuration. *)
 
 val create_small : unit -> t
 (** A 300-package environment for fast tests. *)
 
-val dist : t -> Lapis_distro.Package.distribution
+val of_snapshot : Snapshot.t -> t
+(** Rebuild an environment from a loaded snapshot: no generation, no
+    analysis — only index/ranking/curve derivation. [analyzed] is
+    [None]; experiments that need the raw corpus must degrade
+    gracefully (see {!corpus}). *)
+
+val corpus : t -> (Pipeline.analyzed, string) result
+(** The pipeline result, or a human-readable reason why it is
+    unavailable (snapshot-backed environments). *)
+
+val dist : t -> Lapis_distro.Package.distribution option
+
+val analyzed_exn : t -> Pipeline.analyzed
+(** @raise Invalid_argument on snapshot-backed environments. Callers
+    must guard with {!corpus} first (the experiment registry does). *)
+
+val dist_exn : t -> Lapis_distro.Package.distribution

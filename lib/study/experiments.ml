@@ -4,9 +4,18 @@
 
 type t = { id : string; title : string; render : Env.t -> string }
 
+(* Experiments that re-read the raw corpus bytes cannot run from a
+   snapshot-backed environment; render the reason instead of crashing. *)
+let needs_corpus render env =
+  match Env.corpus env with
+  | Ok _ -> render env
+  | Error msg ->
+    Lapis_report.Report.section ~title:"(skipped)"
+      (Printf.sprintf "  this experiment needs the raw corpus: %s" msg)
+
 let all : t list =
   [ { id = "fig1"; title = "Figure 1: executable types";
-      render = (fun env -> Fig1.render (Fig1.run env)) };
+      render = needs_corpus (fun env -> Fig1.render (Fig1.run env)) };
     { id = "fig2"; title = "Figure 2: syscall API importance";
       render = (fun env -> Fig2.render (Fig2.run env)) };
     { id = "table1"; title = "Table 1: syscalls used only via libraries";
@@ -63,9 +72,9 @@ let all : t list =
     { id = "fullpath"; title = "Full-API path (Section 3.2 extension)";
       render = (fun env -> Full_path.render (Full_path.run env)) };
     { id = "tracer"; title = "Dynamic vs static (Section 2.3)";
-      render = (fun env -> Tracer.render (Tracer.run env)) };
+      render = needs_corpus (fun env -> Tracer.render (Tracer.run env)) };
     { id = "precision"; title = "Precision audit: linear vs dataflow";
-      render = (fun env -> Precision.render (Precision.run env)) };
+      render = needs_corpus (fun env -> Precision.render (Precision.run env)) };
     { id = "ablations"; title = "Ablations";
       render = Ablations.render_all } ]
 

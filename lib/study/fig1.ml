@@ -24,7 +24,7 @@ let paper_elf_split =
     ("static binary", 0.0038) ]
 
 let run (env : Env.t) : result =
-  let dist = Env.dist env in
+  let dist = Env.dist_exn env in
   (* count runtime libraries too: they are files of libc6 *)
   let classes =
     List.map (fun f -> Classify.classify f.P.bytes) (P.all_files dist)

@@ -16,7 +16,7 @@ let paper = ("224 indispensable", "257 >= 10%", "44 < 10%", "18 unused")
 
 let run (env : Env.t) : result =
   let values =
-    List.map snd (Importance.syscall_importances env.Env.store)
+    List.map snd (Importance.syscall_importances_of_index env.Env.index)
   in
   let series = Importance.inverted_cdf values in
   let indispensable = Importance.count_at_least 0.995 series in

@@ -66,16 +66,21 @@ let mode_result label (a : Pipeline.analyzed) : mode_result =
   { m_label = label; m_stats = !stats; m_wrong_packages = !wrong }
 
 let run (env : Env.t) : result =
-  let dataflow = mode_result "cfg dataflow" env.Env.analyzed in
+  let analyzed = Env.analyzed_exn env in
+  let dataflow = mode_result "cfg dataflow" analyzed in
   (* re-run the very same distribution bytes through the pipeline with
      the baseline engine *)
-  let linear_analyzed = Pipeline.run ~mode:Binary.Linear (Env.dist env) in
+  let linear_analyzed =
+    Pipeline.run
+      ~config:{ Pipeline.default with mode = Binary.Linear }
+      (Env.dist_exn env)
+  in
   let linear = mode_result "linear scan" linear_analyzed in
   let tr = Tracer.run ~sample:25 env in
   {
     r_linear = linear;
     r_dataflow = dataflow;
-    r_packages = Array.length env.Env.analyzed.Pipeline.store.Store.packages;
+    r_packages = Array.length analyzed.Pipeline.store.Store.packages;
     r_traced = tr.Tracer.traced;
     r_tracer_misses = tr.Tracer.static_misses;
   }

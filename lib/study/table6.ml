@@ -14,11 +14,11 @@ type row = {
 }
 
 let run (env : Env.t) : row list =
-  let store = env.Env.store in
+  let idx = env.Env.index in
   List.map
     (fun (p : Systems.profile) ->
       let set = Systems.supported_set ~ranking:env.Env.ranking p in
-      let completeness = Completeness.of_syscall_set store set in
+      let completeness = Completeness.of_syscall_set_index idx set in
       {
         system = p.Systems.name;
         supported = List.length set;

@@ -18,8 +18,8 @@ type result = {
 }
 
 let run ?(sample = 60) (env : Env.t) : result =
-  let world = env.Env.analyzed.Lapis_store.Pipeline.world in
-  let dist = Env.dist env in
+  let world = (Env.analyzed_exn env).Lapis_store.Pipeline.world in
+  let dist = Env.dist_exn env in
   let exes =
     Lapis_distro.Package.all_files dist
     |> List.filter (fun f -> f.Lapis_distro.Package.kind = Lapis_distro.Package.Executable)

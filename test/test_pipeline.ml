@@ -162,8 +162,12 @@ let test_cache_equivalence () =
           n_packages = 300; seed = 23 }
       ()
   in
-  let cached = Db.Pipeline.run ~cache:true dist in
-  let raw = Db.Pipeline.run ~cache:false dist in
+  let cached =
+    Db.Pipeline.run ~config:{ Db.Pipeline.default with cache = true } dist
+  in
+  let raw =
+    Db.Pipeline.run ~config:{ Db.Pipeline.default with cache = false } dist
+  in
   let sc = cached.Db.Pipeline.store and sr = raw.Db.Pipeline.store in
   Alcotest.(check int) "same package count" sr.Db.Store.n_packages
     sc.Db.Store.n_packages;

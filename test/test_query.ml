@@ -1,0 +1,318 @@
+(* Tests for the indexed query engine: equality with the closed-form
+   oracles on a generated corpus, the hand-rolled JSON codec, and the
+   serve-loop protocol (including malformed input). *)
+
+module Api = Core.Apidb.Api
+module Syscall_table = Core.Apidb.Syscall_table
+module Store = Core.Db.Store
+module Query = Core.Query.Engine
+module Json = Core.Query.Json
+module Serve = Core.Query.Serve
+module Importance = Core.Metrics.Importance
+module Completeness = Core.Metrics.Completeness
+module Rng = Core.Distro.Rng
+
+let env = lazy (Core.Study.Env.create_small ())
+let index () = (Lazy.force env).Core.Study.Env.index
+let store () = (Lazy.force env).Core.Study.Env.store
+
+let tol = 1e-12
+
+let check_close name a b =
+  if Float.abs (a -. b) > tol then
+    Alcotest.failf "%s: index %.17g vs oracle %.17g (diff %g)" name a b
+      (Float.abs (a -. b))
+
+(* --- index vs oracle --------------------------------------------------- *)
+
+let test_importance_matches_oracle () =
+  let idx = index () and store = store () in
+  Array.iter
+    (fun (e : Syscall_table.entry) ->
+      let api = Api.Syscall e.Syscall_table.nr in
+      check_close
+        ("importance " ^ e.Syscall_table.name)
+        (Importance.of_index idx api)
+        (Importance.importance store api);
+      check_close
+        ("unweighted " ^ e.Syscall_table.name)
+        (Importance.unweighted_of_index idx api)
+        (Importance.unweighted store api);
+      check_close
+        ("unweighted-elf " ^ e.Syscall_table.name)
+        (Importance.unweighted_elf_of_index idx api)
+        (Importance.unweighted_elf store api))
+    Syscall_table.all;
+  (* APIs the corpus never mentions *)
+  check_close "unknown syscall"
+    (Importance.of_index idx (Api.Syscall 4095))
+    (Importance.importance store (Api.Syscall 4095));
+  check_close "unknown pseudo-file"
+    (Importance.of_index idx (Api.Pseudo_file "/proc/nope"))
+    (Importance.importance store (Api.Pseudo_file "/proc/nope"))
+
+let test_ranking_matches_oracle () =
+  Alcotest.(check (list int)) "rankings identical"
+    (Importance.rank_syscalls (store ()))
+    (Importance.rank_syscalls_of_index (index ()))
+
+let random_subsets ~n ~max_size =
+  let rng = Rng.create 777 in
+  let all_nrs =
+    Array.to_list Syscall_table.all
+    |> List.map (fun (e : Syscall_table.entry) -> e.Syscall_table.nr)
+  in
+  List.init n (fun _ ->
+      let k = 1 + Rng.int rng max_size in
+      Rng.sample rng k all_nrs)
+
+let test_subset_completeness_matches_oracle () =
+  let idx = index () and store = store () in
+  List.iteri
+    (fun i nrs ->
+      check_close
+        (Printf.sprintf "subset %d (%d syscalls)" i (List.length nrs))
+        (Completeness.of_syscall_set_index idx nrs)
+        (Completeness.of_syscall_set store nrs))
+    (random_subsets ~n:200 ~max_size:200);
+  (* degenerate subsets *)
+  check_close "empty subset"
+    (Completeness.of_syscall_set_index idx [])
+    (Completeness.of_syscall_set store []);
+  let everything =
+    Array.to_list Syscall_table.all
+    |> List.map (fun (e : Syscall_table.entry) -> e.Syscall_table.nr)
+  in
+  check_close "all syscalls"
+    (Completeness.of_syscall_set_index idx everything)
+    (Completeness.of_syscall_set store everything)
+
+let test_predicate_completeness_matches_oracle () =
+  let idx = index () and store = store () in
+  (* a support predicate over every API kind, not just syscalls *)
+  let preds =
+    [ ("all", fun _ -> true);
+      ("none", fun _ -> false);
+      ( "syscalls under 200",
+        function Api.Syscall nr -> nr < 200 | _ -> true );
+      ( "no ioctls",
+        function Api.Vop (Api.Ioctl, _) -> false | _ -> true );
+      ( "no proc",
+        function
+        | Api.Pseudo_file p -> not (String.length p >= 5 && String.sub p 0 5 = "/proc")
+        | _ -> true ) ]
+  in
+  List.iter
+    (fun (name, pred) ->
+      check_close ("all-apis " ^ name)
+        (Completeness.of_index ~scope:Completeness.All_apis idx
+           ~supported:pred)
+        (Completeness.weighted_completeness ~scope:Completeness.All_apis
+           store ~supported:pred);
+      check_close ("syscalls-only " ^ name)
+        (Completeness.of_index ~scope:Completeness.Syscalls_only idx
+           ~supported:pred)
+        (Completeness.weighted_completeness
+           ~scope:Completeness.Syscalls_only store ~supported:pred))
+    preds
+
+let test_dependents_ranked () =
+  let idx = index () and store = store () in
+  let api =
+    (* most important syscall: guaranteed to have dependents *)
+    Api.Syscall (List.hd (Importance.rank_syscalls store))
+  in
+  let ranked = Query.dependents_ranked idx api in
+  Alcotest.(check bool) "non-empty" true (ranked <> []);
+  (* sorted by probability, descending *)
+  let rec sorted = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by prob" true (sorted ranked);
+  Alcotest.(check int) "same population"
+    (List.length (Store.dependents store api))
+    (List.length ranked);
+  let limited = Query.dependents_ranked ~limit:3 idx api in
+  Alcotest.(check int) "limit honored" (min 3 (List.length ranked))
+    (List.length limited)
+
+let test_eval_subsets_batch () =
+  let idx = index () and store = store () in
+  let subsets = random_subsets ~n:50 ~max_size:120 in
+  let batch = Query.eval_subsets idx subsets in
+  Alcotest.(check int) "one answer per subset" (List.length subsets)
+    (List.length batch);
+  List.iter2
+    (fun nrs v -> check_close "batch element" v
+        (Completeness.of_syscall_set store nrs))
+    subsets batch
+
+(* --- JSON codec -------------------------------------------------------- *)
+
+let parse_exn s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "parse %S: %s" s msg
+
+let test_json_roundtrip () =
+  let cases =
+    [ "null"; "true"; "false"; "0"; "-17"; "3.5"; "\"\"";
+      "\"a b\\\"c\\\\d\""; "[]"; "[1,2,3]"; "{}";
+      "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"e\"}}" ]
+  in
+  List.iter
+    (fun s ->
+      let v = parse_exn s in
+      Alcotest.(check string)
+        ("re-parse " ^ s)
+        (Json.to_string v)
+        (Json.to_string (parse_exn (Json.to_string v))))
+    cases;
+  (* escapes and unicode decode to the right characters *)
+  (match parse_exn "\"\\u0041\\u00e9\\ud83d\\ude00\\n\"" with
+   | Json.Str s -> Alcotest.(check string) "unicode" "A\xc3\xa9\xf0\x9f\x98\x80\n" s
+   | _ -> Alcotest.fail "expected a string");
+  (* numbers survive round-trips exactly *)
+  (match parse_exn "0.1" with
+   | Json.Num f -> Alcotest.(check bool) "0.1 exact" true (f = 0.1)
+   | _ -> Alcotest.fail "expected a number")
+
+let test_json_rejects () =
+  let bad =
+    [ ""; "{"; "}"; "[1,"; "[1 2]"; "{\"a\"}"; "{\"a\":}"; "tru";
+      "\"unterminated"; "\"bad \\q escape\""; "1 2"; "{\"a\":1} trailing";
+      "nan"; "--1"; "\"\\ud83d\"" ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok v ->
+        Alcotest.failf "parse %S unexpectedly gave %s" s (Json.to_string v)
+      | Error _ -> ())
+    bad
+
+(* --- serve protocol ---------------------------------------------------- *)
+
+let respond line = parse_exn (Serve.handle_line (index ()) line)
+
+let get name v =
+  match Json.member name v with
+  | Some x -> x
+  | None -> Alcotest.failf "response lacks %S: %s" name (Json.to_string v)
+
+let is_ok v = match get "ok" v with Json.Bool b -> b | _ -> false
+
+let error_kind v =
+  match Json.member "kind" (get "error" v) with
+  | Some (Json.Str k) -> k
+  | _ -> Alcotest.failf "no error kind in %s" (Json.to_string v)
+
+let test_serve_ops () =
+  let r = respond {|{"op":"ping","id":42}|} in
+  Alcotest.(check bool) "ping ok" true (is_ok r);
+  (match get "id" r with
+   | Json.Num f -> Alcotest.(check (float 0.0)) "id echoed" 42.0 f
+   | _ -> Alcotest.fail "id not echoed");
+  let r = respond {|{"op":"stats"}|} in
+  Alcotest.(check bool) "stats ok" true (is_ok r);
+  (match get "n_packages" r with
+   | Json.Num f ->
+     Alcotest.(check int) "stats package count"
+       (Array.length (store ()).Store.packages)
+       (int_of_float f)
+   | _ -> Alcotest.fail "n_packages missing");
+  let r = respond {|{"op":"importance","api":"read"}|} in
+  Alcotest.(check bool) "importance ok" true (is_ok r);
+  (match get "importance" r with
+   | Json.Num f ->
+     check_close "served importance" f
+       (Importance.importance (store ()) (Api.Syscall 0))
+   | _ -> Alcotest.fail "importance missing");
+  let r = respond {|{"op":"completeness","syscalls":[0,1,2,3]}|} in
+  (match get "completeness" r with
+   | Json.Num f ->
+     check_close "served completeness" f
+       (Completeness.of_syscall_set (store ()) [ 0; 1; 2; 3 ])
+   | _ -> Alcotest.fail "completeness missing");
+  let r = respond {|{"op":"top","n":5}|} in
+  (match get "syscalls" r with
+   | Json.Arr l -> Alcotest.(check int) "top 5 rows" 5 (List.length l)
+   | _ -> Alcotest.fail "syscalls missing");
+  let r = respond {|{"op":"dependents","api":"syscall:0","limit":2}|} in
+  (match get "packages" r with
+   | Json.Arr l ->
+     Alcotest.(check bool) "dependents limited" true (List.length l <= 2)
+   | _ -> Alcotest.fail "packages missing")
+
+let test_serve_errors () =
+  (* malformed JSON never kills the loop: it answers with a parse error *)
+  let r = respond "this is not json" in
+  Alcotest.(check bool) "parse error is a response" false (is_ok r);
+  Alcotest.(check string) "parse kind" "parse" (error_kind r);
+  let r = respond {|{"op":"explode"}|} in
+  Alcotest.(check bool) "unknown op rejected" false (is_ok r);
+  Alcotest.(check string) "unknown-op kind" "unknown-op" (error_kind r);
+  let r = respond {|{"noop":1}|} in
+  Alcotest.(check bool) "missing op rejected" false (is_ok r);
+  let r = respond {|{"op":"importance"}|} in
+  Alcotest.(check bool) "missing api rejected" false (is_ok r);
+  let r = respond {|{"op":"importance","api":"syscall:zero"}|} in
+  Alcotest.(check bool) "bad api string rejected" false (is_ok r);
+  let r = respond {|{"op":"completeness","syscalls":"read"}|} in
+  Alcotest.(check bool) "non-array syscalls rejected" false (is_ok r);
+  (* error responses still echo the request id *)
+  let r = respond {|{"op":"explode","id":7}|} in
+  (match get "id" r with
+   | Json.Num f -> Alcotest.(check (float 0.0)) "id echoed on error" 7.0 f
+   | _ -> Alcotest.fail "id not echoed on error")
+
+let test_serve_loop () =
+  (* full loop over real channels: blank lines skipped, one JSON line
+     out per JSON line in, EOF terminates *)
+  let input = {|{"op":"ping"}
+
+not json
+{"op":"stats"}
+|} in
+  let in_path = Filename.temp_file "lapis-serve" ".in" in
+  let out_path = Filename.temp_file "lapis-serve" ".out" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove in_path; Sys.remove out_path)
+    (fun () ->
+      Out_channel.with_open_bin in_path (fun oc ->
+          output_string oc input);
+      In_channel.with_open_bin in_path (fun ic ->
+          Out_channel.with_open_bin out_path (fun oc ->
+              Serve.loop (index ()) ic oc));
+      let lines =
+        In_channel.with_open_bin out_path In_channel.input_lines
+      in
+      Alcotest.(check int) "three responses" 3 (List.length lines);
+      match List.map parse_exn lines with
+      | [ a; b; c ] ->
+        Alcotest.(check bool) "ping ok" true (is_ok a);
+        Alcotest.(check bool) "bad line answered" false (is_ok b);
+        Alcotest.(check bool) "loop continues after an error" true (is_ok c)
+      | _ -> Alcotest.fail "unreachable")
+
+let () =
+  Alcotest.run "query"
+    [ ( "index-vs-oracle",
+        [ Alcotest.test_case "importance" `Quick
+            test_importance_matches_oracle;
+          Alcotest.test_case "ranking" `Quick test_ranking_matches_oracle;
+          Alcotest.test_case "subset completeness" `Quick
+            test_subset_completeness_matches_oracle;
+          Alcotest.test_case "predicate completeness" `Quick
+            test_predicate_completeness_matches_oracle;
+          Alcotest.test_case "dependents" `Quick test_dependents_ranked;
+          Alcotest.test_case "batch eval" `Quick test_eval_subsets_batch ] );
+      ( "json",
+        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_json_rejects ] );
+      ( "serve",
+        [ Alcotest.test_case "operations" `Quick test_serve_ops;
+          Alcotest.test_case "errors" `Quick test_serve_errors;
+          Alcotest.test_case "loop" `Quick test_serve_loop ] )
+    ]
