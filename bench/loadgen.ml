@@ -1,0 +1,115 @@
+(* Concurrent load generator for the TCP serve protocol — the client
+   side of the CI serve-load-smoke job.
+
+     loadgen.exe --port P [--clients N] [--requests M] [--host H]
+
+   Spawns N client threads, each opening one connection and driving M
+   requests through it (a mix of ping / completeness / importance /
+   top, with every fourth line deliberately malformed), checking that
+   every response arrives, in order, with the right id and the right
+   ok/error status. Prints a one-line JSON summary with aggregate
+   throughput and exits non-zero on any protocol violation. *)
+
+let host = ref "127.0.0.1"
+let port = ref 0
+let clients = ref 8
+let requests = ref 500
+let min_rps = ref 0.0
+
+let speclist =
+  [ ("--host", Arg.Set_string host, "HOST server address (127.0.0.1)");
+    ("--port", Arg.Set_int port, "PORT server port (required)");
+    ("--clients", Arg.Set_int clients, "N concurrent connections (8)");
+    ("--requests", Arg.Set_int requests, "M requests per connection (500)");
+    ( "--min-rps",
+      Arg.Set_float min_rps,
+      "RPS fail below this aggregate throughput (0 = no floor)" )
+  ]
+
+module Json = Core.Query.Json
+
+let request ~client ~i =
+  let id = (client * 1_000_000) + i in
+  match i mod 4 with
+  | 0 -> Printf.sprintf {|{"op":"ping","id":%d}|} id
+  | 1 ->
+    Printf.sprintf {|{"op":"completeness","syscalls":[%d,%d,%d],"id":%d}|}
+      (i mod 64) ((i * 3) mod 64) ((i * 11) mod 64) id
+  | 2 -> Printf.sprintf {|{"op":"top","n":5,"id":%d}|} id
+  | _ -> Printf.sprintf {|{"op":"bogus-%d","id":%d}|} i id
+
+(* every fourth request is an unknown op: the server must answer it
+   with a structured error, never drop the line or the connection *)
+let expect_ok i = i mod 4 <> 3
+
+let run_client ~client ~n errors =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string !host, !port));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (* pipeline everything, then read everything: maximal queue pressure *)
+  for i = 0 to n - 1 do
+    output_string oc (request ~client ~i);
+    output_char oc '\n'
+  done;
+  flush oc;
+  for i = 0 to n - 1 do
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          incr errors;
+          Printf.eprintf "client %d response %d: %s\n%!" client i msg)
+        fmt
+    in
+    match Json.parse (input_line ic) with
+    | Error msg -> fail "unparseable response: %s" msg
+    | Ok v -> (
+      (match Json.member "id" v with
+       | Some (Json.Num f) ->
+         let want = (client * 1_000_000) + i in
+         if int_of_float f <> want then
+           fail "out of order: id %d, wanted %d" (int_of_float f) want
+       | _ -> fail "missing id");
+      match Json.member "ok" v with
+      | Some (Json.Bool b) ->
+        if b <> expect_ok i then
+          fail "status %b, expected %b" b (expect_ok i)
+      | _ -> fail "missing ok field")
+  done;
+  close_out_noerr oc;
+  close_in_noerr ic
+
+let () =
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "loadgen --port P [--clients N] [--requests M]";
+  if !port = 0 then (
+    prerr_endline "loadgen: --port is required";
+    exit 2);
+  let errors = Array.init !clients (fun _ -> ref 0) in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init !clients (fun client ->
+        Thread.create
+          (fun () ->
+            try run_client ~client ~n:!requests errors.(client)
+            with e ->
+              incr errors.(client);
+              Printf.eprintf "client %d died: %s\n%!" client
+                (Printexc.to_string e))
+          ())
+  in
+  List.iter Thread.join threads;
+  let dt = Unix.gettimeofday () -. t0 in
+  let total = !clients * !requests in
+  let bad = Array.fold_left (fun acc r -> acc + !r) 0 errors in
+  let rps = float_of_int total /. dt in
+  Printf.printf
+    "{\"clients\": %d, \"requests\": %d, \"errors\": %d, \"seconds\": %.3f, \
+     \"throughput_rps\": %.1f}\n"
+    !clients total bad dt rps;
+  if bad > 0 then exit 1;
+  if !min_rps > 0.0 && rps < !min_rps then (
+    Printf.eprintf "loadgen: throughput %.1f rps below floor %.1f\n" rps
+      !min_rps;
+    exit 1)

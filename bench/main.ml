@@ -277,7 +277,7 @@ let stage_total lines =
     (fun a (l : Core.Perf.Stage.line) -> a +. l.Core.Perf.Stage.l_seconds)
     0.0 lines
 
-let write_json ~packages ~binaries ~wall ~micro_results path =
+let write_json ~packages ~binaries ~wall ~micro_results ~git ~source_key path =
   let module S = Core.Perf.Stage in
   let lines = S.report () in
   let oc = open_out path in
@@ -291,6 +291,8 @@ let write_json ~packages ~binaries ~wall ~micro_results path =
       pf "\n  ]"
   in
   pf "{\n";
+  pf "  \"git\": \"%s\",\n" (json_escape git);
+  pf "  \"source_key\": \"%s\",\n" (json_escape source_key);
   pf "  \"packages\": %d,\n" packages;
   pf "  \"binaries\": %d,\n" binaries;
   pf "  \"wall_s\": %.6f,\n" wall;
@@ -394,32 +396,66 @@ let check_against ~stage_total_now ~quarantined path =
    1e-12, not "a few ulp per package"), and throughput plus speedup go
    into BENCH_QUERY.json. *)
 
+(* Identity stamps: the git describe of the working tree (so the
+   BENCH_* trajectory is comparable across PRs) and the snapshot
+   source_key of the corpus the numbers were measured on. *)
+let git_describe () =
+  match
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    (Unix.close_process_in ic, line)
+  with
+  | Unix.WEXITED 0, line when line <> "" -> line
+  | _ | (exception _) -> "unknown"
+
+(* Nearest-rank percentile over an ascending array. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(min (n - 1) (max 0 (rank - 1)))
+  end
+
 let write_query_json ~packages ~queries ~indexed_s ~oracle_s ~speedup
-    ~max_abs_diff path =
+    ~max_abs_diff ~latencies_us ~batch_s ~source_key path =
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
+  let indexed_qps = float_of_int queries /. indexed_s in
+  let batch_qps = float_of_int queries /. Float.max batch_s 1e-9 in
   pf "{\n";
+  pf "  \"git\": \"%s\",\n" (json_escape (git_describe ()));
+  pf "  \"source_key\": \"%s\",\n" (json_escape source_key);
   pf "  \"packages\": %d,\n" packages;
   pf "  \"queries\": %d,\n" queries;
   pf "  \"indexed_s\": %.6f,\n" indexed_s;
   pf "  \"oracle_s\": %.6f,\n" oracle_s;
-  pf "  \"indexed_qps\": %.1f,\n" (float_of_int queries /. indexed_s);
+  pf "  \"indexed_qps\": %.1f,\n" indexed_qps;
   pf "  \"oracle_qps\": %.1f,\n" (float_of_int queries /. oracle_s);
   pf "  \"speedup\": %.1f,\n" speedup;
+  pf "  \"latency_p50_us\": %.3f,\n" (percentile latencies_us 50.0);
+  pf "  \"latency_p95_us\": %.3f,\n" (percentile latencies_us 95.0);
+  pf "  \"latency_p99_us\": %.3f,\n" (percentile latencies_us 99.0);
+  pf "  \"batch_s\": %.6f,\n" batch_s;
+  pf "  \"batch_qps\": %.1f,\n" batch_qps;
+  pf "  \"batch_vs_single\": %.2f,\n" (batch_qps /. indexed_qps);
   pf "  \"max_abs_diff\": %.3e\n" max_abs_diff;
   pf "}\n";
   close_out oc;
   Printf.printf "Wrote %s\n%!" path
 
 let run_query_bench (args : args) =
-  let env =
+  let env, source_key =
     match args.snapshot with
     | Some path ->
       (match Core.Db.Snapshot.load path with
        | Ok snap ->
          Printf.printf "Loaded snapshot %s (%d packages).\n%!" path
            snap.Core.Db.Snapshot.meta.Core.Db.Snapshot.n_packages;
-         Study.Env.of_snapshot snap
+         ( Study.Env.of_snapshot snap,
+           snap.Core.Db.Snapshot.meta.Core.Db.Snapshot.source_key )
        | Error e ->
          Printf.eprintf "bench: cannot load snapshot %s: %s\n" path
            (Fmt.str "%a" Core.Db.Snapshot.pp_error e);
@@ -429,11 +465,16 @@ let run_query_bench (args : args) =
         "Building the synthetic distribution (%d packages) for the query \
          bench...\n%!"
         args.packages;
-      Study.Env.create
-        ~config:
-          { Core.Distro.Generator.default_config with
-            n_packages = args.packages }
-        ()
+      let config =
+        { Core.Distro.Generator.default_config with
+          n_packages = args.packages }
+      in
+      let env = Study.Env.create ~config () in
+      ( env,
+        Core.Db.Snapshot.source_key
+          ~seed:config.Core.Distro.Generator.seed
+          ~n_packages:config.Core.Distro.Generator.n_packages
+          ~total_installs:config.Core.Distro.Generator.total_installs )
   in
   let store = env.Study.Env.store in
   let idx = env.Study.Env.index in
@@ -470,20 +511,52 @@ let run_query_bench (args : args) =
       (fun acc a b -> Float.max acc (Float.abs (a -. b)))
       0.0 indexed oracle
   in
+  (* Per-op latency distribution (each query timed on its own) and the
+     Parmap batch path. The batch evaluates every subset whole on one
+     domain, so its results must be identical to the single-query loop
+     — checked here, not assumed. *)
+  let latencies_us =
+    subsets
+    |> List.map (fun nrs ->
+           let t0 = Unix.gettimeofday () in
+           ignore (Core.Metrics.Completeness.of_syscall_set_index idx nrs);
+           (Unix.gettimeofday () -. t0) *. 1e6)
+    |> Array.of_list
+  in
+  Array.sort compare latencies_us;
+  let batch_t0 = Unix.gettimeofday () in
+  let batch = Core.Query.Engine.eval_subsets idx subsets in
+  let batch_s = Unix.gettimeofday () -. batch_t0 in
+  List.iter2
+    (fun a b ->
+      if not (Float.equal a b) then begin
+        Printf.eprintf
+          "bench: FAIL: batch eval diverges from the single-query loop \
+           (%.17g vs %.17g)\n"
+          a b;
+        exit 1
+      end)
+    batch indexed;
   let indexed_s = Float.max indexed_s 1e-9 in
   let speedup = oracle_s /. indexed_s in
   Printf.printf
     "Query bench: %d subset queries over %d packages\n\
     \  indexed: %.4fs (%.0f q/s)\n\
     \  oracle:  %.4fs (%.0f q/s)\n\
+    \  batch:   %.4fs (%.0f q/s)\n\
+    \  latency: p50 %.2fus, p95 %.2fus, p99 %.2fus\n\
     \  speedup: %.1fx, max |indexed - oracle| = %.3e\n%!"
     args.queries packages indexed_s
     (float_of_int args.queries /. indexed_s)
     oracle_s
     (float_of_int args.queries /. oracle_s)
-    speedup max_abs_diff;
+    batch_s
+    (float_of_int args.queries /. Float.max batch_s 1e-9)
+    (percentile latencies_us 50.0) (percentile latencies_us 95.0)
+    (percentile latencies_us 99.0) speedup max_abs_diff;
   write_query_json ~packages ~queries:args.queries ~indexed_s ~oracle_s
-    ~speedup ~max_abs_diff "BENCH_QUERY.json";
+    ~speedup ~max_abs_diff ~latencies_us ~batch_s ~source_key
+    "BENCH_QUERY.json";
   if max_abs_diff > 1e-12 then begin
     Printf.eprintf
       "bench: FAIL: indexed completeness diverges from the oracle by \
@@ -546,11 +619,20 @@ let () =
     selected;
   if args.ids = [] then print_table12 env;
   let micro_results = if args.micro then run_micro env else [] in
-  if args.json then
+  if args.json then begin
+    let config =
+      { Core.Distro.Generator.default_config with n_packages = args.packages }
+    in
     write_json ~packages:args.packages
       ~binaries:(List.length env.Study.Env.store.Core.Db.Store.bins)
-      ~wall ~micro_results
-      (Printf.sprintf "BENCH_%d.json" args.packages);
+      ~wall ~micro_results ~git:(git_describe ())
+      ~source_key:
+        (Core.Db.Snapshot.source_key
+           ~seed:config.Core.Distro.Generator.seed
+           ~n_packages:config.Core.Distro.Generator.n_packages
+           ~total_installs:config.Core.Distro.Generator.total_installs)
+      (Printf.sprintf "BENCH_%d.json" args.packages)
+  end;
   Option.iter
     (check_against
        ~stage_total_now:(stage_total (Core.Perf.Stage.report ()))

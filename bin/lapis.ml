@@ -478,20 +478,66 @@ let query_cmd =
 (* --- serve -------------------------------------------------------------- *)
 
 let serve_cmd =
-  let run packages seed snapshot stats =
+  let tcp_arg =
+    let doc =
+      "Serve over TCP on 127.0.0.1:$(docv) instead of stdin/stdout: an \
+       accept loop plus a pool of worker domains answers any number of \
+       concurrent clients (same line-delimited JSON protocol). SIGINT \
+       shuts down gracefully — queued requests are answered first."
+    in
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+  in
+  let workers_arg =
+    let doc =
+      "Worker domains for --tcp (default: the machine's recommended \
+       domain count minus one, at least 1)."
+    in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc =
+      "Response cache capacity for --tcp (canonicalized-request LRU; 0 \
+       disables caching)."
+    in
+    Arg.(value & opt int 1024 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let run packages seed snapshot stats tcp workers cache =
     let env = make_env ?snapshot packages seed in
-    Printf.eprintf
-      "# serving line-delimited JSON on stdin/stdout (ops: ping stats \
-       importance completeness top dependents); EOF to stop\n%!";
-    Serve.loop env.Study.Env.index stdin stdout;
+    (match tcp with
+     | None ->
+       Printf.eprintf
+         "# serving line-delimited JSON on stdin/stdout (ops: ping stats \
+          importance completeness top dependents); EOF to stop\n%!";
+       Serve.loop env.Study.Env.index stdin stdout
+     | Some port ->
+       (match
+          Core.Query.Server.start ?workers ~cache_capacity:cache ~port
+            env.Study.Env.index
+        with
+        | Error msg ->
+          Printf.eprintf "lapis: %s\n" msg;
+          exit 1
+        | Ok srv ->
+          Printf.eprintf
+            "# serving line-delimited JSON on 127.0.0.1:%d (ops: ping stats \
+             importance completeness top dependents); Ctrl-C to stop\n%!"
+            (Core.Query.Server.port srv);
+          Sys.set_signal Sys.sigint
+            (Sys.Signal_handle
+               (fun _ -> Core.Query.Server.signal_stop srv));
+          Core.Query.Server.wait srv;
+          Printf.eprintf "# served %d connections\n%!"
+            (Core.Query.Server.connections_served srv)));
     if stats then print_stage_stats ()
   in
   let doc =
-    "Serve indexed queries as line-delimited JSON over stdin/stdout."
+    "Serve indexed queries as line-delimited JSON — over stdin/stdout, or \
+     concurrently over TCP with $(b,--tcp) PORT."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
-    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ stats_arg)
+    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ stats_arg
+          $ tcp_arg $ workers_arg $ cache_arg)
 
 let () =
   let doc =

@@ -94,6 +94,8 @@ module Query = struct
   module Engine = Lapis_query.Query
   module Json = Lapis_query.Json
   module Serve = Lapis_query.Serve
+  module Lru = Lapis_query.Lru
+  module Server = Lapis_query.Server
 end
 
 module Fuzz = struct
@@ -141,4 +143,5 @@ end
 module Perf = struct
   module Stage = Lapis_perf.Stage
   module Parmap = Lapis_perf.Parmap
+  module Bitset = Lapis_perf.Bitset
 end

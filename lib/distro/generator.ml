@@ -1387,9 +1387,22 @@ let generate ?(config = default_config) () : P.distribution =
   let truth : P.ground_truth = Hashtbl.create 1024 in
   let packages =
     stage "emit" (fun () ->
+        (* The largest generation stage, fanned out over domains.
+           Splitting the parent RNG sequentially first hands every
+           spec the exact stream a sequential [List.map] would have
+           (List.map evaluates left to right), and [emit_spec] only
+           reads its spec, its own RNG and eagerly-built read-only
+           tables — so the emitted bytes are bit-identical to a
+           sequential run. The truth table and install counts are
+           filled in afterwards, in spec order. *)
+        let jobs = List.map (fun spec -> (Rng.split rng, spec)) specs in
+        let emitted =
+          Lapis_perf.Parmap.map
+            (fun (rng, spec) -> (spec, emit_spec rng spec))
+            jobs
+        in
         List.map
-          (fun spec ->
-            let emitted = emit_spec (Rng.split rng) spec in
+          (fun (spec, emitted) ->
             Hashtbl.replace truth spec.g_name emitted.em_truth;
             let installs =
               max 1
@@ -1397,7 +1410,7 @@ let generate ?(config = default_config) () : P.distribution =
                    (spec.g_prob *. float_of_int config.total_installs))
             in
             { emitted.em_package with P.installs })
-          specs)
+          emitted)
   in
   let runtime = stage "runtime" (fun () -> Libc_gen.build_all ()) in
   let shared_libs =

@@ -1,0 +1,87 @@
+(** Mutex-guarded LRU: a hashtable from key to a node of an intrusive
+    doubly-linked list ordered most-recent-first. Hit, add and evict
+    are all O(1). *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* toward the head (more recent) *)
+  mutable next : ('k, 'v) node option;  (* toward the tail (less recent) *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutex : Mutex.t;
+}
+
+let create ~capacity =
+  {
+    capacity = max 1 capacity;
+    tbl = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    mutex = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* List surgery below assumes the lock is held. *)
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> ());
+  t.head <- Some node;
+  if t.tail = None then t.tail <- Some node
+
+let find t k =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.tbl k with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let add t k v =
+  with_lock t @@ fun () ->
+  (match Hashtbl.find_opt t.tbl k with
+   | Some node ->
+     node.value <- v;
+     unlink t node;
+     push_front t node
+   | None ->
+     let node = { key = k; value = v; prev = None; next = None } in
+     Hashtbl.replace t.tbl k node;
+     push_front t node;
+     if Hashtbl.length t.tbl > t.capacity then
+       match t.tail with
+       | Some lru ->
+         unlink t lru;
+         Hashtbl.remove t.tbl lru.key
+       | None -> ())
+
+let length t = with_lock t @@ fun () -> Hashtbl.length t.tbl
+
+let stats t = with_lock t @@ fun () -> (t.hits, t.misses)

@@ -12,17 +12,19 @@
       {!Lapis_metrics.Importance.importance} — so importance is an
       O(1) lookup that is bit-identical to the closed-form oracle.
 
-    - {b closure requirement arrays}. Completeness propagates support
+    - {b packed closure bitsets}. Completeness propagates support
       through dependencies to a fixed point; that fixpoint equals
       "every package in my transitive dependency closure is directly
       supported". We condense the dependency graph into strongly
       connected components (iterative Tarjan, emitted in reverse
-      topological order) and give every package the sorted, deduped
-      array of APIs required anywhere in its closure. An arbitrary
-      subset query is then one linear pass: a package is supported iff
-      every id in its closure array is in the queried set. A
-      syscall-specialized copy of the arrays (just the numbers) backs
-      the hot [eval_syscalls] path with a flat [bool array] probe.
+      topological order) and give every component a {!Bitset} over the
+      dense API universe holding every API required anywhere in its
+      closure. An arbitrary subset query then costs one word-wise
+      subset test per component — a handful of machine words instead
+      of an element-wise scan — plus one gated sweep over the package
+      probability array in store order. A syscall-specialized copy of
+      the bitsets (over the syscall-number universe) backs the hot
+      [eval_syscalls] path.
 
     - {b the Section 3 ranking}, computed once with the oracle's own
       comparator over index-derived values.
@@ -31,11 +33,22 @@
     (ascending package index, total weight folded over the full row
     array), so results are equal to the closed-form implementations
     bit for bit, not merely within tolerance — the test suite asserts
-    [<= 1e-12] but the design target is exact. *)
+    [<= 1e-12] but the design target is exact. Sharded evaluation
+    ({!eval_syscalls_sharded}) merges per-range partial sums and is
+    the one deliberate exception: float addition is not associative,
+    so it is held to the 1e-12 tolerance instead.
+
+    Index construction fans out over {!Lapis_perf.Parmap} — survival
+    products by API range, direct requirement bitsets by package
+    range — and merges deterministically: every per-element fold runs
+    whole on one domain in the oracle's order, so the built index is
+    bit-identical to a sequential build. *)
 
 open Lapis_apidb
 module Store = Lapis_store.Store
 module Stage = Lapis_perf.Stage
+module Bitset = Lapis_perf.Bitset
+module Parmap = Lapis_perf.Parmap
 
 type ranked = {
   rk_nr : int;
@@ -54,12 +67,27 @@ type t = {
   survival : float array;  (* id -> prod(1 - p) over dependents *)
   dep_count : int array;  (* id -> number of dependent packages *)
   elf_count : int array;  (* id -> packages using it from own ELFs *)
-  closure_req : int array array;
-      (* pkg -> sorted api ids required anywhere in its dep closure;
-         rows of one SCC share the same physical array *)
-  closure_sys : int array array;  (* same, syscall numbers only *)
+  n_comps : int;  (* SCCs of the dependency graph *)
+  (* Distinct closure classes: SCCs whose closures are equal share one
+     class, so a query runs one subset test per *distinct* closure
+     (typically fewer than packages), then one gated sweep. Class rows
+     live unwrapped in one flat row-major word array (row [c] at
+     [c * nw]) so the hot loop walks contiguous memory, and [*_common]
+     holds the intersection of every class — the universal core: a
+     query that misses any core bit can satisfy no class at all, so
+     one word-wise test against the core answers most subsets without
+     touching the class rows. *)
+  n_req_classes : int;
+  req_nw : int;  (* words per class row, API universe *)
+  class_req_flat : int array;  (* n_req_classes * req_nw *)
+  req_common : int array;  (* req_nw words: bits required everywhere *)
+  pkg_req_class : int array;  (* pkg -> class row *)
+  n_sys_classes : int;
+  sys_nw : int;  (* words per class row, syscall-nr universe *)
+  class_sys_flat : int array;
+  sys_common : int array;
+  pkg_sys_class : int array;
   max_nr : int;  (* largest syscall nr required by any package *)
-  scratch : bool array;  (* nr -> queried?  (eval_syscalls workspace) *)
   ranking : ranked array;  (* Section 3 order, most important first *)
   den : float;  (* total popcon weight, oracle fold order *)
 }
@@ -129,12 +157,23 @@ let tarjan n (succ : int array array) =
   done;
   (comp, !n_comps)
 
-let index (store : Store.t) : t =
+(* [lo, hi) index ranges for the Parmap fan-outs below: coarse enough
+   that per-range overhead is negligible, fine enough to balance. *)
+let ranges n =
+  let step = max 256 (n / 64) in
+  let rec go lo acc =
+    if lo >= n then List.rev acc
+    else go (lo + step) ((lo, min n (lo + step)) :: acc)
+  in
+  go 0 []
+
+let index ?domains (store : Store.t) : t =
   Stage.time "query:index-build" @@ fun () ->
   let n = store.Store.n_packages in
   let probs = Array.map (fun p -> p.Store.pr_prob) store.Store.packages in
   let names = Array.map (fun p -> p.Store.pr_name) store.Store.packages in
-  (* Intern every API reachable from any package footprint. *)
+  (* Intern every API reachable from any package footprint. Sequential:
+     first-seen order defines the dense ids everything below shares. *)
   let api_ids = Api.Tbl.create 4096 in
   let rev_apis = ref [] in
   let n_apis = ref 0 in
@@ -156,16 +195,26 @@ let index (store : Store.t) : t =
   let apis = Array.of_list (List.rev !rev_apis) in
   let n_apis = !n_apis in
   (* Survival products, folded in the store's dependents order — the
-     same multiply sequence as the Importance oracle. *)
+     same multiply sequence as the Importance oracle. Fanned out by
+     API range; each API's product runs whole on one domain, so the
+     merge (a blit per range) is bit-identical to a sequential build. *)
   let survival = Array.make n_apis 1.0 in
   let dep_count = Array.make n_apis 0 in
-  Array.iteri
-    (fun id api ->
-      let deps = Store.dependents store api in
-      dep_count.(id) <- List.length deps;
-      survival.(id) <-
-        List.fold_left (fun acc i -> acc *. (1.0 -. probs.(i))) 1.0 deps)
-    apis;
+  Parmap.map ?domains
+    (fun (lo, hi) ->
+      let s = Array.make (hi - lo) 1.0 in
+      let d = Array.make (hi - lo) 0 in
+      for id = lo to hi - 1 do
+        let deps = Store.dependents store apis.(id) in
+        d.(id - lo) <- List.length deps;
+        s.(id - lo) <-
+          List.fold_left (fun acc i -> acc *. (1.0 -. probs.(i))) 1.0 deps
+      done;
+      (lo, s, d))
+    (ranges n_apis)
+  |> List.iter (fun (lo, s, d) ->
+         Array.blit s 0 survival lo (Array.length s);
+         Array.blit d 0 dep_count lo (Array.length d));
   let elf_count = Array.make n_apis 0 in
   Array.iter
     (fun (p : Store.pkg_row) ->
@@ -173,19 +222,23 @@ let index (store : Store.t) : t =
         (fun a -> elf_count.(Api.Tbl.find api_ids a) <- elf_count.(Api.Tbl.find api_ids a) + 1)
         p.Store.pr_apis_elf)
     store.Store.packages;
-  (* Direct requirement arrays and resolvable dependency edges. *)
-  let req =
-    Array.map
-      (fun (p : Store.pkg_row) ->
-        let ids =
-          Api.Set.fold (fun a acc -> Api.Tbl.find api_ids a :: acc)
-            p.Store.pr_apis []
-        in
-        let arr = Array.of_list ids in
-        Array.sort (fun (a : int) b -> compare a b) arr;
-        arr)
-      store.Store.packages
-  in
+  (* Direct requirement bitsets, fanned out by package range (each
+     package's bits are independent of every other's). *)
+  let req = Array.make n (Bitset.create 0) in
+  Parmap.map ?domains
+    (fun (lo, hi) ->
+      let rows = Array.make (hi - lo) (Bitset.create 0) in
+      for i = lo to hi - 1 do
+        let bits = Bitset.create n_apis in
+        Api.Set.iter
+          (fun a -> Bitset.add bits (Api.Tbl.find api_ids a))
+          store.Store.packages.(i).Store.pr_apis;
+        rows.(i - lo) <- bits
+      done;
+      (lo, rows))
+    (ranges n)
+  |> List.iter (fun (lo, rows) -> Array.blit rows 0 req lo (Array.length rows));
+  (* Resolvable dependency edges and the SCC condensation. *)
   let succ =
     Array.map
       (fun (p : Store.pkg_row) ->
@@ -199,49 +252,89 @@ let index (store : Store.t) : t =
   for i = n - 1 downto 0 do
     members.(comp.(i)) <- i :: members.(comp.(i))
   done;
-  (* Closure per component, successors first (their ids are smaller). *)
-  let comp_closure = Array.make n_comps [||] in
-  let mark = Array.make n_apis false in
+  (* Closure per component, successors first (their ids are smaller):
+     a word-wise union of the members' direct bits and the successor
+     components' already-final closures. *)
+  let comp_req = Array.make n_comps (Bitset.create 0) in
   for c = 0 to n_comps - 1 do
-    let acc = ref [] in
-    let add id =
-      if not mark.(id) then begin
-        mark.(id) <- true;
-        acc := id :: !acc
-      end
-    in
+    let bits = Bitset.create n_apis in
     List.iter
       (fun i ->
-        Array.iter add req.(i);
+        Bitset.union_into ~into:bits req.(i);
         Array.iter
-          (fun j -> if comp.(j) <> c then Array.iter add comp_closure.(comp.(j)))
+          (fun j ->
+            if comp.(j) <> c then
+              Bitset.union_into ~into:bits comp_req.(comp.(j)))
           succ.(i))
       members.(c);
-    let arr = Array.of_list !acc in
-    Array.sort (fun (a : int) b -> compare a b) arr;
-    Array.iter (fun id -> mark.(id) <- false) arr;
-    comp_closure.(c) <- arr
+    comp_req.(c) <- bits
   done;
-  let closure_req = Array.init n (fun i -> comp_closure.(comp.(i))) in
-  (* Syscall-specialized copies: just the numbers, for the hot path. *)
+  (* Syscall-specialized copies over the number universe. *)
   let sys_nr =
     Array.map (function Api.Syscall nr -> nr | _ -> -1) apis
   in
+  let max_nr = Array.fold_left (fun acc nr -> max acc nr) (-1) sys_nr in
   let comp_sys =
     Array.map
-      (fun ids ->
-        let nrs =
-          Array.to_list ids
-          |> List.filter_map (fun id ->
-                 if sys_nr.(id) >= 0 then Some sys_nr.(id) else None)
-        in
-        let arr = Array.of_list nrs in
-        Array.sort (fun (a : int) b -> compare a b) arr;
-        arr)
-      comp_closure
+      (fun bits ->
+        let nrs = Bitset.create (max_nr + 1) in
+        Bitset.iter
+          (fun id -> if sys_nr.(id) >= 0 then Bitset.add nrs sys_nr.(id))
+          bits;
+        nrs)
+      comp_req
   in
-  let closure_sys = Array.init n (fun i -> comp_sys.(comp.(i))) in
-  let max_nr = Array.fold_left (fun acc nr -> max acc nr) (-1) sys_nr in
+  (* Collapse equal closures into classes: the per-query subset tests
+     then run once per distinct closure instead of once per SCC. *)
+  let dedup (bitsets : Bitset.t array) =
+    let seen = Hashtbl.create 256 in
+    let distinct = ref [] in
+    let n_distinct = ref 0 in
+    let class_of =
+      Array.map
+        (fun bits ->
+          let k = Bitset.key bits in
+          match Hashtbl.find_opt seen k with
+          | Some c -> c
+          | None ->
+            let c = !n_distinct in
+            incr n_distinct;
+            Hashtbl.add seen k c;
+            distinct := bits :: !distinct;
+            c)
+        bitsets
+    in
+    (Array.of_list (List.rev !distinct), class_of)
+  in
+  let class_req, req_class_of_comp = dedup comp_req in
+  let class_sys, sys_class_of_comp = dedup comp_sys in
+  let pkg_req_class = Array.init n (fun i -> req_class_of_comp.(comp.(i))) in
+  let pkg_sys_class = Array.init n (fun i -> sys_class_of_comp.(comp.(i))) in
+  (* Flatten class rows and fold their intersection (the universal
+     core). With zero classes the core is all-zero, which gates
+     nothing — the eval loop then finds no passing class on its own. *)
+  let flatten (classes : Bitset.t array) =
+    let nc = Array.length classes in
+    let nw = if nc = 0 then 0 else Array.length (Bitset.words classes.(0)) in
+    let flat = Array.make (max 1 (nc * nw)) 0 in
+    Array.iteri
+      (fun c b -> Array.blit (Bitset.words b) 0 flat (c * nw) nw)
+      classes;
+    let common =
+      if nc = 0 then Array.make (max 1 nw) 0
+      else Array.copy (Bitset.words classes.(0))
+    in
+    Array.iter
+      (fun b ->
+        let w = Bitset.words b in
+        for i = 0 to nw - 1 do
+          common.(i) <- common.(i) land w.(i)
+        done)
+      classes;
+    (nc, nw, flat, common)
+  in
+  let n_req_classes, req_nw, class_req_flat, req_common = flatten class_req in
+  let n_sys_classes, sys_nw, class_sys_flat, sys_common = flatten class_sys in
   let den = Array.fold_left (fun a p -> a +. p) 0.0 probs in
   (* Section 3 ranking, with the oracle's comparator over
      index-derived values (both bit-identical to the oracle's). *)
@@ -288,10 +381,18 @@ let index (store : Store.t) : t =
     survival;
     dep_count;
     elf_count;
-    closure_req;
-    closure_sys;
+    n_comps;
+    n_req_classes;
+    req_nw;
+    class_req_flat;
+    req_common;
+    pkg_req_class;
+    n_sys_classes;
+    sys_nw;
+    class_sys_flat;
+    sys_common;
+    pkg_sys_class;
     max_nr;
-    scratch = Array.make (max_nr + 2) false;
     ranking;
     den;
   }
@@ -303,6 +404,7 @@ let index (store : Store.t) : t =
 let store t = t.store
 let n_packages t = t.n
 let n_apis t = Array.length t.apis
+let n_components t = t.n_comps
 
 let survival t api =
   match Api.Tbl.find_opt t.api_ids api with
@@ -357,46 +459,131 @@ let scoped scope supported api =
   | Syscalls_only ->
     (match api with Api.Syscall _ -> supported api | _ -> true)
 
+(* Fused [a ⊆ b] over raw word arrays: same loop as [Bitset.subset]
+   but without the cross-module call. Equal universes guarantee equal
+   lengths. *)
+let subset_words (a : int array) (b : int array) =
+  let n = Array.length a in
+  let i = ref 0 in
+  while !i < n && a.(!i) land lnot b.(!i) = 0 do
+    incr i
+  done;
+  !i = n
+
+(* One subset test per distinct closure class against the query's
+   support words, gated by the universal core: every class contains
+   [common], so a query missing any core bit satisfies no class and
+   the numerator is provably 0.0 — the caller can return 0.0 without
+   touching the class rows or the package sweep (bit-exact:
+   [0.0 /. den] is [0.0] for every positive [den], as is the
+   [den = 0.0] guard). Past the gate, the rows are walked in one flat
+   array; the [unsafe_get]s are in bounds by construction ([flat] has
+   [nc * nw] words, [supw] has [nw]). Every call allocates its own
+   flags, so evaluation is safe from any number of domains against one
+   shared index. *)
+let classes_ok ~nc ~nw ~common (flat : int array) (supw : int array) =
+  if not (subset_words common supw) then None
+  else begin
+    let ok = Array.make (max 1 nc) false in
+    let any = ref false in
+    for c = 0 to nc - 1 do
+      let base = c * nw in
+      let i = ref 0 in
+      while
+        !i < nw
+        && Array.unsafe_get flat (base + !i)
+           land lnot (Array.unsafe_get supw !i)
+           = 0
+      do
+        incr i
+      done;
+      if !i = nw then begin
+        ok.(c) <- true;
+        any := true
+      end
+    done;
+    if !any then Some ok else None
+  end
+
+(* The probability sweep in store order — the oracle's exact numerator
+   fold (ascending package index over the full row array). *)
+let sweep t (ok : bool array) (pkg_class : int array) =
+  let num = ref 0.0 in
+  for i = 0 to t.n - 1 do
+    if ok.(pkg_class.(i)) then num := !num +. t.probs.(i)
+  done;
+  if t.den = 0.0 then 0.0 else !num /. t.den
+
 let eval_pred ?(scope = All_apis) t ~supported =
   Stage.incr "query:eval";
   let n_apis = Array.length t.apis in
-  let good = Array.make n_apis true in
+  let good = Bitset.create n_apis in
   for id = 0 to n_apis - 1 do
-    good.(id) <- scoped scope supported t.apis.(id)
+    if scoped scope supported t.apis.(id) then Bitset.add good id
   done;
-  let num = ref 0.0 in
-  for i = 0 to t.n - 1 do
-    let reqs = t.closure_req.(i) in
-    let len = Array.length reqs in
-    let k = ref 0 in
-    while !k < len && good.(reqs.(!k)) do
-      incr k
-    done;
-    if !k = len then num := !num +. t.probs.(i)
-  done;
-  if t.den = 0.0 then 0.0 else !num /. t.den
+  match
+    classes_ok ~nc:t.n_req_classes ~nw:t.req_nw ~common:t.req_common
+      t.class_req_flat (Bitset.words good)
+  with
+  | None -> 0.0
+  | Some ok -> sweep t ok t.pkg_req_class
 
 let eval_syscalls t nrs =
   Stage.incr "query:eval";
-  let sup = t.scratch in
-  let marked = List.filter (fun nr -> nr >= 0 && nr <= t.max_nr) nrs in
-  List.iter (fun nr -> sup.(nr) <- true) marked;
-  let num = ref 0.0 in
-  for i = 0 to t.n - 1 do
-    let reqs = t.closure_sys.(i) in
-    let len = Array.length reqs in
-    let k = ref 0 in
-    while !k < len && sup.(reqs.(!k)) do
-      incr k
-    done;
-    if !k = len then num := !num +. t.probs.(i)
-  done;
-  List.iter (fun nr -> sup.(nr) <- false) marked;
-  if t.den = 0.0 then 0.0 else !num /. t.den
+  let sup = Bitset.create (t.max_nr + 1) in
+  List.iter (fun nr -> if nr >= 0 && nr <= t.max_nr then Bitset.add sup nr) nrs;
+  match
+    classes_ok ~nc:t.n_sys_classes ~nw:t.sys_nw ~common:t.sys_common
+      t.class_sys_flat (Bitset.words sup)
+  with
+  | None -> 0.0
+  | Some ok -> sweep t ok t.pkg_sys_class
 
-let eval_subsets t subsets =
+let eval_subsets ?domains t subsets =
   Stage.time "query:eval-subsets" @@ fun () ->
-  List.map (eval_syscalls t) subsets
+  Parmap.map ?domains (eval_syscalls t) subsets
+
+(* ------------------------------------------------------------------ *)
+(* Sharded evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Package-range shards: the component subset tests run once, then the
+   probability sweep fans out over contiguous ranges and the partial
+   sums merge in range order. The per-shard folds regroup the float
+   additions, so the result is within accumulation noise (<= 1e-12 in
+   the test suite) of the unsharded sweep, not bit-identical — use
+   {!eval_syscalls} when exactness matters more than the fan-out. *)
+let shard_ranges n shards =
+  let shards = max 1 (min shards (max 1 n)) in
+  let step = (n + shards - 1) / shards in
+  let rec go lo acc =
+    if lo >= n then List.rev acc
+    else go (lo + step) ((lo, min n (lo + step)) :: acc)
+  in
+  go 0 []
+
+let eval_syscalls_sharded ?domains ?(shards = 4) t nrs =
+  Stage.incr "query:eval-sharded";
+  let sup = Bitset.create (t.max_nr + 1) in
+  List.iter (fun nr -> if nr >= 0 && nr <= t.max_nr then Bitset.add sup nr) nrs;
+  match
+    classes_ok ~nc:t.n_sys_classes ~nw:t.sys_nw ~common:t.sys_common
+      t.class_sys_flat (Bitset.words sup)
+  with
+  | None -> 0.0
+  | Some ok ->
+    let partials =
+      Parmap.map ?domains
+        (fun (lo, hi) ->
+          let num = ref 0.0 in
+          for i = lo to hi - 1 do
+            if ok.(t.pkg_sys_class.(i)) then num := !num +. t.probs.(i)
+          done;
+          !num)
+        (shard_ranges t.n shards)
+    in
+    let num = List.fold_left ( +. ) 0.0 partials in
+    if t.den = 0.0 then 0.0 else num /. t.den
 
 (* ------------------------------------------------------------------ *)
 (* API naming (serve protocol / CLI)                                   *)

@@ -1,22 +1,24 @@
 (** Indexed compatibility query engine.
 
     {!index} precomputes, from an immutable {!Lapis_store.Store.t}:
-    per-API survival products (O(1) importance), per-package closure
-    requirement arrays (arbitrary-subset weighted completeness in one
-    linear pass), and the Section 3 syscall ranking. All results are
-    designed to be bit-identical to the closed-form oracles in
-    {!Lapis_metrics} — same fold orders, same comparators — and the
-    test suite holds them to [<= 1e-12].
+    per-API survival products (O(1) importance), per-SCC packed
+    closure requirement {!Lapis_perf.Bitset}s (arbitrary-subset
+    weighted completeness as one word-wise subset test per component
+    plus a gated linear sweep), and the Section 3 syscall ranking.
+    All results are designed to be bit-identical to the closed-form
+    oracles in {!Lapis_metrics} — same fold orders, same comparators —
+    and the test suite holds them to [<= 1e-12].
 
-    An index is cheap relative to analysis (milliseconds) and
-    immutable except for a private query scratch buffer, so share one
-    per store and keep each index on a single domain. *)
+    An index is cheap relative to analysis (milliseconds), built with
+    a deterministic {!Lapis_perf.Parmap} fan-out, and fully immutable
+    afterwards: evaluation allocates its own scratch per call, so one
+    index may be queried concurrently from any number of domains —
+    which is what the TCP worker pool in {!Server} does. *)
 
 open Lapis_apidb
 
 type t
-(** The immutable index (plus a private scratch buffer: not for
-    concurrent use from multiple domains). *)
+(** The immutable index. Safe to share across domains. *)
 
 type ranked = {
   rk_nr : int;
@@ -25,14 +27,20 @@ type ranked = {
   rk_unweighted_elf : float;  (** the plateau tie-breaker of Section 3 *)
 }
 
-val index : Lapis_store.Store.t -> t
-(** Build the index (timed under the ["query:index-build"] stage). *)
+val index : ?domains:int -> Lapis_store.Store.t -> t
+(** Build the index (timed under the ["query:index-build"] stage).
+    [domains] caps the construction fan-out (default: all); the
+    result is bit-identical for every value of it. *)
 
 val store : t -> Lapis_store.Store.t
 val n_packages : t -> int
 
 val n_apis : t -> int
 (** Distinct APIs appearing in any package footprint. *)
+
+val n_components : t -> int
+(** Strongly connected components of the dependency graph — the
+    number of subset tests one completeness query costs. *)
 
 val importance : t -> Api.t -> float
 (** Appendix A.1 importance, O(1): [1 - prod(1 - p)] over dependent
@@ -64,16 +72,26 @@ type scope = Syscalls_only | All_apis
 
 val eval_pred : ?scope:scope -> t -> supported:(Api.t -> bool) -> float
 (** Weighted completeness of the support predicate, dependency rule
-    included — one pass over the closure requirement arrays. Default
-    scope [All_apis]. *)
+    included — one packed subset test per component. Default scope
+    [All_apis]. *)
 
 val eval_syscalls : t -> int list -> float
 (** Weighted completeness of a syscall-number set
     ([scope = Syscalls_only]), on the specialized hot path. Equal to
-    {!Lapis_metrics.Completeness.of_syscall_set}. *)
+    {!Lapis_metrics.Completeness.of_syscall_set}, bit for bit. *)
 
-val eval_subsets : t -> int list list -> float list
-(** Batch {!eval_syscalls}, timed under ["query:eval-subsets"]. *)
+val eval_subsets : ?domains:int -> t -> int list list -> float list
+(** Batch {!eval_syscalls}, fanned out over domains with
+    {!Lapis_perf.Parmap} (each subset evaluates whole on one domain,
+    so every element is still bit-identical to the oracle). Timed
+    under ["query:eval-subsets"]. *)
+
+val eval_syscalls_sharded : ?domains:int -> ?shards:int -> t -> int list -> float
+(** {!eval_syscalls} with the probability sweep sharded into
+    [shards] contiguous package ranges (default 4) evaluated in
+    parallel and merged in range order. Regrouping the float sums
+    makes this equal to {!eval_syscalls} within accumulation noise
+    (held to 1e-12 by the test suite), not bit-identical. *)
 
 val api_to_string : Api.t -> string
 (** Stable textual form: [syscall:read], [ioctl:21505],

@@ -146,12 +146,47 @@ let handle_request idx (request : Json.t) : Json.t =
                ])
         | other -> err "unknown-op" (Printf.sprintf "unknown op %S" other)))
 
-let handle_line idx (line : string) : string =
+(* Canonical form for cache keys: drop the correlation "id", sort every
+   object's fields by name, serialize. Semantically identical requests
+   collapse onto one key regardless of field order or id. *)
+let rec canonical = function
+  | Json.Obj fields ->
+    Json.Obj
+      (fields
+      |> List.map (fun (k, v) -> (k, canonical v))
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+  | Json.Arr items -> Json.Arr (List.map canonical items)
+  | x -> x
+
+let canonical_key request =
+  let request =
+    match request with
+    | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "id") fields)
+    | x -> x
+  in
+  Json.to_string (canonical request)
+
+let handle_line ?cache idx (line : string) : string =
   Stage.incr "serve:requests";
   let response =
     match Json.parse line with
     | Error msg -> err "parse" msg
-    | Ok request -> with_id request (handle_request idx request)
+    | Ok request ->
+      let resp =
+        match cache with
+        | None -> handle_request idx request
+        | Some c ->
+          let key = canonical_key request in
+          (match Lru.find c key with
+           | Some r ->
+             Stage.incr "serve:cache-hit";
+             r
+           | None ->
+             let r = handle_request idx request in
+             Lru.add c key r;
+             r)
+      in
+      with_id request resp
   in
   Json.to_string response
 

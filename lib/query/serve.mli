@@ -11,9 +11,19 @@
 val handle_request : Query.t -> Json.t -> Json.t
 (** Answer one already-parsed request (timed under ["serve:<op>"]). *)
 
-val handle_line : Query.t -> string -> string
+val canonical_key : Json.t -> string
+(** A cache key equal for semantically identical requests: the request
+    with its ["id"] stripped and every object's fields sorted by name,
+    serialized. Two requests with the same key get the same response
+    (every op is a pure function of the index), which is what makes
+    the response cache sound. *)
+
+val handle_line : ?cache:(string, Json.t) Lru.t -> Query.t -> string -> string
 (** Answer one raw request line; total. The returned string is a
-    single-line JSON response without the trailing newline. *)
+    single-line JSON response without the trailing newline. With
+    [cache], responses are memoized under {!canonical_key} (the
+    ["id"] is attached after lookup, so correlation survives hits);
+    parse errors are never cached. *)
 
 val loop : Query.t -> in_channel -> out_channel -> unit
 (** Serve until EOF, one request per line, flushing per response.

@@ -1,0 +1,343 @@
+(** TCP serving: reader threads parse line boundaries, worker domains
+    evaluate, responses re-sequence per connection. See the interface
+    for the architecture; the concurrency invariants are:
+
+    - a connection's mutable state ([next_seq], [outstanding],
+      [pending], [next_write], flags) is only touched under its own
+      mutex;
+    - the job queue is a bounded Mutex/Condition queue — readers block
+      when it fills (back-pressure toward the sockets), workers block
+      when it drains;
+    - the index and the cache are the only structures shared by all
+      workers, and both are safe by construction (immutable / mutex'd);
+    - shutdown runs exactly once (an [Atomic] compare-and-set), either
+      on the thread that called {!stop} or on the accept thread after
+      a {!signal_stop}, and joins everything before declaring the
+      server finished. *)
+
+module Stage = Lapis_perf.Stage
+
+type conn = {
+  fd : Unix.file_descr;
+  cmutex : Mutex.t;
+  mutable next_seq : int;  (* next sequence number the reader assigns *)
+  mutable next_write : int;  (* next sequence number to go on the wire *)
+  pending : (int, string) Hashtbl.t;  (* finished out-of-order responses *)
+  mutable outstanding : int;  (* enqueued and not yet written *)
+  mutable reader_done : bool;
+  mutable dead : bool;  (* write failed; drop the rest silently *)
+  mutable closed : bool;
+}
+
+type job = Job of conn * int * string | Quit
+
+type t = {
+  lsock : Unix.file_descr;
+  bound_port : int;
+  idx : Query.t;
+  cache : (string, Json.t) Lru.t option;
+  queue : job Queue.t;
+  qcap : int;
+  qmutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  stop_flag : bool Atomic.t;
+  shutdown_started : bool Atomic.t;
+  accepted : int Atomic.t;
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  mutable workers : unit Domain.t list;
+  mutable accept_thread : Thread.t option;
+  fin_mutex : Mutex.t;
+  fin_cv : Condition.t;
+  mutable finished : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Bounded job queue                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let enqueue t job =
+  Mutex.lock t.qmutex;
+  while Queue.length t.queue >= t.qcap do
+    Condition.wait t.not_full t.qmutex
+  done;
+  Queue.push job t.queue;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.qmutex
+
+let dequeue t =
+  Mutex.lock t.qmutex;
+  while Queue.is_empty t.queue do
+    Condition.wait t.not_empty t.qmutex
+  done;
+  let job = Queue.pop t.queue in
+  Condition.signal t.not_full;
+  Mutex.unlock t.qmutex;
+  job
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection plumbing                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+(* Under [cmutex]. The fd closes exactly once, when the reader has hit
+   EOF and every accepted request has been answered. *)
+let maybe_close conn =
+  if conn.reader_done && conn.outstanding = 0 && not conn.closed then begin
+    conn.closed <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Park the finished response, then flush the contiguous run starting
+   at [next_write] — this is what keeps each client's responses in its
+   own send order while the pool finishes jobs in any order. *)
+let deliver conn seq line =
+  Mutex.lock conn.cmutex;
+  Hashtbl.replace conn.pending seq line;
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt conn.pending conn.next_write with
+    | None -> continue := false
+    | Some response ->
+      Hashtbl.remove conn.pending conn.next_write;
+      conn.next_write <- conn.next_write + 1;
+      conn.outstanding <- conn.outstanding - 1;
+      if not (conn.dead || conn.closed) then (
+        try write_all conn.fd (response ^ "\n")
+        with Unix.Unix_error _ | Sys_error _ -> conn.dead <- true)
+  done;
+  maybe_close conn;
+  Mutex.unlock conn.cmutex
+
+let reader t conn () =
+  let ic = Unix.in_channel_of_descr conn.fd in
+  (try
+     let continue = ref true in
+     while !continue do
+       match In_channel.input_line ic with
+       | None -> continue := false
+       | Some line ->
+         if String.trim line <> "" then begin
+           Mutex.lock conn.cmutex;
+           let seq = conn.next_seq in
+           conn.next_seq <- seq + 1;
+           conn.outstanding <- conn.outstanding + 1;
+           Mutex.unlock conn.cmutex;
+           enqueue t (Job (conn, seq, line))
+         end
+     done
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Mutex.lock conn.cmutex;
+  conn.reader_done <- true;
+  maybe_close conn;
+  Mutex.unlock conn.cmutex
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let internal_error e =
+  Json.to_string
+    (Json.Obj
+       [
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("kind", Json.Str "internal");
+               ("msg", Json.Str (Printexc.to_string e));
+             ] );
+       ])
+
+let worker t () =
+  let rec go () =
+    match dequeue t with
+    | Quit -> ()
+    | Job (conn, seq, line) ->
+      (* [handle_line] is total; the catch-all is the never-crash
+         contract's last line of defense for the whole pool. *)
+      let response =
+        try Serve.handle_line ?cache:t.cache t.idx line
+        with e -> internal_error e
+      in
+      deliver conn seq response;
+      go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs at most once; the accept thread is already gone (we are either
+   past [Thread.join] in [stop] or on the accept thread itself after
+   its loop exited), so [t.conns] cannot grow any more. *)
+let drain t =
+  Mutex.lock t.conns_mutex;
+  let conns = t.conns and readers = t.readers in
+  Mutex.unlock t.conns_mutex;
+  (* Half-close: readers consume what clients already sent, then see
+     EOF. Nothing accepted is dropped. *)
+  List.iter
+    (fun c ->
+      Mutex.lock c.cmutex;
+      if not c.closed then (
+        try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ());
+      Mutex.unlock c.cmutex)
+    conns;
+  List.iter Thread.join readers;
+  (* Every job is in the queue now; a Quit per worker lets the pool
+     finish the backlog first (the queue is FIFO). *)
+  List.iter (fun _ -> enqueue t Quit) t.workers;
+  List.iter Domain.join t.workers;
+  List.iter
+    (fun c ->
+      Mutex.lock c.cmutex;
+      if not c.closed then begin
+        c.closed <- true;
+        (try Unix.close c.fd with Unix.Unix_error _ -> ())
+      end;
+      Mutex.unlock c.cmutex)
+    conns;
+  Mutex.lock t.fin_mutex;
+  t.finished <- true;
+  Condition.broadcast t.fin_cv;
+  Mutex.unlock t.fin_mutex
+
+let acceptor t () =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.lsock ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept t.lsock with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _addr ->
+        Atomic.incr t.accepted;
+        Stage.incr "serve:connections";
+        let conn =
+          {
+            fd;
+            cmutex = Mutex.create ();
+            next_seq = 0;
+            next_write = 0;
+            pending = Hashtbl.create 8;
+            outstanding = 0;
+            reader_done = false;
+            dead = false;
+            closed = false;
+          }
+        in
+        Mutex.lock t.conns_mutex;
+        t.conns <- conn :: t.conns;
+        t.readers <- Thread.create (reader t conn) () :: t.readers;
+        Mutex.unlock t.conns_mutex)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+  (* A signal_stop with nobody in [stop] still needs the drain to run
+     somewhere; first claimant does it. *)
+  if Atomic.compare_and_set t.shutdown_started false true then drain t
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let port t = t.bound_port
+let connections_served t = Atomic.get t.accepted
+
+let wait t =
+  Mutex.lock t.fin_mutex;
+  while not t.finished do
+    Condition.wait t.fin_cv t.fin_mutex
+  done;
+  Mutex.unlock t.fin_mutex
+
+let signal_stop t = Atomic.set t.stop_flag true
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (* Whoever wins the compare-and-set (us or the accept thread after a
+     signal_stop) runs the drain; the other just waits. In the winning
+     branch the accept thread lost, so joining it here is safe and
+     guarantees the connection list is final before [drain] snapshots
+     it. *)
+  if Atomic.compare_and_set t.shutdown_started false true then begin
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    drain t
+  end;
+  wait t
+
+let start ?(host = "127.0.0.1") ?(backlog = 64) ?workers
+    ?(cache_capacity = 1024) ~port idx =
+  let workers =
+    match workers with
+    | Some w -> max 1 w
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  (* A worker writing to a gone client must get EPIPE, not a fatal
+     signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> Unix.inet_addr_loopback
+  in
+  match
+    let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+       Unix.bind lsock (Unix.ADDR_INET (addr, port));
+       Unix.listen lsock backlog
+     with e ->
+       (try Unix.close lsock with Unix.Unix_error _ -> ());
+       raise e);
+    lsock
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "cannot listen on %s:%d: %s" host port
+         (Unix.error_message e))
+  | lsock ->
+    let bound_port =
+      match Unix.getsockname lsock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    let t =
+      {
+        lsock;
+        bound_port;
+        idx;
+        cache =
+          (if cache_capacity > 0 then
+             Some (Lru.create ~capacity:cache_capacity)
+           else None);
+        queue = Queue.create ();
+        qcap = max 128 (workers * 32);
+        qmutex = Mutex.create ();
+        not_empty = Condition.create ();
+        not_full = Condition.create ();
+        stop_flag = Atomic.make false;
+        shutdown_started = Atomic.make false;
+        accepted = Atomic.make 0;
+        conns_mutex = Mutex.create ();
+        conns = [];
+        readers = [];
+        workers = [];
+        accept_thread = None;
+        fin_mutex = Mutex.create ();
+        fin_cv = Condition.create ();
+        finished = false;
+      }
+    in
+    t.workers <- List.init workers (fun _ -> Domain.spawn (worker t));
+    t.accept_thread <- Some (Thread.create (acceptor t) ());
+    Ok t

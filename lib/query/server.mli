@@ -1,0 +1,59 @@
+(** Concurrent TCP front-end for the serve protocol — the
+    [lapis serve --tcp PORT] surface.
+
+    The wire protocol is exactly the stdin/stdout one ({!Serve}): one
+    JSON request per line, one JSON response per line, malformed input
+    produces an error response, never a dropped connection. On top of
+    that, the server multiplexes any number of clients:
+
+    - an accept loop hands each connection to a lightweight reader
+      thread that only parses line boundaries and enqueues jobs, so an
+      idle or slow client never occupies a worker;
+    - a fixed pool of worker {e domains} drains a bounded job queue and
+      evaluates queries in parallel against the shared immutable
+      {!Query.t} (evaluation allocates per-call scratch only, so no
+      locking on the index);
+    - responses are re-sequenced per connection before writing, so each
+      client sees answers in the order it sent requests even though
+      the pool completes them out of order;
+    - one shared {!Lru} cache memoizes responses across all clients.
+
+    Shutdown ({!stop} or SIGINT wired by the CLI) is graceful: stop
+    accepting, half-close every connection so readers drain what was
+    already sent, finish every queued job, flush, join. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?backlog:int ->
+  ?workers:int ->
+  ?cache_capacity:int ->
+  port:int ->
+  Query.t ->
+  (t, string) result
+(** Bind [host:port] (default host 127.0.0.1; port 0 picks an
+    ephemeral port, see {!port}) and start accepting. [workers]
+    defaults to the machine's recommended domain count (at least 1);
+    [cache_capacity] (default 1024) sizes the shared response cache,
+    [0] disables it. Returns [Error] with a human-readable message if
+    the socket cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port — useful with [~port:0] in tests. *)
+
+val stop : t -> unit
+(** Graceful shutdown; blocks until every queued request is answered
+    and every thread and worker domain has been joined. Idempotent. *)
+
+val signal_stop : t -> unit
+(** Async-signal-safe stop request (just an atomic flag store) — this
+    is what the SIGINT handler calls; the accept loop notices within
+    its poll interval. Pair with {!wait}. *)
+
+val wait : t -> unit
+(** Block until the server has fully shut down (via {!stop} or a
+    {!signal_stop} noticed by the accept loop). *)
+
+val connections_served : t -> int
+(** Total connections accepted since start (for the smoke tests). *)

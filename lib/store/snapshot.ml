@@ -19,6 +19,15 @@
     the rows, so a loaded store is indistinguishable from the one the
     pipeline built (the test suite checks metric-for-metric equality).
 
+    Format 2 prefixes the rows with an {b API dictionary} — every
+    distinct API in the snapshot, written once in a deterministic
+    first-seen order — and encodes every API set (package
+    requirement sets, binary footprints) as a {!Lapis_perf.Bitset}
+    over that dictionary: one bit per dictionary entry instead of a
+    re-serialized API per element. The dictionary order is a pure
+    function of the rows, so decode → re-encode reproduces the file
+    byte for byte. Format 1 files (element-wise sets) still load.
+
     Decoding never raises: stale, truncated or corrupted files come
     back as a structured {!error}, following the taxonomy discipline
     of {!Lapis_elf.Reader}. The payload digest makes corruption
@@ -33,7 +42,8 @@ module Footprint = Lapis_analysis.Footprint
 module Classify = Lapis_elf.Classify
 
 let magic = "LAPISNAP"
-let format_version = 1
+let format_version = 2
+let min_version = 1  (* oldest format this build still reads *)
 let header_len = 8 + 4 + 16 + 8
 
 type meta = {
@@ -170,12 +180,52 @@ let w_api b = function
     Buffer.add_char b '\003';
     w_str b name
 
-let w_api_set b set =
-  w_varint b (Api.Set.cardinal set);
-  Api.Set.iter (w_api b) set
+(* Format 2 dictionary: every API in the snapshot, interned in the
+   order the writer meets the sets (packages first, then binaries,
+   each set in [Api.Set] order). That order is a pure function of the
+   rows, which is what makes decode -> re-encode byte-identical. *)
+type dict = { d_apis : Api.t array; d_ids : int Api.Tbl.t }
 
-let w_footprint b (fp : Footprint.t) =
-  w_api_set b fp.Footprint.apis;
+let build_dict (packages : Store.pkg_row list) (bins : Store.bin_row list) :
+    dict =
+  let d_ids = Api.Tbl.create 4096 in
+  let rev = ref [] in
+  let n = ref 0 in
+  let intern api =
+    if not (Api.Tbl.mem d_ids api) then begin
+      Api.Tbl.add d_ids api !n;
+      incr n;
+      rev := api :: !rev
+    end
+  in
+  let set s = Api.Set.iter intern s in
+  List.iter
+    (fun (p : Store.pkg_row) ->
+      set p.Store.pr_apis;
+      set p.Store.pr_apis_elf)
+    packages;
+  List.iter
+    (fun (r : Store.bin_row) ->
+      set r.Store.br_direct.Footprint.apis;
+      set r.Store.br_resolved.Footprint.apis)
+    bins;
+  { d_apis = Array.of_list (List.rev !rev); d_ids }
+
+let w_dict b (dict : dict) =
+  w_varint b (Array.length dict.d_apis);
+  Array.iter (w_api b) dict.d_apis
+
+(* A set on the format-2 wire is its bitset over the dictionary
+   universe, length-prefixed ({!Lapis_perf.Bitset.to_bytes} length is
+   fixed by the universe, but the prefix keeps the row format
+   self-delimiting). *)
+let w_api_set_packed b (dict : dict) set =
+  let bits = Lapis_perf.Bitset.create (Array.length dict.d_apis) in
+  Api.Set.iter (fun a -> Lapis_perf.Bitset.add bits (Api.Tbl.find dict.d_ids a)) set;
+  w_str b (Lapis_perf.Bitset.to_bytes bits)
+
+let w_footprint b dict (fp : Footprint.t) =
+  w_api_set_packed b dict fp.Footprint.apis;
   w_varint b (Footprint.String_set.cardinal fp.Footprint.imports);
   Footprint.String_set.iter (w_str b) fp.Footprint.imports;
   w_int b fp.Footprint.unresolved_sites;
@@ -198,22 +248,22 @@ let w_class b = function
        w_str b s)
   | Classify.Data -> Buffer.add_char b '\004'
 
-let w_pkg_row b (p : Store.pkg_row) =
+let w_pkg_row dict b (p : Store.pkg_row) =
   w_str b p.Store.pr_name;
   w_int b p.Store.pr_installs;
   w_float b p.Store.pr_prob;
   w_list b w_str p.Store.pr_deps;
   w_bool b p.Store.pr_essential;
-  w_api_set b p.Store.pr_apis;
-  w_api_set b p.Store.pr_apis_elf
+  w_api_set_packed b dict p.Store.pr_apis;
+  w_api_set_packed b dict p.Store.pr_apis_elf
 
-let w_bin_row b (r : Store.bin_row) =
+let w_bin_row dict b (r : Store.bin_row) =
   w_str b r.Store.br_path;
   w_str b r.Store.br_package;
   w_class b r.Store.br_class;
   w_digest b r.Store.br_digest;
-  w_footprint b r.Store.br_direct;
-  w_footprint b r.Store.br_resolved
+  w_footprint b dict r.Store.br_direct;
+  w_footprint b dict r.Store.br_resolved
 
 let to_string (t : t) : string =
   let b = Buffer.create (1 lsl 20) in
@@ -221,8 +271,11 @@ let to_string (t : t) : string =
   w_int b t.meta.n_packages;
   w_int b t.meta.total_installs;
   w_str b t.meta.source_key;
-  w_list b w_pkg_row (Array.to_list t.store.Store.packages);
-  w_list b w_bin_row t.store.Store.bins;
+  let packages = Array.to_list t.store.Store.packages in
+  let dict = build_dict packages t.store.Store.bins in
+  w_dict b dict;
+  w_list b (w_pkg_row dict) packages;
+  w_list b (w_bin_row dict) t.store.Store.bins;
   w_list b
     (fun b (kind, n) ->
       w_str b kind;
@@ -316,13 +369,23 @@ let r_api c =
   | 3 -> Api.Libc_sym (r_str c "api.libc")
   | t -> raise (Fail (Corrupt (Printf.sprintf "unknown api tag %d" t)))
 
+(* Format 1 sets: element-wise. *)
 let r_api_set c =
   let n = r_varint c "api-set" in
   let rec go acc k = if k = 0 then acc else go (Api.Set.add (r_api c) acc) (k - 1) in
   go Api.Set.empty n
 
-let r_footprint c : Footprint.t =
-  let apis = r_api_set c in
+(* Format 2 sets: a bitset over the dictionary read earlier. *)
+let r_api_set_packed (dict : Api.t array) c =
+  let bytes = r_str c "api-set.bits" in
+  match Lapis_perf.Bitset.of_bytes (Array.length dict) bytes with
+  | Error msg -> raise (Fail (Corrupt ("api-set bitset: " ^ msg)))
+  | Ok bits ->
+    Lapis_perf.Bitset.fold (fun id acc -> Api.Set.add dict.(id) acc) bits
+      Api.Set.empty
+
+let r_footprint read_set c : Footprint.t =
+  let apis = read_set c in
   let n_imports = r_varint c "imports" in
   let rec go acc k =
     if k = 0 then acc
@@ -352,24 +415,24 @@ let r_class c =
   | 4 -> Classify.Data
   | t -> raise (Fail (Corrupt (Printf.sprintf "unknown class tag %d" t)))
 
-let r_pkg_row c : Store.pkg_row =
+let r_pkg_row read_set c : Store.pkg_row =
   let pr_name = r_str c "pkg.name" in
   let pr_installs = r_int c "pkg.installs" in
   let pr_prob = r_float c "pkg.prob" in
   let pr_deps = r_list c (fun c -> r_str c "pkg.dep") "pkg.deps" in
   let pr_essential = r_bool c "pkg.essential" in
-  let pr_apis = r_api_set c in
-  let pr_apis_elf = r_api_set c in
+  let pr_apis = read_set c in
+  let pr_apis_elf = read_set c in
   { Store.pr_name; pr_installs; pr_prob; pr_deps; pr_essential; pr_apis;
     pr_apis_elf }
 
-let r_bin_row c : Store.bin_row =
+let r_bin_row read_set c : Store.bin_row =
   let br_path = r_str c "bin.path" in
   let br_package = r_str c "bin.package" in
   let br_class = r_class c in
   let br_digest = r_digest c "bin.digest" in
-  let br_direct = r_footprint c in
-  let br_resolved = r_footprint c in
+  let br_direct = r_footprint read_set c in
+  let br_resolved = r_footprint read_set c in
   { Store.br_path; br_package; br_class; br_digest; br_direct; br_resolved }
 
 let of_string (s : string) : (t, error) result =
@@ -383,7 +446,7 @@ let of_string (s : string) : (t, error) result =
       raise (Fail Not_snapshot);
     if String.length s < header_len then raise (Fail (Truncated "header"));
     let version = Int32.to_int (String.get_int32_le s 8) in
-    if version <> format_version then
+    if version < min_version || version > format_version then
       raise (Fail (Unsupported_version version));
     let stored_digest = String.sub s 12 16 in
     let payload_len = Int64.to_int (String.get_int64_le s 28) in
@@ -398,8 +461,17 @@ let of_string (s : string) : (t, error) result =
     let n_packages = r_int c "meta.n-packages" in
     let total_installs = r_int c "meta.total-installs" in
     let skey = r_str c "meta.source-key" in
-    let packages = r_list c r_pkg_row "packages" in
-    let bins = r_list c r_bin_row "binaries" in
+    let read_set =
+      if version >= 2 then begin
+        let dict =
+          Array.of_list (r_list c r_api "api-dictionary")
+        in
+        r_api_set_packed dict
+      end
+      else r_api_set
+    in
+    let packages = r_list c (r_pkg_row read_set) "packages" in
+    let bins = r_list c (r_bin_row read_set) "binaries" in
     let rejects =
       r_list c
         (fun c ->

@@ -137,6 +137,26 @@ let test_dependents_ranked () =
   Alcotest.(check int) "limit honored" (min 3 (List.length ranked))
     (List.length limited)
 
+let test_sharded_matches_unsharded () =
+  (* the sharded evaluator regroups the numerator sum by package
+     range, so it may differ from the single sweep only by float
+     reassociation — within 1e-12, never more *)
+  let idx = index () in
+  List.iteri
+    (fun i nrs ->
+      let single = Query.eval_syscalls idx nrs in
+      List.iter
+        (fun shards ->
+          check_close
+            (Printf.sprintf "subset %d sharded x%d" i shards)
+            (Query.eval_syscalls_sharded ~shards idx nrs)
+            single)
+        [ 1; 2; 7 ])
+    (random_subsets ~n:60 ~max_size:150);
+  check_close "empty subset sharded"
+    (Query.eval_syscalls_sharded ~shards:4 idx [])
+    (Query.eval_syscalls idx [])
+
 let test_eval_subsets_batch () =
   let idx = index () and store = store () in
   let subsets = random_subsets ~n:50 ~max_size:120 in
@@ -307,6 +327,8 @@ let () =
           Alcotest.test_case "predicate completeness" `Quick
             test_predicate_completeness_matches_oracle;
           Alcotest.test_case "dependents" `Quick test_dependents_ranked;
+          Alcotest.test_case "sharded eval" `Quick
+            test_sharded_matches_unsharded;
           Alcotest.test_case "batch eval" `Quick test_eval_subsets_batch ] );
       ( "json",
         [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
