@@ -421,6 +421,23 @@ let percentile sorted p =
 
 let write_query_json ~packages ~queries ~indexed_s ~oracle_s ~speedup
     ~max_abs_diff ~latencies_us ~batch_s ~source_key path =
+  let module S = Core.Perf.Stage in
+  (* Temporal-attribution cost next to the numbers it buys: the
+     "phase:attribute" stage (per-binary split into init/serving) and
+     the widening counters. Zero/empty on snapshot-backed runs — the
+     attribution happened when the snapshot was built, not here. *)
+  let phase_attribute_s =
+    List.fold_left
+      (fun acc (l : S.line) ->
+        if l.S.l_name = "phase:attribute" then acc +. l.S.l_seconds else acc)
+      0.0 (S.report ())
+  in
+  let phase_counters =
+    List.filter
+      (fun (name, _) ->
+        String.length name >= 6 && String.sub name 0 6 = "phase:")
+      (S.report_counters ())
+  in
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
   let indexed_qps = float_of_int queries /. indexed_s in
@@ -441,6 +458,18 @@ let write_query_json ~packages ~queries ~indexed_s ~oracle_s ~speedup
   pf "  \"batch_s\": %.6f,\n" batch_s;
   pf "  \"batch_qps\": %.1f,\n" batch_qps;
   pf "  \"batch_vs_single\": %.2f,\n" (batch_qps /. indexed_qps);
+  pf "  \"phase_attribute_s\": %.6f,\n" phase_attribute_s;
+  pf "  \"phase_counters\": [";
+  (match phase_counters with
+   | [] -> pf " ],\n"
+   | items ->
+     List.iteri
+       (fun i (name, v) ->
+         pf "%s\n    { \"name\": \"%s\", \"value\": %d }"
+           (if i = 0 then "" else ",")
+           (json_escape name) v)
+       items;
+     pf "\n  ],\n");
   pf "  \"max_abs_diff\": %.3e\n" max_abs_diff;
   pf "}\n";
   close_out oc;

@@ -267,7 +267,7 @@ let footprint_of_file world path =
 
 (* A snapshot stores every analyzed binary keyed by content digest, so
    a user-supplied file is matched byte-for-byte without re-analysis. *)
-let snapshot_footprint snap path =
+let snapshot_bin_row snap path =
   let digest = Digest.string (read_file path) in
   let row =
     List.find_opt
@@ -275,7 +275,7 @@ let snapshot_footprint snap path =
       snap.Snapshot.store.Core.Db.Store.bins
   in
   match row with
-  | Some b -> b.Core.Db.Store.br_resolved
+  | Some b -> b
   | None ->
     Printf.eprintf
       "lapis: %s is not in the snapshot (no binary with digest %s); \
@@ -308,24 +308,66 @@ let footprint_cmd =
     (Cmd.info "footprint" ~doc)
     Term.(const run $ packages_arg $ seed_arg $ elf_arg)
 
+let phase_arg =
+  let doc =
+    "Restrict to one temporal phase: $(b,init) (APIs requestable \
+     during initialization, up to the serving-loop transition), \
+     $(b,serving) (steady state), or $(b,all) (the whole footprint; \
+     default). An init-only policy can be tightened to the serving \
+     set once a server finishes starting up."
+  in
+  let phase_conv =
+    Arg.enum
+      [ ("init", Query.Init); ("serving", Query.Serving); ("all", Query.All) ]
+  in
+  Arg.(value & opt phase_conv Query.All & info [ "phase" ] ~docv:"PHASE" ~doc)
+
 let seccomp_cmd =
-  let run packages seed snapshot path =
+  let run packages seed snapshot phase path =
     setup_logs ();
+    let pick ~init ~serving ~all =
+      match phase with
+      | Query.Init -> init
+      | Query.Serving -> serving
+      | Query.All -> all
+    in
     let apis =
       match snapshot with
       | Some snap_path ->
         let snap = load_snapshot snap_path in
-        (snapshot_footprint snap path).Core.Analysis.Footprint.apis
+        let row = snapshot_bin_row snap path in
+        pick ~init:row.Core.Db.Store.br_init
+          ~serving:row.Core.Db.Store.br_serving
+          ~all:row.Core.Db.Store.br_resolved.Core.Analysis.Footprint.apis
       | None ->
         with_world packages seed (fun world ->
-            (footprint_of_file world path).Core.Analysis.Footprint.apis)
+            match Core.Elf.Reader.parse (read_file path) with
+            | Error e ->
+              Printf.eprintf "cannot parse %s: %s\n" path
+                (Fmt.str "%a" Core.Elf.Reader.pp_error e);
+              exit 1
+            | Ok img ->
+              let bin = Core.Analysis.Binary.analyze img in
+              let total = Core.Analysis.Resolve.binary_footprint world bin in
+              (match phase with
+               | Query.All -> total.Core.Analysis.Footprint.apis
+               | _ ->
+                 let init, serving =
+                   Core.Analysis.Resolve.phased_footprint world bin ~total
+                 in
+                 pick ~init ~serving
+                   ~all:total.Core.Analysis.Footprint.apis))
     in
     print_endline (Core.Metrics.Uniqueness.seccomp_policy apis)
   in
-  let doc = "Emit a seccomp-bpf allow-list for one ELF binary (Section 6)." in
+  let doc =
+    "Emit a seccomp-bpf allow-list for one ELF binary (Section 6), \
+     optionally restricted to one temporal phase with $(b,--phase)."
+  in
   Cmd.v
     (Cmd.info "seccomp" ~doc)
-    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ elf_arg)
+    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ phase_arg
+          $ elf_arg)
 
 (* --- compat ------------------------------------------------------------- *)
 
@@ -399,7 +441,7 @@ let query_cmd =
   let operands_arg =
     Arg.(value & pos_right 0 string [] & info [] ~docv:"ARG")
   in
-  let run snapshot stats op operands =
+  let run snapshot stats phase op operands =
     setup_logs ();
     let path =
       match snapshot with
@@ -431,7 +473,12 @@ let query_cmd =
         in
         Json.Obj [ ("op", Json.Str "top"); ("n", Json.Num (float_of_int n)) ]
       | "importance", [ api ] ->
-        Json.Obj [ ("op", Json.Str "importance"); ("api", Json.Str api) ]
+        Json.Obj
+          [
+            ("op", Json.Str "importance");
+            ("api", Json.Str api);
+            ("phase", Json.Str (Query.phase_to_string phase));
+          ]
       | "dependents", (api :: rest) ->
         let base =
           [ ("op", Json.Str "dependents"); ("api", Json.Str api) ]
@@ -453,6 +500,7 @@ let query_cmd =
         Json.Obj
           [
             ("op", Json.Str "completeness");
+            ("phase", Json.Str (Query.phase_to_string phase));
             ( "syscalls",
               Json.Arr (List.map (fun nr -> Json.Num (float_of_int nr)) nrs) );
           ]
@@ -473,7 +521,8 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc)
-    Term.(const run $ snapshot_arg $ stats_arg $ op_arg $ operands_arg)
+    Term.(const run $ snapshot_arg $ stats_arg $ phase_arg $ op_arg
+          $ operands_arg)
 
 (* --- serve -------------------------------------------------------------- *)
 

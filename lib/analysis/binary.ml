@@ -24,6 +24,10 @@ type mode = Linear | Dataflow
 type fn_info = {
   fi_name : string;
   fi_scan : Scan.result;
+  fi_phase : Dataflow.phase_result;
+      (** temporal split of [fi_scan.direct], with summary-resolved
+          extras folded into the region of the call site that resolved
+          them; {!Dataflow.empty_phase} in [Linear] mode *)
 }
 
 type t = {
@@ -131,7 +135,8 @@ let analyze ?(mode = Dataflow) ?dataflow_fuel
          List.iter
            (fun (name, insns) ->
              Hashtbl.replace fns name
-               { fi_name = name; fi_scan = Scan.scan ctx insns })
+               { fi_name = name; fi_scan = Scan.scan ctx insns;
+                 fi_phase = Dataflow.empty_phase })
            listings)
    | Dataflow ->
      Lapis_perf.Stage.time "dataflow" @@ fun () ->
@@ -152,10 +157,26 @@ let analyze ?(mode = Dataflow) ?dataflow_fuel
        in
        Hashtbl.replace extra name (Footprint.union cur fp)
      in
+     (* Phased extras: the same footprints, keyed additionally by the
+        region of the call site that resolved them, so the phase pass
+        can attribute a wrapper's syscalls to the caller's phase. *)
+     let extra_ph = Hashtbl.create 16 in
+     let add_extra_ph name region fp =
+       let pre, post, mixed =
+         Option.value
+           ~default:(Footprint.empty, Footprint.empty, Footprint.empty)
+           (Hashtbl.find_opt extra_ph name)
+       in
+       Hashtbl.replace extra_ph name
+         (match (region : Cfg.region) with
+          | Cfg.Pre -> (Footprint.union pre fp, post, mixed)
+          | Cfg.Post -> (pre, Footprint.union post fp, mixed)
+          | Cfg.Mixed -> (pre, post, Footprint.union mixed fp))
+     in
      Hashtbl.iter
        (fun caller (r : Dataflow.result) ->
          List.iter
-           (fun (callee_addr, args) ->
+           (fun (callee_addr, region, args) ->
              match Int_map.find_opt callee_addr fn_by_addr with
              | None -> ()
              | Some callee ->
@@ -171,9 +192,10 @@ let analyze ?(mode = Dataflow) ?dataflow_fuel
                          | None -> ()
                          | Some fp ->
                            add_extra caller fp;
+                           add_extra_ph caller region fp;
                            Hashtbl.replace resolved (callee, site) ()))
                     cr.Dataflow.summary))
-           r.Dataflow.local_call_args)
+           r.Dataflow.phase.Dataflow.ph_call_args)
        df;
      Hashtbl.iter
        (fun name (r : Dataflow.result) ->
@@ -191,11 +213,22 @@ let analyze ?(mode = Dataflow) ?dataflow_fuel
                else Footprint.add_unresolved acc)
              direct r.Dataflow.summary
          in
+         let phase =
+           match Hashtbl.find_opt extra_ph name with
+           | None -> r.Dataflow.phase
+           | Some (pre, post, mixed) ->
+             let ph = r.Dataflow.phase in
+             { ph with
+               Dataflow.ph_pre = Footprint.union ph.Dataflow.ph_pre pre;
+               ph_post = Footprint.union ph.Dataflow.ph_post post;
+               ph_mixed = Footprint.union ph.Dataflow.ph_mixed mixed }
+         in
          Hashtbl.replace fns name
            {
              fi_name = name;
              fi_scan =
                { (Dataflow.to_scan_result r) with Scan.direct };
+             fi_phase = phase;
            })
        df);
   { image = img; fns; fn_by_addr; rodata_strings = rodata_sweep img }

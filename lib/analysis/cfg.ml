@@ -139,3 +139,62 @@ let rpo t =
   end
 
 let n_blocks t = Array.length t.blocks
+
+(* --- temporal regions --------------------------------------------------
+
+   Loop heads are the targets of retreating edges in the RPO ordering
+   (for reducible graphs these are exactly the natural-loop headers).
+   The phase analysis treats the first loop reached from the function
+   entry as the init/serving transition point: blocks reachable from
+   the entry without entering a loop head form the [Pre] region, blocks
+   reachable from a loop head (the loop itself and everything after it)
+   form the [Post] region, and blocks reachable both ways are [Mixed]. *)
+
+type region = Pre | Post | Mixed
+
+let loop_heads t =
+  let n = Array.length t.blocks in
+  if n = 0 then []
+  else begin
+    let pos = Array.make n max_int in
+    let order = rpo t in
+    List.iteri (fun p b -> pos.(b) <- p) order;
+    let is_head = Array.make n false in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun s -> if pos.(s) <= pos.(b) then is_head.(s) <- true)
+          t.succs.(b))
+      order;
+    List.filter (fun b -> is_head.(b)) order |> List.sort compare
+  end
+
+let regions t =
+  let n = Array.length t.blocks in
+  let heads = loop_heads t in
+  let is_head = Array.make n false in
+  List.iter (fun h -> is_head.(h) <- true) heads;
+  let pre = Array.make n false and post = Array.make n false in
+  (if t.entry >= 0 && not is_head.(t.entry) then begin
+     let rec visit i =
+       if not pre.(i) then begin
+         pre.(i) <- true;
+         List.iter (fun s -> if not is_head.(s) then visit s) t.succs.(i)
+       end
+     in
+     visit t.entry
+   end);
+  let rec visit_post i =
+    if not post.(i) then begin
+      post.(i) <- true;
+      List.iter visit_post t.succs.(i)
+    end
+  in
+  List.iter visit_post heads;
+  Array.init n (fun i ->
+      match (pre.(i), post.(i)) with
+      | true, false -> Pre
+      | false, true -> Post
+      (* both ways, or a block the reachability walks never saw
+         (dead code): widen, never sharpen *)
+      | true, true | false, false -> Mixed)

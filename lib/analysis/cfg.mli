@@ -36,3 +36,20 @@ val rpo : t -> int list
     the fixpoint converges in one pass per loop-nesting depth. *)
 
 val n_blocks : t -> int
+
+type region = Pre | Post | Mixed
+(** Temporal region of a block relative to the function's first loop:
+    [Pre] blocks run only before any loop head is entered (the
+    initialization prologue), [Post] blocks only from a loop head
+    onwards (the loop bodies and everything after them), [Mixed]
+    blocks both ways — or could not be classified, the conservative
+    default. *)
+
+val loop_heads : t -> int list
+(** Targets of retreating edges in the RPO ordering, ascending — the
+    natural-loop headers of a reducible graph. The phase analysis
+    treats the first loop reached from the entry as the init/serving
+    transition point. *)
+
+val regions : t -> region array
+(** Per-block temporal region, indexed by [b_index]. *)

@@ -126,6 +126,35 @@ let transfer st (addr, insn, len) =
   | Insn.Jmp_rel _ | Insn.Jcc_rel _ | Insn.Jmp_mem_rip _ | Insn.Ret
   | Insn.Nop | Insn.Unknown _ -> st
 
+(* Temporal attribution of one function's recordings, keyed by the
+   {!Cfg.region} of the block each item was found in. The totals in
+   [result.direct]/[result.calls] are untouched: the phase split is a
+   refinement carried alongside, never a replacement. *)
+type phase_result = {
+  ph_has_loop : bool;
+      (** the function contains a loop head — a candidate phase
+          transition point *)
+  ph_pre : Footprint.t;  (** items recorded in [Cfg.Pre] blocks *)
+  ph_post : Footprint.t;  (** items recorded in [Cfg.Post] blocks *)
+  ph_mixed : Footprint.t;  (** items recorded in [Cfg.Mixed] blocks *)
+  ph_calls : (Scan.call_target * Cfg.region) list;
+      (** direct call edges tagged with their block's region *)
+  ph_call_args :
+    (int * Cfg.region * (Insn.reg * int64 list) list) list;
+      (** [local_call_args] with each site's region — same sites, same
+          order *)
+}
+
+let empty_phase =
+  {
+    ph_has_loop = false;
+    ph_pre = Footprint.empty;
+    ph_post = Footprint.empty;
+    ph_mixed = Footprint.empty;
+    ph_calls = [];
+    ph_call_args = [];
+  }
+
 type result = {
   direct : Footprint.t;
       (** APIs resolved from this function's own instructions *)
@@ -138,6 +167,8 @@ type result = {
       (** per local call site: callee address and the constant values
           of the argument registers at the call — the inputs the
           binary-level pass feeds into callee summaries *)
+  phase : phase_result;
+      (** temporal split of the recordings above (see {!Phase}) *)
   fuel_exhausted : bool;
       (** the fixpoint stopped at its transfer budget: the recorded
           states are a sound snapshot of an unfinished iteration, so
@@ -165,10 +196,19 @@ let analyze ?(fuel = default_fuel) (ctx : Scan.context)
   let leas = ref [] in
   let summary = ref Site_set.empty in
   let call_args = ref [] in
+  (* phase accumulators: every recording lands in [direct] AND in the
+     accumulator of the region of the block being recorded *)
+  let pre_fp = ref Footprint.empty in
+  let post_fp = ref Footprint.empty in
+  let mixed_fp = ref Footprint.empty in
+  let cur_fp = ref mixed_fp in
+  let cur_region = ref Cfg.Mixed in
+  let ph_calls = ref [] in
+  let ph_call_args = ref [] in
   let fuel_left = ref fuel in
   if n = 0 then
     { direct = !direct; calls = []; lea_code_targets = []; summary = [];
-      local_call_args = []; fuel_exhausted = false }
+      local_call_args = []; phase = empty_phase; fuel_exhausted = false }
   else begin
     (* --- worklist fixpoint ------------------------------------------
        Pending blocks are swept in reverse postorder: a cursor walks
@@ -234,6 +274,11 @@ let analyze ?(fuel = default_fuel) (ctx : Scan.context)
     let exhausted = !fuel_left <= 0 && !cursor < m in
     if exhausted then Lapis_perf.Stage.incr "fuel:dataflow-exhausted";
     (* --- recording pass over reachable blocks ----------------------- *)
+    let addf f =
+      direct := f !direct;
+      let c = !cur_fp in
+      c := f !c
+    in
     let add_summary site =
       if not (Site_set.mem site !summary) then
         summary := Site_set.add site !summary
@@ -242,25 +287,25 @@ let analyze ?(fuel = default_fuel) (ctx : Scan.context)
       match value_of st reg with
       | Consts codes ->
         List.iter
-          (fun code -> direct := Footprint.add_vop v (Int64.to_int code) !direct)
+          (fun code -> addf (Footprint.add_vop v (Int64.to_int code)))
           codes
       | Param p -> add_summary (Summary.Vop_code_of (v, p))
       | Addr _ | Top -> ()
     in
     let record_syscall st =
-      direct := Footprint.add_site !direct;
+      addf Footprint.add_site;
       match value_of st Insn.RAX with
       | Consts nrs ->
         List.iter
           (fun nr64 ->
             let nr = Int64.to_int nr64 in
-            direct := Footprint.add_syscall nr !direct;
+            addf (Footprint.add_syscall nr);
             match Api.vector_of_syscall_nr nr with
             | Some v -> record_vop_reg st v Insn.RSI
             | None -> ())
           nrs
       | Param p -> add_summary (Summary.Syscall_nr_of p)
-      | Addr _ | Top -> direct := Footprint.add_unresolved !direct
+      | Addr _ | Top -> addf Footprint.add_unresolved
     in
     let const_args st =
       List.filter_map
@@ -270,6 +315,14 @@ let analyze ?(fuel = default_fuel) (ctx : Scan.context)
           | _ -> None)
         arg_regs
     in
+    let add_call target =
+      calls := target :: !calls;
+      ph_calls := (target, !cur_region) :: !ph_calls
+    in
+    let add_call_args a args =
+      call_args := (a, args) :: !call_args;
+      ph_call_args := (a, !cur_region, args) :: !ph_call_args
+    in
     let record st (addr, insn, len) =
       (match insn with
        | Insn.Lea_rip (_, disp) ->
@@ -277,7 +330,7 @@ let analyze ?(fuel = default_fuel) (ctx : Scan.context)
          (match ctx.Scan.string_at target with
           | Some s ->
             if Pseudo_files.is_pseudo_path s then
-              direct := Footprint.add_pseudo s !direct
+              addf (Footprint.add_pseudo s)
           | None ->
             (match ctx.Scan.resolve_code target with
              | Some (Scan.Local_addr a) -> leas := a :: !leas
@@ -286,7 +339,7 @@ let analyze ?(fuel = default_fuel) (ctx : Scan.context)
          let target = addr + len + Int32.to_int disp in
          (match ctx.Scan.resolve_code target with
           | Some (Scan.Import name) ->
-            calls := Scan.Import name :: !calls;
+            add_call (Scan.Import name);
             (match name with
              | "ioctl" | "fcntl" | "prctl" ->
                let v =
@@ -297,43 +350,51 @@ let analyze ?(fuel = default_fuel) (ctx : Scan.context)
                in
                record_vop_reg st v Insn.RSI
              | "syscall" ->
-               direct := Footprint.add_site !direct;
+               addf Footprint.add_site;
                (match value_of st Insn.RDI with
                 | Consts nrs ->
                   List.iter
                     (fun nr64 ->
                       let nr = Int64.to_int nr64 in
-                      direct := Footprint.add_syscall nr !direct;
+                      addf (Footprint.add_syscall nr);
                       match Api.vector_of_syscall_nr nr with
                       | Some v -> record_vop_reg st v Insn.RDX
                       | None -> ())
                     nrs
                 | Param p -> add_summary (Summary.Syscall_nr_of p)
-                | Addr _ | Top -> direct := Footprint.add_unresolved !direct)
+                | Addr _ | Top -> addf Footprint.add_unresolved)
              | _ -> ())
           | Some (Scan.Local_addr a) ->
-            calls := Scan.Local_addr a :: !calls;
-            call_args := (a, const_args st) :: !call_args
+            add_call (Scan.Local_addr a);
+            add_call_args a (const_args st)
           | None -> ())
        | Insn.Call_reg r ->
          (match value_of st r with
           | Addr a ->
             (match ctx.Scan.resolve_code a with
              | Some (Scan.Local_addr la as t) ->
-               calls := t :: !calls;
-               call_args := (la, const_args st) :: !call_args
-             | Some t -> calls := t :: !calls
+               add_call t;
+               add_call_args la (const_args st)
+             | Some t -> add_call t
              | None -> ())
           | _ -> ())
        | Insn.Syscall | Insn.Int80 | Insn.Sysenter -> record_syscall st
        | _ -> ());
       transfer st (addr, insn, len)
     in
+    let regions = Cfg.regions cfg in
+    let has_loop = Cfg.loop_heads cfg <> [] in
     List.iter
       (fun i ->
         match in_states.(i) with
         | None -> ()
         | Some st_in ->
+          cur_region := regions.(i);
+          (cur_fp :=
+             match regions.(i) with
+             | Cfg.Pre -> pre_fp
+             | Cfg.Post -> post_fp
+             | Cfg.Mixed -> mixed_fp);
           ignore
             (List.fold_left record st_in cfg.Cfg.blocks.(i).Cfg.b_insns))
       (Cfg.reachable cfg);
@@ -343,6 +404,15 @@ let analyze ?(fuel = default_fuel) (ctx : Scan.context)
       lea_code_targets = !leas;
       summary = Site_set.elements !summary;
       local_call_args = List.rev !call_args;
+      phase =
+        {
+          ph_has_loop = has_loop;
+          ph_pre = !pre_fp;
+          ph_post = !post_fp;
+          ph_mixed = !mixed_fp;
+          ph_calls = List.rev !ph_calls;
+          ph_call_args = List.rev !ph_call_args;
+        };
       fuel_exhausted = exhausted;
     }
   end

@@ -27,6 +27,27 @@ type value =
 val const : int64 -> value
 val join_value : value -> value -> value
 
+type phase_result = {
+  ph_has_loop : bool;
+      (** the function contains a loop head — a candidate phase
+          transition point *)
+  ph_pre : Footprint.t;  (** items recorded in [Cfg.Pre] blocks *)
+  ph_post : Footprint.t;  (** items recorded in [Cfg.Post] blocks *)
+  ph_mixed : Footprint.t;  (** items recorded in [Cfg.Mixed] blocks *)
+  ph_calls : (Scan.call_target * Cfg.region) list;
+      (** direct call edges tagged with their block's region *)
+  ph_call_args :
+    (int * Cfg.region * (Lapis_x86.Insn.reg * int64 list) list) list;
+      (** [local_call_args] with each site's region — same sites, same
+          order *)
+}
+(** Temporal attribution of one function's recordings, keyed by the
+    {!Cfg.region} of the block each item was found in. The totals in
+    [result.direct]/[result.calls] are untouched: the phase split is a
+    refinement carried alongside, never a replacement. *)
+
+val empty_phase : phase_result
+
 type result = {
   direct : Footprint.t;
       (** APIs resolved from this function's own instructions *)
@@ -39,6 +60,8 @@ type result = {
       (** per local call site: callee address and the constant values
           of the argument registers at the call — the inputs the
           binary-level pass feeds into callee summaries *)
+  phase : phase_result;
+      (** temporal split of the recordings above (see {!Phase}) *)
   fuel_exhausted : bool;
       (** the fixpoint stopped at its transfer budget: the recorded
           states are a sound snapshot of an unfinished iteration, so

@@ -1,0 +1,139 @@
+(** Interprocedural phase attribution (temporal analysis).
+
+    Modern consumers of the paper's measurement — temporal seccomp
+    filtering in particular — need to know not only {e which} APIs a
+    binary can request but {e when}: filters can be tightened
+    dramatically once initialization is over. This pass partitions a
+    binary's footprint into the initialization phase and the
+    steady-state (serving) phase by interprocedural reachability over
+    the {!Dataflow} results:
+
+    - the first loop reached along any path from the program entry
+      marks the init/serving transition point ({!Cfg.regions});
+    - code reachable only before it is [Init], code reachable only
+      from the loop onwards is [Serving], code reachable both ways —
+      or whose attribution cannot be resolved (address-taken
+      functions, unresolved dispatch) — widens to both phases, never
+      drops an item;
+    - library code has no phase of its own: an import is attributed
+      wholly by the phase of its call sites, and {!Resolve} expands
+      the corresponding library footprints per phase.
+
+    When no loop is ever reached from the entry the program has no
+    transition point and the attribution is vacuous: every item
+    belongs to both phases. The walk itself never sharpens the total
+    footprint — {!Resolve.phased_footprint} re-widens any residue so
+    that [init ∪ serving == total] holds bit-for-bit. *)
+
+open Lapis_apidb
+module String_set = Footprint.String_set
+
+(* The propagation context a function is visited under. [Pre] means
+   the function runs on the entry path before any transition has been
+   entered (its own regions refine the split further); [Serving] and
+   [Both] attribute everything below wholesale. *)
+type ctx = Pre | Serving | Both
+
+type attribution = {
+  a_transitioned : bool;
+      (** a loop was reached on the entry path: the program has a
+          marked transition point and the split below is meaningful *)
+  a_init : Api.Set.t;  (** own-code APIs reachable during init *)
+  a_serving : Api.Set.t;  (** own-code APIs reachable while serving *)
+  a_init_imports : String_set.t;  (** imports called during init *)
+  a_serving_imports : String_set.t;  (** imports called while serving *)
+}
+
+let fp_apis (fp : Footprint.t) = fp.Footprint.apis
+
+(* Attribute the footprint of [bin] starting from its entry points.
+   For executables this is the e_entry chain — the only place a
+   transition can be observed; shared libraries are attributed by
+   their callers, so their own walk starts every export in [Both]. *)
+let attribute (bin : Binary.t) : attribution =
+  let init = ref Api.Set.empty in
+  let serving = ref Api.Set.empty in
+  let init_imports = ref String_set.empty in
+  let serving_imports = ref String_set.empty in
+  let transitioned = ref false in
+  let add_apis ctx apis =
+    match ctx with
+    | Pre -> init := Api.Set.union !init apis
+    | Serving -> serving := Api.Set.union !serving apis
+    | Both ->
+      init := Api.Set.union !init apis;
+      serving := Api.Set.union !serving apis
+  in
+  let add_import ctx name =
+    match ctx with
+    | Pre -> init_imports := String_set.add name !init_imports
+    | Serving -> serving_imports := String_set.add name !serving_imports
+    | Both ->
+      init_imports := String_set.add name !init_imports;
+      serving_imports := String_set.add name !serving_imports
+  in
+  let visited = Hashtbl.create 64 in
+  let rec visit ctx name =
+    if not (Hashtbl.mem visited (name, ctx)) then begin
+      Hashtbl.replace visited (name, ctx) ();
+      match Hashtbl.find_opt bin.Binary.fns name with
+      | None -> ()
+      | Some fi ->
+        let ph = fi.Binary.fi_phase in
+        (* address-taken functions can be called from either phase:
+           widen, in every context *)
+        List.iter
+          (fun a ->
+            match Binary.fn_name_at bin a with
+            | Some n -> visit Both n
+            | None -> ())
+          fi.Binary.fi_scan.Scan.lea_code_targets;
+        match ctx with
+        | Serving | Both ->
+          add_apis ctx (fp_apis fi.Binary.fi_scan.Scan.direct);
+          List.iter
+            (fun target ->
+              match target with
+              | Scan.Import imp -> add_import ctx imp
+              | Scan.Local_addr a ->
+                (match Binary.fn_name_at bin a with
+                 | Some n -> visit ctx n
+                 | None -> ()))
+            fi.Binary.fi_scan.Scan.calls
+        | Pre ->
+          (* the function's own regions refine the split: with no loop
+             every block is [Cfg.Pre] and the walk stays in init *)
+          if ph.Dataflow.ph_has_loop then transitioned := true;
+          add_apis Pre (fp_apis ph.Dataflow.ph_pre);
+          add_apis Serving (fp_apis ph.Dataflow.ph_post);
+          add_apis Both (fp_apis ph.Dataflow.ph_mixed);
+          List.iter
+            (fun (target, region) ->
+              let ctx' =
+                match (region : Cfg.region) with
+                | Cfg.Pre -> Pre
+                | Cfg.Post -> Serving
+                | Cfg.Mixed -> Both
+              in
+              match target with
+              | Scan.Import imp -> add_import ctx' imp
+              | Scan.Local_addr a ->
+                (match Binary.fn_name_at bin a with
+                 | Some n -> visit ctx' n
+                 | None -> ()))
+            ph.Dataflow.ph_calls
+    end
+  in
+  let start_ctx =
+    match bin.Binary.image.Lapis_elf.Image.kind with
+    | Lapis_elf.Image.Exec_static | Lapis_elf.Image.Exec_dynamic -> Pre
+    | Lapis_elf.Image.Shared_lib -> Both
+  in
+  List.iter (visit start_ctx) (Binary.entry_points bin);
+  {
+    a_transitioned = !transitioned;
+    a_init = !init;
+    a_serving = !serving;
+    a_init_imports = !init_imports;
+    a_serving_imports = !serving_imports;
+  }

@@ -190,6 +190,56 @@ let binary_footprint world (bin : Binary.t) : Footprint.t =
   | Some _ -> Footprint.union fp (ld_so_footprint world)
   | None -> fp
 
+(* Temporal split of a resolved footprint (see {!Phase}): the API sets
+   a binary can request during initialization and while serving. The
+   split never sharpens the total — any item the attribution walk
+   could not place (rodata sweep strings, unresolved dispatch) is
+   re-widened into both phases, so [init ∪ serving == total] holds
+   bit-for-bit and unphased consumers are unaffected. *)
+let phased_footprint world (bin : Binary.t) ~(total : Footprint.t) :
+    Api.Set.t * Api.Set.t =
+  let total_apis = total.Footprint.apis in
+  let a = Phase.attribute bin in
+  if not a.Phase.a_transitioned then begin
+    (* No loop reached from the entry: no transition point, the whole
+       footprint belongs to both phases. *)
+    Lapis_perf.Stage.incr "phase:no-transition";
+    (total_apis, total_apis)
+  end
+  else begin
+    let soname = bin.Binary.image.Lapis_elf.Image.soname in
+    let libcish =
+      match soname with
+      | Some soname -> world.libc_family soname
+      | None -> false
+    in
+    let expand imports =
+      (imports_footprint world ~importer_is_libc:libcish imports)
+        .Footprint.apis
+    in
+    let init =
+      Api.Set.union a.Phase.a_init (expand a.Phase.a_init_imports)
+    in
+    let serving =
+      Api.Set.union a.Phase.a_serving (expand a.Phase.a_serving_imports)
+    in
+    (* The dynamic linker runs before main: its startup work is init. *)
+    let init =
+      match bin.Binary.image.Lapis_elf.Image.interp with
+      | Some _ -> Api.Set.union init (ld_so_footprint world).Footprint.apis
+      | None -> init
+    in
+    (* Clamp to the total (phased expansion can only see a subset of
+       the resolution paths the total took), then re-widen whatever
+       neither phase claimed. *)
+    let init = Api.Set.inter init total_apis in
+    let serving = Api.Set.inter serving total_apis in
+    let residue = Api.Set.diff total_apis (Api.Set.union init serving) in
+    let n = Api.Set.cardinal residue in
+    if n > 0 then Lapis_perf.Stage.incr ~by:n "phase:widened";
+    (Api.Set.union init residue, Api.Set.union serving residue)
+  end
+
 (* Direct (intra-binary) footprint: what this binary's own
    instructions request, before any library resolution. Used for the
    Table 1/2 attribution of "who issues this call directly". *)

@@ -62,6 +62,20 @@ val binary_footprint : world -> Binary.t -> Footprint.t
     resolve into the C runtime are additionally recorded as
     {!Lapis_apidb.Api.Libc_sym} usage. *)
 
+val phased_footprint :
+  world ->
+  Binary.t ->
+  total:Footprint.t ->
+  Lapis_apidb.Api.Set.t * Lapis_apidb.Api.Set.t
+(** [(init, serving)] — the temporal split of [total] (which must be
+    the binary's {!binary_footprint}) per the {!Phase} attribution:
+    APIs requestable during initialization versus while serving. The
+    invariant [init ∪ serving == total.apis] holds bit-for-bit: items
+    the walk cannot place (rodata sweep strings, unresolved dispatch)
+    are re-widened into both phases and counted under the
+    ["phase:widened"] stage counter; binaries with no transition point
+    return [(total, total)] and count under ["phase:no-transition"]. *)
+
 val direct_footprint : Binary.t -> Footprint.t
 (** What the binary's own instructions request, before any library
     resolution — the "who issues this call directly" attribution

@@ -83,6 +83,22 @@ let expand_op (op : Program.op) : pre list =
     [ I (Insn.Mov_rr (Insn.RAX, Insn.RDI)); I Insn.Syscall ]
   | Program.Use_string s -> [ Lea_str (Insn.RDI, s) ]
   | Program.Take_fnptr f -> [ Lea_fn (Insn.RAX, f); I (Insn.Call_reg Insn.RAX) ]
+  | Program.Serving_loop f ->
+    (* call f; mov rbx, 0; cmp rbx, 1; je back-to-the-call — a backward
+       conditional branch around the serving call.  The CFG engine sees
+       the retreating edge and marks the call block as the loop head
+       (the phase transition); the zeroed rbx never equals 1, so the
+       dynamic tracer runs the body exactly once and falls through.
+       rbx is written only after the call, leaving the call-site
+       argument registers untouched. *)
+    let call = Call_fn f in
+    let mov = I (Insn.Mov_ri (Insn.RBX, 0L)) in
+    let cmp = I (Insn.Cmp_ri (Insn.RBX, 1l)) in
+    let jcc_size = pre_size (I (Insn.Jcc_rel (Insn.cc_e, 0l))) in
+    let back =
+      -(pre_size call + pre_size mov + pre_size cmp + jcc_size)
+    in
+    [ call; mov; cmp; I (Insn.Jcc_rel (Insn.cc_e, Int32.of_int back)) ]
   | Program.Padding n -> List.init n (fun _ -> I Insn.Nop)
 
 let prologue = [ I (Insn.Push_r Insn.RBP); I (Insn.Mov_rr (Insn.RBP, Insn.RSP)) ]
@@ -121,7 +137,7 @@ let collect_refs (prog : Program.t) =
           | Program.Call_local _ | Program.Take_fnptr _ | Program.Padding _
           | Program.Cond_branch_syscall _ | Program.Skip_clobber_syscall _
           | Program.Jump_over_decoy_syscall _ | Program.Call_wrapper _
-          | Program.Arg_syscall ->
+          | Program.Arg_syscall | Program.Serving_loop _ ->
             ())
         f.Program.ops)
     prog.Program.funcs;

@@ -48,6 +48,15 @@ type op =
   | Take_fnptr of string
       (** lea of a local function then an indirect call — the
           over-approximated function-pointer pattern of Section 7 *)
+  | Serving_loop of string
+      (** the marked phase-transition point of a two-phase program: a
+          backward conditional branch around a call to the named local
+          function — the serving loop.  Everything emitted before this
+          op belongs to the initialization phase, the loop body to the
+          steady state.  The loop condition compares a
+          freshly-zeroed register against a nonzero immediate, so the
+          dynamic tracer executes the body exactly once and falls
+          through *)
   | Padding of int  (** filler nops, for realistic function sizes *)
 
 type func = {

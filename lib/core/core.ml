@@ -71,6 +71,7 @@ module Analysis = struct
   module Dataflow = Lapis_analysis.Dataflow
   module Summary = Lapis_analysis.Summary
   module Binary = Lapis_analysis.Binary
+  module Phase = Lapis_analysis.Phase
   module Resolve = Lapis_analysis.Resolve
   module Trace = Lapis_analysis.Trace
   module Audit = Lapis_analysis.Audit
@@ -132,6 +133,7 @@ module Study = struct
   module Section6 = Lapis_study.Section6
   module Tracer = Lapis_study.Tracer
   module Precision = Lapis_study.Precision
+  module Phases = Lapis_study.Phases
   module Full_path = Lapis_study.Full_path
   module Ablations = Lapis_study.Ablations
 end

@@ -861,6 +861,8 @@ let wrapper_map : (string, string) Hashtbl.t =
 type emitted = {
   em_package : P.t;
   em_truth : Api.Set.t;
+  em_init : Api.Set.t;  (** APIs requestable during initialization *)
+  em_serving : Api.Set.t;  (** APIs requestable while serving *)
 }
 
 (* Decoy system calls placed in dead code (unreachable functions, or
@@ -995,7 +997,12 @@ let build_exe_ops rng spec ~syscalls ~vops ~pseudo ~lib_imports ~imports
   List.rev !ops
 
 let emit_spec rng spec : emitted =
+  (* [truth] holds phase-agnostic APIs (both phases); the two-phase
+     server executables below record their halves into [ph_init] and
+     [ph_serving] instead. Totals are the union of all three. *)
   let truth = ref Api.Set.empty in
+  let ph_init = ref Api.Set.empty in
+  let ph_serving = ref Api.Set.empty in
   let files = ref [] in
   (match spec.g_util_of, spec.g_is_lib_pkg with
    | Some lp, _ ->
@@ -1203,17 +1210,56 @@ let emit_spec rng spec : emitted =
            :: !files
        end
        else begin
-         let ops =
-           build_exe_ops rng spec ~syscalls:(nth sys_parts i)
-             ~vops:(nth vop_parts i) ~pseudo:(nth pseudo_parts i)
-             ~lib_imports:(nth lib_parts i) ~imports:(nth import_parts i)
-             ~truth
+         (* Roughly a third of the dynamic executables are two-phase
+            servers: an init prologue, then a serving loop entered
+            through the marked transition point
+            ({!Lapis_asm.Program.Serving_loop}). The prologue's APIs
+            are init-phase ground truth, the loop body's serving-phase
+            — what the temporal analysis is audited against. *)
+         let two_phase = Rng.bool rng 0.3 in
+         let ops, serve_ops =
+           if two_phase then begin
+             let part2 lst =
+               List.partition (fun _ -> Rng.bool rng 0.5) lst
+             in
+             let sys_i, sys_s = part2 (nth sys_parts i) in
+             let vop_i, vop_s = part2 (nth vop_parts i) in
+             let ps_i, ps_s = part2 (nth pseudo_parts i) in
+             let li_i, li_s = part2 (nth lib_parts i) in
+             let im_i, im_s = part2 (nth import_parts i) in
+             (* __libc_start_main runs exactly once, before main: its
+                ground truth covers the whole runtime startup
+                (including the dynamic linker's share), so a serving
+                placement would demand startup work in the steady
+                state — keep it in the init prologue *)
+             let startup, im_s =
+               List.partition (fun i -> i = "__libc_start_main") im_s
+             in
+             let im_i = im_i @ startup in
+             ( build_exe_ops rng spec ~syscalls:sys_i ~vops:vop_i
+                 ~pseudo:ps_i ~lib_imports:li_i ~imports:im_i
+                 ~truth:ph_init,
+               build_exe_ops rng spec ~syscalls:sys_s ~vops:vop_s
+                 ~pseudo:ps_s ~lib_imports:li_s ~imports:im_s
+                 ~truth:ph_serving )
+           end
+           else
+             ( build_exe_ops rng spec ~syscalls:(nth sys_parts i)
+                 ~vops:(nth vop_parts i) ~pseudo:(nth pseudo_parts i)
+                 ~lib_imports:(nth lib_parts i)
+                 ~imports:(nth import_parts i) ~truth,
+               [] )
          in
-         truth := Api.Set.union !truth Libc_gen.base_truth;
+         (* the runtime's startup work precedes main: init-phase truth
+            in a two-phase server, phase-agnostic otherwise *)
+         let exe_truth = if two_phase then ph_init else truth in
+         exe_truth := Api.Set.union !exe_truth Libc_gen.base_truth;
          (* optionally route trailing operations through a function
-            pointer (tests the lea over-approximation) *)
+            pointer (tests the lea over-approximation); two-phase
+            mains keep their prologue intact *)
          let main_ops, cb_ops =
-           if List.length ops > 6 && Rng.bool rng 0.25 then begin
+           if (not two_phase) && List.length ops > 6 && Rng.bool rng 0.25
+           then begin
              let k = List.length ops - 2 in
              let rec split j acc = function
                | rest when j = 0 -> (List.rev acc, rest)
@@ -1226,7 +1272,8 @@ let emit_spec rng spec : emitted =
            else (ops, [])
          in
          (* the first executable links the package's private
-            libraries and reaches all their exports *)
+            libraries and reaches all their exports; a two-phase main
+            calls them from its prologue, so their truth is init *)
          let priv_calls, priv_sonames =
            if i = 0 then
              ( List.concat_map
@@ -1235,8 +1282,9 @@ let emit_spec rng spec : emitted =
                      (fun (name, imports) ->
                        List.iter
                          (fun imp ->
-                           truth :=
-                             Api.Set.union !truth (Libc_gen.import_truth imp))
+                           exe_truth :=
+                             Api.Set.union !exe_truth
+                               (Libc_gen.import_truth imp))
                          imports;
                        Lapis_asm.Program.Call_import name)
                      exports)
@@ -1244,25 +1292,35 @@ let emit_spec rng spec : emitted =
                List.map fst priv_libs )
            else ([], [])
          in
-         let main_ops = main_ops @ priv_calls in
+         let main_ops =
+           main_ops @ priv_calls
+           @
+           if serve_ops = [] then []
+           else [ Lapis_asm.Program.Serving_loop "serve_loop" ]
+         in
          (* local helpers referenced by the branchy syscall shapes *)
+         let all_ops = ops @ serve_ops in
          let needs_cold =
            List.exists
              (function
                | Lapis_asm.Program.Skip_clobber_syscall _ -> true
                | _ -> false)
-             ops
+             all_ops
          and needs_dispatch =
            List.exists
              (function
                | Lapis_asm.Program.Call_wrapper _ -> true | _ -> false)
-             ops
+             all_ops
          in
          let funcs =
            [ Lapis_asm.Program.func "_start"
                [ Lapis_asm.Program.Call_import "__libc_start_main";
                  Lapis_asm.Program.Call_local "main" ];
              Lapis_asm.Program.func "main" main_ops ]
+           @ (if serve_ops = [] then []
+              else
+                [ Lapis_asm.Program.func ~global:false "serve_loop"
+                    serve_ops ])
            @ (if cb_ops = [] then []
               else [ Lapis_asm.Program.func ~global:false "callback" cb_ops ])
            @ (if needs_cold then
@@ -1322,7 +1380,14 @@ let emit_spec rng spec : emitted =
       essential = spec.g_essential;
     }
   in
-  { em_package = pkg; em_truth = !truth }
+  let init = Api.Set.union !truth !ph_init in
+  let serving = Api.Set.union !truth !ph_serving in
+  {
+    em_package = pkg;
+    em_truth = Api.Set.union init serving;
+    em_init = init;
+    em_serving = serving;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Top level                                                           *)
@@ -1385,6 +1450,7 @@ let generate ?(config = default_config) () : P.distribution =
       end)
     specs;
   let truth : P.ground_truth = Hashtbl.create 1024 in
+  let phase_truth : P.phased_truth = Hashtbl.create 1024 in
   let packages =
     stage "emit" (fun () ->
         (* The largest generation stage, fanned out over domains.
@@ -1404,6 +1470,8 @@ let generate ?(config = default_config) () : P.distribution =
         List.map
           (fun (spec, emitted) ->
             Hashtbl.replace truth spec.g_name emitted.em_truth;
+            Hashtbl.replace phase_truth spec.g_name
+              (emitted.em_init, emitted.em_serving);
             let installs =
               max 1
                 (int_of_float
@@ -1430,6 +1498,7 @@ let generate ?(config = default_config) () : P.distribution =
     shared_libs;
     total_installs = config.total_installs;
     truth;
+    phase_truth;
     seed = config.seed;
     n_requested = config.n_packages;
   }

@@ -26,6 +26,15 @@ type t = {
    spot check of Section 2.3 is automated on this. *)
 type ground_truth = (string, Lapis_apidb.Api.Set.t) Hashtbl.t
 
+(* Temporal ground truth: per package, the API sets its binaries
+   request during initialization and while serving. Two-phase server
+   executables split their assigned APIs across the marked transition
+   point; every other binary is phase-agnostic and contributes its
+   whole footprint to both sets. The phase audit checks the analyzer's
+   temporal attribution against this, per phase. *)
+type phased_truth =
+  (string, Lapis_apidb.Api.Set.t * Lapis_apidb.Api.Set.t) Hashtbl.t
+
 type distribution = {
   packages : t list;
   runtime : (string * string) list;
@@ -35,6 +44,7 @@ type distribution = {
       (** non-runtime shared libraries: (soname, owning package, bytes) *)
   total_installs : int;
   truth : ground_truth;
+  phase_truth : phased_truth;  (** (init, serving) per package *)
   seed : int;
   n_requested : int;
       (** the [n_packages] the generator was asked for — the actual

@@ -202,4 +202,4 @@ let query_scope = function
 let of_index ?(scope = All_apis) idx ~supported =
   Lapis_query.Query.eval_pred ~scope:(query_scope scope) idx ~supported
 
-let of_syscall_set_index = Lapis_query.Query.eval_syscalls
+let of_syscall_set_index idx nrs = Lapis_query.Query.eval_syscalls idx nrs

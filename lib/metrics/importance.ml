@@ -62,7 +62,7 @@ let count_at_least threshold values =
    bit-identical to the closed-form definitions above (the oracle);
    the test suite compares the two paths. *)
 
-let of_index = Lapis_query.Query.importance
+let of_index idx api = Lapis_query.Query.importance idx api
 let unweighted_of_index = Lapis_query.Query.unweighted
 let unweighted_elf_of_index = Lapis_query.Query.unweighted_elf
 

@@ -29,6 +29,15 @@
     - {b the Section 3 ranking}, computed once with the oracle's own
       comparator over index-derived values.
 
+    Every structure above also exists {b per phase}: the temporal
+    attribution of {!Lapis_analysis.Phase} gives each package an
+    init-phase and a serving-phase requirement set, and the index
+    carries packed closure classes (with their own universal cores)
+    and survival products for both. A query with [phase = All] walks
+    the exact arrays an unphased build would have produced, so
+    existing results are bit-identical; [Init]/[Serving] swap in the
+    phased classes and nothing else.
+
     The weighted sums replicate the oracle's accumulation order
     (ascending package index, total weight folded over the full row
     array), so results are equal to the closed-form implementations
@@ -57,6 +66,27 @@ type ranked = {
   rk_unweighted_elf : float;
 }
 
+type phase = Init | Serving | All
+
+(* Distinct closure classes: SCCs whose closures are equal share one
+   class, so a query runs one subset test per *distinct* closure
+   (typically fewer than packages), then one gated sweep. Class rows
+   live unwrapped in one flat row-major word array (row [c] at
+   [c * nw]) so the hot loop walks contiguous memory, and [ci_common]
+   holds the intersection of every class — the universal core: a
+   query that misses any core bit can satisfy no class at all, so
+   one word-wise test against the core answers most subsets without
+   touching the class rows. One such index exists per (phase,
+   universe) pair: the full API universe and the syscall-number
+   specialization, for each of All/Init/Serving. *)
+type class_index = {
+  ci_nc : int;  (* distinct closure classes *)
+  ci_nw : int;  (* words per class row *)
+  ci_flat : int array;  (* ci_nc * ci_nw, row-major *)
+  ci_common : int array;  (* ci_nw words: bits required everywhere *)
+  ci_pkg_class : int array;  (* pkg -> class row *)
+}
+
 type t = {
   store : Store.t;
   n : int;
@@ -65,32 +95,42 @@ type t = {
   api_ids : int Api.Tbl.t;  (* interning: api -> dense id *)
   apis : Api.t array;  (* id -> api *)
   survival : float array;  (* id -> prod(1 - p) over dependents *)
+  survival_init : float array;  (* same, over init-phase requirers *)
+  survival_serving : float array;
   dep_count : int array;  (* id -> number of dependent packages *)
   elf_count : int array;  (* id -> packages using it from own ELFs *)
   n_comps : int;  (* SCCs of the dependency graph *)
-  (* Distinct closure classes: SCCs whose closures are equal share one
-     class, so a query runs one subset test per *distinct* closure
-     (typically fewer than packages), then one gated sweep. Class rows
-     live unwrapped in one flat row-major word array (row [c] at
-     [c * nw]) so the hot loop walks contiguous memory, and [*_common]
-     holds the intersection of every class — the universal core: a
-     query that misses any core bit can satisfy no class at all, so
-     one word-wise test against the core answers most subsets without
-     touching the class rows. *)
-  n_req_classes : int;
-  req_nw : int;  (* words per class row, API universe *)
-  class_req_flat : int array;  (* n_req_classes * req_nw *)
-  req_common : int array;  (* req_nw words: bits required everywhere *)
-  pkg_req_class : int array;  (* pkg -> class row *)
-  n_sys_classes : int;
-  sys_nw : int;  (* words per class row, syscall-nr universe *)
-  class_sys_flat : int array;
-  sys_common : int array;
-  pkg_sys_class : int array;
+  req : class_index;  (* API universe, whole footprints *)
+  sys : class_index;  (* syscall-nr universe, whole footprints *)
+  req_init : class_index;
+  sys_init : class_index;
+  req_serving : class_index;
+  sys_serving : class_index;
   max_nr : int;  (* largest syscall nr required by any package *)
   ranking : ranked array;  (* Section 3 order, most important first *)
   den : float;  (* total popcon weight, oracle fold order *)
 }
+
+let req_of t = function
+  | All -> t.req
+  | Init -> t.req_init
+  | Serving -> t.req_serving
+
+let sys_of t = function
+  | All -> t.sys
+  | Init -> t.sys_init
+  | Serving -> t.sys_serving
+
+let phase_to_string = function
+  | Init -> "init"
+  | Serving -> "serving"
+  | All -> "all"
+
+let phase_of_string = function
+  | "init" -> Ok Init
+  | "serving" -> Ok Serving
+  | "all" | "" -> Ok All
+  | s -> Error (Printf.sprintf "unknown phase %S (init|serving|all)" s)
 
 (* ------------------------------------------------------------------ *)
 (* Index construction                                                  *)
@@ -190,7 +230,13 @@ let index ?domains (store : Store.t) : t =
   Array.iter
     (fun (p : Store.pkg_row) ->
       Api.Set.iter (fun a -> ignore (intern a)) p.Store.pr_apis;
-      Api.Set.iter (fun a -> ignore (intern a)) p.Store.pr_apis_elf)
+      Api.Set.iter (fun a -> ignore (intern a)) p.Store.pr_apis_elf;
+      (* Phased sets are subsets of [pr_apis] on pipeline-built stores,
+         so these add no ids there (the dense universe — and with it
+         every unphased structure — is unchanged); hand-built stores
+         may violate the subset invariant and still get interned. *)
+      Api.Set.iter (fun a -> ignore (intern a)) p.Store.pr_init;
+      Api.Set.iter (fun a -> ignore (intern a)) p.Store.pr_serving)
     store.Store.packages;
   let apis = Array.of_list (List.rev !rev_apis) in
   let n_apis = !n_apis in
@@ -222,23 +268,30 @@ let index ?domains (store : Store.t) : t =
         (fun a -> elf_count.(Api.Tbl.find api_ids a) <- elf_count.(Api.Tbl.find api_ids a) + 1)
         p.Store.pr_apis_elf)
     store.Store.packages;
-  (* Direct requirement bitsets, fanned out by package range (each
-     package's bits are independent of every other's). *)
-  let req = Array.make n (Bitset.create 0) in
-  Parmap.map ?domains
-    (fun (lo, hi) ->
-      let rows = Array.make (hi - lo) (Bitset.create 0) in
-      for i = lo to hi - 1 do
-        let bits = Bitset.create n_apis in
+  (* Phased survival products: the same multiply, restricted to the
+     packages whose phase-P requirement set has the API. Requirer
+     lists are built by prepending over ascending package order —
+     descending indexes, the exact shape (and so the exact float fold
+     order) of the store's dependents lists behind [survival]. *)
+  let phased_survival pick =
+    let reqrs : int list array = Array.make n_apis [] in
+    Array.iteri
+      (fun i (p : Store.pkg_row) ->
         Api.Set.iter
-          (fun a -> Bitset.add bits (Api.Tbl.find api_ids a))
-          store.Store.packages.(i).Store.pr_apis;
-        rows.(i - lo) <- bits
-      done;
-      (lo, rows))
-    (ranges n)
-  |> List.iter (fun (lo, rows) -> Array.blit rows 0 req lo (Array.length rows));
-  (* Resolvable dependency edges and the SCC condensation. *)
+          (fun a ->
+            let id = Api.Tbl.find api_ids a in
+            reqrs.(id) <- i :: reqrs.(id))
+          (pick p))
+      store.Store.packages;
+    Array.map
+      (List.fold_left (fun acc i -> acc *. (1.0 -. probs.(i))) 1.0)
+      reqrs
+  in
+  let survival_init = phased_survival (fun p -> p.Store.pr_init) in
+  let survival_serving = phased_survival (fun p -> p.Store.pr_serving) in
+  (* Resolvable dependency edges and the SCC condensation — shared by
+     every phase: temporal attribution changes which APIs a package
+     requires, never which packages it depends on. *)
   let succ =
     Array.map
       (fun (p : Store.pkg_row) ->
@@ -252,38 +305,10 @@ let index ?domains (store : Store.t) : t =
   for i = n - 1 downto 0 do
     members.(comp.(i)) <- i :: members.(comp.(i))
   done;
-  (* Closure per component, successors first (their ids are smaller):
-     a word-wise union of the members' direct bits and the successor
-     components' already-final closures. *)
-  let comp_req = Array.make n_comps (Bitset.create 0) in
-  for c = 0 to n_comps - 1 do
-    let bits = Bitset.create n_apis in
-    List.iter
-      (fun i ->
-        Bitset.union_into ~into:bits req.(i);
-        Array.iter
-          (fun j ->
-            if comp.(j) <> c then
-              Bitset.union_into ~into:bits comp_req.(comp.(j)))
-          succ.(i))
-      members.(c);
-    comp_req.(c) <- bits
-  done;
-  (* Syscall-specialized copies over the number universe. *)
   let sys_nr =
     Array.map (function Api.Syscall nr -> nr | _ -> -1) apis
   in
   let max_nr = Array.fold_left (fun acc nr -> max acc nr) (-1) sys_nr in
-  let comp_sys =
-    Array.map
-      (fun bits ->
-        let nrs = Bitset.create (max_nr + 1) in
-        Bitset.iter
-          (fun id -> if sys_nr.(id) >= 0 then Bitset.add nrs sys_nr.(id))
-          bits;
-        nrs)
-      comp_req
-  in
   (* Collapse equal closures into classes: the per-query subset tests
      then run once per distinct closure instead of once per SCC. *)
   let dedup (bitsets : Bitset.t array) =
@@ -306,10 +331,6 @@ let index ?domains (store : Store.t) : t =
     in
     (Array.of_list (List.rev !distinct), class_of)
   in
-  let class_req, req_class_of_comp = dedup comp_req in
-  let class_sys, sys_class_of_comp = dedup comp_sys in
-  let pkg_req_class = Array.init n (fun i -> req_class_of_comp.(comp.(i))) in
-  let pkg_sys_class = Array.init n (fun i -> sys_class_of_comp.(comp.(i))) in
   (* Flatten class rows and fold their intersection (the universal
      core). With zero classes the core is all-zero, which gates
      nothing — the eval loop then finds no passing class on its own. *)
@@ -333,8 +354,73 @@ let index ?domains (store : Store.t) : t =
       classes;
     (nc, nw, flat, common)
   in
-  let n_req_classes, req_nw, class_req_flat, req_common = flatten class_req in
-  let n_sys_classes, sys_nw, class_sys_flat, sys_common = flatten class_sys in
+  (* One (API-universe, syscall-universe) class-index pair per phase.
+     Direct requirement bitsets come from [pick], fanned out by
+     package range (each package's bits are independent of every
+     other's); closures, dedup and flattening run on them exactly as
+     the unphased build always has — the [All] pair reads [pr_apis]
+     through the same code path, so its arrays are bit-identical to
+     the pre-phase index. *)
+  let build_pair pick =
+    let req = Array.make n (Bitset.create 0) in
+    Parmap.map ?domains
+      (fun (lo, hi) ->
+        let rows = Array.make (hi - lo) (Bitset.create 0) in
+        for i = lo to hi - 1 do
+          let bits = Bitset.create n_apis in
+          Api.Set.iter
+            (fun a -> Bitset.add bits (Api.Tbl.find api_ids a))
+            (pick store.Store.packages.(i));
+          rows.(i - lo) <- bits
+        done;
+        (lo, rows))
+      (ranges n)
+    |> List.iter (fun (lo, rows) -> Array.blit rows 0 req lo (Array.length rows));
+    (* Closure per component, successors first (their ids are smaller):
+       a word-wise union of the members' direct bits and the successor
+       components' already-final closures. *)
+    let comp_req = Array.make n_comps (Bitset.create 0) in
+    for c = 0 to n_comps - 1 do
+      let bits = Bitset.create n_apis in
+      List.iter
+        (fun i ->
+          Bitset.union_into ~into:bits req.(i);
+          Array.iter
+            (fun j ->
+              if comp.(j) <> c then
+                Bitset.union_into ~into:bits comp_req.(comp.(j)))
+            succ.(i))
+        members.(c);
+      comp_req.(c) <- bits
+    done;
+    (* Syscall-specialized copies over the number universe. *)
+    let comp_sys =
+      Array.map
+        (fun bits ->
+          let nrs = Bitset.create (max_nr + 1) in
+          Bitset.iter
+            (fun id -> if sys_nr.(id) >= 0 then Bitset.add nrs sys_nr.(id))
+            bits;
+          nrs)
+        comp_req
+    in
+    let class_req, req_class_of_comp = dedup comp_req in
+    let class_sys, sys_class_of_comp = dedup comp_sys in
+    let mk classes class_of_comp =
+      let nc, nw, flat, common = flatten classes in
+      {
+        ci_nc = nc;
+        ci_nw = nw;
+        ci_flat = flat;
+        ci_common = common;
+        ci_pkg_class = Array.init n (fun i -> class_of_comp.(comp.(i)));
+      }
+    in
+    (mk class_req req_class_of_comp, mk class_sys sys_class_of_comp)
+  in
+  let req_all, sys_all = build_pair (fun p -> p.Store.pr_apis) in
+  let req_init, sys_init = build_pair (fun p -> p.Store.pr_init) in
+  let req_serving, sys_serving = build_pair (fun p -> p.Store.pr_serving) in
   let den = Array.fold_left (fun a p -> a +. p) 0.0 probs in
   (* Section 3 ranking, with the oracle's comparator over
      index-derived values (both bit-identical to the oracle's). *)
@@ -379,19 +465,17 @@ let index ?domains (store : Store.t) : t =
     api_ids;
     apis;
     survival;
+    survival_init;
+    survival_serving;
     dep_count;
     elf_count;
     n_comps;
-    n_req_classes;
-    req_nw;
-    class_req_flat;
-    req_common;
-    pkg_req_class;
-    n_sys_classes;
-    sys_nw;
-    class_sys_flat;
-    sys_common;
-    pkg_sys_class;
+    req = req_all;
+    sys = sys_all;
+    req_init;
+    sys_init;
+    req_serving;
+    sys_serving;
     max_nr;
     ranking;
     den;
@@ -406,12 +490,17 @@ let n_packages t = t.n
 let n_apis t = Array.length t.apis
 let n_components t = t.n_comps
 
-let survival t api =
+let survival_array t = function
+  | All -> t.survival
+  | Init -> t.survival_init
+  | Serving -> t.survival_serving
+
+let survival ?(phase = All) t api =
   match Api.Tbl.find_opt t.api_ids api with
-  | Some id -> t.survival.(id)
+  | Some id -> (survival_array t phase).(id)
   | None -> 1.0
 
-let importance t api = 1.0 -. survival t api
+let importance ?phase t api = 1.0 -. survival ?phase t api
 
 let unweighted t api =
   let k =
@@ -481,9 +570,10 @@ let subset_words (a : int array) (b : int array) =
    [nc * nw] words, [supw] has [nw]). Every call allocates its own
    flags, so evaluation is safe from any number of domains against one
    shared index. *)
-let classes_ok ~nc ~nw ~common (flat : int array) (supw : int array) =
-  if not (subset_words common supw) then None
+let classes_ok ci (supw : int array) =
+  if not (subset_words ci.ci_common supw) then None
   else begin
+    let nc = ci.ci_nc and nw = ci.ci_nw and flat = ci.ci_flat in
     let ok = Array.make (max 1 nc) false in
     let any = ref false in
     for c = 0 to nc - 1 do
@@ -507,41 +597,38 @@ let classes_ok ~nc ~nw ~common (flat : int array) (supw : int array) =
 
 (* The probability sweep in store order — the oracle's exact numerator
    fold (ascending package index over the full row array). *)
-let sweep t (ok : bool array) (pkg_class : int array) =
+let sweep t (ok : bool array) ci =
+  let pkg_class = ci.ci_pkg_class in
   let num = ref 0.0 in
   for i = 0 to t.n - 1 do
     if ok.(pkg_class.(i)) then num := !num +. t.probs.(i)
   done;
   if t.den = 0.0 then 0.0 else !num /. t.den
 
-let eval_pred ?(scope = All_apis) t ~supported =
+let eval_pred ?(scope = All_apis) ?(phase = All) t ~supported =
   Stage.incr "query:eval";
+  let ci = req_of t phase in
   let n_apis = Array.length t.apis in
   let good = Bitset.create n_apis in
   for id = 0 to n_apis - 1 do
     if scoped scope supported t.apis.(id) then Bitset.add good id
   done;
-  match
-    classes_ok ~nc:t.n_req_classes ~nw:t.req_nw ~common:t.req_common
-      t.class_req_flat (Bitset.words good)
-  with
+  match classes_ok ci (Bitset.words good) with
   | None -> 0.0
-  | Some ok -> sweep t ok t.pkg_req_class
+  | Some ok -> sweep t ok ci
 
-let eval_syscalls t nrs =
+let eval_syscalls ?(phase = All) t nrs =
   Stage.incr "query:eval";
+  let ci = sys_of t phase in
   let sup = Bitset.create (t.max_nr + 1) in
   List.iter (fun nr -> if nr >= 0 && nr <= t.max_nr then Bitset.add sup nr) nrs;
-  match
-    classes_ok ~nc:t.n_sys_classes ~nw:t.sys_nw ~common:t.sys_common
-      t.class_sys_flat (Bitset.words sup)
-  with
+  match classes_ok ci (Bitset.words sup) with
   | None -> 0.0
-  | Some ok -> sweep t ok t.pkg_sys_class
+  | Some ok -> sweep t ok ci
 
-let eval_subsets ?domains t subsets =
+let eval_subsets ?domains ?phase t subsets =
   Stage.time "query:eval-subsets" @@ fun () ->
-  Parmap.map ?domains (eval_syscalls t) subsets
+  Parmap.map ?domains (eval_syscalls ?phase t) subsets
 
 (* ------------------------------------------------------------------ *)
 (* Sharded evaluation                                                  *)
@@ -562,22 +649,21 @@ let shard_ranges n shards =
   in
   go 0 []
 
-let eval_syscalls_sharded ?domains ?(shards = 4) t nrs =
+let eval_syscalls_sharded ?domains ?(shards = 4) ?(phase = All) t nrs =
   Stage.incr "query:eval-sharded";
+  let ci = sys_of t phase in
   let sup = Bitset.create (t.max_nr + 1) in
   List.iter (fun nr -> if nr >= 0 && nr <= t.max_nr then Bitset.add sup nr) nrs;
-  match
-    classes_ok ~nc:t.n_sys_classes ~nw:t.sys_nw ~common:t.sys_common
-      t.class_sys_flat (Bitset.words sup)
-  with
+  match classes_ok ci (Bitset.words sup) with
   | None -> 0.0
   | Some ok ->
+    let pkg_class = ci.ci_pkg_class in
     let partials =
       Parmap.map ?domains
         (fun (lo, hi) ->
           let num = ref 0.0 in
           for i = lo to hi - 1 do
-            if ok.(t.pkg_sys_class.(i)) then num := !num +. t.probs.(i)
+            if ok.(pkg_class.(i)) then num := !num +. t.probs.(i)
           done;
           !num)
         (shard_ranges t.n shards)

@@ -13,12 +13,33 @@
     a deterministic {!Lapis_perf.Parmap} fan-out, and fully immutable
     afterwards: evaluation allocates its own scratch per call, so one
     index may be queried concurrently from any number of domains —
-    which is what the TCP worker pool in {!Server} does. *)
+    which is what the TCP worker pool in {!Server} does.
+
+    Every metric takes an optional {!phase}: [Init] and [Serving]
+    evaluate against the temporal requirement sets attributed by
+    {!Lapis_analysis.Phase} (packed into their own closure classes and
+    survival products at build time), while the default [All] walks
+    the exact structures an unphased build produces — so existing
+    callers see bit-identical results. *)
 
 open Lapis_apidb
 
 type t
 (** The immutable index. Safe to share across domains. *)
+
+type phase = Init | Serving | All
+(** Which temporal requirement set a query evaluates against: the
+    APIs packages need during initialization ([Init]), while serving
+    ([Serving]), or their union — the whole footprint ([All], the
+    default everywhere). Since [init ∪ serving = total] per package,
+    phase-filtered completeness is always [>=] the unfiltered value:
+    the phased requirement sets are subsets of the total. *)
+
+val phase_to_string : phase -> string
+(** ["init"], ["serving"], ["all"] — the serve-protocol / CLI names. *)
+
+val phase_of_string : string -> (phase, string) result
+(** Inverse of {!phase_to_string}; [""] means [All]. *)
 
 type ranked = {
   rk_nr : int;
@@ -42,11 +63,13 @@ val n_components : t -> int
 (** Strongly connected components of the dependency graph — the
     number of subset tests one completeness query costs. *)
 
-val importance : t -> Api.t -> float
+val importance : ?phase:phase -> t -> Api.t -> float
 (** Appendix A.1 importance, O(1): [1 - prod(1 - p)] over dependent
-    packages. Zero for APIs no package uses. *)
+    packages. Zero for APIs no package uses. With [~phase], the
+    product runs over the packages whose phase requirement set has
+    the API — "how much breaks {e in this phase} without it". *)
 
-val survival : t -> Api.t -> float
+val survival : ?phase:phase -> t -> Api.t -> float
 (** The stored product [prod(1 - p)] itself ([1.0] for unused APIs). *)
 
 val unweighted : t -> Api.t -> float
@@ -70,23 +93,28 @@ type scope = Syscalls_only | All_apis
 (** Mirrors {!Lapis_metrics.Completeness.scope} (the metrics layer
     sits above this one, so the type is re-declared here). *)
 
-val eval_pred : ?scope:scope -> t -> supported:(Api.t -> bool) -> float
+val eval_pred :
+  ?scope:scope -> ?phase:phase -> t -> supported:(Api.t -> bool) -> float
 (** Weighted completeness of the support predicate, dependency rule
     included — one packed subset test per component. Default scope
-    [All_apis]. *)
+    [All_apis], default phase [All]. *)
 
-val eval_syscalls : t -> int list -> float
+val eval_syscalls : ?phase:phase -> t -> int list -> float
 (** Weighted completeness of a syscall-number set
-    ([scope = Syscalls_only]), on the specialized hot path. Equal to
-    {!Lapis_metrics.Completeness.of_syscall_set}, bit for bit. *)
+    ([scope = Syscalls_only]), on the specialized hot path. With the
+    default phase, equal to
+    {!Lapis_metrics.Completeness.of_syscall_set}, bit for bit; with
+    [Init]/[Serving], a package counts as supported when its
+    phase-restricted dependency closure fits the set. *)
 
-val eval_subsets : ?domains:int -> t -> int list list -> float list
+val eval_subsets : ?domains:int -> ?phase:phase -> t -> int list list -> float list
 (** Batch {!eval_syscalls}, fanned out over domains with
     {!Lapis_perf.Parmap} (each subset evaluates whole on one domain,
     so every element is still bit-identical to the oracle). Timed
     under ["query:eval-subsets"]. *)
 
-val eval_syscalls_sharded : ?domains:int -> ?shards:int -> t -> int list -> float
+val eval_syscalls_sharded :
+  ?domains:int -> ?shards:int -> ?phase:phase -> t -> int list -> float
 (** {!eval_syscalls} with the probability sweep sharded into
     [shards] contiguous package ranges (default 4) evaluated in
     parallel and merged in range order. Regrouping the float sums

@@ -6,7 +6,11 @@
 
     Requests: [{"op": "...", ...}] with an optional ["id"] echoed back
     verbatim for correlation. Responses: [{"ok": true, ...}] or
-    [{"ok": false, "error": {"kind": ..., "msg": ...}}].
+    [{"ok": false, "error": {"kind": ..., "msg": ...}}]. The
+    ["importance"] and ["completeness"] ops accept an optional
+    ["phase"] field (["init"] | ["serving"] | ["all"], default
+    ["all"]) selecting the temporal requirement sets the query
+    evaluates against; the answering phase is echoed back.
 
     Every request increments the ["serve:requests"] counter and
     accumulates wall time under ["serve:<op>"] stages, which is what
@@ -39,6 +43,18 @@ let api_field request =
        (match Query.api_of_string s with
         | Ok api -> Ok api
         | Error msg -> Error (err "bad-api" msg)))
+
+(* Optional "phase" field; absent or "" means All. *)
+let phase_field request =
+  match Json.member "phase" request with
+  | None -> Ok Query.All
+  | Some j ->
+    (match Json.to_str j with
+     | None -> Error (err "bad-request" "\"phase\" must be a string")
+     | Some s ->
+       (match Query.phase_of_string s with
+        | Ok ph -> Ok ph
+        | Error msg -> Error (err "bad-phase" msg)))
 
 let int_list_field request key =
   match Json.member key request with
@@ -96,21 +112,31 @@ let handle_request idx (request : Json.t) : Json.t =
           (match api_field request with
            | Error e -> e
            | Ok api ->
-             ok
-               [
-                 ("api", Json.Str (Query.api_to_string api));
-                 ("importance", Json.Num (Query.importance idx api));
-                 ("unweighted", Json.Num (Query.unweighted idx api));
-               ])
+             (match phase_field request with
+              | Error e -> e
+              | Ok phase ->
+                ok
+                  [
+                    ("api", Json.Str (Query.api_to_string api));
+                    ("phase", Json.Str (Query.phase_to_string phase));
+                    ( "importance",
+                      Json.Num (Query.importance ~phase idx api) );
+                    ("unweighted", Json.Num (Query.unweighted idx api));
+                  ]))
         | "completeness" ->
           (match int_list_field request "syscalls" with
            | Error e -> e
            | Ok nrs ->
-             ok
-               [
-                 ("n_syscalls", Json.Num (float_of_int (List.length nrs)));
-                 ("completeness", Json.Num (Query.eval_syscalls idx nrs));
-               ])
+             (match phase_field request with
+              | Error e -> e
+              | Ok phase ->
+                ok
+                  [
+                    ("n_syscalls", Json.Num (float_of_int (List.length nrs)));
+                    ("phase", Json.Str (Query.phase_to_string phase));
+                    ( "completeness",
+                      Json.Num (Query.eval_syscalls ~phase idx nrs) );
+                  ]))
         | "top" ->
           let n =
             match Json.member "n" request with

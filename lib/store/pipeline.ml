@@ -166,9 +166,15 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
   let bins = ref [] in
   let script_needs = Hashtbl.create 64 in  (* pkg -> interp pkgs *)
   let elf_apis = Hashtbl.create 256 in  (* pkg -> Api.Set from executables *)
+  (* phased slices of [elf_apis]: per-binary temporal attribution
+     unioned per package; invariant init ∪ serving == elf_apis *)
+  let elf_init = Hashtbl.create 256 in
+  let elf_serving = Hashtbl.create 256 in
   List.iter
     (fun (pkg : P.t) ->
       let apis = ref Api.Set.empty in
+      let apis_init = ref Api.Set.empty in
+      let apis_serving = ref Api.Set.empty in
       List.iter
         (fun (f : P.file) ->
           let cls = Lapis_elf.Classify.classify f.P.bytes in
@@ -181,7 +187,13 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
                  Stage.time "resolve" (fun () ->
                      Resolve.binary_footprint world bin)
                in
+               let init, serving =
+                 Stage.time "phase:attribute" (fun () ->
+                     Resolve.phased_footprint world bin ~total:resolved)
+               in
                apis := Api.Set.union !apis resolved.Footprint.apis;
+               apis_init := Api.Set.union !apis_init init;
+               apis_serving := Api.Set.union !apis_serving serving;
                bins :=
                  {
                    Store.br_path = f.P.path;
@@ -190,6 +202,8 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
                    br_digest = Digest.string f.P.bytes;
                    br_direct = Resolve.direct_footprint bin;
                    br_resolved = resolved;
+                   br_init = init;
+                   br_serving = serving;
                  }
                  :: !bins)
           | Lapis_elf.Classify.Elf_shared_lib ->
@@ -210,6 +224,10 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
                    br_digest = Digest.string f.P.bytes;
                    br_direct = Resolve.direct_footprint bin;
                    br_resolved = resolved;
+                   (* a library has no phase of its own: its items are
+                      attributed by the phase of its callers *)
+                   br_init = resolved.Footprint.apis;
+                   br_serving = resolved.Footprint.apis;
                  }
                  :: !bins)
           | Lapis_elf.Classify.Script interp ->
@@ -233,6 +251,8 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
                 br_digest = Digest.string f.P.bytes;
                 br_direct = Footprint.empty;
                 br_resolved = Footprint.empty;
+                br_init = Api.Set.empty;
+                br_serving = Api.Set.empty;
               }
               :: !bins
           | Lapis_elf.Classify.Data ->
@@ -247,7 +267,9 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
               | Ok _ -> ()
             end)
         pkg.P.files;
-      Hashtbl.replace elf_apis pkg.P.name !apis)
+      Hashtbl.replace elf_apis pkg.P.name !apis;
+      Hashtbl.replace elf_init pkg.P.name !apis_init;
+      Hashtbl.replace elf_serving pkg.P.name !apis_serving)
     dist.P.packages;
   (* runtime binaries belong to libc6, for direct attribution *)
   List.iter
@@ -263,6 +285,8 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
              | None -> Digest.string soname);
           br_direct = Resolve.direct_footprint bin;
           br_resolved = Footprint.empty;
+          br_init = Api.Set.empty;
+          br_serving = Api.Set.empty;
         }
         :: !bins)
     runtime_bins;
@@ -289,6 +313,15 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
   let pkg_rows =
     List.map
       (fun (pkg : P.t) ->
+        let get tbl =
+          Option.value ~default:Api.Set.empty
+            (Hashtbl.find_opt tbl pkg.P.name)
+        in
+        let apis = get final_apis in
+        let apis_elf = get elf_apis in
+        (* script-inherited APIs have no call sites to attribute: they
+           widen into both phases, preserving init ∪ serving == apis *)
+        let inherited = Api.Set.diff apis apis_elf in
         {
           Store.pr_name = pkg.P.name;
           pr_installs = pkg.P.installs;
@@ -296,12 +329,10 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
             float_of_int pkg.P.installs /. float_of_int dist.P.total_installs;
           pr_deps = pkg.P.deps;
           pr_essential = pkg.P.essential;
-          pr_apis =
-            Option.value ~default:Api.Set.empty
-              (Hashtbl.find_opt final_apis pkg.P.name);
-          pr_apis_elf =
-            Option.value ~default:Api.Set.empty
-              (Hashtbl.find_opt elf_apis pkg.P.name);
+          pr_apis = apis;
+          pr_apis_elf = apis_elf;
+          pr_init = Api.Set.union (get elf_init) inherited;
+          pr_serving = Api.Set.union (get elf_serving) inherited;
         })
       dist.P.packages
   in
@@ -322,9 +353,6 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
     List.sort compare
       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) rejects []);
   { store; world; dist }
-
-let run_legacy ?(mode = Binary.Dataflow) ?(cache = true) ?domains dist =
-  run ~config:{ default with mode; cache; domains } dist
 
 let quarantined (a : analyzed) =
   List.fold_left

@@ -50,16 +50,6 @@ val run : ?config:config -> Lapis_distro.Package.distribution -> analyzed
     ["reject:<kind>"] Stage counters the bench JSON reports). A clean
     corpus reports zero rejects. *)
 
-val run_legacy :
-  ?mode:Lapis_analysis.Binary.mode ->
-  ?cache:bool ->
-  ?domains:int ->
-  Lapis_distro.Package.distribution ->
-  analyzed
-  [@@ocaml.deprecated "use Pipeline.run ?config with a Pipeline.config record"]
-(** Optional-argument shim for pre-config callers; forwards to
-    {!run}. New code must build a {!config} instead. *)
-
 val quarantined : analyzed -> int
 (** Total binaries the run rejected and skipped, summed over
     [world.stats.rejects]. Zero on a clean corpus. *)

@@ -28,6 +28,14 @@
     function of the rows, so decode → re-encode reproduces the file
     byte for byte. Format 1 files (element-wise sets) still load.
 
+    Format 3 appends the {b temporal attribution} to every row: the
+    init-phase and serving-phase API sets of each package
+    ([pr_init]/[pr_serving]) and binary ([br_init]/[br_serving]),
+    encoded as dictionary bitsets like every other set. Format 1 and
+    2 files still load, with both phases defaulting to the row's full
+    footprint — the correct conservative reading for a snapshot that
+    predates the phase analysis.
+
     Decoding never raises: stale, truncated or corrupted files come
     back as a structured {!error}, following the taxonomy discipline
     of {!Lapis_elf.Reader}. The payload digest makes corruption
@@ -42,7 +50,7 @@ module Footprint = Lapis_analysis.Footprint
 module Classify = Lapis_elf.Classify
 
 let magic = "LAPISNAP"
-let format_version = 2
+let format_version = 3
 let min_version = 1  (* oldest format this build still reads *)
 let header_len = 8 + 4 + 16 + 8
 
@@ -202,12 +210,16 @@ let build_dict (packages : Store.pkg_row list) (bins : Store.bin_row list) :
   List.iter
     (fun (p : Store.pkg_row) ->
       set p.Store.pr_apis;
-      set p.Store.pr_apis_elf)
+      set p.Store.pr_apis_elf;
+      set p.Store.pr_init;
+      set p.Store.pr_serving)
     packages;
   List.iter
     (fun (r : Store.bin_row) ->
       set r.Store.br_direct.Footprint.apis;
-      set r.Store.br_resolved.Footprint.apis)
+      set r.Store.br_resolved.Footprint.apis;
+      set r.Store.br_init;
+      set r.Store.br_serving)
     bins;
   { d_apis = Array.of_list (List.rev !rev); d_ids }
 
@@ -255,7 +267,9 @@ let w_pkg_row dict b (p : Store.pkg_row) =
   w_list b w_str p.Store.pr_deps;
   w_bool b p.Store.pr_essential;
   w_api_set_packed b dict p.Store.pr_apis;
-  w_api_set_packed b dict p.Store.pr_apis_elf
+  w_api_set_packed b dict p.Store.pr_apis_elf;
+  w_api_set_packed b dict p.Store.pr_init;
+  w_api_set_packed b dict p.Store.pr_serving
 
 let w_bin_row dict b (r : Store.bin_row) =
   w_str b r.Store.br_path;
@@ -263,7 +277,9 @@ let w_bin_row dict b (r : Store.bin_row) =
   w_class b r.Store.br_class;
   w_digest b r.Store.br_digest;
   w_footprint b dict r.Store.br_direct;
-  w_footprint b dict r.Store.br_resolved
+  w_footprint b dict r.Store.br_resolved;
+  w_api_set_packed b dict r.Store.br_init;
+  w_api_set_packed b dict r.Store.br_serving
 
 let to_string (t : t) : string =
   let b = Buffer.create (1 lsl 20) in
@@ -415,7 +431,9 @@ let r_class c =
   | 4 -> Classify.Data
   | t -> raise (Fail (Corrupt (Printf.sprintf "unknown class tag %d" t)))
 
-let r_pkg_row read_set c : Store.pkg_row =
+(* Pre-format-3 rows carry no temporal attribution: both phases
+   default to the row's full footprint, the conservative reading. *)
+let r_pkg_row ~phased read_set c : Store.pkg_row =
   let pr_name = r_str c "pkg.name" in
   let pr_installs = r_int c "pkg.installs" in
   let pr_prob = r_float c "pkg.prob" in
@@ -423,17 +441,26 @@ let r_pkg_row read_set c : Store.pkg_row =
   let pr_essential = r_bool c "pkg.essential" in
   let pr_apis = read_set c in
   let pr_apis_elf = read_set c in
+  let pr_init = if phased then read_set c else pr_apis in
+  let pr_serving = if phased then read_set c else pr_apis in
   { Store.pr_name; pr_installs; pr_prob; pr_deps; pr_essential; pr_apis;
-    pr_apis_elf }
+    pr_apis_elf; pr_init; pr_serving }
 
-let r_bin_row read_set c : Store.bin_row =
+let r_bin_row ~phased read_set c : Store.bin_row =
   let br_path = r_str c "bin.path" in
   let br_package = r_str c "bin.package" in
   let br_class = r_class c in
   let br_digest = r_digest c "bin.digest" in
   let br_direct = r_footprint read_set c in
   let br_resolved = r_footprint read_set c in
-  { Store.br_path; br_package; br_class; br_digest; br_direct; br_resolved }
+  let br_init =
+    if phased then read_set c else br_resolved.Footprint.apis
+  in
+  let br_serving =
+    if phased then read_set c else br_resolved.Footprint.apis
+  in
+  { Store.br_path; br_package; br_class; br_digest; br_direct; br_resolved;
+    br_init; br_serving }
 
 let of_string (s : string) : (t, error) result =
   try
@@ -470,8 +497,9 @@ let of_string (s : string) : (t, error) result =
       end
       else r_api_set
     in
-    let packages = r_list c (r_pkg_row read_set) "packages" in
-    let bins = r_list c (r_bin_row read_set) "binaries" in
+    let phased = version >= 3 in
+    let packages = r_list c (r_pkg_row ~phased read_set) "packages" in
+    let bins = r_list c (r_bin_row ~phased read_set) "binaries" in
     let rejects =
       r_list c
         (fun c ->

@@ -13,6 +13,11 @@ type bin_row = {
   br_digest : Digest.t;  (** MD5 of the file bytes, the snapshot-lookup key *)
   br_direct : Footprint.t;  (** intra-binary footprint *)
   br_resolved : Footprint.t;  (** after cross-library closure *)
+  br_init : Api.Set.t;  (** APIs requestable during initialization *)
+  br_serving : Api.Set.t;
+      (** APIs requestable while serving; [br_init] and [br_serving]
+          partition [br_resolved.apis] with overlap — their union is
+          exactly it, and phase-agnostic binaries carry it in both *)
 }
 
 type pkg_row = {
@@ -23,6 +28,10 @@ type pkg_row = {
   pr_essential : bool;
   pr_apis : Api.Set.t;  (** package footprint incl. script inheritance *)
   pr_apis_elf : Api.Set.t;  (** footprint from its own ELF executables only *)
+  pr_init : Api.Set.t;  (** init-phase slice of [pr_apis] *)
+  pr_serving : Api.Set.t;
+      (** serving-phase slice of [pr_apis]; the union of the two is
+          exactly [pr_apis] (script-inherited APIs count as both) *)
 }
 
 type t = {

@@ -75,6 +75,10 @@ let all : t list =
       render = needs_corpus (fun env -> Tracer.render (Tracer.run env)) };
     { id = "precision"; title = "Precision audit: linear vs dataflow";
       render = needs_corpus (fun env -> Precision.render (Precision.run env)) };
+    { id = "phase-audit"; title = "Phase audit: temporal attribution";
+      render = needs_corpus (fun env -> Phases.render_audit (Phases.audit env)) };
+    { id = "phase-importance"; title = "Importance/completeness by phase";
+      render = (fun env -> Phases.render_importance (Phases.importance env)) };
     { id = "ablations"; title = "Ablations";
       render = Ablations.render_all } ]
 

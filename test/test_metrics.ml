@@ -18,6 +18,8 @@ let pkg ?(deps = []) ?(essential = false) name prob apis =
     pr_essential = essential;
     pr_apis = apiset apis;
     pr_apis_elf = apiset apis;
+    pr_init = apiset apis;
+    pr_serving = apiset apis;
   }
 
 let toy_store () =

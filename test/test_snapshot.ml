@@ -106,6 +106,10 @@ let gen_pkg i =
   QCheck2.Gen.(
     let* apis = list_size (int_range 0 12) gen_api in
     let* elf_apis = list_size (int_range 0 6) gen_api in
+    (* phased sets drawn independently: the codec must intern and
+       round-trip them even when they are not subsets of pr_apis *)
+    let* init_apis = list_size (int_range 0 8) gen_api in
+    let* serving_apis = list_size (int_range 0 8) gen_api in
     let* prob = float_range 0.0 1.0 in
     let* essential = bool in
     let* dep = int_range 0 30 in
@@ -121,6 +125,8 @@ let gen_pkg i =
         pr_essential = essential;
         pr_apis = apiset apis;
         pr_apis_elf = apiset elf_apis;
+        pr_init = apiset init_apis;
+        pr_serving = apiset serving_apis;
       })
 
 let gen_store =
@@ -211,6 +217,8 @@ let test_corruption_never_raises () =
             pr_essential = false;
             pr_apis = Api.Set.singleton (Api.Syscall 0);
             pr_apis_elf = Api.Set.empty;
+            pr_init = Api.Set.singleton (Api.Syscall 0);
+            pr_serving = Api.Set.empty;
           } ]
   in
   let snap =
