@@ -7,20 +7,28 @@
    hang proxy — a pathological input that stalls the analyzer shows
    up here even though each case "terminates").
 
+   A second campaign drives seeded mutations of a format-4 index
+   image through Query.of_image with the same contract: structured
+   errors or a working index, never a crash. [--image-cases 0]
+   skips it.
+
    Usage:
      dune exec bench/fuzz.exe -- [--seed N] [--cases N] [--packages N]
-                                 [--no-trace] [--max-seconds S] *)
+                                 [--image-cases N] [--no-trace]
+                                 [--max-seconds S] *)
 
 module H = Core.Fuzz.Harness
 
 let usage () =
   prerr_endline
     "usage: bench/fuzz.exe [--seed N] [--cases N] [--packages N] \
-     [--no-trace] [--max-seconds S]";
+     [--image-cases N] [--no-trace] [--max-seconds S]";
   exit 2
 
 let parse_args () =
-  let cfg = ref H.default_config and max_seconds = ref None in
+  let cfg = ref H.default_config
+  and image_cases = ref 1_000
+  and max_seconds = ref None in
   let pos_int name n k =
     match int_of_string_opt n with
     | Some v when v > 0 -> k v
@@ -44,13 +52,22 @@ let parse_args () =
       pos_int "--packages" n (fun v ->
           cfg := { !cfg with H.base_packages = v });
       go rest
+    | "--image-cases" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some v when v >= 0 -> image_cases := v
+       | Some _ | None ->
+         Printf.eprintf
+           "fuzz: --image-cases expects a non-negative integer, got %S\n" n;
+         usage ());
+      go rest
     | "--no-trace" :: rest ->
       cfg := { !cfg with H.trace = false };
       go rest
     | "--max-seconds" :: n :: rest ->
       pos_int "--max-seconds" n (fun v -> max_seconds := Some v);
       go rest
-    | [ ("--seed" | "--cases" | "--packages" | "--max-seconds") ] ->
+    | [ ("--seed" | "--cases" | "--packages" | "--image-cases"
+        | "--max-seconds") ] ->
       prerr_endline "fuzz: missing argument";
       usage ()
     | arg :: _ ->
@@ -58,11 +75,11 @@ let parse_args () =
       usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!cfg, !max_seconds)
+  (!cfg, !image_cases, !max_seconds)
 
 let () =
   Printexc.record_backtrace true;
-  let cfg, max_seconds = parse_args () in
+  let cfg, image_cases, max_seconds = parse_args () in
   Printf.printf
     "Fuzzing the ingestion path: %d cases over a %d-package corpus \
      (seed %d, replay with --seed %d).\n%!"
@@ -78,6 +95,21 @@ let () =
       (List.length report.H.r_crashes)
       report.H.r_seed;
     failed := true
+  end;
+  if image_cases > 0 then begin
+    Printf.printf
+      "Fuzzing the index-image loader: %d cases (seed %d).\n%!" image_cases
+      cfg.H.seed;
+    let ireport = H.run_images ~config:{ cfg with H.cases = image_cases } () in
+    Fmt.pr "%a" H.pp_image_report ireport;
+    if ireport.H.ii_crashes <> [] then begin
+      Printf.eprintf
+        "fuzz: FAIL: %d uncaught image-loader crash(es); replay with seed \
+         %d\n"
+        (List.length ireport.H.ii_crashes)
+        ireport.H.ii_seed;
+      failed := true
+    end
   end;
   (match max_seconds with
    | Some budget when wall > float_of_int budget ->

@@ -32,6 +32,11 @@ type args = {
   queries : int;
   snapshot : string option;
   min_speedup : float option;
+  cold_start : bool;
+  image : string option;
+  replicas : int;
+  min_cold_speedup : float option;
+  max_cold_seconds : float option;
 }
 
 let usage () =
@@ -39,7 +44,9 @@ let usage () =
     "usage: bench/main.exe [EXPERIMENT...] [--no-micro] [--packages N] \
      [--json] [--check-against FILE]\n\
     \       bench/main.exe --query-bench [--queries N] [--snapshot FILE] \
-     [--min-speedup X] [--packages N]";
+     [--min-speedup X] [--packages N]\n\
+    \       bench/main.exe --query-bench --cold-start-bench [--image FILE] \
+     [--replicas N] [--min-cold-speedup X] [--max-cold-seconds S]";
   exit 2
 
 let parse_args () =
@@ -51,7 +58,12 @@ let parse_args () =
   and query_bench = ref false
   and queries = ref 1000
   and snapshot = ref None
-  and min_speedup = ref None in
+  and min_speedup = ref None
+  and cold_start = ref false
+  and image = ref None
+  and replicas = ref 4
+  and min_cold_speedup = ref None
+  and max_cold_seconds = ref None in
   let rec go = function
     | [] -> ()
     | "--no-micro" :: rest ->
@@ -108,6 +120,48 @@ let parse_args () =
     | [ "--min-speedup" ] ->
       prerr_endline "bench: --min-speedup expects an argument";
       usage ()
+    | "--cold-start-bench" :: rest ->
+      cold_start := true;
+      go rest
+    | "--image" :: file :: rest ->
+      image := Some file;
+      go rest
+    | [ "--image" ] ->
+      prerr_endline "bench: --image expects a file argument";
+      usage ()
+    | "--replicas" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some v when v > 0 -> replicas := v
+       | Some _ | None ->
+         Printf.eprintf
+           "bench: --replicas expects a positive integer, got %S\n" n;
+         usage ());
+      go rest
+    | [ "--replicas" ] ->
+      prerr_endline "bench: --replicas expects an argument";
+      usage ()
+    | "--min-cold-speedup" :: x :: rest ->
+      (match float_of_string_opt x with
+       | Some v when v > 0.0 -> min_cold_speedup := Some v
+       | Some _ | None ->
+         Printf.eprintf
+           "bench: --min-cold-speedup expects a positive number, got %S\n" x;
+         usage ());
+      go rest
+    | [ "--min-cold-speedup" ] ->
+      prerr_endline "bench: --min-cold-speedup expects an argument";
+      usage ()
+    | "--max-cold-seconds" :: x :: rest ->
+      (match float_of_string_opt x with
+       | Some v when v > 0.0 -> max_cold_seconds := Some v
+       | Some _ | None ->
+         Printf.eprintf
+           "bench: --max-cold-seconds expects a positive number, got %S\n" x;
+         usage ());
+      go rest
+    | [ "--max-cold-seconds" ] ->
+      prerr_endline "bench: --max-cold-seconds expects an argument";
+      usage ()
     | id :: rest ->
       if String.length id > 1 && id.[0] = '-' then begin
         Printf.eprintf "bench: unknown option %s\n" id;
@@ -127,6 +181,11 @@ let parse_args () =
     queries = !queries;
     snapshot = !snapshot;
     min_speedup = !min_speedup;
+    cold_start = !cold_start;
+    image = !image;
+    replicas = !replicas;
+    min_cold_speedup = !min_cold_speedup;
+    max_cold_seconds = !max_cold_seconds;
   }
 
 let count_loc () =
@@ -396,19 +455,82 @@ let check_against ~stage_total_now ~quarantined path =
    1e-12, not "a few ulp per package"), and throughput plus speedup go
    into BENCH_QUERY.json. *)
 
-(* Identity stamps: the git describe of the working tree (so the
+(* Identity stamps: the git commit of the working tree (so the
    BENCH_* trajectory is comparable across PRs) and the snapshot
-   source_key of the corpus the numbers were measured on. *)
-let git_describe () =
+   source_key of the corpus the numbers were measured on.
+
+   Re-stamped BENCH artifacts themselves (BENCH_*.json in the repo
+   root) do not count as dirt — the whole point of a bench run is to
+   rewrite them — but any other modification taints the stamp with
+   "-dirty" and a loud warning, because a "-dirty" hash is
+   unreproducible: nobody can check out the code the numbers came
+   from. *)
+let run_git argv =
+  let out, inp = Unix.pipe ~cloexec:false () in
   match
-    let ic =
-      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid =
+      Unix.create_process "git" (Array.of_list ("git" :: argv)) Unix.stdin inp
+        null
     in
-    let line = try input_line ic with End_of_file -> "" in
-    (Unix.close_process_in ic, line)
+    Unix.close null;
+    Unix.close inp;
+    let ic = Unix.in_channel_of_descr out in
+    let b = Buffer.create 256 in
+    (try
+       while true do
+         Buffer.add_channel b ic 1
+       done
+     with End_of_file -> ());
+    close_in ic;
+    (snd (Unix.waitpid [] pid), Buffer.contents b)
   with
-  | Unix.WEXITED 0, line when line <> "" -> line
-  | _ | (exception _) -> "unknown"
+  | Unix.WEXITED 0, s -> Some s
+  | _ -> None
+  | exception _ ->
+    (try Unix.close inp with Unix.Unix_error _ -> ());
+    (try Unix.close out with Unix.Unix_error _ -> ());
+    None
+
+let is_bench_artifact path =
+  let base = Filename.basename path in
+  String.length base > 6
+  && String.sub base 0 6 = "BENCH_"
+  && Filename.check_suffix base ".json"
+
+let git_stamp () =
+  match run_git [ "rev-parse"; "--short"; "HEAD" ] with
+  | None -> "unknown"
+  | Some head ->
+    let head = String.trim head in
+    let dirt =
+      match run_git [ "status"; "--porcelain" ] with
+      | None -> [ "(git status failed)" ]
+      | Some status ->
+        String.split_on_char '\n' status
+        |> List.filter_map (fun line ->
+               if String.length line < 4 then None
+               else
+                 let path = String.sub line 3 (String.length line - 3) in
+                 (* "R old -> new" lines: judge the destination. *)
+                 let path =
+                   match String.index_opt path '>' with
+                   | Some i when i > 0 && path.[i - 1] = '-' ->
+                     String.trim
+                       (String.sub path (i + 1) (String.length path - i - 1))
+                   | _ -> path
+                 in
+                 if is_bench_artifact path then None else Some path)
+    in
+    (match dirt with
+     | [] -> head
+     | paths ->
+       Printf.eprintf
+         "bench: WARNING: stamping a dirty tree (%s-dirty): %d modified \
+          path(s) beyond BENCH_*.json (e.g. %s); the recorded numbers \
+          cannot be attributed to a commit\n%!"
+         head (List.length paths) (List.hd paths);
+       head ^ "-dirty")
 
 (* Nearest-rank percentile over an ascending array. *)
 let percentile sorted p =
@@ -419,8 +541,28 @@ let percentile sorted p =
     sorted.(min (n - 1) (max 0 (rank - 1)))
   end
 
+(* Results of the cold-start comparison: open()-to-first-answer for
+   the decode-and-rebuild path vs the mmap-the-image path, plus how
+   much resident memory each extra replica of a mapped image costs. *)
+type cold_results = {
+  cr_image_bytes : int;
+  cr_decode_s : float;
+  cr_map_s : float;
+  cr_speedup : float;
+  cr_max_abs_diff : float;
+  cr_replicas : int;
+  cr_replica_rss_kb : float;
+}
+
+let stage_seconds names =
+  let module S = Core.Perf.Stage in
+  List.fold_left
+    (fun acc (l : S.line) ->
+      if List.mem l.S.l_name names then acc +. l.S.l_seconds else acc)
+    0.0 (S.report ())
+
 let write_query_json ~packages ~queries ~indexed_s ~oracle_s ~speedup
-    ~max_abs_diff ~latencies_us ~batch_s ~source_key path =
+    ~max_abs_diff ~latencies_us ~batch_s ~cold ~source_key path =
   let module S = Core.Perf.Stage in
   (* Temporal-attribution cost next to the numbers it buys: the
      "phase:attribute" stage (per-binary split into init/serving) and
@@ -443,10 +585,12 @@ let write_query_json ~packages ~queries ~indexed_s ~oracle_s ~speedup
   let indexed_qps = float_of_int queries /. indexed_s in
   let batch_qps = float_of_int queries /. Float.max batch_s 1e-9 in
   pf "{\n";
-  pf "  \"git\": \"%s\",\n" (json_escape (git_describe ()));
+  pf "  \"git\": \"%s\",\n" (json_escape (git_stamp ()));
   pf "  \"source_key\": \"%s\",\n" (json_escape source_key);
   pf "  \"packages\": %d,\n" packages;
   pf "  \"queries\": %d,\n" queries;
+  pf "  \"load_s\": %.6f,\n" (stage_seconds [ "snapshot-load"; "image-load" ]);
+  pf "  \"index_build_s\": %.6f,\n" (stage_seconds [ "query:index-build" ]);
   pf "  \"indexed_s\": %.6f,\n" indexed_s;
   pf "  \"oracle_s\": %.6f,\n" oracle_s;
   pf "  \"indexed_qps\": %.1f,\n" indexed_qps;
@@ -470,10 +614,230 @@ let write_query_json ~packages ~queries ~indexed_s ~oracle_s ~speedup
            (json_escape name) v)
        items;
      pf "\n  ],\n");
+  (match cold with
+   | None -> ()
+   | Some c ->
+     pf "  \"image_bytes\": %d,\n" c.cr_image_bytes;
+     pf "  \"cold_decode_s\": %.6f,\n" c.cr_decode_s;
+     pf "  \"cold_map_s\": %.6f,\n" c.cr_map_s;
+     pf "  \"cold_speedup\": %.1f,\n" c.cr_speedup;
+     pf "  \"cold_max_abs_diff\": %.3e,\n" c.cr_max_abs_diff;
+     pf "  \"replicas\": %d,\n" c.cr_replicas;
+     pf "  \"replica_rss_kb\": %.1f,\n" c.cr_replica_rss_kb);
   pf "  \"max_abs_diff\": %.3e\n" max_abs_diff;
   pf "}\n";
   close_out oc;
   Printf.printf "Wrote %s\n%!" path
+
+(* --- cold-start bench ---------------------------------------------
+
+   What the format-4 image buys: time from open(2) to the first
+   answered query. The decode path loads the row snapshot, rebuilds
+   the index in memory and answers once; the map path mmaps the image
+   and answers once. Each path runs three times and the best run
+   counts, so page-cache warmup noise hits both sides equally.
+   Afterwards the mapped index re-answers every benched subset in all
+   three phases and must agree with the heap index bit-for-bit
+   (gate: cold max_abs_diff == 0, not 1e-12).
+
+   Per-replica memory: N child processes each map the same image,
+   answer one probe query, and report their own VmRSS. The mapping is
+   file-backed and read-only, so extra replicas should cost little
+   beyond the runtime itself. Children are re-exec'd via the hidden
+   [--replica-rss IMG] mode rather than forked: the parent has run
+   multi-domain Parmap phases by this point, and fork in a
+   multi-domain OCaml program is not an option. *)
+
+let probe_nrs = [ 0; 1; 2; 3; 9; 60; 231 ]
+
+let read_vm_rss_kb () =
+  let ic = open_in "/proc/self/status" in
+  let rss = ref None in
+  (try
+     while !rss = None do
+       let line = input_line ic in
+       if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+         rss :=
+           String.sub line 6 (String.length line - 6)
+           |> String.trim
+           |> String.split_on_char ' '
+           |> (function kb :: _ -> int_of_string_opt kb | [] -> None)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !rss
+
+let replica_rss_main image =
+  match Core.Query.Engine.load_image ~verify:false image with
+  | Error e ->
+    Printf.eprintf "replica: cannot map %s: %s\n" image
+      (Fmt.str "%a" Core.Db.Snapshot.pp_error e);
+    exit 1
+  | Ok idx ->
+    ignore (Core.Query.Engine.eval_syscalls idx probe_nrs);
+    (match read_vm_rss_kb () with
+     | Some kb ->
+       Printf.printf "%d\n" kb;
+       exit 0
+     | None ->
+       prerr_endline "replica: no VmRSS line in /proc/self/status";
+       exit 1)
+
+let measure_replica_rss ~image ~replicas =
+  let one i =
+    let out, inp = Unix.pipe ~cloexec:false () in
+    match
+      let pid =
+        Unix.create_process Sys.executable_name
+          [| Sys.executable_name; "--replica-rss"; image |]
+          Unix.stdin inp Unix.stderr
+      in
+      Unix.close inp;
+      let ic = Unix.in_channel_of_descr out in
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      (snd (Unix.waitpid [] pid), int_of_string_opt (String.trim line))
+    with
+    | Unix.WEXITED 0, Some kb -> Some kb
+    | status, _ ->
+      Printf.eprintf "bench: replica %d failed (%s)\n" i
+        (match status with
+         | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+         | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+         | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n);
+      None
+    | exception e ->
+      (try Unix.close inp with Unix.Unix_error _ -> ());
+      (try Unix.close out with Unix.Unix_error _ -> ());
+      Printf.eprintf "bench: replica %d failed (%s)\n" i
+        (Printexc.to_string e);
+      None
+  in
+  match List.init replicas one |> List.filter_map Fun.id with
+  | [] -> None
+  | kbs ->
+    Some
+      (float_of_int (List.fold_left ( + ) 0 kbs)
+      /. float_of_int (List.length kbs))
+
+let run_cold_start (args : args) ~env ~source_key ~subsets =
+  let module Engine = Core.Query.Engine in
+  let idx = env.Study.Env.index in
+  let cleanup = ref [] in
+  let temp suffix =
+    let path = Filename.temp_file "lapis-cold" suffix in
+    cleanup := path :: !cleanup;
+    path
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        !cleanup)
+  @@ fun () ->
+  let snapshot_path =
+    match args.snapshot with
+    | Some path -> path
+    | None ->
+      let path = temp ".lapis" in
+      let snap = Core.Db.Snapshot.of_analyzed (Study.Env.analyzed_exn env) in
+      (match Core.Db.Snapshot.save path snap with
+       | Ok () -> path
+       | Error e ->
+         Printf.eprintf "bench: cannot save cold-start snapshot: %s\n"
+           (Fmt.str "%a" Core.Db.Snapshot.pp_error e);
+         exit 1)
+  in
+  let image_path =
+    match args.image with Some path -> path | None -> temp ".idx"
+  in
+  (match Engine.save_image ~source_key image_path idx with
+   | Ok () -> ()
+   | Error e ->
+     Printf.eprintf "bench: cannot save index image: %s\n"
+       (Fmt.str "%a" Core.Db.Snapshot.pp_error e);
+     exit 1);
+  let image_bytes = (Unix.stat image_path).Unix.st_size in
+  let best f =
+    let run _ =
+      let t0 = Unix.gettimeofday () in
+      let answer = f () in
+      (Unix.gettimeofday () -. t0, answer)
+    in
+    match List.init 3 run with
+    | first :: rest ->
+      List.fold_left
+        (fun (bt, ba) (t, a) -> if t < bt then (t, a) else (bt, ba))
+        first rest
+    | [] -> assert false
+  in
+  let decode_s, decode_answer =
+    best (fun () ->
+        match Core.Db.Snapshot.load snapshot_path with
+        | Error e ->
+          Printf.eprintf "bench: cold decode failed: %s\n"
+            (Fmt.str "%a" Core.Db.Snapshot.pp_error e);
+          exit 1
+        | Ok snap ->
+          let idx = Engine.index snap.Core.Db.Snapshot.store in
+          Engine.eval_syscalls idx probe_nrs)
+  in
+  let map_s, (map_answer, mapped) =
+    best (fun () ->
+        match Engine.load_image image_path with
+        | Error e ->
+          Printf.eprintf "bench: cold map failed: %s\n"
+            (Fmt.str "%a" Core.Db.Snapshot.pp_error e);
+          exit 1
+        | Ok midx -> (Engine.eval_syscalls midx probe_nrs, midx))
+  in
+  if not (Float.equal decode_answer map_answer) then begin
+    Printf.eprintf
+      "bench: FAIL: cold-start probe answers diverge (%.17g vs %.17g)\n"
+      decode_answer map_answer;
+    exit 1
+  end;
+  (* Full agreement sweep: the mapped index must reproduce the heap
+     index exactly on every benched subset in every phase. *)
+  let cold_diff =
+    List.fold_left
+      (fun acc nrs ->
+        List.fold_left
+          (fun acc phase ->
+            Float.max acc
+              (Float.abs
+                 (Engine.eval_syscalls ~phase idx nrs
+                 -. Engine.eval_syscalls ~phase mapped nrs)))
+          acc
+          [ Engine.All; Engine.Init; Engine.Serving ])
+      0.0 subsets
+  in
+  let replica_rss_kb =
+    match measure_replica_rss ~image:image_path ~replicas:args.replicas with
+    | Some kb -> kb
+    | None ->
+      Printf.eprintf "bench: FAIL: no replica produced an RSS sample\n";
+      exit 1
+  in
+  let map_s = Float.max map_s 1e-9 in
+  let speedup = decode_s /. map_s in
+  Printf.printf
+    "Cold start: image %d bytes\n\
+    \  decode+rebuild: %.4fs to first answer\n\
+    \  mmap image:     %.4fs to first answer (%.1fx)\n\
+    \  map-vs-heap max |diff| = %.3e over %d subsets x 3 phases\n\
+    \  replica RSS: %.0f kB mean over %d re-exec'd processes\n%!"
+    image_bytes decode_s map_s speedup cold_diff (List.length subsets)
+    replica_rss_kb args.replicas;
+  {
+    cr_image_bytes = image_bytes;
+    cr_decode_s = decode_s;
+    cr_map_s = map_s;
+    cr_speedup = speedup;
+    cr_max_abs_diff = cold_diff;
+    cr_replicas = args.replicas;
+    cr_replica_rss_kb = replica_rss_kb;
+  }
 
 let run_query_bench (args : args) =
   let env, source_key =
@@ -583,8 +947,13 @@ let run_query_bench (args : args) =
     (float_of_int args.queries /. Float.max batch_s 1e-9)
     (percentile latencies_us 50.0) (percentile latencies_us 95.0)
     (percentile latencies_us 99.0) speedup max_abs_diff;
+  let cold =
+    if args.cold_start then
+      Some (run_cold_start args ~env ~source_key ~subsets)
+    else None
+  in
   write_query_json ~packages ~queries:args.queries ~indexed_s ~oracle_s
-    ~speedup ~max_abs_diff ~latencies_us ~batch_s ~source_key
+    ~speedup ~max_abs_diff ~latencies_us ~batch_s ~cold ~source_key
     "BENCH_QUERY.json";
   if max_abs_diff > 1e-12 then begin
     Printf.eprintf
@@ -600,9 +969,38 @@ let run_query_bench (args : args) =
        speedup want;
      exit 1
    | _ -> ());
+  (match cold with
+   | None -> ()
+   | Some c ->
+     if c.cr_max_abs_diff <> 0.0 then begin
+       Printf.eprintf
+         "bench: FAIL: mapped index diverges from the heap index by %.3e \
+          (must be exactly 0)\n"
+         c.cr_max_abs_diff;
+       exit 1
+     end;
+     (match args.min_cold_speedup with
+      | Some want when c.cr_speedup < want ->
+        Printf.eprintf
+          "bench: FAIL: cold-start speedup %.1fx below the required %.1fx\n"
+          c.cr_speedup want;
+        exit 1
+      | _ -> ());
+     (match args.max_cold_seconds with
+      | Some limit when c.cr_map_s > limit ->
+        Printf.eprintf
+          "bench: FAIL: cold start over the image took %.4fs (> %.4fs)\n"
+          c.cr_map_s limit;
+        exit 1
+      | _ -> ()));
   print_endline "Query bench: OK"
 
 let () =
+  (* Hidden replica mode: exec'd by the cold-start bench, prints this
+     process's VmRSS (kB) after mapping the image and answering once. *)
+  (match Array.to_list Sys.argv with
+   | [ _; "--replica-rss"; image ] -> replica_rss_main image
+   | _ -> ());
   let args = parse_args () in
   if args.query_bench then begin
     run_query_bench args;
@@ -654,7 +1052,7 @@ let () =
     in
     write_json ~packages:args.packages
       ~binaries:(List.length env.Study.Env.store.Core.Db.Store.bins)
-      ~wall ~micro_results ~git:(git_describe ())
+      ~wall ~micro_results ~git:(git_stamp ())
       ~source_key:
         (Core.Db.Snapshot.source_key
            ~seed:config.Core.Distro.Generator.seed

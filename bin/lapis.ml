@@ -55,8 +55,32 @@ let config packages seed =
 let load_snapshot path =
   match Snapshot.load path with
   | Ok snap -> snap
+  | Error (Snapshot.Unsupported_version v) when v = Query.image_version ->
+    Printf.eprintf
+      "lapis: %s is a format-4 index image: query/serve/seccomp consume it \
+       directly, but this command needs the row snapshot it was built from \
+       (lapis analyze --save-snapshot)\n"
+      path;
+    exit 1
   | Error e ->
     Printf.eprintf "lapis: cannot load snapshot %s: %s [kind: %s]\n" path
+      (Fmt.str "%a" Snapshot.pp_error e)
+      (Snapshot.kind_name e);
+    exit 1
+
+(* Is [path] a format-4 index image (as opposed to a row snapshot)?
+   Unreadable or unrecognizable files fall through to the row-snapshot
+   loader, whose errors name the problem. *)
+let is_index_image path = Snapshot.file_version path = Ok Query.image_version
+
+let load_image path =
+  match Query.load_image path with
+  | Ok idx ->
+    Printf.eprintf "# mapped index image %s (%d packages, %d apis)\n%!" path
+      (Query.n_packages idx) (Query.n_apis idx);
+    idx
+  | Error e ->
+    Printf.eprintf "lapis: cannot map index image %s: %s [kind: %s]\n" path
       (Fmt.str "%a" Snapshot.pp_error e)
       (Snapshot.kind_name e);
     exit 1
@@ -178,7 +202,17 @@ let analyze_cmd =
     Arg.(
       value & opt (some string) None & info [ "save-snapshot" ] ~docv:"PATH" ~doc)
   in
-  let run packages seed snapshot save top =
+  let save_index_arg =
+    let doc =
+      "Write the built query index as a flat format-4 image: \
+       $(b,lapis query) / $(b,lapis serve) / $(b,lapis seccomp) map it \
+       read-only and answer with zero decode, bit-identically to a \
+       rebuild from the row snapshot."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "save-index" ] ~docv:"PATH" ~doc)
+  in
+  let run packages seed snapshot save save_index top =
     let env = make_env ?snapshot packages seed in
     (match save with
      | None -> ()
@@ -195,6 +229,26 @@ let analyze_cmd =
              Printf.eprintf "lapis: cannot save snapshot %s: %s\n" path
                (Fmt.str "%a" Snapshot.pp_error e);
              exit 1)))
+    ;
+    (match save_index with
+     | None -> ()
+     | Some path ->
+       let cfg = config packages seed in
+       let idx = env.Study.Env.index in
+       let source_key =
+         Snapshot.source_key ~seed:cfg.Core.Distro.Generator.seed
+           ~n_packages:cfg.Core.Distro.Generator.n_packages
+           ~total_installs:(Query.total_installs idx)
+       in
+       (match
+          Query.save_image ~seed:cfg.Core.Distro.Generator.seed ~source_key
+            path idx
+        with
+        | Ok () -> Printf.eprintf "# saved index image to %s\n%!" path
+        | Error e ->
+          Printf.eprintf "lapis: cannot save index image %s: %s\n" path
+            (Fmt.str "%a" Snapshot.pp_error e);
+          exit 1))
     ;
     let idx = env.Study.Env.index in
     Printf.printf "%-4s %-22s %-10s %-10s\n" "rank" "system call"
@@ -213,7 +267,7 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ save_arg
-          $ top_arg)
+          $ save_index_arg $ top_arg)
 
 (* --- footprint / seccomp ------------------------------------------------ *)
 
@@ -333,6 +387,25 @@ let seccomp_cmd =
     in
     let apis =
       match snapshot with
+      | Some snap_path when is_index_image snap_path ->
+        let idx = load_image snap_path in
+        let digest = Digest.string (read_file path) in
+        (match Query.find_bin idx digest with
+         | Ok (Some row) ->
+           pick ~init:row.Query.bs_init ~serving:row.Query.bs_serving
+             ~all:row.Query.bs_all
+         | Ok None ->
+           Printf.eprintf
+             "lapis: %s is not in the index image (no binary with digest \
+              %s); regenerate the image from the corpus that contains it, \
+              or drop --snapshot to analyze it directly\n"
+             path (Digest.to_hex digest);
+           exit 1
+         | Error e ->
+           Printf.eprintf "lapis: index image bins section: %s [kind: %s]\n"
+             (Fmt.str "%a" Snapshot.pp_error e)
+             (Snapshot.kind_name e);
+           exit 1)
       | Some snap_path ->
         let snap = load_snapshot snap_path in
         let row = snapshot_bin_row snap path in
@@ -371,7 +444,9 @@ let seccomp_cmd =
 
 (* --- compat ------------------------------------------------------------- *)
 
-let parse_syscall_specs env names =
+(* [ranking] is the most-important-first syscall order top:N draws
+   from — [Study.Env.ranking] or [Query.ranking] of a mapped image. *)
+let parse_syscall_specs ranking names =
   List.concat_map
     (fun s ->
       match String.index_opt s ':' with
@@ -379,7 +454,7 @@ let parse_syscall_specs env names =
         let n =
           int_of_string (String.sub s (i + 1) (String.length s - i - 1))
         in
-        List.filteri (fun j _ -> j < n) env.Study.Env.ranking
+        List.filteri (fun j _ -> j < n) ranking
       | _ ->
         (match int_of_string_opt s with
          | Some nr -> [ nr ]
@@ -401,7 +476,7 @@ let compat_cmd =
   in
   let run packages seed snapshot names =
     let env = make_env ?snapshot packages seed in
-    let nrs = parse_syscall_specs env names in
+    let nrs = parse_syscall_specs env.Study.Env.ranking names in
     let c =
       Core.Metrics.Completeness.of_syscall_set_index env.Study.Env.index nrs
     in
@@ -452,8 +527,13 @@ let query_cmd =
            --save-snapshot)\n";
         exit 2
     in
-    let env = make_env ~snapshot:path None None in
-    let idx = env.Study.Env.index in
+    let idx =
+      if is_index_image path then load_image path
+      else begin
+        let env = make_env ~snapshot:path None None in
+        env.Study.Env.index
+      end
+    in
     let request =
       match (op, operands) with
       | "stats", [] -> Json.Obj [ ("op", Json.Str "stats") ]
@@ -496,7 +576,9 @@ let query_cmd =
            Printf.eprintf "lapis: dependents takes API [LIMIT]\n";
            exit 2)
       | "completeness", [ spec ] ->
-        let nrs = parse_syscall_specs env (String.split_on_char ',' spec) in
+        let nrs =
+          parse_syscall_specs (Query.ranking idx) (String.split_on_char ',' spec)
+        in
         Json.Obj
           [
             ("op", Json.Str "completeness");
@@ -551,17 +633,22 @@ let serve_cmd =
     Arg.(value & opt int 1024 & info [ "cache" ] ~docv:"N" ~doc)
   in
   let run packages seed snapshot stats tcp workers cache =
-    let env = make_env ?snapshot packages seed in
+    let idx =
+      match snapshot with
+      | Some path when is_index_image path ->
+        setup_logs ();
+        load_image path
+      | _ -> (make_env ?snapshot packages seed).Study.Env.index
+    in
     (match tcp with
      | None ->
        Printf.eprintf
          "# serving line-delimited JSON on stdin/stdout (ops: ping stats \
           importance completeness top dependents); EOF to stop\n%!";
-       Serve.loop env.Study.Env.index stdin stdout
+       Serve.loop idx stdin stdout
      | Some port ->
        (match
-          Core.Query.Server.start ?workers ~cache_capacity:cache ~port
-            env.Study.Env.index
+          Core.Query.Server.start ?workers ~cache_capacity:cache ~port idx
         with
         | Error msg ->
           Printf.eprintf "lapis: %s\n" msg;

@@ -288,3 +288,131 @@ let pipeline_smoke ?(seed = 7) ?(packages = 20) ?(victims = 12) () : smoke =
     s_mutated = !mutated;
     s_forced = !forced;
   }
+
+(* --- format-4 index image fuzz -------------------------------------- *)
+
+(* Same contract, different attack surface: seeded mutations of a
+   pristine format-4 index image driven through [Query.of_image].
+   The loader promises total validation — truncations, bit flips,
+   unaligned or oversized section offsets, and corrupt counts must
+   all come back as structured [Snapshot.error]s, and any image that
+   does load must answer queries without an uncaught exception. Half
+   the cases load with digest verification off, because the digest
+   would otherwise mask every structural check behind
+   [Digest_mismatch]. *)
+
+module Query = Lapis_query.Query
+module Snapshot = Lapis_store.Snapshot
+
+type image_report = {
+  ii_seed : int;
+  ii_cases : int;
+  ii_ok : int;  (** mutants that still loaded and answered queries *)
+  ii_rejected : (string * int) list;  (** per error constructor *)
+  ii_verify_off : int;  (** cases run with digest verification off *)
+  ii_crashes : crash list;  (** must be empty *)
+}
+
+let snapshot_error_name : Snapshot.error -> string = function
+  | Snapshot.Not_snapshot -> "not-snapshot"
+  | Snapshot.Unsupported_version _ -> "unsupported-version"
+  | Snapshot.Truncated _ -> "truncated"
+  | Snapshot.Digest_mismatch -> "digest-mismatch"
+  | Snapshot.Corrupt _ -> "corrupt"
+  | Snapshot.Io _ -> "io"
+
+(* Pristine image of a small analyzed world. A failure here is a bug
+   in the image writer, not a fuzz finding. *)
+let image_bytes ~base_packages ~seed : string =
+  let dist =
+    Lapis_distro.Generator.generate
+      ~config:
+        { Lapis_distro.Generator.default_config with
+          n_packages = base_packages;
+          seed }
+      ()
+  in
+  let analyzed = Lapis_store.Pipeline.run dist in
+  let idx = Query.index analyzed.Lapis_store.Pipeline.store in
+  match Query.to_image_string ~seed ~source_key:"fuzz" idx with
+  | Ok s -> s
+  | Error _ ->
+    invalid_arg "Harness.image_bytes: pristine image failed to encode"
+
+(* Load one mutated image and, when it loads, answer a few queries —
+   including forcing the lazily-decoded per-binary sets, the only
+   part of the image [of_image] does not validate up front. *)
+let run_image_case ~verify (bytes : string) : outcome =
+  match Query.of_image ~verify bytes with
+  | Error e -> Rejected (snapshot_error_name e)
+  | Ok idx ->
+    (try
+       ignore (Query.eval_syscalls idx [ 0; 1; 2; 3 ] : float);
+       ignore (Query.eval_syscalls ~phase:Query.Init idx [ 0; 1 ] : float);
+       ignore (Query.top_n idx 5 : Query.ranked list);
+       ignore (Query.bins idx : (Query.bin_sets array, Snapshot.error) result);
+       Survived
+     with e ->
+       let bt = Printexc.get_backtrace () in
+       Crashed (Printexc.to_string e, bt))
+  | exception e ->
+    (* of_image returning [result] is itself part of the contract *)
+    let bt = Printexc.get_backtrace () in
+    Crashed ("Query.of_image raised: " ^ Printexc.to_string e, bt)
+
+let run_images ?(config = default_config) () : image_report =
+  let base =
+    image_bytes ~base_packages:config.base_packages ~seed:config.seed
+  in
+  let rejected : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump k =
+    Hashtbl.replace rejected k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt rejected k))
+  in
+  let ok = ref 0 and verify_off = ref 0 and crashes = ref [] in
+  for i = 0 to config.cases - 1 do
+    (* Distinct salt from the ELF campaign so the two case streams
+       decorrelate even under the same seed. *)
+    let rng = case_rng ~seed:(config.seed lxor 0x1A9E55) i in
+    let bytes, kinds = Mutate.random rng base in
+    let verify = Rng.bool rng 0.5 in
+    if not verify then incr verify_off;
+    match run_image_case ~verify bytes with
+    | Survived -> incr ok
+    | Rejected kind -> bump kind
+    | Crashed (exn, bt) ->
+      crashes :=
+        { c_case = i;
+          c_kinds = List.map Mutate.name kinds;
+          c_exn = exn;
+          c_backtrace = bt }
+        :: !crashes
+  done;
+  {
+    ii_seed = config.seed;
+    ii_cases = config.cases;
+    ii_ok = !ok;
+    ii_rejected =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) rejected []);
+    ii_verify_off = !verify_off;
+    ii_crashes = List.rev !crashes;
+  }
+
+let pp_image_report ppf (r : image_report) =
+  let total_rejected =
+    List.fold_left (fun n (_, v) -> n + v) 0 r.ii_rejected
+  in
+  Format.fprintf ppf
+    "image fuzz campaign: seed=%d cases=%d ok=%d rejected=%d \
+     (verify off on %d) crashes=%d@\n"
+    r.ii_seed r.ii_cases r.ii_ok total_rejected r.ii_verify_off
+    (List.length r.ii_crashes);
+  List.iter
+    (fun (k, n) -> Format.fprintf ppf "  reject %-20s %6d@\n" k n)
+    r.ii_rejected;
+  List.iter
+    (fun cr ->
+      Format.fprintf ppf "  CRASH case=%d kinds=[%s]: %s@\n%s@\n" cr.c_case
+        (String.concat "," cr.c_kinds) cr.c_exn cr.c_backtrace)
+    r.ii_crashes

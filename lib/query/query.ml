@@ -55,6 +55,9 @@
 
 open Lapis_apidb
 module Store = Lapis_store.Store
+module Snapshot = Lapis_store.Snapshot
+module Wire = Lapis_store.Snapshot.Wire
+module Footprint = Lapis_analysis.Footprint
 module Stage = Lapis_perf.Stage
 module Bitset = Lapis_perf.Bitset
 module Parmap = Lapis_perf.Parmap
@@ -82,23 +85,46 @@ type phase = Init | Serving | All
 type class_index = {
   ci_nc : int;  (* distinct closure classes *)
   ci_nw : int;  (* words per class row *)
-  ci_flat : int array;  (* ci_nc * ci_nw, row-major *)
+  ci_flat : Bitset.words;  (* ci_nc * ci_nw, row-major *)
   ci_common : int array;  (* ci_nw words: bits required everywhere *)
-  ci_pkg_class : int array;  (* pkg -> class row *)
+  ci_pkg_class : Bitset.words;  (* pkg -> class row *)
 }
 
+(* A binary's resolved footprint split by phase — the per-binary data
+   the seccomp generator consumes, carried by the index so a format-4
+   image can serve [lapis seccomp] without the row snapshot. *)
+type bin_sets = {
+  bs_digest : Digest.t;
+  bs_all : Api.Set.t;
+  bs_init : Api.Set.t;
+  bs_serving : Api.Set.t;
+}
+
+(* The index owns everything it answers from — no [Store.t] reference
+   survives construction. Dependent-package lists are flattened into a
+   CSR pair ([deps_off]/[deps_dat]); per-binary footprints are kept as
+   a lazily decoded array (the bins section of an image is varint-
+   encoded, and the server never asks for it). Numeric planes sit
+   behind {!Bitset.words}/{!Bitset.floats} so a mapped image and a
+   fresh build run the same hot loops. *)
 type t = {
-  store : Store.t;
   n : int;
-  probs : float array;  (* pkg index -> install probability *)
+  mapped : bool;  (* true when backed by a mapped format-4 image *)
+  meta_seed : int;
+  meta_source_key : string;
+  total_installs : int;
+  n_bins : int;
+  probs : Bitset.floats;  (* pkg index -> install probability *)
   names : string array;
   api_ids : int Api.Tbl.t;  (* interning: api -> dense id *)
   apis : Api.t array;  (* id -> api *)
-  survival : float array;  (* id -> prod(1 - p) over dependents *)
-  survival_init : float array;  (* same, over init-phase requirers *)
-  survival_serving : float array;
-  dep_count : int array;  (* id -> number of dependent packages *)
-  elf_count : int array;  (* id -> packages using it from own ELFs *)
+  survival : Bitset.floats;  (* id -> prod(1 - p) over dependents *)
+  survival_init : Bitset.floats;  (* same, over init-phase requirers *)
+  survival_serving : Bitset.floats;
+  dep_count : Bitset.words;  (* id -> number of dependent packages *)
+  elf_count : Bitset.words;  (* id -> packages using it from own ELFs *)
+  deps_off : Bitset.words;  (* id -> offset into deps_dat; n_apis+1 *)
+  deps_dat : Bitset.words;  (* dependent pkg ids, store list order *)
   n_comps : int;  (* SCCs of the dependency graph *)
   req : class_index;  (* API universe, whole footprints *)
   sys : class_index;  (* syscall-nr universe, whole footprints *)
@@ -109,6 +135,7 @@ type t = {
   max_nr : int;  (* largest syscall nr required by any package *)
   ranking : ranked array;  (* Section 3 order, most important first *)
   den : float;  (* total popcon weight, oracle fold order *)
+  bins : (bin_sets array, Snapshot.error) result Lazy.t;
 }
 
 let req_of t = function
@@ -206,6 +233,44 @@ let ranges n =
     else go (lo + step) ((lo, min n (lo + step)) :: acc)
   in
   go 0 []
+
+(* Section 3 ranking with the oracle's comparator over index-derived
+   values. Shared by the builder and the image loader — both feed it
+   the same survival/elf-count planes, so a loaded image reproduces
+   the built ranking bit for bit. *)
+let build_ranking ~n ~api_ids ~(survival : Bitset.floats)
+    ~(elf_count : Bitset.words) =
+  let importance_of_nr nr =
+    match Api.Tbl.find_opt api_ids (Api.Syscall nr) with
+    | Some id -> 1.0 -. Bitset.floats_get survival id
+    | None -> 0.0
+  in
+  let unweighted_elf_of_nr nr =
+    let k =
+      match Api.Tbl.find_opt api_ids (Api.Syscall nr) with
+      | Some id -> Bitset.words_get elf_count id
+      | None -> 0
+    in
+    float_of_int k /. float_of_int n
+  in
+  Array.to_list Syscall_table.all
+  |> List.map (fun (e : Syscall_table.entry) ->
+         ( e.Syscall_table.nr,
+           e.Syscall_table.name,
+           importance_of_nr e.Syscall_table.nr,
+           unweighted_elf_of_nr e.Syscall_table.nr ))
+  |> List.sort (fun (na, _, ia, ua) (nb, _, ib, ub) ->
+         match compare ib ia with
+         | 0 -> (match compare ub ua with 0 -> compare na nb | c -> c)
+         | c -> c)
+  |> List.map (fun (nr, name, imp, uelf) ->
+         {
+           rk_nr = nr;
+           rk_name = name;
+           rk_importance = imp;
+           rk_unweighted_elf = uelf;
+         })
+  |> Array.of_list
 
 let index ?domains (store : Store.t) : t =
   Stage.time "query:index-build" @@ fun () ->
@@ -411,9 +476,10 @@ let index ?domains (store : Store.t) : t =
       {
         ci_nc = nc;
         ci_nw = nw;
-        ci_flat = flat;
+        ci_flat = Bitset.Words_heap flat;
         ci_common = common;
-        ci_pkg_class = Array.init n (fun i -> class_of_comp.(comp.(i)));
+        ci_pkg_class =
+          Bitset.Words_heap (Array.init n (fun i -> class_of_comp.(comp.(i))));
       }
     in
     (mk class_req req_class_of_comp, mk class_sys sys_class_of_comp)
@@ -422,53 +488,54 @@ let index ?domains (store : Store.t) : t =
   let req_init, sys_init = build_pair (fun p -> p.Store.pr_init) in
   let req_serving, sys_serving = build_pair (fun p -> p.Store.pr_serving) in
   let den = Array.fold_left (fun a p -> a +. p) 0.0 probs in
-  (* Section 3 ranking, with the oracle's comparator over
-     index-derived values (both bit-identical to the oracle's). *)
-  let importance_of_nr nr =
-    match Api.Tbl.find_opt api_ids (Api.Syscall nr) with
-    | Some id -> 1.0 -. survival.(id)
-    | None -> 0.0
-  in
-  let unweighted_elf_of_nr nr =
-    let k =
-      match Api.Tbl.find_opt api_ids (Api.Syscall nr) with
-      | Some id -> elf_count.(id)
-      | None -> 0
-    in
-    float_of_int k /. float_of_int n
-  in
-  let ranking =
-    Array.to_list Syscall_table.all
-    |> List.map (fun (e : Syscall_table.entry) ->
-           ( e.Syscall_table.nr,
-             e.Syscall_table.name,
-             importance_of_nr e.Syscall_table.nr,
-             unweighted_elf_of_nr e.Syscall_table.nr ))
-    |> List.sort (fun (na, _, ia, ua) (nb, _, ib, ub) ->
-           match compare ib ia with
-           | 0 -> (match compare ub ua with 0 -> compare na nb | c -> c)
-           | c -> c)
-    |> List.map (fun (nr, name, imp, uelf) ->
+  (* Flatten the dependents lists into CSR form, preserving the
+     store's list order exactly (it defines the survival fold order
+     and the [dependents_ranked] pre-sort input). *)
+  let deps_off = Array.make (n_apis + 1) 0 in
+  for id = 0 to n_apis - 1 do
+    deps_off.(id + 1) <- deps_off.(id) + dep_count.(id)
+  done;
+  let deps_dat = Array.make deps_off.(n_apis) 0 in
+  for id = 0 to n_apis - 1 do
+    let k = ref deps_off.(id) in
+    List.iter
+      (fun i ->
+        deps_dat.(!k) <- i;
+        incr k)
+      (Store.dependents store apis.(id))
+  done;
+  let bin_rows =
+    store.Store.bins
+    |> List.map (fun (b : Store.bin_row) ->
            {
-             rk_nr = nr;
-             rk_name = name;
-             rk_importance = imp;
-             rk_unweighted_elf = uelf;
+             bs_digest = b.Store.br_digest;
+             bs_all = b.Store.br_resolved.Footprint.apis;
+             bs_init = b.Store.br_init;
+             bs_serving = b.Store.br_serving;
            })
     |> Array.of_list
   in
+  let survival = Bitset.Floats_heap survival in
+  let elf_count = Bitset.Words_heap elf_count in
+  let ranking = build_ranking ~n ~api_ids ~survival ~elf_count in
   {
-    store;
     n;
-    probs;
+    mapped = false;
+    meta_seed = 0;
+    meta_source_key = "";
+    total_installs = store.Store.total_installs;
+    n_bins = Array.length bin_rows;
+    probs = Bitset.Floats_heap probs;
     names;
     api_ids;
     apis;
     survival;
-    survival_init;
-    survival_serving;
-    dep_count;
+    survival_init = Bitset.Floats_heap survival_init;
+    survival_serving = Bitset.Floats_heap survival_serving;
+    dep_count = Bitset.Words_heap dep_count;
     elf_count;
+    deps_off = Bitset.Words_heap deps_off;
+    deps_dat = Bitset.Words_heap deps_dat;
     n_comps;
     req = req_all;
     sys = sys_all;
@@ -479,16 +546,27 @@ let index ?domains (store : Store.t) : t =
     max_nr;
     ranking;
     den;
+    bins = Lazy.from_val (Ok bin_rows);
   }
 
 (* ------------------------------------------------------------------ *)
 (* Point queries                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let store t = t.store
 let n_packages t = t.n
 let n_apis t = Array.length t.apis
 let n_components t = t.n_comps
+let n_binaries t = t.n_bins
+let total_installs t = t.total_installs
+let is_mapped t = t.mapped
+
+let bins t = Lazy.force t.bins
+
+let find_bin t digest =
+  match Lazy.force t.bins with
+  | Error e -> Error e
+  | Ok rows ->
+    Ok (Array.find_opt (fun b -> String.equal b.bs_digest digest) rows)
 
 let survival_array t = function
   | All -> t.survival
@@ -497,7 +575,7 @@ let survival_array t = function
 
 let survival ?(phase = All) t api =
   match Api.Tbl.find_opt t.api_ids api with
-  | Some id -> (survival_array t phase).(id)
+  | Some id -> Bitset.floats_get (survival_array t phase) id
   | None -> 1.0
 
 let importance ?phase t api = 1.0 -. survival ?phase t api
@@ -505,7 +583,7 @@ let importance ?phase t api = 1.0 -. survival ?phase t api
 let unweighted t api =
   let k =
     match Api.Tbl.find_opt t.api_ids api with
-    | Some id -> t.dep_count.(id)
+    | Some id -> Bitset.words_get t.dep_count id
     | None -> 0
   in
   float_of_int k /. float_of_int t.n
@@ -513,7 +591,7 @@ let unweighted t api =
 let unweighted_elf t api =
   let k =
     match Api.Tbl.find_opt t.api_ids api with
-    | Some id -> t.elf_count.(id)
+    | Some id -> Bitset.words_get t.elf_count id
     | None -> 0
   in
   float_of_int k /. float_of_int t.n
@@ -526,9 +604,17 @@ let top_n t n =
 
 let dependents_ranked ?limit t api =
   Stage.incr "query:dependents";
+  let ids =
+    match Api.Tbl.find_opt t.api_ids api with
+    | None -> []
+    | Some id ->
+      let lo = Bitset.words_get t.deps_off id in
+      let hi = Bitset.words_get t.deps_off (id + 1) in
+      List.init (hi - lo) (fun k -> Bitset.words_get t.deps_dat (lo + k))
+  in
   let rows =
-    Store.dependents t.store api
-    |> List.map (fun i -> (t.names.(i), t.probs.(i)))
+    ids
+    |> List.map (fun i -> (t.names.(i), Bitset.floats_get t.probs i))
     |> List.sort (fun (na, pa) (nb, pb) ->
            match compare pb pa with 0 -> compare na nb | c -> c)
   in
@@ -548,16 +634,25 @@ let scoped scope supported api =
   | Syscalls_only ->
     (match api with Api.Syscall _ -> supported api | _ -> true)
 
-(* Fused [a ⊆ b] over raw word arrays: same loop as [Bitset.subset]
-   but without the cross-module call. Equal universes guarantee equal
-   lengths. *)
-let subset_words (a : int array) (b : int array) =
-  let n = Array.length a in
+(* Universal-core gate: [common] and the query words have equal length
+   on every built or validated index; the loop still tolerates a
+   length mismatch (a degenerate hand-built index) by treating missing
+   query words as zero instead of reading out of bounds. *)
+let core_gate (common : int array) (supw : int array) =
+  let na = Array.length common and nb = Array.length supw in
+  let m = if na < nb then na else nb in
   let i = ref 0 in
-  while !i < n && a.(!i) land lnot b.(!i) = 0 do
+  while !i < m && common.(!i) land lnot supw.(!i) = 0 do
     incr i
   done;
-  !i = n
+  if !i < m then false
+  else begin
+    let ok = ref true in
+    for j = m to na - 1 do
+      if common.(j) <> 0 then ok := false
+    done;
+    !ok
+  end
 
 (* One subset test per distinct closure class against the query's
    support words, gated by the universal core: every class contains
@@ -566,44 +661,82 @@ let subset_words (a : int array) (b : int array) =
    touching the class rows or the package sweep (bit-exact:
    [0.0 /. den] is [0.0] for every positive [den], as is the
    [den = 0.0] guard). Past the gate, the rows are walked in one flat
-   array; the [unsafe_get]s are in bounds by construction ([flat] has
-   [nc * nw] words, [supw] has [nw]). Every call allocates its own
-   flags, so evaluation is safe from any number of domains against one
-   shared index. *)
+   plane — a heap array on a fresh build, a mapped [Bigarray] slice on
+   a loaded image; the backend is matched once per call, so both loops
+   run monomorphically. The [unsafe_get]s are in bounds by
+   construction and by load-time validation ([flat] has [nc * nw]
+   words inside the mapping, [supw] has [nw]). Every call allocates
+   its own flags, so evaluation is safe from any number of domains
+   against one shared index. *)
 let classes_ok ci (supw : int array) =
-  if not (subset_words ci.ci_common supw) then None
+  if not (core_gate ci.ci_common supw) then None
   else begin
-    let nc = ci.ci_nc and nw = ci.ci_nw and flat = ci.ci_flat in
+    let nc = ci.ci_nc and nw = ci.ci_nw in
     let ok = Array.make (max 1 nc) false in
     let any = ref false in
-    for c = 0 to nc - 1 do
-      let base = c * nw in
-      let i = ref 0 in
-      while
-        !i < nw
-        && Array.unsafe_get flat (base + !i)
-           land lnot (Array.unsafe_get supw !i)
-           = 0
-      do
-        incr i
-      done;
-      if !i = nw then begin
-        ok.(c) <- true;
-        any := true
-      end
-    done;
+    (match ci.ci_flat with
+    | Bitset.Words_heap flat ->
+      for c = 0 to nc - 1 do
+        let base = c * nw in
+        let i = ref 0 in
+        while
+          !i < nw
+          && Array.unsafe_get flat (base + !i)
+             land lnot (Array.unsafe_get supw !i)
+             = 0
+        do
+          incr i
+        done;
+        if !i = nw then begin
+          ok.(c) <- true;
+          any := true
+        end
+      done
+    | Bitset.Words_map { wba; woff; _ } ->
+      for c = 0 to nc - 1 do
+        let base = woff + (c * nw) in
+        let i = ref 0 in
+        while
+          !i < nw
+          && Bigarray.Array1.unsafe_get wba (base + !i)
+             land lnot (Array.unsafe_get supw !i)
+             = 0
+        do
+          incr i
+        done;
+        if !i = nw then begin
+          ok.(c) <- true;
+          any := true
+        end
+      done);
     if !any then Some ok else None
   end
 
 (* The probability sweep in store order — the oracle's exact numerator
-   fold (ascending package index over the full row array). *)
-let sweep t (ok : bool array) ci =
-  let pkg_class = ci.ci_pkg_class in
+   fold (ascending package index over the full row array) — over
+   [lo, hi). Matched once on the backing pair; the common case is both
+   planes heap or both mapped. *)
+let sweep_range t (ok : bool array) ci lo hi =
   let num = ref 0.0 in
-  for i = 0 to t.n - 1 do
-    if ok.(pkg_class.(i)) then num := !num +. t.probs.(i)
-  done;
-  if t.den = 0.0 then 0.0 else !num /. t.den
+  (match (ci.ci_pkg_class, t.probs) with
+  | Bitset.Words_heap pc, Bitset.Floats_heap pr ->
+    for i = lo to hi - 1 do
+      if ok.(pc.(i)) then num := !num +. pr.(i)
+    done
+  | Bitset.Words_map { wba; woff; _ }, Bitset.Floats_map { fba; foff; _ } ->
+    for i = lo to hi - 1 do
+      if ok.(Bigarray.Array1.unsafe_get wba (woff + i)) then
+        num := !num +. Bigarray.Array1.unsafe_get fba (foff + i)
+    done
+  | pc, pr ->
+    for i = lo to hi - 1 do
+      if ok.(Bitset.words_get pc i) then num := !num +. Bitset.floats_get pr i
+    done);
+  !num
+
+let sweep t (ok : bool array) ci =
+  let num = sweep_range t ok ci 0 t.n in
+  if t.den = 0.0 then 0.0 else num /. t.den
 
 let eval_pred ?(scope = All_apis) ?(phase = All) t ~supported =
   Stage.incr "query:eval";
@@ -657,15 +790,9 @@ let eval_syscalls_sharded ?domains ?(shards = 4) ?(phase = All) t nrs =
   match classes_ok ci (Bitset.words sup) with
   | None -> 0.0
   | Some ok ->
-    let pkg_class = ci.ci_pkg_class in
     let partials =
       Parmap.map ?domains
-        (fun (lo, hi) ->
-          let num = ref 0.0 in
-          for i = lo to hi - 1 do
-            if ok.(pkg_class.(i)) then num := !num +. t.probs.(i)
-          done;
-          !num)
+        (fun (lo, hi) -> sweep_range t ok ci lo hi)
         (shard_ranges t.n shards)
     in
     let num = List.fold_left ( +. ) 0.0 partials in
@@ -713,3 +840,589 @@ let api_of_string s =
      | "pseudo" -> Ok (Api.Pseudo_file rest)
      | "libc" -> Ok (Api.Libc_sym rest)
      | _ -> Error (Printf.sprintf "unknown api kind %S" kind))
+
+(* ------------------------------------------------------------------ *)
+(* Format-4 index images                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A format-4 file is the built index itself, laid out flat so it can
+   be mapped read-only and consumed in place with zero decode:
+
+     offset  size  field
+     0       8     magic "LAPISNAP"
+     8       4     format version = 4 (u32 LE)
+     12      16    MD5 of the payload
+     28      8     payload length (u64 LE)
+     36      4     zero padding (the payload starts 8-aligned)
+     40      -     payload
+
+   The payload is a sequence of little-endian 64-bit words:
+
+     word 0        endianness probe (IMAGE_PROBE)
+     word 1        section count
+     words 2..     section table: (id, byte offset, byte length) per
+                   section, offsets payload-relative and 8-aligned
+     ...           section bodies, each padded to 8 bytes
+
+   Numeric sections (float planes, word planes, class rows) are raw
+   8-byte-per-element images of the arrays the query engine walks;
+   the meta and bins sections are varint-encoded with the row
+   snapshot's own codecs ({!Snapshot.Wire}) and are decoded eagerly
+   (meta) or lazily (bins) at load. Loading validates every offset,
+   length, width and cross-reference up front, so the mapped hot
+   loops can use unchecked reads. *)
+
+let image_version = 4
+let image_header_len = 40
+let image_probe = 0x0123456789ABCDEF
+
+let sec_meta = 1
+let sec_probs = 2
+let sec_survival = 3 (* +0 all, +1 init, +2 serving *)
+let sec_dep_count = 6
+let sec_elf_count = 7
+let sec_deps_off = 8
+let sec_deps_dat = 9
+let sec_bins = 10
+
+(* Class-index sections: for [k]th entry of [class_list], flat is
+   [sec_class_base + 3k], common [+1], pkg_class [+2]. *)
+let sec_class_base = 16
+
+let class_list t =
+  [ t.req; t.sys; t.req_init; t.sys_init; t.req_serving; t.sys_serving ]
+
+let fail e = raise (Wire.Fail e)
+let corrupt fmt = Printf.ksprintf (fun msg -> fail (Snapshot.Corrupt msg)) fmt
+
+(* --- writer ------------------------------------------------------- *)
+
+let meta_section t ~seed ~source_key =
+  let b = Buffer.create 4096 in
+  Wire.w_int b seed;
+  Wire.w_int b t.total_installs;
+  Wire.w_str b source_key;
+  Wire.w_int b t.n;
+  Wire.w_int b (Array.length t.apis);
+  Wire.w_int b t.n_comps;
+  Wire.w_int b t.max_nr;
+  Wire.w_int b t.n_bins;
+  Wire.w_float b t.den;
+  Array.iter (Wire.w_str b) t.names;
+  Array.iter (Wire.w_api b) t.apis;
+  List.iter
+    (fun ci ->
+      Wire.w_int b ci.ci_nc;
+      Wire.w_int b ci.ci_nw)
+    (class_list t);
+  Buffer.contents b
+
+(* Bins section: a pool of distinct encoded API sets (bitset bytes
+   over the interned universe, plus any APIs outside it — hand-built
+   stores may hold phase sets that are not footprint subsets), then
+   one (digest, all, init, serving) row per binary referencing pool
+   ids. Phase sets usually repeat across binaries, hence the pool. *)
+let bins_section t (rows : bin_sets array) =
+  let n_apis = Array.length t.apis in
+  let encode_set set =
+    let bits = Bitset.create n_apis in
+    let extra = ref [] in
+    Api.Set.iter
+      (fun a ->
+        match Api.Tbl.find_opt t.api_ids a with
+        | Some id -> Bitset.add bits id
+        | None -> extra := a :: !extra)
+      set;
+    let b = Buffer.create 64 in
+    Wire.w_str b (Bitset.to_bytes bits);
+    let extra = List.rev !extra in
+    Wire.w_varint b (List.length extra);
+    List.iter (Wire.w_api b) extra;
+    Buffer.contents b
+  in
+  let pool = Hashtbl.create 64 in
+  let pool_rev = ref [] in
+  let n_pool = ref 0 in
+  let pool_id enc =
+    match Hashtbl.find_opt pool enc with
+    | Some id -> id
+    | None ->
+      let id = !n_pool in
+      incr n_pool;
+      Hashtbl.add pool enc id;
+      pool_rev := enc :: !pool_rev;
+      id
+  in
+  let triples =
+    Array.map
+      (fun r ->
+        ( r.bs_digest,
+          pool_id (encode_set r.bs_all),
+          pool_id (encode_set r.bs_init),
+          pool_id (encode_set r.bs_serving) ))
+      rows
+  in
+  let b = Buffer.create 4096 in
+  Wire.w_varint b !n_pool;
+  List.iter (Buffer.add_string b) (List.rev !pool_rev);
+  Wire.w_varint b (Array.length triples);
+  Array.iter
+    (fun (digest, a, i, s) ->
+      Buffer.add_string b digest;
+      Wire.w_varint b a;
+      Wire.w_varint b i;
+      Wire.w_varint b s)
+    triples;
+  Buffer.contents b
+
+let to_image_string ?(seed = 0) ?(source_key = "") t =
+  match Lazy.force t.bins with
+  | Error e -> Error e
+  | Ok rows ->
+    let wsec w = Bitset.words_to_le (Bitset.words_to_array w) in
+    let fsec f = Bitset.floats_to_le (Bitset.floats_to_array f) in
+    let sections =
+      [
+        (sec_meta, meta_section t ~seed ~source_key);
+        (sec_probs, fsec t.probs);
+        (sec_survival, fsec t.survival);
+        (sec_survival + 1, fsec t.survival_init);
+        (sec_survival + 2, fsec t.survival_serving);
+        (sec_dep_count, wsec t.dep_count);
+        (sec_elf_count, wsec t.elf_count);
+        (sec_deps_off, wsec t.deps_off);
+        (sec_deps_dat, wsec t.deps_dat);
+        (sec_bins, bins_section t rows);
+      ]
+      @ List.concat
+          (List.mapi
+             (fun k ci ->
+               [
+                 (sec_class_base + (3 * k), wsec ci.ci_flat);
+                 (sec_class_base + (3 * k) + 1, Bitset.words_to_le ci.ci_common);
+                 (sec_class_base + (3 * k) + 2, wsec ci.ci_pkg_class);
+               ])
+             (class_list t))
+    in
+    let n_sections = List.length sections in
+    let pad8 k = (k + 7) land lnot 7 in
+    let table_bytes = 8 * (2 + (3 * n_sections)) in
+    let entries, payload_len =
+      List.fold_left
+        (fun (acc, off) (id, body) ->
+          ((id, off, String.length body) :: acc, off + pad8 (String.length body)))
+        ([], table_bytes) sections
+    in
+    let entries = List.rev entries in
+    let payload = Bytes.make payload_len '\000' in
+    Bytes.set_int64_le payload 0 (Int64.of_int image_probe);
+    Bytes.set_int64_le payload 8 (Int64.of_int n_sections);
+    List.iteri
+      (fun i (id, off, len) ->
+        let base = 16 + (24 * i) in
+        Bytes.set_int64_le payload base (Int64.of_int id);
+        Bytes.set_int64_le payload (base + 8) (Int64.of_int off);
+        Bytes.set_int64_le payload (base + 16) (Int64.of_int len))
+      entries;
+    List.iter2
+      (fun (_, body) (_, off, _) ->
+        Bytes.blit_string body 0 payload off (String.length body))
+      sections entries;
+    let payload = Bytes.unsafe_to_string payload in
+    let out = Buffer.create (image_header_len + payload_len) in
+    Buffer.add_string out Snapshot.magic;
+    let scratch = Bytes.create 8 in
+    Bytes.set_int32_le scratch 0 (Int32.of_int image_version);
+    Buffer.add_subbytes out scratch 0 4;
+    Buffer.add_string out (Digest.string payload);
+    Bytes.set_int64_le scratch 0 (Int64.of_int payload_len);
+    Buffer.add_bytes out scratch;
+    Buffer.add_string out "\000\000\000\000";
+    Buffer.add_string out payload;
+    Ok (Buffer.contents out)
+
+let save_image ?seed ?source_key path t =
+  match to_image_string ?seed ?source_key t with
+  | Error e -> Error e
+  | Ok s -> (
+    match
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc s)
+    with
+    | () -> Ok ()
+    | exception Sys_error msg -> Error (Snapshot.Io msg))
+
+(* --- loader ------------------------------------------------------- *)
+
+(* One payload, three views: [img_read] pulls varint-encoded section
+   bytes (pread on the file path, substring on the in-memory path);
+   the two Bigarrays are whole-payload element views the numeric
+   sections slice into. Byte offset [8k] is element [k] of either. *)
+type image_source = {
+  img_read : int -> int -> string;
+  img_iba : Bitset.int_ba;
+  img_fba : Bitset.float_ba;
+  img_len : int;
+}
+
+let decode_bins ~apis ~expect (raw : string) =
+  try
+    let n_apis = Array.length apis in
+    let c = Wire.cursor raw in
+    let n_pool = Wire.r_varint c "image.bins.pool-count" in
+    if n_pool < 0 || n_pool > String.length raw then
+      corrupt "image: bins pool count %d" n_pool;
+    let pool = Array.make (max 1 n_pool) Api.Set.empty in
+    for p = 0 to n_pool - 1 do
+      let bytes = Wire.r_str c "image.bins.pool-bits" in
+      let base =
+        match Bitset.of_bytes n_apis bytes with
+        | Ok b -> b
+        | Error msg -> corrupt "image: bins bitset: %s" msg
+      in
+      let set =
+        Bitset.fold (fun id acc -> Api.Set.add apis.(id) acc) base Api.Set.empty
+      in
+      let n_extra = Wire.r_varint c "image.bins.pool-extra" in
+      if n_extra < 0 || n_extra > String.length raw then
+        corrupt "image: bins extra count %d" n_extra;
+      let set = ref set in
+      for _ = 1 to n_extra do
+        set := Api.Set.add (Wire.r_api c) !set
+      done;
+      pool.(p) <- !set
+    done;
+    let n_bins = Wire.r_varint c "image.bins.count" in
+    if n_bins <> expect then
+      corrupt "image: bins section holds %d rows, meta says %d" n_bins expect;
+    let rows = Array.make (max 1 n_bins) None in
+    for r = 0 to n_bins - 1 do
+      if c.Wire.pos + 16 > c.Wire.stop then
+        fail (Snapshot.Truncated "image.bins.digest");
+      let digest = String.sub c.Wire.buf c.Wire.pos 16 in
+      c.Wire.pos <- c.Wire.pos + 16;
+      let pid () =
+        let id = Wire.r_varint c "image.bins.set-id" in
+        if id < 0 || id >= n_pool then
+          corrupt "image: bins pool id %d of %d" id n_pool;
+        pool.(id)
+      in
+      let bs_all = pid () in
+      let bs_init = pid () in
+      let bs_serving = pid () in
+      rows.(r) <- Some { bs_digest = digest; bs_all; bs_init; bs_serving }
+    done;
+    if c.Wire.pos <> c.Wire.stop then corrupt "image: bins section underrun";
+    Ok
+      (Array.init n_bins (fun r ->
+           match rows.(r) with Some b -> b | None -> assert false))
+  with Wire.Fail e -> Error e
+
+(* Total validation of an image payload, then assembly of a [t] whose
+   numeric planes alias the payload words. Everything the unchecked
+   hot loops rely on is established here: section bounds, alignment,
+   exact plane widths against the meta counts, class map entries in
+   range, CSR offsets monotone and consistent. Raises {!Wire.Fail};
+   the entry points catch. *)
+let load_image_src (src : image_source) : t =
+  if src.img_len land 7 <> 0 then
+    corrupt "image: payload length %d not 8-aligned" src.img_len;
+  if src.img_len < 16 then fail (Snapshot.Truncated "image: section table");
+  let head = src.img_read 0 16 in
+  let probe = Int64.to_int (String.get_int64_le head 0) in
+  if probe <> image_probe then
+    corrupt "image: bad probe word (wrong endianness or not an index image)";
+  let n_sections = Int64.to_int (String.get_int64_le head 8) in
+  if n_sections < 0 || n_sections > 128 then
+    corrupt "image: section count %d" n_sections;
+  let table_len = 16 + (24 * n_sections) in
+  if table_len > src.img_len then fail (Snapshot.Truncated "image: section table");
+  let table = src.img_read 16 (24 * n_sections) in
+  let secs = Hashtbl.create 32 in
+  for i = 0 to n_sections - 1 do
+    let id = Int64.to_int (String.get_int64_le table (24 * i)) in
+    let off = Int64.to_int (String.get_int64_le table ((24 * i) + 8)) in
+    let len = Int64.to_int (String.get_int64_le table ((24 * i) + 16)) in
+    if Hashtbl.mem secs id then corrupt "image: duplicate section %d" id;
+    if len < 0 || off < table_len || off > src.img_len - len then
+      fail
+        (Snapshot.Truncated (Printf.sprintf "image: section %d out of bounds" id));
+    if off land 7 <> 0 then corrupt "image: section %d unaligned" id;
+    Hashtbl.add secs id (off, len)
+  done;
+  let find id what =
+    match Hashtbl.find_opt secs id with
+    | Some s -> s
+    | None -> corrupt "image: missing %s section" what
+  in
+  (* meta *)
+  let moff, mlen = find sec_meta "meta" in
+  let c = Wire.cursor (src.img_read moff mlen) in
+  let meta_seed = Wire.r_int c "image.meta.seed" in
+  let total_installs = Wire.r_int c "image.meta.total-installs" in
+  let meta_source_key = Wire.r_str c "image.meta.source-key" in
+  let n = Wire.r_int c "image.meta.n-packages" in
+  let n_apis = Wire.r_int c "image.meta.n-apis" in
+  let n_comps = Wire.r_int c "image.meta.n-comps" in
+  let max_nr = Wire.r_int c "image.meta.max-nr" in
+  let n_bins = Wire.r_int c "image.meta.n-bins" in
+  let den = Wire.r_float c "image.meta.den" in
+  if n < 0 || n_apis < 0 || n_comps < 0 || n_bins < 0 || max_nr < -1 then
+    corrupt "image: negative meta counts";
+  if n > mlen || n_apis > mlen || n_comps > n then
+    corrupt "image: meta counts exceed the meta section";
+  let names = Array.make n "" in
+  for i = 0 to n - 1 do
+    names.(i) <- Wire.r_str c "image.meta.name"
+  done;
+  let apis = Array.make n_apis (Api.Syscall 0) in
+  for i = 0 to n_apis - 1 do
+    apis.(i) <- Wire.r_api c
+  done;
+  let class_meta = Array.make 6 (0, 0) in
+  for k = 0 to 5 do
+    let nc = Wire.r_int c "image.meta.class-nc" in
+    let nw = Wire.r_int c "image.meta.class-nw" in
+    class_meta.(k) <- (nc, nw)
+  done;
+  if c.Wire.pos <> c.Wire.stop then corrupt "image: meta section underrun";
+  let api_ids = Api.Tbl.create (max 16 n_apis) in
+  Array.iteri
+    (fun id a ->
+      if Api.Tbl.mem api_ids a then corrupt "image: duplicate api in dictionary";
+      Api.Tbl.add api_ids a id)
+    apis;
+  (* numeric planes *)
+  let words_sec id what count =
+    let off, len = find id what in
+    if len <> 8 * count then
+      corrupt "image: %s section is %d bytes, expected %d" what len (8 * count);
+    Bitset.Words_map { wba = src.img_iba; woff = off / 8; wlen = count }
+  in
+  let floats_sec id what count =
+    let off, len = find id what in
+    if len <> 8 * count then
+      corrupt "image: %s section is %d bytes, expected %d" what len (8 * count);
+    Bitset.Floats_map { fba = src.img_fba; foff = off / 8; flen = count }
+  in
+  let probs = floats_sec sec_probs "probs" n in
+  let survival = floats_sec sec_survival "survival" n_apis in
+  let survival_init = floats_sec (sec_survival + 1) "survival-init" n_apis in
+  let survival_serving =
+    floats_sec (sec_survival + 2) "survival-serving" n_apis
+  in
+  let dep_count = words_sec sec_dep_count "dep-count" n_apis in
+  let elf_count = words_sec sec_elf_count "elf-count" n_apis in
+  let deps_off = words_sec sec_deps_off "deps-offsets" (n_apis + 1) in
+  let doff, dlen = find sec_deps_dat "deps-data" in
+  if dlen land 7 <> 0 then corrupt "image: deps-data length not 8-aligned";
+  let deps_total = dlen / 8 in
+  let deps_dat =
+    Bitset.Words_map { wba = src.img_iba; woff = doff / 8; wlen = deps_total }
+  in
+  if Bitset.words_get deps_off 0 <> 0 then
+    corrupt "image: deps offsets must start at 0";
+  for id = 0 to n_apis - 1 do
+    if Bitset.words_get deps_off (id + 1) < Bitset.words_get deps_off id then
+      corrupt "image: deps offsets not monotone"
+  done;
+  if Bitset.words_get deps_off n_apis <> deps_total then
+    corrupt "image: deps offsets disagree with deps-data length";
+  for k = 0 to deps_total - 1 do
+    let v = Bitset.words_get deps_dat k in
+    if v < 0 || v >= n then corrupt "image: dependent package id %d of %d" v n
+  done;
+  (* class indexes *)
+  let universes = [| n_apis; max_nr + 1; n_apis; max_nr + 1; n_apis; max_nr + 1 |] in
+  let read_class k =
+    let nc, nw = class_meta.(k) in
+    if nc < 0 || nw < 0 then corrupt "image: negative class dimensions";
+    if nc > max 1 n_comps then
+      corrupt "image: %d classes exceed %d components" nc n_comps;
+    if nc = 0 then begin
+      if nw <> 0 then corrupt "image: empty class index with %d words" nw
+    end
+    else if nw <> Bitset.words_for universes.(k) then
+      corrupt "image: class width %d disagrees with universe %d" nw universes.(k);
+    let flat_count = max 1 (nc * nw) in
+    let flat = words_sec (sec_class_base + (3 * k)) "class-rows" flat_count in
+    let common =
+      let off, len = find (sec_class_base + (3 * k) + 1) "class-core" in
+      let expect = if nc = 0 then max 1 nw else nw in
+      if len <> 8 * expect then
+        corrupt "image: class-core section is %d bytes, expected %d" len
+          (8 * expect);
+      Array.init expect (fun i -> Bigarray.Array1.get src.img_iba ((off / 8) + i))
+    in
+    let pkg_class = words_sec (sec_class_base + (3 * k) + 2) "class-map" n in
+    for i = 0 to n - 1 do
+      let v = Bitset.words_get pkg_class i in
+      if v < 0 || v >= nc then corrupt "image: package class %d of %d" v nc
+    done;
+    { ci_nc = nc; ci_nw = nw; ci_flat = flat; ci_common = common; ci_pkg_class = pkg_class }
+  in
+  let req = read_class 0 in
+  let sys = read_class 1 in
+  let req_init = read_class 2 in
+  let sys_init = read_class 3 in
+  let req_serving = read_class 4 in
+  let sys_serving = read_class 5 in
+  (* bins: pull the raw bytes eagerly (the fd may close after load),
+     decode on first use — the server never asks for them. *)
+  let boff, blen = find sec_bins "bins" in
+  let bins_raw = src.img_read boff blen in
+  let bins = lazy (decode_bins ~apis ~expect:n_bins bins_raw) in
+  let ranking = build_ranking ~n ~api_ids ~survival ~elf_count in
+  {
+    n;
+    mapped = true;
+    meta_seed;
+    meta_source_key;
+    total_installs;
+    n_bins;
+    probs;
+    names;
+    api_ids;
+    apis;
+    survival;
+    survival_init;
+    survival_serving;
+    dep_count;
+    elf_count;
+    deps_off;
+    deps_dat;
+    n_comps;
+    req;
+    sys;
+    req_init;
+    sys_init;
+    req_serving;
+    sys_serving;
+    max_nr;
+    ranking;
+    den;
+    bins;
+  }
+
+let check_header ~what ~len ~read_prefix =
+  let prefix = read_prefix (min image_header_len len) in
+  let mlen = min 8 (String.length prefix) in
+  if String.sub prefix 0 mlen <> String.sub Snapshot.magic 0 mlen then
+    fail Snapshot.Not_snapshot;
+  if len < image_header_len then fail (Snapshot.Truncated "header");
+  let version = Int32.to_int (String.get_int32_le prefix 8) in
+  if version <> image_version then fail (Snapshot.Unsupported_version version);
+  let digest = String.sub prefix 12 16 in
+  let payload_len = Int64.to_int (String.get_int64_le prefix 28) in
+  if payload_len < 0 || payload_len > len - image_header_len then
+    fail (Snapshot.Truncated "payload");
+  if image_header_len + payload_len < len then
+    corrupt "image: %d trailing bytes after the payload" (len - image_header_len - payload_len);
+  ignore what;
+  (digest, payload_len)
+
+let of_image ?(verify = true) (s : string) =
+  try
+    let digest, payload_len =
+      check_header ~what:"image" ~len:(String.length s)
+        ~read_prefix:(fun k -> String.sub s 0 k)
+    in
+    if verify && Digest.substring s image_header_len payload_len <> digest then
+      fail Snapshot.Digest_mismatch;
+    if payload_len land 7 <> 0 then
+      corrupt "image: payload length %d not 8-aligned" payload_len;
+    let nwords = payload_len / 8 in
+    let iba = Bigarray.Array1.create Bigarray.int Bigarray.c_layout nwords in
+    let fba = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout nwords in
+    for i = 0 to nwords - 1 do
+      let bits = String.get_int64_le s (image_header_len + (8 * i)) in
+      Bigarray.Array1.set iba i (Int64.to_int bits);
+      Bigarray.Array1.set fba i (Int64.float_of_bits bits)
+    done;
+    let src =
+      {
+        img_read =
+          (fun pos len ->
+            if pos < 0 || len < 0 || pos > payload_len - len then
+              fail (Snapshot.Truncated "image: section read");
+            String.sub s (image_header_len + pos) len);
+        img_iba = iba;
+        img_fba = fba;
+        img_len = payload_len;
+      }
+    in
+    Ok (load_image_src src)
+  with Wire.Fail e -> Error e
+
+let load_image ?(verify = true) path =
+  Stage.time "image-load" @@ fun () ->
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Snapshot.Io (path ^ ": " ^ Unix.error_message e))
+  | fd -> (
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    try
+      let file_len = (Unix.fstat fd).Unix.st_size in
+      let pread pos len what =
+        ignore (Unix.lseek fd pos Unix.SEEK_SET);
+        let b = Bytes.create len in
+        let k = ref 0 in
+        while !k < len do
+          let r = Unix.read fd b !k (len - !k) in
+          if r = 0 then fail (Snapshot.Truncated what);
+          k := !k + r
+        done;
+        Bytes.unsafe_to_string b
+      in
+      let digest, payload_len =
+        check_header ~what:path ~len:file_len
+          ~read_prefix:(fun k -> pread 0 k "header")
+      in
+      if verify then begin
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            seek_in ic image_header_len;
+            if Digest.channel ic payload_len <> digest then
+              fail Snapshot.Digest_mismatch)
+      end;
+      if payload_len land 7 <> 0 then
+        corrupt "image: payload length %d not 8-aligned" payload_len;
+      if payload_len < 16 then fail (Snapshot.Truncated "image: section table");
+      let nwords = payload_len / 8 in
+      let iba =
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd ~pos:(Int64.of_int image_header_len) Bigarray.int
+             Bigarray.c_layout false [| nwords |])
+      in
+      let fba =
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd ~pos:(Int64.of_int image_header_len)
+             Bigarray.float64 Bigarray.c_layout false [| nwords |])
+      in
+      let src =
+        {
+          img_read =
+            (fun pos len ->
+              if pos < 0 || len < 0 || pos > payload_len - len then
+                fail (Snapshot.Truncated "image: section read");
+              pread (image_header_len + pos) len "image: section read");
+          img_iba = iba;
+          img_fba = fba;
+          img_len = payload_len;
+        }
+      in
+      Ok (load_image_src src)
+    with
+    | Wire.Fail e -> Error e
+    | Unix.Unix_error (e, fn, _) ->
+      Error
+        (Snapshot.Io
+           (Printf.sprintf "%s: %s (%s)" path (Unix.error_message e) fn))
+    | Sys_error msg -> Error (Snapshot.Io msg)
+    | End_of_file -> Error (Snapshot.Truncated "image: payload"))

@@ -51,9 +51,10 @@ type ranked = {
 val index : ?domains:int -> Lapis_store.Store.t -> t
 (** Build the index (timed under the ["query:index-build"] stage).
     [domains] caps the construction fan-out (default: all); the
-    result is bit-identical for every value of it. *)
+    result is bit-identical for every value of it. The index captures
+    everything it answers from — dependents, per-binary footprints,
+    store meta — so the store itself is not retained. *)
 
-val store : t -> Lapis_store.Store.t
 val n_packages : t -> int
 
 val n_apis : t -> int
@@ -62,6 +63,15 @@ val n_apis : t -> int
 val n_components : t -> int
 (** Strongly connected components of the dependency graph — the
     number of subset tests one completeness query costs. *)
+
+val n_binaries : t -> int
+(** Binary rows carried for the seccomp generator. *)
+
+val total_installs : t -> int
+(** The popcon denominator of the producing world. *)
+
+val is_mapped : t -> bool
+(** True when the numeric planes alias a mapped format-4 image. *)
 
 val importance : ?phase:phase -> t -> Api.t -> float
 (** Appendix A.1 importance, O(1): [1 - prod(1 - p)] over dependent
@@ -128,3 +138,63 @@ val api_to_string : Api.t -> string
 val api_of_string : string -> (Api.t, string) result
 (** Inverse of {!api_to_string}; also accepts bare syscall names or
     numbers ([read], [42]). *)
+
+(** {2 Per-binary footprints}
+
+    Carried by the index for the seccomp generator (digest-keyed
+    lookup of a binary's phased API sets). On a mapped image these
+    decode lazily from the varint bins section on first use — from
+    one thread; the serving hot paths never touch them. *)
+
+type bin_sets = {
+  bs_digest : Digest.t;
+  bs_all : Api.Set.t;  (** the binary's whole resolved footprint *)
+  bs_init : Api.Set.t;
+  bs_serving : Api.Set.t;
+}
+
+val bins : t -> (bin_sets array, Lapis_store.Snapshot.error) result
+(** Every binary row. [Error] only on a mapped image whose bins
+    section is corrupt (the sections the queries run on are validated
+    at load; this one is validated on first decode). *)
+
+val find_bin :
+  t -> Digest.t -> (bin_sets option, Lapis_store.Snapshot.error) result
+(** The row for a binary's content digest, if any. *)
+
+(** {2 Format-4 index images}
+
+    A built index serialized flat — little-endian, 8-aligned,
+    section-tabled — so serving processes map it read-only
+    ({!load_image}) and answer queries in place with zero decode,
+    bit-identically to a freshly built index. Shares the [LAPISNAP]
+    header discipline and {!Lapis_store.Snapshot.error} taxonomy with
+    row snapshots; {!Lapis_store.Snapshot.file_version} routes a path
+    to the right loader. *)
+
+val image_version : int
+(** 4 — the version word distinguishing index images from the
+    decode-and-build row snapshot formats 1–3. *)
+
+val to_image_string : ?seed:int -> ?source_key:string -> t -> (string, Lapis_store.Snapshot.error) result
+(** Serialize to the image wire format. [seed]/[source_key] stamp the
+    producing world's identity into the meta section (defaults [0] /
+    [""]). [Error] only if a mapped source's bins section is corrupt. *)
+
+val save_image : ?seed:int -> ?source_key:string -> string -> t -> (unit, Lapis_store.Snapshot.error) result
+
+val of_image : ?verify:bool -> string -> (t, Lapis_store.Snapshot.error) result
+(** Decode an image from memory (the fuzz harness's entry point; the
+    payload is copied into fresh backing stores). Total: truncation,
+    bit flips, unaligned or out-of-bounds section offsets all come
+    back as structured errors, never an exception or a wild read.
+    [verify] (default true) checks the payload MD5 — pass [false] to
+    exercise the structural validators on flipped payloads. *)
+
+val load_image : ?verify:bool -> string -> (t, Lapis_store.Snapshot.error) result
+(** Map an image file read-only ([Unix.map_file]) and validate every
+    section offset, length, plane width and cross-reference up front;
+    the returned index answers queries straight from the mapping.
+    [verify] (default true) streams the payload once to check the MD5
+    — skipping it makes loading O(validation), not O(file). Timed
+    under the ["image-load"] stage. *)

@@ -95,18 +95,14 @@ let handle_request idx (request : Json.t) : Json.t =
        (match op with
         | "ping" -> ok [ ("pong", Json.Bool true) ]
         | "stats" ->
-          let store = Query.store idx in
           ok
             [
               ("n_packages", Json.Num (float_of_int (Query.n_packages idx)));
               ("n_apis", Json.Num (float_of_int (Query.n_apis idx)));
               ( "n_binaries",
-                Json.Num
-                  (float_of_int
-                     (List.length store.Lapis_store.Store.bins)) );
+                Json.Num (float_of_int (Query.n_binaries idx)) );
               ( "total_installs",
-                Json.Num
-                  (float_of_int store.Lapis_store.Store.total_installs) );
+                Json.Num (float_of_int (Query.total_installs idx)) );
             ]
         | "importance" ->
           (match api_field request with

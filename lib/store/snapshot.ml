@@ -539,3 +539,45 @@ let load path : (t, error) result =
   | s -> Lapis_perf.Stage.time "snapshot-load" (fun () -> of_string s)
   | exception Sys_error msg -> Error (Io msg)
   | exception End_of_file -> Error (Io (path ^ ": unexpected end of file"))
+
+(* Peek at a file's magic + version without decoding: the router that
+   lets the CLI send format-4 index images (which share the LAPISNAP
+   header but are not row snapshots) to the query engine's mapped
+   loader instead of this module's decoder. *)
+let file_version path : (int, error) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic (min 12 (in_channel_length ic)))
+  with
+  | s ->
+    let prefix = min 8 (String.length s) in
+    if String.sub s 0 prefix <> String.sub magic 0 prefix then
+      Error Not_snapshot
+    else if String.length s < 12 then Error (Truncated "header")
+    else Ok (Int32.to_int (String.get_int32_le s 8))
+  | exception Sys_error msg -> Error (Io msg)
+  | exception End_of_file -> Error (Io (path ^ ": unexpected end of file"))
+
+(* The primitive codecs, re-exported for sibling wire formats (the
+   query engine's format-4 image stores its metadata section in the
+   same zigzag-LEB128 encoding). *)
+module Wire = struct
+  type nonrec cursor = cursor = { buf : string; mutable pos : int; stop : int }
+
+  exception Fail = Fail
+
+  let w_varint = w_varint
+  let w_int = w_int
+  let w_str = w_str
+  let w_float = w_float
+  let w_api = w_api
+  let cursor ?(pos = 0) ?stop buf =
+    { buf; pos; stop = Option.value ~default:(String.length buf) stop }
+  let r_byte = r_byte
+  let r_varint = r_varint
+  let r_int = r_int
+  let r_str = r_str
+  let r_float = r_float
+  let r_api = r_api
+end

@@ -81,3 +81,37 @@ val of_string : string -> (t, error) result
 val save : string -> t -> (unit, error) result
 val load : string -> (t, error) result
 (** [load] times itself under the ["snapshot-load"] {!Lapis_perf.Stage}. *)
+
+val file_version : string -> (int, error) result
+(** Read just the magic and version word of a file — the router that
+    distinguishes decode-and-build row snapshots (versions 1–3) from
+    format-4 index images, which share the header discipline but are
+    loaded by the query engine's mapped loader. *)
+
+(** The primitive wire codecs (zigzag-LEB128 varints, length-prefixed
+    strings, IEEE-754 float bit patterns, API tags), shared with the
+    format-4 index image's metadata sections. Readers raise {!Wire.Fail}
+    carrying the same structured {!error} taxonomy; writers append to a
+    [Buffer.t]. *)
+module Wire : sig
+  type cursor = { buf : string; mutable pos : int; stop : int }
+
+  exception Fail of error
+
+  val w_varint : Buffer.t -> int -> unit
+  val w_int : Buffer.t -> int -> unit
+  val w_str : Buffer.t -> string -> unit
+  val w_float : Buffer.t -> float -> unit
+  val w_api : Buffer.t -> Lapis_apidb.Api.t -> unit
+
+  val cursor : ?pos:int -> ?stop:int -> string -> cursor
+  (** A cursor over [buf] from [pos] (default 0) to [stop] (default
+      the end). *)
+
+  val r_byte : cursor -> string -> int
+  val r_varint : cursor -> string -> int
+  val r_int : cursor -> string -> int
+  val r_str : cursor -> string -> string
+  val r_float : cursor -> string -> float
+  val r_api : cursor -> Lapis_apidb.Api.t
+end
