@@ -37,6 +37,8 @@ type args = {
   replicas : int;
   min_cold_speedup : float option;
   max_cold_seconds : float option;
+  evolve_bench : bool;
+  releases : int;
 }
 
 let usage () =
@@ -46,7 +48,8 @@ let usage () =
     \       bench/main.exe --query-bench [--queries N] [--snapshot FILE] \
      [--min-speedup X] [--packages N]\n\
     \       bench/main.exe --query-bench --cold-start-bench [--image FILE] \
-     [--replicas N] [--min-cold-speedup X] [--max-cold-seconds S]";
+     [--replicas N] [--min-cold-speedup X] [--max-cold-seconds S]\n\
+    \       bench/main.exe --evolve-bench [--releases R] [--packages N]";
   exit 2
 
 let parse_args () =
@@ -63,7 +66,9 @@ let parse_args () =
   and image = ref None
   and replicas = ref 4
   and min_cold_speedup = ref None
-  and max_cold_seconds = ref None in
+  and max_cold_seconds = ref None
+  and evolve_bench = ref false
+  and releases = ref 20 in
   let rec go = function
     | [] -> ()
     | "--no-micro" :: rest ->
@@ -162,6 +167,20 @@ let parse_args () =
     | [ "--max-cold-seconds" ] ->
       prerr_endline "bench: --max-cold-seconds expects an argument";
       usage ()
+    | "--evolve-bench" :: rest ->
+      evolve_bench := true;
+      go rest
+    | "--releases" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some v when v >= 0 -> releases := v
+       | Some _ | None ->
+         Printf.eprintf
+           "bench: --releases expects a non-negative integer, got %S\n" n;
+         usage ());
+      go rest
+    | [ "--releases" ] ->
+      prerr_endline "bench: --releases expects an argument";
+      usage ()
     | id :: rest ->
       if String.length id > 1 && id.[0] = '-' then begin
         Printf.eprintf "bench: unknown option %s\n" id;
@@ -186,6 +205,8 @@ let parse_args () =
     replicas = !replicas;
     min_cold_speedup = !min_cold_speedup;
     max_cold_seconds = !max_cold_seconds;
+    evolve_bench = !evolve_bench;
+    releases = !releases;
   }
 
 let count_loc () =
@@ -379,64 +400,85 @@ let write_json ~packages ~binaries ~wall ~micro_results ~git ~source_key path =
   close_out oc;
   Printf.printf "Wrote %s\n%!" path
 
-(* Scan a BENCH JSON written by [write_json] for a top-level numeric
-   field. Good enough for the fixed shape above; not a JSON parser. *)
-let baseline_field path key =
-  let needle = Printf.sprintf "\"%s\":" key in
-  let ic = open_in path in
-  let found = ref None in
-  (try
-     while !found = None do
-       let line = input_line ic in
-       match String.index_opt line ':' with
-       | Some _ ->
-         let trimmed = String.trim line in
-         if String.length trimmed > String.length needle
-            && String.sub trimmed 0 (String.length needle) = needle
-         then begin
-           let v =
-             String.sub trimmed (String.length needle)
-               (String.length trimmed - String.length needle)
-             |> String.trim
-           in
-           let v =
-             match String.index_opt v ',' with
-             | Some i -> String.sub v 0 i
-             | None -> v
-           in
-           found := float_of_string_opt v
-         end
-       | None -> ()
-     done
-   with End_of_file -> ());
-  close_in ic;
-  !found
+(* CI regression gate: fail when the pipeline regresses more than 50%
+   against the checked-in baseline, or when the run quarantined any
+   binary — the generated corpus is clean, so a nonzero reject counter
+   means an ingestion regression (a well-formed binary suddenly
+   failing to parse or analyze), not noise. The wide timing margin
+   absorbs machine-to-machine and run-to-run variance; a real
+   complexity regression (the kind this gate exists for) blows well
+   past it.
 
-(* CI regression gate: fail when the pipeline stage total regresses
-   more than 50% against the checked-in baseline, or when the run
-   quarantined any binary — the generated corpus is clean, so a
-   nonzero reject counter means an ingestion regression (a
-   well-formed binary suddenly failing to parse or analyze), not
-   noise. The wide timing margin absorbs machine-to-machine and
-   run-to-run variance; a real complexity regression (the kind this
-   gate exists for) blows well past it. *)
+   Baselines drift: a file committed five PRs ago knows nothing about
+   stages added since (and may list stages since removed), so the
+   timing gate runs over the intersection of stage names — comparing
+   totals across different stage sets would either fail every build
+   that grows the pipeline or let a regression hide behind a shrunken
+   set. One-sided stages are reported, never silently dropped.
+   Baselines from before the per-stage rows existed gate on
+   stage_total_s as before. *)
 let check_against ~stage_total_now ~quarantined path =
-  (match baseline_field path "stage_total_s" with
-   | None ->
-     Printf.eprintf "bench: no \"stage_total_s\" field found in %s\n" path;
+  let module B = Core.Perf.Baseline in
+  (match B.load path with
+   | Error msg ->
+     Printf.eprintf "bench: cannot read baseline %s: %s\n" path msg;
      exit 1
-   | Some baseline ->
-     let limit = baseline *. 1.5 in
-     Printf.printf
-       "Regression check: stage total %.3fs vs baseline %.3fs (limit %.3fs)\n"
-       stage_total_now baseline limit;
-     if stage_total_now > limit then begin
-       Printf.eprintf
-         "bench: FAIL: pipeline stage total regressed more than 50%% \
-          (%.3fs > %.3fs)\n"
-         stage_total_now limit;
-       exit 1
-     end);
+   | Ok baseline ->
+     let gate ~what ~now ~base =
+       let limit = base *. 1.5 in
+       Printf.printf "Regression check: %s %.3fs vs baseline %.3fs \
+                      (limit %.3fs)\n"
+         what now base limit;
+       if now > limit then begin
+         Printf.eprintf
+           "bench: FAIL: %s regressed more than 50%% (%.3fs > %.3fs)\n"
+           what now limit;
+         exit 1
+       end
+     in
+     (match baseline.B.stages with
+      | [] ->
+        (match baseline.B.stage_total_s with
+         | None ->
+           Printf.eprintf
+             "bench: baseline %s has neither per-stage rows nor \
+              \"stage_total_s\"\n"
+             path;
+           exit 1
+         | Some base ->
+           gate ~what:"pipeline stage total" ~now:stage_total_now ~base)
+      | _ :: _ ->
+        let now =
+          List.map
+            (fun (l : Core.Perf.Stage.line) ->
+              (l.Core.Perf.Stage.l_name, l.Core.Perf.Stage.l_seconds))
+            (Core.Perf.Stage.report ())
+        in
+        let v = B.compare_stages baseline now in
+        if v.B.only_now <> [] then
+          Printf.printf
+            "Regression check: %d stage(s) newer than the baseline \
+             (reported, not gated): %s\n"
+            (List.length v.B.only_now)
+            (String.concat " " v.B.only_now);
+        if v.B.only_baseline <> [] then
+          Printf.printf
+            "Regression check: %d baseline stage(s) absent from this \
+             run: %s\n"
+            (List.length v.B.only_baseline)
+            (String.concat " " v.B.only_baseline);
+        if v.B.shared = [] then begin
+          Printf.eprintf
+            "bench: FAIL: no stage names shared with baseline %s — \
+             nothing to gate on\n"
+            path;
+          exit 1
+        end;
+        gate
+          ~what:
+            (Printf.sprintf "total over %d shared stages"
+               (List.length v.B.shared))
+          ~now:v.B.shared_now_s ~base:v.B.shared_baseline_s));
   if quarantined > 0 then begin
     Printf.eprintf
       "bench: FAIL: %d binaries quarantined on a clean corpus (see the \
@@ -867,7 +909,7 @@ let run_query_bench (args : args) =
         Core.Db.Snapshot.source_key
           ~seed:config.Core.Distro.Generator.seed
           ~n_packages:config.Core.Distro.Generator.n_packages
-          ~total_installs:config.Core.Distro.Generator.total_installs )
+          ~total_installs:config.Core.Distro.Generator.total_installs () )
   in
   let store = env.Study.Env.store in
   let idx = env.Study.Env.index in
@@ -995,6 +1037,137 @@ let run_query_bench (args : args) =
       | _ -> ()));
   print_endline "Query bench: OK"
 
+(* --- evolve bench --------------------------------------------------
+
+   The living-distribution gate: evolve the world release by release
+   and analyze every release twice — from scratch (a fresh per-run
+   cache) and incrementally (one content-hash cache carried across
+   the whole sequence). The two snapshots must be byte-identical at
+   EVERY release; BENCH_EVOLVE.json records the wall-time ratio, the
+   cache-reuse counters and the delta-vs-full snapshot sizes. *)
+
+type evolve_row = {
+  er_release : int;
+  er_scratch_s : float;
+  er_inc_s : float;
+  er_hits : int;
+  er_misses : int;
+  er_full_bytes : int;
+  er_delta_bytes : int;  (* 0 for the base release *)
+}
+
+let write_evolve_json ~packages ~releases ~rows ~scratch_s ~inc_s ~hits
+    ~misses ~git path =
+  let oc = open_out path in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"git\": \"%s\",\n" (json_escape git);
+  pf "  \"packages\": %d,\n" packages;
+  pf "  \"releases\": %d,\n" releases;
+  pf "  \"identical\": true,\n";
+  pf "  \"scratch_wall_s\": %.6f,\n" scratch_s;
+  pf "  \"incremental_wall_s\": %.6f,\n" inc_s;
+  pf "  \"wall_ratio\": %.4f,\n"
+    (if scratch_s > 0.0 then inc_s /. scratch_s else 0.0);
+  pf "  \"cache_hits\": %d,\n" hits;
+  pf "  \"cache_misses\": %d,\n" misses;
+  pf "  \"reuse\": %.4f,\n"
+    (if hits + misses > 0 then
+       float_of_int hits /. float_of_int (hits + misses)
+     else 0.0);
+  pf "  \"rows\": [";
+  List.iteri
+    (fun i r ->
+      pf "%s\n    { \"release\": %d, \"scratch_s\": %.6f, \"inc_s\": %.6f, \
+          \"hits\": %d, \"misses\": %d, \"full_bytes\": %d, \
+          \"delta_bytes\": %d }"
+        (if i = 0 then "" else ",")
+        r.er_release r.er_scratch_s r.er_inc_s r.er_hits r.er_misses
+        r.er_full_bytes r.er_delta_bytes)
+    rows;
+  pf "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "Wrote %s\n%!" path
+
+let run_evolve_bench args =
+  let module G = Core.Distro.Generator in
+  let module Pl = Core.Db.Pipeline in
+  let module Sn = Core.Db.Snapshot in
+  let config = { G.default_config with n_packages = args.packages } in
+  let cache = Pl.new_cache () in
+  let inc_config = { Pl.default with shared_cache = Some cache } in
+  Printf.printf
+    "Evolve bench: %d releases over %d packages, incremental vs \
+     from-scratch...\n%!"
+    args.releases args.packages;
+  let base = ref None in
+  let rows = ref [] in
+  let tot_scratch = ref 0.0 and tot_inc = ref 0.0 in
+  let prev_hits = ref 0 and prev_misses = ref 0 in
+  for r = 0 to args.releases do
+    let dist = G.evolve ~config ~release:r () in
+    let t0 = Unix.gettimeofday () in
+    let scratch = Pl.run dist in
+    let t1 = Unix.gettimeofday () in
+    let incr = Pl.run ~config:inc_config dist in
+    let t2 = Unix.gettimeofday () in
+    let snap_inc = Sn.of_analyzed incr in
+    let b_inc = Sn.to_string snap_inc in
+    let b_scratch = Sn.to_string (Sn.of_analyzed scratch) in
+    if b_scratch <> b_inc then begin
+      Printf.eprintf
+        "bench: FAIL: release %d: the incremental snapshot differs from \
+         the from-scratch one (%d vs %d bytes) — the shared analysis \
+         cache leaked state across releases\n"
+        r (String.length b_inc) (String.length b_scratch);
+      exit 1
+    end;
+    let hits = Core.Perf.Stage.counter "incremental:hits" in
+    let misses = Core.Perf.Stage.counter "incremental:misses" in
+    let dh = hits - !prev_hits and dm = misses - !prev_misses in
+    prev_hits := hits;
+    prev_misses := misses;
+    let delta_bytes =
+      match !base with
+      | None ->
+        base := Some snap_inc;
+        0
+      | Some b -> String.length (Sn.to_delta_string ~base:b snap_inc)
+    in
+    tot_scratch := !tot_scratch +. (t1 -. t0);
+    tot_inc := !tot_inc +. (t2 -. t1);
+    rows :=
+      {
+        er_release = r;
+        er_scratch_s = t1 -. t0;
+        er_inc_s = t2 -. t1;
+        er_hits = dh;
+        er_misses = dm;
+        er_full_bytes = String.length b_inc;
+        er_delta_bytes = delta_bytes;
+      }
+      :: !rows;
+    Printf.printf
+      "  release %2d: identical (%d bytes); scratch %.2fs, incremental \
+       %.2fs, reuse %d/%d%s\n%!"
+      r (String.length b_inc) (t1 -. t0) (t2 -. t1) dh (dh + dm)
+      (if delta_bytes = 0 then ""
+       else Printf.sprintf ", delta %d bytes" delta_bytes)
+  done;
+  let hits = Core.Perf.Stage.counter "incremental:hits" in
+  let misses = Core.Perf.Stage.counter "incremental:misses" in
+  Printf.printf
+    "Evolve bench: all %d releases bit-identical; wall %.2fs scratch vs \
+     %.2fs incremental (ratio %.2f), cache reuse %d/%d\n%!"
+    (args.releases + 1) !tot_scratch !tot_inc
+    (if !tot_scratch > 0.0 then !tot_inc /. !tot_scratch else 0.0)
+    hits (hits + misses);
+  if args.json then
+    write_evolve_json ~packages:args.packages ~releases:args.releases
+      ~rows:(List.rev !rows) ~scratch_s:!tot_scratch ~inc_s:!tot_inc ~hits
+      ~misses ~git:(git_stamp ()) "BENCH_EVOLVE.json";
+  print_endline "Evolve bench: OK"
+
 let () =
   (* Hidden replica mode: exec'd by the cold-start bench, prints this
      process's VmRSS (kB) after mapping the image and answering once. *)
@@ -1004,6 +1177,10 @@ let () =
   let args = parse_args () in
   if args.query_bench then begin
     run_query_bench args;
+    exit 0
+  end;
+  if args.evolve_bench then begin
+    run_evolve_bench args;
     exit 0
   end;
   let t0 = Unix.gettimeofday () in
@@ -1057,7 +1234,7 @@ let () =
         (Core.Db.Snapshot.source_key
            ~seed:config.Core.Distro.Generator.seed
            ~n_packages:config.Core.Distro.Generator.n_packages
-           ~total_installs:config.Core.Distro.Generator.total_installs)
+           ~total_installs:config.Core.Distro.Generator.total_installs ())
       (Printf.sprintf "BENCH_%d.json" args.packages)
   end;
   Option.iter

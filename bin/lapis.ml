@@ -2,6 +2,8 @@
 
    Subcommands:
      generate   synthesize the distribution and write its binaries to disk
+     evolve     evolve it release by release: one full snapshot + deltas,
+                analyzed incrementally through a shared content-hash cache
      analyze    run the pipeline and dump importance rankings
                 (--save-snapshot persists the analyzed world)
      report     regenerate a figure/table of the paper (or all of them)
@@ -44,6 +46,24 @@ let snapshot_arg =
   in
   Arg.(value & opt (some file) None & info [ "snapshot" ] ~docv:"PATH" ~doc)
 
+let base_arg =
+  let doc =
+    "Full row snapshot a format-5 delta snapshot (written by \
+     $(b,lapis evolve)) applies to. Required when --snapshot names a \
+     delta; ignored otherwise."
+  in
+  Arg.(value & opt (some file) None & info [ "base" ] ~docv:"PATH" ~doc)
+
+let stats_arg =
+  let doc =
+    "Print the per-stage timing/counter report to stderr after answering \
+     (shows that snapshot-backed queries spend no time in analysis)."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let print_stage_stats () =
+  Fmt.epr "# per-stage breakdown:@\n%a%!" Core.Perf.Stage.pp_report ()
+
 let config packages seed =
   let d = Core.Distro.Generator.default_config in
   {
@@ -68,6 +88,31 @@ let load_snapshot path =
       (Snapshot.kind_name e);
     exit 1
 
+(* A format-5 delta is meaningless alone: route it through the full
+   snapshot it was diffed against ([--base]). Anything else goes to
+   the plain loader. *)
+let load_any_snapshot ?base path =
+  if Snapshot.file_version path = Ok Snapshot.delta_version then
+    match base with
+    | None ->
+      Printf.eprintf
+        "lapis: %s is a format-5 delta snapshot; pass --base PATH naming \
+         the full snapshot it applies to (lapis evolve writes it as \
+         base.snap)\n"
+        path;
+      exit 2
+    | Some bpath ->
+      let b = load_snapshot bpath in
+      (match Snapshot.load_delta path ~base:b with
+       | Ok snap -> snap
+       | Error e ->
+         Printf.eprintf "lapis: cannot apply delta %s to %s: %s [kind: %s]\n"
+           path bpath
+           (Fmt.str "%a" Snapshot.pp_error e)
+           (Snapshot.kind_name e);
+         exit 1)
+  else load_snapshot path
+
 (* Is [path] a format-4 index image (as opposed to a row snapshot)?
    Unreadable or unrecognizable files fall through to the row-snapshot
    loader, whose errors name the problem. *)
@@ -85,11 +130,11 @@ let load_image path =
       (Snapshot.kind_name e);
     exit 1
 
-let make_env ?snapshot packages seed =
+let make_env ?snapshot ?base packages seed =
   setup_logs ();
   match snapshot with
   | Some path ->
-    let snap = load_snapshot path in
+    let snap = load_any_snapshot ?base path in
     if (packages <> None || seed <> None)
        && not (Snapshot.matches snap (config packages seed))
     then
@@ -151,6 +196,129 @@ let generate_cmd =
     (Cmd.info "generate" ~doc)
     Term.(const run $ packages_arg $ seed_arg $ out_arg)
 
+(* --- evolve ------------------------------------------------------------ *)
+
+let evolve_cmd =
+  let releases_arg =
+    let doc = "How many releases to evolve past the base (release 0)." in
+    Arg.(value & opt int 5 & info [ "releases" ] ~docv:"R" ~doc)
+  in
+  let churn_arg =
+    let doc =
+      "Fraction of eligible packages whose behavior changes per release \
+       (bumps; re-links, retirements and introductions are derived from \
+       it)."
+    in
+    Arg.(value & opt float 0.05 & info [ "churn" ] ~docv:"FRAC" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Directory for the release stream: $(b,base.snap) (full snapshot of \
+       release 0) plus one $(b,delta-rN.snap) (format-5, diffed against \
+       the base) per later release."
+    in
+    Arg.(value & opt string "_releases" & info [ "o"; "output" ] ~docv:"DIR" ~doc)
+  in
+  let publish_arg =
+    let doc =
+      "After each release, publish its full snapshot at $(docv) via \
+       write-to-temp + rename, so a watching $(b,lapis serve --watch) \
+       always sees either the old or the new file, never a partial one."
+    in
+    Arg.(value & opt (some string) None & info [ "publish" ] ~docv:"PATH" ~doc)
+  in
+  let run packages seed releases churn out publish stats =
+    setup_logs ();
+    if releases < 0 then begin
+      Printf.eprintf "lapis: --releases must be non-negative\n";
+      exit 2
+    end;
+    let config = config packages seed in
+    (* one analysis cache across the whole release sequence: only
+       binaries whose bytes changed are re-analyzed, and the
+       incremental:* counters below prove the reuse ratio *)
+    let cache = Core.Db.Pipeline.new_cache () in
+    let pconfig =
+      { Core.Db.Pipeline.default with shared_cache = Some cache }
+    in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let fail_snap what path e =
+      Printf.eprintf "lapis: cannot %s %s: %s\n" what path
+        (Fmt.str "%a" Snapshot.pp_error e);
+      exit 1
+    in
+    let publish_snap snap =
+      match publish with
+      | None -> ()
+      | Some path ->
+        let tmp = path ^ ".tmp" in
+        (match Snapshot.save tmp snap with
+         | Error e -> fail_snap "publish" tmp e
+         | Ok () ->
+           Sys.rename tmp path;
+           Printf.eprintf "# published %s\n%!" path)
+    in
+    let prev_hits = ref 0 and prev_misses = ref 0 in
+    let reuse_since_last () =
+      let h = Core.Perf.Stage.counter "incremental:hits" in
+      let m = Core.Perf.Stage.counter "incremental:misses" in
+      let dh = h - !prev_hits and dm = m - !prev_misses in
+      prev_hits := h;
+      prev_misses := m;
+      (dh, dm)
+    in
+    let base = ref None in
+    for r = 0 to releases do
+      let dist =
+        Core.Distro.Generator.evolve ~config ~churn ~release:r ()
+      in
+      let analyzed = Core.Db.Pipeline.run ~config:pconfig dist in
+      let snap = Snapshot.of_analyzed analyzed in
+      let n_pkgs =
+        Array.length snap.Snapshot.store.Core.Db.Store.packages
+      in
+      let hits, misses = reuse_since_last () in
+      (match !base with
+       | None ->
+         let path = Filename.concat out "base.snap" in
+         (match Snapshot.save path snap with
+          | Error e -> fail_snap "save" path e
+          | Ok () -> ());
+         base := Some snap;
+         Printf.printf
+           "release 0: %d packages, full snapshot %s (%d bytes; analyzed \
+            %d payloads)\n%!"
+           n_pkgs path
+           (String.length (Snapshot.to_string snap))
+           misses
+       | Some b ->
+         let path = Filename.concat out (Printf.sprintf "delta-r%d.snap" r) in
+         (match Snapshot.save_delta path ~base:b snap with
+          | Error e -> fail_snap "save delta" path e
+          | Ok () -> ());
+         let full = String.length (Snapshot.to_string snap) in
+         let delta = (Unix.stat path).Unix.st_size in
+         Printf.printf
+           "release %d: %d packages, delta %s (%d bytes, %.1f%% of the \
+            %d-byte full snapshot; analysis reuse %d/%d)\n%!"
+           r n_pkgs path delta
+           (100.0 *. float_of_int delta /. float_of_int full)
+           full hits (hits + misses));
+      publish_snap snap
+    done;
+    if stats then print_stage_stats ()
+  in
+  let doc =
+    "Evolve the distribution release by release and write the stream as \
+     one full snapshot plus small per-release deltas; analysis is \
+     incremental (content-hash cache) yet bit-identical to re-analyzing \
+     each release from scratch."
+  in
+  Cmd.v
+    (Cmd.info "evolve" ~doc)
+    Term.(const run $ packages_arg $ seed_arg $ releases_arg $ churn_arg
+          $ out_arg $ publish_arg $ stats_arg)
+
 (* --- report ------------------------------------------------------------ *)
 
 let report_cmd =
@@ -161,8 +329,8 @@ let report_cmd =
     in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run packages seed snapshot ids =
-    let env = make_env ?snapshot packages seed in
+  let run packages seed snapshot base ids =
+    let env = make_env ?snapshot ?base packages seed in
     let selected =
       match ids with
       | [] -> Study.Experiments.all
@@ -185,7 +353,8 @@ let report_cmd =
   let doc = "Regenerate figures and tables of the paper's evaluation." in
   Cmd.v
     (Cmd.info "report" ~doc)
-    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ ids_arg)
+    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ base_arg
+          $ ids_arg)
 
 (* --- analyze ----------------------------------------------------------- *)
 
@@ -212,8 +381,8 @@ let analyze_cmd =
     Arg.(
       value & opt (some string) None & info [ "save-index" ] ~docv:"PATH" ~doc)
   in
-  let run packages seed snapshot save save_index top =
-    let env = make_env ?snapshot packages seed in
+  let run packages seed snapshot base save save_index top =
+    let env = make_env ?snapshot ?base packages seed in
     (match save with
      | None -> ()
      | Some path ->
@@ -238,7 +407,7 @@ let analyze_cmd =
        let source_key =
          Snapshot.source_key ~seed:cfg.Core.Distro.Generator.seed
            ~n_packages:cfg.Core.Distro.Generator.n_packages
-           ~total_installs:(Query.total_installs idx)
+           ~total_installs:(Query.total_installs idx) ()
        in
        (match
           Query.save_image ~seed:cfg.Core.Distro.Generator.seed ~source_key
@@ -266,8 +435,8 @@ let analyze_cmd =
   let doc = "Print the system call importance ranking." in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ save_arg
-          $ save_index_arg $ top_arg)
+    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ base_arg
+          $ save_arg $ save_index_arg $ top_arg)
 
 (* --- footprint / seccomp ------------------------------------------------ *)
 
@@ -377,7 +546,7 @@ let phase_arg =
   Arg.(value & opt phase_conv Query.All & info [ "phase" ] ~docv:"PHASE" ~doc)
 
 let seccomp_cmd =
-  let run packages seed snapshot phase path =
+  let run packages seed snapshot base phase path =
     setup_logs ();
     let pick ~init ~serving ~all =
       match phase with
@@ -407,7 +576,7 @@ let seccomp_cmd =
              (Snapshot.kind_name e);
            exit 1)
       | Some snap_path ->
-        let snap = load_snapshot snap_path in
+        let snap = load_any_snapshot ?base snap_path in
         let row = snapshot_bin_row snap path in
         pick ~init:row.Core.Db.Store.br_init
           ~serving:row.Core.Db.Store.br_serving
@@ -439,8 +608,8 @@ let seccomp_cmd =
   in
   Cmd.v
     (Cmd.info "seccomp" ~doc)
-    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ phase_arg
-          $ elf_arg)
+    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ base_arg
+          $ phase_arg $ elf_arg)
 
 (* --- compat ------------------------------------------------------------- *)
 
@@ -474,8 +643,8 @@ let compat_cmd =
     in
     Arg.(value & pos_all string [] & info [] ~docv:"SYSCALL" ~doc)
   in
-  let run packages seed snapshot names =
-    let env = make_env ?snapshot packages seed in
+  let run packages seed snapshot base names =
+    let env = make_env ?snapshot ?base packages seed in
     let nrs = parse_syscall_specs env.Study.Env.ranking names in
     let c =
       Core.Metrics.Completeness.of_syscall_set_index env.Study.Env.index nrs
@@ -490,19 +659,10 @@ let compat_cmd =
   in
   Cmd.v
     (Cmd.info "compat" ~doc)
-    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ syscalls_arg)
+    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ base_arg
+          $ syscalls_arg)
 
 (* --- query -------------------------------------------------------------- *)
-
-let stats_arg =
-  let doc =
-    "Print the per-stage timing/counter report to stderr after answering \
-     (shows that snapshot-backed queries spend no time in analysis)."
-  in
-  Arg.(value & flag & info [ "stats" ] ~doc)
-
-let print_stage_stats () =
-  Fmt.epr "# per-stage breakdown:@\n%a%!" Core.Perf.Stage.pp_report ()
 
 let query_cmd =
   let op_arg =
@@ -516,7 +676,7 @@ let query_cmd =
   let operands_arg =
     Arg.(value & pos_right 0 string [] & info [] ~docv:"ARG")
   in
-  let run snapshot stats phase op operands =
+  let run snapshot base stats phase op operands =
     setup_logs ();
     let path =
       match snapshot with
@@ -530,7 +690,7 @@ let query_cmd =
     let idx =
       if is_index_image path then load_image path
       else begin
-        let env = make_env ~snapshot:path None None in
+        let env = make_env ~snapshot:path ?base None None in
         env.Study.Env.index
       end
     in
@@ -603,8 +763,8 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc)
-    Term.(const run $ snapshot_arg $ stats_arg $ phase_arg $ op_arg
-          $ operands_arg)
+    Term.(const run $ snapshot_arg $ base_arg $ stats_arg $ phase_arg
+          $ op_arg $ operands_arg)
 
 (* --- serve -------------------------------------------------------------- *)
 
@@ -632,13 +792,61 @@ let serve_cmd =
     in
     Arg.(value & opt int 1024 & info [ "cache" ] ~docv:"N" ~doc)
   in
-  let run packages seed snapshot stats tcp workers cache =
+  let watch_arg =
+    let doc =
+      "With $(b,--tcp) and $(b,--snapshot): watch the snapshot file and \
+       hot-reload when it changes on disk (or on SIGHUP). The new index \
+       is built off the serving path and swapped in atomically — \
+       in-flight queries finish against the index they started with, no \
+       connection is dropped, and the response cache is replaced so it \
+       never answers from a stale index. A failed reload is logged and \
+       the old index keeps serving."
+    in
+    Arg.(value & flag & info [ "watch" ] ~doc)
+  in
+  (* Reload loader for --watch: same routing as the startup path
+     (image / delta + base / full rows), but every failure is a value,
+     never an exit — the server must keep serving the old epoch. *)
+  let soft_load_index ?base path : (Query.t, string) result =
+    let snap_err e = Error (Fmt.str "%a" Snapshot.pp_error e) in
+    try
+      if is_index_image path then
+        match Query.load_image path with
+        | Ok idx -> Ok idx
+        | Error e -> snap_err e
+      else
+        let snap =
+          if Snapshot.file_version path = Ok Snapshot.delta_version then
+            match base with
+            | None ->
+              Error
+                (Printf.sprintf
+                   "%s is a format-5 delta; restart with --base PATH" path)
+            | Some bpath ->
+              (match Snapshot.load bpath with
+               | Error e ->
+                 Error (Fmt.str "base %s: %a" bpath Snapshot.pp_error e)
+               | Ok b ->
+                 (match Snapshot.load_delta path ~base:b with
+                  | Ok s -> Ok s
+                  | Error e -> snap_err e))
+          else
+            match Snapshot.load path with
+            | Ok s -> Ok s
+            | Error e -> snap_err e
+        in
+        Result.map
+          (fun s -> (Study.Env.of_snapshot s).Study.Env.index)
+          snap
+    with e -> Error (Printexc.to_string e)
+  in
+  let run packages seed snapshot base stats tcp workers cache watch =
     let idx =
       match snapshot with
       | Some path when is_index_image path ->
         setup_logs ();
         load_image path
-      | _ -> (make_env ?snapshot packages seed).Study.Env.index
+      | _ -> (make_env ?snapshot ?base packages seed).Study.Env.index
     in
     (match tcp with
      | None ->
@@ -661,19 +869,70 @@ let serve_cmd =
           Sys.set_signal Sys.sigint
             (Sys.Signal_handle
                (fun _ -> Core.Query.Server.signal_stop srv));
+          let stop_watch = Atomic.make false in
+          let watcher =
+            match (watch, snapshot) with
+            | false, _ -> None
+            | true, None ->
+              Printf.eprintf
+                "lapis: --watch needs --snapshot PATH; not watching\n%!";
+              None
+            | true, Some path ->
+              let hup = Atomic.make false in
+              (try
+                 Sys.set_signal Sys.sighup
+                   (Sys.Signal_handle (fun _ -> Atomic.set hup true))
+               with Invalid_argument _ -> ());
+              (* cheap change signal: inode (rename-publish), size,
+                 mtime; SIGHUP forces a reload regardless *)
+              let file_sig () =
+                match Unix.stat path with
+                | st -> Some (st.Unix.st_ino, st.Unix.st_size, st.Unix.st_mtime)
+                | exception Unix.Unix_error _ -> None
+              in
+              let reload () =
+                match soft_load_index ?base path with
+                | Ok idx ->
+                  Core.Query.Server.reload srv idx;
+                  Printf.eprintf "# reloaded %s (epoch %d)\n%!" path
+                    (Core.Query.Server.epoch_id srv)
+                | Error msg ->
+                  Printf.eprintf
+                    "# reload of %s failed (old index keeps serving): %s\n%!"
+                    path msg
+              in
+              Some
+                (Thread.create
+                   (fun () ->
+                     let last = ref (file_sig ()) in
+                     while not (Atomic.get stop_watch) do
+                       Thread.delay 0.25;
+                       if not (Atomic.get stop_watch) then begin
+                         let forced = Atomic.exchange hup false in
+                         let now = file_sig () in
+                         let changed = now <> None && now <> !last in
+                         if changed then last := now;
+                         if forced || changed then reload ()
+                       end
+                     done)
+                   ())
+          in
           Core.Query.Server.wait srv;
+          Atomic.set stop_watch true;
+          Option.iter Thread.join watcher;
           Printf.eprintf "# served %d connections\n%!"
             (Core.Query.Server.connections_served srv)));
     if stats then print_stage_stats ()
   in
   let doc =
     "Serve indexed queries as line-delimited JSON — over stdin/stdout, or \
-     concurrently over TCP with $(b,--tcp) PORT."
+     concurrently over TCP with $(b,--tcp) PORT (hot-reloadable with \
+     $(b,--watch))."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
-    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ stats_arg
-          $ tcp_arg $ workers_arg $ cache_arg)
+    Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ base_arg
+          $ stats_arg $ tcp_arg $ workers_arg $ cache_arg $ watch_arg)
 
 let () =
   let doc =
@@ -684,5 +943,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; report_cmd; analyze_cmd; footprint_cmd;
+          [ generate_cmd; evolve_cmd; report_cmd; analyze_cmd; footprint_cmd;
             seccomp_cmd; compat_cmd; query_cmd; serve_cmd ]))

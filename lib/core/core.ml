@@ -146,4 +146,5 @@ module Perf = struct
   module Stage = Lapis_perf.Stage
   module Parmap = Lapis_perf.Parmap
   module Bitset = Lapis_perf.Bitset
+  module Baseline = Lapis_perf.Baseline
 end

@@ -34,7 +34,7 @@ type emit_mode = Via_wrapper | Direct | Via_syscall_fn
 type spec = {
   g_name : string;
   g_section : string;
-  g_prob : float;
+  mutable g_prob : float;
   mutable g_level : int;
   g_essential : bool;
   mutable g_syscalls : string list;
@@ -1393,9 +1393,11 @@ let emit_spec rng spec : emitted =
 (* Top level                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let generate ?(config = default_config) () : P.distribution =
-  Lapis_perf.Stage.time "generate" @@ fun () ->
-  let rng = Rng.create config.seed in
+(* All assignment passes up to (but not including) emission: the spec
+   list this returns, together with the master RNG's state, fully
+   determines the emitted bytes. [generate] and [evolve] share it so an
+   evolved world starts from the exact release-0 plan. *)
+let plan config rng : spec list =
   let stage name f = Lapis_perf.Stage.time ("gen:" ^ name) f in
   let specs = stage "roster" (fun () -> build_roster config rng) in
   stage "levels" (fun () -> assign_levels rng specs);
@@ -1449,19 +1451,20 @@ let generate ?(config = default_config) () : P.distribution =
             spec.g_imports
       end)
     specs;
+  specs
+
+(* Emit a prepared job list — (per-spec RNG, spec) pairs — into a full
+   distribution. The largest generation stage, fanned out over
+   domains: [emit_spec] only reads its spec, its own RNG and
+   eagerly-built read-only tables, so the emitted bytes are
+   bit-identical to a sequential run. The truth table and install
+   counts are filled in afterwards, in job order. *)
+let emit_jobs config ~release (jobs : (Rng.t * spec) list) : P.distribution =
+  let stage name f = Lapis_perf.Stage.time ("gen:" ^ name) f in
   let truth : P.ground_truth = Hashtbl.create 1024 in
   let phase_truth : P.phased_truth = Hashtbl.create 1024 in
   let packages =
     stage "emit" (fun () ->
-        (* The largest generation stage, fanned out over domains.
-           Splitting the parent RNG sequentially first hands every
-           spec the exact stream a sequential [List.map] would have
-           (List.map evaluates left to right), and [emit_spec] only
-           reads its spec, its own RNG and eagerly-built read-only
-           tables — so the emitted bytes are bit-identical to a
-           sequential run. The truth table and install counts are
-           filled in afterwards, in spec order. *)
-        let jobs = List.map (fun spec -> (Rng.split rng, spec)) specs in
         let emitted =
           Lapis_perf.Parmap.map
             (fun (rng, spec) -> (spec, emit_spec rng spec))
@@ -1501,6 +1504,265 @@ let generate ?(config = default_config) () : P.distribution =
     phase_truth;
     seed = config.seed;
     n_requested = config.n_packages;
+    release;
   }
+
+let generate ?(config = default_config) () : P.distribution =
+  Lapis_perf.Stage.time "generate" @@ fun () ->
+  let rng = Rng.create config.seed in
+  let specs = plan config rng in
+  (* Splitting the parent RNG sequentially hands every spec the exact
+     stream a sequential [List.map] would have (List.map evaluates
+     left to right). *)
+  let jobs = List.map (fun spec -> (Rng.split rng, spec)) specs in
+  emit_jobs config ~release:0 jobs
+
+(* ------------------------------------------------------------------ *)
+(* Evolution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A live distribution churns: point releases bump package versions
+   (same name, rebuilt bytes), retire fillers, introduce new ones and
+   occasionally re-link a package against a different shared library.
+   [evolve] replays the release-0 plan and then applies [release]
+   rounds of deterministic churn on top of it. Every decision is drawn
+   either from the release-0 streams (so a package no round touches
+   keeps the exact per-spec RNG [generate] would have given it and its
+   bytes stay byte-identical) or from a per-release RNG keyed by
+   (seed, release) — mirroring the [Rng.keyed_float] idiom — so the
+   same seed and release number always produce the same world. *)
+
+(* How one package's emission is seeded: untouched packages inherit
+   their release-0 split; touched ones are re-keyed by the release
+   that last touched them, which is what makes their bytes change. *)
+type emit_src = Inherited of Rng.t | Rekeyed of int
+
+type evo_job = { ej_spec : spec; mutable ej_src : emit_src }
+
+let evolve_key seed release name =
+  seed lxor Hashtbl.hash ("evolve", release, name)
+
+(* Packages churn may touch: ordinary applications only. The fixed
+   calibration anchors — essentials, interpreters, the specials and
+   qemu (section otherosfs), library packages, their utilities and
+   libc6 — hold the paper's published numbers in place and never
+   change across releases. *)
+let churnable s =
+  assignable s && (not s.g_essential)
+  && s.g_section <> "otherosfs"
+  && s.g_section <> "interpreters"
+
+(* Only roster fillers (and packages a previous release added) may be
+   retired: they are the long tail, and nothing in the fixed roster
+   points at them except dependency edges, which removal strips. *)
+let removable s = churnable s && List.mem s.g_section Roster.sections
+
+let count_evo what n =
+  Lapis_perf.Stage.incr ("evolve:" ^ what) ~by:n
+
+(* Rebuild one package at a new version: nudge its popularity and,
+   half the time, grow or shrink its direct-syscall footprint within
+   its stage level. Reserved (specials-owned) and decoy syscalls stay
+   out, exactly as in the release-0 assignment passes. *)
+let bump_spec erng s =
+  let factor = 0.85 +. (0.30 *. Rng.float erng) in
+  s.g_prob <- min 0.97 (max 0.0005 (s.g_prob *. factor));
+  if Rng.bool erng 0.5 then begin
+    if Rng.bool erng 0.6 then begin
+      let candidates =
+        Array.to_list Syscall_table.all
+        |> List.filter_map (fun (e : Syscall_table.entry) ->
+               let name = e.Syscall_table.name in
+               let rank = stage_rank name in
+               if rank >= 2 && rank <= s.g_level
+                  && (not (List.mem name reserved_syscalls))
+                  && (not (List.mem name decoys))
+                  && not (List.mem name s.g_syscalls)
+               then Some name
+               else None)
+      in
+      match candidates with
+      | [] -> ()
+      | _ -> add_syscall s (Rng.choose erng candidates)
+    end
+    else
+      match s.g_syscalls with
+      | [] -> ()
+      | l ->
+        let victim = Rng.choose erng l in
+        s.g_syscalls <- List.filter (fun x -> x <> victim) l
+  end
+
+(* Swap one package's shared-library linkage: drop one linked library
+   entirely, or link the pure export of one it does not use yet. *)
+let relink_spec erng s =
+  let linked = List.sort_uniq compare (List.map fst s.g_lib_imports) in
+  let unlinked =
+    List.filter
+      (fun (lp : Roster.lib_pkg) ->
+        not (List.mem lp.Roster.lp_soname linked))
+      Roster.lib_packages
+  in
+  let drop () =
+    let soname = Rng.choose erng linked in
+    let lp =
+      List.find
+        (fun (lp : Roster.lib_pkg) -> lp.Roster.lp_soname = soname)
+        Roster.lib_packages
+    in
+    s.g_lib_imports <-
+      List.filter (fun (so, _) -> so <> soname) s.g_lib_imports;
+    s.g_deps <- List.filter (fun d -> d <> lp.Roster.lp_name) s.g_deps
+  in
+  let link () =
+    let lp = Rng.choose erng unlinked in
+    s.g_lib_imports <-
+      (lp.Roster.lp_soname, List.hd lp.Roster.lp_exports)
+      :: s.g_lib_imports;
+    add_dep s lp.Roster.lp_name
+  in
+  match linked, unlinked with
+  | [], [] -> ()
+  | [], _ -> link ()
+  | _, [] -> drop ()
+  | _ -> if Rng.bool erng 0.5 then drop () else link ()
+
+(* A brand-new filler package introduced at [release]: a fresh name
+   (release-tagged, so it can never collide with a release-0 filler),
+   a small popularity, and a modest level-compatible footprint. *)
+let fresh_spec erng release i =
+  let section = Rng.choose erng Roster.sections in
+  let kind =
+    Rng.choose erng [ "tool"; "lib"; "app"; "daemon"; "gui"; "cli" ]
+  in
+  let level = 1 + Rng.int erng 5 in
+  let syscalls =
+    if level < 2 then []
+    else begin
+      let candidates =
+        Array.to_list Syscall_table.all
+        |> List.filter_map (fun (e : Syscall_table.entry) ->
+               let name = e.Syscall_table.name in
+               let rank = stage_rank name in
+               if rank >= 2 && rank <= level
+                  && (not (List.mem name reserved_syscalls))
+                  && not (List.mem name decoys)
+               then Some name
+               else None)
+      in
+      Rng.sample erng (min (2 + Rng.int erng 6) (List.length candidates))
+        candidates
+    end
+  in
+  let imports =
+    Libc_catalog.all
+    |> List.filter (fun (e : Libc_catalog.entry) ->
+           e.Libc_catalog.tier = Libc_catalog.Ubiquitous
+           && e.Libc_catalog.syscalls = [] && e.Libc_catalog.vops = [])
+    |> fun pool ->
+    Rng.sample erng (min (3 + Rng.int erng 5) (List.length pool)) pool
+    |> List.map (fun (e : Libc_catalog.entry) -> e.Libc_catalog.name)
+  in
+  {
+    g_name = Printf.sprintf "%s-%s-r%d-%d" section kind release i;
+    g_section = section;
+    g_prob = 0.0005 +. (0.02 *. Rng.float erng);
+    g_level = level;
+    g_essential = false;
+    g_syscalls = syscalls;
+    g_vops = [];
+    g_pseudo = [];
+    g_imports = imports;
+    g_lib_imports = [];
+    g_deps = [ "libc6" ];
+    g_scripts = [];
+    g_static = false;
+    g_int80 = false;
+    g_is_lib_pkg = None;
+    g_util_of = None;
+  }
+
+let evolve ?(config = default_config) ?(churn = 0.05) ~release () :
+    P.distribution =
+  if release = 0 then generate ~config ()
+  else
+    Lapis_perf.Stage.time "evolve" @@ fun () ->
+    let rng = Rng.create config.seed in
+    let specs = plan config rng in
+    let roster =
+      ref
+        (List.map
+           (fun spec -> { ej_spec = spec; ej_src = Inherited (Rng.split rng) })
+           specs)
+    in
+    for rel = 1 to release do
+      let erng = Rng.create (evolve_key config.seed rel "") in
+      let eligible = List.filter (fun j -> churnable j.ej_spec) !roster in
+      let n_eligible = List.length eligible in
+      let n_bump =
+        max 1 (int_of_float (churn *. float_of_int n_eligible))
+      in
+      let n_side = max 1 (n_bump / 4) in
+      (* version bumps *)
+      let bumped = Rng.sample erng (min n_bump n_eligible) eligible in
+      List.iter
+        (fun j ->
+          bump_spec erng j.ej_spec;
+          j.ej_src <- Rekeyed (evolve_key config.seed rel j.ej_spec.g_name))
+        bumped;
+      count_evo "bump" (List.length bumped);
+      (* re-links *)
+      let relinkable =
+        List.filter
+          (fun j -> churnable j.ej_spec && not (List.memq j bumped))
+          !roster
+      in
+      let relinked =
+        Rng.sample erng (min n_side (List.length relinkable)) relinkable
+      in
+      List.iter
+        (fun j ->
+          relink_spec erng j.ej_spec;
+          j.ej_src <- Rekeyed (evolve_key config.seed rel j.ej_spec.g_name))
+        relinked;
+      count_evo "relink" (List.length relinked);
+      (* retirements: strip the retired names out of every remaining
+         dependency list so no edge dangles *)
+      let retirable = List.filter (fun j -> removable j.ej_spec) !roster in
+      let retired =
+        Rng.sample erng (min n_side (List.length retirable)) retirable
+      in
+      let retired_names = List.map (fun j -> j.ej_spec.g_name) retired in
+      roster :=
+        List.filter
+          (fun j -> not (List.mem j.ej_spec.g_name retired_names))
+          !roster;
+      List.iter
+        (fun j ->
+          let s = j.ej_spec in
+          if List.exists (fun d -> List.mem d retired_names) s.g_deps then
+            s.g_deps <-
+              List.filter (fun d -> not (List.mem d retired_names)) s.g_deps)
+        !roster;
+      count_evo "remove" (List.length retired);
+      (* introductions *)
+      let added =
+        List.init n_side (fun i ->
+            let s = fresh_spec erng rel i in
+            { ej_spec = s;
+              ej_src = Rekeyed (evolve_key config.seed rel s.g_name) })
+      in
+      roster := !roster @ added;
+      count_evo "add" (List.length added)
+    done;
+    let jobs =
+      List.map
+        (fun j ->
+          match j.ej_src with
+          | Inherited rng -> (rng, j.ej_spec)
+          | Rekeyed key -> (Rng.create key, j.ej_spec))
+        !roster
+    in
+    emit_jobs config ~release jobs
 
 let _ = add_unique

@@ -51,6 +51,10 @@ type distribution = {
           package count is [max n_requested (length of the fixed
           roster)], so this is the value that names the corpus (it
           feeds the snapshot's generator identity key) *)
+  release : int;
+      (** evolution epoch: 0 for a freshly generated world, [r] after
+          [Generator.evolve ~release:r]. Part of the corpus identity
+          alongside [seed] and [n_requested]. *)
 }
 
 let install_prob dist pkg =

@@ -320,6 +320,8 @@ let snapshot_error_name : Snapshot.error -> string = function
   | Snapshot.Digest_mismatch -> "digest-mismatch"
   | Snapshot.Corrupt _ -> "corrupt"
   | Snapshot.Io _ -> "io"
+  | Snapshot.Needs_base _ -> "needs-base"
+  | Snapshot.Base_mismatch _ -> "base-mismatch"
 
 (* Pristine image of a small analyzed world. A failure here is a bug
    in the image writer, not a fuzz finding. *)

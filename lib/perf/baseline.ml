@@ -1,0 +1,161 @@
+(* Reader for the BENCH_*.json files the bench harness writes, plus
+   the stage-set comparison the --check-against regression gate runs
+   on. The bench JSON is a fixed, line-oriented shape (one stage row
+   per line), so a small scanner suffices — this is not a general
+   JSON parser, and it must stay bidirectionally tolerant: baselines
+   committed before a stage existed (or after one was removed) still
+   gate the stages both sides share instead of crashing or silently
+   passing. *)
+
+type stage = {
+  bs_name : string;
+  bs_seconds : float;
+}
+
+type t = {
+  stage_total_s : float option;
+  stages : stage list;
+}
+
+(* "key": value scanning helpers over one line of text. *)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let string_field line key =
+  match find_sub line (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some i ->
+    let rest = String.sub line i (String.length line - i) in
+    (match String.index_opt rest '"' with
+     | None -> None
+     | Some _ ->
+       (* the value's opening quote is the first one after the colon *)
+       let after_colon =
+         let c = String.index rest ':' in
+         String.sub rest (c + 1) (String.length rest - c - 1)
+       in
+       (match String.index_opt after_colon '"' with
+        | None -> None
+        | Some q ->
+          let tail =
+            String.sub after_colon (q + 1)
+              (String.length after_colon - q - 1)
+          in
+          (match String.index_opt tail '"' with
+           | None -> None
+           | Some e -> Some (String.sub tail 0 e))))
+
+let number_field line key =
+  match find_sub line (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some i ->
+    let rest = String.sub line i (String.length line - i) in
+    let c = String.index rest ':' in
+    let v = String.sub rest (c + 1) (String.length rest - c - 1) in
+    let v = String.trim v in
+    let stop =
+      let n = String.length v in
+      let rec go j =
+        if j >= n then n
+        else
+          match v.[j] with
+          | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> go (j + 1)
+          | _ -> j
+      in
+      go 0
+    in
+    float_of_string_opt (String.sub v 0 stop)
+
+let load path : (t, string) result =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let total = ref None in
+    let stages = ref [] in
+    let in_stages = ref false in
+    (try
+       while true do
+         let line = input_line ic in
+         let trimmed = String.trim line in
+         if !in_stages then begin
+           if String.length trimmed > 0 && trimmed.[0] = ']' then
+             in_stages := false
+           else
+             match (string_field line "name", number_field line "seconds")
+             with
+             | Some name, Some seconds ->
+               stages := { bs_name = name; bs_seconds = seconds } :: !stages
+             | _ -> ()
+         end
+         else begin
+           (match number_field trimmed "stage_total_s" with
+            | Some v when find_sub trimmed "\"stage_total_s\":" = Some 0 ->
+              total := Some v
+            | _ -> ());
+           (* the opening line is exactly ["stages": [] — rows follow,
+              one per line, until the closing bracket; an empty list
+              closes on the same line and never enters stage mode *)
+           if find_sub trimmed "\"stages\": [" = Some 0
+              && find_sub trimmed "]" = None
+           then in_stages := true
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Ok { stage_total_s = !total; stages = List.rev !stages }
+
+(* --- stage-set comparison ------------------------------------------ *)
+
+type verdict = {
+  shared_baseline_s : float;  (** baseline seconds over shared stages *)
+  shared_now_s : float;  (** current seconds over the same stages *)
+  shared : string list;  (** the stage names both sides have *)
+  only_baseline : string list;  (** gone since the baseline was written *)
+  only_now : string list;  (** added since the baseline was written *)
+}
+
+(* Compare over the intersection of stage names: stages only one side
+   knows are reported, not gated — a baseline from before a stage
+   existed must not fail the build for growing the pipeline, and a
+   removed stage must not let a regression hide inside the smaller
+   total. *)
+let compare_stages (baseline : t) (now : (string * float) list) : verdict =
+  let base_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun s -> Hashtbl.replace base_tbl s.bs_name s.bs_seconds)
+    baseline.stages;
+  let now_tbl = Hashtbl.create 32 in
+  List.iter (fun (name, s) -> Hashtbl.replace now_tbl name s) now;
+  let shared, only_now =
+    List.fold_left
+      (fun (shared, only) (name, _) ->
+        if Hashtbl.mem base_tbl name then (name :: shared, only)
+        else (shared, name :: only))
+      ([], []) now
+  in
+  let only_baseline =
+    List.filter_map
+      (fun s ->
+        if Hashtbl.mem now_tbl s.bs_name then None else Some s.bs_name)
+      baseline.stages
+  in
+  let sum tbl names =
+    List.fold_left
+      (fun a n -> a +. Option.value ~default:0.0 (Hashtbl.find_opt tbl n))
+      0.0 names
+  in
+  let shared = List.rev shared in
+  {
+    shared_baseline_s = sum base_tbl shared;
+    shared_now_s = sum now_tbl shared;
+    shared;
+    only_baseline;
+    only_now = List.rev only_now;
+  }

@@ -1,0 +1,42 @@
+(** Reader for the BENCH_*.json files the bench harness writes, and
+    the stage-set comparison behind the [--check-against] regression
+    gate.
+
+    Baselines are committed once and outlive the pipeline's stage
+    set: later PRs add stages (and occasionally remove them), so a
+    gate naively comparing totals would either fail every build after
+    a new stage appears or let a regression hide behind a shrunken
+    stage set. {!compare_stages} therefore gates the {e intersection}
+    of stage names and reports the one-sided rest. *)
+
+type stage = {
+  bs_name : string;
+  bs_seconds : float;
+}
+
+type t = {
+  stage_total_s : float option;
+      (** the whole-pipeline total, when the file has one *)
+  stages : stage list;
+      (** per-stage rows in file order; empty for baselines written
+          before the stages array existed (gate on
+          [stage_total_s] instead) *)
+}
+
+val load : string -> (t, string) result
+(** Scan a bench JSON. Tolerant of the fields this module does not
+    know; [Error] only when the file cannot be read. *)
+
+type verdict = {
+  shared_baseline_s : float;  (** baseline seconds over shared stages *)
+  shared_now_s : float;  (** current seconds over the same stages *)
+  shared : string list;  (** the stage names both sides have *)
+  only_baseline : string list;  (** gone since the baseline was written *)
+  only_now : string list;  (** added since the baseline was written *)
+}
+
+val compare_stages : t -> (string * float) list -> verdict
+(** [compare_stages baseline now] splits the two stage sets into
+    shared / baseline-only / now-only and sums seconds over the
+    shared names on both sides — the numbers a drift-tolerant gate
+    thresholds on. *)

@@ -180,10 +180,24 @@ let rec canonical = function
   | Json.Arr items -> Json.Arr (List.map canonical items)
   | x -> x
 
+(* "phase" spellings that mean the All default. A request saying
+   "phase": "all" (or "") must share a cache entry with one omitting
+   the field entirely — they produce the same response. *)
+let is_default_phase = function
+  | Json.Str s -> (match Query.phase_of_string s with
+                   | Ok Query.All -> true
+                   | Ok _ | Error _ -> false)
+  | _ -> false
+
 let canonical_key request =
   let request =
     match request with
-    | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "id") fields)
+    | Json.Obj fields ->
+      Json.Obj
+        (List.filter
+           (fun (k, v) ->
+             k <> "id" && not (k = "phase" && is_default_phase v))
+           fields)
     | x -> x
   in
   Json.to_string (canonical request)

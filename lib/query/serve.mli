@@ -13,10 +13,12 @@ val handle_request : Query.t -> Json.t -> Json.t
 
 val canonical_key : Json.t -> string
 (** A cache key equal for semantically identical requests: the request
-    with its ["id"] stripped and every object's fields sorted by name,
-    serialized. Two requests with the same key get the same response
-    (every op is a pure function of the index), which is what makes
-    the response cache sound. *)
+    with its ["id"] stripped, a ["phase"] that spells the default
+    ([""] or ["all"]) dropped (so the three spellings of "no phase
+    filter" share one cache entry), and every object's fields sorted
+    by name, serialized. Two requests with the same key get the same
+    response (every op is a pure function of the index), which is
+    what makes the response cache sound. *)
 
 val handle_line : ?cache:(string, Json.t) Lru.t -> Query.t -> string -> string
 (** Answer one raw request line; total. The returned string is a

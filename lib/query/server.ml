@@ -10,6 +10,8 @@
       when it drains;
     - the index and the cache are the only structures shared by all
       workers, and both are safe by construction (immutable / mutex'd);
+      they live in an epoch behind an atomic pointer so {!reload} can
+      swap them without touching connections (pin protocol below);
     - shutdown runs exactly once (an [Atomic] compare-and-set), either
       on the thread that called {!stop} or on the accept thread after
       a {!signal_stop}, and joins everything before declaring the
@@ -31,11 +33,24 @@ type conn = {
 
 type job = Job of conn * int * string | Quit
 
+(* One index + its response cache, immutable once published. Workers
+   pin the current epoch for the duration of a single request; reload
+   publishes a successor and waits for the old epoch's pin count to
+   drain, so an epoch's cache can never answer a request evaluated
+   against a different index. *)
+type epoch = {
+  ep_id : int;
+  ep_idx : Query.t;
+  ep_cache : (string, Json.t) Lru.t option;
+  ep_inflight : int Atomic.t;
+}
+
 type t = {
   lsock : Unix.file_descr;
   bound_port : int;
-  idx : Query.t;
-  cache : (string, Json.t) Lru.t option;
+  epoch : epoch Atomic.t;
+  cache_capacity : int;
+  reload_mutex : Mutex.t;
   queue : job Queue.t;
   qcap : int;
   qmutex : Mutex.t;
@@ -157,17 +172,33 @@ let internal_error e =
              ] );
        ])
 
+(* Pin the current epoch: bump its in-flight count, then re-check the
+   pointer. If a reload won the race between the read and the bump,
+   the count we incremented may already have been observed as drained,
+   so undo and retry against the new pointer. After this returns, the
+   drain loop in [reload] cannot pass until we unpin. *)
+let rec pin_epoch t =
+  let ep = Atomic.get t.epoch in
+  Atomic.incr ep.ep_inflight;
+  if Atomic.get t.epoch == ep then ep
+  else begin
+    Atomic.decr ep.ep_inflight;
+    pin_epoch t
+  end
+
 let worker t () =
   let rec go () =
     match dequeue t with
     | Quit -> ()
     | Job (conn, seq, line) ->
+      let ep = pin_epoch t in
       (* [handle_line] is total; the catch-all is the never-crash
          contract's last line of defense for the whole pool. *)
       let response =
-        try Serve.handle_line ?cache:t.cache t.idx line
+        try Serve.handle_line ?cache:ep.ep_cache ep.ep_idx line
         with e -> internal_error e
       in
+      Atomic.decr ep.ep_inflight;
       deliver conn seq response;
       go ()
   in
@@ -253,6 +284,36 @@ let acceptor t () =
 
 let port t = t.bound_port
 let connections_served t = Atomic.get t.accepted
+let epoch_id t = (Atomic.get t.epoch).ep_id
+
+let make_epoch ~id ~cache_capacity idx =
+  {
+    ep_id = id;
+    ep_idx = idx;
+    ep_cache =
+      (if cache_capacity > 0 then Some (Lru.create ~capacity:cache_capacity)
+       else None);
+    ep_inflight = Atomic.make 0;
+  }
+
+let reload t idx =
+  Mutex.lock t.reload_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.reload_mutex)
+    (fun () ->
+      let old = Atomic.get t.epoch in
+      let fresh =
+        make_epoch ~id:(old.ep_id + 1) ~cache_capacity:t.cache_capacity idx
+      in
+      Atomic.set t.epoch fresh;
+      (* Every pin taken after the store above lands on [fresh]; a pin
+         racing the store either saw the new pointer (and retried onto
+         [fresh]) or is counted here. So once the count reaches zero it
+         stays zero, and no query references [old] any more. *)
+      while Atomic.get old.ep_inflight > 0 do
+        Unix.sleepf 0.001
+      done;
+      Stage.incr "serve:reloads")
 
 let wait t =
   Mutex.lock t.fin_mutex;
@@ -315,11 +376,9 @@ let start ?(host = "127.0.0.1") ?(backlog = 64) ?workers
       {
         lsock;
         bound_port;
-        idx;
-        cache =
-          (if cache_capacity > 0 then
-             Some (Lru.create ~capacity:cache_capacity)
-           else None);
+        epoch = Atomic.make (make_epoch ~id:0 ~cache_capacity idx);
+        cache_capacity;
+        reload_mutex = Mutex.create ();
         queue = Queue.create ();
         qcap = max 128 (workers * 32);
         qmutex = Mutex.create ();

@@ -20,7 +20,16 @@
 
     Shutdown ({!stop} or SIGINT wired by the CLI) is graceful: stop
     accepting, half-close every connection so readers drain what was
-    already sent, finish every queued job, flush, join. *)
+    already sent, finish every queued job, flush, join.
+
+    {b Hot reload.} The index and the response cache live together in
+    an {e epoch} behind an atomic pointer. {!reload} installs a new
+    epoch — new index, fresh empty cache, next id — and returns once
+    every query that started against the old epoch has finished.
+    Connections are untouched: a client sees answers from the old
+    index up to some point in its stream and from the new one after,
+    never a mix within one response, never a stale cache entry (the
+    cache is scoped to its epoch and dies with it). *)
 
 type t
 
@@ -57,3 +66,18 @@ val wait : t -> unit
 
 val connections_served : t -> int
 (** Total connections accepted since start (for the smoke tests). *)
+
+val reload : t -> Query.t -> unit
+(** Atomically swap the serving index. Queries already executing
+    finish against the epoch they started with — [reload] blocks
+    until the last of them has delivered, so when it returns the old
+    index is unreferenced and collectable. The response cache is
+    replaced by a fresh one sized like the original [cache_capacity];
+    no entry computed against the old index can ever answer a request
+    after the swap. Serialized internally: concurrent reloads apply
+    one at a time. Connections and queued-but-unstarted jobs are
+    unaffected (the latter run against the new epoch). *)
+
+val epoch_id : t -> int
+(** Identifier of the currently serving epoch: 0 at {!start},
+    incremented by each {!reload}. *)

@@ -50,6 +50,18 @@ let analyze_elf ~mode ~decode_fuel bytes : (Binary.t, string) result =
           Reader.pp_error e);
     Error Reader.(kind_name (kind e))
 
+(* The content-hash analysis cache, exposed as an opaque handle so a
+   caller re-analyzing successive releases of an evolving world can
+   carry one cache across runs: binaries whose bytes a release leaves
+   untouched hash to the same digest and are served from the table
+   instead of being re-analyzed. Analysis is a pure function of the
+   bytes, so the incremental result is bit-identical to a
+   from-scratch run (the evolve bench asserts this at every epoch). *)
+type analysis_cache = (Digest.t, (Binary.t, string) result) Hashtbl.t
+
+let new_cache () : analysis_cache = Hashtbl.create 1024
+let cache_size (c : analysis_cache) = Hashtbl.length c
+
 (* The run configuration record replaces the optional-argument
    accretion ([?mode ?cache ?domains], with [?decode_fuel] next in
    line): callers override one field of [default] and keep source
@@ -60,13 +72,18 @@ type config = {
   domains : int option;  (** cap for the per-binary analysis fan-out *)
   decode_fuel : int option;
       (** per-binary decode budget; [None] uses the analyzer default *)
+  shared_cache : analysis_cache option;
+      (** carry this cache across runs (implies [cache]); hit/miss
+          ratios surface as the [incremental:*] counters *)
 }
 
 let default =
-  { mode = Binary.Dataflow; cache = true; domains = None; decode_fuel = None }
+  { mode = Binary.Dataflow; cache = true; domains = None; decode_fuel = None;
+    shared_cache = None }
 
 let run ?(config = default) (dist : P.distribution) : analyzed =
-  let { mode; cache; domains; decode_fuel } = config in
+  let { mode; cache; domains; decode_fuel; shared_cache } = config in
+  let cache = cache || shared_cache <> None in
   let analyze_elf bytes = analyze_elf ~mode ~decode_fuel bytes in
   (* Per-error-kind quarantine counters: every binary the run skipped
      is counted here (and mirrored into the Stage counters, so the
@@ -83,22 +100,57 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
      analyzed once. It is seeded with the shared-library world below,
      so a package shipping a library analyzed for the world reuses the
      same Binary.t — which also lets the resolver serve that binary's
-     footprint from its per-export memo. *)
-  let analysis_of : (Digest.t, (Binary.t, string) result) Hashtbl.t =
-    Hashtbl.create 1024
+     footprint from its per-export memo. When the caller supplies a
+     [shared_cache], the same table additionally carries results from
+     previous releases of an evolving world, and only the binaries
+     whose bytes actually changed are re-analyzed. *)
+  let analysis_of : analysis_cache =
+    match shared_cache with Some c -> c | None -> Hashtbl.create 1024
   in
-  let seed_cache bytes bin =
-    if cache then Hashtbl.replace analysis_of (Digest.string bytes) (Ok bin)
+  (* Incremental accounting (shared cache only): each distinct payload
+     the run touches counts once — as a hit if a previous run already
+     analyzed it, as a miss if this run had to. Their ratio is the
+     cross-release reuse the evolve bench gates on. *)
+  let inc_hits = ref 0 and inc_misses = ref 0 in
+  let inherited : (Digest.t, unit) Hashtbl.t =
+    match shared_cache with
+    | None -> Hashtbl.create 1
+    | Some c ->
+      let h = Hashtbl.create (2 * Hashtbl.length c) in
+      Hashtbl.iter (fun d _ -> Hashtbl.replace h d ()) c;
+      h
+  in
+  let counted : (Digest.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  let note_payload d =
+    if shared_cache <> None && not (Hashtbl.mem counted d) then begin
+      Hashtbl.replace counted d ();
+      if Hashtbl.mem inherited d then incr inc_hits else incr inc_misses
+    end
+  in
+  (* Analyze one world library through the cache: a payload analyzed
+     by a previous release (or earlier in this run) is served from the
+     table; errors are cached too, so a bad payload is diagnosed once
+     but still counted per use site. *)
+  let analyze_lib bytes =
+    if not cache then analyze_elf bytes
+    else begin
+      let d = Digest.string bytes in
+      note_payload d;
+      match Hashtbl.find_opt analysis_of d with
+      | Some r -> r
+      | None ->
+        let r = analyze_elf bytes in
+        Hashtbl.replace analysis_of d r;
+        r
+    end
   in
   (* 1. analyze the shared-library world *)
   let runtime_sonames = List.map fst dist.P.runtime in
   let runtime_bins =
     List.filter_map
       (fun (soname, bytes) ->
-        match analyze_elf bytes with
-        | Ok b ->
-          seed_cache bytes b;
-          Some (soname, b)
+        match analyze_lib bytes with
+        | Ok b -> Some (soname, b)
         | Error kind ->
           record_reject kind;
           None)
@@ -107,10 +159,8 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
   let app_lib_bins =
     List.filter_map
       (fun (soname, pkg, bytes) ->
-        match analyze_elf bytes with
-        | Ok b ->
-          seed_cache bytes b;
-          Some (soname, pkg, b)
+        match analyze_lib bytes with
+        | Ok b -> Some (soname, pkg, b)
         | Error kind ->
           record_reject kind;
           None)
@@ -140,6 +190,7 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
               | Lapis_elf.Classify.Elf_static | Lapis_elf.Classify.Elf_dynamic
               | Lapis_elf.Classify.Elf_shared_lib ->
                 let d = Digest.string f.P.bytes in
+                note_payload d;
                 if not (Hashtbl.mem analysis_of d) then begin
                   (* placeholder marks the digest as claimed; replaced
                      with the real result after the parallel map *)
@@ -343,6 +394,10 @@ let run ?(config = default) (dist : P.distribution) : analyzed =
   (* cache-effectiveness counters for the bench JSON / CI smoke job *)
   if cache then
     Stage.incr "elf:distinct-payloads" ~by:(Hashtbl.length analysis_of);
+  if shared_cache <> None then begin
+    Stage.incr "incremental:hits" ~by:!inc_hits;
+    Stage.incr "incremental:misses" ~by:!inc_misses
+  end;
   Stage.incr "resolve:memo-hits" ~by:world.Resolve.stats.Resolve.memo_hits;
   Stage.incr "resolve:memo-misses"
     ~by:world.Resolve.stats.Resolve.memo_misses;

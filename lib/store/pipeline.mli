@@ -16,6 +16,20 @@ val interpreter_package : Lapis_elf.Classify.interpreter -> string option
 (** The package owning an interpreter (dash scripts -> "dash", python
     -> "python2.7", ...); [None] for interpreters outside the model. *)
 
+type analysis_cache
+(** Content-hash analysis cache: per-binary analysis results keyed by
+    a digest of the ELF bytes. Hand the same cache to successive
+    {!run}s over releases of an evolving world and only the binaries
+    whose bytes changed are re-analyzed; because analysis is a pure
+    function of the bytes, the incremental result is bit-identical to
+    a from-scratch run. *)
+
+val new_cache : unit -> analysis_cache
+(** A fresh, empty cache. *)
+
+val cache_size : analysis_cache -> int
+(** Distinct ELF payloads the cache currently holds. *)
+
 type config = {
   mode : Lapis_analysis.Binary.mode;
       (** per-function engine: the CFG dataflow default, or [Linear]
@@ -35,6 +49,12 @@ type config = {
   decode_fuel : int option;
       (** per-binary instruction-decode budget ([None]: the
           {!Lapis_analysis.Binary} default) *)
+  shared_cache : analysis_cache option;
+      (** carry this cache across runs (implies [cache = true]). Each
+          distinct payload the run touches is counted once into the
+          ["incremental:hits"] (analyzed by a previous run) or
+          ["incremental:misses"] (analyzed by this run) Stage
+          counters — the cross-release reuse ratio. *)
 }
 
 val default : config

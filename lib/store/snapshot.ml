@@ -50,8 +50,16 @@ module Footprint = Lapis_analysis.Footprint
 module Classify = Lapis_elf.Classify
 
 let magic = "LAPISNAP"
-let format_version = 3
-let min_version = 1  (* oldest format this build still reads *)
+
+(* The version line shares one numbering space with the sibling
+   formats: versions 1-3 and 6 are row snapshots decoded here (6 adds
+   the evolution release to the metadata), version 4 is the query
+   engine's mmap-able index image, version 5 is a delta snapshot that
+   can only be decoded against its base (see [apply_delta]). *)
+let format_version = 6
+let delta_version = 5
+let image_version = 4  (* owned by the query engine's mapped loader *)
+let min_version = 1  (* oldest row format this build still reads *)
 let header_len = 8 + 4 + 16 + 8
 
 type meta = {
@@ -62,6 +70,10 @@ type meta = {
   source_key : string;
       (** hex digest of the generator identity (config + seed): the
           snapshot invalidation rule *)
+  release : int;
+      (** evolution release the world was at; 0 for formats that
+          predate the living-distribution work (the only release they
+          could have been written from) *)
 }
 
 type t = {
@@ -77,6 +89,8 @@ type error =
   | Digest_mismatch
   | Corrupt of string
   | Io of string
+  | Needs_base of string
+  | Base_mismatch of string * string
 
 let kind_name = function
   | Not_snapshot -> "not-snapshot"
@@ -85,6 +99,8 @@ let kind_name = function
   | Digest_mismatch -> "digest-mismatch"
   | Corrupt _ -> "corrupt"
   | Io _ -> "io"
+  | Needs_base _ -> "needs-base"
+  | Base_mismatch _ -> "base-mismatch"
 
 let pp_error ppf = function
   | Not_snapshot -> Fmt.pf ppf "not a lapis snapshot (bad magic)"
@@ -95,12 +111,28 @@ let pp_error ppf = function
   | Digest_mismatch -> Fmt.pf ppf "payload digest mismatch (corrupted file)"
   | Corrupt what -> Fmt.pf ppf "corrupt snapshot: %s" what
   | Io msg -> Fmt.pf ppf "snapshot i/o error: %s" msg
+  | Needs_base digest ->
+    Fmt.pf ppf
+      "delta snapshot: needs its base snapshot (digest %s) to decode"
+      digest
+  | Base_mismatch (expected, got) ->
+    Fmt.pf ppf
+      "delta snapshot: wrong base (delta expects digest %s, base has %s)"
+      expected got
 
-let source_key ~seed ~n_packages ~total_installs =
-  Digest.to_hex
-    (Digest.string
-       (Printf.sprintf "lapis-generator:%d:%d:%d" seed n_packages
-          total_installs))
+(* The key's release-0 spelling is frozen: every format 1-4 file on
+   disk stores exactly this string for its world, so the default must
+   keep reproducing it byte for byte. *)
+let source_key ?(release = 0) ~seed ~n_packages ~total_installs () =
+  let identity =
+    if release = 0 then
+      Printf.sprintf "lapis-generator:%d:%d:%d" seed n_packages
+        total_installs
+    else
+      Printf.sprintf "lapis-generator:%d:%d:%d:r%d" seed n_packages
+        total_installs release
+  in
+  Digest.to_hex (Digest.string identity)
 
 let of_analyzed (a : Pipeline.analyzed) : t =
   let dist = a.Pipeline.dist in
@@ -117,8 +149,10 @@ let of_analyzed (a : Pipeline.analyzed) : t =
            roster, and [matches] only sees the requested count in the
            config it is handed *)
         source_key =
-          source_key ~seed:dist.P.seed ~n_packages:dist.P.n_requested
-            ~total_installs:dist.P.total_installs;
+          source_key ~release:dist.P.release ~seed:dist.P.seed
+            ~n_packages:dist.P.n_requested
+            ~total_installs:dist.P.total_installs ();
+        release = dist.P.release;
       };
     store;
     rejects =
@@ -126,11 +160,11 @@ let of_analyzed (a : Pipeline.analyzed) : t =
         .Lapis_analysis.Resolve.rejects;
   }
 
-let matches (t : t) (config : Lapis_distro.Generator.config) =
+let matches ?(release = 0) (t : t) (config : Lapis_distro.Generator.config) =
   t.meta.source_key
-  = source_key ~seed:config.Lapis_distro.Generator.seed
+  = source_key ~release ~seed:config.Lapis_distro.Generator.seed
       ~n_packages:config.Lapis_distro.Generator.n_packages
-      ~total_installs:config.Lapis_distro.Generator.total_installs
+      ~total_installs:config.Lapis_distro.Generator.total_installs ()
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -281,12 +315,29 @@ let w_bin_row dict b (r : Store.bin_row) =
   w_api_set_packed b dict r.Store.br_init;
   w_api_set_packed b dict r.Store.br_serving
 
+(* Frame a finished payload with the shared header discipline. *)
+let frame ~version payload =
+  let out = Buffer.create (header_len + String.length payload) in
+  Buffer.add_string out magic;
+  let scratch = Bytes.create 8 in
+  Bytes.set_int32_le scratch 0 (Int32.of_int version);
+  Buffer.add_subbytes out scratch 0 4;
+  Buffer.add_string out (Digest.string payload);
+  Bytes.set_int64_le scratch 0 (Int64.of_int (String.length payload));
+  Buffer.add_bytes out scratch;
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let w_meta b (m : meta) =
+  w_int b m.seed;
+  w_int b m.n_packages;
+  w_int b m.total_installs;
+  w_str b m.source_key;
+  w_int b m.release
+
 let to_string (t : t) : string =
   let b = Buffer.create (1 lsl 20) in
-  w_int b t.meta.seed;
-  w_int b t.meta.n_packages;
-  w_int b t.meta.total_installs;
-  w_str b t.meta.source_key;
+  w_meta b t.meta;
   let packages = Array.to_list t.store.Store.packages in
   let dict = build_dict packages t.store.Store.bins in
   w_dict b dict;
@@ -297,17 +348,7 @@ let to_string (t : t) : string =
       w_str b kind;
       w_int b n)
     t.rejects;
-  let payload = Buffer.contents b in
-  let out = Buffer.create (header_len + String.length payload) in
-  Buffer.add_string out magic;
-  let scratch = Bytes.create 8 in
-  Bytes.set_int32_le scratch 0 (Int32.of_int format_version);
-  Buffer.add_subbytes out scratch 0 4;
-  Buffer.add_string out (Digest.string payload);
-  Bytes.set_int64_le scratch 0 (Int64.of_int (String.length payload));
-  Buffer.add_bytes out scratch;
-  Buffer.add_string out payload;
-  Buffer.contents out
+  frame ~version:format_version (Buffer.contents b)
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
@@ -462,32 +503,65 @@ let r_bin_row ~phased read_set c : Store.bin_row =
   { Store.br_path; br_package; br_class; br_digest; br_direct; br_resolved;
     br_init; br_serving }
 
+(* Validate the framing shared by every version — magic, version
+   range, payload digest — and hand back a cursor over the payload.
+   Raises [Fail]; callers route on the returned version. *)
+let open_payload (s : string) : cursor * int =
+  (* judge the magic on whatever prefix is present, so data from a
+     different format reads as [Not_snapshot] even when it is also
+     shorter than our header, and only genuine prefixes of a real
+     snapshot read as [Truncated] *)
+  let prefix = min 8 (String.length s) in
+  if String.sub s 0 prefix <> String.sub magic 0 prefix then
+    raise (Fail Not_snapshot);
+  if String.length s < header_len then raise (Fail (Truncated "header"));
+  let version = Int32.to_int (String.get_int32_le s 8) in
+  (* index images share the magic but not this header layout, so they
+     must be refused on the version alone — reading our digest/length
+     fields from one would misreport the damage *)
+  if version < min_version || version > format_version
+     || version = image_version
+  then raise (Fail (Unsupported_version version));
+  let stored_digest = String.sub s 12 16 in
+  let payload_len = Int64.to_int (String.get_int64_le s 28) in
+  if payload_len < 0 || header_len + payload_len > String.length s then
+    raise (Fail (Truncated "payload"));
+  if header_len + payload_len < String.length s then
+    raise (Fail (Corrupt "trailing bytes after payload"));
+  if Digest.substring s header_len payload_len <> stored_digest then
+    raise (Fail Digest_mismatch);
+  ({ buf = s; pos = header_len; stop = header_len + payload_len }, version)
+
+type r_meta = {
+  rm_seed : int;
+  rm_n_packages : int;
+  rm_total_installs : int;
+  rm_source_key : string;
+  rm_release : int;
+}
+
+let r_meta ~version c =
+  let rm_seed = r_int c "meta.seed" in
+  let rm_n_packages = r_int c "meta.n-packages" in
+  let rm_total_installs = r_int c "meta.total-installs" in
+  let rm_source_key = r_str c "meta.source-key" in
+  (* pre-format-6 files predate the living-distribution work, so the
+     only release they can hold is 0 — the correct default *)
+  let rm_release = if version >= 5 then r_int c "meta.release" else 0 in
+  { rm_seed; rm_n_packages; rm_total_installs; rm_source_key; rm_release }
+
 let of_string (s : string) : (t, error) result =
   try
-    (* judge the magic on whatever prefix is present, so data from a
-       different format reads as [Not_snapshot] even when it is also
-       shorter than our header, and only genuine prefixes of a real
-       snapshot read as [Truncated] *)
-    let prefix = min 8 (String.length s) in
-    if String.sub s 0 prefix <> String.sub magic 0 prefix then
-      raise (Fail Not_snapshot);
-    if String.length s < header_len then raise (Fail (Truncated "header"));
-    let version = Int32.to_int (String.get_int32_le s 8) in
-    if version < min_version || version > format_version then
-      raise (Fail (Unsupported_version version));
-    let stored_digest = String.sub s 12 16 in
-    let payload_len = Int64.to_int (String.get_int64_le s 28) in
-    if payload_len < 0 || header_len + payload_len > String.length s then
-      raise (Fail (Truncated "payload"));
-    if header_len + payload_len < String.length s then
-      raise (Fail (Corrupt "trailing bytes after payload"));
-    if Digest.substring s header_len payload_len <> stored_digest then
-      raise (Fail Digest_mismatch);
-    let c = { buf = s; pos = header_len; stop = header_len + payload_len } in
-    let seed = r_int c "meta.seed" in
-    let n_packages = r_int c "meta.n-packages" in
-    let total_installs = r_int c "meta.total-installs" in
-    let skey = r_str c "meta.source-key" in
+    let c, version = open_payload s in
+    let m = r_meta ~version c in
+    if version = delta_version then
+      (* a delta cannot be decoded standalone: report which base it
+         wants so the caller can fetch it *)
+      raise (Fail (Needs_base (Digest.to_hex (r_digest c "delta.base"))));
+    let seed = m.rm_seed in
+    let n_packages = m.rm_n_packages in
+    let total_installs = m.rm_total_installs in
+    let skey = m.rm_source_key in
     let read_set =
       if version >= 2 then begin
         let dict =
@@ -515,11 +589,172 @@ let of_string (s : string) : (t, error) result =
     Ok
       {
         meta =
-          { version; seed; n_packages; total_installs; source_key = skey };
+          { version; seed; n_packages; total_installs; source_key = skey;
+            release = m.rm_release };
         store;
         rejects;
       }
   with Fail e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Delta snapshots (format 5)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A delta records a new world against a base snapshot it names by
+   digest (MD5 of the base's full serialization). Both row sequences
+   are written as positional instruction streams — [keep i] reuses the
+   base's i-th row verbatim, [new row] carries a full row — so an
+   arbitrary mix of unchanged, changed, added, removed and reordered
+   rows reproduces exactly, and [to_string (apply_delta base d)] is
+   byte-identical to the serialization of the world the delta was made
+   from. Rows a release leaves untouched dominate, so a delta is
+   orders of magnitude smaller than the full snapshot. The delta
+   carries its own API dictionary covering only the rows it ships. *)
+
+let tag_keep = '\000'
+let tag_new = '\001'
+
+let to_delta_string ~(base : t) (cur : t) : string =
+  let base_pkgs = Array.to_list base.store.Store.packages in
+  let cur_pkgs = Array.to_list cur.store.Store.packages in
+  let base_bins = base.store.Store.bins in
+  let cur_bins = cur.store.Store.bins in
+  (* Row identity is serialization equality under one shared
+     dictionary: bitsets of equal sets are equal bytes, so this is
+     exactly field-for-field row equality (structural [=] on the
+     balanced-tree sets would be shape-sensitive). *)
+  let cmp_dict = build_dict (base_pkgs @ cur_pkgs) (base_bins @ cur_bins) in
+  let row_bytes w row =
+    let b = Buffer.create 256 in
+    w cmp_dict b row;
+    Buffer.contents b
+  in
+  let index rows w =
+    let h = Hashtbl.create (2 * List.length rows) in
+    List.iteri
+      (fun i r ->
+        let k = row_bytes w r in
+        if not (Hashtbl.mem h k) then Hashtbl.add h k i)
+      rows;
+    h
+  in
+  let pkg_index = index base_pkgs w_pkg_row in
+  let bin_index = index base_bins w_bin_row in
+  let keyed rows w = List.map (fun r -> (r, row_bytes w r)) rows in
+  let cur_pkg_keys = keyed cur_pkgs w_pkg_row in
+  let cur_bin_keys = keyed cur_bins w_bin_row in
+  let fresh idx keys =
+    List.filter_map
+      (fun (r, k) -> if Hashtbl.mem idx k then None else Some r)
+      keys
+  in
+  let dict = build_dict (fresh pkg_index cur_pkg_keys) (fresh bin_index cur_bin_keys) in
+  let b = Buffer.create (1 lsl 16) in
+  w_meta b cur.meta;
+  w_digest b (Digest.string (to_string base));
+  w_dict b dict;
+  let w_instr idx w b (r, key) =
+    match Hashtbl.find_opt idx key with
+    | Some i ->
+      Buffer.add_char b tag_keep;
+      w_varint b i
+    | None ->
+      Buffer.add_char b tag_new;
+      w dict b r
+  in
+  w_list b (w_instr pkg_index w_pkg_row) cur_pkg_keys;
+  w_list b (w_instr bin_index w_bin_row) cur_bin_keys;
+  w_list b
+    (fun b (kind, n) ->
+      w_str b kind;
+      w_int b n)
+    cur.rejects;
+  frame ~version:delta_version (Buffer.contents b)
+
+let apply_delta ~(base : t) (s : string) : (t, error) result =
+  try
+    let c, version = open_payload s in
+    if version <> delta_version then
+      raise (Fail (Unsupported_version version));
+    let m = r_meta ~version c in
+    let want = r_digest c "delta.base-digest" in
+    let have = Digest.string (to_string base) in
+    if want <> have then
+      raise (Fail (Base_mismatch (Digest.to_hex want, Digest.to_hex have)));
+    let dict = Array.of_list (r_list c r_api "delta.api-dictionary") in
+    let read_set = r_api_set_packed dict in
+    let base_pkgs = base.store.Store.packages in
+    let base_bins = Array.of_list base.store.Store.bins in
+    let r_instr arr r_new what c =
+      match r_byte c what with
+      | 0 ->
+        let i = r_varint c what in
+        if i >= Array.length arr then
+          raise
+            (Fail
+               (Corrupt
+                  (Printf.sprintf "%s: keep index %d out of range (base has %d)"
+                     what i (Array.length arr))));
+        arr.(i)
+      | 1 -> r_new c
+      | t ->
+        raise
+          (Fail (Corrupt (Printf.sprintf "unknown %s instruction tag %d" what t)))
+    in
+    let packages =
+      r_list c
+        (r_instr base_pkgs (r_pkg_row ~phased:true read_set) "delta.pkg")
+        "delta.packages"
+    in
+    let bins =
+      r_list c
+        (r_instr base_bins (r_bin_row ~phased:true read_set) "delta.bin")
+        "delta.binaries"
+    in
+    let rejects =
+      r_list c
+        (fun c ->
+          let kind = r_str c "reject.kind" in
+          let n = r_int c "reject.count" in
+          (kind, n))
+        "delta.rejects"
+    in
+    if c.pos <> c.stop then raise (Fail (Corrupt "payload underrun"));
+    if List.length packages <> m.rm_n_packages then
+      raise (Fail (Corrupt "package count disagrees with metadata"));
+    let store =
+      Store.build ~packages ~bins ~total_installs:m.rm_total_installs
+    in
+    Ok
+      {
+        meta =
+          { version = format_version; seed = m.rm_seed;
+            n_packages = m.rm_n_packages;
+            total_installs = m.rm_total_installs;
+            source_key = m.rm_source_key; release = m.rm_release };
+        store;
+        rejects;
+      }
+  with Fail e -> Error e
+
+let save_delta path ~(base : t) (cur : t) : (unit, error) result =
+  match
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+        output_string oc (to_delta_string ~base cur))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Io msg)
+
+let load_delta path ~(base : t) : (t, error) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | s -> Lapis_perf.Stage.time "snapshot-load" (fun () -> apply_delta ~base s)
+  | exception Sys_error msg -> Error (Io msg)
+  | exception End_of_file -> Error (Io (path ^ ": unexpected end of file"))
 
 let save path (t : t) : (unit, error) result =
   match

@@ -23,7 +23,18 @@
     (same taxonomy discipline as {!Lapis_elf.Reader}). *)
 
 val magic : string
+
 val format_version : int
+(** Version written for full row snapshots (currently 6, which adds
+    the evolution release to the metadata; versions 1–3 still load). *)
+
+val delta_version : int
+(** Version of delta snapshots (5): decodable only against the base
+    snapshot they name by digest — see {!apply_delta}. *)
+
+val image_version : int
+(** Version owned by the query engine's mmap-able index image (4):
+    shares the header discipline but is not decoded by this module. *)
 
 type meta = {
   version : int;  (** format version the file was written with *)
@@ -32,11 +43,14 @@ type meta = {
   total_installs : int;
   source_key : string;
       (** hex digest of the generator identity (requested package
-          count, seed, popcon total): the snapshot invalidation rule —
-          regenerate when the key a config would produce differs from
-          the one stored. Keyed by the {e requested} count because
-          small corpora are padded up to the generator's fixed
-          roster. *)
+          count, seed, popcon total, evolution release): the snapshot
+          invalidation rule — regenerate when the key a config would
+          produce differs from the one stored. Keyed by the
+          {e requested} count because small corpora are padded up to
+          the generator's fixed roster. *)
+  release : int;
+      (** evolution release the snapshotted world was at; 0 for files
+          written before format 6, the only release they could hold *)
 }
 
 type t = {
@@ -53,6 +67,12 @@ type error =
   | Digest_mismatch  (** payload bytes do not match the stored MD5 *)
   | Corrupt of string  (** structurally invalid despite a good digest *)
   | Io of string  (** file system error from {!save}/{!load} *)
+  | Needs_base of string
+      (** a delta snapshot reached a standalone decoder; carries the
+          hex digest of the base it needs *)
+  | Base_mismatch of string * string
+      (** delta applied against the wrong base:
+          [(expected_hex, got_hex)] *)
 
 val kind_name : error -> string
 (** Stable machine-readable kind, mirroring the reader taxonomy
@@ -60,15 +80,26 @@ val kind_name : error -> string
 
 val pp_error : Format.formatter -> error -> unit
 
-val source_key : seed:int -> n_packages:int -> total_installs:int -> string
-(** The invalidation key for a generator identity. *)
+val source_key :
+  ?release:int ->
+  seed:int ->
+  n_packages:int ->
+  total_installs:int ->
+  unit ->
+  string
+(** The invalidation key for a generator identity. [release] (default
+    0) is the evolution epoch; the release-0 key is byte-identical to
+    the key this build always produced, so every existing format 1–4
+    file keeps matching its world. *)
 
 val of_analyzed : Pipeline.analyzed -> t
 (** Snapshot a pipeline result (shares the store, copies nothing). *)
 
-val matches : t -> Lapis_distro.Generator.config -> bool
-(** Would [config] regenerate the world this snapshot holds? False
-    means the snapshot is stale for that configuration. *)
+val matches : ?release:int -> t -> Lapis_distro.Generator.config -> bool
+(** Would [config], evolved to [release] (default 0), regenerate the
+    world this snapshot holds? False means the snapshot is stale for
+    that configuration — in particular, an evolved world never matches
+    its release-0 ancestor. *)
 
 val to_string : t -> string
 (** Serialize to the wire format. *)
@@ -82,11 +113,31 @@ val save : string -> t -> (unit, error) result
 val load : string -> (t, error) result
 (** [load] times itself under the ["snapshot-load"] {!Lapis_perf.Stage}. *)
 
+val to_delta_string : base:t -> t -> string
+(** Serialize [cur] as a format-5 delta against [base]: the base's
+    digest plus positional row instructions ([keep i] for rows the
+    base already holds, full rows otherwise). Applying the delta to
+    the same base reproduces [cur]'s serialization byte for byte;
+    rows untouched between releases make the delta orders of
+    magnitude smaller than {!to_string}. *)
+
+val apply_delta : base:t -> string -> (t, error) result
+(** Decode a format-5 delta against its base. Total like
+    {!of_string}; a wrong base yields [Base_mismatch], a non-delta
+    input [Unsupported_version], and out-of-range keep instructions
+    [Corrupt]. *)
+
+val save_delta : string -> base:t -> t -> (unit, error) result
+
+val load_delta : string -> base:t -> (t, error) result
+(** [load_delta] times itself under ["snapshot-load"], like {!load}. *)
+
 val file_version : string -> (int, error) result
 (** Read just the magic and version word of a file — the router that
-    distinguishes decode-and-build row snapshots (versions 1–3) from
-    format-4 index images, which share the header discipline but are
-    loaded by the query engine's mapped loader. *)
+    distinguishes decode-and-build row snapshots (versions 1–3, 6)
+    from format-4 index images (loaded by the query engine's mapped
+    loader) and format-5 deltas (decoded by {!apply_delta} against
+    their base). *)
 
 (** The primitive wire codecs (zigzag-LEB128 varints, length-prefixed
     strings, IEEE-754 float bit patterns, API tags), shared with the

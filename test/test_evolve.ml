@@ -1,0 +1,247 @@
+(* Tests for the living distribution: evolution determinism and
+   Rng-split isolation, the incremental analysis cache (bit-identity
+   with a from-scratch run plus the hit/miss counters), delta
+   snapshots (round-trip, size, damage goldens) and the
+   release-aware source_key. *)
+
+module G = Core.Distro.Generator
+module P = Core.Distro.Package
+module Pipeline = Core.Db.Pipeline
+module Snapshot = Core.Db.Snapshot
+module Store = Core.Db.Store
+module Stage = Core.Perf.Stage
+
+let config = { G.default_config with n_packages = 60 }
+
+(* worlds are deterministic, so build each release once and share *)
+let r0 = lazy (G.evolve ~config ~release:0 ())
+let r3 = lazy (G.evolve ~config ~release:3 ())
+
+let file_digests (d : P.distribution) =
+  List.concat_map
+    (fun (pkg : P.t) ->
+      List.map
+        (fun (f : P.file) ->
+          (pkg.P.name ^ "/" ^ f.P.path, Digest.string f.P.bytes))
+        pkg.P.files)
+    d.P.packages
+
+(* --- evolution ---------------------------------------------------- *)
+
+let test_release0_is_generate () =
+  let evolved = Lazy.force r0 in
+  let generated = G.generate ~config () in
+  Alcotest.(check (list (pair string string)))
+    "release 0 emits byte-for-byte what generate emits"
+    (file_digests generated) (file_digests evolved)
+
+let test_deterministic () =
+  let a = Lazy.force r3 in
+  let b = G.evolve ~config ~release:3 () in
+  Alcotest.(check (list (pair string string)))
+    "same seed + release -> identical bytes"
+    (file_digests a) (file_digests b)
+
+let test_release_recorded () =
+  Alcotest.(check int) "release 0" 0 (Lazy.force r0).P.release;
+  Alcotest.(check int) "release 3" 3 (Lazy.force r3).P.release
+
+let test_churn_is_bounded () =
+  (* Rng-split isolation: packages evolution never touched must be
+     byte-identical across releases, and churn must touch something. *)
+  let d0 = Lazy.force r0 and d3 = Lazy.force r3 in
+  let tbl = Hashtbl.create 256 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) (file_digests d0);
+  let same = ref 0 and diff = ref 0 and fresh = ref 0 in
+  List.iter
+    (fun (k, v) ->
+      match Hashtbl.find_opt tbl k with
+      | Some v0 -> if v = v0 then incr same else incr diff
+      | None -> incr fresh)
+    (file_digests d3);
+  if !same = 0 then Alcotest.fail "no package survived three releases";
+  if !diff + !fresh = 0 then
+    Alcotest.fail "three releases of churn changed nothing";
+  let total = !same + !diff + !fresh in
+  if !diff + !fresh > total / 2 then
+    Alcotest.failf
+      "churn touched %d/%d files — the default rate should leave most \
+       of the world byte-identical"
+      (!diff + !fresh) total
+
+(* --- incremental pipeline ----------------------------------------- *)
+
+let test_incremental_bit_identical () =
+  let cache = Pipeline.new_cache () in
+  let pc = { Pipeline.default with shared_cache = Some cache } in
+  let h0 = Stage.counter "incremental:hits" in
+  let m0 = Stage.counter "incremental:misses" in
+  ignore (Pipeline.run ~config:pc (Lazy.force r0));
+  let warm = Pipeline.cache_size cache in
+  if warm = 0 then Alcotest.fail "release 0 populated nothing";
+  let m_after_r0 = Stage.counter "incremental:misses" in
+  Alcotest.(check int) "cold run: every payload is a miss" warm
+    (m_after_r0 - m0);
+  let inc = Pipeline.run ~config:pc (Lazy.force r3) in
+  let scratch = Pipeline.run (Lazy.force r3) in
+  Alcotest.(check string)
+    "incremental run is bit-identical to from-scratch"
+    (Snapshot.to_string (Snapshot.of_analyzed scratch))
+    (Snapshot.to_string (Snapshot.of_analyzed inc));
+  let hits = Stage.counter "incremental:hits" - h0 in
+  let misses = Stage.counter "incremental:misses" - m_after_r0 in
+  if hits = 0 then Alcotest.fail "warm run reused nothing";
+  if misses >= hits then
+    Alcotest.failf
+      "warm run missed more than it hit (%d misses vs %d hits) — the \
+       cache is not being reused across releases"
+      misses hits
+
+(* --- delta snapshots ---------------------------------------------- *)
+
+let snap_of release =
+  Snapshot.of_analyzed
+    (Pipeline.run (Lazy.force (if release = 0 then r0 else r3)))
+
+let base = lazy (snap_of 0)
+let cur = lazy (snap_of 3)
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %a" what Snapshot.pp_error e
+
+let test_delta_roundtrip () =
+  let base = Lazy.force base and cur = Lazy.force cur in
+  let delta = Snapshot.to_delta_string ~base cur in
+  let applied = ok_exn "apply" (Snapshot.apply_delta ~base delta) in
+  Alcotest.(check string) "applying the delta reproduces the snapshot"
+    (Snapshot.to_string cur)
+    (Snapshot.to_string applied)
+
+let test_delta_is_small () =
+  let base = Lazy.force base and cur = Lazy.force cur in
+  let delta = String.length (Snapshot.to_delta_string ~base cur) in
+  let full = String.length (Snapshot.to_string cur) in
+  if delta * 10 > full then
+    Alcotest.failf
+      "delta is %d bytes against a %d-byte full snapshot — changed-rows \
+       encoding should be an order of magnitude smaller"
+      delta full
+
+let check_delta_error name expected ~base bytes =
+  match Snapshot.apply_delta ~base bytes with
+  | Ok _ -> Alcotest.failf "%s: apply unexpectedly succeeded" name
+  | Error e ->
+    Alcotest.(check string) name expected (Snapshot.kind_name e)
+
+let test_delta_damage_goldens () =
+  let base = Lazy.force base and cur = Lazy.force cur in
+  let delta = Snapshot.to_delta_string ~base cur in
+  let n = String.length delta in
+  (* a delta fed to the plain decoder announces its base *)
+  (match Snapshot.of_string delta with
+   | Ok _ -> Alcotest.fail "a delta decoded standalone"
+   | Error e ->
+     Alcotest.(check string) "standalone decode" "needs-base"
+       (Snapshot.kind_name e));
+  (* a full snapshot is not a delta *)
+  check_delta_error "full snapshot as delta" "unsupported-version" ~base
+    (Snapshot.to_string cur);
+  (* applying against the wrong base world *)
+  check_delta_error "wrong base" "base-mismatch" ~base:cur delta;
+  (* damage: truncations and a payload flip (caught by the digest) *)
+  check_delta_error "truncated header" "truncated" ~base
+    (String.sub delta 0 20);
+  check_delta_error "truncated payload" "truncated" ~base
+    (String.sub delta 0 (n - 1));
+  let flipped = Bytes.of_string delta in
+  let i = 36 + ((n - 36) / 2) in
+  Bytes.set flipped i
+    (Char.chr (Char.code (Bytes.get flipped i) lxor 0x40));
+  check_delta_error "flipped payload byte" "digest-mismatch" ~base
+    (Bytes.to_string flipped);
+  check_delta_error "trailing garbage" "corrupt" ~base (delta ^ "x")
+
+let test_delta_never_raises () =
+  (* every truncation point and a flip at every offset must come back
+     as a structured error, never an exception *)
+  let base = Lazy.force base in
+  let delta = Snapshot.to_delta_string ~base (Lazy.force cur) in
+  let n = String.length delta in
+  for keep = 0 to n - 1 do
+    match Snapshot.apply_delta ~base (String.sub delta 0 keep) with
+    | Ok _ -> Alcotest.failf "truncation to %d applied" keep
+    | Error _ -> ()
+  done;
+  for i = 0 to n - 1 do
+    let b = Bytes.of_string delta in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+    ignore (Snapshot.apply_delta ~base (Bytes.to_string b))
+  done
+
+let test_delta_file_roundtrip () =
+  let base = Lazy.force base and cur = Lazy.force cur in
+  let path = Filename.temp_file "lapis-delta" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (match Snapshot.save_delta path ~base cur with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "save_delta: %a" Snapshot.pp_error e);
+      let loaded = ok_exn "load_delta" (Snapshot.load_delta path ~base) in
+      Alcotest.(check string) "file round-trip"
+        (Snapshot.to_string cur)
+        (Snapshot.to_string loaded))
+
+(* --- source identity ---------------------------------------------- *)
+
+let test_source_key_release () =
+  let k0 = Snapshot.source_key ~seed:1 ~n_packages:2 ~total_installs:3 () in
+  let k0' =
+    Snapshot.source_key ~release:0 ~seed:1 ~n_packages:2 ~total_installs:3 ()
+  in
+  let k1 =
+    Snapshot.source_key ~release:1 ~seed:1 ~n_packages:2 ~total_installs:3 ()
+  in
+  let k2 =
+    Snapshot.source_key ~release:2 ~seed:1 ~n_packages:2 ~total_installs:3 ()
+  in
+  Alcotest.(check string) "release 0 is the default spelling" k0 k0';
+  if k1 = k0 then
+    Alcotest.fail "release 1 collides with its release-0 ancestor";
+  if k2 = k1 then Alcotest.fail "two releases share a source key"
+
+let test_matches_release () =
+  let cur = Lazy.force cur in
+  Alcotest.(check bool) "matches with its own release" true
+    (Snapshot.matches ~release:3 cur config);
+  Alcotest.(check bool) "an evolved world is not its ancestor" false
+    (Snapshot.matches cur config);
+  Alcotest.(check bool) "base matches the release-0 default" true
+    (Snapshot.matches (Lazy.force base) config)
+
+let () =
+  Alcotest.run "evolve"
+    [ ( "evolution",
+        [ Alcotest.test_case "release 0 == generate" `Quick
+            test_release0_is_generate;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "release recorded" `Quick test_release_recorded;
+          Alcotest.test_case "churn bounded" `Quick test_churn_is_bounded ] );
+      ( "incremental",
+        [ Alcotest.test_case "bit-identical + counters" `Quick
+            test_incremental_bit_identical ] );
+      ( "delta",
+        [ Alcotest.test_case "round-trip" `Quick test_delta_roundtrip;
+          Alcotest.test_case "small" `Quick test_delta_is_small;
+          Alcotest.test_case "damage goldens" `Quick
+            test_delta_damage_goldens;
+          Alcotest.test_case "never raises" `Quick test_delta_never_raises;
+          Alcotest.test_case "file round-trip" `Quick
+            test_delta_file_roundtrip ] );
+      ( "identity",
+        [ Alcotest.test_case "source_key release" `Quick
+            test_source_key_release;
+          Alcotest.test_case "matches release" `Quick test_matches_release ]
+      )
+    ]

@@ -316,6 +316,43 @@ not json
         Alcotest.(check bool) "loop continues after an error" true (is_ok c)
       | _ -> Alcotest.fail "unreachable")
 
+let test_canonical_key () =
+  let key s = Serve.canonical_key (parse_exn s) in
+  (* the id never participates in the key *)
+  Alcotest.(check string) "id stripped"
+    (key {|{"op":"ping"}|})
+    (key {|{"op":"ping","id":42}|});
+  (* the three spellings of "no phase filter" share one cache entry *)
+  let absent = key {|{"op":"top","n":5}|} in
+  Alcotest.(check string) {|"all" collapses to absent|} absent
+    (key {|{"op":"top","n":5,"phase":"all"}|});
+  Alcotest.(check string) {|"" collapses to absent|} absent
+    (key {|{"op":"top","n":5,"phase":""}|});
+  (* a real phase filter must NOT collapse *)
+  if key {|{"op":"top","n":5,"phase":"init"}|} = absent then
+    Alcotest.fail "phase=init collapsed into the unfiltered key";
+  if
+    key {|{"op":"top","n":5,"phase":"init"}|}
+    = key {|{"op":"top","n":5,"phase":"serving"}|}
+  then Alcotest.fail "init and serving share a cache key";
+  (* field order is irrelevant *)
+  Alcotest.(check string) "field order canonicalized"
+    (key {|{"op":"top","n":5}|})
+    (key {|{"n":5,"op":"top"}|});
+  (* and the collapse is observable end to end: the default-phase
+     spellings return identical answers, so caching them together is
+     sound (this was the stale-result bug: same key, different phase
+     would have been unsound — assert the answers really match) *)
+  let strip_id j =
+    match j with
+    | Json.Obj fs -> Json.Obj (List.filter (fun (k, _) -> k <> "id") fs)
+    | x -> x
+  in
+  let a = strip_id (respond {|{"op":"top","n":3}|}) in
+  let b = strip_id (respond {|{"op":"top","n":3,"phase":"all"}|}) in
+  Alcotest.(check string) "collapsed keys agree on the answer"
+    (Json.to_string a) (Json.to_string b)
+
 let () =
   Alcotest.run "query"
     [ ( "index-vs-oracle",
@@ -336,5 +373,6 @@ let () =
       ( "serve",
         [ Alcotest.test_case "operations" `Quick test_serve_ops;
           Alcotest.test_case "errors" `Quick test_serve_errors;
-          Alcotest.test_case "loop" `Quick test_serve_loop ] )
+          Alcotest.test_case "loop" `Quick test_serve_loop;
+          Alcotest.test_case "canonical key" `Quick test_canonical_key ] )
     ]

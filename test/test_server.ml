@@ -212,6 +212,125 @@ let test_cache_consistency () =
       Alcotest.(check bool) "identical payload" true
         (Float.equal (field r1) (field r2)))
 
+(* --- hot reload ---------------------------------------------------- *)
+
+(* A deliberately different world: one package using only syscall 7,
+   so after a reload the top-1 answer flips from the corpus ranking to
+   syscall 7 — observable through the same canonicalized request. *)
+let other_index () =
+  let module Store = Core.Db.Store in
+  let module Api = Core.Apidb.Api in
+  let apis = Api.Set.singleton (Api.Syscall 7) in
+  let store =
+    Store.build ~total_installs:1000 ~bins:[]
+      ~packages:
+        [ {
+            Store.pr_name = "only-seven";
+            pr_installs = 900;
+            pr_prob = 0.9;
+            pr_deps = [];
+            pr_essential = false;
+            pr_apis = apis;
+            pr_apis_elf = apis;
+            pr_init = apis;
+            pr_serving = Api.Set.empty;
+          } ]
+  in
+  Core.Query.Engine.index store
+
+let top1_nr r =
+  match Json.member "syscalls" r with
+  | Some (Json.Arr (first :: _)) ->
+    (match Json.member "nr" first with
+     | Some (Json.Num f) -> int_of_float f
+     | _ -> Alcotest.fail "no nr in top row")
+  | _ -> Alcotest.failf "no syscalls in %s" (Json.to_string r)
+
+let test_reload_swaps_answers () =
+  (* the reload must change the answer AND invalidate the response
+     cache: the same canonical request was cached against the old
+     index, so a stale hit would return the old top-1 *)
+  let srv = start_exn ~workers:2 ~cache_capacity:64 () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let q id = Printf.sprintf {|{"op":"top","n":1,"id":%d}|} id in
+      let before = List.hd (converse port [ q 1 ]) in
+      Alcotest.(check bool) "pre-reload ok" true (is_ok before);
+      Alcotest.(check int) "epoch starts at 0" 0 (Server.epoch_id srv);
+      (* warm the cache again to make a stale hit as likely as possible *)
+      ignore (converse port [ q 2 ]);
+      Server.reload srv (other_index ());
+      Alcotest.(check int) "reload bumps the epoch" 1 (Server.epoch_id srv);
+      let after = List.hd (converse port [ q 3 ]) in
+      Alcotest.(check bool) "post-reload ok" true (is_ok after);
+      Alcotest.(check int) "post-reload answer is the new world's" 7
+        (top1_nr after);
+      if top1_nr before = 7 then
+        Alcotest.fail "old index already answered 7; the swap is untested")
+
+let test_reload_under_load () =
+  (* clients hammer the server while the index is swapped back and
+     forth: no dropped connection, no protocol error, per-connection
+     order preserved, every request answered from some epoch *)
+  let n_clients = 4 and per_client = 40 and reloads = 6 in
+  let srv = start_exn ~workers:3 ~cache_capacity:32 () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let port = Server.port srv in
+      let results = Array.make n_clients [] in
+      let errors = Array.make n_clients None in
+      let run c () =
+        try
+          let reqs =
+            List.init per_client (fun i ->
+                let id = (c * 1000) + i in
+                match i mod 3 with
+                | 0 -> Printf.sprintf {|{"op":"ping","id":%d}|} id
+                | 1 -> Printf.sprintf {|{"op":"top","n":2,"id":%d}|} id
+                | _ ->
+                  Printf.sprintf
+                    {|{"op":"completeness","syscalls":[0,1,7],"id":%d}|} id)
+          in
+          results.(c) <- converse port reqs
+        with e -> errors.(c) <- Some (Printexc.to_string e)
+      in
+      let threads =
+        List.init n_clients (fun c -> Thread.create (run c) ())
+      in
+      let alt = other_index () and orig = index () in
+      for r = 1 to reloads do
+        Thread.delay 0.01;
+        Server.reload srv (if r mod 2 = 1 then alt else orig)
+      done;
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun c -> function
+          | Some msg ->
+            Alcotest.failf "client %d dropped across a reload: %s" c msg
+          | None -> ())
+        errors;
+      Alcotest.(check int) "every reload swapped an epoch" reloads
+        (Server.epoch_id srv);
+      Array.iteri
+        (fun c resps ->
+          Alcotest.(check int)
+            (Printf.sprintf "client %d fully answered" c)
+            per_client (List.length resps);
+          List.iteri
+            (fun i r ->
+              Alcotest.(check int)
+                (Printf.sprintf "client %d response %d in order" c i)
+                ((c * 1000) + i)
+                (id_of r);
+              Alcotest.(check bool)
+                (Printf.sprintf "client %d response %d ok" c i)
+                true (is_ok r))
+            resps)
+        results)
+
 let () =
   Alcotest.run "server"
     [ ( "tcp",
@@ -222,5 +341,10 @@ let () =
             test_idle_client_no_starvation;
           Alcotest.test_case "graceful stop" `Quick test_graceful_stop;
           Alcotest.test_case "cache id consistency" `Quick
-            test_cache_consistency ] )
+            test_cache_consistency ] );
+      ( "reload",
+        [ Alcotest.test_case "swaps answers and cache" `Quick
+            test_reload_swaps_answers;
+          Alcotest.test_case "under concurrent load" `Quick
+            test_reload_under_load ] )
     ]

@@ -150,6 +150,7 @@ let qcheck_roundtrip =
               n_packages = Array.length store.Store.packages;
               total_installs = store.Store.total_installs;
               source_key = "qcheck";
+              release = 0;
             };
           store;
           rejects = [ ("decode-error", 2); ("analysis-crash", 0) ];
@@ -230,6 +231,7 @@ let test_corruption_never_raises () =
           n_packages = 1;
           total_installs = 1000;
           source_key = "sweep";
+          release = 0;
         };
       store;
       rejects = [];
