@@ -603,8 +603,106 @@ let stage_seconds names =
       if List.mem l.S.l_name names then acc +. l.S.l_seconds else acc)
     0.0 (S.report ())
 
+(* --- wire-codec micro-bench ---------------------------------------
+
+   What the binary codec buys on router↔shard traffic: one
+   representative scattered-completeness exchange (a 32-syscall
+   partial-completeness request + its partial response) encoded and
+   decoded through both codecs. Round-trips are verified before
+   timing — this is a correctness check that happens to be timed. *)
+
+type codec_result = {
+  cb_json_ns : float;  (* one request+response round-trip, JSON lines *)
+  cb_bin_ns : float;  (* same exchange, length-prefixed binary *)
+  cb_speedup : float;
+  cb_json_bytes : int;
+  cb_bin_bytes : int;
+}
+
+let run_codec_bench () =
+  let module Pr = Core.Query.Protocol in
+  let module J = Core.Query.Json in
+  let rng = Core.Distro.Rng.create 0x0c0dec in
+  let syscalls = List.init 32 (fun _ -> Core.Distro.Rng.int rng 448) in
+  let req =
+    {
+      Pr.rq_id = Some (J.Num 123456.0);
+      rq_op =
+        Pr.Partial_completeness
+          { syscalls; phase = Core.Query.Engine.All; lo = 0; hi = 5000 };
+    }
+  in
+  let resp =
+    {
+      Pr.rs_id = Some (J.Num 123456.0);
+      rs_result =
+        Ok (Pr.Partial_r { lo = 0; hi = 5000; num = 123.456789; den = 98765.5 });
+    }
+  in
+  let json_req = J.to_string (Pr.json_of_request req) in
+  let json_resp = J.to_string (Pr.json_of_response resp) in
+  let bin_req = Pr.Bin.encode_request req in
+  let bin_resp = Pr.Bin.encode_response resp in
+  let payload s = String.sub s 5 (String.length s - 5) in
+  let fail msg =
+    Printf.eprintf "bench: FAIL: codec round-trip: %s\n" msg;
+    exit 1
+  in
+  (match J.parse json_req with
+   | Ok j ->
+     (match Pr.request_of_json j with
+      | Ok r when r = req -> ()
+      | _ -> fail "JSON request changed in flight")
+   | Error e -> fail e);
+  (match Pr.Bin.decode_request (payload bin_req) with
+   | Ok r when r = req -> ()
+   | _ -> fail "binary request changed in flight");
+  (match Pr.Bin.decode_response (payload bin_resp) with
+   | Ok r when r = resp -> ()
+   | _ -> fail "binary response changed in flight");
+  let iters = 20_000 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let json_ns =
+    time (fun () ->
+        let rq = J.to_string (Pr.json_of_request req) in
+        (match J.parse rq with
+         | Ok j -> ignore (Pr.request_of_json j)
+         | Error _ -> assert false);
+        let rs = J.to_string (Pr.json_of_response resp) in
+        match J.parse rs with
+        | Ok j -> ignore (Pr.response_of_json j)
+        | Error _ -> assert false)
+  in
+  let bin_ns =
+    time (fun () ->
+        ignore (Pr.Bin.decode_request (payload (Pr.Bin.encode_request req)));
+        ignore
+          (Pr.Bin.decode_response (payload (Pr.Bin.encode_response resp))))
+  in
+  let r =
+    {
+      cb_json_ns = json_ns;
+      cb_bin_ns = bin_ns;
+      cb_speedup = json_ns /. Float.max bin_ns 1e-9;
+      cb_json_bytes = String.length json_req + String.length json_resp + 2;
+      cb_bin_bytes = String.length bin_req + String.length bin_resp;
+    }
+  in
+  Printf.printf
+    "Wire codecs: scatter exchange %d B json / %d B binary\n\
+    \  json round-trip:   %.0f ns\n\
+    \  binary round-trip: %.0f ns (%.1fx cheaper)\n%!"
+    r.cb_json_bytes r.cb_bin_bytes r.cb_json_ns r.cb_bin_ns r.cb_speedup;
+  r
+
 let write_query_json ~packages ~queries ~indexed_s ~oracle_s ~speedup
-    ~max_abs_diff ~latencies_us ~batch_s ~cold ~source_key path =
+    ~max_abs_diff ~latencies_us ~batch_s ~cold ~codec ~source_key path =
   let module S = Core.Perf.Stage in
   (* Temporal-attribution cost next to the numbers it buys: the
      "phase:attribute" stage (per-binary split into init/serving) and
@@ -666,6 +764,11 @@ let write_query_json ~packages ~queries ~indexed_s ~oracle_s ~speedup
      pf "  \"cold_max_abs_diff\": %.3e,\n" c.cr_max_abs_diff;
      pf "  \"replicas\": %d,\n" c.cr_replicas;
      pf "  \"replica_rss_kb\": %.1f,\n" c.cr_replica_rss_kb);
+  pf "  \"codec_json_ns\": %.1f,\n" codec.cb_json_ns;
+  pf "  \"codec_bin_ns\": %.1f,\n" codec.cb_bin_ns;
+  pf "  \"codec_speedup\": %.2f,\n" codec.cb_speedup;
+  pf "  \"codec_json_bytes\": %d,\n" codec.cb_json_bytes;
+  pf "  \"codec_bin_bytes\": %d,\n" codec.cb_bin_bytes;
   pf "  \"max_abs_diff\": %.3e\n" max_abs_diff;
   pf "}\n";
   close_out oc;
@@ -994,8 +1097,9 @@ let run_query_bench (args : args) =
       Some (run_cold_start args ~env ~source_key ~subsets)
     else None
   in
+  let codec = run_codec_bench () in
   write_query_json ~packages ~queries:args.queries ~indexed_s ~oracle_s
-    ~speedup ~max_abs_diff ~latencies_us ~batch_s ~cold ~source_key
+    ~speedup ~max_abs_diff ~latencies_us ~batch_s ~cold ~codec ~source_key
     "BENCH_QUERY.json";
   if max_abs_diff > 1e-12 then begin
     Printf.eprintf

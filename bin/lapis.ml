@@ -12,6 +12,8 @@
      compat     weighted completeness of a user-provided syscall list
      query      one-shot indexed query against a saved snapshot
      serve      line-delimited JSON query loop over stdin/stdout
+     fleet      sharded multi-process serving: N serve shards behind a
+                scatter/gather router
 
    analyze/report/compat/seccomp accept --snapshot PATH to start from
    a saved world instead of re-running generation + analysis. *)
@@ -22,7 +24,10 @@ module P = Core.Distro.Package
 module Snapshot = Core.Db.Snapshot
 module Query = Core.Query.Engine
 module Json = Core.Query.Json
+module Protocol = Core.Query.Protocol
 module Serve = Core.Query.Serve
+module Server = Core.Query.Server
+module Router = Core.Query.Router
 
 let setup_logs () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -751,7 +756,12 @@ let query_cmd =
           "lapis: bad query; see lapis query --help for the operations\n";
         exit 2
     in
-    let response = Serve.handle_request idx request in
+    let response =
+      match Protocol.request_of_json request with
+      | Error e -> e
+      | Ok r -> Serve.handle_request idx r
+    in
+    let response = Protocol.json_of_response response in
     print_endline (Json.to_string response);
     if stats then print_stage_stats ();
     (match Json.member "ok" response with
@@ -856,7 +866,9 @@ let serve_cmd =
        Serve.loop idx stdin stdout
      | Some port ->
        (match
-          Core.Query.Server.start ?workers ~cache_capacity:cache ~port idx
+          Server.start
+            ~config:{ Server.default with port; workers; cache_capacity = cache }
+            idx
         with
         | Error msg ->
           Printf.eprintf "lapis: %s\n" msg;
@@ -865,10 +877,10 @@ let serve_cmd =
           Printf.eprintf
             "# serving line-delimited JSON on 127.0.0.1:%d (ops: ping stats \
              importance completeness top dependents); Ctrl-C to stop\n%!"
-            (Core.Query.Server.port srv);
+            (Server.port srv);
           Sys.set_signal Sys.sigint
             (Sys.Signal_handle
-               (fun _ -> Core.Query.Server.signal_stop srv));
+               (fun _ -> Server.signal_stop srv));
           let stop_watch = Atomic.make false in
           let watcher =
             match (watch, snapshot) with
@@ -893,9 +905,9 @@ let serve_cmd =
               let reload () =
                 match soft_load_index ?base path with
                 | Ok idx ->
-                  Core.Query.Server.reload srv idx;
+                  Server.reload srv idx;
                   Printf.eprintf "# reloaded %s (epoch %d)\n%!" path
-                    (Core.Query.Server.epoch_id srv)
+                    (Server.epoch_id srv)
                 | Error msg ->
                   Printf.eprintf
                     "# reload of %s failed (old index keeps serving): %s\n%!"
@@ -917,11 +929,11 @@ let serve_cmd =
                      done)
                    ())
           in
-          Core.Query.Server.wait srv;
+          Server.wait srv;
           Atomic.set stop_watch true;
           Option.iter Thread.join watcher;
           Printf.eprintf "# served %d connections\n%!"
-            (Core.Query.Server.connections_served srv)));
+            (Server.connections_served srv)));
     if stats then print_stage_stats ()
   in
   let doc =
@@ -934,6 +946,147 @@ let serve_cmd =
     Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ base_arg
           $ stats_arg $ tcp_arg $ workers_arg $ cache_arg $ watch_arg)
 
+(* --- fleet -------------------------------------------------------------- *)
+
+let fleet_cmd =
+  let tcp_arg =
+    let doc =
+      "Router port. Spawned shards take the $(docv)+1 .. $(docv)+N ports."
+    in
+    Arg.(value & opt int 7070 & info [ "tcp" ] ~docv:"PORT" ~doc)
+  in
+  let shards_arg =
+    let doc = "How many shard processes to spawn." in
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let connect_arg =
+    let doc =
+      "Comma-separated $(i,HOST:PORT) list of already-running \
+       $(b,lapis serve --tcp) shards to route over, instead of spawning \
+       any. All shards must serve the same snapshot."
+    in
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"SPECS" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains per spawned shard (default: the shard's own)." in
+    Arg.(value & opt (some int) None & info [ "shard-workers" ] ~docv:"N" ~doc)
+  in
+  (* Poll until the shard accepts TCP connections (it binds only once
+     its index is loaded, so accept implies ready). *)
+  let wait_ready ~port ~deadline =
+    let rec go () =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+      | () ->
+        Unix.close fd;
+        true
+      | exception _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () > deadline then false
+        else begin
+          Thread.delay 0.1;
+          go ()
+        end
+    in
+    go ()
+  in
+  let run snapshot base tcp shards connect workers stats =
+    setup_logs ();
+    let spawned = ref [] in
+    let kill_spawned () =
+      List.iter
+        (fun (pid, _port) ->
+          (try Unix.kill pid Sys.sigint with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        !spawned
+    in
+    let specs =
+      match connect with
+      | Some specs ->
+        List.map
+          (fun s ->
+            match Router.shard_spec_of_string (String.trim s) with
+            | Ok spec -> spec
+            | Error msg ->
+              Printf.eprintf "lapis: %s\n" msg;
+              exit 2)
+          (String.split_on_char ',' specs)
+      | None ->
+        let path =
+          match snapshot with
+          | Some p -> p
+          | None ->
+            Printf.eprintf
+              "lapis: fleet needs --snapshot PATH (to spawn shards) or \
+               --connect HOST:PORT,... (to join running ones)\n";
+            exit 2
+        in
+        let shards = max 1 shards in
+        let ports = List.init shards (fun i -> tcp + 1 + i) in
+        List.iter
+          (fun port ->
+            let args =
+              [ Sys.executable_name; "serve"; "--snapshot"; path;
+                "--tcp"; string_of_int port ]
+              @ (match base with Some b -> [ "--base"; b ] | None -> [])
+              @ (match workers with
+                 | Some w -> [ "--workers"; string_of_int w ]
+                 | None -> [])
+            in
+            let pid =
+              Unix.create_process Sys.executable_name (Array.of_list args)
+                Unix.stdin Unix.stderr Unix.stderr
+            in
+            spawned := !spawned @ [ (pid, port) ];
+            Printf.eprintf "# shard pid %d on 127.0.0.1:%d\n%!" pid port)
+          ports;
+        let deadline = Unix.gettimeofday () +. 60.0 in
+        List.iter
+          (fun port ->
+            if not (wait_ready ~port ~deadline) then begin
+              Printf.eprintf
+                "lapis: shard on port %d did not come up within 60s\n" port;
+              kill_spawned ();
+              exit 1
+            end)
+          ports;
+        List.map (fun p -> { Router.sh_host = "127.0.0.1"; sh_port = p }) ports
+    in
+    match Router.start ~config:{ Router.default with port = tcp } specs with
+    | Error msg ->
+      Printf.eprintf "lapis: %s\n" msg;
+      kill_spawned ();
+      exit 1
+    | Ok router ->
+      Printf.eprintf
+        "# fleet serving on 127.0.0.1:%d (%d shards; scatter/gather \
+         completeness, JSON or binary protocol); Ctrl-C to stop\n%!"
+        (Router.port router) (Router.n_shards router);
+      Sys.set_signal Sys.sigint
+        (Sys.Signal_handle (fun _ -> Router.signal_stop router));
+      Router.wait router;
+      (* sampled during [wait]'s return, before shard connections are
+         torn down, the healthy count would always read 0 here — so
+         the summary reports only what is still meaningful *)
+      Printf.eprintf "# fleet served %d connections (%d shards)\n%!"
+        (Router.connections_served router)
+        (Router.n_shards router);
+      kill_spawned ();
+      if stats then print_stage_stats ()
+  in
+  let doc =
+    "Serve one snapshot from a fleet: N $(b,lapis serve --tcp) shard \
+     processes behind a scatter/gather router. Completeness queries fan \
+     out as per-shard package-range partials and merge (within 1e-12 of a \
+     single process); point queries round-robin. The router sheds with \
+     structured $(i,overloaded) errors under saturation and answers \
+     $(i,degraded) errors while a shard is down."
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc)
+    Term.(const run $ snapshot_arg $ base_arg $ tcp_arg $ shards_arg
+          $ connect_arg $ workers_arg $ stats_arg)
+
 let () =
   let doc =
     "reproduction of the EuroSys'16 study of Linux API usage and \
@@ -944,4 +1097,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; evolve_cmd; report_cmd; analyze_cmd; footprint_cmd;
-            seccomp_cmd; compat_cmd; query_cmd; serve_cmd ]))
+            seccomp_cmd; compat_cmd; query_cmd; serve_cmd; fleet_cmd ]))

@@ -94,9 +94,11 @@ end
 module Query = struct
   module Engine = Lapis_query.Query
   module Json = Lapis_query.Json
+  module Protocol = Lapis_query.Protocol
   module Serve = Lapis_query.Serve
   module Lru = Lapis_query.Lru
   module Server = Lapis_query.Server
+  module Router = Lapis_query.Router
 end
 
 module Fuzz = struct
@@ -144,6 +146,7 @@ end
 
 module Perf = struct
   module Stage = Lapis_perf.Stage
+  module Histogram = Lapis_perf.Histogram
   module Parmap = Lapis_perf.Parmap
   module Bitset = Lapis_perf.Bitset
   module Baseline = Lapis_perf.Baseline

@@ -4,7 +4,7 @@
     a couple of pointer swaps, far below the cost of the query either
     side of them.
 
-    Keys are canonicalized request strings ({!Serve.canonical_key}) and
+    Keys are canonicalized request strings ({!Protocol.canonical_key}) and
     values are the id-free response objects, but the cache itself is
     generic. *)
 

@@ -798,6 +798,27 @@ let eval_syscalls_sharded ?domains ?(shards = 4) ?(phase = All) t nrs =
     let num = List.fold_left ( +. ) 0.0 partials in
     if t.den = 0.0 then 0.0 else num /. t.den
 
+(* One shard's share of a scattered completeness query: the partial
+   numerator over its package range, plus the world denominator so the
+   gatherer can check every shard answered from the same index. The
+   range sweep is the exact [sweep_range] the in-process sharded
+   evaluator uses, so a fleet shard's partial is bit-identical to the
+   corresponding term of [eval_syscalls_sharded]. *)
+let eval_syscalls_partial ?(phase = All) t nrs ~lo ~hi =
+  Stage.incr "query:eval-partial";
+  let lo = max 0 (min lo t.n) and hi = max 0 (min hi t.n) in
+  if hi <= lo then (0.0, t.den)
+  else begin
+    let ci = sys_of t phase in
+    let sup = Bitset.create (t.max_nr + 1) in
+    List.iter
+      (fun nr -> if nr >= 0 && nr <= t.max_nr then Bitset.add sup nr)
+      nrs;
+    match classes_ok ci (Bitset.words sup) with
+    | None -> (0.0, t.den)
+    | Some ok -> (sweep_range t ok ci lo hi, t.den)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* API naming (serve protocol / CLI)                                   *)
 (* ------------------------------------------------------------------ *)

@@ -131,6 +131,25 @@ val eval_syscalls_sharded :
     makes this equal to {!eval_syscalls} within accumulation noise
     (held to 1e-12 by the test suite), not bit-identical. *)
 
+val shard_ranges : int -> int -> (int * int) list
+(** [shard_ranges n shards]: the contiguous [(lo, hi)] package-range
+    partition of [0, n) the sharded evaluator sweeps — exported so a
+    fleet router assigns its shards the exact same ranges (clamped to
+    at most [n] non-empty ranges, in order, covering [0, n)). *)
+
+val eval_syscalls_partial :
+  ?phase:phase -> t -> int list -> lo:int -> hi:int -> float * float
+(** [(partial numerator over packages [lo, hi), world denominator)] —
+    the shard side of a scattered completeness query. The component
+    subset tests run whole (they are range-independent); the
+    probability sweep covers only the clamped range, with the exact
+    per-range fold of {!eval_syscalls_sharded}, so summing the
+    partials of a range partition in range order and dividing by the
+    (shared) denominator reproduces the sharded result: within
+    accumulation noise ([<= 1e-12] in the test suite) of
+    {!eval_syscalls}. The denominator lets a gatherer assert every
+    shard evaluated the same world. *)
+
 val api_to_string : Api.t -> string
 (** Stable textual form: [syscall:read], [ioctl:21505],
     [pseudo:/proc/self/stat], [libc:qsort], ... *)

@@ -1,0 +1,914 @@
+(** See the interface for semantics. Threading model: the front
+    (accept loop, per-connection readers, response resequencing) is
+    the {!Server} pattern, but the pool is plain threads — gather
+    work is IO-bound waiting on shard sockets, not CPU-bound
+    evaluation. Each shard has one pipelined connection: a mutex
+    serializes writes, a reader thread completes waiters by
+    router-assigned id, and a receive timeout turns a stalled shard
+    into failed calls rather than hung ones. Invariants:
+
+    - all of a shard's mutable state ([fd], [healthy], [pending],
+      [generation]) is touched only under its mutex; waiters are
+      completed outside it (their own mutex/condvar);
+    - a connection generation is bumped on every (re)connect, and a
+      reader that finds its generation stale exits without touching
+      anything — so a late reader from a torn-down connection cannot
+      fail the fresh one;
+    - every waiter is eventually completed: by a response, by the
+      reader's failure sweep (timeout/EOF/bad frame fail {e all}
+      pending), or by shutdown closing the connection. *)
+
+module Stage = Lapis_perf.Stage
+module Histogram = Lapis_perf.Histogram
+module P = Protocol
+
+type shard_spec = { sh_host : string; sh_port : int }
+
+let shard_spec_of_string s =
+  let mk host port_s =
+    match int_of_string_opt port_s with
+    | Some p when p > 0 && p < 65536 -> Ok { sh_host = host; sh_port = p }
+    | _ -> Error (Printf.sprintf "bad shard port %S" port_s)
+  in
+  match String.rindex_opt s ':' with
+  | None -> mk "127.0.0.1" s
+  | Some i ->
+    mk (String.sub s 0 i) (String.sub s (i + 1) (String.length s - i - 1))
+
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  workers : int;
+  queue_bound : int;
+  shard_timeout : float;
+  health_period : float;
+}
+
+let default =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    backlog = 64;
+    workers = 8;
+    queue_bound = 256;
+    shard_timeout = 5.0;
+    health_period = 1.0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shard clients                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type waiter = {
+  w_mutex : Mutex.t;
+  w_cond : Condition.t;
+  mutable w_result : (P.response, string) result option;
+}
+
+let new_waiter () =
+  { w_mutex = Mutex.create (); w_cond = Condition.create (); w_result = None }
+
+let complete_waiter w result =
+  Mutex.lock w.w_mutex;
+  if w.w_result = None then w.w_result <- Some result;
+  Condition.signal w.w_cond;
+  Mutex.unlock w.w_mutex
+
+let await w =
+  Mutex.lock w.w_mutex;
+  while w.w_result = None do
+    Condition.wait w.w_cond w.w_mutex
+  done;
+  let r = Option.get w.w_result in
+  Mutex.unlock w.w_mutex;
+  r
+
+type shard = {
+  spec : shard_spec;
+  sm : Mutex.t;
+  mutable s_fd : Unix.file_descr option;
+  mutable s_healthy : bool;
+  mutable s_gen : int;  (* bumped per (re)connect *)
+  mutable s_next_id : int;
+  s_pending : (int, waiter) Hashtbl.t;
+}
+
+let shard_name sh = Printf.sprintf "%s:%d" sh.spec.sh_host sh.spec.sh_port
+
+let shard_healthy sh = Mutex.protect sh.sm (fun () -> sh.s_healthy)
+
+(* Under [sm]: tear the connection down and fail every in-flight call.
+   Waiters are collected under the lock but completed outside it. *)
+let fail_locked sh =
+  (match sh.s_fd with
+   | Some fd ->
+     sh.s_fd <- None;
+     (try Unix.close fd with Unix.Unix_error _ -> ())
+   | None -> ());
+  sh.s_healthy <- false;
+  let waiters = Hashtbl.fold (fun _ w acc -> w :: acc) sh.s_pending [] in
+  Hashtbl.reset sh.s_pending;
+  waiters
+
+let fail_conn sh gen msg =
+  let waiters =
+    Mutex.protect sh.sm (fun () ->
+        if sh.s_gen = gen then begin
+          Stage.incr "router:shard-fail";
+          fail_locked sh
+        end
+        else [])
+  in
+  List.iter (fun w -> complete_waiter w (Error msg)) waiters
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let rec read_exact fd buf off len =
+  if len = 0 then true
+  else
+    match Unix.read fd buf off len with
+    | 0 -> false
+    | n -> read_exact fd buf (off + n) (len - n)
+
+let pending_empty sh gen =
+  Mutex.protect sh.sm (fun () ->
+      sh.s_gen <> gen || Hashtbl.length sh.s_pending = 0)
+
+let complete_response sh gen resp =
+  let waiter =
+    Mutex.protect sh.sm (fun () ->
+        if sh.s_gen <> gen then None
+        else
+          match Option.bind resp.P.rs_id Json.to_int with
+          | None -> None
+          | Some id ->
+            let w = Hashtbl.find_opt sh.s_pending id in
+            Hashtbl.remove sh.s_pending id;
+            w)
+  in
+  match waiter with
+  | Some w -> complete_waiter w (Ok resp)
+  | None -> ()  (* uncorrelated response; nothing waits for it *)
+
+(* One reader per connection generation. The receive timeout only
+   counts as idleness at a frame boundary with nothing in flight;
+   anywhere else it means the shard stalled mid-conversation, which
+   fails the connection (the never-hang contract). *)
+let shard_reader sh fd gen () =
+  let hdr = Bytes.create 4 in
+  let first = Bytes.create 1 in
+  let rec loop () =
+    match Unix.read fd first 0 1 with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      if pending_empty sh gen then loop ()
+      else fail_conn sh gen "shard timed out"
+    | exception _ -> fail_conn sh gen "shard read error"
+    | 0 -> fail_conn sh gen "shard closed connection"
+    | _ ->
+      if Bytes.get first 0 <> P.Bin.magic then
+        fail_conn sh gen "bad frame magic from shard"
+      else (
+        match read_exact fd hdr 0 4 with
+        | exception _ -> fail_conn sh gen "shard stalled mid-frame"
+        | false -> fail_conn sh gen "EOF inside frame header"
+        | true ->
+          let len =
+            Char.code (Bytes.get hdr 0)
+            lor (Char.code (Bytes.get hdr 1) lsl 8)
+            lor (Char.code (Bytes.get hdr 2) lsl 16)
+            lor (Char.code (Bytes.get hdr 3) lsl 24)
+          in
+          if len > P.Bin.max_frame then
+            fail_conn sh gen "oversized frame from shard"
+          else
+            let payload = Bytes.create len in
+            (match read_exact fd payload 0 len with
+             | exception _ -> fail_conn sh gen "shard stalled mid-frame"
+             | false -> fail_conn sh gen "EOF inside frame payload"
+             | true ->
+               (match
+                  P.Bin.decode_response (Bytes.unsafe_to_string payload)
+                with
+                | Error msg ->
+                  fail_conn sh gen ("undecodable shard response: " ^ msg)
+                | Ok resp ->
+                  complete_response sh gen resp;
+                  loop ())))
+  in
+  loop ()
+
+(* Under [sm]. Raises on connection failure (caller turns it into
+   [Error] and the health flag is already down). *)
+let connect_locked ~timeout sh =
+  match sh.s_fd with
+  | Some fd -> fd
+  | None ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       let addr =
+         try Unix.inet_addr_of_string sh.spec.sh_host
+         with Failure _ -> Unix.inet_addr_loopback
+       in
+       Unix.connect fd (Unix.ADDR_INET (addr, sh.spec.sh_port));
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+       sh.s_fd <- Some fd;
+       sh.s_gen <- sh.s_gen + 1;
+       sh.s_healthy <- true;
+       ignore (Thread.create (shard_reader sh fd sh.s_gen) ());
+       fd
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       sh.s_healthy <- false;
+       raise e)
+
+(* Register a waiter and put one framed request on the wire. The
+   write happens under the shard mutex (serializing concurrent
+   scatters onto the pipelined connection); waiting happens outside
+   it. *)
+let send ~timeout sh req =
+  Mutex.protect sh.sm (fun () ->
+      let fd = connect_locked ~timeout sh in
+      let id = sh.s_next_id in
+      sh.s_next_id <- id + 1;
+      let w = new_waiter () in
+      Hashtbl.replace sh.s_pending id w;
+      let bytes =
+        P.Bin.encode_request
+          { P.rq_id = Some (Json.Num (float_of_int id)); rq_op = req }
+      in
+      (try write_all fd bytes
+       with e ->
+         let waiters = fail_locked sh in
+         List.iter
+           (fun w -> complete_waiter w (Error "shard write error"))
+           waiters;
+         raise e);
+      w)
+
+let call ~timeout sh req =
+  match send ~timeout sh req with
+  | exception e ->
+    Error (Printf.sprintf "cannot reach shard %s: %s" (shard_name sh)
+             (Printexc.to_string e))
+  | w -> await w
+
+(* Retry-once-then-degrade: the retry reconnects (send dials when the
+   fd is gone); a second failure leaves the shard marked unhealthy
+   for the health thread to revive. *)
+let call_retry ~timeout sh req =
+  match call ~timeout sh req with
+  | Ok r -> Ok r
+  | Error _ ->
+    Stage.incr "router:shard-retry";
+    call ~timeout sh req
+
+(* ------------------------------------------------------------------ *)
+(* Router state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  fd : Unix.file_descr;
+  cmutex : Mutex.t;
+  mutable next_seq : int;
+  mutable next_write : int;
+  pending : (int, string) Hashtbl.t;
+  mutable outstanding : int;
+  mutable reader_done : bool;
+  mutable dead : bool;
+  mutable closed : bool;
+}
+
+type msg = Line of string | Frame of string | Broken of string
+
+type job = Job of conn * int * msg | Quit
+
+type t = {
+  cfg : config;
+  lsock : Unix.file_descr;
+  bound_port : int;
+  shards : shard array;
+  ranges : (shard * (int * int)) array;  (* range order = merge order *)
+  meta : int * int * int * int;  (* packages, apis, binaries, installs *)
+  rr : int Atomic.t;  (* round-robin cursor for forwarded ops *)
+  queue : job Queue.t;
+  qmutex : Mutex.t;
+  not_empty : Condition.t;
+  stop_flag : bool Atomic.t;
+  shutdown_started : bool Atomic.t;
+  accepted : int Atomic.t;
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  mutable workers : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  mutable health_thread : Thread.t option;
+  fin_mutex : Mutex.t;
+  fin_cv : Condition.t;
+  mutable finished : bool;
+}
+
+(* Admission control: never blocks. [false] means the queue is full
+   and the caller must shed. *)
+let try_enqueue t job =
+  Mutex.protect t.qmutex (fun () ->
+      if Queue.length t.queue >= t.cfg.queue_bound then false
+      else begin
+        Queue.push job t.queue;
+        Condition.signal t.not_empty;
+        true
+      end)
+
+(* Shutdown control jobs bypass the bound — a full queue must never
+   be able to strand a worker. *)
+let enqueue_ctl t job =
+  Mutex.protect t.qmutex (fun () ->
+      Queue.push job t.queue;
+      Condition.signal t.not_empty)
+
+let dequeue t =
+  Mutex.lock t.qmutex;
+  while Queue.is_empty t.queue do
+    Condition.wait t.not_empty t.qmutex
+  done;
+  let job = Queue.pop t.queue in
+  Mutex.unlock t.qmutex;
+  job
+
+let queue_depth t = Mutex.protect t.qmutex (fun () -> Queue.length t.queue)
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let err kind msg = Error { P.e_kind = kind; e_msg = msg }
+
+let healthy_count t =
+  Array.fold_left (fun n sh -> if shard_healthy sh then n + 1 else n) 0 t.shards
+
+(* Scatter one completeness query: every shard gets its fixed package
+   range in one round of pipelined sends, then the partials merge in
+   range order over the common denominator — the float regrouping of
+   [Query.eval_syscalls_sharded], so the answer is within 1e-12 of a
+   single-process evaluation. Any shard failing (after its retry)
+   degrades the whole query: a partial sum is never returned. *)
+let scatter t ~syscalls ~phase =
+  let timeout = t.cfg.shard_timeout in
+  let req (lo, hi) = P.Partial_completeness { syscalls; phase; lo; hi } in
+  let sends =
+    Array.map
+      (fun (sh, range) ->
+        match send ~timeout sh (req range) with
+        | w -> (sh, range, Some w)
+        | exception _ -> (sh, range, None))
+      t.ranges
+  in
+  let results =
+    Array.map
+      (fun (sh, range, sent) ->
+        let first =
+          match sent with
+          | Some w -> await w
+          | None -> Error ("cannot reach shard " ^ shard_name sh)
+        in
+        let final =
+          match first with
+          | Ok r -> Ok r
+          | Error _ ->
+            Stage.incr "router:shard-retry";
+            call ~timeout sh (req range)
+        in
+        (sh, final))
+      sends
+  in
+  let partials = ref [] and den = ref None and failure = ref None in
+  Array.iter
+    (fun (sh, result) ->
+      if !failure = None then
+        match result with
+        | Error msg ->
+          failure :=
+            Some
+              (err P.degraded
+                 (Printf.sprintf "shard %s unavailable: %s" (shard_name sh)
+                    msg))
+        | Ok { P.rs_result = Ok (P.Partial_r { num; den = d; _ }); _ } ->
+          (match !den with
+           | None -> den := Some d
+           | Some d0 when d0 <> d ->
+             failure :=
+               Some
+                 (err P.internal_error
+                    (Printf.sprintf
+                       "shard %s denominator %.17g disagrees with %.17g — \
+                        shards serve different worlds"
+                       (shard_name sh) d d0))
+           | Some _ -> ());
+          partials := num :: !partials
+        | Ok { P.rs_result = Error e; _ } -> failure := Some (Error e)
+        | Ok _ ->
+          failure :=
+            Some
+              (err P.internal_error
+                 (Printf.sprintf "shard %s answered the wrong reply shape"
+                    (shard_name sh))))
+    results;
+  match !failure with
+  | Some e -> e
+  | None ->
+    let num = List.fold_left ( +. ) 0.0 (List.rev !partials) in
+    let den = Option.value ~default:0.0 !den in
+    Ok
+      (P.Completeness_r
+         {
+           n_syscalls = List.length syscalls;
+           phase;
+           completeness = (if den = 0.0 then 0.0 else num /. den);
+         })
+
+(* Point ops go to one shard, round-robin over the healthy ones; with
+   none healthy, one reconnection attempt is made (the call dials on
+   demand) before degrading. *)
+let forward t req =
+  let n = Array.length t.shards in
+  let start = Atomic.fetch_and_add t.rr 1 in
+  let rec pick k =
+    if k >= n then t.shards.(start mod n)
+    else
+      let sh = t.shards.((start + k) mod n) in
+      if shard_healthy sh then sh else pick (k + 1)
+  in
+  let sh = pick 0 in
+  match call_retry ~timeout:t.cfg.shard_timeout sh req with
+  | Ok resp -> resp.P.rs_result
+  | Error msg ->
+    err P.degraded
+      (Printf.sprintf "shard %s unavailable: %s" (shard_name sh) msg)
+
+let router_gauges t () =
+  [
+    ("queue_depth", float_of_int (queue_depth t));
+    ("queue_capacity", float_of_int t.cfg.queue_bound);
+    ("workers", float_of_int t.cfg.workers);
+    ("connections", float_of_int (Atomic.get t.accepted));
+    ("shards", float_of_int (Array.length t.shards));
+    ("shards_healthy", float_of_int (healthy_count t));
+    ("shed", float_of_int (Stage.counter "router:shed"));
+  ]
+
+let handle_req t (req : P.req) : (P.reply, P.err) result =
+  match req with
+  | P.Hello versions ->
+    (match P.negotiate versions with
+     | Ok version -> Ok (P.Hello_r { version; codecs = P.codec_names })
+     | Error (kind, msg) -> err kind msg)
+  | P.Ping -> Ok P.Pong
+  | P.Stats ->
+    let pk, ap, bn, ins = t.meta in
+    Ok
+      (P.Stats_r
+         {
+           st_packages = pk;
+           st_apis = ap;
+           st_binaries = bn;
+           st_installs = ins;
+           st_gauges = router_gauges t ();
+           st_hists = Histogram.all ();
+         })
+  | P.Completeness { syscalls; phase } -> scatter t ~syscalls ~phase
+  | P.Importance _ | P.Top _ | P.Dependents _ | P.Partial_completeness _ ->
+    forward t req
+  | P.Unknown other ->
+    err P.unknown_op (Printf.sprintf "unknown op %S" other)
+
+let handle_request t (request : P.request) : P.response =
+  let name = "router:" ^ P.op_name request.P.rq_op in
+  let t0 = Stage.now_ns () in
+  let result = Stage.time name (fun () -> handle_req t request.P.rq_op) in
+  Histogram.observe_ns name (Int64.to_int (Int64.sub (Stage.now_ns ()) t0));
+  { P.rs_id = request.P.rq_id; rs_result = result }
+
+let answer t msg =
+  Stage.incr "router:requests";
+  match msg with
+  | Line line ->
+    let response =
+      match Json.parse line with
+      | Error m -> P.error_response ~kind:P.parse_error m
+      | Ok j ->
+        (match P.request_of_json j with
+         | Error e -> e
+         | Ok request -> handle_request t request)
+    in
+    Json.to_string (P.json_of_response response) ^ "\n"
+  | Frame payload ->
+    let response =
+      match P.Bin.decode_request payload with
+      | Error m -> P.error_response ~kind:P.parse_error m
+      | Ok request -> handle_request t request
+    in
+    P.Bin.encode_response response
+  | Broken m ->
+    P.Bin.encode_response (P.error_response ~kind:P.parse_error m)
+
+(* The shed response still flows through the resequencer, so a client
+   pipelining requests sees its responses — served and shed alike —
+   in send order. The id is recovered with a best-effort parse (the
+   queue is full; the worker pool never sees this request). *)
+let shed_response msg =
+  match msg with
+  | Line line ->
+    let id =
+      match Json.parse line with
+      | Ok j -> Json.member "id" j
+      | Error _ -> None
+    in
+    Json.to_string
+      (P.json_of_response
+         (P.error_response ?id ~kind:P.overloaded "router queue full"))
+    ^ "\n"
+  | Frame payload ->
+    let id =
+      match P.Bin.decode_request payload with
+      | Ok r -> r.P.rq_id
+      | Error _ -> None
+    in
+    P.Bin.encode_response
+      (P.error_response ?id ~kind:P.overloaded "router queue full")
+  | Broken m ->
+    P.Bin.encode_response (P.error_response ~kind:P.parse_error m)
+
+(* ------------------------------------------------------------------ *)
+(* Client connections (the Server front, with shedding)                *)
+(* ------------------------------------------------------------------ *)
+
+let maybe_close conn =
+  if conn.reader_done && conn.outstanding = 0 && not conn.closed then begin
+    conn.closed <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let deliver conn seq bytes =
+  Mutex.lock conn.cmutex;
+  Hashtbl.replace conn.pending seq bytes;
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt conn.pending conn.next_write with
+    | None -> continue := false
+    | Some response ->
+      Hashtbl.remove conn.pending conn.next_write;
+      conn.next_write <- conn.next_write + 1;
+      conn.outstanding <- conn.outstanding - 1;
+      if not (conn.dead || conn.closed) then (
+        try write_all conn.fd response
+        with Unix.Unix_error _ | Sys_error _ -> conn.dead <- true)
+  done;
+  maybe_close conn;
+  Mutex.unlock conn.cmutex
+
+let submit t conn msg =
+  Mutex.lock conn.cmutex;
+  let seq = conn.next_seq in
+  conn.next_seq <- seq + 1;
+  conn.outstanding <- conn.outstanding + 1;
+  Mutex.unlock conn.cmutex;
+  if not (try_enqueue t (Job (conn, seq, msg))) then begin
+    Stage.incr "router:shed";
+    deliver conn seq (shed_response msg)
+  end
+
+let json_reader t conn ic ~first =
+  (match first with
+   | Some line when String.trim line <> "" -> submit t conn (Line line)
+   | _ -> ());
+  let continue = ref true in
+  while !continue do
+    match In_channel.input_line ic with
+    | None -> continue := false
+    | Some line -> if String.trim line <> "" then submit t conn (Line line)
+  done
+
+let binary_reader t conn ic =
+  let rec go input =
+    match input ic with
+    | Ok payload ->
+      submit t conn (Frame payload);
+      go P.Bin.input_frame
+    | Error `Eof -> ()
+    | Error (`Bad msg) -> submit t conn (Broken msg)
+  in
+  go P.Bin.input_frame_body
+
+let client_reader t conn () =
+  let ic = Unix.in_channel_of_descr conn.fd in
+  (try
+     match input_char ic with
+     | exception End_of_file -> ()
+     | c when c = P.Bin.magic -> binary_reader t conn ic
+     | '\n' -> json_reader t conn ic ~first:None
+     | c ->
+       let rest = Option.value ~default:"" (In_channel.input_line ic) in
+       json_reader t conn ic ~first:(Some (String.make 1 c ^ rest))
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Mutex.lock conn.cmutex;
+  conn.reader_done <- true;
+  maybe_close conn;
+  Mutex.unlock conn.cmutex
+
+let worker t () =
+  let rec go () =
+    match dequeue t with
+    | Quit -> ()
+    | Job (conn, seq, msg) ->
+      let response =
+        try answer t msg
+        with e ->
+          let r =
+            P.error_response ~kind:P.internal_error (Printexc.to_string e)
+          in
+          (match msg with
+           | Line _ -> Json.to_string (P.json_of_response r) ^ "\n"
+           | Frame _ | Broken _ -> P.Bin.encode_response r)
+      in
+      deliver conn seq response;
+      go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let port t = t.bound_port
+let connections_served t = Atomic.get t.accepted
+let n_shards t = Array.length t.shards
+let healthy_shards t = healthy_count t
+
+let health_loop t () =
+  while not (Atomic.get t.stop_flag) do
+    (* Sleep in small steps so shutdown is prompt. *)
+    let slept = ref 0.0 in
+    while !slept < t.cfg.health_period && not (Atomic.get t.stop_flag) do
+      Unix.sleepf 0.05;
+      slept := !slept +. 0.05
+    done;
+    if not (Atomic.get t.stop_flag) then
+      Array.iter
+        (fun sh ->
+          match call ~timeout:t.cfg.shard_timeout sh P.Ping with
+          | Ok { P.rs_result = Ok P.Pong; _ } -> ()
+          | Ok _ | Error _ -> ()
+          (* failure already marked the shard unhealthy; a successful
+             dial inside [call] already restored it *))
+        t.shards
+  done
+
+let drain t =
+  Mutex.lock t.conns_mutex;
+  let conns = t.conns and readers = t.readers in
+  Mutex.unlock t.conns_mutex;
+  List.iter
+    (fun c ->
+      Mutex.lock c.cmutex;
+      if not c.closed then (
+        try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ());
+      Mutex.unlock c.cmutex)
+    conns;
+  List.iter Thread.join readers;
+  List.iter (fun _ -> enqueue_ctl t Quit) t.workers;
+  List.iter Thread.join t.workers;
+  (match t.health_thread with Some th -> Thread.join th | None -> ());
+  List.iter
+    (fun c ->
+      Mutex.lock c.cmutex;
+      if not c.closed then begin
+        c.closed <- true;
+        (try Unix.close c.fd with Unix.Unix_error _ -> ())
+      end;
+      Mutex.unlock c.cmutex)
+    conns;
+  Array.iter
+    (fun sh ->
+      let waiters =
+        Mutex.protect sh.sm (fun () -> fail_locked sh)
+      in
+      List.iter (fun w -> complete_waiter w (Error "router stopped")) waiters)
+    t.shards;
+  Mutex.lock t.fin_mutex;
+  t.finished <- true;
+  Condition.broadcast t.fin_cv;
+  Mutex.unlock t.fin_mutex
+
+let track t fd =
+  Atomic.incr t.accepted;
+  Stage.incr "router:connections";
+  let conn =
+    {
+      fd;
+      cmutex = Mutex.create ();
+      next_seq = 0;
+      next_write = 0;
+      pending = Hashtbl.create 8;
+      outstanding = 0;
+      reader_done = false;
+      dead = false;
+      closed = false;
+    }
+  in
+  Mutex.lock t.conns_mutex;
+  t.conns <- conn :: t.conns;
+  t.readers <- Thread.create (client_reader t conn) () :: t.readers;
+  Mutex.unlock t.conns_mutex
+
+let acceptor t () =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.lsock ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept t.lsock with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _addr -> track t fd)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (* Accept what the backlog already holds before closing the listen
+     socket: those clients' handshakes (and possibly requests) made it
+     in, and closing now would RST them unanswered — the same
+     last-gasp accept {!Server}'s acceptor does. *)
+  let rec drain_backlog () =
+    match Unix.select [ t.lsock ] [] [] 0.0 with
+    | _ :: _, _, _ -> (
+      match Unix.accept t.lsock with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _addr ->
+        track t fd;
+        drain_backlog ())
+    | _ -> ()
+  in
+  (try drain_backlog () with Unix.Unix_error _ -> ());
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+  if Atomic.compare_and_set t.shutdown_started false true then drain t
+
+let wait t =
+  Mutex.lock t.fin_mutex;
+  while not t.finished do
+    Condition.wait t.fin_cv t.fin_mutex
+  done;
+  Mutex.unlock t.fin_mutex
+
+let signal_stop t = Atomic.set t.stop_flag true
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  if Atomic.compare_and_set t.shutdown_started false true then begin
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    drain t
+  end;
+  wait t
+
+let make_shard spec =
+  {
+    spec;
+    sm = Mutex.create ();
+    s_fd = None;
+    s_healthy = false;
+    s_gen = 0;
+    s_next_id = 0;
+    s_pending = Hashtbl.create 16;
+  }
+
+(* Probe every shard with [stats]: all must answer, and all must
+   report the same package count (the range partition depends on it)
+   — refusing at startup beats merging sums over different worlds. *)
+let probe_shards ~timeout shards =
+  let stats =
+    Array.map
+      (fun sh ->
+        match call_retry ~timeout sh P.Stats with
+        | Ok { P.rs_result = Ok (P.Stats_r s); _ } -> Ok s
+        | Ok { P.rs_result = Error e; _ } ->
+          Error
+            (Printf.sprintf "shard %s refused stats: %s" (shard_name sh)
+               e.P.e_msg)
+        | Ok _ ->
+          Error
+            (Printf.sprintf "shard %s answered the wrong reply shape"
+               (shard_name sh))
+        | Error msg ->
+          Error
+            (Printf.sprintf "shard %s unreachable: %s" (shard_name sh) msg))
+      shards
+  in
+  let rec collect i acc =
+    if i = Array.length stats then Ok (List.rev acc)
+    else
+      match stats.(i) with
+      | Ok s -> collect (i + 1) (s :: acc)
+      | Error msg -> Error msg
+  in
+  match collect 0 [] with
+  | Error msg -> Error msg
+  | Ok [] -> Error "no shards"
+  | Ok (first :: rest as all) ->
+    (match
+       List.find_opt
+         (fun (s : P.stats_reply) -> s.P.st_packages <> first.P.st_packages)
+         rest
+     with
+     | Some s ->
+       Error
+         (Printf.sprintf
+            "shards disagree on package count (%d vs %d) — different \
+             snapshots?"
+            first.P.st_packages s.P.st_packages)
+     | None -> ignore all; Ok first)
+
+let start ?(config = default) specs =
+  if specs = [] then Error "a fleet needs at least one shard"
+  else begin
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    let shards = Array.of_list (List.map make_shard specs) in
+    match probe_shards ~timeout:config.shard_timeout shards with
+    | Error msg -> Error msg
+    | Ok meta ->
+      let n = meta.P.st_packages in
+      let ranges = Query.shard_ranges n (Array.length shards) in
+      let ranges =
+        (* Pad so every shard has a range even when there are fewer
+           packages than shards (the extras sweep an empty range). *)
+        Array.init (Array.length shards) (fun i ->
+            ( shards.(i),
+              match List.nth_opt ranges i with
+              | Some r -> r
+              | None -> (n, n) ))
+      in
+      let addr =
+        try Unix.inet_addr_of_string config.host
+        with Failure _ -> Unix.inet_addr_loopback
+      in
+      (match
+         let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+         (try
+            Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+            Unix.bind lsock (Unix.ADDR_INET (addr, config.port));
+            Unix.listen lsock config.backlog
+          with e ->
+            (try Unix.close lsock with Unix.Unix_error _ -> ());
+            raise e);
+         lsock
+       with
+       | exception Unix.Unix_error (e, _, _) ->
+         Error
+           (Printf.sprintf "cannot listen on %s:%d: %s" config.host
+              config.port (Unix.error_message e))
+       | lsock ->
+         let bound_port =
+           match Unix.getsockname lsock with
+           | Unix.ADDR_INET (_, p) -> p
+           | _ -> config.port
+         in
+         let t =
+           {
+             cfg = config;
+             lsock;
+             bound_port;
+             shards;
+             ranges;
+             meta =
+               ( meta.P.st_packages,
+                 meta.P.st_apis,
+                 meta.P.st_binaries,
+                 meta.P.st_installs );
+             rr = Atomic.make 0;
+             queue = Queue.create ();
+             qmutex = Mutex.create ();
+             not_empty = Condition.create ();
+             stop_flag = Atomic.make false;
+             shutdown_started = Atomic.make false;
+             accepted = Atomic.make 0;
+             conns_mutex = Mutex.create ();
+             conns = [];
+             readers = [];
+             workers = [];
+             accept_thread = None;
+             health_thread = None;
+             fin_mutex = Mutex.create ();
+             fin_cv = Condition.create ();
+             finished = false;
+           }
+         in
+         t.workers <-
+           List.init (max 1 config.workers) (fun _ ->
+               Thread.create (worker t) ());
+         t.health_thread <- Some (Thread.create (health_loop t) ());
+         t.accept_thread <- Some (Thread.create (acceptor t) ());
+         Ok t)
+  end

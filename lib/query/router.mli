@@ -1,0 +1,87 @@
+(** Scatter/gather front-end for a serving fleet — the [lapis fleet]
+    surface. The router listens like a single {!Server} (same
+    {!Protocol}, both codecs, per-connection response ordering) but
+    owns no index: behind it, N shard processes each serve the full
+    index over TCP, and the router turns one [completeness] request
+    into N [partial-completeness] requests — one contiguous package
+    range per shard, the exact {!Query.shard_ranges} partition — and
+    merges the partial sums in range order over the shared
+    denominator. That is the same float regrouping
+    {!Query.eval_syscalls_sharded} performs in-process, so a routed
+    answer is within accumulation noise ([<= 1e-12] in the test
+    suite) of a single-process one; every shard's denominator is
+    asserted equal before merging, so shards serving different worlds
+    answer a structured error instead of a silently wrong sum.
+
+    Point ops ([importance], [top], [dependents],
+    [partial-completeness]) forward to one shard, round-robin over
+    the healthy ones. [ping], [hello] and [stats] answer locally —
+    the router's [stats] reports its own gauges (queue depth and
+    bound, shard health, shed count) and latency histograms.
+
+    {b Admission control.} The router's job queue is bounded and
+    {e shedding}: when it is full, new requests are answered
+    immediately with an ["overloaded"] error (in order, through the
+    per-connection resequencer) instead of queueing unboundedly —
+    under saturation the router degrades by refusing crisply, not by
+    growing latency without bound.
+
+    {b Degradation.} Shard connections are pipelined and correlated
+    by router-assigned ids, with a receive timeout so a stalled shard
+    fails its in-flight calls instead of hanging them. A failed call
+    is retried once (reconnecting); if it fails again the shard is
+    marked unhealthy and requests that need it answer a structured
+    ["degraded"] error — never a partial sum, never a hang. A health
+    thread pings shards every period and restores [healthy] when one
+    comes back. *)
+
+type shard_spec = { sh_host : string; sh_port : int }
+
+val shard_spec_of_string : string -> (shard_spec, string) result
+(** ["host:port"], or just ["port"] (host defaults to 127.0.0.1). *)
+
+type config = {
+  host : string;  (** bind address; default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port *)
+  backlog : int;
+  workers : int;
+      (** gather threads — each scatters one request and waits on all
+          its shard calls, so this bounds concurrent scatters *)
+  queue_bound : int;
+      (** admission-control bound; requests beyond it are shed with
+          ["overloaded"] *)
+  shard_timeout : float;
+      (** seconds a shard call may take before it counts as failed *)
+  health_period : float;  (** seconds between shard health pings *)
+}
+
+val default : config
+(** Loopback, ephemeral port, 8 workers, queue bound 256, 5s shard
+    timeout, 1s health period. *)
+
+type t
+
+val start : ?config:config -> shard_spec list -> (t, string) result
+(** Connect to every shard, probe each with [stats] (all must be
+    reachable and must report the same package count — the range
+    partition depends on it), then bind and start accepting.
+    [Error] if the shard list is empty, a shard is unreachable, the
+    shards disagree, or the socket cannot be bound. *)
+
+val port : t -> int
+val connections_served : t -> int
+
+val n_shards : t -> int
+
+val healthy_shards : t -> int
+(** How many shards currently answer — what the health pings and the
+    per-call failures left standing. *)
+
+val signal_stop : t -> unit
+(** Async-signal-safe stop request; pair with {!wait}. *)
+
+val wait : t -> unit
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, answer everything queued,
+    close shard connections, join every thread. Idempotent. *)

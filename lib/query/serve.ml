@@ -1,230 +1,114 @@
-(** Line-delimited JSON request/response loop over an index — the
-    [lapis serve] surface. One request object per line on stdin, one
-    response object per line on stdout; malformed input produces an
-    error {e response}, never a crash or exit, so a misbehaving client
-    cannot take the server down.
-
-    Requests: [{"op": "...", ...}] with an optional ["id"] echoed back
-    verbatim for correlation. Responses: [{"ok": true, ...}] or
-    [{"ok": false, "error": {"kind": ..., "msg": ...}}]. The
-    ["importance"] and ["completeness"] ops accept an optional
-    ["phase"] field (["init"] | ["serving"] | ["all"], default
-    ["all"]) selecting the temporal requirement sets the query
-    evaluates against; the answering phase is echoed back.
-
-    Every request increments the ["serve:requests"] counter and
-    accumulates wall time under ["serve:<op>"] stages, which is what
-    lets [lapis query --stats] prove a snapshot-backed run spent zero
-    time in analysis. *)
+(** See the interface. The evaluator is deliberately the only place
+    that touches {!Query}: the wire layer ({!Protocol}) cannot
+    evaluate, and this module cannot parse — one direction each. *)
 
 module Stage = Lapis_perf.Stage
+module Histogram = Lapis_perf.Histogram
+module P = Protocol
 
-let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+type cache = (string, (P.reply, P.err) result) Lru.t
 
-let err kind msg =
-  Json.Obj
-    [
-      ("ok", Json.Bool false);
-      ("error", Json.Obj [ ("kind", Json.Str kind); ("msg", Json.Str msg) ]);
-    ]
+let err kind msg = Error { P.e_kind = kind; e_msg = msg }
 
-let with_id request response =
-  match (Json.member "id" request, response) with
-  | Some id, Json.Obj fields -> Json.Obj (("id", id) :: fields)
-  | _ -> response
+let eval ?(gauges = fun () -> []) idx (req : P.req) :
+    (P.reply, P.err) result =
+  match req with
+  | P.Hello versions ->
+    (match P.negotiate versions with
+     | Ok version ->
+       Ok (P.Hello_r { version; codecs = P.codec_names })
+     | Error (kind, msg) -> err kind msg)
+  | P.Ping -> Ok P.Pong
+  | P.Stats ->
+    Ok
+      (P.Stats_r
+         {
+           st_packages = Query.n_packages idx;
+           st_apis = Query.n_apis idx;
+           st_binaries = Query.n_binaries idx;
+           st_installs = Query.total_installs idx;
+           st_gauges = gauges ();
+           st_hists = Histogram.all ();
+         })
+  | P.Importance { api; phase } ->
+    (match Query.api_of_string api with
+     | Error msg -> err P.bad_api msg
+     | Ok api ->
+       Ok
+         (P.Importance_r
+            {
+              api = Query.api_to_string api;
+              phase;
+              importance = Query.importance ~phase idx api;
+              unweighted = Query.unweighted idx api;
+            }))
+  | P.Completeness { syscalls; phase } ->
+    Ok
+      (P.Completeness_r
+         {
+           n_syscalls = List.length syscalls;
+           phase;
+           completeness = Query.eval_syscalls ~phase idx syscalls;
+         })
+  | P.Partial_completeness { syscalls; phase; lo; hi } ->
+    let num, den = Query.eval_syscalls_partial ~phase idx syscalls ~lo ~hi in
+    Ok (P.Partial_r { lo; hi; num; den })
+  | P.Top n -> Ok (P.Top_r (Query.top_n idx n))
+  | P.Dependents { api; limit } ->
+    (match Query.api_of_string api with
+     | Error msg -> err P.bad_api msg
+     | Ok api ->
+       Ok
+         (P.Dependents_r
+            {
+              api = Query.api_to_string api;
+              packages = Query.dependents_ranked ?limit idx api;
+            }))
+  | P.Unknown other ->
+    err P.unknown_op (Printf.sprintf "unknown op %S" other)
 
-let api_field request =
-  match Json.member "api" request with
-  | None -> Error (err "bad-request" "missing \"api\" field")
-  | Some j ->
-    (match Json.to_str j with
-     | None -> Error (err "bad-request" "\"api\" must be a string")
-     | Some s ->
-       (match Query.api_of_string s with
-        | Ok api -> Ok api
-        | Error msg -> Error (err "bad-api" msg)))
+let handle_req ?gauges idx req =
+  let name = "serve:" ^ P.op_name req in
+  let t0 = Stage.now_ns () in
+  let result = Stage.time name (fun () -> eval ?gauges idx req) in
+  Histogram.observe_ns name (Int64.to_int (Int64.sub (Stage.now_ns ()) t0));
+  result
 
-(* Optional "phase" field; absent or "" means All. *)
-let phase_field request =
-  match Json.member "phase" request with
-  | None -> Ok Query.All
-  | Some j ->
-    (match Json.to_str j with
-     | None -> Error (err "bad-request" "\"phase\" must be a string")
-     | Some s ->
-       (match Query.phase_of_string s with
-        | Ok ph -> Ok ph
-        | Error msg -> Error (err "bad-phase" msg)))
+(* [hello] negotiates per connection and [stats] samples live gauges
+   and histograms — neither is a pure function of the index, so
+   neither is memoized. Everything else (errors included) is. *)
+let cacheable = function
+  | P.Hello _ | P.Stats -> false
+  | _ -> true
 
-let int_list_field request key =
-  match Json.member key request with
-  | None -> Error (err "bad-request" (Printf.sprintf "missing %S field" key))
-  | Some j ->
-    (match Json.to_list j with
-     | None -> Error (err "bad-request" (Printf.sprintf "%S must be an array" key))
-     | Some items ->
-       let rec go acc = function
-         | [] -> Ok (List.rev acc)
-         | x :: rest ->
-           (match Json.to_int x with
-            | Some n -> go (n :: acc) rest
-            | None ->
-              Error
-                (err "bad-request"
-                   (Printf.sprintf "%S must contain integers" key)))
-       in
-       go [] items)
-
-let ranked_json (r : Query.ranked) =
-  Json.Obj
-    [
-      ("nr", Json.Num (float_of_int r.Query.rk_nr));
-      ("name", Json.Str r.Query.rk_name);
-      ("importance", Json.Num r.Query.rk_importance);
-      ("unweighted_elf", Json.Num r.Query.rk_unweighted_elf);
-    ]
-
-let handle_request idx (request : Json.t) : Json.t =
-  match Json.member "op" request with
-  | None -> err "bad-request" "missing \"op\" field"
-  | Some op_j ->
-    (match Json.to_str op_j with
-     | None -> err "bad-request" "\"op\" must be a string"
-     | Some op ->
-       Stage.time ("serve:" ^ op) @@ fun () ->
-       (match op with
-        | "ping" -> ok [ ("pong", Json.Bool true) ]
-        | "stats" ->
-          ok
-            [
-              ("n_packages", Json.Num (float_of_int (Query.n_packages idx)));
-              ("n_apis", Json.Num (float_of_int (Query.n_apis idx)));
-              ( "n_binaries",
-                Json.Num (float_of_int (Query.n_binaries idx)) );
-              ( "total_installs",
-                Json.Num (float_of_int (Query.total_installs idx)) );
-            ]
-        | "importance" ->
-          (match api_field request with
-           | Error e -> e
-           | Ok api ->
-             (match phase_field request with
-              | Error e -> e
-              | Ok phase ->
-                ok
-                  [
-                    ("api", Json.Str (Query.api_to_string api));
-                    ("phase", Json.Str (Query.phase_to_string phase));
-                    ( "importance",
-                      Json.Num (Query.importance ~phase idx api) );
-                    ("unweighted", Json.Num (Query.unweighted idx api));
-                  ]))
-        | "completeness" ->
-          (match int_list_field request "syscalls" with
-           | Error e -> e
-           | Ok nrs ->
-             (match phase_field request with
-              | Error e -> e
-              | Ok phase ->
-                ok
-                  [
-                    ("n_syscalls", Json.Num (float_of_int (List.length nrs)));
-                    ("phase", Json.Str (Query.phase_to_string phase));
-                    ( "completeness",
-                      Json.Num (Query.eval_syscalls ~phase idx nrs) );
-                  ]))
-        | "top" ->
-          let n =
-            match Json.member "n" request with
-            | Some j -> Option.value ~default:10 (Json.to_int j)
-            | None -> 10
-          in
-          ok
-            [
-              ( "syscalls",
-                Json.Arr (List.map ranked_json (Query.top_n idx n)) );
-            ]
-        | "dependents" ->
-          (match api_field request with
-           | Error e -> e
-           | Ok api ->
-             let limit =
-               Option.bind (Json.member "limit" request) Json.to_int
-             in
-             let rows = Query.dependents_ranked ?limit idx api in
-             ok
-               [
-                 ("api", Json.Str (Query.api_to_string api));
-                 ( "packages",
-                   Json.Arr
-                     (List.map
-                        (fun (name, prob) ->
-                          Json.Obj
-                            [
-                              ("package", Json.Str name);
-                              ("prob", Json.Num prob);
-                            ])
-                        rows) );
-               ])
-        | other -> err "unknown-op" (Printf.sprintf "unknown op %S" other)))
-
-(* Canonical form for cache keys: drop the correlation "id", sort every
-   object's fields by name, serialize. Semantically identical requests
-   collapse onto one key regardless of field order or id. *)
-let rec canonical = function
-  | Json.Obj fields ->
-    Json.Obj
-      (fields
-      |> List.map (fun (k, v) -> (k, canonical v))
-      |> List.sort (fun (a, _) (b, _) -> compare a b))
-  | Json.Arr items -> Json.Arr (List.map canonical items)
-  | x -> x
-
-(* "phase" spellings that mean the All default. A request saying
-   "phase": "all" (or "") must share a cache entry with one omitting
-   the field entirely — they produce the same response. *)
-let is_default_phase = function
-  | Json.Str s -> (match Query.phase_of_string s with
-                   | Ok Query.All -> true
-                   | Ok _ | Error _ -> false)
-  | _ -> false
-
-let canonical_key request =
-  let request =
-    match request with
-    | Json.Obj fields ->
-      Json.Obj
-        (List.filter
-           (fun (k, v) ->
-             k <> "id" && not (k = "phase" && is_default_phase v))
-           fields)
-    | x -> x
+let handle_request ?cache ?gauges idx (request : P.request) : P.response =
+  let result =
+    match cache with
+    | Some c when cacheable request.P.rq_op ->
+      let key = P.canonical_key request in
+      (match Lru.find c key with
+       | Some r ->
+         Stage.incr "serve:cache-hit";
+         r
+       | None ->
+         let r = handle_req ?gauges idx request.P.rq_op in
+         Lru.add c key r;
+         r)
+    | _ -> handle_req ?gauges idx request.P.rq_op
   in
-  Json.to_string (canonical request)
+  { P.rs_id = request.P.rq_id; rs_result = result }
 
-let handle_line ?cache idx (line : string) : string =
+let handle_line ?cache ?gauges idx (line : string) : string =
   Stage.incr "serve:requests";
   let response =
     match Json.parse line with
-    | Error msg -> err "parse" msg
-    | Ok request ->
-      let resp =
-        match cache with
-        | None -> handle_request idx request
-        | Some c ->
-          let key = canonical_key request in
-          (match Lru.find c key with
-           | Some r ->
-             Stage.incr "serve:cache-hit";
-             r
-           | None ->
-             let r = handle_request idx request in
-             Lru.add c key r;
-             r)
-      in
-      with_id request resp
+    | Error msg -> P.error_response ~kind:P.parse_error msg
+    | Ok j ->
+      (match P.request_of_json j with
+       | Error error -> error
+       | Ok request -> handle_request ?cache ?gauges idx request)
   in
-  Json.to_string response
+  Json.to_string (P.json_of_response response)
 
 let loop idx ic oc =
   let rec go () =

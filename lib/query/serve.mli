@@ -1,32 +1,52 @@
-(** Line-delimited JSON request/response protocol over a
-    {!Query.t} — the [lapis serve] surface.
+(** The protocol evaluator: answers typed {!Protocol.req}s against a
+    {!Query.t}, and wraps that in the line-delimited JSON loop that is
+    the [lapis serve] stdin surface.
 
-    Ops: [ping], [stats], [importance] (["api"]), [completeness]
-    (["syscalls"]: array of numbers), [top] (["n"]), [dependents]
-    (["api"], optional ["limit"]). An optional ["id"] field is echoed
-    into the response. Malformed requests yield
-    [{"ok": false, "error": {...}}] — the loop never raises and never
-    exits on bad input. *)
+    All wire concerns — parsing, canonical spellings, error shapes,
+    codecs — live in {!Protocol}; this module only evaluates. Every
+    request accumulates wall time under the ["serve:<op>"] stage and a
+    ["serve:<op>"] latency histogram, and bumps the
+    ["serve:requests"] counter, which is what lets
+    [lapis query --stats] prove a snapshot-backed run spent zero time
+    in analysis. *)
 
-val handle_request : Query.t -> Json.t -> Json.t
-(** Answer one already-parsed request (timed under ["serve:<op>"]). *)
+type cache = (string, (Protocol.reply, Protocol.err) result) Lru.t
+(** Response cache keyed on {!Protocol.canonical_key}. The value is
+    the typed result, so JSON and binary connections share entries. *)
 
-val canonical_key : Json.t -> string
-(** A cache key equal for semantically identical requests: the request
-    with its ["id"] stripped, a ["phase"] that spells the default
-    ([""] or ["all"]) dropped (so the three spellings of "no phase
-    filter" share one cache entry), and every object's fields sorted
-    by name, serialized. Two requests with the same key get the same
-    response (every op is a pure function of the index), which is
-    what makes the response cache sound. *)
+val handle_req :
+  ?gauges:(unit -> (string * float) list) ->
+  Query.t ->
+  Protocol.req ->
+  (Protocol.reply, Protocol.err) result
+(** Answer one typed request (timed under ["serve:<op>"]).
+    Evaluation-time validation (unknown API names, unsupported
+    protocol versions, unknown ops) produces [Error]; it never raises.
+    [gauges] is sampled by the [stats] op — the host injects
+    point-in-time numbers (queue depth, cache hit counts, shard
+    health) it alone knows; the per-stage latency histograms are
+    appended from the {!Lapis_perf.Histogram} registry. *)
 
-val handle_line : ?cache:(string, Json.t) Lru.t -> Query.t -> string -> string
-(** Answer one raw request line; total. The returned string is a
-    single-line JSON response without the trailing newline. With
-    [cache], responses are memoized under {!canonical_key} (the
-    ["id"] is attached after lookup, so correlation survives hits);
-    parse errors are never cached. *)
+val handle_request :
+  ?cache:cache ->
+  ?gauges:(unit -> (string * float) list) ->
+  Query.t ->
+  Protocol.request ->
+  Protocol.response
+(** {!handle_req} plus id correlation and memoization. With [cache],
+    results are memoized under {!Protocol.canonical_key} — except
+    [hello] and [stats], whose answers depend on live state. *)
+
+val handle_line :
+  ?cache:cache ->
+  ?gauges:(unit -> (string * float) list) ->
+  Query.t ->
+  string ->
+  string
+(** Answer one raw JSON request line; total. The returned string is a
+    single-line JSON response without the trailing newline. Parse
+    errors are never cached. Bumps ["serve:requests"]. *)
 
 val loop : Query.t -> in_channel -> out_channel -> unit
-(** Serve until EOF, one request per line, flushing per response.
-    Blank lines are ignored. *)
+(** Serve line-delimited JSON until EOF, flushing per response. Blank
+    lines are ignored. *)

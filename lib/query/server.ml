@@ -1,6 +1,6 @@
-(** TCP serving: reader threads parse line boundaries, worker domains
-    evaluate, responses re-sequence per connection. See the interface
-    for the architecture; the concurrency invariants are:
+(** TCP serving: reader threads parse line/frame boundaries, worker
+    domains evaluate, responses re-sequence per connection. See the
+    interface for the architecture; the concurrency invariants are:
 
     - a connection's mutable state ([next_seq], [outstanding],
       [pending], [next_write], flags) is only touched under its own
@@ -18,6 +18,26 @@
       server finished. *)
 
 module Stage = Lapis_perf.Stage
+module P = Protocol
+
+type config = {
+  host : string;
+  port : int;
+  backlog : int;
+  workers : int option;
+  queue_bound : int option;
+  cache_capacity : int;
+}
+
+let default =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    backlog = 64;
+    workers = None;
+    queue_bound = None;
+    cache_capacity = 1024;
+  }
 
 type conn = {
   fd : Unix.file_descr;
@@ -31,7 +51,14 @@ type conn = {
   mutable closed : bool;
 }
 
-type job = Job of conn * int * string | Quit
+(* What a reader hands the pool: a JSON line, a binary frame payload,
+   or an unrecoverable framing error (answered, then the connection's
+   read side is done). The response bytes are fully formed by the
+   worker — newline included for JSON, frame included for binary — so
+   [deliver] is codec-blind. *)
+type msg = Line of string | Frame of string | Broken of string
+
+type job = Job of conn * int * msg | Quit
 
 (* One index + its response cache, immutable once published. Workers
    pin the current epoch for the duration of a single request; reload
@@ -41,7 +68,7 @@ type job = Job of conn * int * string | Quit
 type epoch = {
   ep_id : int;
   ep_idx : Query.t;
-  ep_cache : (string, Json.t) Lru.t option;
+  ep_cache : Serve.cache option;
   ep_inflight : int Atomic.t;
 }
 
@@ -50,6 +77,7 @@ type t = {
   bound_port : int;
   epoch : epoch Atomic.t;
   cache_capacity : int;
+  n_workers : int;
   reload_mutex : Mutex.t;
   queue : job Queue.t;
   qcap : int;
@@ -92,6 +120,8 @@ let dequeue t =
   Mutex.unlock t.qmutex;
   job
 
+let queue_depth t = Mutex.protect t.qmutex (fun () -> Queue.length t.queue)
+
 (* ------------------------------------------------------------------ *)
 (* Per-connection plumbing                                             *)
 (* ------------------------------------------------------------------ *)
@@ -114,9 +144,9 @@ let maybe_close conn =
 (* Park the finished response, then flush the contiguous run starting
    at [next_write] — this is what keeps each client's responses in its
    own send order while the pool finishes jobs in any order. *)
-let deliver conn seq line =
+let deliver conn seq bytes =
   Mutex.lock conn.cmutex;
-  Hashtbl.replace conn.pending seq line;
+  Hashtbl.replace conn.pending seq bytes;
   let continue = ref true in
   while !continue do
     match Hashtbl.find_opt conn.pending conn.next_write with
@@ -126,29 +156,61 @@ let deliver conn seq line =
       conn.next_write <- conn.next_write + 1;
       conn.outstanding <- conn.outstanding - 1;
       if not (conn.dead || conn.closed) then (
-        try write_all conn.fd (response ^ "\n")
+        try write_all conn.fd response
         with Unix.Unix_error _ | Sys_error _ -> conn.dead <- true)
   done;
   maybe_close conn;
   Mutex.unlock conn.cmutex
 
+let submit t conn msg =
+  Mutex.lock conn.cmutex;
+  let seq = conn.next_seq in
+  conn.next_seq <- seq + 1;
+  conn.outstanding <- conn.outstanding + 1;
+  Mutex.unlock conn.cmutex;
+  enqueue t (Job (conn, seq, msg))
+
+let json_reader t conn ic ~first =
+  (match first with
+   | Some line when String.trim line <> "" -> submit t conn (Line line)
+   | _ -> ());
+  let continue = ref true in
+  while !continue do
+    match In_channel.input_line ic with
+    | None -> continue := false
+    | Some line -> if String.trim line <> "" then submit t conn (Line line)
+  done
+
+let binary_reader t conn ic =
+  (* The codec-detection byte was this connection's first frame's
+     magic, so the first read starts after it. *)
+  let rec go input =
+    match input ic with
+    | Ok payload ->
+      submit t conn (Frame payload);
+      go P.Bin.input_frame
+    | Error `Eof -> ()
+    | Error (`Bad msg) ->
+      (* The stream cannot be resynchronized: answer once, stop
+         reading. Responses already in flight still flush (the error
+         takes a sequence number like any other message). *)
+      submit t conn (Broken msg)
+  in
+  go P.Bin.input_frame_body
+
+(* A connection speaks the codec its first byte announces: the binary
+   magic can never start a JSON line, and a JSON request can never
+   start with 0xB1. *)
 let reader t conn () =
   let ic = Unix.in_channel_of_descr conn.fd in
   (try
-     let continue = ref true in
-     while !continue do
-       match In_channel.input_line ic with
-       | None -> continue := false
-       | Some line ->
-         if String.trim line <> "" then begin
-           Mutex.lock conn.cmutex;
-           let seq = conn.next_seq in
-           conn.next_seq <- seq + 1;
-           conn.outstanding <- conn.outstanding + 1;
-           Mutex.unlock conn.cmutex;
-           enqueue t (Job (conn, seq, line))
-         end
-     done
+     match input_char ic with
+     | exception End_of_file -> ()
+     | c when c = P.Bin.magic -> binary_reader t conn ic
+     | '\n' -> json_reader t conn ic ~first:None
+     | c ->
+       let rest = Option.value ~default:"" (In_channel.input_line ic) in
+       json_reader t conn ic ~first:(Some (String.make 1 c ^ rest))
    with Sys_error _ | Unix.Unix_error _ -> ());
   Mutex.lock conn.cmutex;
   conn.reader_done <- true;
@@ -159,18 +221,51 @@ let reader t conn () =
 (* Workers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let internal_error e =
+(* The stats op samples these live — the serving state only the
+   server knows. *)
+let gauges t ep () =
+  let base =
+    [
+      ("queue_depth", float_of_int (queue_depth t));
+      ("queue_capacity", float_of_int t.qcap);
+      ("workers", float_of_int t.n_workers);
+      ("connections", float_of_int (Atomic.get t.accepted));
+      ("epoch", float_of_int ep.ep_id);
+    ]
+  in
+  match ep.ep_cache with
+  | None -> base
+  | Some c ->
+    let hits, misses = Lru.stats c in
+    base
+    @ [
+        ("cache_entries", float_of_int (Lru.length c));
+        ("cache_hits", float_of_int hits);
+        ("cache_misses", float_of_int misses);
+      ]
+
+let internal_error_json e =
   Json.to_string
-    (Json.Obj
-       [
-         ("ok", Json.Bool false);
-         ( "error",
-           Json.Obj
-             [
-               ("kind", Json.Str "internal");
-               ("msg", Json.Str (Printexc.to_string e));
-             ] );
-       ])
+    (P.json_of_response
+       (P.error_response ~kind:P.internal_error (Printexc.to_string e)))
+  ^ "\n"
+
+let answer t ep msg =
+  let gauges = gauges t ep in
+  match msg with
+  | Line line ->
+    Serve.handle_line ?cache:ep.ep_cache ~gauges ep.ep_idx line ^ "\n"
+  | Frame payload ->
+    Stage.incr "serve:requests";
+    let response =
+      match P.Bin.decode_request payload with
+      | Error msg -> P.error_response ~kind:P.parse_error msg
+      | Ok request ->
+        Serve.handle_request ?cache:ep.ep_cache ~gauges ep.ep_idx request
+    in
+    P.Bin.encode_response response
+  | Broken msg ->
+    P.Bin.encode_response (P.error_response ~kind:P.parse_error msg)
 
 (* Pin the current epoch: bump its in-flight count, then re-check the
    pointer. If a reload won the race between the read and the bump,
@@ -190,13 +285,18 @@ let worker t () =
   let rec go () =
     match dequeue t with
     | Quit -> ()
-    | Job (conn, seq, line) ->
+    | Job (conn, seq, msg) ->
       let ep = pin_epoch t in
-      (* [handle_line] is total; the catch-all is the never-crash
+      (* [answer] is total; the catch-all is the never-crash
          contract's last line of defense for the whole pool. *)
       let response =
-        try Serve.handle_line ?cache:ep.ep_cache ep.ep_idx line
-        with e -> internal_error e
+        try answer t ep msg
+        with e -> (
+          match msg with
+          | Line _ -> internal_error_json e
+          | Frame _ | Broken _ ->
+            P.Bin.encode_response
+              (P.error_response ~kind:P.internal_error (Printexc.to_string e)))
       in
       Atomic.decr ep.ep_inflight;
       deliver conn seq response;
@@ -244,6 +344,27 @@ let drain t =
   Condition.broadcast t.fin_cv;
   Mutex.unlock t.fin_mutex
 
+let track t fd =
+  Atomic.incr t.accepted;
+  Stage.incr "serve:connections";
+  let conn =
+    {
+      fd;
+      cmutex = Mutex.create ();
+      next_seq = 0;
+      next_write = 0;
+      pending = Hashtbl.create 8;
+      outstanding = 0;
+      reader_done = false;
+      dead = false;
+      closed = false;
+    }
+  in
+  Mutex.lock t.conns_mutex;
+  t.conns <- conn :: t.conns;
+  t.readers <- Thread.create (reader t conn) () :: t.readers;
+  Mutex.unlock t.conns_mutex
+
 let acceptor t () =
   while not (Atomic.get t.stop_flag) do
     match Unix.select [ t.lsock ] [] [] 0.1 with
@@ -251,28 +372,24 @@ let acceptor t () =
     | _ -> (
       match Unix.accept t.lsock with
       | exception Unix.Unix_error _ -> ()
-      | fd, _addr ->
-        Atomic.incr t.accepted;
-        Stage.incr "serve:connections";
-        let conn =
-          {
-            fd;
-            cmutex = Mutex.create ();
-            next_seq = 0;
-            next_write = 0;
-            pending = Hashtbl.create 8;
-            outstanding = 0;
-            reader_done = false;
-            dead = false;
-            closed = false;
-          }
-        in
-        Mutex.lock t.conns_mutex;
-        t.conns <- conn :: t.conns;
-        t.readers <- Thread.create (reader t conn) () :: t.readers;
-        Mutex.unlock t.conns_mutex)
+      | fd, _addr -> track t fd)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
+  (* The backlog may hold handshaken connections whose requests are
+     already queued — their clients' writes "made it in", and closing
+     the listening socket now would RST them unanswered. Accept
+     whatever is pending so the drain below serves it. *)
+  let rec drain_backlog () =
+    match Unix.select [ t.lsock ] [] [] 0.0 with
+    | _ :: _, _, _ -> (
+      match Unix.accept t.lsock with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _addr ->
+        track t fd;
+        drain_backlog ())
+    | _ -> ()
+  in
+  (try drain_backlog () with Unix.Unix_error _ -> ());
   (try Unix.close t.lsock with Unix.Unix_error _ -> ());
   (* A signal_stop with nobody in [stop] still needs the drain to run
      somewhere; first claimant does it. *)
@@ -337,26 +454,30 @@ let stop t =
   end;
   wait t
 
-let start ?(host = "127.0.0.1") ?(backlog = 64) ?workers
-    ?(cache_capacity = 1024) ~port idx =
+let start ?(config = default) idx =
   let workers =
-    match workers with
+    match config.workers with
     | Some w -> max 1 w
     | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let qcap =
+    match config.queue_bound with
+    | Some b -> max 1 b
+    | None -> max 128 (workers * 32)
   in
   (* A worker writing to a gone client must get EPIPE, not a fatal
      signal. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let addr =
-    try Unix.inet_addr_of_string host
+    try Unix.inet_addr_of_string config.host
     with Failure _ -> Unix.inet_addr_loopback
   in
   match
     let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     (try
        Unix.setsockopt lsock Unix.SO_REUSEADDR true;
-       Unix.bind lsock (Unix.ADDR_INET (addr, port));
-       Unix.listen lsock backlog
+       Unix.bind lsock (Unix.ADDR_INET (addr, config.port));
+       Unix.listen lsock config.backlog
      with e ->
        (try Unix.close lsock with Unix.Unix_error _ -> ());
        raise e);
@@ -364,23 +485,26 @@ let start ?(host = "127.0.0.1") ?(backlog = 64) ?workers
   with
   | exception Unix.Unix_error (e, _, _) ->
     Error
-      (Printf.sprintf "cannot listen on %s:%d: %s" host port
+      (Printf.sprintf "cannot listen on %s:%d: %s" config.host config.port
          (Unix.error_message e))
   | lsock ->
     let bound_port =
       match Unix.getsockname lsock with
       | Unix.ADDR_INET (_, p) -> p
-      | _ -> port
+      | _ -> config.port
     in
     let t =
       {
         lsock;
         bound_port;
-        epoch = Atomic.make (make_epoch ~id:0 ~cache_capacity idx);
-        cache_capacity;
+        epoch =
+          Atomic.make
+            (make_epoch ~id:0 ~cache_capacity:config.cache_capacity idx);
+        cache_capacity = config.cache_capacity;
+        n_workers = workers;
         reload_mutex = Mutex.create ();
         queue = Queue.create ();
-        qcap = max 128 (workers * 32);
+        qcap;
         qmutex = Mutex.create ();
         not_empty = Condition.create ();
         not_full = Condition.create ();

@@ -1,14 +1,20 @@
 (** Concurrent TCP front-end for the serve protocol — the
-    [lapis serve --tcp PORT] surface.
+    [lapis serve --tcp PORT] surface, and the process behind each
+    shard of a [lapis fleet].
 
-    The wire protocol is exactly the stdin/stdout one ({!Serve}): one
-    JSON request per line, one JSON response per line, malformed input
-    produces an error response, never a dropped connection. On top of
-    that, the server multiplexes any number of clients:
+    The wire protocol is {!Protocol}, in either codec: a connection's
+    first byte routes it — [0xB1] means length-prefixed binary frames
+    (the router↔shard codec), anything else means line-delimited JSON
+    (the human/client codec, byte-compatible with the stdin loop of
+    {!Serve}). Malformed input produces an error response, never a
+    dropped connection; an unframeable binary stream answers one
+    error frame and stops reading (binary framing cannot be
+    resynchronized). On top of that, the server multiplexes any
+    number of clients:
 
     - an accept loop hands each connection to a lightweight reader
-      thread that only parses line boundaries and enqueues jobs, so an
-      idle or slow client never occupies a worker;
+      thread that only parses line/frame boundaries and enqueues jobs,
+      so an idle or slow client never occupies a worker;
     - a fixed pool of worker {e domains} drains a bounded job queue and
       evaluates queries in parallel against the shared immutable
       {!Query.t} (evaluation allocates per-call scratch only, so no
@@ -16,7 +22,15 @@
     - responses are re-sequenced per connection before writing, so each
       client sees answers in the order it sent requests even though
       the pool completes them out of order;
-    - one shared {!Lru} cache memoizes responses across all clients.
+    - one shared {!Lru} cache memoizes typed results across all
+      clients and both codecs ({!Protocol.canonical_key} is
+      codec-independent).
+
+    The [stats] op answers with live gauges — queue depth and bound,
+    connections, epoch id, cache entries/hits/misses — plus the
+    per-op latency histograms from the {!Lapis_perf.Histogram}
+    registry; this is the observability surface the fleet router
+    scrapes.
 
     Shutdown ({!stop} or SIGINT wired by the CLI) is graceful: stop
     accepting, half-close every connection so readers drain what was
@@ -31,25 +45,35 @@
     never a mix within one response, never a stale cache entry (the
     cache is scoped to its epoch and dies with it). *)
 
+type config = {
+  host : string;  (** bind address; default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port, see {!port} *)
+  backlog : int;
+  workers : int option;
+      (** evaluation domains; [None] means the machine's recommended
+          domain count (at least 1) *)
+  queue_bound : int option;
+      (** job-queue capacity — readers block (back-pressure toward
+          the sockets) when it fills; [None] means
+          [max 128 (workers * 32)] *)
+  cache_capacity : int;  (** response-cache entries; [0] disables *)
+}
+(** Everything {!start} needs beyond the index. Build one as
+    [{ Server.default with workers = Some 4 }]. *)
+
+val default : config
+(** Loopback, ephemeral port, backlog 64, recommended workers,
+    derived queue bound, cache of 1024. *)
+
 type t
 
-val start :
-  ?host:string ->
-  ?backlog:int ->
-  ?workers:int ->
-  ?cache_capacity:int ->
-  port:int ->
-  Query.t ->
-  (t, string) result
-(** Bind [host:port] (default host 127.0.0.1; port 0 picks an
-    ephemeral port, see {!port}) and start accepting. [workers]
-    defaults to the machine's recommended domain count (at least 1);
-    [cache_capacity] (default 1024) sizes the shared response cache,
-    [0] disables it. Returns [Error] with a human-readable message if
-    the socket cannot be bound. *)
+val start : ?config:config -> Query.t -> (t, string) result
+(** Bind and start accepting (default config {!default}). Returns
+    [Error] with a human-readable message if the socket cannot be
+    bound. *)
 
 val port : t -> int
-(** The actually bound port — useful with [~port:0] in tests. *)
+(** The actually bound port — useful with [port = 0] in tests. *)
 
 val stop : t -> unit
 (** Graceful shutdown; blocks until every queued request is answered

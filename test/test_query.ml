@@ -317,23 +317,27 @@ not json
       | _ -> Alcotest.fail "unreachable")
 
 let test_canonical_key () =
-  let key s = Serve.canonical_key (parse_exn s) in
+  let key s =
+    match Core.Query.Protocol.request_of_json (parse_exn s) with
+    | Ok r -> Core.Query.Protocol.canonical_key r
+    | Error _ -> Alcotest.failf "canonical_key: %S did not parse" s
+  in
   (* the id never participates in the key *)
   Alcotest.(check string) "id stripped"
     (key {|{"op":"ping"}|})
     (key {|{"op":"ping","id":42}|});
   (* the three spellings of "no phase filter" share one cache entry *)
-  let absent = key {|{"op":"top","n":5}|} in
+  let absent = key {|{"op":"completeness","syscalls":[0,1]}|} in
   Alcotest.(check string) {|"all" collapses to absent|} absent
-    (key {|{"op":"top","n":5,"phase":"all"}|});
+    (key {|{"op":"completeness","syscalls":[0,1],"phase":"all"}|});
   Alcotest.(check string) {|"" collapses to absent|} absent
-    (key {|{"op":"top","n":5,"phase":""}|});
+    (key {|{"op":"completeness","syscalls":[0,1],"phase":""}|});
   (* a real phase filter must NOT collapse *)
-  if key {|{"op":"top","n":5,"phase":"init"}|} = absent then
-    Alcotest.fail "phase=init collapsed into the unfiltered key";
+  if key {|{"op":"completeness","syscalls":[0,1],"phase":"init"}|} = absent
+  then Alcotest.fail "phase=init collapsed into the unfiltered key";
   if
-    key {|{"op":"top","n":5,"phase":"init"}|}
-    = key {|{"op":"top","n":5,"phase":"serving"}|}
+    key {|{"op":"completeness","syscalls":[0,1],"phase":"init"}|}
+    = key {|{"op":"completeness","syscalls":[0,1],"phase":"serving"}|}
   then Alcotest.fail "init and serving share a cache key";
   (* field order is irrelevant *)
   Alcotest.(check string) "field order canonicalized"

@@ -1,0 +1,367 @@
+(* Tests for the scatter/gather router: in-process {!Server} shards on
+   ephemeral ports behind a {!Router}, checking the routed
+   completeness sum against the single-process evaluator (<= 1e-12),
+   structured degradation when a shard dies (never a hang, never a
+   partial sum), admission-control shedding, round-robin forwarding,
+   and the binary client path end to end. *)
+
+module Json = Core.Query.Json
+module P = Core.Query.Protocol
+module Server = Core.Query.Server
+module Router = Core.Query.Router
+module Engine = Core.Query.Engine
+
+let env = lazy (Core.Study.Env.create_small ())
+let index () = (Lazy.force env).Core.Study.Env.index
+
+let start_shard () =
+  match
+    Server.start
+      ~config:{ Server.default with workers = Some 2 }
+      (index ())
+  with
+  | Ok srv -> srv
+  | Error msg -> Alcotest.failf "shard start: %s" msg
+
+let spec srv = { Router.sh_host = "127.0.0.1"; sh_port = Server.port srv }
+
+(* A fleet of [n] in-process shards behind a router; [f] gets both so
+   tests can kill shards mid-run. Everything stops on the way out. *)
+let with_fleet ?(n = 3) ?config f =
+  let shards = List.init n (fun _ -> start_shard ()) in
+  Fun.protect
+    ~finally:(fun () -> List.iter Server.stop shards)
+    (fun () ->
+      match Router.start ?config (List.map spec shards) with
+      | Error msg -> Alcotest.failf "router start: %s" msg
+      | Ok router ->
+        Fun.protect
+          ~finally:(fun () -> Router.stop router)
+          (fun () -> f router (Array.of_list shards)))
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let parse_exn s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "parse %S: %s" s msg
+
+(* One JSON conversation via the router, in-order responses. *)
+let converse port reqs =
+  let _fd, ic, oc = connect port in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    reqs;
+  flush oc;
+  let resps = List.map (fun _ -> parse_exn (input_line ic)) reqs in
+  close_out_noerr oc;
+  close_in_noerr ic;
+  resps
+
+let ask port line = List.hd (converse port [ line ])
+
+let is_ok v =
+  match Json.member "ok" v with Some (Json.Bool b) -> b | _ -> false
+
+let error_kind v =
+  match Json.member "error" v with
+  | Some e -> (
+    match Json.member "kind" e with
+    | Some (Json.Str k) -> k
+    | _ -> Alcotest.failf "no error kind in %s" (Json.to_string v))
+  | None -> Alcotest.failf "not an error: %s" (Json.to_string v)
+
+let num field v =
+  match Json.member field v with
+  | Some (Json.Num f) -> f
+  | _ -> Alcotest.failf "response lacks %S: %s" field (Json.to_string v)
+
+let completeness_req ?phase syscalls =
+  let nrs = String.concat "," (List.map string_of_int syscalls) in
+  match phase with
+  | None -> Printf.sprintf {|{"op":"completeness","syscalls":[%s]}|} nrs
+  | Some p ->
+    Printf.sprintf {|{"op":"completeness","syscalls":[%s],"phase":"%s"}|}
+      nrs p
+
+(* --- scatter/gather correctness ------------------------------------- *)
+
+let test_scatter_matches_single_process () =
+  with_fleet (fun router _ ->
+      let port = Router.port router in
+      List.iter
+        (fun (syscalls, phase, label) ->
+          let routed = num "completeness" (ask port (completeness_req ?phase syscalls)) in
+          let direct =
+            Engine.eval_syscalls
+              ?phase:
+                (Option.map
+                   (fun p ->
+                     match Engine.phase_of_string p with
+                     | Ok ph -> ph
+                     | Error e -> Alcotest.failf "phase %s: %s" p e)
+                   phase)
+              (index ()) syscalls
+          in
+          if Float.abs (routed -. direct) > 1e-12 then
+            Alcotest.failf "%s: routed %.17g vs direct %.17g" label routed
+              direct)
+        [ ([ 0; 1; 2; 3 ], None, "small subset");
+          ([], None, "empty subset");
+          (List.init 200 Fun.id, None, "wide subset");
+          ([ 0; 1; 2; 3 ], Some "init", "init phase");
+          ([ 5; 9; 60 ], Some "serving", "serving phase") ])
+
+let test_scatter_matches_random () =
+  (* property-style sweep over random subsets and phases, one fleet
+     for all of them: routed completeness is the single-process
+     answer within accumulation noise *)
+  let rand = Random.State.make [| 0x5ca7; 0x6a7e |] in
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_bound 50) (int_bound 447))
+        (oneofl [ None; Some Engine.Init; Some Engine.Serving;
+                  Some Engine.All ]))
+  in
+  with_fleet ~n:2 (fun router _ ->
+      let port = Router.port router in
+      for _ = 1 to 30 do
+        let syscalls, phase = QCheck2.Gen.generate1 ~rand gen in
+        let wire =
+          Option.map
+            (function
+              | Engine.Init -> "init"
+              | Engine.Serving -> "serving"
+              | Engine.All -> "all")
+            phase
+        in
+        let routed =
+          num "completeness"
+            (ask port (completeness_req ?phase:wire syscalls))
+        in
+        let direct = Engine.eval_syscalls ?phase (index ()) syscalls in
+        if Float.abs (routed -. direct) > 1e-12 then
+          Alcotest.failf "random subset diverged: %.17g vs %.17g" routed
+            direct
+      done)
+
+let test_forwarded_ops () =
+  (* point ops round-robin to some healthy shard and match the local
+     evaluator's JSON answers *)
+  with_fleet (fun router _ ->
+      let port = Router.port router in
+      let local line =
+        parse_exn (Core.Query.Serve.handle_line (index ()) line)
+      in
+      List.iter
+        (fun line ->
+          let routed = ask port line in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s ok" line)
+            true (is_ok routed);
+          Alcotest.(check string)
+            (Printf.sprintf "%s matches local" line)
+            (Json.to_string (local line))
+            (Json.to_string routed))
+        [ {|{"op":"importance","api":"read"}|};
+          {|{"op":"top","n":5}|};
+          {|{"op":"dependents","api":"syscall:0","limit":3}|};
+          {|{"op":"partial-completeness","syscalls":[0,1],"lo":0,"hi":50}|}
+        ])
+
+let test_local_ops_and_stats () =
+  with_fleet (fun router shards ->
+      let port = Router.port router in
+      let r = ask port {|{"op":"ping","id":1}|} in
+      Alcotest.(check bool) "ping ok" true (is_ok r);
+      let r = ask port {|{"op":"hello","versions":[1,9]}|} in
+      Alcotest.(check bool) "hello ok" true (is_ok r);
+      Alcotest.(check (float 0.0)) "negotiated version" 1.0 (num "version" r);
+      let r = ask port {|{"op":"hello","versions":[42]}|} in
+      Alcotest.(check bool) "future-only hello rejected" false (is_ok r);
+      Alcotest.(check string) "hello error kind" "unsupported-version"
+        (error_kind r);
+      let r = ask port {|{"op":"stats"}|} in
+      Alcotest.(check bool) "stats ok" true (is_ok r);
+      Alcotest.(check int) "stats package count"
+        (int_of_float
+           (num "n_packages"
+              (parse_exn
+                 (Core.Query.Serve.handle_line (index ()) {|{"op":"stats"}|}))))
+        (int_of_float (num "n_packages" r));
+      (match Json.member "shards_healthy" r with
+       | Some (Json.Num f) ->
+         Alcotest.(check int) "stats shard gauge" (Array.length shards)
+           (int_of_float f)
+       | _ -> Alcotest.fail "stats lacks shards_healthy gauge");
+      let r = ask port {|{"op":"explode"}|} in
+      Alcotest.(check string) "unknown op" "unknown-op" (error_kind r))
+
+(* --- degradation ------------------------------------------------------ *)
+
+let test_shard_down_structured () =
+  (* kill one shard: scatters answer a structured degraded error
+     promptly (never hang, never a partial sum); ping still works *)
+  with_fleet
+    ~config:{ Router.default with shard_timeout = 2.0; health_period = 0.2 }
+    (fun router shards ->
+      let port = Router.port router in
+      Alcotest.(check bool) "pre-kill scatter ok" true
+        (is_ok (ask port (completeness_req [ 0; 1; 2 ])));
+      Server.stop shards.(1);
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec until_degraded () =
+        let r = ask port (completeness_req [ 0; 1; 2 ]) in
+        if is_ok r then begin
+          (* the dead shard's connection may need one scatter to be
+             noticed; an ok answer before that is the cached/alive path *)
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "scatter kept succeeding with a dead shard";
+          Thread.delay 0.05;
+          until_degraded ()
+        end
+        else r
+      in
+      let r = until_degraded () in
+      Alcotest.(check string) "degraded kind" "degraded" (error_kind r);
+      (* the error names the shard it lost *)
+      (match Json.member "error" r with
+       | Some e -> (
+         match Json.member "msg" e with
+         | Some (Json.Str m) ->
+           Alcotest.(check bool)
+             (Printf.sprintf "msg names the shard: %s" m)
+             true
+             (String.length m > 0)
+         | _ -> Alcotest.fail "degraded error lacks msg")
+       | None -> assert false);
+      (* local and forwarded ops still answer *)
+      Alcotest.(check bool) "ping survives" true
+        (is_ok (ask port {|{"op":"ping"}|}));
+      Alcotest.(check bool) "forwarded op survives via healthy shards" true
+        (is_ok (ask port {|{"op":"top","n":3}|}));
+      (* the health thread marks it down *)
+      let rec wait_unhealthy tries =
+        if Router.healthy_shards router < Array.length shards then ()
+        else if tries = 0 then
+          Alcotest.fail "health pings never noticed the dead shard"
+        else begin
+          Thread.delay 0.1;
+          wait_unhealthy (tries - 1)
+        end
+      in
+      wait_unhealthy 50)
+
+let test_all_shards_down () =
+  (* even with every shard dead the router answers structured errors *)
+  with_fleet ~n:2
+    ~config:{ Router.default with shard_timeout = 1.0; health_period = 0.2 }
+    (fun router shards ->
+      let port = Router.port router in
+      Array.iter Server.stop shards;
+      let r = ask port (completeness_req [ 0; 1 ]) in
+      Alcotest.(check bool) "scatter structured" false (is_ok r);
+      let r = ask port {|{"op":"top","n":2}|} in
+      Alcotest.(check bool) "forward structured" false (is_ok r);
+      Alcotest.(check bool) "ping still local" true
+        (is_ok (ask port {|{"op":"ping"}|})))
+
+let test_overload_sheds_structured () =
+  (* a one-worker, one-slot router under a burst must shed with
+     structured overloaded errors, in per-connection order, and still
+     answer everything *)
+  with_fleet ~n:2
+    ~config:{ Router.default with workers = 1; queue_bound = 1 }
+    (fun router _ ->
+      let port = Router.port router in
+      let n = 200 in
+      let reqs =
+        List.init n (fun i ->
+            Printf.sprintf
+              {|{"op":"completeness","syscalls":[0,1,2,3,4],"id":%d}|} i)
+      in
+      let resps = converse port reqs in
+      Alcotest.(check int) "every request answered" n (List.length resps);
+      let shed = ref 0 in
+      List.iteri
+        (fun i r ->
+          Alcotest.(check int)
+            (Printf.sprintf "response %d in order" i)
+            i
+            (int_of_float (num "id" r));
+          if not (is_ok r) then begin
+            Alcotest.(check string)
+              (Printf.sprintf "response %d shed kind" i)
+              "overloaded" (error_kind r);
+            incr shed
+          end)
+        resps;
+      if !shed = 0 then
+        Alcotest.fail "burst never tripped admission control";
+      if !shed = n then Alcotest.fail "every request was shed")
+
+(* --- binary client path ---------------------------------------------- *)
+
+let test_binary_client () =
+  with_fleet ~n:2 (fun router _ ->
+      let port = Router.port router in
+      let _fd, ic, oc = connect port in
+      let send r = output_string oc (P.Bin.encode_request r) in
+      let recv () =
+        match P.Bin.input_frame ic with
+        | Ok payload -> (
+          match P.Bin.decode_response payload with
+          | Ok r -> r
+          | Error e -> Alcotest.failf "binary response: %s" e)
+        | Error `Eof -> Alcotest.fail "router closed the binary stream"
+        | Error (`Bad m) -> Alcotest.failf "binary framing: %s" m
+      in
+      send { P.rq_id = Some (Json.Num 1.0); rq_op = P.Hello [ 1 ] };
+      send
+        {
+          P.rq_id = Some (Json.Num 2.0);
+          rq_op = P.Completeness { syscalls = [ 0; 1; 2 ]; phase = Engine.All };
+        };
+      send { P.rq_id = Some (Json.Num 3.0); rq_op = P.Top 3 };
+      flush oc;
+      (match (recv ()).P.rs_result with
+       | Ok (P.Hello_r { version = 1; _ }) -> ()
+       | _ -> Alcotest.fail "binary hello failed");
+      (match (recv ()).P.rs_result with
+       | Ok (P.Completeness_r { completeness; _ }) ->
+         let direct = Engine.eval_syscalls (index ()) [ 0; 1; 2 ] in
+         if Float.abs (completeness -. direct) > 1e-12 then
+           Alcotest.fail "binary scatter mismatch"
+       | _ -> Alcotest.fail "binary completeness failed");
+      (match (recv ()).P.rs_result with
+       | Ok (P.Top_r rows) ->
+         Alcotest.(check int) "binary top rows" 3 (List.length rows)
+       | _ -> Alcotest.fail "binary top failed");
+      close_out_noerr oc;
+      close_in_noerr ic)
+
+let () =
+  Alcotest.run "router"
+    [ ( "scatter",
+        [ Alcotest.test_case "matches single-process" `Quick
+            test_scatter_matches_single_process;
+          Alcotest.test_case "matches on random subsets" `Quick
+            test_scatter_matches_random;
+          Alcotest.test_case "forwarded ops" `Quick test_forwarded_ops;
+          Alcotest.test_case "local ops and stats" `Quick
+            test_local_ops_and_stats ] );
+      ( "degradation",
+        [ Alcotest.test_case "shard down is structured" `Quick
+            test_shard_down_structured;
+          Alcotest.test_case "all shards down" `Quick test_all_shards_down;
+          Alcotest.test_case "overload sheds" `Quick
+            test_overload_sheds_structured ] );
+      ( "binary",
+        [ Alcotest.test_case "binary client" `Quick test_binary_client ] )
+    ]

@@ -10,8 +10,9 @@ module Server = Core.Query.Server
 let env = lazy (Core.Study.Env.create_small ())
 let index () = (Lazy.force env).Core.Study.Env.index
 
-let start_exn ?workers ?cache_capacity () =
-  match Server.start ?workers ?cache_capacity ~port:0 (index ()) with
+let start_exn ?workers ?(cache_capacity = 1024) () =
+  let config = { Server.default with workers; cache_capacity } in
+  match Server.start ~config (index ()) with
   | Ok srv -> srv
   | Error msg -> Alcotest.failf "server start: %s" msg
 
