@@ -151,6 +151,10 @@ let new_result () =
 let connect () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string !host, !port));
+  (* one small frame per exchange: Nagle would serialize the whole
+     run on delayed ACKs *)
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
   (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
 
 let observe_s r dt = Histogram.observe r.hist (int_of_float (dt *. 1e9))
@@ -179,22 +183,34 @@ let run_client_closed ~client ~n r =
   close_out_noerr oc;
   close_in_noerr ic
 
-(* Open loop: the aggregate schedule puts request k at [t0 + k/rate];
-   client [c] owns every [clients]-th slot. Latency is charged from
-   the scheduled time, so server-induced sender stalls count. *)
+(* Open loop: slot [k] of the aggregate schedule fires [k * period]
+   after [t0]; client [c] owns every [clients]-th slot. The period is
+   held in integer nanoseconds and slot offsets are exact integer
+   multiples of it, computed relative to [t0] — the old
+   [t0 +. k /. rate] float schedule anchored sub-millisecond slot
+   times to an epoch-sized base, where a double keeps only ~0.5 us,
+   and re-accumulated the rounding into every slot. Latency is
+   charged from the scheduled time, so server-induced sender stalls
+   count. *)
 let run_client_open ~client ~n ~rate ~t0 r =
   let ic, oc = connect () in
-  let sched j = t0 +. (float_of_int (client + (j * !clients)) /. rate) in
+  let period_ns = Int64.of_float (1e9 /. rate) in
+  let sched_ns j =
+    Int64.mul (Int64.of_int (client + (j * !clients))) period_ns
+  in
+  let since_t0_ns () =
+    Int64.of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+  in
   let reader =
     Thread.create
       (fun () ->
         try
           for j = 0 to n - 1 do
             let line = input_line ic in
-            let t = Unix.gettimeofday () in
+            let lat_ns = Int64.sub (since_t0_ns ()) (sched_ns j) in
             if check ~client ~i:j ~degraded:r.degraded line then
               incr r.errors;
-            observe_s r (t -. sched j)
+            Histogram.observe r.hist (Int64.to_int (Int64.max 0L lat_ns))
           done
         with End_of_file | Sys_error _ ->
           incr r.errors;
@@ -202,10 +218,13 @@ let run_client_open ~client ~n ~rate ~t0 r =
       ()
   in
   for j = 0 to n - 1 do
-    let target = sched j in
-    let now = Unix.gettimeofday () in
-    if target > now then Thread.delay (target -. now);
-    let late = Unix.gettimeofday () -. target in
+    let target = sched_ns j in
+    let now = since_t0_ns () in
+    if Int64.compare target now > 0 then
+      Thread.delay (Int64.to_float (Int64.sub target now) /. 1e9);
+    let late =
+      Int64.to_float (Int64.sub (since_t0_ns ()) target) /. 1e9
+    in
     if late > r.max_late_s then r.max_late_s <- late;
     output_string oc (request ~client ~i:j);
     output_char oc '\n';

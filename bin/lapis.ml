@@ -11,9 +11,10 @@
      seccomp    emit a seccomp allow-list for an ELF file
      compat     weighted completeness of a user-provided syscall list
      query      one-shot indexed query against a saved snapshot
+     slice      cut range-sliced index images from a full one
      serve      line-delimited JSON query loop over stdin/stdout
      fleet      sharded multi-process serving: N serve shards behind a
-                scatter/gather router
+                scatter/gather router (--slice: one slice per shard)
 
    analyze/report/compat/seccomp accept --snapshot PATH to start from
    a saved world instead of re-running generation + analysis. *)
@@ -134,6 +135,49 @@ let load_image path =
       (Fmt.str "%a" Snapshot.pp_error e)
       (Snapshot.kind_name e);
     exit 1
+
+(* "LO:HI" — a global package range, validated against the source
+   image by [Query.save_image ~range]. *)
+let parse_slice_spec s =
+  let fail () =
+    Printf.eprintf
+      "lapis: bad slice %S (expected LO:HI with 0 <= LO <= HI)\n" s;
+    exit 2
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i ->
+    (match
+       ( int_of_string_opt (String.sub s 0 i),
+         int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+     with
+     | Some lo, Some hi when 0 <= lo && lo <= hi -> (lo, hi)
+     | _ -> fail ())
+
+let slice_out_path base (lo, hi) = Printf.sprintf "%s.slice-%d-%d" base lo hi
+
+(* Cut a range-sliced image of [idx] at [out] via write-to-temp +
+   rename: a concurrent reader sees the old file or the new one, never
+   a partial write. The slice keeps the source image's identity. *)
+let cut_slice idx ~range out =
+  let tmp = out ^ ".tmp" in
+  (match
+     Query.save_image ~seed:(Query.image_seed idx)
+       ~source_key:(Query.image_source_key idx) ~range tmp idx
+   with
+   | Ok () -> Sys.rename tmp out
+   | Error e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     Printf.eprintf "lapis: cannot write slice %s: %s\n" out
+       (Fmt.str "%a" Snapshot.pp_error e);
+     exit 1
+   | exception Invalid_argument msg ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     Printf.eprintf "lapis: %s\n" msg;
+     exit 2);
+  let lo, hi = range in
+  Printf.eprintf "# wrote slice [%d,%d) to %s (%d bytes)\n%!" lo hi out
+    (Unix.stat out).Unix.st_size
 
 let make_env ?snapshot ?base packages seed =
   setup_logs ();
@@ -776,6 +820,81 @@ let query_cmd =
     Term.(const run $ snapshot_arg $ base_arg $ stats_arg $ phase_arg
           $ op_arg $ operands_arg)
 
+(* --- slice -------------------------------------------------------------- *)
+
+let slice_cmd =
+  let range_arg =
+    let doc =
+      "Cut the single package range [LO, HI) (half-open, global \
+       package ids)."
+    in
+    Arg.(value & opt (some string) None & info [ "range" ] ~docv:"LO:HI" ~doc)
+  in
+  let shards_arg =
+    let doc =
+      "Cut the N-way contiguous partition a fleet of N shards scatters \
+       over (the $(b,lapis fleet --slice) layout), one image per range."
+    in
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Output path for $(b,--range) (default: \
+       $(i,IMAGE).slice-$(i,LO)-$(i,HI))."
+    in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"PATH" ~doc)
+  in
+  let run snapshot range shards out =
+    setup_logs ();
+    let path =
+      match snapshot with
+      | Some p -> p
+      | None ->
+        Printf.eprintf
+          "lapis: slice needs --snapshot PATH naming a format-4 index \
+           image (lapis analyze --save-index)\n";
+        exit 2
+    in
+    if not (is_index_image path) then begin
+      Printf.eprintf
+        "lapis: %s is not a format-4 index image; slices are cut from \
+         images (lapis analyze --save-index)\n"
+        path;
+      exit 2
+    end;
+    let idx = load_image path in
+    match (range, shards) with
+    | Some spec, None ->
+      let range = parse_slice_spec spec in
+      let out = Option.value out ~default:(slice_out_path path range) in
+      cut_slice idx ~range out;
+      print_endline out
+    | None, Some n ->
+      if n < 1 then begin
+        Printf.eprintf "lapis: --shards must be positive\n";
+        exit 2
+      end;
+      List.iter
+        (fun range ->
+          let out = slice_out_path path range in
+          cut_slice idx ~range out;
+          print_endline out)
+        (Query.shard_ranges (Query.n_packages idx) n)
+    | Some _, Some _ | None, None ->
+      Printf.eprintf "lapis: slice takes exactly one of --range, --shards\n";
+      exit 2
+  in
+  let doc =
+    "Cut a range-sliced index image from a full one: per-package \
+     planes cover only the requested range, shared per-API planes ride \
+     along whole, so each slice maps a ~N-fold smaller file while \
+     in-range partial-completeness answers stay bit-identical to the \
+     full image. Slice paths are printed one per line on stdout."
+  in
+  Cmd.v
+    (Cmd.info "slice" ~doc)
+    Term.(const run $ snapshot_arg $ range_arg $ shards_arg $ out_arg)
+
 (* --- serve -------------------------------------------------------------- *)
 
 let serve_cmd =
@@ -801,6 +920,19 @@ let serve_cmd =
        disables caching)."
     in
     Arg.(value & opt int 1024 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let slice_arg =
+    let doc =
+      "With $(b,--snapshot) naming a format-4 index image: cut the \
+       package range [LO, HI) to $(i,IMAGE).slice-$(i,LO)-$(i,HI) \
+       (write-to-temp + rename) and serve that slice instead — the \
+       shard maps a ~N-fold smaller file. This is how $(b,lapis fleet \
+       --slice) spawns its shards. Partial-completeness answers over \
+       in-range packages are bit-identical to the full image; the \
+       router scatters dependents and partial-completeness to the \
+       shard owning each range."
+    in
+    Arg.(value & opt (some string) None & info [ "slice" ] ~docv:"LO:HI" ~doc)
   in
   let watch_arg =
     let doc =
@@ -850,12 +982,39 @@ let serve_cmd =
           snap
     with e -> Error (Printexc.to_string e)
   in
-  let run packages seed snapshot base stats tcp workers cache watch =
+  let run packages seed snapshot base stats tcp workers cache watch slice =
+    (match slice with
+     | None -> ()
+     | Some _ ->
+       (match snapshot with
+        | Some p when is_index_image p -> ()
+        | _ ->
+          Printf.eprintf
+            "lapis: --slice needs --snapshot PATH naming a format-4 index \
+             image (lapis analyze --save-index)\n";
+          exit 2);
+       if watch then begin
+         Printf.eprintf
+           "lapis: --slice and --watch are exclusive (a reload would \
+            re-serve the full image)\n";
+         exit 2
+       end);
     let idx =
       match snapshot with
       | Some path when is_index_image path ->
         setup_logs ();
-        load_image path
+        (match slice with
+         | None -> load_image path
+         | Some spec ->
+           let range = parse_slice_spec spec in
+           let out = slice_out_path path range in
+           let full = load_image path in
+           cut_slice full ~range out;
+           let idx = load_image out in
+           (* drop the full mapping before serving: the slice is the
+              whole point of the shard's small footprint *)
+           Gc.compact ();
+           idx)
       | _ -> (make_env ?snapshot ?base packages seed).Study.Env.index
     in
     (match tcp with
@@ -944,7 +1103,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(const run $ packages_arg $ seed_arg $ snapshot_arg $ base_arg
-          $ stats_arg $ tcp_arg $ workers_arg $ cache_arg $ watch_arg)
+          $ stats_arg $ tcp_arg $ workers_arg $ cache_arg $ watch_arg
+          $ slice_arg)
 
 (* --- fleet -------------------------------------------------------------- *)
 
@@ -971,6 +1131,27 @@ let fleet_cmd =
     let doc = "Worker domains per spawned shard (default: the shard's own)." in
     Arg.(value & opt (some int) None & info [ "shard-workers" ] ~docv:"N" ~doc)
   in
+  let slice_flag =
+    let doc =
+      "Spawn each shard on its own range-sliced image ($(b,lapis serve \
+       --slice LO:HI) over the fleet's scatter partition) instead of \
+       the full snapshot, so per-shard mapped bytes and resident set \
+       drop ~N-fold. Needs $(b,--snapshot) naming a format-4 index \
+       image. The router learns the slices from the shards' stats \
+       gauges and scatters dependents and partial-completeness \
+       accordingly; answers stay within 1e-12 of a single process."
+    in
+    Arg.(value & flag & info [ "slice" ] ~doc)
+  in
+  let no_batch_flag =
+    let doc =
+      "Disable scatter-path micro-batching: same-shard messages queued \
+       during an in-flight write leave as individual frames instead of \
+       coalescing into one $(i,batch) frame. For A/B measurement; \
+       batching is on by default."
+    in
+    Arg.(value & flag & info [ "no-batch" ] ~doc)
+  in
   (* Poll until the shard accepts TCP connections (it binds only once
      its index is loaded, so accept implies ready). *)
   let wait_ready ~port ~deadline =
@@ -990,8 +1171,14 @@ let fleet_cmd =
     in
     go ()
   in
-  let run snapshot base tcp shards connect workers stats =
+  let run snapshot base tcp shards connect workers slice no_batch stats =
     setup_logs ();
+    if slice && connect <> None then begin
+      Printf.eprintf
+        "lapis: --slice applies to spawned shards; with --connect the \
+         already-running shards choose their own slices\n";
+      exit 2
+    end;
     let spawned = ref [] in
     let kill_spawned () =
       List.iter
@@ -1022,12 +1209,33 @@ let fleet_cmd =
             exit 2
         in
         let shards = max 1 shards in
-        let ports = List.init shards (fun i -> tcp + 1 + i) in
+        (* with --slice each shard serves one range of the fleet's
+           scatter partition (at most n non-empty ranges, so tiny
+           worlds spawn fewer shards than asked) *)
+        let plans =
+          if not slice then List.init shards (fun i -> (tcp + 1 + i, []))
+          else begin
+            if not (is_index_image path) then begin
+              Printf.eprintf
+                "lapis: --slice needs --snapshot PATH naming a format-4 \
+                 index image (lapis analyze --save-index)\n";
+              exit 2
+            end;
+            let n = Query.n_packages (load_image path) in
+            Gc.compact ();
+            List.mapi
+              (fun i (lo, hi) ->
+                (tcp + 1 + i, [ "--slice"; Printf.sprintf "%d:%d" lo hi ]))
+              (Query.shard_ranges n shards)
+          end
+        in
+        let ports = List.map fst plans in
         List.iter
-          (fun port ->
+          (fun (port, extra) ->
             let args =
               [ Sys.executable_name; "serve"; "--snapshot"; path;
                 "--tcp"; string_of_int port ]
+              @ extra
               @ (match base with Some b -> [ "--base"; b ] | None -> [])
               @ (match workers with
                  | Some w -> [ "--workers"; string_of_int w ]
@@ -1039,7 +1247,7 @@ let fleet_cmd =
             in
             spawned := !spawned @ [ (pid, port) ];
             Printf.eprintf "# shard pid %d on 127.0.0.1:%d\n%!" pid port)
-          ports;
+          plans;
         let deadline = Unix.gettimeofday () +. 60.0 in
         List.iter
           (fun port ->
@@ -1052,7 +1260,12 @@ let fleet_cmd =
           ports;
         List.map (fun p -> { Router.sh_host = "127.0.0.1"; sh_port = p }) ports
     in
-    match Router.start ~config:{ Router.default with port = tcp } specs with
+    match
+      Router.start
+        ~config:
+          { Router.default with port = tcp; batching = not no_batch }
+        specs
+    with
     | Error msg ->
       Printf.eprintf "lapis: %s\n" msg;
       kill_spawned ();
@@ -1078,14 +1291,18 @@ let fleet_cmd =
     "Serve one snapshot from a fleet: N $(b,lapis serve --tcp) shard \
      processes behind a scatter/gather router. Completeness queries fan \
      out as per-shard package-range partials and merge (within 1e-12 of a \
-     single process); point queries round-robin. The router sheds with \
+     single process); point queries round-robin. With $(b,--slice) each \
+     shard maps only its own range-sliced image (~N-fold smaller \
+     footprint); same-shard traffic micro-batches into single $(i,batch) \
+     frames under load (see $(b,--no-batch)). The router sheds with \
      structured $(i,overloaded) errors under saturation and answers \
      $(i,degraded) errors while a shard is down."
   in
   Cmd.v
     (Cmd.info "fleet" ~doc)
     Term.(const run $ snapshot_arg $ base_arg $ tcp_arg $ shards_arg
-          $ connect_arg $ workers_arg $ stats_arg)
+          $ connect_arg $ workers_arg $ slice_flag $ no_batch_flag
+          $ stats_arg)
 
 let () =
   let doc =
@@ -1097,4 +1314,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; evolve_cmd; report_cmd; analyze_cmd; footprint_cmd;
-            seccomp_cmd; compat_cmd; query_cmd; serve_cmd; fleet_cmd ]))
+            seccomp_cmd; compat_cmd; query_cmd; slice_cmd; serve_cmd;
+            fleet_cmd ]))

@@ -193,6 +193,26 @@ let floats_to_array = function
   | Floats_map { fba; foff; flen } ->
     Array.init flen (fun i -> Bigarray.Array1.get fba (foff + i))
 
+(* Contiguous sub-range extraction, for the range-sliced image writer:
+   a slice of a plane materializes only the [len] elements starting at
+   [pos], never the whole plane. *)
+
+let words_sub s pos len =
+  if pos < 0 || len < 0 || pos > words_len s - len then
+    invalid_arg "Bitset.words_sub: out of range";
+  match s with
+  | Words_heap a -> Array.sub a pos len
+  | Words_map { wba; woff; _ } ->
+    Array.init len (fun i -> Bigarray.Array1.get wba (woff + pos + i))
+
+let floats_sub s pos len =
+  if pos < 0 || len < 0 || pos > floats_len s - len then
+    invalid_arg "Bitset.floats_sub: out of range";
+  match s with
+  | Floats_heap a -> Array.sub a pos len
+  | Floats_map { fba; foff; _ } ->
+    Array.init len (fun i -> Bigarray.Array1.get fba (foff + pos + i))
+
 (* Wire layout for the numeric planes: one 8-byte little-endian word
    per element. Ints are sign-extended from their 63-bit pattern
    (matching what a mapped int-kind read truncates back to); floats

@@ -121,6 +121,14 @@ val floats_len : floats -> int
 val floats_get : floats -> int -> float
 val floats_to_array : floats -> float array
 
+val words_sub : words -> int -> int -> int array
+(** [words_sub s pos len] materializes elements [pos .. pos+len-1] to
+    a fresh heap array (both backends) — the range-sliced image
+    writer's plane extractor. Raises [Invalid_argument] out of range. *)
+
+val floats_sub : floats -> int -> int -> float array
+(** Float-plane analogue of {!words_sub}. *)
+
 val words_to_le : int array -> string
 (** 8 bytes per word, little-endian, sign-extended to 64 bits — the
     format-4 on-disk encoding of an int plane. *)

@@ -87,7 +87,7 @@ type class_index = {
   ci_nw : int;  (* words per class row *)
   ci_flat : Bitset.words;  (* ci_nc * ci_nw, row-major *)
   ci_common : int array;  (* ci_nw words: bits required everywhere *)
-  ci_pkg_class : Bitset.words;  (* pkg -> class row *)
+  ci_pkg_class : Bitset.words;  (* pkg slice index -> class row *)
 }
 
 (* A binary's resolved footprint split by phase — the per-binary data
@@ -108,14 +108,16 @@ type bin_sets = {
    behind {!Bitset.words}/{!Bitset.floats} so a mapped image and a
    fresh build run the same hot loops. *)
 type t = {
-  n : int;
+  n : int;  (* packages in the whole world, sliced or not *)
+  slice_lo : int;  (* per-package planes cover [slice_lo, slice_hi) *)
+  slice_hi : int;
   mapped : bool;  (* true when backed by a mapped format-4 image *)
   meta_seed : int;
   meta_source_key : string;
   total_installs : int;
   n_bins : int;
-  probs : Bitset.floats;  (* pkg index -> install probability *)
-  names : string array;
+  probs : Bitset.floats;  (* pkg slice index -> install probability *)
+  names : string array;  (* pkg slice index -> name *)
   api_ids : int Api.Tbl.t;  (* interning: api -> dense id *)
   apis : Api.t array;  (* id -> api *)
   survival : Bitset.floats;  (* id -> prod(1 - p) over dependents *)
@@ -520,6 +522,8 @@ let index ?domains (store : Store.t) : t =
   let ranking = build_ranking ~n ~api_ids ~survival ~elf_count in
   {
     n;
+    slice_lo = 0;
+    slice_hi = n;
     mapped = false;
     meta_seed = 0;
     meta_source_key = "";
@@ -559,6 +563,11 @@ let n_components t = t.n_comps
 let n_binaries t = t.n_bins
 let total_installs t = t.total_installs
 let is_mapped t = t.mapped
+let slice_lo t = t.slice_lo
+let slice_hi t = t.slice_hi
+let is_sliced t = t.slice_lo > 0 || t.slice_hi < t.n
+let image_seed t = t.meta_seed
+let image_source_key t = t.meta_source_key
 
 let bins t = Lazy.force t.bins
 
@@ -612,9 +621,13 @@ let dependents_ranked ?limit t api =
       let hi = Bitset.words_get t.deps_off (id + 1) in
       List.init (hi - lo) (fun k -> Bitset.words_get t.deps_dat (lo + k))
   in
+  (* A slice's deps data only holds ids inside [slice_lo, slice_hi),
+     so on a full index the subtraction is the identity. *)
   let rows =
     ids
-    |> List.map (fun i -> (t.names.(i), Bitset.floats_get t.probs i))
+    |> List.map (fun i ->
+           let k = i - t.slice_lo in
+           (t.names.(k), Bitset.floats_get t.probs k))
     |> List.sort (fun (na, pa) (nb, pb) ->
            match compare pb pa with 0 -> compare na nb | c -> c)
   in
@@ -713,23 +726,30 @@ let classes_ok ci (supw : int array) =
   end
 
 (* The probability sweep in store order — the oracle's exact numerator
-   fold (ascending package index over the full row array) — over
-   [lo, hi). Matched once on the backing pair; the common case is both
-   planes heap or both mapped. *)
+   fold (ascending package index over the full row array) — over the
+   global package range [lo, hi). On a sliced index the per-package
+   planes only cover [slice_lo, slice_hi): the request intersects with
+   the slice and plane reads shift by [slice_lo], so the surviving
+   elements are visited in the same order with the same values as the
+   full image — partial sums over in-slice ranges are bit-identical.
+   Matched once on the backing pair; the common case is both planes
+   heap or both mapped. *)
 let sweep_range t (ok : bool array) ci lo hi =
+  let lo = max lo t.slice_lo and hi = min hi t.slice_hi in
+  let base = t.slice_lo in
   let num = ref 0.0 in
   (match (ci.ci_pkg_class, t.probs) with
   | Bitset.Words_heap pc, Bitset.Floats_heap pr ->
-    for i = lo to hi - 1 do
+    for i = lo - base to hi - 1 - base do
       if ok.(pc.(i)) then num := !num +. pr.(i)
     done
   | Bitset.Words_map { wba; woff; _ }, Bitset.Floats_map { fba; foff; _ } ->
-    for i = lo to hi - 1 do
+    for i = lo - base to hi - 1 - base do
       if ok.(Bigarray.Array1.unsafe_get wba (woff + i)) then
         num := !num +. Bigarray.Array1.unsafe_get fba (foff + i)
     done
   | pc, pr ->
-    for i = lo to hi - 1 do
+    for i = lo - base to hi - 1 - base do
       if ok.(Bitset.words_get pc i) then num := !num +. Bitset.floats_get pr i
     done);
   !num
@@ -891,7 +911,16 @@ let api_of_string s =
    snapshot's own codecs ({!Snapshot.Wire}) and are decoded eagerly
    (meta) or lazily (bins) at load. Loading validates every offset,
    length, width and cross-reference up front, so the mapped hot
-   loops can use unchecked reads. *)
+   loops can use unchecked reads.
+
+   An image may be {b range-sliced}: the meta section carries a
+   [slice_lo, slice_hi) package range (a full image writes [0, n)),
+   and the per-package planes — probs, names, the six class maps, the
+   dependents CSR — cover only that range, while per-API planes
+   (survival, counts), the class rows/cores and the denominator stay
+   whole, so point queries and the partial sweep over in-slice ranges
+   answer bit-identically to the full image at ~1/N the mapped
+   bytes. Proper slices drop the per-binary rows. *)
 
 let image_version = 4
 let image_header_len = 40
@@ -918,7 +947,10 @@ let corrupt fmt = Printf.ksprintf (fun msg -> fail (Snapshot.Corrupt msg)) fmt
 
 (* --- writer ------------------------------------------------------- *)
 
-let meta_section t ~seed ~source_key =
+(* [lo, hi) is the global package range the written image covers; the
+   range header rides between [den] and the name list, and the name
+   list holds [hi - lo] entries. A full image writes [0, n). *)
+let meta_section t ~seed ~source_key ~lo ~hi ~n_bins ~class_dims =
   let b = Buffer.create 4096 in
   Wire.w_int b seed;
   Wire.w_int b t.total_installs;
@@ -927,15 +959,19 @@ let meta_section t ~seed ~source_key =
   Wire.w_int b (Array.length t.apis);
   Wire.w_int b t.n_comps;
   Wire.w_int b t.max_nr;
-  Wire.w_int b t.n_bins;
+  Wire.w_int b n_bins;
   Wire.w_float b t.den;
-  Array.iter (Wire.w_str b) t.names;
+  Wire.w_int b lo;
+  Wire.w_int b hi;
+  for i = lo - t.slice_lo to hi - 1 - t.slice_lo do
+    Wire.w_str b t.names.(i)
+  done;
   Array.iter (Wire.w_api b) t.apis;
   List.iter
-    (fun ci ->
-      Wire.w_int b ci.ci_nc;
-      Wire.w_int b ci.ci_nw)
-    (class_list t);
+    (fun (nc, nw) ->
+      Wire.w_int b nc;
+      Wire.w_int b nw)
+    class_dims;
   Buffer.contents b
 
 (* Bins section: a pool of distinct encoded API sets (bitset bytes
@@ -996,34 +1032,149 @@ let bins_section t (rows : bin_sets array) =
     triples;
   Buffer.contents b
 
-let to_image_string ?(seed = 0) ?(source_key = "") t =
+let to_image_string ?(seed = 0) ?(source_key = "") ?range t =
   match Lazy.force t.bins with
   | Error e -> Error e
   | Ok rows ->
+    let lo, hi =
+      match range with
+      | None -> (t.slice_lo, t.slice_hi)
+      | Some (lo, hi) -> (lo, hi)
+    in
+    if lo < t.slice_lo || hi > t.slice_hi || lo > hi then
+      invalid_arg
+        (Printf.sprintf
+           "Query.to_image_string: range %d:%d outside the source slice \
+            [%d, %d)"
+           lo hi t.slice_lo t.slice_hi);
+    (* [full] = the written range is exactly what the source covers: the
+       output is the image that always was. A proper slice drops the
+       per-binary rows (they have no package attribution), trims the
+       per-package planes, and keeps only the class rows some in-range
+       package references (remapping [pkg_class] onto the kept rows, in
+       original order — the sweep reads bit-identical rows under new
+       ids); per-API planes are written whole either way. *)
+    let full = lo = t.slice_lo && hi = t.slice_hi in
+    let np = hi - lo in
+    let base = lo - t.slice_lo in
+    let rows = if full then rows else [||] in
     let wsec w = Bitset.words_to_le (Bitset.words_to_array w) in
     let fsec f = Bitset.floats_to_le (Bitset.floats_to_array f) in
+    (* Dependents CSR restricted to packages in range: per-API segments
+       keep their relative order (global package ids), offsets
+       recomputed over the kept entries. On the full range this is a
+       copy. *)
+    let deps_off_s, deps_dat_s =
+      if full then (wsec t.deps_off, wsec t.deps_dat)
+      else begin
+        let n_apis = Array.length t.apis in
+        let off = Array.make (n_apis + 1) 0 in
+        for id = 0 to n_apis - 1 do
+          let s = Bitset.words_get t.deps_off id in
+          let e = Bitset.words_get t.deps_off (id + 1) in
+          let c = ref 0 in
+          for k = s to e - 1 do
+            let v = Bitset.words_get t.deps_dat k in
+            if v >= lo && v < hi then incr c
+          done;
+          off.(id + 1) <- off.(id) + !c
+        done;
+        let dat = Array.make off.(n_apis) 0 in
+        let w = ref 0 in
+        for id = 0 to n_apis - 1 do
+          let s = Bitset.words_get t.deps_off id in
+          let e = Bitset.words_get t.deps_off (id + 1) in
+          for k = s to e - 1 do
+            let v = Bitset.words_get t.deps_dat k in
+            if v >= lo && v < hi then begin
+              dat.(!w) <- v;
+              incr w
+            end
+          done
+        done;
+        (Bitset.words_to_le off, Bitset.words_to_le dat)
+      end
+    in
+    (* (nc, nw, flat body, common body, pkg_class body) per class
+       plane. An empty kept set (possible on an empty range) writes the
+       loader's zero-class convention: dims (0, 0), one zero word of
+       flat and of common. *)
+    let slice_class ci =
+      if full then
+        ( ci.ci_nc,
+          ci.ci_nw,
+          wsec ci.ci_flat,
+          Bitset.words_to_le ci.ci_common,
+          Bitset.words_to_le (Bitset.words_sub ci.ci_pkg_class base np) )
+      else begin
+        let used = Array.make (max 1 ci.ci_nc) false in
+        for i = base to base + np - 1 do
+          used.(Bitset.words_get ci.ci_pkg_class i) <- true
+        done;
+        let remap = Array.make (max 1 ci.ci_nc) (-1) in
+        let kept = ref 0 in
+        for c = 0 to ci.ci_nc - 1 do
+          if used.(c) then begin
+            remap.(c) <- !kept;
+            incr kept
+          end
+        done;
+        let kept = !kept in
+        if kept = 0 then
+          ( 0,
+            0,
+            Bitset.words_to_le [| 0 |],
+            Bitset.words_to_le [| 0 |],
+            Bitset.words_to_le [||] )
+        else begin
+          let flat = Array.make (kept * ci.ci_nw) 0 in
+          for c = 0 to ci.ci_nc - 1 do
+            if used.(c) then
+              for w = 0 to ci.ci_nw - 1 do
+                flat.((remap.(c) * ci.ci_nw) + w) <-
+                  Bitset.words_get ci.ci_flat ((c * ci.ci_nw) + w)
+              done
+          done;
+          let pkg_class =
+            Array.init np (fun i ->
+                remap.(Bitset.words_get ci.ci_pkg_class (base + i)))
+          in
+          ( kept,
+            ci.ci_nw,
+            Bitset.words_to_le flat,
+            Bitset.words_to_le ci.ci_common,
+            Bitset.words_to_le pkg_class )
+        end
+      end
+    in
+    let classes = List.map slice_class (class_list t) in
+    let class_dims =
+      List.map (fun (nc, nw, _, _, _) -> (nc, nw)) classes
+    in
     let sections =
       [
-        (sec_meta, meta_section t ~seed ~source_key);
-        (sec_probs, fsec t.probs);
+        (sec_meta,
+         meta_section t ~seed ~source_key ~lo ~hi ~class_dims
+           ~n_bins:(Array.length rows));
+        (sec_probs, Bitset.floats_to_le (Bitset.floats_sub t.probs base np));
         (sec_survival, fsec t.survival);
         (sec_survival + 1, fsec t.survival_init);
         (sec_survival + 2, fsec t.survival_serving);
         (sec_dep_count, wsec t.dep_count);
         (sec_elf_count, wsec t.elf_count);
-        (sec_deps_off, wsec t.deps_off);
-        (sec_deps_dat, wsec t.deps_dat);
+        (sec_deps_off, deps_off_s);
+        (sec_deps_dat, deps_dat_s);
         (sec_bins, bins_section t rows);
       ]
       @ List.concat
           (List.mapi
-             (fun k ci ->
+             (fun k (_, _, flat, common, pkg_class) ->
                [
-                 (sec_class_base + (3 * k), wsec ci.ci_flat);
-                 (sec_class_base + (3 * k) + 1, Bitset.words_to_le ci.ci_common);
-                 (sec_class_base + (3 * k) + 2, wsec ci.ci_pkg_class);
+                 (sec_class_base + (3 * k), flat);
+                 (sec_class_base + (3 * k) + 1, common);
+                 (sec_class_base + (3 * k) + 2, pkg_class);
                ])
-             (class_list t))
+             classes)
     in
     let n_sections = List.length sections in
     let pad8 k = (k + 7) land lnot 7 in
@@ -1062,8 +1213,8 @@ let to_image_string ?(seed = 0) ?(source_key = "") t =
     Buffer.add_string out payload;
     Ok (Buffer.contents out)
 
-let save_image ?seed ?source_key path t =
-  match to_image_string ?seed ?source_key t with
+let save_image ?seed ?source_key ?range path t =
+  match to_image_string ?seed ?source_key ?range t with
   | Error e -> Error e
   | Ok s -> (
     match
@@ -1190,12 +1341,18 @@ let load_image_src (src : image_source) : t =
   let max_nr = Wire.r_int c "image.meta.max-nr" in
   let n_bins = Wire.r_int c "image.meta.n-bins" in
   let den = Wire.r_float c "image.meta.den" in
+  let slice_lo = Wire.r_int c "image.meta.slice-lo" in
+  let slice_hi = Wire.r_int c "image.meta.slice-hi" in
   if n < 0 || n_apis < 0 || n_comps < 0 || n_bins < 0 || max_nr < -1 then
     corrupt "image: negative meta counts";
   if n > mlen || n_apis > mlen || n_comps > n then
     corrupt "image: meta counts exceed the meta section";
-  let names = Array.make n "" in
-  for i = 0 to n - 1 do
+  if slice_lo < 0 || slice_hi < slice_lo || slice_hi > n then
+    corrupt "image: slice range %d:%d outside %d packages" slice_lo slice_hi n;
+  (* Per-package planes cover the slice only. *)
+  let np = slice_hi - slice_lo in
+  let names = Array.make np "" in
+  for i = 0 to np - 1 do
     names.(i) <- Wire.r_str c "image.meta.name"
   done;
   let apis = Array.make n_apis (Api.Syscall 0) in
@@ -1228,7 +1385,7 @@ let load_image_src (src : image_source) : t =
       corrupt "image: %s section is %d bytes, expected %d" what len (8 * count);
     Bitset.Floats_map { fba = src.img_fba; foff = off / 8; flen = count }
   in
-  let probs = floats_sec sec_probs "probs" n in
+  let probs = floats_sec sec_probs "probs" np in
   let survival = floats_sec sec_survival "survival" n_apis in
   let survival_init = floats_sec (sec_survival + 1) "survival-init" n_apis in
   let survival_serving =
@@ -1253,7 +1410,9 @@ let load_image_src (src : image_source) : t =
     corrupt "image: deps offsets disagree with deps-data length";
   for k = 0 to deps_total - 1 do
     let v = Bitset.words_get deps_dat k in
-    if v < 0 || v >= n then corrupt "image: dependent package id %d of %d" v n
+    if v < slice_lo || v >= slice_hi then
+      corrupt "image: dependent package id %d outside slice %d:%d" v slice_lo
+        slice_hi
   done;
   (* class indexes *)
   let universes = [| n_apis; max_nr + 1; n_apis; max_nr + 1; n_apis; max_nr + 1 |] in
@@ -1277,8 +1436,8 @@ let load_image_src (src : image_source) : t =
           (8 * expect);
       Array.init expect (fun i -> Bigarray.Array1.get src.img_iba ((off / 8) + i))
     in
-    let pkg_class = words_sec (sec_class_base + (3 * k) + 2) "class-map" n in
-    for i = 0 to n - 1 do
+    let pkg_class = words_sec (sec_class_base + (3 * k) + 2) "class-map" np in
+    for i = 0 to np - 1 do
       let v = Bitset.words_get pkg_class i in
       if v < 0 || v >= nc then corrupt "image: package class %d of %d" v nc
     done;
@@ -1298,6 +1457,8 @@ let load_image_src (src : image_source) : t =
   let ranking = build_ranking ~n ~api_ids ~survival ~elf_count in
   {
     n;
+    slice_lo;
+    slice_hi;
     mapped = true;
     meta_seed;
     meta_source_key;

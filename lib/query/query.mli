@@ -73,6 +73,27 @@ val total_installs : t -> int
 val is_mapped : t -> bool
 (** True when the numeric planes alias a mapped format-4 image. *)
 
+val slice_lo : t -> int
+val slice_hi : t -> int
+(** The global package range [slice_lo, slice_hi) this index's
+    per-package planes cover. A full index (every build, every
+    unsliced image) covers [0, {!n_packages}). On a range-sliced
+    image ({!to_image_string} with [~range]) only queries touching
+    in-slice packages see them: {!eval_syscalls_partial} over an
+    in-slice range is bit-identical to the full image, point metrics
+    (importance, survival, ranking) are whole-world exact, and
+    {!dependents_ranked} lists in-slice packages only. *)
+
+val is_sliced : t -> bool
+(** [slice_lo t > 0 || slice_hi t < n_packages t]. *)
+
+val image_seed : t -> int
+val image_source_key : t -> string
+(** The generator identity recorded in the image this index was
+    mapped from ([0] / [""] for a fresh build) — pass them back to
+    {!save_image} when re-slicing so a slice keeps its source's
+    identity. *)
+
 val importance : ?phase:phase -> t -> Api.t -> float
 (** Appendix A.1 importance, O(1): [1 - prod(1 - p)] over dependent
     packages. Zero for APIs no package uses. With [~phase], the
@@ -195,12 +216,22 @@ val image_version : int
 (** 4 — the version word distinguishing index images from the
     decode-and-build row snapshot formats 1–3. *)
 
-val to_image_string : ?seed:int -> ?source_key:string -> t -> (string, Lapis_store.Snapshot.error) result
+val to_image_string : ?seed:int -> ?source_key:string -> ?range:int * int -> t -> (string, Lapis_store.Snapshot.error) result
 (** Serialize to the image wire format. [seed]/[source_key] stamp the
     producing world's identity into the meta section (defaults [0] /
-    [""]). [Error] only if a mapped source's bins section is corrupt. *)
+    [""]). [~range:(lo, hi)] writes a {b range-sliced} image: the
+    per-package planes (probs, names, class maps, dependents CSR)
+    cover only [lo, hi) of the global package order, while the shared
+    per-API planes, class rows and denominator are written whole — a
+    shard mapping such a slice answers partial sweeps over in-slice
+    ranges bit-identically to the full image at roughly [1/N] the
+    mapped bytes. Proper slices drop the per-binary rows. The range
+    must lie within the source's own slice (raises
+    [Invalid_argument] otherwise); the default writes the source's
+    full coverage. [Error] only if a mapped source's bins section is
+    corrupt. *)
 
-val save_image : ?seed:int -> ?source_key:string -> string -> t -> (unit, Lapis_store.Snapshot.error) result
+val save_image : ?seed:int -> ?source_key:string -> ?range:int * int -> string -> t -> (unit, Lapis_store.Snapshot.error) result
 
 val of_image : ?verify:bool -> string -> (t, Lapis_store.Snapshot.error) result
 (** Decode an image from memory (the fuzz harness's entry point; the

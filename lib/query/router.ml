@@ -43,6 +43,8 @@ type config = {
   queue_bound : int;
   shard_timeout : float;
   health_period : float;
+  batching : bool;
+  cache_capacity : int;
 }
 
 let default =
@@ -54,35 +56,64 @@ let default =
     queue_bound = 256;
     shard_timeout = 5.0;
     health_period = 1.0;
+    batching = true;
+    cache_capacity = 512;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Shard clients                                                       *)
 (* ------------------------------------------------------------------ *)
 
-type waiter = {
-  w_mutex : Mutex.t;
-  w_cond : Condition.t;
-  mutable w_result : (P.response, string) result option;
+(* One gather cell per scatter round: every in-flight sub-request owns
+   a slot, and the condvar fires once, when the last slot lands. The
+   old design gave each sub-request its own mutex + condvar, so a
+   worker gathering K partials could sleep and wake up to K times per
+   scatter — on the hot path that is K-1 avoidable context-switch
+   round trips. A forwarded single call is just a gather of one. *)
+type gather = {
+  g_mutex : Mutex.t;
+  g_cond : Condition.t;
+  g_results : (P.response, string) result option array;
+  mutable g_missing : int;
 }
 
-let new_waiter () =
-  { w_mutex = Mutex.create (); w_cond = Condition.create (); w_result = None }
+type waiter = { g : gather; slot : int }
+
+let new_gather n =
+  {
+    g_mutex = Mutex.create ();
+    g_cond = Condition.create ();
+    g_results = Array.make n None;
+    g_missing = n;
+  }
+
+let waiter_of g slot = { g; slot }
+
+let new_waiter () = waiter_of (new_gather 1) 0
 
 let complete_waiter w result =
-  Mutex.lock w.w_mutex;
-  if w.w_result = None then w.w_result <- Some result;
-  Condition.signal w.w_cond;
-  Mutex.unlock w.w_mutex
+  let g = w.g in
+  Mutex.lock g.g_mutex;
+  if g.g_results.(w.slot) = None then begin
+    g.g_results.(w.slot) <- Some result;
+    g.g_missing <- g.g_missing - 1;
+    if g.g_missing = 0 then Condition.signal g.g_cond
+  end;
+  Mutex.unlock g.g_mutex
+
+(* After [await_all] returns, every slot is [Some] and no completer
+   can touch the array again (the [None] check above), so slots are
+   safe to read without the lock. *)
+let await_all g =
+  Mutex.lock g.g_mutex;
+  while g.g_missing > 0 do
+    Condition.wait g.g_cond g.g_mutex
+  done;
+  Mutex.unlock g.g_mutex
 
 let await w =
-  Mutex.lock w.w_mutex;
-  while w.w_result = None do
-    Condition.wait w.w_cond w.w_mutex
-  done;
-  let r = Option.get w.w_result in
-  Mutex.unlock w.w_mutex;
-  r
+  await_all w.g;
+  Option.get w.g.g_results.(w.slot)
 
 type shard = {
   spec : shard_spec;
@@ -92,6 +123,9 @@ type shard = {
   mutable s_gen : int;  (* bumped per (re)connect *)
   mutable s_next_id : int;
   s_pending : (int, waiter) Hashtbl.t;
+  s_outq : (int * P.req) Queue.t;  (* registered but not yet written *)
+  mutable s_draining : bool;  (* the single-writer token for [s_outq] *)
+  s_coalesce : bool;  (* >= 2 queued messages leave as one [batch] *)
 }
 
 let shard_name sh = Printf.sprintf "%s:%d" sh.spec.sh_host sh.spec.sh_port
@@ -107,6 +141,7 @@ let fail_locked sh =
      (try Unix.close fd with Unix.Unix_error _ -> ())
    | None -> ());
   sh.s_healthy <- false;
+  Queue.clear sh.s_outq;  (* queued ids are in [s_pending]; fail once *)
   let waiters = Hashtbl.fold (fun _ w acc -> w :: acc) sh.s_pending [] in
   Hashtbl.reset sh.s_pending;
   waiters
@@ -140,21 +175,54 @@ let pending_empty sh gen =
   Mutex.protect sh.sm (fun () ->
       sh.s_gen <> gen || Hashtbl.length sh.s_pending = 0)
 
-let complete_response sh gen resp =
-  let waiter =
-    Mutex.protect sh.sm (fun () ->
-        if sh.s_gen <> gen then None
-        else
-          match Option.bind resp.P.rs_id Json.to_int with
-          | None -> None
-          | Some id ->
-            let w = Hashtbl.find_opt sh.s_pending id in
-            Hashtbl.remove sh.s_pending id;
-            w)
-  in
-  match waiter with
-  | Some w -> complete_waiter w (Ok resp)
-  | None -> ()  (* uncorrelated response; nothing waits for it *)
+let rec complete_response sh gen resp =
+  match resp.P.rs_result with
+  | Ok (P.Batch_r rs) ->
+    (* A coalesced frame coming back: each sub-response carries the
+       router-assigned id of one coalesced request (the outer envelope
+       itself correlates with nothing), so the whole frame correlates
+       under a single [sm] acquisition rather than one per member.
+       Completions still run outside the lock. A nested batch — which
+       no shard produces — falls through to the recursive walk. *)
+    let nested, flat =
+      List.partition
+        (fun r ->
+          match r.P.rs_result with Ok (P.Batch_r _) -> true | _ -> false)
+        rs
+    in
+    let completed =
+      Mutex.protect sh.sm (fun () ->
+          if sh.s_gen <> gen then []
+          else
+            List.filter_map
+              (fun r ->
+                match Option.bind r.P.rs_id Json.to_int with
+                | None -> None
+                | Some id ->
+                  (match Hashtbl.find_opt sh.s_pending id with
+                   | None -> None
+                   | Some w ->
+                     Hashtbl.remove sh.s_pending id;
+                     Some (w, r)))
+              flat)
+    in
+    List.iter (fun (w, r) -> complete_waiter w (Ok r)) completed;
+    List.iter (complete_response sh gen) nested
+  | _ ->
+    let waiter =
+      Mutex.protect sh.sm (fun () ->
+          if sh.s_gen <> gen then None
+          else
+            match Option.bind resp.P.rs_id Json.to_int with
+            | None -> None
+            | Some id ->
+              let w = Hashtbl.find_opt sh.s_pending id in
+              Hashtbl.remove sh.s_pending id;
+              w)
+    in
+    (match waiter with
+     | Some w -> complete_waiter w (Ok resp)
+     | None -> ())  (* uncorrelated response; nothing waits for it *)
 
 (* One reader per connection generation. The receive timeout only
    counts as idleness at a frame boundary with nothing in flight;
@@ -218,6 +286,9 @@ let connect_locked ~timeout sh =
          with Failure _ -> Unix.inet_addr_loopback
        in
        Unix.connect fd (Unix.ADDR_INET (addr, sh.spec.sh_port));
+       (* scatter frames are small and latency-bound: never Nagle *)
+       (try Unix.setsockopt fd Unix.TCP_NODELAY true
+        with Unix.Unix_error _ -> ());
        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
        sh.s_fd <- Some fd;
        sh.s_gen <- sh.s_gen + 1;
@@ -229,36 +300,88 @@ let connect_locked ~timeout sh =
        sh.s_healthy <- false;
        raise e)
 
-(* Register a waiter and put one framed request on the wire. The
-   write happens under the shard mutex (serializing concurrent
-   scatters onto the pipelined connection); waiting happens outside
-   it. *)
-let send ~timeout sh req =
-  Mutex.protect sh.sm (fun () ->
-      let fd = connect_locked ~timeout sh in
-      let id = sh.s_next_id in
-      sh.s_next_id <- id + 1;
-      let w = new_waiter () in
-      Hashtbl.replace sh.s_pending id w;
-      let bytes =
-        P.Bin.encode_request
-          { P.rq_id = Some (Json.Num (float_of_int id)); rq_op = req }
+(* The single-writer drain loop. Whichever thread holds the
+   [s_draining] token swaps the whole outgoing queue out under the
+   mutex and writes it outside the lock; everything other threads
+   enqueue during that in-flight write is picked up by the next swap.
+   That window {e is} the adaptive batch: with coalescing on, >= 2
+   queued messages leave as one [batch] frame (the shard drains it
+   through [eval_subsets]); with it off they leave as individual
+   frames in one writev-sized burst — either way exactly one thread
+   writes, so frames never interleave. *)
+let drain_outq sh =
+  let rec loop () =
+    let next =
+      Mutex.protect sh.sm (fun () ->
+          if Queue.is_empty sh.s_outq || sh.s_fd = None then begin
+            sh.s_draining <- false;
+            None
+          end
+          else begin
+            let items = List.of_seq (Queue.to_seq sh.s_outq) in
+            Queue.clear sh.s_outq;
+            Some (items, Option.get sh.s_fd)
+          end)
+    in
+    match next with
+    | None -> ()
+    | Some (items, fd) ->
+      let mk (id, op) =
+        { P.rq_id = Some (Json.Num (float_of_int id)); rq_op = op }
       in
-      (try write_all fd bytes
-       with e ->
-         let waiters = fail_locked sh in
+      let bytes =
+        match items with
+        | [ one ] -> P.Bin.encode_request (mk one)
+        | many when sh.s_coalesce ->
+          Stage.incr "router:batches";
+          Stage.incr ~by:(List.length many) "router:batched-msgs";
+          P.Bin.encode_request
+            { P.rq_id = None; rq_op = P.Batch (List.map mk many) }
+        | many ->
+          String.concat ""
+            (List.map (fun item -> P.Bin.encode_request (mk item)) many)
+      in
+      (match write_all fd bytes with
+       | () -> loop ()
+       | exception _ ->
+         let waiters =
+           Mutex.protect sh.sm (fun () ->
+               sh.s_draining <- false;
+               fail_locked sh)
+         in
          List.iter
            (fun w -> complete_waiter w (Error "shard write error"))
-           waiters;
-         raise e);
-      w)
+           waiters)
+  in
+  loop ()
+
+(* Register the caller's waiter and queue one request for the shard;
+   the caller becomes the drainer if nobody holds the token. Raises
+   (like the dial it performs) on connection failure; waiting happens
+   outside every lock. *)
+let send ~timeout sh w req =
+  let drain =
+    Mutex.protect sh.sm (fun () ->
+        let _fd = connect_locked ~timeout sh in
+        let id = sh.s_next_id in
+        sh.s_next_id <- id + 1;
+        Hashtbl.replace sh.s_pending id w;
+        Queue.push (id, req) sh.s_outq;
+        if sh.s_draining then false
+        else begin
+          sh.s_draining <- true;
+          true
+        end)
+  in
+  if drain then drain_outq sh
 
 let call ~timeout sh req =
-  match send ~timeout sh req with
+  let w = new_waiter () in
+  match send ~timeout sh w req with
   | exception e ->
     Error (Printf.sprintf "cannot reach shard %s: %s" (shard_name sh)
              (Printexc.to_string e))
-  | w -> await w
+  | () -> await w
 
 (* Retry-once-then-degrade: the retry reconnects (send dials when the
    fd is gone); a second failure leaves the shard marked unhealthy
@@ -296,7 +419,9 @@ type t = {
   bound_port : int;
   shards : shard array;
   ranges : (shard * (int * int)) array;  (* range order = merge order *)
+  sliced : bool;  (* shards serve range-sliced images, not full copies *)
   meta : int * int * int * int;  (* packages, apis, binaries, installs *)
+  cache : (string, (P.reply, P.err) result) Lru.t option;
   rr : int Atomic.t;  (* round-robin cursor for forwarded ops *)
   queue : job Queue.t;
   qmutex : Mutex.t;
@@ -353,43 +478,49 @@ let err kind msg = Error { P.e_kind = kind; e_msg = msg }
 let healthy_count t =
   Array.fold_left (fun n sh -> if shard_healthy sh then n + 1 else n) 0 t.shards
 
-(* Scatter one completeness query: every shard gets its fixed package
-   range in one round of pipelined sends, then the partials merge in
-   range order over the common denominator — the float regrouping of
-   [Query.eval_syscalls_sharded], so the answer is within 1e-12 of a
-   single-process evaluation. Any shard failing (after its retry)
-   degrades the whole query: a partial sum is never returned. *)
-let scatter t ~syscalls ~phase =
+(* One round of pipelined sends (every request is on the wire — and
+   coalescible into one batch frame per shard — before any await)
+   into a single gather cell, so the worker parks once and wakes once
+   when the last partial lands, then a retry-once pass over whatever
+   failed. Result order = [pairs] order. *)
+let scatter_calls t pairs =
   let timeout = t.cfg.shard_timeout in
-  let req (lo, hi) = P.Partial_completeness { syscalls; phase; lo; hi } in
-  let sends =
-    Array.map
-      (fun (sh, range) ->
-        match send ~timeout sh (req range) with
-        | w -> (sh, range, Some w)
-        | exception _ -> (sh, range, None))
-      t.ranges
-  in
+  let pairs_a = Array.of_list pairs in
+  let g = new_gather (Array.length pairs_a) in
+  Array.iteri
+    (fun i (sh, req) ->
+      let w = waiter_of g i in
+      match send ~timeout sh w req with
+      | () -> ()
+      | exception _ ->
+        complete_waiter w (Error ("cannot reach shard " ^ shard_name sh)))
+    pairs_a;
+  await_all g;
+  Array.to_list
+    (Array.mapi
+       (fun i (sh, req) ->
+         let final =
+           match g.g_results.(i) with
+           | Some (Ok r) -> Ok r
+           | Some (Error _) | None ->
+             Stage.incr "router:shard-retry";
+             call ~timeout sh req
+         in
+         (sh, final))
+       pairs_a)
+
+(* Sum Partial_r numerators in [pieces] order over the common
+   denominator. Any shard failing (after its retry) degrades the
+   whole query: a partial sum is never returned. *)
+let gather_partials t pieces =
   let results =
-    Array.map
-      (fun (sh, range, sent) ->
-        let first =
-          match sent with
-          | Some w -> await w
-          | None -> Error ("cannot reach shard " ^ shard_name sh)
-        in
-        let final =
-          match first with
-          | Ok r -> Ok r
-          | Error _ ->
-            Stage.incr "router:shard-retry";
-            call ~timeout sh (req range)
-        in
-        (sh, final))
-      sends
+    scatter_calls t
+      (List.map
+         (fun (sh, req, _range) -> (sh, req))
+         pieces)
   in
   let partials = ref [] and den = ref None and failure = ref None in
-  Array.iter
+  List.iter
     (fun (sh, result) ->
       if !failure = None then
         match result with
@@ -421,10 +552,25 @@ let scatter t ~syscalls ~phase =
                     (shard_name sh))))
     results;
   match !failure with
-  | Some e -> e
+  | Some e -> Error e
   | None ->
     let num = List.fold_left ( +. ) 0.0 (List.rev !partials) in
-    let den = Option.value ~default:0.0 !den in
+    Ok (num, Option.value ~default:0.0 !den)
+
+(* Scatter one completeness query: every shard gets its fixed package
+   range in one round of pipelined sends, then the partials merge in
+   range order over the common denominator — the float regrouping of
+   [Query.eval_syscalls_sharded], so the answer is within 1e-12 of a
+   single-process evaluation. *)
+let scatter t ~syscalls ~phase =
+  let pieces =
+    Array.to_list t.ranges
+    |> List.map (fun (sh, (lo, hi)) ->
+           (sh, P.Partial_completeness { syscalls; phase; lo; hi }, (lo, hi)))
+  in
+  match gather_partials t pieces with
+  | Error e -> e
+  | Ok (num, den) ->
     Ok
       (P.Completeness_r
          {
@@ -432,6 +578,90 @@ let scatter t ~syscalls ~phase =
            phase;
            completeness = (if den = 0.0 then 0.0 else num /. den);
          })
+
+(* A partial-completeness query against a sliced fleet: no single
+   shard holds the whole [lo, hi) sweep, so it scatters to the shards
+   whose slices intersect it — each evaluates exactly its
+   intersection, bit-identically to the same range on a full image —
+   and the numerators sum in range order. An empty (or fully
+   out-of-range) request still needs the world denominator, which any
+   shard answers from an empty sweep. *)
+let scatter_partial t ~syscalls ~phase ~lo ~hi =
+  let pieces =
+    Array.to_list t.ranges
+    |> List.filter_map (fun (sh, (slo, shi)) ->
+           let ilo = max lo slo and ihi = min hi shi in
+           if ilo < ihi then
+             Some
+               ( sh,
+                 P.Partial_completeness { syscalls; phase; lo = ilo; hi = ihi },
+                 (ilo, ihi) )
+           else None)
+  in
+  let pieces =
+    match pieces with
+    | [] ->
+      [ ( t.shards.(0),
+          P.Partial_completeness { syscalls; phase; lo = 0; hi = 0 },
+          (0, 0) ) ]
+    | ps -> ps
+  in
+  match gather_partials t pieces with
+  | Error e -> e
+  | Ok (num, den) -> Ok (P.Partial_r { lo; hi; num; den })
+
+(* Dependents against a sliced fleet: each shard lists only its own
+   slice's packages, so the rows concatenate across every shard and
+   re-sort with the exact [Query.dependents_ranked] comparator
+   (probability descending, name ascending on ties — names are
+   unique, so the merged order is the single-process order); the
+   per-shard [limit] keeps each reply small and is re-applied to the
+   merged rows (top-k of a union is the top-k of per-shard
+   top-ks). *)
+let scatter_dependents t ~api ~limit =
+  let results =
+    scatter_calls t
+      (Array.to_list t.ranges
+      |> List.map (fun (sh, _) -> (sh, P.Dependents { api; limit })))
+  in
+  let rows = ref [] and name = ref None and failure = ref None in
+  List.iter
+    (fun (sh, result) ->
+      if !failure = None then
+        match result with
+        | Error msg ->
+          failure :=
+            Some
+              (err P.degraded
+                 (Printf.sprintf "shard %s unavailable: %s" (shard_name sh)
+                    msg))
+        | Ok { P.rs_result = Ok (P.Dependents_r { api; packages }); _ } ->
+          name := Some api;
+          rows := packages :: !rows
+        | Ok { P.rs_result = Error e; _ } -> failure := Some (Error e)
+        | Ok _ ->
+          failure :=
+            Some
+              (err P.internal_error
+                 (Printf.sprintf "shard %s answered the wrong reply shape"
+                    (shard_name sh))))
+    results;
+  match !failure with
+  | Some e -> e
+  | None ->
+    let merged =
+      List.concat (List.rev !rows)
+      |> List.sort (fun (na, pa) (nb, pb) ->
+             match compare pb pa with 0 -> compare na nb | c -> c)
+    in
+    let merged =
+      match limit with
+      | None -> merged
+      | Some k -> List.filteri (fun i _ -> i < k) merged
+    in
+    Ok
+      (P.Dependents_r
+         { api = Option.value ~default:api !name; packages = merged })
 
 (* Point ops go to one shard, round-robin over the healthy ones; with
    none healthy, one reconnection attempt is made (the call dials on
@@ -461,9 +691,49 @@ let router_gauges t () =
     ("shards", float_of_int (Array.length t.shards));
     ("shards_healthy", float_of_int (healthy_count t));
     ("shed", float_of_int (Stage.counter "router:shed"));
+    ("batching", if t.cfg.batching then 1.0 else 0.0);
+    ("batches", float_of_int (Stage.counter "router:batches"));
+    ("sliced", if t.sliced then 1.0 else 0.0);
   ]
+  @
+  match t.cache with
+  | None -> []
+  | Some c ->
+    let hits, misses = Lru.stats c in
+    [
+      ("cache_entries", float_of_int (Lru.length c));
+      ("cache_hits", float_of_int hits);
+      ("cache_misses", float_of_int misses);
+    ]
 
-let handle_req t (req : P.req) : (P.reply, P.err) result =
+(* What the router-side LRU may hold: point ops that forward to a
+   single shard — pure functions of the fleet's (shared, immutable)
+   index. Scatter ops never cache, even though they are just as
+   deterministic: a cached scatter would keep answering [Ok] while a
+   shard is down, hiding exactly the degradation the scatter's
+   all-shards dependency exists to surface. (On a sliced fleet
+   [dependents] and [partial-completeness] scatter too, so their
+   cacheability follows the partition.) Live-state ops never cache;
+   neither do [batch] envelopes (their members would defeat the
+   point-query hit rate the cache exists for). *)
+let cacheable_op t = function
+  | P.Importance _ | P.Top _ -> true
+  | P.Dependents _ | P.Partial_completeness _ -> not t.sliced
+  | P.Hello _ | P.Ping | P.Stats | P.Completeness _ | P.Batch _
+  | P.Unknown _ ->
+    false
+
+(* Only deterministic results enter the cache: an [Ok] or a
+   validation error is the same answer forever, but [degraded] /
+   [overloaded] / [internal] describe a moment — caching one would
+   keep answering it after the fleet recovered. *)
+let cache_worthy = function
+  | Ok _ -> true
+  | Error { P.e_kind; _ } ->
+    e_kind = P.bad_api || e_kind = P.bad_phase || e_kind = P.bad_request
+    || e_kind = P.unknown_op
+
+let rec handle_req t (req : P.req) : (P.reply, P.err) result =
   match req with
   | P.Hello versions ->
     (match P.negotiate versions with
@@ -483,16 +753,42 @@ let handle_req t (req : P.req) : (P.reply, P.err) result =
            st_hists = Histogram.all ();
          })
   | P.Completeness { syscalls; phase } -> scatter t ~syscalls ~phase
+  | P.Dependents { api; limit } when t.sliced ->
+    scatter_dependents t ~api ~limit
+  | P.Partial_completeness { syscalls; phase; lo; hi } when t.sliced ->
+    scatter_partial t ~syscalls ~phase ~lo ~hi
   | P.Importance _ | P.Top _ | P.Dependents _ | P.Partial_completeness _ ->
     forward t req
+  | P.Batch reqs ->
+    (* Client-side batches: answer each member (through the cache)
+       and return the envelope — member order preserved, sub-ids
+       echoed. *)
+    Ok (P.Batch_r (List.map (handle_request t) reqs))
   | P.Unknown other ->
     err P.unknown_op (Printf.sprintf "unknown op %S" other)
 
-let handle_request t (request : P.request) : P.response =
+and handle_timed t (request : P.request) : (P.reply, P.err) result =
   let name = "router:" ^ P.op_name request.P.rq_op in
   let t0 = Stage.now_ns () in
   let result = Stage.time name (fun () -> handle_req t request.P.rq_op) in
   Histogram.observe_ns name (Int64.to_int (Int64.sub (Stage.now_ns ()) t0));
+  result
+
+and handle_request t (request : P.request) : P.response =
+  let result =
+    match t.cache with
+    | Some c when cacheable_op t request.P.rq_op ->
+      let key = P.canonical_key request in
+      (match Lru.find c key with
+       | Some r ->
+         Stage.incr "router:cache-hit";
+         r
+       | None ->
+         let r = handle_timed t request in
+         if cache_worthy r then Lru.add c key r;
+         r)
+    | _ -> handle_timed t request
+  in
   { P.rs_id = request.P.rq_id; rs_result = result }
 
 let answer t msg =
@@ -708,6 +1004,10 @@ let drain t =
   Mutex.unlock t.fin_mutex
 
 let track t fd =
+  (* Small frames + closed-loop clients: without TCP_NODELAY, Nagle
+     parks each response waiting for a delayed ACK. *)
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
   Atomic.incr t.accepted;
   Stage.incr "router:connections";
   let conn =
@@ -773,7 +1073,7 @@ let stop t =
   end;
   wait t
 
-let make_shard spec =
+let make_shard ~coalesce spec =
   {
     spec;
     sm = Mutex.create ();
@@ -782,7 +1082,21 @@ let make_shard spec =
     s_gen = 0;
     s_next_id = 0;
     s_pending = Hashtbl.create 16;
+    s_outq = Queue.create ();
+    s_draining = false;
+    s_coalesce = coalesce;
   }
+
+(* A shard serving a range-sliced image reports its coverage in the
+   [slice_lo]/[slice_hi] stats gauges; one serving a full image
+   reports (or predates) the whole range. *)
+let slice_of (s : P.stats_reply) =
+  match
+    ( List.assoc_opt "slice_lo" s.P.st_gauges,
+      List.assoc_opt "slice_hi" s.P.st_gauges )
+  with
+  | Some lo, Some hi -> (int_of_float lo, int_of_float hi)
+  | _ -> (0, s.P.st_packages)
 
 (* Probe every shard with [stats]: all must answer, and all must
    report the same package count (the range partition depends on it)
@@ -828,28 +1142,56 @@ let probe_shards ~timeout shards =
             "shards disagree on package count (%d vs %d) — different \
              snapshots?"
             first.P.st_packages s.P.st_packages)
-     | None -> ignore all; Ok first)
+     | None -> Ok (first, List.map slice_of all))
+
+(* The scatter partition. Full-image shards get the
+   [Query.shard_ranges] split of [0, n) (padded with empty ranges
+   when shards outnumber packages). Sliced shards own their slices —
+   which must then partition [0, n) exactly: scatter correctness
+   depends on every package being swept once. *)
+let plan_ranges n shards slices =
+  if List.for_all (fun (lo, hi) -> lo = 0 && hi = n) slices then
+    let ranges = Query.shard_ranges n (Array.length shards) in
+    Ok
+      ( false,
+        Array.init (Array.length shards) (fun i ->
+            ( shards.(i),
+              match List.nth_opt ranges i with
+              | Some r -> r
+              | None -> (n, n) )) )
+  else begin
+    let owned =
+      List.mapi (fun i slice -> (shards.(i), slice)) slices
+      |> List.sort (fun (_, (a, _)) (_, (b, _)) -> compare a b)
+    in
+    let rec check at = function
+      | [] -> if at = n then Ok () else Error at
+      | (_, (lo, hi)) :: rest -> if lo <> at then Error at else check hi rest
+    in
+    match check 0 owned with
+    | Ok () -> Ok (true, Array.of_list owned)
+    | Error at ->
+      Error
+        (Printf.sprintf
+           "shard slices do not partition the %d packages (gap or overlap \
+            at %d) — re-cut the slices"
+           n at)
+  end
 
 let start ?(config = default) specs =
   if specs = [] then Error "a fleet needs at least one shard"
   else begin
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
      with Invalid_argument _ -> ());
-    let shards = Array.of_list (List.map make_shard specs) in
+    let shards =
+      Array.of_list (List.map (make_shard ~coalesce:config.batching) specs)
+    in
     match probe_shards ~timeout:config.shard_timeout shards with
     | Error msg -> Error msg
-    | Ok meta ->
-      let n = meta.P.st_packages in
-      let ranges = Query.shard_ranges n (Array.length shards) in
-      let ranges =
-        (* Pad so every shard has a range even when there are fewer
-           packages than shards (the extras sweep an empty range). *)
-        Array.init (Array.length shards) (fun i ->
-            ( shards.(i),
-              match List.nth_opt ranges i with
-              | Some r -> r
-              | None -> (n, n) ))
-      in
+    | Ok (meta, slices) ->
+      match plan_ranges meta.P.st_packages shards slices with
+      | Error msg -> Error msg
+      | Ok (sliced, ranges) ->
       let addr =
         try Unix.inet_addr_of_string config.host
         with Failure _ -> Unix.inet_addr_loopback
@@ -882,11 +1224,16 @@ let start ?(config = default) specs =
              bound_port;
              shards;
              ranges;
+             sliced;
              meta =
                ( meta.P.st_packages,
                  meta.P.st_apis,
                  meta.P.st_binaries,
                  meta.P.st_installs );
+             cache =
+               (if config.cache_capacity > 0 then
+                  Some (Lru.create ~capacity:config.cache_capacity)
+                else None);
              rr = Atomic.make 0;
              queue = Queue.create ();
              qmutex = Mutex.create ();

@@ -17,7 +17,33 @@
     [partial-completeness]) forward to one shard, round-robin over
     the healthy ones. [ping], [hello] and [stats] answer locally —
     the router's [stats] reports its own gauges (queue depth and
-    bound, shard health, shed count) and latency histograms.
+    bound, shard health, shed count, batching and cache counters) and
+    latency histograms.
+
+    {b Sliced fleets.} When the shards serve range-sliced images
+    (their [stats] gauges report proper [slice_lo]/[slice_hi]
+    ranges), the slices must partition the package range exactly and
+    become the scatter partition. [dependents] and
+    [partial-completeness] then scatter too — each shard only knows
+    its own packages — and merge with the single-process comparators;
+    [importance] and [top] still forward anywhere, because the
+    per-API planes are whole in every slice.
+
+    {b Micro-batching.} All shard writes go through a per-shard
+    single-writer drain: while one thread's write is in flight, every
+    message other threads queue for that shard coalesces into one
+    [batch] frame, which the shard evaluates as one [eval_subsets]
+    pass. The batch size adapts to the load — idle fleets send single
+    frames, saturated ones amortize framing and evaluation across the
+    whole in-flight window.
+
+    {b Caching.} Deterministic single-shard responses (results and
+    validation errors, never [degraded]/[overloaded]) are memoized in
+    a router-side LRU keyed on {!Protocol.canonical_key}, so repeated
+    point queries answer without touching a shard. Scatter ops never
+    cache — a cached scatter would keep answering while a shard is
+    down, hiding the degradation its all-shards dependency exists to
+    surface.
 
     {b Admission control.} The router's job queue is bounded and
     {e shedding}: when it is full, new requests are answered
@@ -53,11 +79,20 @@ type config = {
   shard_timeout : float;
       (** seconds a shard call may take before it counts as failed *)
   health_period : float;  (** seconds between shard health pings *)
+  batching : bool;
+      (** coalesce same-shard messages queued during an in-flight
+          write into one [batch] frame (the adaptive micro-batch);
+          off, they still leave through the single-writer drain, one
+          frame each *)
+  cache_capacity : int;
+      (** router-side LRU over deterministic responses, keyed on
+          {!Protocol.canonical_key} — repeated point queries answer
+          without crossing a shard wire. [0] disables. *)
 }
 
 val default : config
 (** Loopback, ephemeral port, 8 workers, queue bound 256, 5s shard
-    timeout, 1s health period. *)
+    timeout, 1s health period, batching on, 512 cache entries. *)
 
 type t
 

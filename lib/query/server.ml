@@ -231,6 +231,11 @@ let gauges t ep () =
       ("workers", float_of_int t.n_workers);
       ("connections", float_of_int (Atomic.get t.accepted));
       ("epoch", float_of_int ep.ep_id);
+      (* The package range this shard's per-package planes cover — how
+         a fleet router learns its scatter partition from sliced
+         shards. A full index reports the whole range. *)
+      ("slice_lo", float_of_int (Query.slice_lo ep.ep_idx));
+      ("slice_hi", float_of_int (Query.slice_hi ep.ep_idx));
     ]
   in
   match ep.ep_cache with
@@ -345,6 +350,11 @@ let drain t =
   Mutex.unlock t.fin_mutex
 
 let track t fd =
+  (* Request/response frames are small; without TCP_NODELAY, Nagle
+     holds a response frame back waiting for the client's delayed ACK
+     — tens of ms of idle on every exchange of a closed-loop client. *)
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
   Atomic.incr t.accepted;
   Stage.incr "serve:connections";
   let conn =

@@ -287,6 +287,121 @@ let test_bins_damage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bins: decoded splatted section"
 
+(* --- range slices --------------------------------------------------
+
+   The slice contract ([to_image_string ~range]): partial sweeps over
+   in-slice ranges are bit-identical to the full image, point metrics
+   stay whole-world exact, and dependents list in-slice packages only
+   — so the per-slice lists, merged and re-sorted with the ranked
+   comparator, reproduce the full listing. *)
+
+let slice_exn range =
+  match
+    Query.to_image_string ~seed:42 ~source_key:"test" ~range (index ())
+  with
+  | Ok s -> of_image_exn s
+  | Error e -> Alcotest.failf "to_image_string ~range: %a" Snapshot.pp_error e
+
+let check_partial_exact name full sliced ~lo ~hi =
+  List.iter
+    (fun phase ->
+      let p = Query.phase_to_string phase in
+      List.iteri
+        (fun i nrs ->
+          let num_f, den_f =
+            Query.eval_syscalls_partial ~phase full nrs ~lo ~hi
+          in
+          let num_s, den_s =
+            Query.eval_syscalls_partial ~phase sliced nrs ~lo ~hi
+          in
+          check_exact (Printf.sprintf "%s num %d %s" name i p) num_f num_s;
+          check_exact (Printf.sprintf "%s den %d %s" name i p) den_f den_s)
+        (random_subsets ~n:12 ~max_size:100))
+    phases
+
+let test_slices_example () =
+  let full = index () in
+  let n = Query.n_packages full in
+  let ranges = Query.shard_ranges n 3 in
+  let slices = List.map (fun r -> (r, slice_exn r)) ranges in
+  List.iter
+    (fun ((lo, hi), sliced) ->
+      Alcotest.(check bool) "is_sliced" true (Query.is_sliced sliced);
+      Alcotest.(check int) "slice_lo" lo (Query.slice_lo sliced);
+      Alcotest.(check int) "slice_hi" hi (Query.slice_hi sliced);
+      (* point metrics are whole-world exact on a slice *)
+      Alcotest.(check (list int))
+        "ranking" (Query.ranking full) (Query.ranking sliced);
+      List.iter
+        (fun phase ->
+          let p = Query.phase_to_string phase in
+          List.iter
+            (fun nr ->
+              let api = Api.Syscall nr in
+              check_exact
+                (Printf.sprintf "importance %d %s" nr p)
+                (Query.importance ~phase full api)
+                (Query.importance ~phase sliced api);
+              check_exact
+                (Printf.sprintf "survival %d %s" nr p)
+                (Query.survival ~phase full api)
+                (Query.survival ~phase sliced api))
+            all_nrs)
+        phases;
+      (* the whole slice, a strict sub-range, and the empty range *)
+      check_partial_exact "whole slice" full sliced ~lo ~hi;
+      if hi - lo > 2 then
+        check_partial_exact "sub-range" full sliced ~lo:(lo + 1) ~hi:(hi - 1);
+      check_partial_exact "empty range" full sliced ~lo ~hi:lo)
+    slices;
+  (* dependents: per-slice listings merge into the full listing *)
+  let top = Api.Syscall (List.hd (Query.ranking full)) in
+  let merged =
+    List.concat_map (fun (_, s) -> Query.dependents_ranked s top) slices
+    |> List.sort (fun (n1, p1) (n2, p2) ->
+           match Float.compare p2 p1 with
+           | 0 -> String.compare n1 n2
+           | c -> c)
+  in
+  Alcotest.(check (list (pair string (float 0.0))))
+    "dependents merge" (Query.dependents_ranked full top) merged
+
+let test_slice_full_width () =
+  (* the full-width "slice" covers everything: not a proper slice, and
+     every query — bins included — agrees with the built index *)
+  let full = index () in
+  let sliced = slice_exn (0, Query.n_packages full) in
+  Alcotest.(check bool) "not sliced" false (Query.is_sliced sliced);
+  check_agreement full sliced;
+  check_bins_equal full sliced
+
+let test_qcheck_slice_partials () =
+  let full = index () in
+  let n = Query.n_packages full in
+  let gen =
+    QCheck2.Gen.(
+      let* lo = int_bound n in
+      let* hi = int_range lo n in
+      let* a = int_range lo hi in
+      let* b = int_range a hi in
+      let* phase = oneofl [ Query.All; Query.Init; Query.Serving ] in
+      let* nrs = list_size (int_bound 80) (int_bound 450) in
+      return ((lo, hi), (a, b), phase, nrs))
+  in
+  let cell =
+    QCheck2.Test.make ~count:60 ~name:"slice partials bit-identical" gen
+      (fun ((lo, hi), (a, b), phase, nrs) ->
+        let sliced = slice_exn (lo, hi) in
+        let num_f, den_f =
+          Query.eval_syscalls_partial ~phase full nrs ~lo:a ~hi:b
+        in
+        let num_s, den_s =
+          Query.eval_syscalls_partial ~phase sliced nrs ~lo:a ~hi:b
+        in
+        Float.equal num_f num_s && Float.equal den_f den_s)
+  in
+  QCheck_alcotest.to_alcotest cell
+
 let test_qcheck_heap_map_agree () =
   let built = index () in
   let loaded = of_image_exn (Lazy.force image) in
@@ -321,5 +436,11 @@ let () =
           Alcotest.test_case "section table" `Quick test_section_table_damage;
           Alcotest.test_case "bins section" `Quick test_bins_damage;
         ] );
-      ("qcheck", [ test_qcheck_heap_map_agree () ]);
+      ( "slices",
+        [
+          Alcotest.test_case "example ranges" `Quick test_slices_example;
+          Alcotest.test_case "full width" `Quick test_slice_full_width;
+        ] );
+      ( "qcheck",
+        [ test_qcheck_heap_map_agree (); test_qcheck_slice_partials () ] );
     ]

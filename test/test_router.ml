@@ -10,6 +10,7 @@ module P = Core.Query.Protocol
 module Server = Core.Query.Server
 module Router = Core.Query.Router
 module Engine = Core.Query.Engine
+module Snapshot = Core.Db.Snapshot
 
 let env = lazy (Core.Study.Env.create_small ())
 let index () = (Lazy.force env).Core.Study.Env.index
@@ -306,6 +307,197 @@ let test_overload_sheds_structured () =
         Alcotest.fail "burst never tripped admission control";
       if !shed = n then Alcotest.fail "every request was shed")
 
+(* --- sliced fleet ----------------------------------------------------- *)
+
+(* A shard serving a range-sliced image: the slice is cut with
+   [to_image_string ~range], loaded back, and served like any other
+   index — the router reads the slice bounds off its stats gauges. *)
+let start_sliced_shard (lo, hi) =
+  let img =
+    match
+      Engine.to_image_string ~seed:7 ~source_key:"router-sliced"
+        ~range:(lo, hi) (index ())
+    with
+    | Ok s -> s
+    | Error e ->
+      Alcotest.failf "slice image (%d,%d): %a" lo hi Snapshot.pp_error e
+  in
+  let q =
+    match Engine.of_image img with
+    | Ok q -> q
+    | Error e ->
+      Alcotest.failf "slice load (%d,%d): %a" lo hi Snapshot.pp_error e
+  in
+  match
+    Server.start ~config:{ Server.default with workers = Some 2 } q
+  with
+  | Ok srv -> srv
+  | Error msg -> Alcotest.failf "sliced shard start: %s" msg
+
+let test_sliced_fleet_matches_single_process () =
+  (* three shards each serving one slice of the index: scatters merge
+     the sliced partials back to the single-process answer, and the
+     ops that must scatter on a sliced fleet (dependents,
+     partial-completeness) still match the local evaluator *)
+  let n = Engine.n_packages (index ()) in
+  let ranges = Engine.shard_ranges n 3 in
+  let shards = List.map start_sliced_shard ranges in
+  Fun.protect
+    ~finally:(fun () -> List.iter Server.stop shards)
+    (fun () ->
+      match Router.start (List.map spec shards) with
+      | Error msg -> Alcotest.failf "sliced router start: %s" msg
+      | Ok router ->
+        Fun.protect
+          ~finally:(fun () -> Router.stop router)
+          (fun () ->
+            let port = Router.port router in
+            let local line =
+              parse_exn (Core.Query.Serve.handle_line (index ()) line)
+            in
+            (* completeness scatters over the slices *)
+            List.iter
+              (fun (syscalls, phase) ->
+                let routed =
+                  num "completeness"
+                    (ask port (completeness_req ?phase syscalls))
+                in
+                let direct =
+                  Engine.eval_syscalls
+                    ?phase:
+                      (Option.map
+                         (fun p ->
+                           match Engine.phase_of_string p with
+                           | Ok ph -> ph
+                           | Error e -> Alcotest.failf "phase %s: %s" p e)
+                         phase)
+                    (index ()) syscalls
+                in
+                if Float.abs (routed -. direct) > 1e-12 then
+                  Alcotest.failf "sliced scatter diverged: %.17g vs %.17g"
+                    routed direct)
+              [ ([ 0; 1; 2; 3 ], None);
+                ([], None);
+                (List.init 200 Fun.id, None);
+                ([ 0; 1; 2; 3 ], Some "init");
+                ([ 5; 9; 60 ], Some "serving") ];
+            (* partial-completeness spanning every slice boundary *)
+            List.iter
+              (fun (lo, hi) ->
+                let line =
+                  Printf.sprintf
+                    {|{"op":"partial-completeness","syscalls":[0,1,7],"lo":%d,"hi":%d}|}
+                    lo hi
+                in
+                let routed = ask port line in
+                Alcotest.(check bool)
+                  (Printf.sprintf "partial [%d,%d) ok" lo hi)
+                  true (is_ok routed);
+                let direct = local line in
+                if
+                  Float.abs (num "num" routed -. num "num" direct) > 1e-12
+                  || not
+                       (Float.equal (num "den" routed) (num "den" direct))
+                then
+                  Alcotest.failf "sliced partial [%d,%d) diverged" lo hi)
+              [ (0, n); (10, n - 17); (0, 1); (n - 1, n); (50, 50) ];
+            (* dependents merges per-slice rows without touching the
+               floats — byte-identical to the local answer *)
+            List.iter
+              (fun line ->
+                Alcotest.(check string)
+                  (Printf.sprintf "%s matches local" line)
+                  (Json.to_string (local line))
+                  (Json.to_string (ask port line)))
+              [ {|{"op":"dependents","api":"syscall:0","limit":5}|};
+                {|{"op":"importance","api":"read"}|};
+                {|{"op":"top","n":5}|} ];
+            let r = ask port {|{"op":"stats"}|} in
+            Alcotest.(check int) "sliced stats package count" n
+              (int_of_float (num "n_packages" r))))
+
+(* --- batched vs unbatched clients ------------------------------------- *)
+
+let test_mixed_batching_equivalence () =
+  (* two routers over the same shards, one coalescing shard writes
+     into batch frames and one sending a frame per message, hammered
+     by concurrent clients at the same time: every answer from either
+     is the single-process one within accumulation noise *)
+  let shards = List.init 2 (fun _ -> start_shard ()) in
+  Fun.protect
+    ~finally:(fun () -> List.iter Server.stop shards)
+    (fun () ->
+      let start_router batching =
+        match
+          Router.start
+            ~config:{ Router.default with batching }
+            (List.map spec shards)
+        with
+        | Ok r -> r
+        | Error msg -> Alcotest.failf "router start: %s" msg
+      in
+      let batched = start_router true in
+      let plain = start_router false in
+      Fun.protect
+        ~finally:(fun () ->
+          Router.stop batched;
+          Router.stop plain)
+        (fun () ->
+          let subsets =
+            [ [ 0; 1; 2; 3 ]; []; [ 5; 9; 60 ]; List.init 120 Fun.id;
+              [ 0; 7 ] ]
+          in
+          let expected =
+            List.map (fun s -> Engine.eval_syscalls (index ()) s) subsets
+          in
+          let fail_m = Mutex.create () in
+          let failures = ref [] in
+          let record msg =
+            Mutex.lock fail_m;
+            failures := msg :: !failures;
+            Mutex.unlock fail_m
+          in
+          let client label port () =
+            try
+              let reqs =
+                List.concat
+                  (List.init 4 (fun _ ->
+                       List.map (fun s -> completeness_req s) subsets))
+              in
+              let resps = converse port reqs in
+              List.iteri
+                (fun i r ->
+                  let want = List.nth expected (i mod List.length subsets) in
+                  let got = num "completeness" r in
+                  if Float.abs (got -. want) > 1e-12 then
+                    record
+                      (Printf.sprintf "%s resp %d: %.17g vs %.17g" label i
+                         got want))
+                resps
+            with e -> record (label ^ ": " ^ Printexc.to_string e)
+          in
+          let threads =
+            List.concat
+              [ List.init 4 (fun i ->
+                    Thread.create
+                      (client
+                         (Printf.sprintf "batched-%d" i)
+                         (Router.port batched))
+                      ());
+                List.init 2 (fun i ->
+                    Thread.create
+                      (client
+                         (Printf.sprintf "plain-%d" i)
+                         (Router.port plain))
+                      ()) ]
+          in
+          List.iter Thread.join threads;
+          (match !failures with
+           | [] -> ()
+           | msgs ->
+             Alcotest.failf "mixed fleet diverged:\n%s"
+               (String.concat "\n" msgs))))
+
 (* --- binary client path ---------------------------------------------- *)
 
 let test_binary_client () =
@@ -362,6 +554,12 @@ let () =
           Alcotest.test_case "all shards down" `Quick test_all_shards_down;
           Alcotest.test_case "overload sheds" `Quick
             test_overload_sheds_structured ] );
+      ( "sliced",
+        [ Alcotest.test_case "sliced fleet matches single-process" `Quick
+            test_sliced_fleet_matches_single_process ] );
+      ( "batching",
+        [ Alcotest.test_case "mixed batched/unbatched clients" `Quick
+            test_mixed_batching_equivalence ] );
       ( "binary",
         [ Alcotest.test_case "binary client" `Quick test_binary_client ] )
     ]

@@ -213,6 +213,53 @@ let test_cache_consistency () =
       Alcotest.(check bool) "identical payload" true
         (Float.equal (field r1) (field r2)))
 
+let test_batch_order_one_worker () =
+  (* One worker, one coalesced frame: the batch arm regroups
+     completeness sub-requests by phase (and drains partials in its
+     own pass), so the response vector must still come back in
+     request order — and each sub-response must be byte-identical to
+     the answer the same op gets when sent alone. The cache is off so
+     the singles cannot echo entries the batch warmed. *)
+  let srv = start_exn ~workers:1 ~cache_capacity:0 () in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let port = Server.port srv in
+  let subs =
+    [ {|{"op":"completeness","syscalls":[0,1,2],"id":100}|};
+      {|{"op":"partial-completeness","syscalls":[0,7],"lo":0,"hi":3,"id":101}|};
+      {|{"op":"completeness","syscalls":[7],"phase":"init","id":102}|};
+      {|{"op":"ping","id":103}|};
+      {|{"op":"completeness","syscalls":[1,7],"id":104}|};
+      {|{"op":"explode","id":105}|};
+      {|{"op":"partial-completeness","syscalls":[],"lo":1,"hi":1,"id":106}|};
+      {|{"op":"completeness","syscalls":[0],"phase":"serving","id":107}|};
+      {|{"op":"top","n":2,"id":108}|};
+      {|{"op":"importance","api":"read","id":109}|}
+    ]
+  in
+  let batch =
+    Printf.sprintf {|{"op":"batch","id":9,"requests":[%s]}|}
+      (String.concat "," subs)
+  in
+  match converse port (batch :: subs) with
+  | b :: singles ->
+    Alcotest.(check bool) "batch ok" true (is_ok b);
+    Alcotest.(check int) "batch id" 9 (id_of b);
+    (match Json.member "responses" b with
+     | Some (Json.Arr rs) ->
+       Alcotest.(check int) "one response per sub-request"
+         (List.length subs) (List.length rs);
+       List.iteri
+         (fun i (r, single) ->
+           Alcotest.(check int)
+             (Printf.sprintf "sub-response %d in request order" i)
+             (100 + i) (id_of r);
+           Alcotest.(check string)
+             (Printf.sprintf "sub-response %d equals the single answer" i)
+             (Json.to_string single) (Json.to_string r))
+         (List.combine rs singles)
+     | _ -> Alcotest.failf "no responses array in %s" (Json.to_string b))
+  | [] -> Alcotest.fail "no responses"
+
 (* --- hot reload ---------------------------------------------------- *)
 
 (* A deliberately different world: one package using only syscall 7,
@@ -342,7 +389,9 @@ let () =
             test_idle_client_no_starvation;
           Alcotest.test_case "graceful stop" `Quick test_graceful_stop;
           Alcotest.test_case "cache id consistency" `Quick
-            test_cache_consistency ] );
+            test_cache_consistency;
+          Alcotest.test_case "batch order, one worker" `Quick
+            test_batch_order_one_worker ] );
       ( "reload",
         [ Alcotest.test_case "swaps answers and cache" `Quick
             test_reload_swaps_answers;
